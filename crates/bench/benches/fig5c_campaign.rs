@@ -1,0 +1,61 @@
+//! Fig. 5c / Table III regeneration bench: the Monte-Carlo latency
+//! campaign, plus the reuse-factor latency/resource ablation (Sec. IV-D)
+//! and the streaming-vs-memory-mapped interface ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reads_bench::{unet_bundle, REPRO_SEED};
+use reads_core::campaign::run_latency_campaign;
+use reads_hls4ml::latency::estimate_latency;
+use reads_hls4ml::resource::estimate_resources;
+use reads_hls4ml::{convert, profile_model, HlsConfig, IoInterface};
+use reads_soc::hps::HpsModel;
+use std::hint::black_box;
+
+fn bench_fig5c(c: &mut Criterion) {
+    let bundle = unet_bundle();
+    let calib = bundle.calibration_inputs(10);
+    let profile = profile_model(&bundle.model, &calib);
+    let firmware = convert(&bundle.model, &profile, &HlsConfig::paper_default());
+    let input = vec![0.1; 260];
+
+    let mut g = c.benchmark_group("fig5c");
+    g.sample_size(10);
+    g.bench_function("campaign_500_frames", |b| {
+        b.iter(|| {
+            black_box(run_latency_campaign(
+                &firmware,
+                &HpsModel::default(),
+                &input,
+                500,
+                8,
+                REPRO_SEED,
+            ))
+        })
+    });
+
+    // Ablation: reuse-factor sweep — the latency/resource trade-off knob.
+    g.bench_function("reuse_sweep_latency_resource", |b| {
+        b.iter(|| {
+            for reuse in [16u32, 32, 64, 128, 256] {
+                let mut cfg = HlsConfig::paper_default();
+                cfg.reuse.conv = reuse;
+                let fw = convert(&bundle.model, &profile, &cfg);
+                black_box((estimate_latency(&fw).total_cycles, estimate_resources(&fw).ip_aluts));
+            }
+        })
+    });
+
+    // Ablation: streaming (hls4ml default) vs the paper's MM host interface.
+    for io in [IoInterface::Streaming, IoInterface::MemoryMappedHost] {
+        let mut cfg = HlsConfig::paper_default();
+        cfg.io = io;
+        let fw = convert(&bundle.model, &profile, &cfg);
+        g.bench_function(format!("latency_model/{io:?}"), |b| {
+            b.iter(|| black_box(estimate_latency(black_box(&fw))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5c);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benches of the fixed-point substrate: quantization, the exact MAC
+//! path, and the sigmoid table — the per-value costs every firmware
+//! inference multiplies by ~16 million.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reads_fixed::{Accum, Fx, Overflow, QFormat, Quantizer, Rounding};
+use reads_tensor::activ::SigmoidTable;
+use std::hint::black_box;
+
+fn bench_fixed(c: &mut Criterion) {
+    let fmt = QFormat::signed(16, 7);
+    let wf = QFormat::signed(16, 2);
+    let xs: Vec<f64> = (0..1024).map(|i| ((i as f64) * 0.37).sin() * 50.0).collect();
+    let ws: Vec<f64> = (0..1024).map(|i| ((i as f64) * 0.11).cos() * 1.5).collect();
+
+    let mut g = c.benchmark_group("fixed_point");
+    g.bench_function("quantize_1024_saturate", |b| {
+        let mut q = Quantizer::new(fmt, Rounding::Truncate, Overflow::Saturate);
+        b.iter(|| {
+            for &x in &xs {
+                black_box(q.quantize_dequantize(black_box(x)));
+            }
+        })
+    });
+    g.bench_function("quantize_1024_wrap", |b| {
+        let mut q = Quantizer::hls_default(fmt);
+        b.iter(|| {
+            for &x in &xs {
+                black_box(q.quantize_dequantize(black_box(x)));
+            }
+        })
+    });
+    g.bench_function("mac_chain_1024_integer_exact", |b| {
+        let wq: Vec<Fx> = ws
+            .iter()
+            .map(|&w| Fx::from_f64(w, wf, Rounding::Truncate, Overflow::Saturate).0)
+            .collect();
+        let xq: Vec<Fx> = xs
+            .iter()
+            .map(|&x| Fx::from_f64(x, fmt, Rounding::Truncate, Overflow::Saturate).0)
+            .collect();
+        b.iter(|| {
+            let mut acc = Accum::for_product(&wf, &fmt);
+            for (w, x) in wq.iter().zip(&xq) {
+                acc.mac(black_box(w), black_box(x));
+            }
+            black_box(acc.to_f64())
+        })
+    });
+    g.bench_function("mac_chain_1024_f64_on_grid", |b| {
+        // The firmware interpreter's path: dequantized values, f64 FMA.
+        let wq: Vec<f64> = ws
+            .iter()
+            .map(|&w| Fx::from_f64(w, wf, Rounding::Truncate, Overflow::Saturate).0.to_f64())
+            .collect();
+        let xq: Vec<f64> = xs
+            .iter()
+            .map(|&x| Fx::from_f64(x, fmt, Rounding::Truncate, Overflow::Saturate).0.to_f64())
+            .collect();
+        b.iter(|| {
+            black_box(
+                wq.iter()
+                    .zip(&xq)
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>(),
+            )
+        })
+    });
+    g.bench_function("sigmoid_table_1024", |b| {
+        let t = SigmoidTable::hls_default();
+        b.iter(|| {
+            for &x in &xs {
+                black_box(t.eval(black_box(x * 0.1)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fixed);
+criterion_main!(benches);

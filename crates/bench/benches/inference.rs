@@ -1,0 +1,42 @@
+//! Criterion benches for the inference kernels behind Table I / Fig. 3:
+//! float (CPU reference) and quantized-firmware inference for both paper
+//! models, single frame and batched.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use reads_bench::{mlp_bundle, unet_bundle};
+use reads_hls4ml::{convert, profile_model, HlsConfig};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    for bundle in [mlp_bundle(), unet_bundle()] {
+        let name = bundle.spec.name();
+        let input = vec![0.1; bundle.spec.input_len()];
+        let calib = bundle.calibration_inputs(20);
+        let profile = profile_model(&bundle.model, &calib);
+        let firmware = convert(&bundle.model, &profile, &HlsConfig::paper_default());
+
+        let mut g = c.benchmark_group(format!("inference/{name}"));
+        g.bench_function("float_cpu", |b| {
+            b.iter(|| black_box(bundle.model.predict(black_box(&input))))
+        });
+        g.bench_function("firmware_bit_exact", |b| {
+            b.iter(|| black_box(firmware.infer(black_box(&input))))
+        });
+        let batch: Vec<Vec<f64>> = (0..32).map(|_| input.clone()).collect();
+        g.bench_function("firmware_batch32_rayon", |b| {
+            b.iter_batched(
+                || batch.clone(),
+                |batch| black_box(firmware.infer_batch(&batch)),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table I / Fig. 3 regeneration bench: times the latency-model evaluation
+//! of every Table I design and one SoC frame simulation per model
+//! (the building blocks the repro binaries sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reads_bench::{mlp_bundle, unet_bundle, REPRO_SEED};
+use reads_core::baselines::table1_related_work;
+use reads_hls4ml::{convert, profile_model, HlsConfig};
+use reads_soc::hps::HpsModel;
+use reads_soc::node::CentralNodeSim;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("related_work_latency_models", |b| {
+        b.iter(|| {
+            for spec in table1_related_work() {
+                black_box(spec.modeled_latency_ms());
+            }
+        })
+    });
+    for bundle in [mlp_bundle(), unet_bundle()] {
+        let input = vec![0.1; bundle.spec.input_len()];
+        let calib = bundle.calibration_inputs(10);
+        let profile = profile_model(&bundle.model, &calib);
+        let firmware = convert(&bundle.model, &profile, &HlsConfig::paper_default());
+        let mut node = CentralNodeSim::new(firmware, HpsModel::default(), REPRO_SEED);
+        g.bench_function(format!("soc_frame/{}", bundle.spec.name()), |b| {
+            b.iter(|| black_box(node.run_frame(black_box(&input))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

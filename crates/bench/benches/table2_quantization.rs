@@ -1,0 +1,49 @@
+//! Table II / Fig. 5a/5b regeneration bench: conversion + accuracy
+//! evaluation of the precision strategies, plus the wrap-vs-saturate
+//! overflow ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reads_bench::unet_bundle;
+use reads_fixed::{Overflow, QFormat};
+use reads_hls4ml::config::PrecisionStrategy;
+use reads_hls4ml::{convert, profile_model, HlsConfig};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let bundle = unet_bundle();
+    let calib = bundle.calibration_inputs(20);
+    let profile = profile_model(&bundle.model, &calib);
+    let eval = bundle.eval_frames(8, 0).inputs;
+
+    let mut g = c.benchmark_group("table2");
+    g.bench_function("profiling_pass_20frames", |b| {
+        b.iter(|| black_box(profile_model(&bundle.model, black_box(&calib))))
+    });
+    for strategy in PrecisionStrategy::table2_rows() {
+        let config = HlsConfig::with_strategy(strategy);
+        g.bench_function(format!("convert/{}", strategy.label()), |b| {
+            b.iter(|| black_box(convert(&bundle.model, &profile, &config)))
+        });
+    }
+
+    // Ablation: wrap (hls4ml default) vs saturate overflow handling on the
+    // quantized inference path.
+    for overflow in [Overflow::Wrap, Overflow::Saturate] {
+        let mut config = HlsConfig::with_strategy(PrecisionStrategy::Uniform(QFormat::signed(
+            16, 7,
+        )));
+        config.overflow = overflow;
+        let fw = convert(&bundle.model, &profile, &config);
+        g.bench_function(format!("infer_batch8/{overflow:?}"), |b| {
+            b.iter(|| black_box(fw.infer_batch(black_box(&eval))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Training-stack benches: one epoch-equivalent batch of U-Net
+//! backpropagation and the workload generator (the substrate costs behind
+//! the "pre-trained model" the paper starts from).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reads_blm::{build_unet_dataset, FrameGenerator, Standardizer};
+use reads_nn::train::batch_gradients;
+use reads_nn::{models, Loss};
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let gen = FrameGenerator::with_defaults(1);
+    let frames = gen.batch(0, 16);
+    let std = Standardizer::fit(&frames);
+    let data = build_unet_dataset(&frames, &std);
+    let model = models::reads_unet(1);
+
+    let mut g = c.benchmark_group("training");
+    g.sample_size(10);
+    g.bench_function("unet_batch16_gradients", |b| {
+        b.iter(|| {
+            black_box(batch_gradients(
+                &model,
+                &data.inputs,
+                &data.targets,
+                Loss::Bce,
+            ))
+        })
+    });
+    g.bench_function("workload_generate_16_frames", |b| {
+        b.iter(|| black_box(gen.batch(black_box(100), 16)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Runs the ablation suite of DESIGN.md §6 and prints the tables: overflow
+//! mode, transfer mechanism (with the DMA/MM crossover), and scenario
+//! robustness of the deployed model.
+//!
+//! ```sh
+//! cargo run --release -p reads-bench --bin ablation_study
+//! ```
+
+use reads_bench::{unet_bundle, REPRO_SEED};
+use reads_core::ablations::{overflow_ablation, scenario_robustness, transfer_study};
+use reads_hls4ml::profile_model;
+use reads_nn::ModelSpec;
+
+fn main() {
+    let bundle = unet_bundle();
+    let calib = bundle.calibration_inputs(50);
+    let profile = profile_model(&bundle.model, &calib);
+    let eval = bundle.eval_frames(200, 0).inputs;
+
+    println!("=== overflow-mode ablation (layer-based widths) ===");
+    println!(
+        "{:>6} {:>16} {:>16} {:>14} {:>14}",
+        "width", "wrap acc MI", "sat acc MI", "wrap outliers", "sat outliers"
+    );
+    for width in [10u32, 12, 16] {
+        let ab = overflow_ablation(&bundle.model, ModelSpec::UNet, &profile, &eval, width);
+        println!(
+            "{:>6} {:>15.2}% {:>15.2}% {:>14} {:>14}",
+            width,
+            ab.wrap.mi * 100.0,
+            ab.saturate.mi * 100.0,
+            ab.wrap.outliers,
+            ab.saturate.outliers
+        );
+    }
+
+    println!("\n=== transfer mechanism: MM bridge vs DMA round trip ===");
+    let (rows, crossover) = transfer_study(&[130, 390, 1_000, 5_000, 20_000, 100_000]);
+    println!("{:>10} {:>12} {:>12} {:>8}", "words", "MM µs", "DMA µs", "winner");
+    for r in &rows {
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>8}",
+            r.words,
+            r.mm_us,
+            r.dma_us,
+            if r.mm_us <= r.dma_us { "MM" } else { "DMA" }
+        );
+    }
+    println!("crossover at ~{crossover} words (the READS frame is 390 words: MM wins)");
+
+    println!("\n=== scenario robustness of the deployed U-Net ===");
+    println!(
+        "{:<28} {:>18} {:>12}",
+        "scenario", "decision accuracy", "trip rate"
+    );
+    for row in scenario_robustness(&bundle.model, &bundle.standardizer, 300, REPRO_SEED) {
+        println!(
+            "{:<28} {:>17.1}% {:>11.1}%",
+            row.scenario,
+            row.decision_accuracy * 100.0,
+            row.trip_rate * 100.0
+        );
+    }
+}

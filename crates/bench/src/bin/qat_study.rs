@@ -1,0 +1,55 @@
+//! PTQ vs QAT extension study: how far below 16 bits can the READS MLP go
+//! with quantization-aware training where the paper's post-training
+//! quantization starts losing accuracy?
+//!
+//! ```sh
+//! cargo run --release -p reads-bench --bin qat_study
+//! ```
+
+use reads_bench::REPRO_SEED;
+use reads_blm::{build_mlp_dataset, FrameGenerator, Standardizer};
+use reads_core::qat::qat_study;
+use reads_nn::{models, Loss, TrainConfig};
+
+fn main() {
+    let gen = FrameGenerator::with_defaults(REPRO_SEED);
+    let frames = gen.batch(0, 500);
+    let std = Standardizer::fit(&frames);
+    let (train_set, val) = build_mlp_dataset(&frames, &std).split_at(400);
+    let config = TrainConfig {
+        epochs: 8,
+        batch_size: 16,
+        loss: Loss::Bce,
+        seed: REPRO_SEED,
+        grad_clip: Some(5.0),
+    };
+
+    println!("PTQ vs QAT (weights-only, layer-based formats), READS MLP, val BCE:");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>18}",
+        "width", "float", "PTQ", "QAT", "QAT recovers"
+    );
+    let rows = qat_study(
+        &train_set,
+        &val,
+        || models::reads_mlp(REPRO_SEED ^ 0xA7),
+        &config,
+        &[4, 6, 8, 10, 12],
+    );
+    for r in &rows {
+        let gap = r.ptq_loss - r.float_loss;
+        let recovered = if gap > 1e-9 {
+            (r.ptq_loss - r.qat_loss) / gap * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:>6} {:>12.4} {:>12.4} {:>12.4} {:>17.0}%",
+            r.width, r.float_loss, r.ptq_loss, r.qat_loss, recovered
+        );
+    }
+    println!(
+        "\n'QAT recovers' = fraction of the PTQ-induced loss gap closed by training\n\
+         through the quantizer (straight-through estimator)."
+    );
+}

@@ -1,0 +1,48 @@
+//! Runs the entire evaluation section and writes a combined JSON report to
+//! `target/reads-artifacts/repro_report.json`.
+use reads_bench::runners;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    table1: Vec<runners::Table1Row>,
+    fig3: Vec<runners::Fig3Bar>,
+    table2: Vec<reads_core::experiments::Table2Row>,
+    table3: runners::Table3Summary,
+    fig5a: Vec<reads_core::experiments::BitSweepPoint>,
+    fig5b: Vec<reads_core::experiments::BitSweepPoint>,
+    fig5c_unet_mean_ms: f64,
+    fig5c_mlp_mean_ms: f64,
+    fig5c_unet_below_1_9ms: f64,
+}
+
+fn main() {
+    let _ = runners::run_fig2_precisions();
+    let table1 = runners::run_table1();
+    let fig3 = runners::run_fig3();
+    let table2 = runners::run_table2();
+    let table3 = runners::run_table3();
+    let fig5a = runners::run_fig5a();
+    let fig5b = runners::run_fig5b();
+    let fig5c = runners::run_fig5c();
+    let report = Report {
+        table1,
+        fig3,
+        table2,
+        table3,
+        fig5a,
+        fig5b,
+        fig5c_unet_below_1_9ms: {
+            let q = reads_sim::Quantiles::from_samples(fig5c.unet.samples_ms.clone());
+            q.fraction_below(1.9)
+        },
+        fig5c_unet_mean_ms: fig5c.unet.mean_ms,
+        fig5c_mlp_mean_ms: fig5c.mlp.mean_ms,
+    };
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/reads-artifacts");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("repro_report.json");
+    std::fs::write(&path, serde_json::to_vec_pretty(&report).expect("serialize"))
+        .expect("write report");
+    println!("\nreport written to {}", path.display());
+}

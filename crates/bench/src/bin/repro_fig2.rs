@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2's per-layer precision annotations.
+fn main() {
+    let _ = reads_bench::runners::run_fig2_precisions();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3 (system latency across platforms, batch size = 1).
+fn main() {
+    let _ = reads_bench::runners::run_fig3();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5a (accuracy vs total bits).
+fn main() {
+    let _ = reads_bench::runners::run_fig5a();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5b (outliers vs total bits, +1-int-bit mitigation).
+fn main() {
+    let _ = reads_bench::runners::run_fig5b();
+}

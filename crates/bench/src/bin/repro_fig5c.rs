@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5c (system latency distribution).
+fn main() {
+    let _ = reads_bench::runners::run_fig5c();
+}

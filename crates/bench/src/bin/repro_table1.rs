@@ -1,0 +1,4 @@
+//! Regenerates Table I (system latency comparison across designs).
+fn main() {
+    let _ = reads_bench::runners::run_table1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II (effect of precision customization).
+fn main() {
+    let _ = reads_bench::runners::run_table2();
+}

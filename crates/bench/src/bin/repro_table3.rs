@@ -1,0 +1,4 @@
+//! Regenerates Table III (model summary) plus the throughput claims.
+fn main() {
+    let _ = reads_bench::runners::run_table3();
+}

@@ -1,0 +1,64 @@
+//! `reads-bench` — the reproduction harness.
+//!
+//! One `repro_*` binary per table/figure of the paper regenerates the
+//! corresponding rows/series and prints them next to the published values;
+//! `repro_all` runs the whole evaluation section. The criterion benches
+//! under `benches/` measure the computational kernels behind each
+//! experiment and the ablations DESIGN.md calls out.
+//!
+//! Everything here runs on the shared full-tier trained models (cached in
+//! `target/reads-artifacts/` after the first run) with the standard seed
+//! [`REPRO_SEED`], so repeated invocations are deterministic.
+
+#![warn(missing_docs)]
+
+use reads_core::trained::{BnBundle, TrainedBundle, TrainingTier};
+use reads_nn::ModelSpec;
+
+pub mod runners;
+
+/// The seed every reproduction experiment derives from.
+pub const REPRO_SEED: u64 = 2024;
+
+/// Loads (or trains once) the standardize-before-training U-Net.
+#[must_use]
+pub fn unet_bundle() -> TrainedBundle {
+    TrainedBundle::get_or_train(ModelSpec::UNet, TrainingTier::Full, REPRO_SEED)
+}
+
+/// Loads (or trains once) the MLP.
+#[must_use]
+pub fn mlp_bundle() -> TrainedBundle {
+    TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Full, REPRO_SEED)
+}
+
+/// Loads (or trains once) the raw-data + input-BatchNorm U-Net (the paper's
+/// original configuration; the Table II collapse row).
+#[must_use]
+pub fn unet_bn_bundle() -> BnBundle {
+    BnBundle::get_or_train(ModelSpec::UNet, TrainingTier::Full, REPRO_SEED)
+}
+
+/// Formats a ratio against a published value as `ours (paper X, Δ%)`.
+#[must_use]
+pub fn vs_paper(ours: f64, paper: f64, unit: &str) -> String {
+    let delta = (ours - paper) / paper * 100.0;
+    format!("{ours:.3} {unit} (paper {paper:.3}, {delta:+.1}%)")
+}
+
+/// Prints a section header for a repro binary.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_paper_formats_delta() {
+        let s = vs_paper(1.5, 1.0, "ms");
+        assert!(s.contains("+50.0%"), "{s}");
+        assert!(s.contains("paper 1.000"));
+    }
+}

@@ -1,0 +1,154 @@
+//! ACNET-bound output: the de-blending verdict and trip decision.
+//!
+//! "Based on the output, the source with higher probability will be
+//! mitigated for that given time frame" (Sec. III-A): the central node sends
+//! the 520 per-monitor probabilities plus a summary trip decision to the
+//! facility control system (Step 9 of Fig. 2).
+
+use crate::events::Machine;
+use crate::N_BLM;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate verdict for one 3 ms frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeblendVerdict {
+    /// Frame sequence number.
+    pub sequence: u32,
+    /// Per-monitor MI probability (260 values).
+    pub mi: Vec<f64>,
+    /// Per-monitor RR probability (260 values).
+    pub rr: Vec<f64>,
+}
+
+impl DeblendVerdict {
+    /// Builds a verdict from the U-Net's interleaved 520-value output.
+    ///
+    /// # Panics
+    /// Panics unless `output.len() == 520`.
+    #[must_use]
+    pub fn from_interleaved(sequence: u32, output: &[f64]) -> Self {
+        assert_eq!(output.len(), 2 * N_BLM, "expected 520 outputs");
+        let mi = output.iter().step_by(2).copied().collect();
+        let rr = output.iter().skip(1).step_by(2).copied().collect();
+        Self { sequence, mi, rr }
+    }
+
+    /// Builds a verdict from a split-halves output `[MI… | RR…]` covering
+    /// `n = output.len()/2` monitors (the MLP layout covers 259 of the 260;
+    /// uncovered monitors read as zero attribution).
+    ///
+    /// # Panics
+    /// Panics if the output length is odd or covers more than [`N_BLM`]
+    /// monitors.
+    #[must_use]
+    pub fn from_split_halves(sequence: u32, output: &[f64]) -> Self {
+        assert_eq!(output.len() % 2, 0, "split layout needs an even length");
+        let n = output.len() / 2;
+        assert!(n <= N_BLM, "more monitors than the ring has");
+        let mut mi = vec![0.0; N_BLM];
+        let mut rr = vec![0.0; N_BLM];
+        mi[..n].copy_from_slice(&output[..n]);
+        rr[..n].copy_from_slice(&output[n..]);
+        Self { sequence, mi, rr }
+    }
+
+    /// Total MI attribution mass over the ring.
+    #[must_use]
+    pub fn mi_mass(&self) -> f64 {
+        self.mi.iter().sum()
+    }
+
+    /// Total RR attribution mass over the ring.
+    #[must_use]
+    pub fn rr_mass(&self) -> f64 {
+        self.rr.iter().sum()
+    }
+
+    /// The machine to trip: the primary loss source this frame, or `None`
+    /// when neither machine shows significant loss (below `threshold` total
+    /// mass — no intervention on a quiet frame).
+    #[must_use]
+    pub fn trip_decision(&self, threshold: f64) -> Option<Machine> {
+        let (mi, rr) = (self.mi_mass(), self.rr_mass());
+        if mi.max(rr) < threshold {
+            return None;
+        }
+        Some(if mi >= rr {
+            Machine::MainInjector
+        } else {
+            Machine::Recycler
+        })
+    }
+
+    /// Wire-encodes the verdict for ACNET: sequence, trip code, then the 520
+    /// probabilities as u16 fixed-point (`round(p * 65535)`).
+    #[must_use]
+    pub fn encode(&self, threshold: f64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 1 + 4 * N_BLM);
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+        out.push(match self.trip_decision(threshold) {
+            None => 0,
+            Some(Machine::MainInjector) => 1,
+            Some(Machine::Recycler) => 2,
+        });
+        for j in 0..N_BLM {
+            let q = |p: f64| ((p.clamp(0.0, 1.0) * 65535.0).round() as u16).to_be_bytes();
+            out.extend_from_slice(&q(self.mi[j]));
+            out.extend_from_slice(&q(self.rr[j]));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(mi_level: f64, rr_level: f64) -> DeblendVerdict {
+        DeblendVerdict {
+            sequence: 1,
+            mi: vec![mi_level; N_BLM],
+            rr: vec![rr_level; N_BLM],
+        }
+    }
+
+    #[test]
+    fn interleaved_parsing() {
+        let mut out = vec![0.0; 520];
+        out[0] = 0.9; // MI at monitor 0
+        out[1] = 0.1; // RR at monitor 0
+        out[519] = 0.7; // RR at monitor 259
+        let v = DeblendVerdict::from_interleaved(5, &out);
+        assert_eq!(v.mi[0], 0.9);
+        assert_eq!(v.rr[0], 0.1);
+        assert_eq!(v.rr[259], 0.7);
+        assert_eq!(v.sequence, 5);
+    }
+
+    #[test]
+    fn trip_picks_dominant_machine() {
+        assert_eq!(
+            verdict(0.6, 0.2).trip_decision(1.0),
+            Some(Machine::MainInjector)
+        );
+        assert_eq!(
+            verdict(0.1, 0.5).trip_decision(1.0),
+            Some(Machine::Recycler)
+        );
+    }
+
+    #[test]
+    fn quiet_frame_no_trip() {
+        assert_eq!(verdict(0.001, 0.001).trip_decision(5.0), None);
+    }
+
+    #[test]
+    fn encode_layout() {
+        let v = verdict(1.0, 0.0);
+        let bytes = v.encode(1.0);
+        assert_eq!(bytes.len(), 4 + 1 + 4 * N_BLM);
+        assert_eq!(bytes[4], 1, "MI trip code");
+        assert_eq!(u16::from_be_bytes([bytes[5], bytes[6]]), 65535);
+        assert_eq!(u16::from_be_bytes([bytes[7], bytes[8]]), 0);
+    }
+}

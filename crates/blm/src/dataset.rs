@@ -1,0 +1,189 @@
+//! Standardization and dataset assembly.
+//!
+//! The paper found that training on raw digitizer magnitudes (105k–120k)
+//! through a BatchNorm layer quantizes poorly, and fixed it by
+//! *standardizing the data before training* (Sec. IV-D). [`Standardizer`] is
+//! that preprocessing step; it is fitted on the training frames and then
+//! owned by the deployed HPS code (the pre-processing the paper runs on the
+//! HPS before handing the frame to the FPGA).
+
+use crate::frame::DeblendSample;
+use reads_nn::train::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Per-dataset z-score standardizer (single global mean/std across monitors,
+/// matching how an accelerator front-end would scale a homogeneous sensor
+/// array).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    /// Mean of the fitted readings.
+    pub mean: f64,
+    /// Standard deviation of the fitted readings.
+    pub std: f64,
+}
+
+impl Standardizer {
+    /// Fits on a set of frames.
+    ///
+    /// # Panics
+    /// Panics on an empty set or zero variance.
+    #[must_use]
+    pub fn fit(frames: &[DeblendSample]) -> Self {
+        assert!(!frames.is_empty(), "fit on empty frame set");
+        let mut n = 0u64;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for f in frames {
+            for &x in &f.readings {
+                n += 1;
+                let d = x - mean;
+                mean += d / n as f64;
+                m2 += d * (x - mean);
+            }
+        }
+        let std = (m2 / n as f64).sqrt();
+        assert!(std > 0.0, "zero-variance readings");
+        Self { mean, std }
+    }
+
+    /// Standardizes one reading.
+    #[inline]
+    #[must_use]
+    pub fn apply(&self, x: f64) -> f64 {
+        (x - self.mean) / self.std
+    }
+
+    /// Standardizes a whole frame.
+    #[must_use]
+    pub fn apply_frame(&self, readings: &[f64]) -> Vec<f64> {
+        readings.iter().map(|&x| self.apply(x)).collect()
+    }
+}
+
+/// Builds the U-Net dataset: standardized 260-channel inputs, 520
+/// interleaved `(MI, RR)` targets.
+#[must_use]
+pub fn build_unet_dataset(frames: &[DeblendSample], std: &Standardizer) -> Dataset {
+    let mut d = Dataset::default();
+    for f in frames {
+        d.inputs.push(std.apply_frame(&f.readings));
+        d.targets.push(f.target_interleaved());
+    }
+    d
+}
+
+/// Builds the U-Net dataset on the *raw digitizer scale* (no
+/// standardization) — the paper's original "trained with a BatchNorm layer"
+/// configuration (Sec. IV-D), used by the Table II collapse row.
+#[must_use]
+pub fn build_unet_dataset_raw(frames: &[DeblendSample]) -> Dataset {
+    let mut d = Dataset::default();
+    for f in frames {
+        d.inputs.push(f.readings.clone());
+        d.targets.push(f.target_interleaved());
+    }
+    d
+}
+
+/// Raw-scale MLP dataset (see [`build_unet_dataset_raw`]).
+#[must_use]
+pub fn build_mlp_dataset_raw(frames: &[DeblendSample]) -> Dataset {
+    let mut d = Dataset::default();
+    for f in frames {
+        d.inputs.push(f.readings[..259].to_vec());
+        let mut target = Vec::with_capacity(518);
+        target.extend_from_slice(&f.frac_mi[..259]);
+        target.extend_from_slice(&f.frac_rr[..259]);
+        d.targets.push(target);
+    }
+    d
+}
+
+/// Builds the MLP dataset: the paper's MLP takes 259 inputs and emits 518
+/// outputs (DESIGN.md §2) — monitor 259 is dropped, and the target is the
+/// split-halves layout `[MI[0..259] | RR[0..259]]`.
+#[must_use]
+pub fn build_mlp_dataset(frames: &[DeblendSample], std: &Standardizer) -> Dataset {
+    let mut d = Dataset::default();
+    for f in frames {
+        let input: Vec<f64> = f.readings[..259].iter().map(|&x| std.apply(x)).collect();
+        let mut target = Vec::with_capacity(518);
+        target.extend_from_slice(&f.frac_mi[..259]);
+        target.extend_from_slice(&f.frac_rr[..259]);
+        d.inputs.push(input);
+        d.targets.push(target);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameGenerator;
+
+    #[test]
+    fn standardizer_centers_and_scales() {
+        let g = FrameGenerator::with_defaults(1);
+        let frames = g.batch(0, 50);
+        let s = Standardizer::fit(&frames);
+        // Re-apply to the fitted data: mean ~0, std ~1.
+        let mut vals = Vec::new();
+        for f in &frames {
+            vals.extend(s.apply_frame(&f.readings));
+        }
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let var = vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-9, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-9, "var {var}");
+    }
+
+    #[test]
+    fn standardized_inputs_are_order_unity() {
+        // This is the paper's point: after standardization the inputs fit
+        // comfortably in a 16-bit fixed-point format.
+        let g = FrameGenerator::with_defaults(2);
+        let frames = g.batch(0, 100);
+        let s = Standardizer::fit(&frames);
+        let more = g.batch(100, 50);
+        for f in &more {
+            for &x in &s.apply_frame(&f.readings) {
+                assert!(x.abs() < 64.0, "standardized reading {x} exceeds ac_fixed<16,7>");
+            }
+        }
+    }
+
+    #[test]
+    fn unet_dataset_shapes() {
+        let g = FrameGenerator::with_defaults(3);
+        let frames = g.batch(0, 10);
+        let s = Standardizer::fit(&frames);
+        let d = build_unet_dataset(&frames, &s);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.inputs[0].len(), 260);
+        assert_eq!(d.targets[0].len(), 520);
+    }
+
+    #[test]
+    fn mlp_dataset_shapes_and_layout() {
+        let g = FrameGenerator::with_defaults(4);
+        let frames = g.batch(0, 5);
+        let s = Standardizer::fit(&frames);
+        let d = build_mlp_dataset(&frames, &s);
+        assert_eq!(d.inputs[0].len(), 259);
+        assert_eq!(d.targets[0].len(), 518);
+        assert_eq!(d.targets[0][0], frames[0].frac_mi[0]);
+        assert_eq!(d.targets[0][259], frames[0].frac_rr[0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Standardizer {
+            mean: 112_000.0,
+            std: 1_234.5,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Standardizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

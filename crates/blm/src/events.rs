@@ -1,0 +1,87 @@
+//! Loss events.
+
+use crate::N_BLM;
+use serde::{Deserialize, Serialize};
+
+/// The two machines sharing the tunnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Machine {
+    /// Main Injector (MI).
+    MainInjector,
+    /// Recycler Ring (RR).
+    Recycler,
+}
+
+impl Machine {
+    /// Short name as used in the paper's tables ("MI" / "RR").
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Machine::MainInjector => "MI",
+            Machine::Recycler => "RR",
+        }
+    }
+}
+
+/// A localized beam-loss event: particles scraping at one tunnel location
+/// shower nearby monitors with a Gaussian spatial profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossEvent {
+    /// Which machine lost beam.
+    pub machine: Machine,
+    /// Loss centre along the ring, in monitor units `[0, 260)`.
+    pub location: f64,
+    /// Peak amplitude in digitizer counts.
+    pub amplitude: f64,
+    /// Gaussian spatial sigma in monitor units.
+    pub width: f64,
+}
+
+impl LossEvent {
+    /// Raw (pre-coupling) contribution of this event at monitor `j`,
+    /// accounting for ring periodicity (monitor 259 neighbours monitor 0).
+    #[must_use]
+    pub fn contribution_at(&self, j: usize) -> f64 {
+        debug_assert!(j < N_BLM);
+        let mut d = (j as f64 - self.location).abs();
+        d = d.min(N_BLM as f64 - d); // ring distance
+        self.amplitude * (-0.5 * (d / self.width).powi(2)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contribution_peaks_at_location() {
+        let e = LossEvent {
+            machine: Machine::MainInjector,
+            location: 100.0,
+            amplitude: 500.0,
+            width: 2.0,
+        };
+        assert!((e.contribution_at(100) - 500.0).abs() < 1e-9);
+        assert!(e.contribution_at(100) > e.contribution_at(101));
+        assert!(e.contribution_at(101) > e.contribution_at(104));
+        assert!(e.contribution_at(120) < 1e-6);
+    }
+
+    #[test]
+    fn ring_periodicity() {
+        let e = LossEvent {
+            machine: Machine::Recycler,
+            location: 1.0,
+            amplitude: 100.0,
+            width: 3.0,
+        };
+        // Monitor 259 is 2 away around the ring, same as monitor 3.
+        assert!((e.contribution_at(259) - e.contribution_at(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn machine_tags() {
+        assert_eq!(Machine::MainInjector.tag(), "MI");
+        assert_eq!(Machine::Recycler.tag(), "RR");
+    }
+}

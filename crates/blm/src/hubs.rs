@@ -1,0 +1,286 @@
+//! BLM hub readout and Ethernet framing.
+//!
+//! The central node "receives inputs from seven BLM hubs distributed around
+//! the accelerator complex" (Sec. III-A). Each hub digitizes a contiguous
+//! span of monitors and ships a packet every 3 ms; the HPS reassembles the
+//! 260-reading frame. The wire format here is a simple length-prefixed
+//! big-endian layout with a Fletcher-16 checksum — enough to exercise real
+//! encode/decode/verify code paths on the HPS side of the simulator.
+
+use crate::N_BLM;
+use serde::{Deserialize, Serialize};
+
+/// Number of readout hubs (Sec. III-A).
+pub const N_HUBS: usize = 7;
+
+/// Magic tag leading every hub packet.
+pub const HUB_MAGIC: u16 = 0xB1A5;
+
+/// Readings are shipped as raw digitizer counts in u32.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HubPacket {
+    /// Hub index `0..N_HUBS`.
+    pub hub: u8,
+    /// Frame sequence number (shared across hubs for one 3 ms tick).
+    pub sequence: u32,
+    /// Index of the first monitor in this hub's span.
+    pub first_monitor: u16,
+    /// Raw counts for the hub's monitors.
+    pub counts: Vec<u32>,
+}
+
+/// Monitor span `[start, end)` served by hub `h` — 260 monitors split as
+/// evenly as 7 hubs allow (first escapes get the extra monitor: spans of
+/// 38,37,37,37,37,37,37).
+#[must_use]
+pub fn hub_span(h: usize) -> (usize, usize) {
+    assert!(h < N_HUBS, "hub index {h}");
+    let base = N_BLM / N_HUBS; // 37
+    let extra = N_BLM % N_HUBS; // 1
+    let start = h * base + h.min(extra);
+    let len = base + usize::from(h < extra);
+    (start, start + len)
+}
+
+/// Fletcher-16 checksum over a byte stream.
+#[must_use]
+pub fn fletcher16(data: &[u8]) -> u16 {
+    let (mut a, mut b) = (0u16, 0u16);
+    for &byte in data {
+        a = (a + u16::from(byte)) % 255;
+        b = (b + a) % 255;
+    }
+    (b << 8) | a
+}
+
+/// Errors while decoding a hub packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// Magic tag mismatch.
+    BadMagic,
+    /// Declared payload length inconsistent with the buffer.
+    BadLength,
+    /// Checksum mismatch (corrupted in flight).
+    BadChecksum,
+    /// Hub index out of range.
+    BadHub,
+}
+
+impl HubPacket {
+    /// Wire-encodes the packet:
+    /// `magic u16 | hub u8 | seq u32 | first u16 | n u16 | counts n×u32 | fletcher16 u16`,
+    /// all big-endian.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(11 + 4 * self.counts.len() + 2);
+        out.extend_from_slice(&HUB_MAGIC.to_be_bytes());
+        out.push(self.hub);
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+        out.extend_from_slice(&self.first_monitor.to_be_bytes());
+        out.extend_from_slice(&(self.counts.len() as u16).to_be_bytes());
+        for c in &self.counts {
+            out.extend_from_slice(&c.to_be_bytes());
+        }
+        let ck = fletcher16(&out);
+        out.extend_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Decodes and verifies one packet.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < 13 {
+            return Err(DecodeError::Truncated);
+        }
+        let magic = u16::from_be_bytes([buf[0], buf[1]]);
+        if magic != HUB_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let hub = buf[2];
+        if usize::from(hub) >= N_HUBS {
+            return Err(DecodeError::BadHub);
+        }
+        let sequence = u32::from_be_bytes([buf[3], buf[4], buf[5], buf[6]]);
+        let first_monitor = u16::from_be_bytes([buf[7], buf[8]]);
+        let n = usize::from(u16::from_be_bytes([buf[9], buf[10]]));
+        let expect_len = 11 + 4 * n + 2;
+        if buf.len() != expect_len {
+            return Err(DecodeError::BadLength);
+        }
+        let body = &buf[..expect_len - 2];
+        let ck = u16::from_be_bytes([buf[expect_len - 2], buf[expect_len - 1]]);
+        if fletcher16(body) != ck {
+            return Err(DecodeError::BadChecksum);
+        }
+        let counts = (0..n)
+            .map(|i| {
+                let o = 11 + 4 * i;
+                u32::from_be_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]])
+            })
+            .collect();
+        Ok(Self {
+            hub,
+            sequence,
+            first_monitor,
+            counts,
+        })
+    }
+}
+
+/// Splits a 260-reading frame into the 7 hub packets for `sequence`.
+///
+/// # Panics
+/// Panics unless exactly [`N_BLM`] readings are provided.
+#[must_use]
+pub fn split_frame(readings: &[f64], sequence: u32) -> Vec<HubPacket> {
+    assert_eq!(readings.len(), N_BLM);
+    (0..N_HUBS)
+        .map(|h| {
+            let (start, end) = hub_span(h);
+            HubPacket {
+                hub: h as u8,
+                sequence,
+                first_monitor: start as u16,
+                counts: readings[start..end]
+                    .iter()
+                    .map(|&x| x.round().clamp(0.0, f64::from(u32::MAX)) as u32)
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Reassembles a frame from hub packets; all 7 hubs of the same sequence
+/// must be present (any order). Returns the readings in counts.
+pub fn assemble_frame(packets: &[HubPacket]) -> Result<Vec<f64>, AssembleError> {
+    if packets.len() != N_HUBS {
+        return Err(AssembleError::MissingHubs);
+    }
+    let seq = packets[0].sequence;
+    let mut readings = vec![f64::NAN; N_BLM];
+    let mut seen = [false; N_HUBS];
+    for p in packets {
+        if p.sequence != seq {
+            return Err(AssembleError::MixedSequences);
+        }
+        let h = usize::from(p.hub);
+        if seen[h] {
+            return Err(AssembleError::DuplicateHub);
+        }
+        seen[h] = true;
+        let (start, end) = hub_span(h);
+        if usize::from(p.first_monitor) != start || p.counts.len() != end - start {
+            return Err(AssembleError::SpanMismatch);
+        }
+        for (i, &c) in p.counts.iter().enumerate() {
+            readings[start + i] = f64::from(c);
+        }
+    }
+    Ok(readings)
+}
+
+/// Frame assembly errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssembleError {
+    /// Fewer or more than 7 packets.
+    MissingHubs,
+    /// Packets from different 3 ms ticks.
+    MixedSequences,
+    /// The same hub appeared twice.
+    DuplicateHub,
+    /// A packet's monitor span disagrees with the hub map.
+    SpanMismatch,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_all_monitors_disjointly() {
+        let mut covered = vec![false; N_BLM];
+        for h in 0..N_HUBS {
+            let (s, e) = hub_span(h);
+            for (j, slot) in covered.iter_mut().enumerate().take(e).skip(s) {
+                assert!(!*slot, "monitor {j} covered twice");
+                *slot = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = HubPacket {
+            hub: 3,
+            sequence: 123_456,
+            first_monitor: 112,
+            counts: vec![111_000, 112_345, 109_999],
+        };
+        let bytes = p.encode();
+        assert_eq!(HubPacket::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let p = HubPacket {
+            hub: 0,
+            sequence: 7,
+            first_monitor: 0,
+            counts: vec![1, 2, 3, 4],
+        };
+        let mut bytes = p.encode();
+        bytes[15] ^= 0x40;
+        assert_eq!(HubPacket::decode(&bytes), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn truncation_and_magic_detected() {
+        let p = HubPacket {
+            hub: 0,
+            sequence: 1,
+            first_monitor: 0,
+            counts: vec![5],
+        };
+        let bytes = p.encode();
+        assert_eq!(HubPacket::decode(&bytes[..5]), Err(DecodeError::Truncated));
+        let mut bad = bytes.clone();
+        bad[0] = 0;
+        assert_eq!(HubPacket::decode(&bad), Err(DecodeError::BadMagic));
+        let mut short = bytes;
+        short.pop();
+        assert_eq!(HubPacket::decode(&short), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn split_assemble_roundtrip() {
+        let readings: Vec<f64> = (0..N_BLM).map(|j| 110_000.0 + j as f64).collect();
+        let packets = split_frame(&readings, 99);
+        assert_eq!(packets.len(), N_HUBS);
+        let back = assemble_frame(&packets).unwrap();
+        assert_eq!(back, readings);
+    }
+
+    #[test]
+    fn assemble_rejects_mixed_sequences() {
+        let readings = vec![1.0; N_BLM];
+        let mut packets = split_frame(&readings, 1);
+        packets[2].sequence = 2;
+        assert_eq!(assemble_frame(&packets), Err(AssembleError::MixedSequences));
+    }
+
+    #[test]
+    fn assemble_rejects_duplicates() {
+        let readings = vec![1.0; N_BLM];
+        let mut packets = split_frame(&readings, 1);
+        packets[6] = packets[0].clone();
+        assert_eq!(assemble_frame(&packets), Err(AssembleError::DuplicateHub));
+    }
+
+    #[test]
+    fn fletcher_known_value() {
+        // Fletcher-16 of "abcde" is 0xC8F0.
+        assert_eq!(fletcher16(b"abcde"), 0xC8F0);
+    }
+}

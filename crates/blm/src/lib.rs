@@ -1,0 +1,54 @@
+//! `reads-blm` — the beam-loss de-blending workload.
+//!
+//! The paper's central node consumes 260 Beam Loss Monitor (BLM) readings
+//! every 3 ms from the joint Main Injector (MI) / Recycler Ring (RR) tunnel
+//! and must attribute the loss seen by each monitor to one of the two
+//! machines (the "de-blending" task; Fig. 1, Sec. I). Fermilab's sensor data
+//! is not public, so this crate implements a physics-motivated synthetic
+//! equivalent (DESIGN.md §1):
+//!
+//! * [`geometry`] — the tunnel: 260 BLMs with per-machine coupling factors
+//!   (MI and RR share the tunnel at different elevations, so each monitor
+//!   sees both machines with a monitor-specific gain).
+//! * [`events`] — localized loss events per machine with Gaussian spatial
+//!   spread along the tunnel.
+//! * [`frame`] — blended, noisy monitor readings on the raw digitizer scale
+//!   (baseline ≈ 105,000–120,000 counts, exactly the magnitude range the
+//!   paper quotes in Sec. IV-D) plus the per-monitor de-blending ground
+//!   truth.
+//! * [`dataset`] — standardization (the paper's "standardize before
+//!   training" fix) and conversion to `reads-nn` training datasets for both
+//!   the U-Net and the MLP layouts.
+//! * [`hubs`] — the 7 BLM hub readout that frames 260 readings into the
+//!   Ethernet packets the central node receives (Step 0 of Fig. 2).
+//! * [`acnet`] — the ACNET-bound output frame with the trip decision
+//!   (Step 9 of Fig. 2).
+//!
+//! The generator is tuned so the *output* statistics match what the paper
+//! reports for its production model: the average model output is ≈ 0.17 for
+//! MI and ≈ 0.42 for RR (Sec. V) — RR is responsible for most losses, which
+//! is what makes the max-abs-based quantization favour RR accuracy over MI.
+
+#![warn(missing_docs)]
+
+pub mod acnet;
+pub mod dataset;
+pub mod events;
+pub mod frame;
+pub mod geometry;
+pub mod hubs;
+pub mod replay;
+pub mod scenarios;
+
+pub use dataset::{build_mlp_dataset, build_unet_dataset, Standardizer};
+pub use events::{LossEvent, Machine};
+pub use frame::{DeblendSample, FrameGenerator, WorkloadConfig};
+pub use geometry::Tunnel;
+pub use replay::{CorrelatedStream, ReplayConfig};
+pub use scenarios::Scenario;
+
+/// Number of beam loss monitors (matches `reads_nn::models::N_BLM`).
+pub const N_BLM: usize = 260;
+
+/// The digitizer poll period: one frame every 3 ms (Sec. I).
+pub const FRAME_PERIOD_MS: f64 = 3.0;

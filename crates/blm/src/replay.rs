@@ -1,0 +1,244 @@
+//! Time-correlated frame streams.
+//!
+//! [`crate::FrameGenerator`] draws every 3 ms frame independently — right
+//! for training-set generation, wrong for the *control* story: a real loss
+//! episode persists across many digitizer frames (a scraping bump lasts
+//! tens of milliseconds), which is exactly why tripping the lossy machine
+//! within 3 ms matters. [`CorrelatedStream`] evolves a population of loss
+//! episodes over frames: births (Poisson), exponential lifetimes, AR(1)
+//! amplitude breathing and slow drift in position — so consecutive frames
+//! see the same episodes and the controller's trip decisions track them.
+
+use crate::events::{LossEvent, Machine};
+use crate::frame::{DeblendSample, FrameGenerator, WorkloadConfig};
+use reads_sim::dist::Sample;
+use reads_sim::{LogNormal, Poisson, Rng};
+use serde::{Deserialize, Serialize};
+
+/// Episode-dynamics parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Mean episode births per frame, MI.
+    pub mi_births_per_frame: f64,
+    /// Mean episode births per frame, RR.
+    pub rr_births_per_frame: f64,
+    /// Mean episode lifetime in frames (exponential).
+    pub mean_lifetime_frames: f64,
+    /// AR(1) coefficient for log-amplitude breathing (0 = white, →1 =
+    /// frozen).
+    pub amplitude_ar1: f64,
+    /// Per-frame log-amplitude innovation sigma.
+    pub amplitude_sigma: f64,
+    /// Per-frame positional drift sigma, monitor units.
+    pub drift_sigma: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            // Birth rate × lifetime ≈ the steady-state event counts of the
+            // independent workload (7 MI / 14 RR).
+            mi_births_per_frame: 0.35,
+            rr_births_per_frame: 0.7,
+            mean_lifetime_frames: 20.0,
+            amplitude_ar1: 0.9,
+            amplitude_sigma: 0.15,
+            drift_sigma: 0.2,
+        }
+    }
+}
+
+/// A live loss episode.
+#[derive(Debug, Clone)]
+struct Episode {
+    event: LossEvent,
+    /// Nominal (birth) log-amplitude the AR(1) process reverts to.
+    log_amp_nominal: f64,
+    /// Current deviation from nominal (AR(1) state).
+    log_amp_dev: f64,
+    frames_left: u64,
+}
+
+/// A stateful stream of correlated frames.
+#[derive(Debug, Clone)]
+pub struct CorrelatedStream {
+    generator: FrameGenerator,
+    config: ReplayConfig,
+    episodes: Vec<Episode>,
+    rng: Rng,
+    frame_index: u64,
+}
+
+impl CorrelatedStream {
+    /// New stream over the given tunnel workload and episode dynamics.
+    #[must_use]
+    pub fn new(seed: u64, workload: WorkloadConfig, config: ReplayConfig) -> Self {
+        Self {
+            generator: FrameGenerator::new(seed, workload),
+            config,
+            episodes: Vec::new(),
+            rng: Rng::seed_from_u64(seed ^ 0xC0_88E1),
+            frame_index: 0,
+        }
+    }
+
+    /// Default dynamics over the default workload.
+    #[must_use]
+    pub fn with_defaults(seed: u64) -> Self {
+        Self::new(seed, WorkloadConfig::default(), ReplayConfig::default())
+    }
+
+    /// Number of currently live episodes.
+    #[must_use]
+    pub fn live_episodes(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Frames produced so far.
+    #[must_use]
+    pub fn frames_produced(&self) -> u64 {
+        self.frame_index
+    }
+
+    fn spawn(&mut self, machine: Machine) {
+        // Amplitude/width priors shared with the independent generator's
+        // workload parameters.
+        let cfg = self.generator.config();
+        let (amp, _) = match machine {
+            Machine::MainInjector => (cfg.mi_amplitude, cfg.mi_events_per_frame),
+            Machine::Recycler => (cfg.rr_amplitude, cfg.rr_events_per_frame),
+        };
+        let amp_dist = LogNormal::from_mean_std(amp, amp * cfg.amplitude_spread);
+        let amplitude = amp_dist.sample(&mut self.rng);
+        let width = self
+            .rng
+            .range_f64(cfg.width_range.0, cfg.width_range.1);
+        let lifetime = (-(1.0 - self.rng.next_f64()).ln() * self.config.mean_lifetime_frames)
+            .ceil()
+            .max(1.0) as u64;
+        self.episodes.push(Episode {
+            event: LossEvent {
+                machine,
+                location: self.rng.range_f64(0.0, crate::N_BLM as f64),
+                amplitude,
+                width,
+            },
+            log_amp_nominal: amplitude.ln(),
+            log_amp_dev: 0.0,
+            frames_left: lifetime,
+        });
+    }
+
+    /// Advances one 3 ms tick and returns the frame.
+    pub fn next_frame(&mut self) -> DeblendSample {
+        // Births.
+        for (machine, rate) in [
+            (Machine::MainInjector, self.config.mi_births_per_frame),
+            (Machine::Recycler, self.config.rr_births_per_frame),
+        ] {
+            if rate > 0.0 {
+                let births = Poisson::new(rate.min(30.0)).draw(&mut self.rng);
+                for _ in 0..births {
+                    self.spawn(machine);
+                }
+            }
+        }
+        // Evolution + deaths.
+        let ar1 = self.config.amplitude_ar1;
+        let sig = self.config.amplitude_sigma;
+        let drift = self.config.drift_sigma;
+        let n_blm = crate::N_BLM as f64;
+        for ep in &mut self.episodes {
+            ep.log_amp_dev = ar1 * ep.log_amp_dev + sig * self.rng.next_gaussian();
+            ep.event.amplitude = (ep.log_amp_nominal + ep.log_amp_dev).exp();
+            ep.event.location =
+                (ep.event.location + drift * self.rng.next_gaussian()).rem_euclid(n_blm);
+            ep.frames_left -= 1;
+        }
+        self.episodes.retain(|e| e.frames_left > 0);
+
+        let events: Vec<LossEvent> = self.episodes.iter().map(|e| e.event).collect();
+        self.frame_index += 1;
+        self.generator.render(&events, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_frames_are_correlated() {
+        let mut stream = CorrelatedStream::with_defaults(1);
+        // Warm up to steady state.
+        for _ in 0..100 {
+            let _ = stream.next_frame();
+        }
+        let a = stream.next_frame();
+        let b = stream.next_frame();
+        // The independent generator's consecutive frames share no signal;
+        // the correlated stream's do. Compare attribution overlap.
+        let dot = |x: &[f64], y: &[f64]| -> f64 {
+            let nx = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let ny = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if nx == 0.0 || ny == 0.0 {
+                return 0.0;
+            }
+            x.iter().zip(y).map(|(a, b)| a * b).sum::<f64>() / (nx * ny)
+        };
+        let correlated = dot(&a.frac_rr, &b.frac_rr);
+        assert!(correlated > 0.7, "consecutive-frame cosine {correlated}");
+
+        let gen = FrameGenerator::with_defaults(1);
+        let (x, y) = (gen.frame(0), gen.frame(1));
+        let independent = dot(&x.frac_rr, &y.frac_rr);
+        assert!(
+            correlated > independent + 0.2,
+            "correlated {correlated} vs independent {independent}"
+        );
+    }
+
+    #[test]
+    fn steady_state_population_matches_birth_death_balance() {
+        let mut stream = CorrelatedStream::with_defaults(2);
+        for _ in 0..200 {
+            let _ = stream.next_frame();
+        }
+        // Expected live episodes = (births/frame) × lifetime ≈ 21.
+        let mut total = 0usize;
+        for _ in 0..100 {
+            let _ = stream.next_frame();
+            total += stream.live_episodes();
+        }
+        let mean = total as f64 / 100.0;
+        assert!((12.0..32.0).contains(&mean), "steady-state population {mean}");
+    }
+
+    #[test]
+    fn episodes_die_out_without_births() {
+        let cfg = ReplayConfig {
+            mi_births_per_frame: 0.0,
+            rr_births_per_frame: 0.0,
+            mean_lifetime_frames: 5.0,
+            ..ReplayConfig::default()
+        };
+        let mut stream = CorrelatedStream::new(3, WorkloadConfig::default(), cfg);
+        // Seed a few episodes by hand via a births-enabled warmup config is
+        // not possible; instead verify the stream stays quiet.
+        for _ in 0..10 {
+            let f = stream.next_frame();
+            let mass: f64 = f.frac_mi.iter().chain(&f.frac_rr).sum();
+            assert!(mass < 1.0, "no-birth stream must stay quiet: {mass}");
+        }
+        assert_eq!(stream.live_episodes(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = CorrelatedStream::with_defaults(7);
+        let mut b = CorrelatedStream::with_defaults(7);
+        for _ in 0..20 {
+            assert_eq!(a.next_frame().readings, b.next_frame().readings);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Named operating scenarios of the accelerator complex.
+//!
+//! The deployed controller sees very different beam conditions over a
+//! store: quiet coasting beam, injection transients, slow-extraction spills
+//! and (rarely) abort-level losses. These presets parameterize the
+//! [`crate::WorkloadConfig`] generator for each regime, giving the
+//! examples, tests and robustness studies realistic non-stationary inputs
+//! beyond the default mixed workload the models are trained on.
+
+use crate::frame::WorkloadConfig;
+use serde::{Deserialize, Serialize};
+
+/// A named beam condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// The training distribution: both machines active, RR dominant.
+    MixedOperations,
+    /// Coasting beam: almost no losses anywhere.
+    QuietStore,
+    /// MI injection transient: frequent, strong, localized MI losses.
+    MiInjection,
+    /// RR slow-extraction spill: broad, persistent RR losses.
+    RrSpill,
+    /// Abort-level event: a single catastrophic loss (the condition the
+    /// 3 ms trip loop exists to catch).
+    AbortLevel,
+}
+
+impl Scenario {
+    /// All scenarios.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::MixedOperations,
+        Scenario::QuietStore,
+        Scenario::MiInjection,
+        Scenario::RrSpill,
+        Scenario::AbortLevel,
+    ];
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::MixedOperations => "mixed operations",
+            Scenario::QuietStore => "quiet store",
+            Scenario::MiInjection => "MI injection transient",
+            Scenario::RrSpill => "RR slow-extraction spill",
+            Scenario::AbortLevel => "abort-level loss",
+        }
+    }
+
+    /// The workload parameters of this regime.
+    #[must_use]
+    pub fn workload(&self) -> WorkloadConfig {
+        let base = WorkloadConfig::default();
+        match self {
+            Scenario::MixedOperations => base,
+            Scenario::QuietStore => WorkloadConfig {
+                mi_events_per_frame: 0.3,
+                rr_events_per_frame: 0.5,
+                mi_amplitude: 800.0,
+                rr_amplitude: 900.0,
+                ..base
+            },
+            Scenario::MiInjection => WorkloadConfig {
+                mi_events_per_frame: 18.0,
+                rr_events_per_frame: 3.0,
+                mi_amplitude: 5_000.0,
+                rr_amplitude: 1_500.0,
+                width_range: (1.5, 3.0),
+                ..base
+            },
+            Scenario::RrSpill => WorkloadConfig {
+                mi_events_per_frame: 1.0,
+                rr_events_per_frame: 25.0,
+                rr_amplitude: 5_500.0,
+                width_range: (4.0, 9.0),
+                ..base
+            },
+            Scenario::AbortLevel => WorkloadConfig {
+                mi_events_per_frame: 1.0,
+                rr_events_per_frame: 2.0,
+                // One event class, but enormous: tens of thousands of
+                // counts over a wide stretch of the ring.
+                mi_amplitude: 60_000.0,
+                rr_amplitude: 2_000.0,
+                amplitude_spread: 0.3,
+                width_range: (8.0, 14.0),
+                ..base
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameGenerator;
+    use crate::N_BLM;
+
+    fn mean_fracs(s: Scenario) -> (f64, f64) {
+        let gen = FrameGenerator::new(9, s.workload());
+        let frames = gen.batch(0, 120);
+        let n = (120 * N_BLM) as f64;
+        (
+            frames.iter().flat_map(|f| &f.frac_mi).sum::<f64>() / n,
+            frames.iter().flat_map(|f| &f.frac_rr).sum::<f64>() / n,
+        )
+    }
+
+    #[test]
+    fn quiet_store_is_quiet() {
+        let (mi, rr) = mean_fracs(Scenario::QuietStore);
+        assert!(mi + rr < 0.08, "quiet store attribution {mi}+{rr}");
+    }
+
+    #[test]
+    fn injection_flips_dominance_to_mi() {
+        let (mi, rr) = mean_fracs(Scenario::MiInjection);
+        assert!(mi > 2.0 * rr, "MI must dominate injection: {mi} vs {rr}");
+    }
+
+    #[test]
+    fn spill_is_rr_dominated_and_broad() {
+        let (mi, rr) = mean_fracs(Scenario::RrSpill);
+        assert!(rr > 5.0 * mi, "RR must dominate spill: {rr} vs {mi}");
+        assert!(rr > 0.4, "spill covers much of the ring: {rr}");
+    }
+
+    #[test]
+    fn abort_level_saturates_locally() {
+        let gen = FrameGenerator::new(9, Scenario::AbortLevel.workload());
+        let f = gen.frame(0);
+        // Somewhere on the ring the loss is near-total MI attribution.
+        let peak = f
+            .frac_mi
+            .iter()
+            .fold(0.0f64, |m, &x| m.max(x));
+        assert!(peak > 0.9, "abort peak MI fraction {peak}");
+        // And the readings there tower over the baseline.
+        let max_reading = f.readings.iter().fold(0.0f64, |m, &x| m.max(x));
+        assert!(max_reading > 140_000.0, "abort reading {max_reading}");
+    }
+
+    #[test]
+    fn all_scenarios_generate_valid_frames() {
+        for s in Scenario::ALL {
+            let gen = FrameGenerator::new(3, s.workload());
+            let f = gen.frame(1);
+            assert_eq!(f.readings.len(), N_BLM, "{}", s.name());
+            for j in 0..N_BLM {
+                assert!(f.frac_mi[j] + f.frac_rr[j] <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

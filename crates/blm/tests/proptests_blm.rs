@@ -1,0 +1,64 @@
+//! Property tests of the workload domain.
+
+use proptest::prelude::*;
+use reads_blm::scenarios::Scenario;
+use reads_blm::{CorrelatedStream, FrameGenerator, LossEvent, Machine, Standardizer};
+
+proptest! {
+    /// Ground-truth fractions are a valid sub-probability pair for any
+    /// frame of any scenario.
+    #[test]
+    fn fractions_valid_everywhere(seed in 0u64..200, idx in 0u64..1000, scn in 0usize..5) {
+        let gen = FrameGenerator::new(seed, Scenario::ALL[scn].workload());
+        let f = gen.frame(idx);
+        for j in 0..260 {
+            prop_assert!((0.0..=1.0).contains(&f.frac_mi[j]));
+            prop_assert!((0.0..=1.0).contains(&f.frac_rr[j]));
+            prop_assert!(f.frac_mi[j] + f.frac_rr[j] <= 1.0 + 1e-12);
+        }
+        prop_assert!(f.readings.iter().all(|r| r.is_finite() && *r > 0.0));
+    }
+
+    /// Event contributions respect ring symmetry: a monitor d away in
+    /// either direction sees the same contribution.
+    #[test]
+    fn event_ring_symmetry(loc in 0usize..260, d in 1usize..100,
+                           amp in 1.0f64..1e5, width in 0.5f64..10.0) {
+        let e = LossEvent {
+            machine: Machine::MainInjector,
+            location: loc as f64,
+            amplitude: amp,
+            width,
+        };
+        let left = (loc + 260 - d) % 260;
+        let right = (loc + d) % 260;
+        let (a, b) = (e.contribution_at(left), e.contribution_at(right));
+        prop_assert!((a - b).abs() <= 1e-9 * amp, "{a} vs {b}");
+        // And the peak is at the centre.
+        prop_assert!(e.contribution_at(loc) >= a);
+    }
+
+    /// Standardization is exactly invertible.
+    #[test]
+    fn standardizer_invertible(mean in 1e3f64..1e6, std in 1.0f64..1e5,
+                               x in -1e7f64..1e7) {
+        let s = Standardizer { mean, std };
+        let z = s.apply(x);
+        let back = z * std + mean;
+        prop_assert!((back - x).abs() <= 1e-6 * (1.0 + x.abs()));
+    }
+
+    /// The correlated stream never leaks episodes: the live population is
+    /// bounded under any dynamics within the config's ranges.
+    #[test]
+    fn correlated_stream_population_bounded(seed in 0u64..50, ticks in 1usize..120) {
+        let mut stream = CorrelatedStream::with_defaults(seed);
+        for _ in 0..ticks {
+            let f = stream.next_frame();
+            prop_assert_eq!(f.readings.len(), 260);
+        }
+        // Births ~1/frame, lifetime ~20 frames: population far below 200.
+        prop_assert!(stream.live_episodes() < 200, "{}", stream.live_episodes());
+        prop_assert_eq!(stream.frames_produced(), ticks as u64);
+    }
+}

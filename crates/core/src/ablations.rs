@@ -1,0 +1,238 @@
+//! Ablation studies of the design choices DESIGN.md §6 calls out.
+//!
+//! Each function isolates one decision of the paper and quantifies its
+//! effect with everything else held fixed: the overflow mode of the
+//! quantizers, the IP interface + transfer mechanism, and the workload
+//! regime the deployed model faces.
+
+use crate::experiments::layout_of;
+use rayon::prelude::*;
+use reads_blm::{FrameGenerator, Machine, Scenario, Standardizer};
+use reads_fixed::Overflow;
+use reads_hls4ml::{convert, HlsConfig, ModelProfile};
+use reads_nn::metrics::{machine_accuracy, MachineAccuracy, PAPER_TOLERANCE};
+use reads_nn::{Model, ModelSpec};
+use reads_soc::bridge::{AvalonBridge, DmaEngine};
+use serde::Serialize;
+
+/// Wrap-vs-saturate: the same firmware with the only difference being the
+/// overflow behaviour of every quantizer.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverflowAblation {
+    /// Accuracy under `AC_WRAP` (the hls4ml default the paper used).
+    pub wrap: MachineAccuracy,
+    /// Accuracy under `AC_SAT`.
+    pub saturate: MachineAccuracy,
+}
+
+/// Runs the overflow-mode ablation at a given layer-based width.
+#[must_use]
+pub fn overflow_ablation(
+    model: &Model,
+    spec: ModelSpec,
+    profile: &ModelProfile,
+    eval_inputs: &[Vec<f64>],
+    width: u32,
+) -> OverflowAblation {
+    let float_out: Vec<Vec<f64>> = eval_inputs.par_iter().map(|x| model.predict(x)).collect();
+    let run = |overflow: Overflow| {
+        let mut cfg = HlsConfig::with_strategy(reads_hls4ml::PrecisionStrategy::LayerBased {
+            width,
+            int_margin: 0,
+        });
+        cfg.overflow = overflow;
+        let fw = convert(model, profile, &cfg);
+        let (q, _) = fw.infer_batch(eval_inputs);
+        machine_accuracy(&float_out, &q, layout_of(spec), PAPER_TOLERANCE)
+    };
+    OverflowAblation {
+        wrap: run(Overflow::Wrap),
+        saturate: run(Overflow::Saturate),
+    }
+}
+
+/// One row of the DMA-vs-bridge transfer study.
+#[derive(Debug, Clone, Serialize)]
+pub struct TransferRow {
+    /// Words per round trip.
+    pub words: usize,
+    /// MM bridge round-trip time, µs.
+    pub mm_us: f64,
+    /// DMA round-trip time, µs.
+    pub dma_us: f64,
+}
+
+/// The Sec. II / IV-D transfer argument as a table: round-trip time for the
+/// MM bridge vs. DMA over a sweep of transfer sizes, plus the crossover.
+#[must_use]
+pub fn transfer_study(sizes: &[usize]) -> (Vec<TransferRow>, usize) {
+    let bridge = AvalonBridge::default();
+    let dma = DmaEngine::default();
+    let rows = sizes
+        .iter()
+        .map(|&words| TransferRow {
+            words,
+            mm_us: (bridge.write_time(words) + bridge.read_time(words)).as_micros_f64(),
+            dma_us: 2.0 * dma.transfer_time(words).as_micros_f64(),
+        })
+        .collect();
+    (rows, dma.crossover_words(&bridge))
+}
+
+/// Robustness of the deployed model across beam scenarios.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioRow {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Fraction of frames whose trip decision matches the ground-truth
+    /// dominant machine (quiet frames count as correct when the system
+    /// issues no trip).
+    pub decision_accuracy: f64,
+    /// Fraction of frames with any trip issued.
+    pub trip_rate: f64,
+}
+
+/// Evaluates trip-decision quality of a trained U-Net across scenarios it
+/// was never trained on (the model trains on [`Scenario::MixedOperations`]).
+///
+/// # Panics
+/// Panics if the model is not the 260-input U-Net shape.
+#[must_use]
+pub fn scenario_robustness(
+    model: &Model,
+    standardizer: &Standardizer,
+    frames_per_scenario: usize,
+    seed: u64,
+) -> Vec<ScenarioRow> {
+    assert_eq!(model.input_shape(), (260, 1), "scenario study needs the U-Net");
+    // Ground-truth trip threshold: total attribution mass.
+    const TRIP_MASS: f64 = 5.0;
+
+    // Operational calibration (what a commissioning shift would do): the
+    // model outputs carry its training prior even on loss-free beam, so
+    // the trip thresholds are set from quiet-store frames — mean predicted
+    // mass plus 4 sigma, per machine.
+    let (base_mi, base_rr) = {
+        let gen = FrameGenerator::new(seed ^ 0x0B1E7, Scenario::QuietStore.workload());
+        let frames = gen.batch(50_000, 60);
+        let masses: Vec<(f64, f64)> = frames
+            .par_iter()
+            .map(|f| {
+                let y = model.predict(&standardizer.apply_frame(&f.readings));
+                let (mut mi, mut rr) = (0.0, 0.0);
+                for j in 0..260 {
+                    mi += y[2 * j];
+                    rr += y[2 * j + 1];
+                }
+                (mi, rr)
+            })
+            .collect();
+        let stat = |f: fn(&(f64, f64)) -> f64| {
+            let n = masses.len() as f64;
+            let mean = masses.iter().map(f).sum::<f64>() / n;
+            let var = masses.iter().map(|m| (f(m) - mean).powi(2)).sum::<f64>() / n;
+            mean + 4.0 * var.sqrt()
+        };
+        (stat(|m| m.0), stat(|m| m.1))
+    };
+
+    Scenario::ALL
+        .iter()
+        .map(|&s| {
+            let gen = FrameGenerator::new(seed ^ s as u64, s.workload());
+            let frames = gen.batch(0, frames_per_scenario);
+            let results: Vec<(bool, bool)> = frames
+                .par_iter()
+                .map(|f| {
+                    let y = model.predict(&standardizer.apply_frame(&f.readings));
+                    let (mut p_mi, mut p_rr) = (0.0, 0.0);
+                    for j in 0..260 {
+                        p_mi += y[2 * j];
+                        p_rr += y[2 * j + 1];
+                    }
+                    let (e_mi, e_rr) = (p_mi - base_mi, p_rr - base_rr);
+                    let predicted = if e_mi.max(e_rr) <= 0.0 {
+                        None
+                    } else if e_mi >= e_rr {
+                        Some(Machine::MainInjector)
+                    } else {
+                        Some(Machine::Recycler)
+                    };
+                    let (t_mi, t_rr) = (
+                        f.frac_mi.iter().sum::<f64>(),
+                        f.frac_rr.iter().sum::<f64>(),
+                    );
+                    let truth = if t_mi.max(t_rr) < TRIP_MASS {
+                        None
+                    } else if t_mi >= t_rr {
+                        Some(Machine::MainInjector)
+                    } else {
+                        Some(Machine::Recycler)
+                    };
+                    (predicted == truth, predicted.is_some())
+                })
+                .collect();
+            let n = results.len() as f64;
+            ScenarioRow {
+                scenario: s.name(),
+                decision_accuracy: results.iter().filter(|(ok, _)| *ok).count() as f64 / n,
+                trip_rate: results.iter().filter(|(_, trip)| *trip).count() as f64 / n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trained::{TrainedBundle, TrainingTier};
+    use reads_hls4ml::profile_model;
+
+    #[test]
+    fn saturate_never_worse_than_wrap() {
+        // Saturation bounds the damage of an overflow; wrap aliases across
+        // the range. At a deliberately tight width the gap shows.
+        let bundle = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 51);
+        let calib = bundle.calibration_inputs(16);
+        let profile = profile_model(&bundle.model, &calib);
+        let eval = bundle.eval_frames(24, 0).inputs;
+        let ab = overflow_ablation(&bundle.model, ModelSpec::Mlp, &profile, &eval, 10);
+        assert!(
+            ab.saturate.outliers <= ab.wrap.outliers,
+            "saturate {} vs wrap {}",
+            ab.saturate.outliers,
+            ab.wrap.outliers
+        );
+    }
+
+    #[test]
+    fn transfer_study_shows_the_crossover() {
+        let sizes = [130, 390, 1_000, 10_000, 100_000];
+        let (rows, crossover) = transfer_study(&sizes);
+        // MM wins at the frame size…
+        assert!(rows[0].mm_us < rows[0].dma_us);
+        // …DMA wins for bulk.
+        let bulk = rows.last().expect("rows");
+        assert!(bulk.dma_us < bulk.mm_us);
+        // And the crossover sits in between.
+        assert!(crossover > 390 && crossover < 100_000, "{crossover}");
+    }
+
+    #[test]
+    fn scenario_robustness_shape() {
+        let bundle = TrainedBundle::get_or_train(ModelSpec::UNet, TrainingTier::Fast, 51);
+        let rows = scenario_robustness(&bundle.model, &bundle.standardizer, 40, 3);
+        assert_eq!(rows.len(), Scenario::ALL.len());
+        let by = |name: &str| {
+            rows.iter()
+                .find(|r| r.scenario == name)
+                .expect("row")
+        };
+        // Quiet store: essentially no trips.
+        assert!(by("quiet store").trip_rate < 0.2);
+        // The strongly one-sided scenarios must be decided well even
+        // out-of-distribution.
+        assert!(by("RR slow-extraction spill").decision_accuracy > 0.8);
+        assert!(by("abort-level loss").trip_rate > 0.5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Monte-Carlo latency campaigns (Fig. 5c) and throughput.
+//!
+//! The paper measures the Steps 1–8 latency over many frames and reports
+//! the distribution (Fig. 5c), the mean (1.74 ms U-Net / 0.31 ms MLP), the
+//! extremes (1.73–2.27 / 0.26–0.91 ms) and "99.97 % of the cases the
+//! latency is below 1.9 ms". The campaign replays that measurement: many
+//! frames through the SoC simulator, rayon-parallel across independent
+//! replicas (each replica forks its own node with a derived seed, so the
+//! result is deterministic regardless of thread scheduling).
+
+use rayon::prelude::*;
+use reads_hls4ml::Firmware;
+use reads_soc::hps::HpsModel;
+use reads_soc::node::CentralNodeSim;
+use reads_sim::{Histogram, Quantiles, StreamingStats};
+use serde::Serialize;
+
+/// Campaign output.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyCampaign {
+    /// All frame latencies, milliseconds (in replica-then-frame order).
+    pub samples_ms: Vec<f64>,
+    /// Streaming statistics over the samples.
+    pub mean_ms: f64,
+    /// Minimum observed.
+    pub min_ms: f64,
+    /// Maximum observed.
+    pub max_ms: f64,
+    /// Fraction of frames preempted by the scheduler.
+    pub preempted_fraction: f64,
+    /// Frames meeting the 3 ms deployment deadline.
+    pub deadline_met_fraction: f64,
+}
+
+impl LatencyCampaign {
+    /// Exact empirical fraction of frames below `ms`.
+    #[must_use]
+    pub fn fraction_below(&self, ms: f64) -> f64 {
+        Quantiles::from_samples(self.samples_ms.clone()).fraction_below(ms)
+    }
+
+    /// Histogram over `[lo, hi)` with `bins` bins (the Fig. 5c plot).
+    #[must_use]
+    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Histogram {
+        let mut h = Histogram::new(lo, hi, bins);
+        for &s in &self.samples_ms {
+            h.push(s);
+        }
+        h
+    }
+
+    /// Sustained throughput if frames are processed back to back
+    /// (the paper's "575 fps" figure is 1 / mean latency).
+    #[must_use]
+    pub fn throughput_fps(&self) -> f64 {
+        1_000.0 / self.mean_ms
+    }
+}
+
+/// Runs `frames` frames of `input` through independent node replicas
+/// (`replicas` of them, frames split evenly). The same standardized input
+/// is reused — the latency path does not depend on data values, only on
+/// sampled software costs, exactly like the paper's repeated measurement.
+#[must_use]
+pub fn run_latency_campaign(
+    firmware: &Firmware,
+    hps: &HpsModel,
+    input: &[f64],
+    frames: usize,
+    replicas: usize,
+    seed: u64,
+) -> LatencyCampaign {
+    assert!(replicas > 0 && frames >= replicas);
+    let per_replica = frames / replicas;
+    let results: Vec<(Vec<f64>, u64, u64)> = (0..replicas)
+        .into_par_iter()
+        .map(|r| {
+            let mut node = CentralNodeSim::new(
+                firmware.clone(),
+                hps.clone(),
+                seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut samples = Vec::with_capacity(per_replica);
+            let mut preempted = 0u64;
+            let mut met = 0u64;
+            for _ in 0..per_replica {
+                let (_, t) = node.run_frame(input);
+                let ms = t.total.as_millis_f64();
+                samples.push(ms);
+                preempted += u64::from(t.preempted);
+                met += u64::from(ms <= 3.0);
+            }
+            (samples, preempted, met)
+        })
+        .collect();
+
+    let mut samples_ms = Vec::with_capacity(per_replica * replicas);
+    let mut stats = StreamingStats::new();
+    let mut preempted = 0u64;
+    let mut met = 0u64;
+    for (s, p, m) in results {
+        for &v in &s {
+            stats.push(v);
+        }
+        samples_ms.extend(s);
+        preempted += p;
+        met += m;
+    }
+    let n = samples_ms.len() as f64;
+    LatencyCampaign {
+        mean_ms: stats.mean(),
+        min_ms: stats.min(),
+        max_ms: stats.max(),
+        preempted_fraction: preempted as f64 / n,
+        deadline_met_fraction: met as f64 / n,
+        samples_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reads_hls4ml::{convert, profile_model, HlsConfig};
+    use reads_nn::models;
+
+    fn mlp_firmware() -> Firmware {
+        let m = models::reads_mlp(3);
+        let frames = vec![vec![0.2; 259]];
+        let p = profile_model(&m, &frames);
+        convert(&m, &p, &HlsConfig::paper_default())
+    }
+
+    #[test]
+    fn mlp_campaign_matches_paper_band() {
+        // Paper: MLP mean 0.31 ms, range 0.26–0.91 ms.
+        let fw = mlp_firmware();
+        let c = run_latency_campaign(&fw, &HpsModel::default(), &vec![0.2; 259], 4_000, 8, 1);
+        assert!(
+            (0.24..=0.38).contains(&c.mean_ms),
+            "MLP mean {} ms vs paper 0.31",
+            c.mean_ms
+        );
+        assert!(c.min_ms > 0.15 && c.min_ms < 0.32, "min {}", c.min_ms);
+        assert!(c.max_ms < 1.1, "max {}", c.max_ms);
+        assert_eq!(c.deadline_met_fraction, 1.0);
+    }
+
+    #[test]
+    fn campaign_deterministic_per_seed() {
+        let fw = mlp_firmware();
+        let a = run_latency_campaign(&fw, &HpsModel::default(), &vec![0.0; 259], 200, 4, 7);
+        let b = run_latency_campaign(&fw, &HpsModel::default(), &vec![0.0; 259], 200, 4, 7);
+        assert_eq!(a.samples_ms, b.samples_ms);
+    }
+
+    #[test]
+    fn histogram_and_quantiles_consistent() {
+        let fw = mlp_firmware();
+        let c = run_latency_campaign(&fw, &HpsModel::default(), &vec![0.0; 259], 1_000, 4, 9);
+        let h = c.histogram(0.0, 1.5, 30);
+        assert_eq!(h.total() as usize, c.samples_ms.len());
+        let below = c.fraction_below(c.mean_ms);
+        assert!((0.2..=0.8).contains(&below));
+        assert!(c.throughput_fps() > 1_000.0, "MLP >1k fps");
+    }
+}

@@ -1,0 +1,133 @@
+//! The ML/HLS co-design loop (Sec. IV-D).
+//!
+//! "We established an ML/HLS co-design methodology for resource
+//! optimization. Specifically, we used layer-based post-training
+//! quantization combined with reuse factor tuning to trade off accuracy and
+//! resource utilization." The loop below is that methodology: convert under
+//! a precision strategy, estimate resources, and while the design does not
+//! fit, raise the reuse factor of the layer holding the most parallel
+//! multipliers (halving its multiplier count), re-estimating each round.
+
+use reads_hls4ml::device::Device;
+use reads_hls4ml::latency::estimate_latency;
+use reads_hls4ml::resource::estimate_resources;
+use reads_hls4ml::{convert, BuildReport, Firmware, HlsConfig, ModelProfile};
+use reads_nn::Model;
+use serde::Serialize;
+
+/// Outcome of the co-design loop.
+#[derive(Debug, Clone, Serialize)]
+pub struct CodesignResult {
+    /// The final firmware.
+    pub firmware: Firmware,
+    /// Its build report.
+    pub report: BuildReport,
+    /// Reuse-raising iterations performed (0 = fitted immediately).
+    pub iterations: usize,
+    /// Whether the final design fits the device.
+    pub fits: bool,
+}
+
+/// Runs the co-design loop. Reuse factors are raised at most `max_iter`
+/// times; if the design still does not fit (e.g. the ⟨18,10⟩ strategy),
+/// the result is returned with `fits == false`, exactly like the paper's
+/// over-budget row in Table II.
+///
+/// # Panics
+/// Panics if the profile mismatches the model.
+#[must_use]
+pub fn codesign(
+    model: &Model,
+    profile: &ModelProfile,
+    mut config: HlsConfig,
+    device: &Device,
+    max_iter: usize,
+) -> CodesignResult {
+    let mut iterations = 0;
+    loop {
+        let firmware = convert(model, profile, &config);
+        let est = estimate_resources(&firmware);
+        if est.fits(device) || iterations >= max_iter {
+            let report = BuildReport::new(&firmware);
+            let fits = est.fits(device);
+            return CodesignResult {
+                firmware,
+                report,
+                iterations,
+                fits,
+            };
+        }
+        // Find the node with the most parallel multipliers and double its
+        // reuse factor (halving its multiplier count).
+        let lat = estimate_latency(&firmware);
+        let heaviest = lat
+            .nodes
+            .iter()
+            .max_by_key(|n| n.parallel_mults)
+            .expect("nonempty design");
+        let new_reuse = (heaviest.ii * 2).min(1 << 20) as u32;
+        config.reuse.overrides.push((heaviest.node, new_reuse));
+        iterations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reads_fixed::QFormat;
+    use reads_hls4ml::config::PrecisionStrategy;
+    use reads_hls4ml::{profile_model, ARRIA10_10AS066};
+    use reads_nn::models;
+
+    fn unet_profile() -> (Model, ModelProfile) {
+        let m = models::reads_unet(5);
+        let inputs: Vec<Vec<f64>> = (0..3)
+            .map(|f| {
+                (0..260)
+                    .map(|j| ((j + f * 17) as f64 * 0.11).sin() * 3.0)
+                    .collect()
+            })
+            .collect();
+        let p = profile_model(&m, &inputs);
+        (m, p)
+    }
+
+    #[test]
+    fn paper_config_fits_without_iteration() {
+        let (m, p) = unet_profile();
+        let r = codesign(&m, &p, HlsConfig::paper_default(), &ARRIA10_10AS066, 16);
+        assert!(r.fits);
+        assert_eq!(r.iterations, 0, "the paper's final config fits as-is");
+    }
+
+    #[test]
+    fn oversized_strategy_converges_by_raising_reuse() {
+        // A hypothetical smaller device: half the ALUTs. The loop must trade
+        // latency for resources until it fits.
+        let (m, p) = unet_profile();
+        let mut small = ARRIA10_10AS066;
+        small.aluts /= 2;
+        small.alms /= 2;
+        let base = codesign(&m, &p, HlsConfig::paper_default(), &ARRIA10_10AS066, 16);
+        let r = codesign(&m, &p, HlsConfig::paper_default(), &small, 64);
+        assert!(r.fits, "must converge on the smaller device");
+        assert!(r.iterations > 0);
+        assert!(
+            r.report.latency.total_cycles > base.report.latency.total_cycles,
+            "fitting a smaller device must cost latency"
+        );
+        assert!(r.report.resources.ip_aluts < base.report.resources.ip_aluts);
+    }
+
+    #[test]
+    fn impossible_strategy_reports_not_fitting() {
+        // ⟨18,10⟩ on the real device: the Table II over-budget row. ALUT
+        // demand is width-driven, which reuse cannot fix fast enough within
+        // a few iterations.
+        let (m, p) = unet_profile();
+        let cfg =
+            HlsConfig::with_strategy(PrecisionStrategy::Uniform(QFormat::signed(18, 10)));
+        let r = codesign(&m, &p, cfg, &ARRIA10_10AS066, 0);
+        assert!(!r.fits, "18-bit uniform must blow the ALUT budget");
+    }
+}

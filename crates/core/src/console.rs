@@ -1,0 +1,196 @@
+//! The operator console: the rolling status view a control-room shift sees.
+//!
+//! The deployed system reports into ACNET; operators watch aggregate trip
+//! rates and latency health. [`OperatorConsole`] accumulates those
+//! operational statistics from the frame stream — bounded memory (P²
+//! quantiles, no sample retention), so it can run for an entire store.
+
+use reads_blm::acnet::DeblendVerdict;
+use reads_blm::Machine;
+use reads_soc::node::FrameTiming;
+use reads_sim::{P2Quantile, StreamingStats};
+use serde::Serialize;
+
+/// Rolling operational statistics.
+#[derive(Debug, Clone)]
+pub struct OperatorConsole {
+    latency_ms: StreamingStats,
+    p99: P2Quantile,
+    p999: P2Quantile,
+    mi_trips: u64,
+    rr_trips: u64,
+    quiet: u64,
+    preempted: u64,
+    deadline_misses: u64,
+    trip_threshold: f64,
+    deadline_ms: f64,
+}
+
+/// A point-in-time summary for display or logging.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConsoleSummary {
+    /// Frames observed.
+    pub frames: u64,
+    /// Mean Steps 1–8 latency, ms.
+    pub mean_latency_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_latency_ms: f64,
+    /// 99.9th percentile latency, ms.
+    pub p999_latency_ms: f64,
+    /// Worst frame, ms.
+    pub max_latency_ms: f64,
+    /// MI trip count.
+    pub mi_trips: u64,
+    /// RR trip count.
+    pub rr_trips: u64,
+    /// Quiet frames (no trip).
+    pub quiet_frames: u64,
+    /// Scheduler-preempted frames.
+    pub preempted: u64,
+    /// Frames over the deadline.
+    pub deadline_misses: u64,
+}
+
+impl OperatorConsole {
+    /// New console with the given trip-mass threshold and frame deadline.
+    #[must_use]
+    pub fn new(trip_threshold: f64, deadline_ms: f64) -> Self {
+        Self {
+            latency_ms: StreamingStats::new(),
+            p99: P2Quantile::new(0.99),
+            p999: P2Quantile::new(0.999),
+            mi_trips: 0,
+            rr_trips: 0,
+            quiet: 0,
+            preempted: 0,
+            deadline_misses: 0,
+            trip_threshold,
+            deadline_ms,
+        }
+    }
+
+    /// Feeds one frame's outcome.
+    pub fn observe(&mut self, verdict: &DeblendVerdict, timing: &FrameTiming) {
+        let ms = timing.total.as_millis_f64();
+        self.latency_ms.push(ms);
+        self.p99.push(ms);
+        self.p999.push(ms);
+        self.preempted += u64::from(timing.preempted);
+        self.deadline_misses += u64::from(ms > self.deadline_ms);
+        match verdict.trip_decision(self.trip_threshold) {
+            Some(Machine::MainInjector) => self.mi_trips += 1,
+            Some(Machine::Recycler) => self.rr_trips += 1,
+            None => self.quiet += 1,
+        }
+    }
+
+    /// Current summary.
+    ///
+    /// # Panics
+    /// Panics if no frames were observed yet.
+    #[must_use]
+    pub fn summary(&self) -> ConsoleSummary {
+        assert!(self.latency_ms.count() > 0, "no frames observed");
+        ConsoleSummary {
+            frames: self.latency_ms.count(),
+            mean_latency_ms: self.latency_ms.mean(),
+            p99_latency_ms: self.p99.estimate(),
+            p999_latency_ms: self.p999.estimate(),
+            max_latency_ms: self.latency_ms.max(),
+            mi_trips: self.mi_trips,
+            rr_trips: self.rr_trips,
+            quiet_frames: self.quiet,
+            preempted: self.preempted,
+            deadline_misses: self.deadline_misses,
+        }
+    }
+
+    /// Renders the control-room status block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let s = self.summary();
+        let mut out = String::new();
+        let _ = writeln!(out, "── beam-loss de-blending: central node status ──");
+        let _ = writeln!(out, " frames processed   {}", s.frames);
+        let _ = writeln!(
+            out,
+            " latency (1-8)      mean {:.3} ms | p99 {:.3} | p99.9 {:.3} | max {:.3}",
+            s.mean_latency_ms, s.p99_latency_ms, s.p999_latency_ms, s.max_latency_ms
+        );
+        let _ = writeln!(
+            out,
+            " trips              MI {} | RR {} | quiet {}",
+            s.mi_trips, s.rr_trips, s.quiet_frames
+        );
+        let _ = writeln!(
+            out,
+            " health             {} preemptions | {} deadline misses",
+            s.preempted, s.deadline_misses
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reads_sim::SimDuration;
+
+    fn timing(total_us: u64, preempted: bool) -> FrameTiming {
+        let d = SimDuration::from_micros(total_us);
+        FrameTiming {
+            write: SimDuration::ZERO,
+            control: SimDuration::ZERO,
+            compute: d,
+            irq: SimDuration::ZERO,
+            read: SimDuration::ZERO,
+            misc: SimDuration::ZERO,
+            preempted,
+            total: d,
+        }
+    }
+
+    fn verdict(mi: f64, rr: f64) -> DeblendVerdict {
+        DeblendVerdict {
+            sequence: 0,
+            mi: vec![mi; 260],
+            rr: vec![rr; 260],
+        }
+    }
+
+    #[test]
+    fn accumulates_operational_stats() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        c.observe(&verdict(0.5, 0.1), &timing(1_800, false)); // MI trip
+        c.observe(&verdict(0.1, 0.5), &timing(1_900, false)); // RR trip
+        c.observe(&verdict(0.001, 0.001), &timing(3_200, true)); // quiet, late
+        let s = c.summary();
+        assert_eq!(s.frames, 3);
+        assert_eq!(s.mi_trips, 1);
+        assert_eq!(s.rr_trips, 1);
+        assert_eq!(s.quiet_frames, 1);
+        assert_eq!(s.preempted, 1);
+        assert_eq!(s.deadline_misses, 1);
+        assert!((s.mean_latency_ms - 2.3).abs() < 0.01);
+        assert!((s.max_latency_ms - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        for _ in 0..10 {
+            c.observe(&verdict(0.1, 0.6), &timing(1_750, false));
+        }
+        let text = c.render();
+        assert!(text.contains("frames processed   10"));
+        assert!(text.contains("RR 10"));
+        assert!(text.contains("0 deadline misses"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames")]
+    fn empty_summary_panics() {
+        let _ = OperatorConsole::new(5.0, 3.0).summary();
+    }
+}

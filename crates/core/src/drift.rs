@@ -1,0 +1,361 @@
+//! Operating-condition drift monitoring.
+//!
+//! The paper's case for reconfigurable edge ML is explicitly that "the
+//! operating environment and data behavior can vary significantly over
+//! time, necessitating adaptation" (Sec. I). This module is the watchdog
+//! that tells the operators *when*: it tracks the incoming raw-reading
+//! distribution against the one the standardizer was fitted on, and the
+//! model-confidence profile against its commissioning baseline. When either
+//! drifts past threshold, the system should be re-standardized (cheap, HPS
+//! side) or retrained and the IP rebuilt (the reconfigurability the FPGA
+//! buys).
+
+use reads_blm::Standardizer;
+use reads_sim::StreamingStats;
+use serde::Serialize;
+
+/// Drift severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DriftStatus {
+    /// Inputs look like the commissioning distribution.
+    Nominal,
+    /// Distribution moved: re-fit the standardizer on recent frames.
+    Restandardize,
+    /// Moved far enough that the model's input contract is broken: retrain
+    /// and rebuild the IP.
+    Retrain,
+}
+
+/// Rolling drift monitor.
+///
+/// Operates on *raw* readings (pre-standardization), comparing windowed
+/// mean/std against the standardizer's fitted statistics, and on the
+/// model's output entropy as a confidence proxy.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    fitted_mean: f64,
+    fitted_std: f64,
+    window: StreamingStats,
+    window_frames: usize,
+    frames_in_window: usize,
+    /// |Δmean| / fitted_std beyond which re-standardization is advised.
+    pub restandardize_z: f64,
+    /// Threshold for the retrain verdict.
+    pub retrain_z: f64,
+    /// Commissioning spatial-roughness baseline `(mean, std)` per frame —
+    /// mean |z[j+1] − z[j]|, the signature of the loss-event *shape*
+    /// (narrow scraping vs. broad spill). Set by
+    /// [`DriftMonitor::with_shape_baseline`]; detects regime changes that
+    /// preserve the readings' bulk moments.
+    roughness_baseline: Option<(f64, f64)>,
+    roughness_window: StreamingStats,
+    /// Windowed-mean roughness shift (in commissioning stds of the frame
+    /// statistic) that flags a shape drift.
+    pub shape_z: f64,
+    last_status: DriftStatus,
+}
+
+impl DriftMonitor {
+    /// Monitor anchored to the fitted standardizer, evaluating every
+    /// `window_frames` frames.
+    ///
+    /// # Panics
+    /// Panics on a zero-length window.
+    #[must_use]
+    pub fn new(standardizer: &Standardizer, window_frames: usize) -> Self {
+        assert!(window_frames > 0);
+        Self {
+            fitted_mean: standardizer.mean,
+            fitted_std: standardizer.std,
+            window: StreamingStats::new(),
+            window_frames,
+            frames_in_window: 0,
+            restandardize_z: 0.5,
+            retrain_z: 2.0,
+            roughness_baseline: None,
+            roughness_window: StreamingStats::new(),
+            shape_z: 2.0,
+            last_status: DriftStatus::Nominal,
+        }
+    }
+
+    /// Monitor with a shape baseline fitted on commissioning frames, so
+    /// shape-only regime changes (e.g. narrow injection scraping replacing
+    /// broad mixed losses) are detected even when the bulk moments hold.
+    ///
+    /// # Panics
+    /// Panics with fewer than 2 commissioning frames or a zero window.
+    #[must_use]
+    pub fn with_shape_baseline(
+        standardizer: &Standardizer,
+        commissioning: &[Vec<f64>],
+        window_frames: usize,
+    ) -> Self {
+        assert!(commissioning.len() >= 2);
+        let mut monitor = Self::new(standardizer, window_frames);
+        let mut stats = StreamingStats::new();
+        for f in commissioning {
+            stats.push(Self::roughness(standardizer, f));
+        }
+        monitor.roughness_baseline = Some((stats.mean(), stats.std_dev().max(1e-9)));
+        monitor
+    }
+
+    /// Per-frame spatial roughness: mean |z[j+1] − z[j]| of the
+    /// standardized readings.
+    fn roughness(std: &Standardizer, readings: &[f64]) -> f64 {
+        if readings.len() < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut prev = std.apply(readings[0]);
+        for &x in &readings[1..] {
+            let z = std.apply(x);
+            acc += (z - prev).abs();
+            prev = z;
+        }
+        acc / (readings.len() - 1) as f64
+    }
+
+    /// Feeds one raw frame. Returns a status verdict when a window
+    /// completes, `None` mid-window.
+    pub fn observe(&mut self, raw_readings: &[f64]) -> Option<DriftStatus> {
+        for &x in raw_readings {
+            self.window.push(x);
+        }
+        if let Some((_, _)) = self.roughness_baseline {
+            let std = Standardizer {
+                mean: self.fitted_mean,
+                std: self.fitted_std,
+            };
+            self.roughness_window
+                .push(Self::roughness(&std, raw_readings));
+        }
+        self.frames_in_window += 1;
+        if self.frames_in_window < self.window_frames {
+            return None;
+        }
+        let mean_shift = (self.window.mean() - self.fitted_mean).abs() / self.fitted_std;
+        let std_ratio = self.window.std_dev() / self.fitted_std;
+        let shape_shifted = self.roughness_baseline.is_some_and(|(base, spread)| {
+            (self.roughness_window.mean() - base).abs() > self.shape_z * spread
+        });
+        let status = if mean_shift > self.retrain_z || !(0.33..=3.0).contains(&std_ratio) {
+            DriftStatus::Retrain
+        } else if mean_shift > self.restandardize_z
+            || !(0.66..=1.5).contains(&std_ratio)
+            || shape_shifted
+        {
+            DriftStatus::Restandardize
+        } else {
+            DriftStatus::Nominal
+        };
+        self.window = StreamingStats::new();
+        self.roughness_window = StreamingStats::new();
+        self.frames_in_window = 0;
+        self.last_status = status;
+        Some(status)
+    }
+
+    /// Most recent verdict.
+    #[must_use]
+    pub fn last_status(&self) -> DriftStatus {
+        self.last_status
+    }
+
+    /// The cheap adaptation: re-fits the standardizer on recent raw frames
+    /// (the window that triggered the verdict), keeping the model.
+    #[must_use]
+    pub fn refit(frames: &[Vec<f64>]) -> Standardizer {
+        let mut stats = StreamingStats::new();
+        for f in frames {
+            for &x in f {
+                stats.push(x);
+            }
+        }
+        Standardizer {
+            mean: stats.mean(),
+            std: stats.std_dev().max(1e-9),
+        }
+    }
+}
+
+/// Model-output drift monitor.
+///
+/// Input moments miss regime changes that preserve the reading
+/// distribution's bulk (an MI-injection episode moves loss *between
+/// machines*, barely moving mean/std). The model's own output profile —
+/// per-machine attribution mass — is the sensitive observable: it is
+/// baselined during commissioning and watched per window.
+#[derive(Debug, Clone)]
+pub struct OutputDriftMonitor {
+    base_mi: f64,
+    base_rr: f64,
+    base_spread: f64,
+    window_mi: StreamingStats,
+    window_rr: StreamingStats,
+    window_frames: usize,
+    /// Windows flag drift when a machine's mean mass moves more than this
+    /// many commissioning spreads from its baseline.
+    pub threshold_sigmas: f64,
+}
+
+impl OutputDriftMonitor {
+    /// Baselines on commissioning output masses `(mi, rr)` per frame.
+    ///
+    /// # Panics
+    /// Panics with fewer than 2 commissioning frames.
+    #[must_use]
+    pub fn fit(commissioning: &[(f64, f64)], window_frames: usize) -> Self {
+        assert!(commissioning.len() >= 2 && window_frames > 0);
+        let mut mi = StreamingStats::new();
+        let mut rr = StreamingStats::new();
+        for &(m, r) in commissioning {
+            mi.push(m);
+            rr.push(r);
+        }
+        Self {
+            base_mi: mi.mean(),
+            base_rr: rr.mean(),
+            base_spread: mi.std_dev().max(rr.std_dev()).max(1e-9),
+            window_mi: StreamingStats::new(),
+            window_rr: StreamingStats::new(),
+            window_frames,
+            threshold_sigmas: 3.0,
+        }
+    }
+
+    /// Feeds one frame's output masses; returns `Some(drifted)` at window
+    /// boundaries.
+    pub fn observe(&mut self, mi_mass: f64, rr_mass: f64) -> Option<bool> {
+        self.window_mi.push(mi_mass);
+        self.window_rr.push(rr_mass);
+        if self.window_mi.count() < self.window_frames as u64 {
+            return None;
+        }
+        // Standard error of the window mean against commissioning spread.
+        let n = (self.window_frames as f64).sqrt();
+        let z_mi = (self.window_mi.mean() - self.base_mi).abs() / (self.base_spread / n);
+        let z_rr = (self.window_rr.mean() - self.base_rr).abs() / (self.base_spread / n);
+        let drifted = z_mi.max(z_rr) > self.threshold_sigmas * n; // per-frame sigmas
+        self.window_mi = StreamingStats::new();
+        self.window_rr = StreamingStats::new();
+        Some(drifted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reads_blm::{FrameGenerator, WorkloadConfig};
+
+    fn fitted() -> (Standardizer, FrameGenerator) {
+        let gen = FrameGenerator::with_defaults(91);
+        let frames = gen.batch(0, 50);
+        (Standardizer::fit(&frames), gen)
+    }
+
+    #[test]
+    fn nominal_conditions_stay_nominal() {
+        let (std, gen) = fitted();
+        let mut mon = DriftMonitor::new(&std, 10);
+        let mut verdicts = Vec::new();
+        for i in 0..30 {
+            if let Some(v) = mon.observe(&gen.frame(1_000 + i).readings) {
+                verdicts.push(v);
+            }
+        }
+        assert_eq!(verdicts.len(), 3);
+        assert!(verdicts.iter().all(|&v| v == DriftStatus::Nominal));
+    }
+
+    #[test]
+    fn pedestal_shift_triggers_restandardize() {
+        let (std, _) = fitted();
+        // A new run with the digitizer pedestal moved up by ~0.8 fitted
+        // sigmas (electronics temperature drift).
+        let shifted = FrameGenerator::new(
+            92,
+            WorkloadConfig {
+                baseline: 112_000.0 + 0.8 * std.std,
+                ..WorkloadConfig::default()
+            },
+        );
+        let mut mon = DriftMonitor::new(&std, 10);
+        let mut verdict = None;
+        for i in 0..10 {
+            verdict = mon.observe(&shifted.frame(i).readings).or(verdict);
+        }
+        assert_eq!(verdict, Some(DriftStatus::Restandardize));
+    }
+
+    #[test]
+    fn gross_change_triggers_retrain() {
+        let (std, _) = fitted();
+        // Beam energy upgrade: everything reads 5 fitted sigmas higher.
+        let shifted = FrameGenerator::new(
+            93,
+            WorkloadConfig {
+                baseline: 112_000.0 + 5.0 * std.std,
+                ..WorkloadConfig::default()
+            },
+        );
+        let mut mon = DriftMonitor::new(&std, 10);
+        let mut verdict = None;
+        for i in 0..10 {
+            verdict = mon.observe(&shifted.frame(i).readings).or(verdict);
+        }
+        assert_eq!(verdict, Some(DriftStatus::Retrain));
+    }
+
+    #[test]
+    fn output_monitor_nominal_stays_quiet_and_shift_flags() {
+        // Commissioning: masses around (45, 115) with spread ~8.
+        let commissioning: Vec<(f64, f64)> = (0..60)
+            .map(|i| {
+                let w = ((i as f64) * 0.7).sin() * 8.0;
+                (45.0 + w, 115.0 - w)
+            })
+            .collect();
+        let mut mon = OutputDriftMonitor::fit(&commissioning, 10);
+        // Nominal stream.
+        let mut verdicts = Vec::new();
+        for i in 0..20 {
+            let w = ((i as f64) * 1.3).cos() * 8.0;
+            if let Some(v) = mon.observe(45.0 + w, 115.0 - w) {
+                verdicts.push(v);
+            }
+        }
+        assert!(verdicts.iter().all(|&v| !v), "nominal must stay quiet");
+        // Regime change: MI mass doubles.
+        let mut flagged = false;
+        for _ in 0..10 {
+            if let Some(v) = mon.observe(95.0, 110.0) {
+                flagged = v;
+            }
+        }
+        assert!(flagged, "a doubled MI mass must flag");
+    }
+
+    #[test]
+    fn refit_restores_standardization() {
+        let (_, _) = fitted();
+        let shifted = FrameGenerator::new(
+            94,
+            WorkloadConfig {
+                baseline: 150_000.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        let recent: Vec<Vec<f64>> = (0..30).map(|i| shifted.frame(i).readings).collect();
+        let refit = DriftMonitor::refit(&recent);
+        assert!((refit.mean - 150_000.0).abs() < 5_000.0, "mean {}", refit.mean);
+        // Standardizing the shifted data with the refit brings it to z ~ 1.
+        let z: f64 = recent[0]
+            .iter()
+            .map(|&x| refit.apply(x).abs())
+            .sum::<f64>()
+            / 260.0;
+        assert!(z < 3.0, "post-refit |z| {z}");
+    }
+}

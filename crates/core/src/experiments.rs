@@ -1,0 +1,314 @@
+//! Accuracy experiments: Table II and the Fig. 5a/5b bit-width sweeps.
+
+use rayon::prelude::*;
+use reads_hls4ml::config::PrecisionStrategy;
+use reads_hls4ml::resource::estimate_resources;
+use reads_hls4ml::{convert, profile_model, HlsConfig, ARRIA10_10AS066};
+use reads_nn::metrics::{machine_accuracy, MachineAccuracy, OutputLayout};
+use reads_nn::{metrics, Model, ModelSpec};
+use serde::Serialize;
+
+/// One Table II row: a precision strategy evaluated for accuracy and ALUTs.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Strategy label.
+    pub strategy: String,
+    /// Accuracy over MI outputs (|Δ| ≤ 0.20 vs float).
+    pub accuracy_mi: f64,
+    /// Accuracy over RR outputs.
+    pub accuracy_rr: f64,
+    /// ALUT percentage of the device.
+    pub alut_pct: f64,
+    /// Whether the design fits.
+    pub fits: bool,
+}
+
+/// Output layout of a model spec.
+#[must_use]
+pub fn layout_of(spec: ModelSpec) -> OutputLayout {
+    match spec {
+        ModelSpec::UNet => OutputLayout::InterleavedMiRr,
+        ModelSpec::Mlp => OutputLayout::SplitHalves,
+    }
+}
+
+/// Evaluates one precision strategy: quantized-vs-float accuracy over the
+/// evaluation frames (the Table II metric) plus the resource estimate.
+#[must_use]
+pub fn evaluate_strategy(
+    model: &Model,
+    spec: ModelSpec,
+    calibration: &[Vec<f64>],
+    eval_inputs: &[Vec<f64>],
+    strategy: PrecisionStrategy,
+) -> (Table2Row, MachineAccuracy) {
+    let profile = profile_model(model, calibration);
+    let config = HlsConfig::with_strategy(strategy);
+    let firmware = convert(model, &profile, &config);
+
+    let float_out: Vec<Vec<f64>> = eval_inputs.par_iter().map(|x| model.predict(x)).collect();
+    let (quant_out, _) = firmware.infer_batch(eval_inputs);
+    let acc = machine_accuracy(
+        &float_out,
+        &quant_out,
+        layout_of(spec),
+        metrics::PAPER_TOLERANCE,
+    );
+
+    let est = estimate_resources(&firmware);
+    let row = Table2Row {
+        strategy: strategy.label(),
+        accuracy_mi: acc.mi,
+        accuracy_rr: acc.rr,
+        alut_pct: est.alut_pct(&ARRIA10_10AS066),
+        fits: est.fits(&ARRIA10_10AS066),
+    };
+    (row, acc)
+}
+
+/// Runs the three Table II strategies on one model (same model for every
+/// row — the iso-model view).
+#[must_use]
+pub fn table2(
+    model: &Model,
+    spec: ModelSpec,
+    calibration: &[Vec<f64>],
+    eval_inputs: &[Vec<f64>],
+) -> Vec<Table2Row> {
+    PrecisionStrategy::table2_rows()
+        .into_iter()
+        .map(|s| evaluate_strategy(model, spec, calibration, eval_inputs, s).0)
+        .collect()
+}
+
+/// Reproduces Table II as the paper's optimization journey (Sec. IV-D):
+///
+/// * row 1 — ⟨18,10⟩ uniform on the standardize-before-training model:
+///   accurate, but exceeds the device;
+/// * row 2 — ⟨16,7⟩ uniform on the *original* configuration (trained on raw
+///   digitizer data behind a BatchNorm standardization layer): "poor
+///   accuracy given the tightly constrained range of the 16-bit
+///   resource-aware quantization" — the raw scale and the folded BN
+///   coefficients do not survive the format;
+/// * row 3 — layer-based ⟨16,x⟩ on the standardized model: accurate and
+///   fits.
+#[must_use]
+pub fn table2_journey(
+    std_model: &Model,
+    bn_model: &Model,
+    spec: ModelSpec,
+    std_calibration: &[Vec<f64>],
+    std_eval: &[Vec<f64>],
+    raw_calibration: &[Vec<f64>],
+    raw_eval: &[Vec<f64>],
+) -> Vec<Table2Row> {
+    let rows = PrecisionStrategy::table2_rows();
+    vec![
+        evaluate_strategy(std_model, spec, std_calibration, std_eval, rows[0]).0,
+        evaluate_strategy(bn_model, spec, raw_calibration, raw_eval, rows[1]).0,
+        evaluate_strategy(std_model, spec, std_calibration, std_eval, rows[2]).0,
+    ]
+}
+
+/// One point of the Fig. 5a/5b bit-width sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct BitSweepPoint {
+    /// Total bits.
+    pub width: u32,
+    /// Extra integer bits (Fig. 5b's mitigation knob).
+    pub int_margin: i32,
+    /// Accuracy MI (|Δ| ≤ 0.20).
+    pub accuracy_mi: f64,
+    /// Accuracy RR.
+    pub accuracy_rr: f64,
+    /// Mean |Δ| MI (the Fig. 5a curve).
+    pub mean_abs_diff_mi: f64,
+    /// Mean |Δ| RR.
+    pub mean_abs_diff_rr: f64,
+    /// Outliers: outputs with |Δ| > 0.20 (the Fig. 5b bars).
+    pub outliers: usize,
+    /// Total outputs compared.
+    pub total_outputs: usize,
+    /// Inner-layer overflow events during the evaluation (the cause the
+    /// paper attributes the outliers to).
+    pub overflow_events: u64,
+}
+
+/// Sweeps layer-based precision over total widths (Fig. 5a/5b). Each width
+/// is evaluated at `int_margin` of 0 and also with the given extra margins.
+#[must_use]
+pub fn bit_sweep(
+    model: &Model,
+    spec: ModelSpec,
+    calibration: &[Vec<f64>],
+    eval_inputs: &[Vec<f64>],
+    widths: &[u32],
+    margins: &[i32],
+) -> Vec<BitSweepPoint> {
+    let profile = profile_model(model, calibration);
+    let float_out: Vec<Vec<f64>> = eval_inputs.par_iter().map(|x| model.predict(x)).collect();
+
+    let mut points = Vec::new();
+    for &width in widths {
+        for &int_margin in margins {
+            let config = HlsConfig::with_strategy(PrecisionStrategy::LayerBased {
+                width,
+                int_margin,
+            });
+            let firmware = convert(model, &profile, &config);
+            let (quant_out, stats) = firmware.infer_batch(eval_inputs);
+            let acc = machine_accuracy(
+                &float_out,
+                &quant_out,
+                layout_of(spec),
+                metrics::PAPER_TOLERANCE,
+            );
+            points.push(BitSweepPoint {
+                width,
+                int_margin,
+                accuracy_mi: acc.mi,
+                accuracy_rr: acc.rr,
+                mean_abs_diff_mi: acc.mi_mean_abs_diff,
+                mean_abs_diff_rr: acc.rr_mean_abs_diff,
+                outliers: acc.outliers,
+                total_outputs: acc.total_outputs,
+                overflow_events: stats.total_overflows(),
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trained::{TrainedBundle, TrainingTier};
+
+    fn fixture() -> (TrainedBundle, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let bundle = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 21);
+        let calib = bundle.calibration_inputs(16);
+        let eval = bundle.eval_frames(24, 0).inputs;
+        (bundle, calib, eval)
+    }
+
+    #[test]
+    fn layer_based_beats_coarse_uniform_on_trained_mlp() {
+        let (bundle, calib, eval) = fixture();
+        let rows = table2(&bundle.model, ModelSpec::Mlp, &calib, &eval);
+        assert_eq!(rows.len(), 3);
+        let lb = &rows[2];
+        assert!(lb.strategy.contains("Layer-based"));
+        assert!(
+            lb.accuracy_mi > 0.95 && lb.accuracy_rr > 0.95,
+            "layer-based must be accurate: {} / {}",
+            lb.accuracy_mi,
+            lb.accuracy_rr
+        );
+        // The 18-bit uniform row never fits.
+        assert!(!rows[0].fits);
+        assert!(rows[0].alut_pct > rows[2].alut_pct);
+    }
+
+    #[test]
+    fn table2_journey_reproduces_the_collapse_row() {
+        use crate::trained::BnBundle;
+        let (bundle, calib, eval) = fixture();
+        let bn = BnBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 21);
+        let raw = bn.eval_frames(24, 0);
+        let raw_calib = bn.eval_frames(16, 5_000);
+        let rows = table2_journey(
+            &bundle.model,
+            &bn.model,
+            ModelSpec::Mlp,
+            &calib,
+            &eval,
+            &raw_calib.inputs,
+            &raw.inputs,
+        );
+        // Row 1 (18,10): accurate but over budget.
+        assert!(rows[0].accuracy_mi > 0.95 && rows[0].accuracy_rr > 0.95);
+        assert!(!rows[0].fits);
+        // Row 2 (16,7 on the BN/raw configuration): collapses — the raw
+        // digitizer scale does not survive the format.
+        assert!(
+            rows[1].accuracy_mi < 0.7 && rows[1].accuracy_rr < 0.7,
+            "collapse row: {} / {}",
+            rows[1].accuracy_mi,
+            rows[1].accuracy_rr
+        );
+        assert!(rows[1].fits);
+        // Row 3 (layer-based): accurate and fits.
+        assert!(rows[2].accuracy_mi > 0.95 && rows[2].accuracy_rr > 0.95);
+        assert!(rows[2].fits);
+        // The layer-based row costs more ALUTs than the coarse uniform row
+        // but far less than 18-bit (the Table II ordering).
+        assert!(rows[2].alut_pct < rows[0].alut_pct);
+    }
+
+    #[test]
+    fn accuracy_improves_with_width() {
+        let (bundle, calib, eval) = fixture();
+        let pts = bit_sweep(
+            &bundle.model,
+            ModelSpec::Mlp,
+            &calib,
+            &eval,
+            &[6, 10, 16],
+            &[0],
+        );
+        assert_eq!(pts.len(), 3);
+        // Fig. 5a: the mean |Δ| falls monotonically with width.
+        assert!(pts[0].mean_abs_diff_mi > pts[1].mean_abs_diff_mi);
+        assert!(pts[1].mean_abs_diff_mi > pts[2].mean_abs_diff_mi);
+        // Fig. 5b: resolution-driven outliers at 6 bits collapse toward the
+        // overflow-driven floor at 16 bits.
+        assert!(pts[2].outliers < pts[0].outliers / 4);
+        assert!(pts[2].accuracy_mi > pts[0].accuracy_mi);
+    }
+
+    #[test]
+    fn extra_integer_bit_mitigates_overflow_outliers() {
+        // Sec. V: "half of these outliers could be mitigated by adding one
+        // extra bit to the integer part". At 16 bits the remaining outliers
+        // are overflow-driven; an extra integer bit must remove most.
+        let (bundle, calib, eval) = fixture();
+        let pts = bit_sweep(
+            &bundle.model,
+            ModelSpec::Mlp,
+            &calib,
+            &eval,
+            &[16],
+            &[0, 1],
+        );
+        let (base, margin) = (&pts[0], &pts[1]);
+        assert!(
+            margin.overflow_events <= base.overflow_events,
+            "margin must not add overflows"
+        );
+        if base.outliers > 0 {
+            assert!(
+                margin.outliers <= base.outliers / 2,
+                "+1 int bit: {} -> {} outliers",
+                base.outliers,
+                margin.outliers
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_reports_totals() {
+        let (bundle, calib, eval) = fixture();
+        let pts = bit_sweep(
+            &bundle.model,
+            ModelSpec::Mlp,
+            &calib,
+            &eval,
+            &[10],
+            &[0, 1],
+        );
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p.total_outputs, eval.len() * 518);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Single-event-upset (SEU) fault injection.
+//!
+//! The central node lives near the accelerator enclosure — an ionizing-
+//! radiation environment (the very hazard the BLM system guards against,
+//! Sec. I). Radiation flips bits in configuration and block RAM; for an
+//! edge-ML IP the dominant soft-error surface is the weight storage in
+//! M20K. This extension study injects bit flips into the quantized weight
+//! memory and measures (a) how much output accuracy degrades with upset
+//! count and bit position, and (b) how often the layer overflow counters —
+//! which the deployed system already maintains — flag the corruption,
+//! giving the operators a built-in SEU detector.
+
+use rayon::prelude::*;
+use reads_hls4ml::firmware::FwNode;
+use reads_hls4ml::Firmware;
+use reads_nn::metrics::{accuracy_within, PAPER_TOLERANCE};
+use reads_sim::Rng;
+use serde::Serialize;
+
+/// Location of one injected upset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Upset {
+    /// Node index.
+    pub node: usize,
+    /// Flat weight index within the node.
+    pub weight: usize,
+    /// Bit position within the weight word (0 = LSB).
+    pub bit: u32,
+}
+
+/// Flips the given bit of the given quantized weight, in place. The weight
+/// is stored on its format's grid; the flip operates on the raw two's-
+/// complement word exactly as a BRAM upset would.
+///
+/// # Panics
+/// Panics if the node has no weights or indices are out of range.
+pub fn inject(fw: &mut Firmware, upset: Upset) {
+    let node = &mut fw.nodes[upset.node];
+    let d = match node {
+        FwNode::Dense(d) | FwNode::PointwiseDense(d) | FwNode::Conv1d { d, .. } => d,
+        _ => panic!("node {} has no weight memory", upset.node),
+    };
+    assert!(upset.bit < d.weight_fmt.width, "bit beyond word width");
+    let lsb = d.weight_fmt.lsb();
+    let w = &mut d.weights[upset.weight];
+    // Raw two's-complement word of the stored weight.
+    let raw = (*w / lsb).round() as i64;
+    let width = d.weight_fmt.width;
+    let mask = 1i64 << upset.bit;
+    let mut flipped = raw ^ mask;
+    // Re-interpret in W bits (sign bit flip wraps the value).
+    let modulus = 1i64 << width;
+    flipped &= modulus - 1;
+    if flipped >= modulus / 2 {
+        flipped -= modulus;
+    }
+    *w = flipped as f64 * lsb;
+}
+
+/// Draws `n` distinct random upset sites over the firmware's weight memory.
+#[must_use]
+pub fn random_upsets(fw: &Firmware, n: usize, rng: &mut Rng) -> Vec<Upset> {
+    let nodes: Vec<(usize, usize, u32)> = fw
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, node)| {
+            node.dense()
+                .map(|d| (i, d.weights.len(), d.weight_fmt.width))
+        })
+        .collect();
+    let total: usize = nodes.iter().map(|(_, w, _)| w).sum();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mut flat = rng.index(total);
+        let mut site = None;
+        for &(node, len, width) in &nodes {
+            if flat < len {
+                site = Some(Upset {
+                    node,
+                    weight: flat,
+                    bit: rng.index(width as usize) as u32,
+                });
+                break;
+            }
+            flat -= len;
+        }
+        let site = site.expect("flat index within total");
+        if !out.contains(&site) {
+            out.push(site);
+        }
+    }
+    out
+}
+
+/// One row of the SEU campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeuRow {
+    /// Upsets injected per trial.
+    pub upsets: usize,
+    /// Mean accuracy (|Δ| ≤ 0.20 vs the pristine firmware) over trials.
+    pub mean_accuracy: f64,
+    /// Worst trial accuracy.
+    pub worst_accuracy: f64,
+    /// Mean |Δ| against the pristine outputs (more sensitive than the
+    /// 0.20-tolerance accuracy for small perturbations).
+    pub mean_abs_diff: f64,
+    /// Fraction of trials where the overflow counters changed (built-in
+    /// detection).
+    pub detected_fraction: f64,
+}
+
+/// Runs the SEU campaign: for each upset count, `trials` independent
+/// corrupted copies of the firmware are evaluated on `eval_inputs` against
+/// the pristine outputs.
+#[must_use]
+pub fn seu_campaign(
+    firmware: &Firmware,
+    eval_inputs: &[Vec<f64>],
+    upset_counts: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Vec<SeuRow> {
+    let (clean_out, clean_stats) = firmware.infer_batch(eval_inputs);
+    let clean_overflows = clean_stats.total_overflows();
+
+    upset_counts
+        .iter()
+        .map(|&n| {
+            let results: Vec<(f64, f64, bool)> = (0..trials)
+                .into_par_iter()
+                .map(|t| {
+                    let mut rng =
+                        Rng::seed_from_u64(seed ^ ((n as u64) << 32) ^ t as u64);
+                    let mut corrupted = firmware.clone();
+                    for u in random_upsets(firmware, n, &mut rng) {
+                        inject(&mut corrupted, u);
+                    }
+                    let (out, stats) = corrupted.infer_batch(eval_inputs);
+                    let acc = clean_out
+                        .iter()
+                        .zip(&out)
+                        .map(|(a, b)| accuracy_within(a, b, PAPER_TOLERANCE))
+                        .sum::<f64>()
+                        / clean_out.len() as f64;
+                    let mad = clean_out
+                        .iter()
+                        .zip(&out)
+                        .map(|(a, b)| reads_nn::metrics::mean_abs_diff(a, b))
+                        .sum::<f64>()
+                        / clean_out.len() as f64;
+                    (acc, mad, stats.total_overflows() != clean_overflows)
+                })
+                .collect();
+            let n_trials = results.len() as f64;
+            SeuRow {
+                upsets: n,
+                mean_accuracy: results.iter().map(|(a, _, _)| a).sum::<f64>() / n_trials,
+                worst_accuracy: results
+                    .iter()
+                    .map(|(a, _, _)| *a)
+                    .fold(f64::INFINITY, f64::min),
+                mean_abs_diff: results.iter().map(|(_, m, _)| m).sum::<f64>() / n_trials,
+                detected_fraction: results.iter().filter(|(_, _, d)| *d).count() as f64
+                    / n_trials,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trained::{TrainedBundle, TrainingTier};
+    use reads_hls4ml::{convert, profile_model, HlsConfig};
+    use reads_nn::ModelSpec;
+
+    fn firmware_and_inputs() -> (Firmware, Vec<Vec<f64>>) {
+        let bundle = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 71);
+        let calib = bundle.calibration_inputs(16);
+        let profile = profile_model(&bundle.model, &calib);
+        let fw = convert(&bundle.model, &profile, &HlsConfig::paper_default());
+        (fw, bundle.eval_frames(12, 0).inputs)
+    }
+
+    #[test]
+    fn inject_flips_exactly_one_weight() {
+        let (fw, _) = firmware_and_inputs();
+        let mut corrupted = fw.clone();
+        inject(
+            &mut corrupted,
+            Upset {
+                node: 0,
+                weight: 100,
+                bit: 15,
+            },
+        );
+        let (da, db) = (fw.nodes[0].dense().unwrap(), corrupted.nodes[0].dense().unwrap());
+        let diffs = da
+            .weights
+            .iter()
+            .zip(&db.weights)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, 1);
+        // A sign-bit flip changes the raw word by 2^(W-1): half the
+        // format's modulus, whatever the layer-based format is.
+        let delta = (da.weights[100] - db.weights[100]).abs();
+        let half_range = (da.weight_fmt.max_value() - da.weight_fmt.min_value()) / 2.0;
+        assert!(
+            (delta - half_range).abs() < da.weight_fmt.lsb() * 2.0,
+            "sign-bit flip delta {delta} vs half-range {half_range}"
+        );
+    }
+
+    #[test]
+    fn lsb_flip_is_benign_sign_flip_is_not() {
+        let (fw, inputs) = firmware_and_inputs();
+        let (clean, _) = fw.infer_batch(&inputs);
+
+        let run_with = |bit: u32| {
+            let mut c = fw.clone();
+            inject(
+                &mut c,
+                Upset {
+                    node: 0,
+                    weight: 7,
+                    bit,
+                },
+            );
+            let (out, _) = c.infer_batch(&inputs);
+            clean
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| accuracy_within(a, b, PAPER_TOLERANCE))
+                .sum::<f64>()
+                / clean.len() as f64
+        };
+        let lsb_acc = run_with(0);
+        let msb_acc = run_with(15);
+        assert!(lsb_acc > 0.999, "LSB flip must be invisible: {lsb_acc}");
+        assert!(msb_acc <= lsb_acc);
+    }
+
+    #[test]
+    fn random_upsets_are_distinct_and_in_range() {
+        let (fw, _) = firmware_and_inputs();
+        let mut rng = Rng::seed_from_u64(1);
+        let upsets = random_upsets(&fw, 50, &mut rng);
+        assert_eq!(upsets.len(), 50);
+        for (i, u) in upsets.iter().enumerate() {
+            let d = fw.nodes[u.node].dense().expect("weighted node");
+            assert!(u.weight < d.weights.len());
+            assert!(u.bit < 16);
+            assert!(!upsets[..i].contains(u), "duplicate site");
+        }
+    }
+
+    #[test]
+    fn accuracy_degrades_with_upset_count() {
+        let (fw, inputs) = firmware_and_inputs();
+        let rows = seu_campaign(&fw, &inputs, &[1, 256, 8192], 4, 9);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].mean_accuracy > 0.99, "1 upset ~harmless on average");
+        // The sensitive metric degrades monotonically with upset count.
+        assert!(rows[1].mean_abs_diff > rows[0].mean_abs_diff);
+        assert!(
+            rows[2].mean_abs_diff > 5.0 * rows[0].mean_abs_diff,
+            "8192 upsets must visibly corrupt: {} vs {}",
+            rows[2].mean_abs_diff,
+            rows[0].mean_abs_diff
+        );
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.detected_fraction));
+            assert!(r.worst_accuracy <= r.mean_accuracy);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The deployed system: Ethernet ingress → HPS pre-processing → SoC frame
+//! run → ACNET egress (Steps 0–9 of Fig. 2), plus the real-time admission
+//! check (320 fps at a 3 ms deadline).
+
+use reads_blm::acnet::DeblendVerdict;
+use reads_blm::hubs::{assemble_frame, HubPacket};
+use reads_blm::Standardizer;
+use reads_hls4ml::Firmware;
+use reads_soc::eth::EthernetModel;
+use reads_soc::hps::HpsModel;
+use reads_soc::node::{CentralNodeSim, FrameTiming};
+use reads_sim::SimDuration;
+use serde::Serialize;
+
+/// ACNET trip threshold: total attribution mass below which a frame is
+/// considered quiet (no intervention).
+pub const TRIP_THRESHOLD: f64 = 5.0;
+
+/// End-to-end timing of one frame including the Ethernet steps.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EndToEndTiming {
+    /// Step 0: hub-packet ingress.
+    pub ingress: SimDuration,
+    /// Steps 1–8 (the paper's measured window).
+    pub core: FrameTiming,
+    /// Step 9: ACNET egress.
+    pub egress: SimDuration,
+    /// Total Steps 0–9.
+    pub total: SimDuration,
+}
+
+/// The full central node.
+#[derive(Debug, Clone)]
+pub struct DeblendingSystem {
+    node: CentralNodeSim,
+    standardizer: Standardizer,
+    eth: EthernetModel,
+    sequence_errors: u64,
+    frames_processed: u64,
+    degraded_frames: u64,
+    last_readings: Option<Vec<f64>>,
+}
+
+/// Errors surfaced to the operator console.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum SystemError {
+    /// Hub packets failed to assemble into a frame.
+    BadFrame,
+    /// Input length does not match the deployed firmware.
+    WrongFrameSize,
+}
+
+impl DeblendingSystem {
+    /// Deploys a firmware build behind the given standardizer.
+    #[must_use]
+    pub fn new(firmware: Firmware, standardizer: Standardizer, hps: HpsModel, seed: u64) -> Self {
+        Self {
+            node: CentralNodeSim::new(firmware, hps, seed),
+            standardizer,
+            eth: EthernetModel::default(),
+            sequence_errors: 0,
+            frames_processed: 0,
+            degraded_frames: 0,
+            last_readings: None,
+        }
+    }
+
+    /// Frames processed since deployment.
+    #[must_use]
+    pub fn frames_processed(&self) -> u64 {
+        self.frames_processed
+    }
+
+    /// Malformed frames rejected.
+    #[must_use]
+    pub fn sequence_errors(&self) -> u64 {
+        self.sequence_errors
+    }
+
+    /// Frames processed in degraded mode (missing/corrupt hub packets,
+    /// gap-filled with held values).
+    #[must_use]
+    pub fn degraded_frames(&self) -> u64 {
+        self.degraded_frames
+    }
+
+    /// The node simulator (for counters/firmware access).
+    #[must_use]
+    pub fn node(&self) -> &CentralNodeSim {
+        &self.node
+    }
+
+    /// Processes one 3 ms tick: 7 hub packets in, verdict out.
+    ///
+    /// # Errors
+    /// [`SystemError::BadFrame`] when the hub packets do not assemble;
+    /// [`SystemError::WrongFrameSize`] when the reading count mismatches the
+    /// deployed firmware.
+    pub fn process_tick(
+        &mut self,
+        packets: &[HubPacket],
+        sequence: u32,
+    ) -> Result<(DeblendVerdict, EndToEndTiming), SystemError> {
+        let readings = assemble_frame(packets).map_err(|_| {
+            self.sequence_errors += 1;
+            SystemError::BadFrame
+        })?;
+        self.process_readings(&readings, packets, sequence)
+    }
+
+    /// Degraded-mode tick: hub packets may be missing or corrupt (the 3 ms
+    /// deadline does not wait for retransmission). Present hubs supply
+    /// their spans; missing spans are gap-filled with the previous frame's
+    /// readings (hold-last-value — the standard BLM front-end behaviour),
+    /// or the fitted pedestal on the very first frame. Degraded frames are
+    /// counted but still produce a verdict on time.
+    ///
+    /// # Errors
+    /// [`SystemError::BadFrame`] only when *no* hub packet is usable and no
+    /// previous frame exists.
+    pub fn process_tick_degraded(
+        &mut self,
+        packets: &[HubPacket],
+        sequence: u32,
+    ) -> Result<(DeblendVerdict, EndToEndTiming), SystemError> {
+        use reads_blm::hubs::hub_span;
+        // Fast path: complete frame from the expected tick.
+        if packets.iter().all(|p| p.sequence == sequence) {
+            if let Ok(readings) = assemble_frame(packets) {
+                return self.process_readings(&readings, packets, sequence);
+            }
+        }
+        let mut readings = match &self.last_readings {
+            Some(prev) => prev.clone(),
+            None => vec![self.standardizer.mean; reads_blm::N_BLM],
+        };
+        let mut usable = 0usize;
+        for p in packets {
+            let h = usize::from(p.hub);
+            if h >= reads_blm::hubs::N_HUBS || p.sequence != sequence {
+                continue;
+            }
+            let (start, end) = hub_span(h);
+            if usize::from(p.first_monitor) != start || p.counts.len() != end - start {
+                continue;
+            }
+            for (i, &c) in p.counts.iter().enumerate() {
+                readings[start + i] = f64::from(c);
+            }
+            usable += 1;
+        }
+        if usable == 0 && self.last_readings.is_none() {
+            self.sequence_errors += 1;
+            return Err(SystemError::BadFrame);
+        }
+        self.degraded_frames += 1;
+        self.process_readings(&readings, packets, sequence)
+    }
+
+    fn process_readings(
+        &mut self,
+        readings: &[f64],
+        packets: &[HubPacket],
+        sequence: u32,
+    ) -> Result<(DeblendVerdict, EndToEndTiming), SystemError> {
+        let payloads: Vec<usize> = packets.iter().map(|p| p.encode().len()).collect();
+        let ingress = self.eth.frame_ingest_time(&payloads);
+
+        // HPS pre-processing: standardization (Sec. IV-D).
+        let n_in = self.node.firmware().input_len;
+        if readings.len() < n_in {
+            return Err(SystemError::WrongFrameSize);
+        }
+        let standardized: Vec<f64> = readings[..n_in]
+            .iter()
+            .map(|&x| self.standardizer.apply(x))
+            .collect();
+
+        let (outputs, core) = self.node.run_frame(&standardized);
+        // The U-Net emits 520 interleaved (MI, RR) values; the MLP emits
+        // 518 split-halves values over 259 monitors.
+        let verdict = if outputs.len() == 2 * reads_blm::N_BLM {
+            DeblendVerdict::from_interleaved(sequence, &outputs)
+        } else {
+            DeblendVerdict::from_split_halves(sequence, &outputs)
+        };
+        let egress = self.eth.packet_time(verdict.encode(TRIP_THRESHOLD).len());
+        self.frames_processed += 1;
+        self.last_readings = Some(readings.to_vec());
+        Ok((
+            verdict,
+            EndToEndTiming {
+                ingress,
+                core,
+                egress,
+                total: ingress + core.total + egress,
+            },
+        ))
+    }
+
+    /// Real-time admission: can this deployment sustain `fps` with every
+    /// frame under `deadline`? Checks `frames` simulated ticks.
+    #[must_use]
+    pub fn admission_check(&mut self, fps: f64, deadline: SimDuration, frames: usize) -> bool {
+        let period = SimDuration::from_secs_f64(1.0 / fps);
+        let readings: Vec<f64> = vec![112_000.0; reads_blm::N_BLM];
+        let packets = reads_blm::hubs::split_frame(&readings, 0);
+        for _ in 0..frames {
+            match self.process_tick(&packets, 0) {
+                Ok((_, t)) => {
+                    if t.total > deadline || t.total > period {
+                        return false;
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trained::{TrainedBundle, TrainingTier};
+    use reads_blm::hubs::split_frame;
+    use reads_blm::FrameGenerator;
+    use reads_hls4ml::{convert, profile_model, HlsConfig};
+    use reads_nn::ModelSpec;
+
+    fn unet_system() -> (DeblendingSystem, FrameGenerator) {
+        // Untrained U-Net is fine here: these tests exercise the data path
+        // and timing, not accuracy.
+        let bundle = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 21);
+        let gen = FrameGenerator::with_defaults(bundle.workload_seed);
+        let model = reads_nn::models::reads_unet(7);
+        let frames = gen.batch(5_000, 4);
+        let calib: Vec<Vec<f64>> = frames
+            .iter()
+            .map(|f| bundle.standardizer.apply_frame(&f.readings))
+            .collect();
+        let profile = profile_model(&model, &calib);
+        let fw = convert(&model, &profile, &HlsConfig::paper_default());
+        (
+            DeblendingSystem::new(fw, bundle.standardizer.clone(), Default::default(), 99),
+            gen,
+        )
+    }
+
+    #[test]
+    fn tick_produces_verdict_and_timing() {
+        let (mut sys, gen) = unet_system();
+        let sample = gen.frame(6_000);
+        let packets = split_frame(&sample.readings, 42);
+        let (verdict, timing) = sys.process_tick(&packets, 42).expect("tick");
+        assert_eq!(verdict.mi.len(), 260);
+        assert_eq!(verdict.sequence, 42);
+        assert!(timing.total > timing.core.total);
+        assert!(timing.core.total.as_millis_f64() < 3.0, "deadline");
+        assert_eq!(sys.frames_processed(), 1);
+    }
+
+    #[test]
+    fn bad_frame_rejected_and_counted() {
+        let (mut sys, gen) = unet_system();
+        let sample = gen.frame(6_001);
+        let mut packets = split_frame(&sample.readings, 1);
+        packets.pop();
+        assert_eq!(
+            sys.process_tick(&packets, 1).unwrap_err(),
+            SystemError::BadFrame
+        );
+        assert_eq!(sys.sequence_errors(), 1);
+        assert_eq!(sys.frames_processed(), 0);
+    }
+
+    #[test]
+    fn degraded_mode_survives_a_lost_hub() {
+        let (mut sys, gen) = unet_system();
+        // Prime with one good frame.
+        let f0 = gen.frame(7_000);
+        let p0 = split_frame(&f0.readings, 0);
+        sys.process_tick(&p0, 0).expect("good frame");
+
+        // Next tick loses hub 3.
+        let f1 = gen.frame(7_001);
+        let mut p1 = split_frame(&f1.readings, 1);
+        p1.remove(3);
+        let (verdict, timing) = sys.process_tick_degraded(&p1, 1).expect("degraded frame");
+        assert_eq!(verdict.sequence, 1);
+        assert!(timing.core.total.as_millis_f64() < 3.0, "deadline held");
+        assert_eq!(sys.degraded_frames(), 1);
+        assert_eq!(sys.frames_processed(), 2);
+        // Strict mode would have rejected the same packets.
+        let mut strict = p1.clone();
+        strict.rotate_left(1);
+        assert!(sys.process_tick(&strict, 1).is_err());
+    }
+
+    #[test]
+    fn degraded_mode_first_frame_with_nothing_usable_fails() {
+        let (mut sys, _) = unet_system();
+        assert_eq!(
+            sys.process_tick_degraded(&[], 0).unwrap_err(),
+            SystemError::BadFrame
+        );
+        assert_eq!(sys.degraded_frames(), 0);
+    }
+
+    #[test]
+    fn degraded_mode_ignores_stale_sequence_packets() {
+        let (mut sys, gen) = unet_system();
+        let f0 = gen.frame(7_100);
+        sys.process_tick(&split_frame(&f0.readings, 0), 0).expect("prime");
+        // All packets from the wrong tick: gap-fill everything from frame 0.
+        let stale = split_frame(&gen.frame(7_101).readings, 99);
+        let (verdict, _) = sys.process_tick_degraded(&stale, 1).expect("held frame");
+        assert_eq!(verdict.sequence, 1);
+        assert_eq!(sys.degraded_frames(), 1);
+    }
+
+    #[test]
+    fn meets_the_320_fps_deployment_requirement() {
+        // "The practical deployed system is required to operate at 320 fps,
+        // with a 3 ms latency requirement, which has been met" (abstract).
+        let (mut sys, _) = unet_system();
+        assert!(sys.admission_check(320.0, SimDuration::from_millis(3), 40));
+    }
+}

@@ -1,0 +1,301 @@
+//! Trained-model management.
+//!
+//! The paper starts from a pre-trained Keras U-Net. Here the equivalent
+//! artifact is produced by `reads-nn` training on the `reads-blm` workload
+//! and cached on disk (JSON, under `target/reads-artifacts/`), keyed by
+//! model, tier and seed, so the test suite, examples and benches all reuse
+//! one training run.
+
+use reads_blm::dataset::{build_mlp_dataset_raw, build_unet_dataset_raw};
+use reads_blm::{build_mlp_dataset, build_unet_dataset, FrameGenerator, Standardizer};
+use reads_nn::train::{evaluate, train, Dataset, TrainConfig};
+use reads_nn::{models, Adam, Loss, Model, ModelSpec};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::PathBuf;
+
+/// How much training to spend (cache key component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrainingTier {
+    /// Quick tier for unit tests: few epochs, small dataset.
+    Fast,
+    /// The tier used by the reproduction experiments and benches.
+    Full,
+}
+
+impl TrainingTier {
+    fn params(self) -> (usize, usize, usize) {
+        // (train frames, epochs, batch)
+        match self {
+            TrainingTier::Fast => (192, 3, 16),
+            TrainingTier::Full => (600, 10, 16),
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            TrainingTier::Fast => "fast",
+            TrainingTier::Full => "full",
+        }
+    }
+}
+
+/// A trained model plus everything needed to feed it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedBundle {
+    /// Which architecture.
+    pub spec: ModelSpec,
+    /// The trained float model.
+    pub model: Model,
+    /// The input standardizer fitted on the training frames.
+    pub standardizer: Standardizer,
+    /// Seed of the workload generator (evaluation frames must use fresh
+    /// indices ≥ `train_frames`).
+    pub workload_seed: u64,
+    /// Frames consumed for training.
+    pub train_frames: usize,
+    /// Final training loss.
+    pub final_loss: f64,
+    /// Validation loss after training.
+    pub val_loss: f64,
+}
+
+fn artifacts_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/reads-artifacts")
+}
+
+impl TrainedBundle {
+    /// Loads the cached bundle or trains and caches it. Deterministic per
+    /// `(spec, tier, seed)`.
+    #[must_use]
+    pub fn get_or_train(spec: ModelSpec, tier: TrainingTier, seed: u64) -> Self {
+        let name = format!(
+            "{}-{}-seed{}.json",
+            match spec {
+                ModelSpec::UNet => "unet",
+                ModelSpec::Mlp => "mlp",
+            },
+            tier.tag(),
+            seed
+        );
+        let path = artifacts_dir().join(&name);
+        if let Ok(bytes) = fs::read(&path) {
+            if let Ok(bundle) = serde_json::from_slice::<TrainedBundle>(&bytes) {
+                if bundle.model.param_count() == spec.param_count() {
+                    return bundle;
+                }
+            }
+        }
+        let bundle = Self::train_now(spec, tier, seed);
+        let _ = fs::create_dir_all(artifacts_dir());
+        // Atomic-ish publish: write to a temp file, then rename, so a
+        // concurrent reader never sees a half-written artifact.
+        let tmp = path.with_extension("json.tmp");
+        if fs::write(&tmp, serde_json::to_vec(&bundle).expect("serialize")).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+        bundle
+    }
+
+    /// Unconditional training (used by `get_or_train` and the examples).
+    #[must_use]
+    pub fn train_now(spec: ModelSpec, tier: TrainingTier, seed: u64) -> Self {
+        let (n_frames, epochs, batch) = tier.params();
+        let gen = FrameGenerator::with_defaults(seed);
+        let frames = gen.batch(0, n_frames + n_frames / 4);
+        let standardizer = Standardizer::fit(&frames[..n_frames]);
+        let data = match spec {
+            ModelSpec::UNet => build_unet_dataset(&frames, &standardizer),
+            ModelSpec::Mlp => build_mlp_dataset(&frames, &standardizer),
+        };
+        let (train_set, val_set) = data.split_at(n_frames);
+
+        let mut model = spec.build(seed ^ 0x7EAC);
+        let mut opt = Adam::new(0.002);
+        let report = train(
+            &mut model,
+            &train_set,
+            &TrainConfig {
+                epochs,
+                batch_size: batch,
+                loss: Loss::Bce,
+                seed: seed ^ 0x5EED,
+                grad_clip: Some(5.0),
+            },
+            &mut opt,
+        );
+        let val_loss = evaluate(&model, &val_set, Loss::Bce);
+        Self {
+            spec,
+            model,
+            standardizer,
+            workload_seed: seed,
+            train_frames: n_frames + n_frames / 4,
+            final_loss: report.final_loss(),
+            val_loss,
+        }
+    }
+
+    /// Generates `n` *fresh* evaluation frames (indices the training never
+    /// saw) as `(standardized inputs, targets)` in this model's layout.
+    #[must_use]
+    pub fn eval_frames(&self, n: usize, offset: u64) -> Dataset {
+        let gen = FrameGenerator::with_defaults(self.workload_seed);
+        let frames = gen.batch(self.train_frames as u64 + offset, n);
+        match self.spec {
+            ModelSpec::UNet => build_unet_dataset(&frames, &self.standardizer),
+            ModelSpec::Mlp => build_mlp_dataset(&frames, &self.standardizer),
+        }
+    }
+
+    /// Standardized calibration inputs for the hls4ml profiling pass.
+    #[must_use]
+    pub fn calibration_inputs(&self, n: usize) -> Vec<Vec<f64>> {
+        self.eval_frames(n, 10_000).inputs
+    }
+}
+
+/// The paper's *original* configuration (Sec. IV-D): the model trained on
+/// raw digitizer data (magnitudes 105k–120k) behind a frozen input
+/// BatchNorm that performs the standardization. This is the configuration
+/// whose 16-bit uniform quantization collapses in Table II.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BnBundle {
+    /// Which architecture (wrapped in the input BN).
+    pub spec: ModelSpec,
+    /// The trained model (first layer: frozen BatchNorm).
+    pub model: Model,
+    /// Workload seed.
+    pub workload_seed: u64,
+    /// Frames consumed for training.
+    pub train_frames: usize,
+    /// Validation loss after training.
+    pub val_loss: f64,
+}
+
+impl BnBundle {
+    /// Loads or trains the raw-data + input-BN configuration.
+    #[must_use]
+    pub fn get_or_train(spec: ModelSpec, tier: TrainingTier, seed: u64) -> Self {
+        let name = format!(
+            "{}-bn-{}-seed{}.json",
+            match spec {
+                ModelSpec::UNet => "unet",
+                ModelSpec::Mlp => "mlp",
+            },
+            tier.tag(),
+            seed
+        );
+        let path = artifacts_dir().join(&name);
+        if let Ok(bytes) = fs::read(&path) {
+            if let Ok(bundle) = serde_json::from_slice::<BnBundle>(&bytes) {
+                if bundle.model.param_count() == spec.param_count() {
+                    return bundle;
+                }
+            }
+        }
+        let bundle = Self::train_now(spec, tier, seed);
+        let _ = fs::create_dir_all(artifacts_dir());
+        let tmp = path.with_extension("json.tmp");
+        if fs::write(&tmp, serde_json::to_vec(&bundle).expect("serialize")).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+        bundle
+    }
+
+    /// Trains the BN configuration on raw-scale frames.
+    #[must_use]
+    pub fn train_now(spec: ModelSpec, tier: TrainingTier, seed: u64) -> Self {
+        let (n_frames, epochs, batch) = tier.params();
+        let gen = FrameGenerator::with_defaults(seed);
+        let frames = gen.batch(0, n_frames + n_frames / 4);
+        // The frozen BN statistics come from the raw training data, exactly
+        // like Keras BatchNorm running statistics would.
+        let std = Standardizer::fit(&frames[..n_frames]);
+        let data = match spec {
+            ModelSpec::UNet => build_unet_dataset_raw(&frames),
+            ModelSpec::Mlp => build_mlp_dataset_raw(&frames),
+        };
+        let (train_set, val_set) = data.split_at(n_frames);
+
+        let mut model = match spec {
+            ModelSpec::UNet => {
+                models::reads_unet_input_bn(seed ^ 0x7EAC, std.mean, std.std * std.std)
+            }
+            ModelSpec::Mlp => {
+                models::reads_mlp_input_bn(seed ^ 0x7EAC, std.mean, std.std * std.std)
+            }
+        };
+        let mut opt = Adam::new(0.002);
+        let _ = train(
+            &mut model,
+            &train_set,
+            &TrainConfig {
+                epochs,
+                batch_size: batch,
+                loss: Loss::Bce,
+                seed: seed ^ 0x5EED,
+                grad_clip: Some(5.0),
+            },
+            &mut opt,
+        );
+        let val_loss = evaluate(&model, &val_set, Loss::Bce);
+        Self {
+            spec,
+            model,
+            workload_seed: seed,
+            train_frames: n_frames + n_frames / 4,
+            val_loss,
+        }
+    }
+
+    /// Raw-scale evaluation frames (fresh indices).
+    #[must_use]
+    pub fn eval_frames(&self, n: usize, offset: u64) -> Dataset {
+        let gen = FrameGenerator::with_defaults(self.workload_seed);
+        let frames = gen.batch(self.train_frames as u64 + offset, n);
+        match self.spec {
+            ModelSpec::UNet => build_unet_dataset_raw(&frames),
+            ModelSpec::Mlp => build_mlp_dataset_raw(&frames),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_mlp_trains_and_caches() {
+        let a = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 11);
+        assert_eq!(a.model.param_count(), 100_102);
+        assert!(a.final_loss.is_finite());
+        // Second call must come from cache and be identical.
+        let b = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 11);
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.standardizer, b.standardizer);
+    }
+
+    #[test]
+    fn training_actually_learns() {
+        let bundle = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 12);
+        // BCE of a constant-0.5 predictor is ln 2 ≈ 0.693; training must
+        // be meaningfully below that on held-out data.
+        assert!(
+            bundle.val_loss < 0.62,
+            "val loss {} not better than chance",
+            bundle.val_loss
+        );
+    }
+
+    #[test]
+    fn eval_frames_are_fresh_and_shaped() {
+        let bundle = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 11);
+        let eval = bundle.eval_frames(5, 0);
+        assert_eq!(eval.len(), 5);
+        assert_eq!(eval.inputs[0].len(), 259);
+        assert_eq!(eval.targets[0].len(), 518);
+        let eval2 = bundle.eval_frames(5, 500);
+        assert_ne!(eval.inputs[0], eval2.inputs[0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Wide multiply-accumulate register.
+//!
+//! An HLS dense/conv kernel synthesizes the dot-product accumulator wider
+//! than the operand formats so that the MAC chain itself never overflows;
+//! only the final write-back into the layer's output format can. [`Accum`]
+//! models exactly that: an `i128` count of `2^-frac_bits` quanta, with the
+//! fractional resolution of the exact product grid.
+
+use crate::format::{Overflow, QFormat, Rounding};
+use crate::value::Fx;
+
+/// Exact accumulator over a fixed dyadic grid.
+///
+/// All products added must share the same fractional resolution; mixing
+/// resolutions is a firmware-generation bug, so it panics in debug builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accum {
+    raw: i128,
+    frac_bits: i32,
+}
+
+impl Accum {
+    /// Zero accumulator at `frac_bits` resolution.
+    #[must_use]
+    pub fn zero(frac_bits: i32) -> Self {
+        Self { raw: 0, frac_bits }
+    }
+
+    /// Zero accumulator matching the exact product grid of `a × b`.
+    #[must_use]
+    pub fn for_product(a: &QFormat, b: &QFormat) -> Self {
+        Self::zero(a.frac_bits() + b.frac_bits())
+    }
+
+    /// Fractional resolution of the accumulator grid.
+    #[must_use]
+    pub fn frac_bits(&self) -> i32 {
+        self.frac_bits
+    }
+
+    /// Adds the exact product `a × b` (no rounding, no overflow).
+    pub fn mac(&mut self, a: &Fx, b: &Fx) {
+        let prod_frac = a.format().frac_bits() + b.format().frac_bits();
+        debug_assert_eq!(
+            prod_frac, self.frac_bits,
+            "MAC product grid mismatches accumulator"
+        );
+        self.raw += a.raw() as i128 * b.raw() as i128;
+    }
+
+    /// Adds a value already on some dyadic grid (e.g. a bias), re-aligned
+    /// exactly to the accumulator grid.
+    ///
+    /// # Panics
+    /// Panics if the value's grid is finer than the accumulator's (alignment
+    /// would lose bits — a firmware bug, since HLS sizes the accumulator to
+    /// the finest contributing grid).
+    pub fn add_value(&mut self, v: &Fx) {
+        let shift = self.frac_bits - v.format().frac_bits();
+        assert!(
+            shift >= 0,
+            "bias grid finer than accumulator ({} vs {})",
+            v.format().frac_bits(),
+            self.frac_bits
+        );
+        self.raw += (v.raw() as i128) << shift;
+    }
+
+    /// The exact accumulated real value.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 * (-self.frac_bits as f64).exp2()
+    }
+
+    /// Writes back into an output format. Returns the value and whether it
+    /// overflowed — this is the write-back that produces the paper's
+    /// "abnormal points" under `Overflow::Wrap`.
+    #[must_use]
+    pub fn write_back(&self, fmt: QFormat, rounding: Rounding, overflow: Overflow) -> (Fx, bool) {
+        Fx::from_f64(self.to_f64(), fmt, rounding, overflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_matches_float() {
+        let wf = QFormat::signed(16, 2);
+        let xf = QFormat::signed(16, 7);
+        let mut acc = Accum::for_product(&wf, &xf);
+        let mut expect = 0.0;
+        for i in 0..64 {
+            let w = (i as f64 * 0.017) - 0.5;
+            let x = (i as f64 * 0.61) - 20.0;
+            let (wq, _) = Fx::from_f64(w, wf, Rounding::Nearest, Overflow::Saturate);
+            let (xq, _) = Fx::from_f64(x, xf, Rounding::Nearest, Overflow::Saturate);
+            acc.mac(&wq, &xq);
+            expect += wq.to_f64() * xq.to_f64();
+        }
+        // Quantized inputs, exact accumulation: identical to float-of-quantized.
+        assert!((acc.to_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bias_alignment_exact() {
+        let wf = QFormat::signed(8, 2);
+        let xf = QFormat::signed(8, 2);
+        let bias_fmt = QFormat::signed(8, 4);
+        let mut acc = Accum::for_product(&wf, &xf);
+        let (b, _) = Fx::from_f64(3.5, bias_fmt, Rounding::Truncate, Overflow::Saturate);
+        acc.add_value(&b);
+        assert_eq!(acc.to_f64(), 3.5);
+    }
+
+    #[test]
+    fn write_back_saturates() {
+        let f = QFormat::signed(8, 8);
+        let mut acc = Accum::zero(0);
+        let (big, _) = Fx::from_f64(100.0, f, Rounding::Truncate, Overflow::Saturate);
+        for _ in 0..10 {
+            acc.add_value(&big);
+        }
+        let out_fmt = QFormat::signed(8, 8); // max 127
+        let (v, ovf) = acc.write_back(out_fmt, Rounding::Truncate, Overflow::Saturate);
+        assert!(ovf);
+        assert_eq!(v.to_f64(), 127.0);
+        // Wrap mode gives the two's-complement alias instead.
+        let (w, ovf) = acc.write_back(out_fmt, Rounding::Truncate, Overflow::Wrap);
+        assert!(ovf);
+        assert_eq!(w.to_f64(), 1000.0 - 4.0 * 256.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finer than accumulator")]
+    fn rejects_finer_bias_grid() {
+        let mut acc = Accum::zero(2);
+        let (b, _) = Fx::from_f64(
+            0.125,
+            QFormat::signed(8, 1),
+            Rounding::Truncate,
+            Overflow::Saturate,
+        ); // frac_bits = 7 > 2
+        acc.add_value(&b);
+    }
+
+    #[test]
+    fn long_mac_chain_never_loses_precision() {
+        // 10k MACs of the largest magnitudes in <16,7> stay exact in i128.
+        let f = QFormat::signed(16, 7);
+        let max = Fx::from_raw(f.raw_max(), f);
+        let mut acc = Accum::for_product(&f, &f);
+        for _ in 0..10_000 {
+            acc.mac(&max, &max);
+        }
+        let expect = max.to_f64() * max.to_f64() * 10_000.0;
+        assert!((acc.to_f64() - expect).abs() / expect < 1e-12);
+    }
+}

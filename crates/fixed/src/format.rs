@@ -1,0 +1,300 @@
+//! Fixed-point format descriptors and conversion modes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum supported total width in bits.
+///
+/// 48 bits comfortably covers every format the paper sweeps (W ≤ 20) plus
+/// exact double-width products (≤ 40 bits), while keeping raw values in
+/// `i64` and exact f64 conversion (f64 has 53 mantissa bits).
+pub const MAX_WIDTH: u32 = 48;
+
+/// Rounding mode applied when narrowing to a format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Rounding {
+    /// `AC_TRN`: truncate toward negative infinity (drop low bits). This is
+    /// the hls4ml/`ac_fixed` default and what the paper's firmware used.
+    #[default]
+    Truncate,
+    /// `AC_RND`: round to nearest, ties toward +∞ (add half an LSB, then
+    /// truncate) — matches `ac_fixed`'s `AC_RND` semantics.
+    Nearest,
+}
+
+/// Overflow mode applied when a value exceeds the format's range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Overflow {
+    /// `AC_WRAP`: keep the low `W` bits (two's-complement wraparound). The
+    /// `ac_fixed` default; the source of the paper's "abnormal point"
+    /// outliers when inner layers overflow (Sec. V / Fig. 5b).
+    #[default]
+    Wrap,
+    /// `AC_SAT`: clamp to the representable extremes.
+    Saturate,
+}
+
+/// An `ac_fixed<W, I, S>`-style format: `W` total bits of which `I` are
+/// integer bits (sign bit included for signed formats), leaving `W − I`
+/// fractional bits. `I` may be negative (all-fraction sub-unit ranges) or
+/// exceed `W` (coarse grids), exactly as in `ac_fixed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    /// Total width in bits (1 ..= [`MAX_WIDTH`]).
+    pub width: u32,
+    /// Integer bits (sign included when signed). May be negative or > width.
+    pub int_bits: i32,
+    /// Two's-complement signed when true; unsigned otherwise.
+    pub signed: bool,
+}
+
+impl QFormat {
+    /// Signed format `ac_fixed<W, I, true>`.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`], or if a signed format
+    /// is narrower than 2 bits (sign plus at least one magnitude bit).
+    #[must_use]
+    pub fn signed(width: u32, int_bits: i32) -> Self {
+        let f = Self {
+            width,
+            int_bits,
+            signed: true,
+        };
+        f.validate();
+        f
+    }
+
+    /// Unsigned format `ac_fixed<W, I, false>`.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn unsigned(width: u32, int_bits: i32) -> Self {
+        let f = Self {
+            width,
+            int_bits,
+            signed: false,
+        };
+        f.validate();
+        f
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.width >= 1 && self.width <= MAX_WIDTH,
+            "width {} out of 1..={MAX_WIDTH}",
+            self.width
+        );
+        assert!(
+            !self.signed || self.width >= 2,
+            "signed format needs >= 2 bits"
+        );
+        // Keep |int_bits| bounded so scale arithmetic stays exact in f64.
+        assert!(
+            self.int_bits.abs() <= 64,
+            "int_bits {} out of range",
+            self.int_bits
+        );
+    }
+
+    /// Fractional bits `W − I` (negative means the LSB is worth > 1).
+    #[must_use]
+    pub fn frac_bits(&self) -> i32 {
+        self.width as i32 - self.int_bits
+    }
+
+    /// The value of one least-significant quantum, `2^−frac_bits`.
+    #[must_use]
+    pub fn lsb(&self) -> f64 {
+        (-self.frac_bits() as f64).exp2()
+    }
+
+    /// Largest representable raw integer.
+    #[must_use]
+    pub fn raw_max(&self) -> i64 {
+        if self.signed {
+            (1i64 << (self.width - 1)) - 1
+        } else {
+            (1i64 << self.width) - 1
+        }
+    }
+
+    /// Smallest representable raw integer.
+    #[must_use]
+    pub fn raw_min(&self) -> i64 {
+        if self.signed {
+            -(1i64 << (self.width - 1))
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable real value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.raw_max() as f64 * self.lsb()
+    }
+
+    /// Smallest representable real value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.raw_min() as f64 * self.lsb()
+    }
+
+    /// Whether `x` lies within the representable closed range.
+    #[must_use]
+    pub fn in_range(&self, x: f64) -> bool {
+        x >= self.min_value() && x <= self.max_value()
+    }
+
+    /// Minimum number of integer bits a signed format needs so that
+    /// `max_abs` does not overflow. This is the paper's layer-based rule:
+    /// *"we re-evaluated the maximum absolute output value generated inside
+    /// each individual layer ... using this maximum, we calculated the
+    /// required number of integer bits for each layer"* (Sec. IV-D).
+    ///
+    /// One bit is the sign; the rest must cover `floor(log2(max_abs)) + 1`.
+    /// The result may be zero or negative for magnitudes below 0.5 —
+    /// `ac_fixed` allows that, and the layer-based strategy exploits it to
+    /// spend more bits on fraction for small-ranged layers.
+    #[must_use]
+    pub fn required_int_bits_signed(max_abs: f64) -> i32 {
+        if max_abs <= 0.0 {
+            return 1; // degenerate: sign bit only
+        }
+        // Minimal I with 2^(I-1) > max_abs, computed robustly by searching
+        // around log2 (log2 alone has rounding hazards at powers of two).
+        let mut i = max_abs.log2().floor() as i32 + 2;
+        while i > -60 && ((i - 2) as f64).exp2() > max_abs {
+            i -= 1;
+        }
+        while ((i - 1) as f64).exp2() <= max_abs {
+            i += 1;
+        }
+        i
+    }
+
+    /// The exact double-width product format of `self × other`
+    /// (`ac_fixed` multiplication result type).
+    #[must_use]
+    pub fn product(&self, other: &QFormat) -> QFormat {
+        let width = self.width + other.width;
+        assert!(width <= MAX_WIDTH, "product width {width} > {MAX_WIDTH}");
+        QFormat {
+            width,
+            int_bits: self.int_bits + other.int_bits,
+            signed: self.signed || other.signed,
+        }
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ac_fixed<{}, {}, {}>",
+            self.width,
+            self.int_bits,
+            if self.signed { "true" } else { "false" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formats_ranges() {
+        // ac_fixed<16,7>: the paper's default uniform precision.
+        let f = QFormat::signed(16, 7);
+        assert_eq!(f.frac_bits(), 9);
+        assert_eq!(f.lsb(), 1.0 / 512.0);
+        assert_eq!(f.max_value(), 63.998046875); // 2^6 - 2^-9
+        assert_eq!(f.min_value(), -64.0);
+
+        // ac_fixed<18,10>: the over-budget uniform alternative in Table II.
+        let g = QFormat::signed(18, 10);
+        assert_eq!(g.frac_bits(), 8);
+        assert_eq!(g.max_value(), 512.0 - 1.0 / 256.0);
+        assert_eq!(g.min_value(), -512.0);
+    }
+
+    #[test]
+    fn unsigned_range() {
+        let f = QFormat::unsigned(8, 0);
+        assert_eq!(f.min_value(), 0.0);
+        assert!((f.max_value() - (1.0 - 1.0 / 256.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_int_bits_subunit_grid() {
+        // ac_fixed<8, -2>: all values below 1/4, fine grid.
+        let f = QFormat::signed(8, -2);
+        assert_eq!(f.frac_bits(), 10);
+        assert!(f.max_value() < 0.25);
+        assert_eq!(f.lsb(), 1.0 / 1024.0);
+    }
+
+    #[test]
+    fn int_bits_beyond_width_coarse_grid() {
+        // ac_fixed<4, 8>: LSB worth 16.
+        let f = QFormat::signed(4, 8);
+        assert_eq!(f.frac_bits(), -4);
+        assert_eq!(f.lsb(), 16.0);
+        assert_eq!(f.max_value(), 7.0 * 16.0);
+    }
+
+    #[test]
+    fn required_int_bits_rule() {
+        assert_eq!(QFormat::required_int_bits_signed(0.0), 1);
+        assert_eq!(QFormat::required_int_bits_signed(0.3), 0); // 2^-1=0.5 > 0.3
+        assert_eq!(QFormat::required_int_bits_signed(0.9), 1);
+        assert_eq!(QFormat::required_int_bits_signed(0.1), -2); // 2^-3=0.125 > 0.1
+        assert_eq!(QFormat::required_int_bits_signed(1.0), 2); // needs 2^1 > 1.0
+        assert_eq!(QFormat::required_int_bits_signed(1.5), 2);
+        assert_eq!(QFormat::required_int_bits_signed(2.0), 3);
+        assert_eq!(QFormat::required_int_bits_signed(63.9), 7);
+        assert_eq!(QFormat::required_int_bits_signed(64.0), 8);
+        assert_eq!(QFormat::required_int_bits_signed(511.0), 10);
+    }
+
+    #[test]
+    fn required_int_bits_is_sufficient_and_tight() {
+        for &m in &[0.01, 0.7, 1.1, 3.3, 17.0, 100.0, 120_000.0] {
+            let i = QFormat::required_int_bits_signed(m);
+            // Sufficient: a format with that many int bits represents m.
+            assert!(((i - 1) as f64).exp2() > m, "insufficient for {m}");
+            // Tight: one fewer would not suffice.
+            assert!(((i - 2) as f64).exp2() <= m, "not tight for {m}");
+        }
+    }
+
+    #[test]
+    fn product_format() {
+        let a = QFormat::signed(16, 7);
+        let b = QFormat::signed(16, 2);
+        let p = a.product(&b);
+        assert_eq!(p.width, 32);
+        assert_eq!(p.int_bits, 9);
+        assert!(p.signed);
+    }
+
+    #[test]
+    fn display_matches_hls_syntax() {
+        assert_eq!(QFormat::signed(16, 7).to_string(), "ac_fixed<16, 7, true>");
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_zero_width() {
+        let _ = QFormat::signed(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "signed format")]
+    fn rejects_one_bit_signed() {
+        let _ = QFormat::signed(1, 1);
+    }
+}

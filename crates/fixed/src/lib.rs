@@ -1,0 +1,35 @@
+//! `reads-fixed` — bit-exact fixed-point arithmetic in the style of the Intel
+//! HLS `ac_fixed<W, I, S>` datatype used by hls4ml firmware.
+//!
+//! The paper's central optimization (Sec. IV-D, Table II) is *layer-based
+//! post-training quantization*: every layer of the U-Net firmware computes in
+//! its own `ac_fixed<16, x>` format, where `x` (the number of integer bits)
+//! is chosen from the profiled maximum absolute value of that layer's output.
+//! Reproducing Table II and Figs. 5a/5b therefore requires arithmetic that is
+//! bit-exact with respect to the format semantics — rounding mode, overflow
+//! mode, and the exact representable grid — not merely "approximately
+//! quantized" floats.
+//!
+//! * [`QFormat`] — a `(W, I, signed)` format descriptor, `W` total bits and
+//!   `I` integer bits (so `W − I` fractional bits; `I` may exceed `W` or be
+//!   negative, exactly like `ac_fixed`).
+//! * [`Fx`] — a value: an integer `raw` count of `2^-(W-I)` quanta.
+//! * [`Rounding`] / [`Overflow`] — `AC_TRN`/`AC_RND` and `AC_WRAP`/`AC_SAT`.
+//! * [`Quantizer`] — format + modes + overflow accounting. Overflow counts
+//!   feed the Fig. 5b "abnormal points from inner-layer overflow" analysis.
+//! * [`Accum`] — the wide multiply-accumulate register an HLS dense/conv
+//!   kernel synthesizes; exact for every MAC chain in the READS models.
+
+#![warn(missing_docs)]
+
+pub mod accum;
+pub mod format;
+pub mod quantizer;
+pub mod typed;
+pub mod value;
+
+pub use accum::Accum;
+pub use format::{Overflow, QFormat, Rounding};
+pub use quantizer::{OverflowStats, Quantizer};
+pub use typed::{Fix16x7, Fix18x10, Fixed};
+pub use value::Fx;

@@ -1,0 +1,207 @@
+//! Quantizers: a format bundled with conversion modes and overflow
+//! accounting.
+//!
+//! The firmware interpreter in `reads-hls4ml` owns one [`Quantizer`] per
+//! layer. The overflow counters are the observable that explains the paper's
+//! Fig. 5b: *"there are still some infrequent outliers ... which may occur
+//! because of inner layer overflows"* — the counter tells us exactly when
+//! that happened, and `int_margin` implements the *"half of these outliers
+//! could be mitigated by adding one extra bit to the integer part"*
+//! mitigation.
+
+use crate::format::{Overflow, QFormat, Rounding};
+use crate::value::Fx;
+use serde::{Deserialize, Serialize};
+
+/// Running overflow/saturation accounting for one quantizer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverflowStats {
+    /// Total values pushed through the quantizer.
+    pub total: u64,
+    /// Values whose magnitude exceeded the representable range.
+    pub overflows: u64,
+}
+
+impl OverflowStats {
+    /// Fraction of quantizations that overflowed.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overflows as f64 / self.total as f64
+        }
+    }
+
+    /// Merges counters (parallel reduction).
+    pub fn merge(&mut self, other: &OverflowStats) {
+        self.total += other.total;
+        self.overflows += other.overflows;
+    }
+}
+
+/// A format with conversion modes and an overflow counter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Quantizer {
+    fmt: QFormat,
+    rounding: Rounding,
+    overflow: Overflow,
+    stats: OverflowStats,
+}
+
+impl Quantizer {
+    /// New quantizer with explicit modes.
+    #[must_use]
+    pub fn new(fmt: QFormat, rounding: Rounding, overflow: Overflow) -> Self {
+        Self {
+            fmt,
+            rounding,
+            overflow,
+            stats: OverflowStats::default(),
+        }
+    }
+
+    /// hls4ml-default modes: truncate, wrap (`AC_TRN`, `AC_WRAP`).
+    #[must_use]
+    pub fn hls_default(fmt: QFormat) -> Self {
+        Self::new(fmt, Rounding::Truncate, Overflow::Wrap)
+    }
+
+    /// The format.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    /// The rounding mode.
+    #[must_use]
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
+    /// The overflow mode.
+    #[must_use]
+    pub fn overflow_mode(&self) -> Overflow {
+        self.overflow
+    }
+
+    /// Accumulated overflow statistics.
+    #[must_use]
+    pub fn stats(&self) -> OverflowStats {
+        self.stats
+    }
+
+    /// Resets the overflow statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = OverflowStats::default();
+    }
+
+    /// Quantizes one real value, recording overflow.
+    pub fn quantize(&mut self, x: f64) -> Fx {
+        let (v, ovf) = Fx::from_f64(x, self.fmt, self.rounding, self.overflow);
+        self.stats.total += 1;
+        self.stats.overflows += u64::from(ovf);
+        v
+    }
+
+    /// Quantizes and immediately dequantizes (the "fake-quantization" view
+    /// used when evaluating accuracy against the float reference).
+    pub fn quantize_dequantize(&mut self, x: f64) -> f64 {
+        self.quantize(x).to_f64()
+    }
+
+    /// Quantizes a slice in place (dequantized values), recording overflows.
+    pub fn quantize_slice(&mut self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.quantize_dequantize(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_overflows() {
+        let mut q = Quantizer::new(
+            QFormat::signed(8, 4),
+            Rounding::Truncate,
+            Overflow::Saturate,
+        );
+        q.quantize(1.0); // fits
+        q.quantize(100.0); // overflows (max < 8)
+        q.quantize(-100.0); // overflows
+        assert_eq!(q.stats().total, 3);
+        assert_eq!(q.stats().overflows, 2);
+        assert!((q.stats().rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut q = Quantizer::hls_default(QFormat::signed(8, 2));
+        q.quantize(50.0);
+        assert_eq!(q.stats().overflows, 1);
+        q.reset_stats();
+        assert_eq!(q.stats(), OverflowStats::default());
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bound() {
+        let mut q = Quantizer::new(
+            QFormat::signed(16, 7),
+            Rounding::Nearest,
+            Overflow::Saturate,
+        );
+        let lsb = q.format().lsb();
+        for i in 0..1000 {
+            let x = (i as f64) * 0.013 - 6.0; // all in range
+            let y = q.quantize_dequantize(x);
+            assert!((x - y).abs() <= 0.5 * lsb + 1e-15);
+        }
+        assert_eq!(q.stats().overflows, 0);
+    }
+
+    #[test]
+    fn truncate_error_bound_is_one_lsb() {
+        let mut q = Quantizer::new(
+            QFormat::signed(16, 7),
+            Rounding::Truncate,
+            Overflow::Saturate,
+        );
+        let lsb = q.format().lsb();
+        for i in 0..1000 {
+            let x = (i as f64) * 0.017 - 8.0;
+            let y = q.quantize_dequantize(x);
+            assert!(y <= x + 1e-15, "truncation never rounds up");
+            assert!((x - y).abs() < lsb + 1e-15);
+        }
+    }
+
+    #[test]
+    fn slice_quantization() {
+        let mut q = Quantizer::hls_default(QFormat::signed(16, 4));
+        let mut xs = vec![0.1, 0.2, 0.3];
+        q.quantize_slice(&mut xs);
+        assert_eq!(q.stats().total, 3);
+        for (orig, new) in [0.1, 0.2, 0.3].iter().zip(&xs) {
+            assert!((orig - new).abs() < q.format().lsb());
+        }
+    }
+
+    #[test]
+    fn merge_stats() {
+        let mut a = OverflowStats {
+            total: 10,
+            overflows: 2,
+        };
+        let b = OverflowStats {
+            total: 5,
+            overflows: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.total, 15);
+        assert_eq!(a.overflows, 3);
+        assert!((a.rate() - 0.2).abs() < 1e-12);
+    }
+}

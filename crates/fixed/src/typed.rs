@@ -1,0 +1,288 @@
+//! Compile-time-typed fixed point: `Fixed<W, I>`.
+//!
+//! The dynamic [`crate::Fx`] carries its format at runtime, which is what
+//! the firmware interpreter needs (layer formats are data). Handwritten
+//! kernels want the opposite — the C++ firmware writes
+//! `ac_fixed<16, 7, true>` as a *type* and lets the compiler check format
+//! agreement. `Fixed<W, I>` is that API: width and integer bits are const
+//! generics, arithmetic yields exactly-typed results, and conversions are
+//! explicit. All values are signed (matching every format the READS
+//! firmware uses) and use saturating construction with truncation — the
+//! conservative hand-written-kernel convention.
+//!
+//! Equivalence with the dynamic path is pinned by property tests in
+//! `tests/proptests.rs`.
+
+use crate::format::{Overflow, QFormat, Rounding};
+use crate::value::Fx;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A signed fixed-point value with compile-time format `ac_fixed<W, I>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fixed<const W: u32, const I: i32> {
+    raw: i64,
+}
+
+impl<const W: u32, const I: i32> Fixed<W, I> {
+    /// The format as a runtime descriptor.
+    #[must_use]
+    pub fn format() -> QFormat {
+        QFormat::signed(W, I)
+    }
+
+    /// Zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { raw: 0 }
+    }
+
+    /// Largest representable value.
+    #[must_use]
+    pub fn max_value() -> Self {
+        Self {
+            raw: Self::format().raw_max(),
+        }
+    }
+
+    /// Smallest representable value.
+    #[must_use]
+    pub fn min_value() -> Self {
+        Self {
+            raw: Self::format().raw_min(),
+        }
+    }
+
+    /// Saturating, truncating conversion from `f64` (the hand-written
+    /// kernel convention; use [`crate::Quantizer`] when you need wrap
+    /// semantics or overflow accounting).
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
+        let (v, _) = Fx::from_f64(x, Self::format(), Rounding::Truncate, Overflow::Saturate);
+        Self { raw: v.raw() }
+    }
+
+    /// From a raw quantum count.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[must_use]
+    pub fn from_raw(raw: i64) -> Self {
+        let f = Self::format();
+        assert!(raw >= f.raw_min() && raw <= f.raw_max(), "raw out of range");
+        Self { raw }
+    }
+
+    /// The raw quantum count.
+    #[must_use]
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Exact real value.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 * Self::format().lsb()
+    }
+
+    /// The dynamic view of this value.
+    #[must_use]
+    pub fn to_fx(self) -> Fx {
+        Fx::from_raw(self.raw, Self::format())
+    }
+
+    /// Saturating, truncating conversion into another format.
+    #[must_use]
+    pub fn convert<const W2: u32, const I2: i32>(self) -> Fixed<W2, I2> {
+        Fixed::<W2, I2>::from_f64(self.to_f64())
+    }
+
+    /// Saturating addition within the format.
+    #[must_use]
+    pub fn saturating_add(self, other: Self) -> Self {
+        let f = Self::format();
+        Self {
+            raw: (self.raw + other.raw).clamp(f.raw_min(), f.raw_max()),
+        }
+    }
+
+    /// `max(0, self)` — the exact fixed-point ReLU.
+    #[must_use]
+    pub fn relu(self) -> Self {
+        Self {
+            raw: self.raw.max(0),
+        }
+    }
+}
+
+/// Addition yields one more integer bit (no overflow possible) — the
+/// `ac_fixed` result-type rule.
+impl<const W: u32, const I: i32> Add for Fixed<W, I>
+where
+    // The compiler cannot express W+1/I+1 result generics on stable Rust
+    // without generic_const_exprs; addition therefore returns the exact sum
+    // as the dynamic type.
+    Fx: Sized,
+{
+    type Output = Fx;
+    fn add(self, other: Self) -> Fx {
+        let wide = QFormat::signed(W + 1, I + 1);
+        let (v, ovf) = Fx::from_f64(
+            self.to_f64() + other.to_f64(),
+            wide,
+            Rounding::Truncate,
+            Overflow::Saturate,
+        );
+        debug_assert!(!ovf, "W+1 bits always hold the sum of two W-bit values");
+        v
+    }
+}
+
+impl<const W: u32, const I: i32> Sub for Fixed<W, I> {
+    type Output = Fx;
+    fn sub(self, other: Self) -> Fx {
+        let wide = QFormat::signed(W + 1, I + 1);
+        let (v, ovf) = Fx::from_f64(
+            self.to_f64() - other.to_f64(),
+            wide,
+            Rounding::Truncate,
+            Overflow::Saturate,
+        );
+        debug_assert!(!ovf);
+        v
+    }
+}
+
+/// Multiplication is exact in the double-width product type (dynamic,
+/// for the same const-generic reason as addition).
+impl<const W: u32, const I: i32> Mul for Fixed<W, I> {
+    type Output = Fx;
+    fn mul(self, other: Self) -> Fx {
+        self.to_fx().mul_exact(&other.to_fx())
+    }
+}
+
+impl<const W: u32, const I: i32> Neg for Fixed<W, I> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        // -raw_min saturates to raw_max (two's complement asymmetry).
+        let f = Self::format();
+        Self {
+            raw: self
+                .raw
+                .checked_neg()
+                .map_or(f.raw_max(), |r| r.clamp(f.raw_min(), f.raw_max())),
+        }
+    }
+}
+
+impl<const W: u32, const I: i32> PartialOrd for Fixed<W, I> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const W: u32, const I: i32> Ord for Fixed<W, I> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+
+impl<const W: u32, const I: i32> fmt::Display for Fixed<W, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [ac_fixed<{W}, {I}>]", self.to_f64())
+    }
+}
+
+/// The paper's default firmware type.
+pub type Fix16x7 = Fixed<16, 7>;
+/// The over-budget Table II alternative.
+pub type Fix18x10 = Fixed<18, 10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_bounds() {
+        let x = Fix16x7::from_f64(3.1875);
+        assert!((x.to_f64() - 3.1875).abs() < Fix16x7::format().lsb());
+        assert_eq!(Fix16x7::from_f64(1e9), Fix16x7::max_value());
+        assert_eq!(Fix16x7::from_f64(-1e9), Fix16x7::min_value());
+        assert_eq!(Fix16x7::max_value().to_f64(), 64.0 - Fix16x7::format().lsb());
+    }
+
+    #[test]
+    fn addition_never_overflows() {
+        let sum = Fix16x7::max_value() + Fix16x7::max_value();
+        assert_eq!(sum.to_f64(), 2.0 * Fix16x7::max_value().to_f64());
+        assert_eq!(sum.format().width, 17);
+        assert_eq!(sum.format().int_bits, 8);
+    }
+
+    #[test]
+    fn subtraction_exact() {
+        let a = Fix16x7::from_f64(10.5);
+        let b = Fix16x7::from_f64(-20.25);
+        assert_eq!((a - b).to_f64(), 30.75);
+    }
+
+    #[test]
+    fn multiplication_exact_double_width() {
+        let a = Fix16x7::from_f64(1.5);
+        let b = Fix16x7::from_f64(-2.25);
+        let p = a * b;
+        assert_eq!(p.to_f64(), -3.375);
+        assert_eq!(p.format().width, 32);
+        assert_eq!(p.format().int_bits, 14);
+    }
+
+    #[test]
+    fn conversion_between_formats() {
+        let x = Fix18x10::from_f64(300.0);
+        let y: Fix16x7 = x.convert();
+        assert_eq!(y, Fix16x7::max_value(), "300 saturates in <16,7>");
+        let z: Fix18x10 = Fix16x7::from_f64(12.375).convert();
+        assert_eq!(z.to_f64(), 12.375);
+    }
+
+    #[test]
+    fn neg_saturates_at_min() {
+        let m = Fix16x7::min_value();
+        assert_eq!(-m, Fix16x7::max_value());
+        assert_eq!((-Fix16x7::from_f64(5.0)).to_f64(), -5.0);
+    }
+
+    #[test]
+    fn relu_and_ordering() {
+        let neg = Fix16x7::from_f64(-3.0);
+        let pos = Fix16x7::from_f64(2.0);
+        assert_eq!(neg.relu(), Fix16x7::zero());
+        assert_eq!(pos.relu(), pos);
+        assert!(neg < pos);
+        assert!(Fix16x7::zero() <= pos);
+    }
+
+    #[test]
+    fn saturating_add_stays_in_format() {
+        let near_max = Fix16x7::from_f64(60.0);
+        let s = near_max.saturating_add(near_max);
+        assert_eq!(s, Fix16x7::max_value());
+    }
+
+    #[test]
+    fn matches_dynamic_path() {
+        for i in -100..100 {
+            let x = i as f64 * 0.37;
+            let typed = Fix16x7::from_f64(x);
+            let (dynamic, _) = Fx::from_f64(
+                x,
+                QFormat::signed(16, 7),
+                Rounding::Truncate,
+                Overflow::Saturate,
+            );
+            assert_eq!(typed.raw(), dynamic.raw());
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Fixed-point values.
+
+use crate::format::{Overflow, QFormat, Rounding};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-point value: `raw` quanta of `2^-frac_bits` in format `fmt`.
+///
+/// Invariant: `fmt.raw_min() <= raw <= fmt.raw_max()` (enforced on every
+/// constructor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fx {
+    raw: i64,
+    fmt: QFormat,
+}
+
+impl Fx {
+    /// Zero in the given format.
+    #[must_use]
+    pub fn zero(fmt: QFormat) -> Self {
+        Self { raw: 0, fmt }
+    }
+
+    /// From a raw quantum count.
+    ///
+    /// # Panics
+    /// Panics if `raw` is outside the format's representable raw range.
+    #[must_use]
+    pub fn from_raw(raw: i64, fmt: QFormat) -> Self {
+        assert!(
+            raw >= fmt.raw_min() && raw <= fmt.raw_max(),
+            "raw {raw} outside {fmt}"
+        );
+        Self { raw, fmt }
+    }
+
+    /// Quantizes a real number into `fmt` with the given modes. Returns the
+    /// value and whether the input overflowed the format's range.
+    ///
+    /// Non-finite inputs saturate (or wrap from the clamped extreme) and are
+    /// reported as overflow.
+    #[must_use]
+    pub fn from_f64(x: f64, fmt: QFormat, rounding: Rounding, overflow: Overflow) -> (Self, bool) {
+        let scaled = x * (fmt.frac_bits() as f64).exp2();
+        let rounded = match rounding {
+            Rounding::Truncate => scaled.floor(),
+            Rounding::Nearest => (scaled + 0.5).floor(),
+        };
+        let (lo, hi) = (fmt.raw_min(), fmt.raw_max());
+        let overflowed = !(lo as f64..=hi as f64).contains(&rounded) || !rounded.is_finite();
+        let raw = if !overflowed {
+            rounded as i64
+        } else {
+            match overflow {
+                Overflow::Saturate => {
+                    if rounded.is_nan() {
+                        0
+                    } else if rounded > hi as f64 {
+                        hi
+                    } else {
+                        lo
+                    }
+                }
+                Overflow::Wrap => {
+                    if !rounded.is_finite() {
+                        0
+                    } else {
+                        wrap_to_width(rounded as i128, fmt)
+                    }
+                }
+            }
+        };
+        (Self { raw, fmt }, overflowed)
+    }
+
+    /// The raw quantum count.
+    #[must_use]
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The format.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    /// Exact real value (`f64` is exact for all widths ≤ 48).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 * self.fmt.lsb()
+    }
+
+    /// Exact sum in a caller-supplied result format (values re-aligned to the
+    /// result's grid; overflow handled per `overflow`). Returns the sum and
+    /// whether it overflowed.
+    #[must_use]
+    pub fn add(&self, other: &Fx, fmt: QFormat, rounding: Rounding, overflow: Overflow) -> (Fx, bool) {
+        let sum = self.to_f64() + other.to_f64(); // exact: both on dyadic grids within f64
+        Fx::from_f64(sum, fmt, rounding, overflow)
+    }
+
+    /// Exact product in the canonical double-width product format — never
+    /// rounds or overflows (mirrors `ac_fixed` multiplication).
+    #[must_use]
+    pub fn mul_exact(&self, other: &Fx) -> Fx {
+        let fmt = self.fmt.product(&other.fmt);
+        let raw = self.raw as i128 * other.raw as i128;
+        debug_assert!(raw >= fmt.raw_min() as i128 && raw <= fmt.raw_max() as i128);
+        Fx {
+            raw: raw as i64,
+            fmt,
+        }
+    }
+
+    /// Re-quantizes into another format. Returns the value and whether the
+    /// magnitude overflowed the destination.
+    #[must_use]
+    pub fn convert(&self, fmt: QFormat, rounding: Rounding, overflow: Overflow) -> (Fx, bool) {
+        Fx::from_f64(self.to_f64(), fmt, rounding, overflow)
+    }
+}
+
+/// Two's-complement wrap of an arbitrary integer into the format's raw range
+/// (the `AC_WRAP` semantics: keep the low `W` bits).
+pub(crate) fn wrap_to_width(raw: i128, fmt: QFormat) -> i64 {
+    let w = fmt.width;
+    let modulus: i128 = 1i128 << w;
+    let mut v = raw.rem_euclid(modulus); // low W bits, non-negative
+    if fmt.signed && v >= modulus / 2 {
+        v -= modulus;
+    }
+    v as i64
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.to_f64(), self.fmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q16_7: QFormat = QFormat {
+        width: 16,
+        int_bits: 7,
+        signed: true,
+    };
+
+    #[test]
+    fn roundtrip_on_grid_is_exact() {
+        let fmt = Q16_7;
+        for raw in [-32768i64, -1, 0, 1, 511, 32767] {
+            let v = Fx::from_raw(raw, fmt);
+            let (back, ovf) = Fx::from_f64(v.to_f64(), fmt, Rounding::Truncate, Overflow::Saturate);
+            assert!(!ovf);
+            assert_eq!(back.raw(), raw);
+        }
+    }
+
+    #[test]
+    fn truncate_rounds_toward_neg_infinity() {
+        let fmt = QFormat::signed(8, 4); // LSB = 1/16
+        let (v, _) = Fx::from_f64(0.99 / 16.0, fmt, Rounding::Truncate, Overflow::Saturate);
+        assert_eq!(v.raw(), 0);
+        let (v, _) = Fx::from_f64(-0.01 / 16.0, fmt, Rounding::Truncate, Overflow::Saturate);
+        assert_eq!(v.raw(), -1, "floor semantics for negatives");
+    }
+
+    #[test]
+    fn nearest_rounds_half_up() {
+        let fmt = QFormat::signed(8, 4);
+        let lsb = fmt.lsb();
+        let (v, _) = Fx::from_f64(0.5 * lsb, fmt, Rounding::Nearest, Overflow::Saturate);
+        assert_eq!(v.raw(), 1, "tie goes toward +inf (AC_RND)");
+        let (v, _) = Fx::from_f64(-0.5 * lsb, fmt, Rounding::Nearest, Overflow::Saturate);
+        assert_eq!(v.raw(), 0);
+        let (v, _) = Fx::from_f64(0.49 * lsb, fmt, Rounding::Nearest, Overflow::Saturate);
+        assert_eq!(v.raw(), 0);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let (v, ovf) = Fx::from_f64(1e9, Q16_7, Rounding::Truncate, Overflow::Saturate);
+        assert!(ovf);
+        assert_eq!(v.raw(), Q16_7.raw_max());
+        let (v, ovf) = Fx::from_f64(-1e9, Q16_7, Rounding::Truncate, Overflow::Saturate);
+        assert!(ovf);
+        assert_eq!(v.raw(), Q16_7.raw_min());
+    }
+
+    #[test]
+    fn wrap_is_twos_complement() {
+        // 64.0 in <16,7> scales to raw 32768 = -32768 after wrap.
+        let (v, ovf) = Fx::from_f64(64.0, Q16_7, Rounding::Truncate, Overflow::Wrap);
+        assert!(ovf);
+        assert_eq!(v.raw(), -32768);
+        assert_eq!(v.to_f64(), -64.0);
+        // One LSB above max wraps to min.
+        let just_over = Q16_7.max_value() + Q16_7.lsb();
+        let (v, _) = Fx::from_f64(just_over, Q16_7, Rounding::Truncate, Overflow::Wrap);
+        assert_eq!(v.to_f64(), Q16_7.min_value());
+    }
+
+    #[test]
+    fn wrap_unsigned() {
+        let fmt = QFormat::unsigned(8, 8); // integers 0..=255
+        let (v, ovf) = Fx::from_f64(256.0, fmt, Rounding::Truncate, Overflow::Wrap);
+        assert!(ovf);
+        assert_eq!(v.to_f64(), 0.0);
+        let (v, _) = Fx::from_f64(-1.0, fmt, Rounding::Truncate, Overflow::Wrap);
+        assert_eq!(v.to_f64(), 255.0);
+    }
+
+    #[test]
+    fn non_finite_inputs_overflow_safely() {
+        for x in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let (v, ovf) = Fx::from_f64(x, Q16_7, Rounding::Truncate, Overflow::Saturate);
+            assert!(ovf);
+            assert!(v.raw() >= Q16_7.raw_min() && v.raw() <= Q16_7.raw_max());
+            let (v, ovf) = Fx::from_f64(x, Q16_7, Rounding::Truncate, Overflow::Wrap);
+            assert!(ovf);
+            assert!(v.raw() >= Q16_7.raw_min() && v.raw() <= Q16_7.raw_max());
+        }
+    }
+
+    #[test]
+    fn mul_exact_is_exact() {
+        let a_fmt = QFormat::signed(16, 7);
+        let b_fmt = QFormat::signed(16, 2);
+        let (a, _) = Fx::from_f64(3.25, a_fmt, Rounding::Truncate, Overflow::Saturate);
+        let (b, _) = Fx::from_f64(-0.625, b_fmt, Rounding::Truncate, Overflow::Saturate);
+        let p = a.mul_exact(&b);
+        assert_eq!(p.to_f64(), 3.25 * -0.625);
+        assert_eq!(p.format().width, 32);
+    }
+
+    #[test]
+    fn add_aligns_grids() {
+        let coarse = QFormat::signed(8, 4); // LSB 1/16
+        let fine = QFormat::signed(12, 4); // LSB 1/256
+        let (a, _) = Fx::from_f64(1.0 / 16.0, coarse, Rounding::Truncate, Overflow::Saturate);
+        let (b, _) = Fx::from_f64(1.0 / 256.0, fine, Rounding::Truncate, Overflow::Saturate);
+        let (sum, ovf) = a.add(&b, fine, Rounding::Truncate, Overflow::Saturate);
+        assert!(!ovf);
+        assert_eq!(sum.to_f64(), 1.0 / 16.0 + 1.0 / 256.0);
+    }
+
+    #[test]
+    fn convert_narrowing_quantizes() {
+        let fine = QFormat::signed(16, 2);
+        let coarse = QFormat::signed(8, 2);
+        let (v, _) = Fx::from_f64(0.123456, fine, Rounding::Truncate, Overflow::Saturate);
+        let (w, ovf) = v.convert(coarse, Rounding::Truncate, Overflow::Saturate);
+        assert!(!ovf);
+        let err = (w.to_f64() - 0.123456).abs();
+        assert!(err <= coarse.lsb(), "{err} > lsb {}", coarse.lsb());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn from_raw_validates() {
+        let _ = Fx::from_raw(1 << 20, Q16_7);
+    }
+}

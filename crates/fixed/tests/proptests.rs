@@ -1,0 +1,176 @@
+//! Property-based tests for the fixed-point substrate.
+//!
+//! These pin the semantics the quantization experiments depend on:
+//! quantization error bounds, monotonicity, idempotence, wrap = two's
+//! complement, and exactness of the product/accumulator path.
+
+use proptest::prelude::*;
+use reads_fixed::{Accum, Fixed, Fx, Overflow, QFormat, Quantizer, Rounding};
+
+fn arb_format() -> impl Strategy<Value = QFormat> {
+    (2u32..=24, -8i32..=16).prop_map(|(w, i)| QFormat::signed(w, i))
+}
+
+fn arb_unsigned_format() -> impl Strategy<Value = QFormat> {
+    (1u32..=24, -8i32..=16).prop_map(|(w, i)| QFormat::unsigned(w, i))
+}
+
+proptest! {
+    /// Saturating quantization never errs by more than one LSB for in-range
+    /// inputs (truncation) or half an LSB (nearest).
+    #[test]
+    fn quantization_error_bounds(fmt in arb_format(), frac in -1.0f64..1.0) {
+        let x = frac * fmt.max_value().min(1e12);
+        if fmt.in_range(x) {
+            let (t, ovf) = Fx::from_f64(x, fmt, Rounding::Truncate, Overflow::Saturate);
+            prop_assert!(!ovf);
+            prop_assert!(t.to_f64() <= x + 1e-12);
+            prop_assert!((x - t.to_f64()).abs() < fmt.lsb() * (1.0 + 1e-9));
+
+            let (n, _) = Fx::from_f64(x, fmt, Rounding::Nearest, Overflow::Saturate);
+            prop_assert!((x - n.to_f64()).abs() <= 0.5 * fmt.lsb() * (1.0 + 1e-9));
+        }
+    }
+
+    /// Quantization is idempotent: re-quantizing a representable value is a
+    /// no-op for every mode combination.
+    #[test]
+    fn idempotent(fmt in arb_format(), raw_frac in -1.0f64..1.0,
+                  nearest in any::<bool>(), saturate in any::<bool>()) {
+        let raw = (raw_frac * fmt.raw_max() as f64) as i64;
+        let raw = raw.clamp(fmt.raw_min(), fmt.raw_max());
+        let v = Fx::from_raw(raw, fmt);
+        let rounding = if nearest { Rounding::Nearest } else { Rounding::Truncate };
+        let overflow = if saturate { Overflow::Saturate } else { Overflow::Wrap };
+        let (w, ovf) = Fx::from_f64(v.to_f64(), fmt, rounding, overflow);
+        prop_assert!(!ovf);
+        prop_assert_eq!(w.raw(), raw);
+    }
+
+    /// Saturating quantization is monotone non-decreasing.
+    #[test]
+    fn monotone(fmt in arb_format(), a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (qa, _) = Fx::from_f64(lo, fmt, Rounding::Truncate, Overflow::Saturate);
+        let (qb, _) = Fx::from_f64(hi, fmt, Rounding::Truncate, Overflow::Saturate);
+        prop_assert!(qa.to_f64() <= qb.to_f64());
+    }
+
+    /// Wrap semantics equal two's-complement truncation of the raw integer.
+    #[test]
+    fn wrap_matches_twos_complement(w in 2u32..=16, int_extra in 0i32..4, mult in -40i64..40) {
+        let fmt = QFormat::signed(w, w as i32 + int_extra);
+        // Choose x exactly on the format grid but possibly out of range.
+        let raw_unwrapped = mult * (fmt.raw_max() / 3).max(1);
+        let x = raw_unwrapped as f64 * fmt.lsb();
+        let (v, _) = Fx::from_f64(x, fmt, Rounding::Truncate, Overflow::Wrap);
+        // Expected: low-W-bit two's complement of raw_unwrapped.
+        let modulus = 1i128 << fmt.width;
+        let mut expect = (raw_unwrapped as i128).rem_euclid(modulus);
+        if expect >= modulus / 2 { expect -= modulus; }
+        prop_assert_eq!(v.raw() as i128, expect);
+    }
+
+    /// Saturated values always land on the extremes, and never panic, for
+    /// arbitrary (even absurd) inputs.
+    #[test]
+    fn saturation_is_total(fmt in arb_format(), x in prop::num::f64::ANY) {
+        let (v, _) = Fx::from_f64(x, fmt, Rounding::Truncate, Overflow::Saturate);
+        prop_assert!(v.raw() >= fmt.raw_min());
+        prop_assert!(v.raw() <= fmt.raw_max());
+    }
+
+    /// Unsigned formats never go negative and wrap stays in range.
+    #[test]
+    fn unsigned_range_is_respected(fmt in arb_unsigned_format(), x in -1e9f64..1e9) {
+        for overflow in [Overflow::Saturate, Overflow::Wrap] {
+            let (v, _) = Fx::from_f64(x, fmt, Rounding::Truncate, overflow);
+            prop_assert!(v.raw() >= 0);
+            prop_assert!(v.raw() <= fmt.raw_max());
+        }
+    }
+
+    /// Exact product: `mul_exact` equals the float product of the quantized
+    /// operands, bit-for-bit representable.
+    #[test]
+    fn product_exactness(a_frac in -1.0f64..1.0, b_frac in -1.0f64..1.0) {
+        let af = QFormat::signed(16, 7);
+        let bf = QFormat::signed(16, 2);
+        let (a, _) = Fx::from_f64(a_frac * 60.0, af, Rounding::Nearest, Overflow::Saturate);
+        let (b, _) = Fx::from_f64(b_frac * 1.9, bf, Rounding::Nearest, Overflow::Saturate);
+        let p = a.mul_exact(&b);
+        prop_assert_eq!(p.to_f64(), a.to_f64() * b.to_f64());
+    }
+
+    /// A MAC chain over the accumulator equals the float dot product of the
+    /// quantized operands (exactness of the HLS accumulator model).
+    #[test]
+    fn accumulator_exactness(ws in prop::collection::vec(-1.0f64..1.0, 1..64),
+                             xs_seed in 0u64..1000) {
+        let wf = QFormat::signed(16, 2);
+        let xf = QFormat::signed(16, 7);
+        let mut acc = Accum::for_product(&wf, &xf);
+        let mut expect = 0.0f64;
+        for (i, w) in ws.iter().enumerate() {
+            let x = ((xs_seed as f64 + i as f64) * 0.37).sin() * 50.0;
+            let (wq, _) = Fx::from_f64(*w, wf, Rounding::Nearest, Overflow::Saturate);
+            let (xq, _) = Fx::from_f64(x, xf, Rounding::Nearest, Overflow::Saturate);
+            acc.mac(&wq, &xq);
+            expect += wq.to_f64() * xq.to_f64();
+        }
+        prop_assert!((acc.to_f64() - expect).abs() < 1e-9);
+    }
+
+    /// Quantizer overflow accounting: the overflow flag fires exactly when
+    /// the input is out of range.
+    #[test]
+    fn overflow_accounting(fmt in arb_format(), xs in prop::collection::vec(-1e4f64..1e4, 1..100)) {
+        let mut q = Quantizer::new(fmt, Rounding::Truncate, Overflow::Saturate);
+        let expected = xs.iter().filter(|&&x| {
+            // Truncation maps x to floor(x/lsb); out-of-range after rounding.
+            let scaled = (x / fmt.lsb()).floor();
+            scaled < fmt.raw_min() as f64 || scaled > fmt.raw_max() as f64
+        }).count() as u64;
+        for &x in &xs {
+            q.quantize(x);
+        }
+        prop_assert_eq!(q.stats().overflows, expected);
+        prop_assert_eq!(q.stats().total, xs.len() as u64);
+    }
+
+    /// The const-generic typed path agrees with the dynamic path on every
+    /// operation for arbitrary inputs.
+    #[test]
+    fn typed_matches_dynamic(a in -200.0f64..200.0, b in -200.0f64..200.0) {
+        type T = Fixed<16, 7>;
+        let fmt = QFormat::signed(16, 7);
+        let mk = |x: f64| Fx::from_f64(x, fmt, Rounding::Truncate, Overflow::Saturate).0;
+        let (ta, tb) = (T::from_f64(a), T::from_f64(b));
+        let (da, db) = (mk(a), mk(b));
+        prop_assert_eq!(ta.raw(), da.raw());
+        prop_assert_eq!((ta * tb).to_f64(), da.to_f64() * db.to_f64());
+        prop_assert_eq!((ta + tb).to_f64(), da.to_f64() + db.to_f64());
+        prop_assert_eq!((ta - tb).to_f64(), da.to_f64() - db.to_f64());
+        prop_assert_eq!(ta.relu().to_f64(), da.to_f64().max(0.0));
+        // Ordering agrees with real ordering of the quantized values.
+        prop_assert_eq!(ta < tb, da.to_f64() < db.to_f64());
+    }
+
+    /// Typed format conversion equals dynamic convert for in-range values.
+    #[test]
+    fn typed_convert_matches_dynamic(x in -500.0f64..500.0) {
+        let t: Fixed<12, 5> = Fixed::<18, 10>::from_f64(x).convert();
+        let wide = Fx::from_f64(x, QFormat::signed(18, 10), Rounding::Truncate, Overflow::Saturate).0;
+        let (narrow, _) = wide.convert(QFormat::signed(12, 5), Rounding::Truncate, Overflow::Saturate);
+        prop_assert_eq!(t.raw(), narrow.raw());
+    }
+
+    /// `required_int_bits_signed` yields the minimal sufficient I for every
+    /// positive magnitude.
+    #[test]
+    fn required_int_bits_minimal(mag in 1e-6f64..1e6) {
+        let i = QFormat::required_int_bits_signed(mag);
+        prop_assert!(((i - 1) as f64).exp2() > mag);
+        prop_assert!(((i - 2) as f64).exp2() <= mag);
+    }
+}

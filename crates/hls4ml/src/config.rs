@@ -1,0 +1,192 @@
+//! Build configuration for the firmware conversion.
+
+use reads_fixed::{Overflow, QFormat, Rounding};
+use serde::{Deserialize, Serialize};
+
+/// Precision strategy (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrecisionStrategy {
+    /// One `ac_fixed<W, I>` format for every weight and activation.
+    Uniform(QFormat),
+    /// The paper's layer-based `ac_fixed<W, x>`: the total width is fixed,
+    /// the integer bits of every layer's activations and weights are derived
+    /// from the profiling pass (Sec. IV-D).
+    LayerBased {
+        /// Total bit width for all formats.
+        width: u32,
+        /// Extra integer bits added on top of the profiled requirement —
+        /// the paper's Fig. 5b mitigation ("half of these outliers could be
+        /// mitigated by adding one extra bit to the integer part").
+        int_margin: i32,
+    },
+}
+
+impl PrecisionStrategy {
+    /// The paper's three Table II rows.
+    #[must_use]
+    pub fn table2_rows() -> [PrecisionStrategy; 3] {
+        [
+            PrecisionStrategy::Uniform(QFormat::signed(18, 10)),
+            PrecisionStrategy::Uniform(QFormat::signed(16, 7)),
+            PrecisionStrategy::LayerBased {
+                width: 16,
+                int_margin: 0,
+            },
+        ]
+    }
+
+    /// Human-readable label matching the Table II row names.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PrecisionStrategy::Uniform(f) => {
+                format!("Uniform Precision ac_fixed<{}, {}>", f.width, f.int_bits)
+            }
+            PrecisionStrategy::LayerBased { width, int_margin } => {
+                if *int_margin == 0 {
+                    format!("Layer-based Precision ac_fixed<{width}, x>")
+                } else {
+                    format!("Layer-based Precision ac_fixed<{width}, x+{int_margin}>")
+                }
+            }
+        }
+    }
+}
+
+/// IP interface style (Sec. IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoInterface {
+    /// hls4ml's default: the IP passively consumes an input stream (needs an
+    /// external DMA/stream feeder).
+    Streaming,
+    /// The paper's modification: an Avalon memory-mapped *host* interface —
+    /// the IP actively reads its inputs from and writes its outputs to the
+    /// on-chip buffer RAMs.
+    MemoryMappedHost,
+}
+
+/// Per-layer reuse factors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseConfig {
+    /// Reuse factor for convolutional layers (Table III "Default Reuse
+    /// Factor": 32).
+    pub conv: u32,
+    /// Reuse factor for dense and sigmoid stages (Table III "Dense/Sigmoid
+    /// Reuse Factor": 260).
+    pub dense: u32,
+    /// Explicit per-node overrides `(node index, reuse)` applied last — the
+    /// knob the co-design loop turns (Sec. IV-D).
+    pub overrides: Vec<(usize, u32)>,
+}
+
+impl Default for ReuseConfig {
+    fn default() -> Self {
+        Self {
+            conv: 32,
+            dense: 260,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl ReuseConfig {
+    /// Effective reuse factor for a node.
+    #[must_use]
+    pub fn for_node(&self, node: usize, is_dense: bool) -> u32 {
+        let base = if is_dense { self.dense } else { self.conv };
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == node)
+            .map_or(base, |(_, r)| *r)
+    }
+}
+
+/// The full build configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HlsConfig {
+    /// Precision strategy.
+    pub strategy: PrecisionStrategy,
+    /// Reuse factors.
+    pub reuse: ReuseConfig,
+    /// Rounding mode for all quantizers (hls4ml default: truncate).
+    pub rounding: Rounding,
+    /// Overflow mode for all quantizers (hls4ml default: wrap — the source
+    /// of the paper's outliers).
+    pub overflow: Overflow,
+    /// Interface style.
+    pub io: IoInterface,
+    /// Sigmoid lookup-table entries (hls4ml default 1024).
+    pub sigmoid_table_entries: usize,
+    /// Sigmoid table half-range (hls4ml default 8.0).
+    pub sigmoid_table_range: f64,
+}
+
+impl HlsConfig {
+    /// The paper's production configuration: layer-based 16-bit precision,
+    /// truncate/wrap, reuse 32 / 260, memory-mapped host interface.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            strategy: PrecisionStrategy::LayerBased {
+                width: 16,
+                int_margin: 0,
+            },
+            reuse: ReuseConfig::default(),
+            rounding: Rounding::Truncate,
+            overflow: Overflow::Wrap,
+            io: IoInterface::MemoryMappedHost,
+            sigmoid_table_entries: 1024,
+            sigmoid_table_range: 8.0,
+        }
+    }
+
+    /// Same configuration with a different precision strategy (Table II and
+    /// Fig. 5a/5b sweeps).
+    #[must_use]
+    pub fn with_strategy(strategy: PrecisionStrategy) -> Self {
+        Self {
+            strategy,
+            ..Self::paper_default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table2() {
+        let rows = PrecisionStrategy::table2_rows();
+        assert_eq!(rows[0].label(), "Uniform Precision ac_fixed<18, 10>");
+        assert_eq!(rows[1].label(), "Uniform Precision ac_fixed<16, 7>");
+        assert_eq!(rows[2].label(), "Layer-based Precision ac_fixed<16, x>");
+    }
+
+    #[test]
+    fn reuse_defaults_and_overrides() {
+        let mut r = ReuseConfig::default();
+        assert_eq!(r.for_node(3, false), 32);
+        assert_eq!(r.for_node(11, true), 260);
+        r.overrides.push((3, 64));
+        r.overrides.push((3, 96)); // later override wins
+        assert_eq!(r.for_node(3, false), 96);
+        assert_eq!(r.for_node(4, false), 32);
+    }
+
+    #[test]
+    fn paper_default_modes() {
+        let c = HlsConfig::paper_default();
+        assert_eq!(c.rounding, Rounding::Truncate);
+        assert_eq!(c.overflow, Overflow::Wrap);
+        assert_eq!(c.io, IoInterface::MemoryMappedHost);
+        assert!(matches!(
+            c.strategy,
+            PrecisionStrategy::LayerBased {
+                width: 16,
+                int_margin: 0
+            }
+        ));
+    }
+}

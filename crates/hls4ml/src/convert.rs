@@ -1,0 +1,340 @@
+//! Model → firmware conversion ("hls4ml").
+//!
+//! Assigns per-layer weight and result formats according to the precision
+//! strategy, quantizes the trained parameters, folds batch normalization
+//! into a per-channel affine, and wires the node chain with quantizers.
+
+use crate::config::{HlsConfig, PrecisionStrategy};
+use crate::firmware::{Firmware, FwActivation, FwDense, FwNode};
+use crate::profile::ModelProfile;
+use reads_fixed::{Fx, QFormat, Quantizer};
+use reads_nn::layer::{DenseParams, Layer};
+use reads_nn::Model;
+use reads_tensor::activ::SigmoidTable;
+use reads_tensor::Activation;
+
+/// Bounds for layer-based integer-bit assignment: at least one bit below
+/// the sign, at most all bits integer (mirrors practical `ac_fixed` use).
+fn clamp_int_bits(i: i32, width: u32) -> i32 {
+    i.clamp(-(width as i32) + 2, width as i32)
+}
+
+impl PrecisionStrategy {
+    /// Weight format for a node with the given profiled weight magnitude.
+    #[must_use]
+    pub fn weight_format(&self, weight_max: f64) -> QFormat {
+        match self {
+            PrecisionStrategy::Uniform(f) => *f,
+            PrecisionStrategy::LayerBased { width, .. } => {
+                let i = QFormat::required_int_bits_signed(weight_max);
+                QFormat::signed(*width, clamp_int_bits(i, *width))
+            }
+        }
+    }
+
+    /// Result (activation) format for a node with the given profiled
+    /// activation magnitude.
+    #[must_use]
+    pub fn result_format(&self, act_max: f64) -> QFormat {
+        match self {
+            PrecisionStrategy::Uniform(f) => *f,
+            PrecisionStrategy::LayerBased { width, int_margin } => {
+                let i = QFormat::required_int_bits_signed(act_max) + int_margin;
+                QFormat::signed(*width, clamp_int_bits(i, *width))
+            }
+        }
+    }
+}
+
+fn fw_activation(a: Activation) -> FwActivation {
+    match a {
+        Activation::Linear => FwActivation::Linear,
+        Activation::Relu => FwActivation::Relu,
+        Activation::Sigmoid => FwActivation::SigmoidTable,
+    }
+}
+
+/// Quantizes a dense-like layer's parameters into firmware form.
+fn convert_dense(
+    p: &DenseParams,
+    weight_fmt: QFormat,
+    out_quant: Quantizer,
+    config: &HlsConfig,
+) -> FwDense {
+    let mut saturated = 0u64;
+    let mut quantize_param = |v: f64| -> f64 {
+        // Weights use saturating conversion regardless of the runtime
+        // overflow mode: hls4ml clips out-of-range constants at codegen
+        // time (a wrapped constant would be nonsense).
+        let (fx, ovf) = Fx::from_f64(
+            v,
+            weight_fmt,
+            config.rounding,
+            reads_fixed::Overflow::Saturate,
+        );
+        saturated += u64::from(ovf);
+        fx.to_f64()
+    };
+    let weights: Vec<f64> = p.w.as_slice().iter().map(|&v| quantize_param(v)).collect();
+    let bias: Vec<f64> = p.b.iter().map(|&v| quantize_param(v)).collect();
+    FwDense {
+        weights,
+        bias,
+        rows: p.w.rows(),
+        cols: p.w.cols(),
+        weight_fmt,
+        out_quant,
+        activation: fw_activation(p.activation),
+        saturated_weights: saturated,
+    }
+}
+
+/// Converts a trained float model into firmware under `config`, using the
+/// dynamic ranges in `profile` (from [`crate::profile_model`] over
+/// calibration data).
+///
+/// # Panics
+/// Panics if the profile's node count mismatches the model.
+#[must_use]
+pub fn convert(model: &Model, profile: &ModelProfile, config: &HlsConfig) -> Firmware {
+    assert_eq!(
+        profile.activation_max.len(),
+        model.layers().len(),
+        "profile/model mismatch"
+    );
+    let mk_quant = |fmt: QFormat| Quantizer::new(fmt, config.rounding, config.overflow);
+
+    let (input_len, input_channels) = model.input_shape();
+    let input_fmt = config.strategy.result_format(profile.input_max);
+
+    let mut nodes = Vec::with_capacity(model.layers().len());
+    let mut shapes: Vec<(usize, usize)> = Vec::with_capacity(model.layers().len());
+    for (i, layer) in model.layers().iter().enumerate() {
+        let in_shape = if i == 0 {
+            (input_len, input_channels)
+        } else {
+            shapes[i - 1]
+        };
+        let skip_shape = match layer {
+            Layer::ConcatWith { node } => Some(shapes[*node]),
+            _ => None,
+        };
+        shapes.push(layer.output_shape(in_shape, skip_shape));
+
+        let act_max = profile.activation_max[i];
+        let node = match layer {
+            Layer::Dense(p) => FwNode::Dense(convert_dense(
+                p,
+                config.strategy.weight_format(profile.weight_max[i]),
+                mk_quant(config.strategy.result_format(act_max)),
+                config,
+            )),
+            Layer::PointwiseDense(p) => FwNode::PointwiseDense(convert_dense(
+                p,
+                config.strategy.weight_format(profile.weight_max[i]),
+                mk_quant(config.strategy.result_format(act_max)),
+                config,
+            )),
+            Layer::Conv1d { p, k } => FwNode::Conv1d {
+                d: convert_dense(
+                    p,
+                    config.strategy.weight_format(profile.weight_max[i]),
+                    mk_quant(config.strategy.result_format(act_max)),
+                    config,
+                ),
+                k: *k,
+            },
+            Layer::MaxPool { pool } => FwNode::MaxPool { pool: *pool },
+            Layer::UpSample { factor } => FwNode::UpSample { factor: *factor },
+            Layer::ConcatWith { node } => FwNode::ConcatWith {
+                node: *node,
+                out_quant: mk_quant(config.strategy.result_format(act_max)),
+            },
+            Layer::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+                eps,
+            } => {
+                // Fold into y = scale·x + shift, then quantize coefficients
+                // like weights.
+                let wfmt = {
+                    let max_coeff = gamma
+                        .iter()
+                        .zip(var)
+                        .map(|(g, v)| (g / (v + eps).sqrt()).abs())
+                        .chain(
+                            beta.iter()
+                                .zip(mean.iter().zip(gamma.iter().zip(var)))
+                                .map(|(b, (m, (g, v)))| (b - m * g / (v + eps).sqrt()).abs()),
+                        )
+                        .fold(0.0f64, f64::max);
+                    config.strategy.weight_format(max_coeff)
+                };
+                let quantize_coeff = |v: f64| {
+                    Fx::from_f64(v, wfmt, config.rounding, reads_fixed::Overflow::Saturate)
+                        .0
+                        .to_f64()
+                };
+                let scale: Vec<f64> = gamma
+                    .iter()
+                    .zip(var)
+                    .map(|(g, v)| quantize_coeff(g / (v + eps).sqrt()))
+                    .collect();
+                let shift: Vec<f64> = beta
+                    .iter()
+                    .zip(mean.iter().zip(gamma.iter().zip(var)))
+                    .map(|(b, (m, (g, v)))| quantize_coeff(b - m * g / (v + eps).sqrt()))
+                    .collect();
+                FwNode::BatchNorm {
+                    scale,
+                    shift,
+                    out_quant: mk_quant(config.strategy.result_format(act_max)),
+                }
+            }
+        };
+        nodes.push(node);
+    }
+
+    Firmware {
+        input_quant: mk_quant(input_fmt),
+        nodes,
+        sigmoid: SigmoidTable::new(config.sigmoid_table_entries, config.sigmoid_table_range),
+        config: config.clone(),
+        input_len,
+        input_channels,
+        shapes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_model;
+    use reads_nn::models;
+
+    fn unet_and_profile() -> (Model, ModelProfile) {
+        let m = models::reads_unet(3);
+        let inputs: Vec<Vec<f64>> = (0..4)
+            .map(|f| {
+                (0..260)
+                    .map(|j| ((j as f64 + f as f64 * 31.0) * 0.07).sin() * 2.0)
+                    .collect()
+            })
+            .collect();
+        let p = profile_model(&m, &inputs);
+        (m, p)
+    }
+
+    #[test]
+    fn uniform_strategy_applies_one_format() {
+        let (m, p) = unet_and_profile();
+        let cfg = HlsConfig::with_strategy(PrecisionStrategy::Uniform(QFormat::signed(16, 7)));
+        let fw = convert(&m, &p, &cfg);
+        for node in &fw.nodes {
+            if let Some(d) = node.dense() {
+                assert_eq!(d.weight_fmt, QFormat::signed(16, 7));
+                assert_eq!(d.out_quant.format(), QFormat::signed(16, 7));
+            }
+        }
+        assert_eq!(fw.input_quant.format(), QFormat::signed(16, 7));
+    }
+
+    #[test]
+    fn layer_based_assigns_tight_formats() {
+        let (m, p) = unet_and_profile();
+        let cfg = HlsConfig::paper_default();
+        let fw = convert(&m, &p, &cfg);
+        for (i, node) in fw.nodes.iter().enumerate() {
+            if let Some(d) = node.dense() {
+                assert_eq!(d.weight_fmt.width, 16);
+                // The assigned integer bits must cover the profiled range.
+                let need = QFormat::required_int_bits_signed(p.weight_max[i]);
+                assert!(d.weight_fmt.int_bits >= need.min(16));
+                let need_act = QFormat::required_int_bits_signed(p.activation_max[i]);
+                assert!(d.out_quant.format().int_bits >= need_act.min(16));
+            }
+        }
+    }
+
+    #[test]
+    fn int_margin_adds_bits() {
+        let (m, p) = unet_and_profile();
+        let base = convert(&m, &p, &HlsConfig::paper_default());
+        let margin = convert(
+            &m,
+            &p,
+            &HlsConfig::with_strategy(PrecisionStrategy::LayerBased {
+                width: 16,
+                int_margin: 1,
+            }),
+        );
+        for (a, b) in base.nodes.iter().zip(&margin.nodes) {
+            if let (Some(da), Some(db)) = (a.dense(), b.dense()) {
+                assert_eq!(
+                    db.out_quant.format().int_bits,
+                    da.out_quant.format().int_bits + 1
+                );
+                // Weight formats are unaffected by the margin.
+                assert_eq!(da.weight_fmt, db.weight_fmt);
+            }
+        }
+    }
+
+    #[test]
+    fn converted_param_count_matches_model() {
+        let (m, p) = unet_and_profile();
+        let fw = convert(&m, &p, &HlsConfig::paper_default());
+        assert_eq!(fw.param_count(), m.param_count());
+        assert_eq!(fw.output_len(), 520);
+    }
+
+    #[test]
+    fn quantized_weights_lie_on_their_grid() {
+        let (m, p) = unet_and_profile();
+        let fw = convert(&m, &p, &HlsConfig::paper_default());
+        for node in &fw.nodes {
+            if let Some(d) = node.dense() {
+                let lsb = d.weight_fmt.lsb();
+                for &w in &d.weights {
+                    let q = (w / lsb).round();
+                    assert!(
+                        (w / lsb - q).abs() < 1e-9,
+                        "weight {w} off grid lsb {lsb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn firmware_tracks_float_model_closely_at_16_bits() {
+        let (m, p) = unet_and_profile();
+        let fw = convert(&m, &p, &HlsConfig::paper_default());
+        let input: Vec<f64> = (0..260).map(|j| ((j as f64) * 0.07).sin() * 2.0).collect();
+        let yf = m.predict(&input);
+        let (yq, stats) = fw.infer(&input);
+        assert_eq!(stats.total_overflows(), 0, "profiled formats must not overflow on calibration data");
+        let max_err = yf
+            .iter()
+            .zip(&yq)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 0.05, "max output error {max_err}");
+    }
+
+    #[test]
+    fn mlp_converts_too() {
+        let m = models::reads_mlp(4);
+        let inputs = vec![vec![0.3; 259], vec![-0.8; 259]];
+        let p = profile_model(&m, &inputs);
+        let fw = convert(&m, &p, &HlsConfig::paper_default());
+        assert_eq!(fw.output_len(), 518);
+        let (y, _) = fw.infer(&inputs[0]);
+        assert_eq!(y.len(), 518);
+        for v in y {
+            assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+    }
+}

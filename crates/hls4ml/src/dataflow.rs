@@ -1,0 +1,394 @@
+//! Streaming dataflow analysis: FIFO sizing and deadlock detection.
+//!
+//! "We also empirically optimized other architecture parameters such as the
+//! data buffer size to pursue resource trade-offs and perform deadlock
+//! mitigation" (Sec. IV-D). In an hls4ml `io_stream` design every layer is
+//! a concurrently running kernel connected by FIFOs; the U-Net's skip
+//! connections create *reconvergent* paths, and an undersized skip FIFO
+//! deadlocks the whole pipeline: the encoder stalls pushing into the full
+//! skip FIFO, which starves the decoder path that would have drained it.
+//!
+//! This module models the firmware as a token-level dataflow graph (one
+//! token = one stream position) and provides:
+//!
+//! * [`simulate`] — runs the token simulation under a FIFO configuration,
+//!   returning completion or the deadlocked state;
+//! * [`minimal_skip_depths`] — binary-searches the smallest safe depth per
+//!   skip FIFO (the paper's "empirically optimized buffer size");
+//! * a conservative safe default (buffer the full skip tensor), which is
+//!   what hls4ml emits when it cannot prove a bound.
+
+use crate::firmware::{Firmware, FwNode};
+use serde::Serialize;
+
+/// How many input tokens node kind `k` must have *read in total* before it
+/// can emit output token `p+1` (1-based totals; `p` outputs already done).
+fn required_inputs(node: &FwNode, p_next: usize, in_len: usize) -> usize {
+    match node {
+        // Same-padded conv: output p needs inputs up to p + half (clamped).
+        FwNode::Conv1d { k, .. } => (p_next + k / 2).min(in_len),
+        // Full barrier: a flat dense reads everything first.
+        FwNode::Dense(_) => in_len,
+        // Positionwise ops.
+        FwNode::PointwiseDense(_) | FwNode::BatchNorm { .. } => p_next,
+        FwNode::MaxPool { pool } => (p_next * pool).min(in_len),
+        FwNode::UpSample { factor } => p_next.div_ceil(*factor),
+        // Concat consumes one token per output from *each* input; handled
+        // per edge by the simulator (same formula).
+        FwNode::ConcatWith { .. } => p_next,
+    }
+}
+
+/// One FIFO edge of the dataflow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Edge {
+    /// Producer node index (`usize::MAX` = the model input source).
+    pub from: usize,
+    /// Consumer node index.
+    pub to: usize,
+    /// Whether this is a skip edge (into a concat) rather than the main
+    /// chain.
+    pub skip: bool,
+}
+
+/// FIFO depths for a simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct FifoConfig {
+    /// Depth of every main-chain FIFO (hls4ml pipeline FIFOs are small).
+    pub main_depth: usize,
+    /// Depth of each skip FIFO, keyed by `(from, to)`.
+    pub skip_depths: Vec<((usize, usize), usize)>,
+}
+
+impl FifoConfig {
+    /// hls4ml's conservative default: main FIFOs of the given depth and
+    /// skip FIFOs sized to the full skip tensor (always safe).
+    #[must_use]
+    pub fn conservative(fw: &Firmware, main_depth: usize) -> Self {
+        let skip_depths = skip_edges(fw)
+            .into_iter()
+            .map(|e| {
+                let (pos, _) = fw.shapes[e.from];
+                ((e.from, e.to), pos)
+            })
+            .collect();
+        Self {
+            main_depth,
+            skip_depths,
+        }
+    }
+
+    fn depth(&self, e: &Edge) -> usize {
+        if e.skip {
+            self.skip_depths
+                .iter()
+                .find(|((f, t), _)| *f == e.from && *t == e.to)
+                .map_or(self.main_depth, |(_, d)| *d)
+        } else {
+            self.main_depth
+        }
+    }
+}
+
+/// Outcome of a dataflow run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum DataflowOutcome {
+    /// Every node produced its full output.
+    Completed {
+        /// Scheduler rounds taken (a coarse concurrency metric).
+        rounds: usize,
+    },
+    /// The pipeline wedged: no node could make progress.
+    Deadlocked {
+        /// Tokens produced per node at the point of deadlock.
+        produced: Vec<usize>,
+        /// The edges that are full (blocking their producers).
+        full_edges: Vec<Edge>,
+    },
+}
+
+/// The model-input source pseudo-node index.
+pub const SOURCE: usize = usize::MAX;
+
+fn edges_of(fw: &Firmware) -> Vec<Edge> {
+    let mut edges = vec![Edge {
+        from: SOURCE,
+        to: 0,
+        skip: false,
+    }];
+    for (i, node) in fw.nodes.iter().enumerate() {
+        if i > 0 {
+            edges.push(Edge {
+                from: i - 1,
+                to: i,
+                skip: false,
+            });
+        }
+        if let FwNode::ConcatWith { node: s, .. } = node {
+            edges.push(Edge {
+                from: *s,
+                to: i,
+                skip: true,
+            });
+        }
+    }
+    edges
+}
+
+/// The skip edges of a firmware graph.
+#[must_use]
+pub fn skip_edges(fw: &Firmware) -> Vec<Edge> {
+    edges_of(fw).into_iter().filter(|e| e.skip).collect()
+}
+
+fn out_len(fw: &Firmware, node: usize) -> usize {
+    if node == SOURCE {
+        fw.input_len
+    } else {
+        fw.shapes[node].0
+    }
+}
+
+/// Runs the token-level dataflow simulation.
+///
+/// Each round every node (and the input source) emits at most one token if
+/// (a) all its input FIFOs hold what the next output requires and (b) every
+/// output FIFO has space. Termination: all nodes done (`Completed`) or a
+/// round with no progress (`Deadlocked`).
+#[must_use]
+pub fn simulate(fw: &Firmware, config: &FifoConfig) -> DataflowOutcome {
+    let edges = edges_of(fw);
+    let n = fw.nodes.len();
+    // produced[i] = tokens emitted; index n = the source.
+    let mut produced = vec![0usize; n + 1];
+    let idx = |node: usize| if node == SOURCE { n } else { node };
+
+    // Consumed tokens on an edge, given the consumer's progress. A flat
+    // Dense reads its stream *eagerly* into its local input array (hls4ml
+    // io_stream dense does exactly this), so its FIFO drains as fast as the
+    // producer fills it; everything else consumes lazily as outputs demand.
+    let consumed_on = |e: &Edge, produced: &[usize]| -> usize {
+        if matches!(fw.nodes[e.to], FwNode::Dense(_)) {
+            return produced[idx(e.from)].min(out_len(fw, e.from));
+        }
+        let p = produced[idx(e.to)];
+        if p == 0 {
+            return 0;
+        }
+        required_inputs(&fw.nodes[e.to], p, out_len(fw, e.from))
+    };
+
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut progress = false;
+
+        // The source.
+        if produced[n] < fw.input_len {
+            let e = &edges[0];
+            let occupancy = produced[n] - consumed_on(e, &produced);
+            if occupancy < config.depth(e) {
+                produced[n] += 1;
+                progress = true;
+            }
+        }
+
+        for i in 0..n {
+            let target = fw.shapes[i].0;
+            if produced[i] >= target {
+                continue;
+            }
+            let p_next = produced[i] + 1;
+            // Availability on every in-edge.
+            let ready = edges.iter().filter(|e| e.to == i).all(|e| {
+                let need = required_inputs(&fw.nodes[i], p_next, out_len(fw, e.from));
+                produced[idx(e.from)] >= need
+            });
+            if !ready {
+                continue;
+            }
+            // Space on every out-edge.
+            let space = edges.iter().filter(|e| e.from == i).all(|e| {
+                produced[i] - consumed_on(e, &produced) < config.depth(e)
+            });
+            if !space {
+                continue;
+            }
+            produced[i] += 1;
+            progress = true;
+        }
+
+        let done = (0..n).all(|i| produced[i] >= fw.shapes[i].0);
+        if done {
+            return DataflowOutcome::Completed { rounds };
+        }
+        if !progress {
+            let full_edges = edges
+                .iter()
+                .filter(|e| {
+                    let from_done = produced[idx(e.from)] >= out_len(fw, e.from);
+                    !from_done
+                        && produced[idx(e.from)] - consumed_on(e, &produced) >= config.depth(e)
+                })
+                .copied()
+                .collect();
+            produced.pop();
+            return DataflowOutcome::Deadlocked {
+                produced,
+                full_edges,
+            };
+        }
+        // Safety valve: the graph sizes here finish in O(positions) rounds.
+        assert!(
+            rounds < 1_000_000,
+            "dataflow simulation failed to terminate"
+        );
+    }
+}
+
+/// Binary-searches the minimal safe depth for every skip FIFO (others held
+/// at `main_depth`). Returns `(edge, minimal depth)` pairs.
+#[must_use]
+pub fn minimal_skip_depths(fw: &Firmware, main_depth: usize) -> Vec<(Edge, usize)> {
+    skip_edges(fw)
+        .into_iter()
+        .map(|edge| {
+            let full = out_len(fw, edge.from);
+            let (mut lo, mut hi) = (1usize, full);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                // All other skips conservative; this one at `mid`.
+                let mut cfg = FifoConfig::conservative(fw, main_depth);
+                for ((f, t), d) in &mut cfg.skip_depths {
+                    if *f == edge.from && *t == edge.to {
+                        *d = mid;
+                    }
+                }
+                match simulate(fw, &cfg) {
+                    DataflowOutcome::Completed { .. } => hi = mid,
+                    DataflowOutcome::Deadlocked { .. } => lo = mid + 1,
+                }
+            }
+            (edge, lo)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HlsConfig;
+    use crate::convert::convert;
+    use crate::profile::profile_model;
+    use reads_nn::models;
+
+    fn unet_fw() -> Firmware {
+        let m = models::reads_unet(1);
+        let inputs = vec![(0..260).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<f64>>()];
+        let p = profile_model(&m, &inputs);
+        convert(&m, &p, &HlsConfig::paper_default())
+    }
+
+    #[test]
+    fn unet_has_two_skip_edges() {
+        let fw = unet_fw();
+        let skips = skip_edges(&fw);
+        assert_eq!(skips.len(), 2);
+        assert_eq!((skips[0].from, skips[0].to), (2, 6));
+        assert_eq!((skips[1].from, skips[1].to), (0, 9));
+    }
+
+    #[test]
+    fn conservative_config_completes() {
+        let fw = unet_fw();
+        let cfg = FifoConfig::conservative(&fw, 8);
+        match simulate(&fw, &cfg) {
+            DataflowOutcome::Completed { rounds } => {
+                // One token per round per node at best: at least 260 rounds,
+                // far fewer than the runaway bound.
+                assert!((260..100_000).contains(&rounds), "{rounds} rounds");
+            }
+            DataflowOutcome::Deadlocked { .. } => panic!("conservative sizing must complete"),
+        }
+    }
+
+    #[test]
+    fn undersized_skip_fifo_deadlocks() {
+        // The paper's deadlock scenario: a skip FIFO of depth 1 on the long
+        // skip (node 0 -> concat 9) wedges the pipeline.
+        let fw = unet_fw();
+        let mut cfg = FifoConfig::conservative(&fw, 8);
+        for ((f, t), d) in &mut cfg.skip_depths {
+            if (*f, *t) == (0, 9) {
+                *d = 1;
+            }
+        }
+        match simulate(&fw, &cfg) {
+            DataflowOutcome::Deadlocked {
+                produced,
+                full_edges,
+            } => {
+                // The encoder stalled well short of the full frame…
+                assert!(produced[0] < 260, "node0 produced {}", produced[0]);
+                // …and the blocked edge is the undersized skip.
+                assert!(
+                    full_edges.iter().any(|e| e.skip && e.from == 0 && e.to == 9),
+                    "{full_edges:?}"
+                );
+            }
+            DataflowOutcome::Completed { .. } => panic!("depth-1 skip must deadlock"),
+        }
+    }
+
+    #[test]
+    fn minimal_depths_are_safe_and_tight() {
+        let fw = unet_fw();
+        let minimal = minimal_skip_depths(&fw, 8);
+        assert_eq!(minimal.len(), 2);
+        for (edge, depth) in &minimal {
+            // Safe: simulating at the found depth completes.
+            let mut cfg = FifoConfig::conservative(&fw, 8);
+            for ((f, t), d) in &mut cfg.skip_depths {
+                if (*f, *t) == (edge.from, edge.to) {
+                    *d = *depth;
+                }
+            }
+            assert!(matches!(
+                simulate(&fw, &cfg),
+                DataflowOutcome::Completed { .. }
+            ));
+            // Tight: one less deadlocks.
+            if *depth > 1 {
+                for ((f, t), d) in &mut cfg.skip_depths {
+                    if (*f, *t) == (edge.from, edge.to) {
+                        *d = *depth - 1;
+                    }
+                }
+                assert!(matches!(
+                    simulate(&fw, &cfg),
+                    DataflowOutcome::Deadlocked { .. }
+                ));
+            }
+        }
+        // The minimal depths are far below the conservative full-tensor
+        // buffering — the "resource trade-off" the paper pursued.
+        let (_, d0) = minimal.iter().find(|(e, _)| e.from == 0).expect("long skip");
+        assert!(*d0 < 260, "long-skip minimal depth {d0} must beat 260");
+    }
+
+    #[test]
+    fn mlp_chain_needs_no_skip_analysis() {
+        let m = models::reads_mlp(1);
+        let inputs = vec![vec![0.1; 259]];
+        let p = profile_model(&m, &inputs);
+        let fw = convert(&m, &p, &HlsConfig::paper_default());
+        assert!(skip_edges(&fw).is_empty());
+        // Plain chains complete even with tiny FIFOs: dense barriers consume
+        // everything before producing.
+        let cfg = FifoConfig::conservative(&fw, 2);
+        assert!(matches!(
+            simulate(&fw, &cfg),
+            DataflowOutcome::Completed { .. }
+        ));
+    }
+}

@@ -1,0 +1,75 @@
+//! The target device: Intel Arria 10 SX 660 (10AS066), the FPGA+HPS SoC on
+//! the Achilles board the paper deploys on.
+//!
+//! The capacity figures are chosen so the paper's Table III absolute
+//! utilization rows reproduce its own percentages:
+//! 223,674 ALMs → 89 %, 25,275,808 block-memory bits → 58 %,
+//! 1,818 M20K → 85 %, 273 DSP → 16 %.
+
+use serde::{Deserialize, Serialize};
+
+/// FPGA device capacity table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// ALUTs (2 per ALM on Arria 10).
+    pub aluts: u64,
+    /// M20K block count.
+    pub m20k_blocks: u64,
+    /// Total block memory bits (M20K × 20,480).
+    pub m20k_bits: u64,
+    /// Variable-precision DSP blocks.
+    pub dsps: u64,
+    /// Fractional + I/O PLLs.
+    pub plls: u64,
+    /// User I/O pins.
+    pub pins: u64,
+}
+
+/// The Achilles Arria 10 SoC device (10AS066N3F40E2SG).
+pub const ARRIA10_10AS066: Device = Device {
+    name: "Arria 10 SX 660 (10AS066)",
+    alms: 251_680,
+    aluts: 503_360,
+    m20k_blocks: 2_131,
+    m20k_bits: 2_131 * 20_480,
+    dsps: 1_687,
+    plls: 64,
+    pins: 596,
+};
+
+impl Device {
+    /// Percentage of a capacity used (`used / cap × 100`).
+    #[must_use]
+    pub fn pct(used: u64, cap: u64) -> f64 {
+        used as f64 / cap as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table III consistency: the paper's absolute numbers against this
+    /// device table give the paper's own percentages.
+    #[test]
+    fn table3_percentages_reproduce() {
+        let d = ARRIA10_10AS066;
+        assert!((Device::pct(223_674, d.alms) - 89.0).abs() < 1.0);
+        assert!((Device::pct(25_275_808, d.m20k_bits) - 58.0).abs() < 1.0);
+        assert!((Device::pct(1_818, d.m20k_blocks) - 85.0).abs() < 0.5);
+        assert!((Device::pct(273, d.dsps) - 16.0).abs() < 0.5);
+        assert!((Device::pct(3, d.plls) - 5.0).abs() < 0.5);
+        assert!((Device::pct(221, d.pins) - 37.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn bits_consistent_with_blocks() {
+        let d = ARRIA10_10AS066;
+        assert_eq!(d.m20k_bits, d.m20k_blocks * 20_480);
+        assert_eq!(d.aluts, d.alms * 2);
+    }
+}

@@ -1,0 +1,465 @@
+//! The synthesized IP: bit-exact fixed-point inference.
+//!
+//! Every value flowing through the firmware lies exactly on its layer's
+//! `ac_fixed` grid; arithmetic is performed in f64, which represents those
+//! dyadic values and their MAC sums *exactly* (the widest accumulator here
+//! is ≪ 2⁵³ quanta — see the `accumulation_matches_exact_fixed_point` test,
+//! which proves equality against the integer `Accum` path).
+
+use crate::config::HlsConfig;
+use reads_fixed::{OverflowStats, QFormat, Quantizer};
+use reads_tensor::activ::SigmoidTable;
+use reads_tensor::FeatureMap;
+use serde::{Deserialize, Serialize};
+
+/// Firmware activation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FwActivation {
+    /// Pass-through.
+    Linear,
+    /// `max(0, x)` — exact in fixed point.
+    Relu,
+    /// Sigmoid via the firmware lookup table.
+    SigmoidTable,
+}
+
+/// Quantized dense-like kernel (dense / pointwise dense / conv im2col).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FwDense {
+    /// Quantized weights (dequantized values, exactly on `weight_fmt`'s
+    /// grid), row-major `rows × cols`.
+    pub weights: Vec<f64>,
+    /// Quantized biases (on `weight_fmt`'s grid).
+    pub bias: Vec<f64>,
+    /// Output count.
+    pub rows: usize,
+    /// Input count (for conv: `k × in_ch`).
+    pub cols: usize,
+    /// The weight format.
+    pub weight_fmt: QFormat,
+    /// Quantizer for the layer's result (applied after activation).
+    pub out_quant: Quantizer,
+    /// Activation stage.
+    pub activation: FwActivation,
+    /// Number of weights that saturated during conversion (a conversion
+    /// diagnostic surfaced in the build report).
+    pub saturated_weights: u64,
+}
+
+/// One firmware node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FwNode {
+    /// Fully connected over the flattened input.
+    Dense(FwDense),
+    /// Dense applied at every position.
+    PointwiseDense(FwDense),
+    /// Same-padded conv1d.
+    Conv1d {
+        /// Kernel parameters (im2col layout).
+        d: FwDense,
+        /// Kernel size.
+        k: usize,
+    },
+    /// Max pooling (exact in fixed point; no requantization).
+    MaxPool {
+        /// Window = stride.
+        pool: usize,
+    },
+    /// Nearest-neighbour upsampling (exact).
+    UpSample {
+        /// Repetition factor.
+        factor: usize,
+    },
+    /// Channel concatenation with an earlier node; output re-quantized to a
+    /// common format.
+    ConcatWith {
+        /// Skip source node.
+        node: usize,
+        /// Common output format quantizer.
+        out_quant: Quantizer,
+    },
+    /// Folded batch normalization: `y = q(scale · x + shift)`.
+    BatchNorm {
+        /// Per-channel scale (quantized values).
+        scale: Vec<f64>,
+        /// Per-channel shift (quantized values).
+        shift: Vec<f64>,
+        /// Result quantizer.
+        out_quant: Quantizer,
+    },
+}
+
+impl FwNode {
+    /// The dense-like kernel, if this node has one.
+    #[must_use]
+    pub fn dense(&self) -> Option<&FwDense> {
+        match self {
+            FwNode::Dense(d) | FwNode::PointwiseDense(d) | FwNode::Conv1d { d, .. } => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Overflow accounting for one inference (or a merged batch).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InferenceStats {
+    /// Overflows at the input quantizer.
+    pub input: OverflowStats,
+    /// Overflows at each node's output quantizer.
+    pub per_node: Vec<OverflowStats>,
+}
+
+impl InferenceStats {
+    /// Total overflow events across input and all nodes.
+    #[must_use]
+    pub fn total_overflows(&self) -> u64 {
+        self.input.overflows + self.per_node.iter().map(|s| s.overflows).sum::<u64>()
+    }
+
+    /// Merges another run's stats.
+    pub fn merge(&mut self, other: &InferenceStats) {
+        self.input.merge(&other.input);
+        if self.per_node.is_empty() {
+            self.per_node = other.per_node.clone();
+        } else {
+            assert_eq!(self.per_node.len(), other.per_node.len());
+            for (a, b) in self.per_node.iter_mut().zip(&other.per_node) {
+                a.merge(b);
+            }
+        }
+    }
+}
+
+/// A converted model: the IP core's functional content.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Firmware {
+    /// Input quantizer (the HPS writes floats; the IP consumes fixed-point).
+    pub input_quant: Quantizer,
+    /// The node chain (same topology as the source model).
+    pub nodes: Vec<FwNode>,
+    /// The shared sigmoid lookup table.
+    pub sigmoid: SigmoidTable,
+    /// Build configuration this firmware was generated with.
+    pub config: HlsConfig,
+    /// Input positions.
+    pub input_len: usize,
+    /// Input channels.
+    pub input_channels: usize,
+    /// Per-node output shapes `(positions, channels)`.
+    pub shapes: Vec<(usize, usize)>,
+}
+
+impl Firmware {
+    /// Flattened output length.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        let (p, c) = *self.shapes.last().expect("nonempty firmware");
+        p * c
+    }
+
+    /// Total quantized parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(FwNode::dense)
+            .map(|d| d.weights.len() + d.bias.len())
+            .sum()
+    }
+
+    /// Runs one frame through the IP. Returns the flattened (dequantized)
+    /// outputs and the overflow statistics of this run.
+    ///
+    /// # Panics
+    /// Panics if the input length mismatches.
+    #[must_use]
+    pub fn infer(&self, input: &[f64]) -> (Vec<f64>, InferenceStats) {
+        assert_eq!(
+            input.len(),
+            self.input_len * self.input_channels,
+            "firmware input length"
+        );
+        let mut stats = InferenceStats {
+            input: OverflowStats::default(),
+            per_node: vec![OverflowStats::default(); self.nodes.len()],
+        };
+
+        // Quantize the incoming frame.
+        let mut iq = self.input_quant.clone();
+        let x: Vec<f64> = input.iter().map(|&v| iq.quantize_dequantize(v)).collect();
+        stats.input = iq.stats();
+        let input_fm = FeatureMap::from_vec(self.input_len, self.input_channels, x);
+
+        let mut outputs: Vec<FeatureMap> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let xin = if i == 0 { &input_fm } else { &outputs[i - 1] };
+            let (y, st) = self.eval_node(node, xin, &outputs);
+            outputs.push(y);
+            stats.per_node[i] = st;
+        }
+        (
+            outputs.pop().expect("nonempty firmware").into_vec(),
+            stats,
+        )
+    }
+
+    fn eval_dense_at(
+        &self,
+        d: &FwDense,
+        xs: &[f64],
+        out: &mut Vec<f64>,
+        q: &mut Quantizer,
+    ) {
+        debug_assert_eq!(xs.len(), d.cols);
+        for r in 0..d.rows {
+            let row = &d.weights[r * d.cols..(r + 1) * d.cols];
+            // Exact accumulation: all terms are dyadic, well within f64.
+            let mut acc = d.bias[r];
+            acc += row.iter().zip(xs).map(|(w, x)| w * x).sum::<f64>();
+            let activated = match d.activation {
+                FwActivation::Linear => acc,
+                FwActivation::Relu => acc.max(0.0),
+                FwActivation::SigmoidTable => self.sigmoid.eval(acc),
+            };
+            out.push(q.quantize_dequantize(activated));
+        }
+    }
+
+    fn eval_node(
+        &self,
+        node: &FwNode,
+        x: &FeatureMap,
+        outputs: &[FeatureMap],
+    ) -> (FeatureMap, OverflowStats) {
+        match node {
+            FwNode::Dense(d) => {
+                let mut q = d.out_quant.clone();
+                let mut y = Vec::with_capacity(d.rows);
+                self.eval_dense_at(d, x.as_slice(), &mut y, &mut q);
+                (FeatureMap::from_vec(d.rows, 1, y), q.stats())
+            }
+            FwNode::PointwiseDense(d) => {
+                let mut q = d.out_quant.clone();
+                let mut y = Vec::with_capacity(x.len() * d.rows);
+                for pos in 0..x.len() {
+                    self.eval_dense_at(d, x.position(pos), &mut y, &mut q);
+                }
+                (FeatureMap::from_vec(x.len(), d.rows, y), q.stats())
+            }
+            FwNode::Conv1d { d, k } => {
+                let mut q = d.out_quant.clone();
+                let in_ch = x.channels();
+                let half = k / 2;
+                let len = x.len();
+                // im2col window reused across positions (no per-position
+                // allocation in the hot loop).
+                let mut window = vec![0.0; k * in_ch];
+                let mut y = Vec::with_capacity(len * d.rows);
+                for pos in 0..len {
+                    for tap in 0..*k {
+                        let ipos = pos as isize + tap as isize - half as isize;
+                        let dst = &mut window[tap * in_ch..(tap + 1) * in_ch];
+                        if ipos < 0 || ipos >= len as isize {
+                            dst.fill(0.0);
+                        } else {
+                            dst.copy_from_slice(x.position(ipos as usize));
+                        }
+                    }
+                    self.eval_dense_at(d, &window, &mut y, &mut q);
+                }
+                (FeatureMap::from_vec(len, d.rows, y), q.stats())
+            }
+            FwNode::MaxPool { pool } => {
+                let (y, _) = reads_tensor::ops::maxpool1d(x, *pool);
+                (y, OverflowStats::default())
+            }
+            FwNode::UpSample { factor } => (
+                reads_tensor::ops::upsample1d(x, *factor),
+                OverflowStats::default(),
+            ),
+            FwNode::ConcatWith { node, out_quant } => {
+                let skip = &outputs[*node];
+                let mut q = out_quant.clone();
+                let mut y = reads_tensor::ops::concat_channels(x, skip);
+                for v in y.as_mut_slice() {
+                    *v = q.quantize_dequantize(*v);
+                }
+                (y, q.stats())
+            }
+            FwNode::BatchNorm {
+                scale,
+                shift,
+                out_quant,
+            } => {
+                let mut q = out_quant.clone();
+                let mut y = FeatureMap::zeros(x.len(), x.channels());
+                for pos in 0..x.len() {
+                    for c in 0..x.channels() {
+                        let v = x.get(pos, c) * scale[c] + shift[c];
+                        y.set(pos, c, q.quantize_dequantize(v));
+                    }
+                }
+                (y, q.stats())
+            }
+        }
+    }
+
+    /// Batch inference (rayon-parallel), merging overflow statistics.
+    #[must_use]
+    pub fn infer_batch(&self, inputs: &[Vec<f64>]) -> (Vec<Vec<f64>>, InferenceStats) {
+        use rayon::prelude::*;
+        let results: Vec<(Vec<f64>, InferenceStats)> =
+            inputs.par_iter().map(|x| self.infer(x)).collect();
+        let mut merged = InferenceStats::default();
+        let mut outs = Vec::with_capacity(results.len());
+        for (y, st) in results {
+            merged.merge(&st);
+            outs.push(y);
+        }
+        (outs, merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reads_fixed::{Accum, Fx, Overflow, Rounding};
+
+    fn q(fmt: QFormat) -> Quantizer {
+        Quantizer::new(fmt, Rounding::Truncate, Overflow::Saturate)
+    }
+
+    fn on_grid(v: f64, fmt: QFormat) -> f64 {
+        Fx::from_f64(v, fmt, Rounding::Truncate, Overflow::Saturate)
+            .0
+            .to_f64()
+    }
+
+    fn tiny_firmware(activation: FwActivation) -> Firmware {
+        let wf = QFormat::signed(16, 2);
+        let of = QFormat::signed(16, 7);
+        let d = FwDense {
+            weights: vec![on_grid(0.5, wf), on_grid(-0.25, wf)],
+            bias: vec![on_grid(0.125, wf)],
+            rows: 1,
+            cols: 2,
+            weight_fmt: wf,
+            out_quant: q(of),
+            activation,
+            saturated_weights: 0,
+        };
+        Firmware {
+            input_quant: q(QFormat::signed(16, 7)),
+            nodes: vec![FwNode::Dense(d)],
+            sigmoid: SigmoidTable::hls_default(),
+            config: HlsConfig::paper_default(),
+            input_len: 2,
+            input_channels: 1,
+            shapes: vec![(1, 1)],
+        }
+    }
+
+    #[test]
+    fn dense_computes_exact_dot_product() {
+        let fw = tiny_firmware(FwActivation::Linear);
+        let (y, stats) = fw.infer(&[2.0, 4.0]);
+        // 0.5*2 - 0.25*4 + 0.125 = 0.125, exactly representable.
+        assert_eq!(y, vec![0.125]);
+        assert_eq!(stats.total_overflows(), 0);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let fw = tiny_firmware(FwActivation::Relu);
+        let (y, _) = fw.infer(&[0.0, 4.0]); // -1 + 0.125 = -0.875 -> 0
+        assert_eq!(y, vec![0.0]);
+    }
+
+    #[test]
+    fn sigmoid_goes_through_table() {
+        let fw = tiny_firmware(FwActivation::SigmoidTable);
+        let (y, _) = fw.infer(&[2.0, 0.0]); // pre-act = 1.125
+        let expect = fw.sigmoid.eval(1.125);
+        let expect_q = on_grid(expect, QFormat::signed(16, 7));
+        assert_eq!(y, vec![expect_q]);
+    }
+
+    /// The f64-on-grid evaluation equals the integer `Accum` path bit for
+    /// bit — the exactness claim the whole quantization study rests on.
+    #[test]
+    fn accumulation_matches_exact_fixed_point() {
+        let wf = QFormat::signed(16, 2);
+        let xf = QFormat::signed(16, 7);
+        let of = QFormat::signed(16, 7);
+        let n = 708; // the widest fan-in in the READS U-Net (dec2: 3×236)
+        let weights: Vec<f64> = (0..n)
+            .map(|i| on_grid(((i as f64) * 0.37).sin() * 1.5, wf))
+            .collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| on_grid(((i as f64) * 0.11).cos() * 40.0, xf))
+            .collect();
+
+        // f64 path.
+        let f64_acc: f64 = weights.iter().zip(&xs).map(|(w, x)| w * x).sum();
+        let f64_out = on_grid(f64_acc, of);
+
+        // Integer path.
+        let mut acc = Accum::for_product(&wf, &xf);
+        for (w, x) in weights.iter().zip(&xs) {
+            let (wq, _) = Fx::from_f64(*w, wf, Rounding::Truncate, Overflow::Saturate);
+            let (xq, _) = Fx::from_f64(*x, xf, Rounding::Truncate, Overflow::Saturate);
+            acc.mac(&wq, &xq);
+        }
+        let (int_out, _) = acc.write_back(of, Rounding::Truncate, Overflow::Saturate);
+
+        assert_eq!(f64_out, int_out.to_f64());
+    }
+
+    #[test]
+    fn input_quantization_counts_overflow() {
+        let fw = tiny_firmware(FwActivation::Linear);
+        let (_, stats) = fw.infer(&[1e6, 0.0]);
+        assert_eq!(stats.input.overflows, 1);
+    }
+
+    #[test]
+    fn wrap_overflow_produces_abnormal_output() {
+        // An output quantizer in wrap mode with too few integer bits flips
+        // the sign of a large accumulator — the paper's "abnormal points".
+        let wf = QFormat::signed(16, 8);
+        let of = QFormat::signed(16, 2); // max < 2
+        let d = FwDense {
+            weights: vec![on_grid(100.0, wf)],
+            bias: vec![0.0],
+            rows: 1,
+            cols: 1,
+            weight_fmt: wf,
+            out_quant: Quantizer::new(of, Rounding::Truncate, Overflow::Wrap),
+            activation: FwActivation::Linear,
+            saturated_weights: 0,
+        };
+        let fw = Firmware {
+            input_quant: q(QFormat::signed(16, 7)),
+            nodes: vec![FwNode::Dense(d)],
+            sigmoid: SigmoidTable::hls_default(),
+            config: HlsConfig::paper_default(),
+            input_len: 1,
+            input_channels: 1,
+            shapes: vec![(1, 1)],
+        };
+        let (y, stats) = fw.infer(&[1.0]); // 100 wraps in <16,2>
+        assert_eq!(stats.per_node[0].overflows, 1);
+        assert!(y[0] < 2.0, "wrapped value in range: {}", y[0]);
+        assert_ne!(y[0], of.max_value(), "wrap, not saturation");
+    }
+
+    #[test]
+    fn batch_merges_stats() {
+        let fw = tiny_firmware(FwActivation::Linear);
+        let inputs = vec![vec![1e6, 0.0], vec![0.0, 0.0], vec![-1e6, 0.0]];
+        let (outs, stats) = fw.infer_batch(&inputs);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(stats.input.overflows, 2);
+        assert_eq!(stats.input.total, 6);
+    }
+}

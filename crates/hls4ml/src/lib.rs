@@ -1,0 +1,52 @@
+//! `reads-hls4ml` — the hls4ml + Intel HLS compiler substitute.
+//!
+//! The paper's design flow (Fig. 4) takes a trained Keras model through
+//! hls4ml into C++ firmware, synthesized by the Intel HLS compiler into an
+//! IP with either the default *streaming* interface or the paper's custom
+//! *memory-mapped host* interface. There is no HLS toolchain in Rust, so
+//! this crate reimplements the parts of that flow the evaluation actually
+//! measures (DESIGN.md §1):
+//!
+//! * [`config`] — the build configuration: precision strategy (uniform vs
+//!   the paper's layer-based `ac_fixed<16, x>`), per-layer reuse factors
+//!   (default 32, Dense/Sigmoid 260 — Table III), conversion modes, and the
+//!   IP interface style.
+//! * [`profile`] — the profiling pass behind layer-based precision: run the
+//!   float model over calibration frames and record each layer's maximum
+//!   absolute activation and weight (Sec. IV-D).
+//! * [`mod@convert`] — "hls4ml": lowers a `reads-nn` float model into a
+//!   [`firmware::Firmware`] graph with quantized weights and per-layer
+//!   quantizers.
+//! * [`firmware`] — the synthesized IP: bit-exact fixed-point inference
+//!   (exact MAC accumulation, write-back rounding/overflow, sigmoid lookup
+//!   table) with overflow accounting per layer.
+//! * [`latency`] — the cycle model of the streaming IP (positions × II per
+//!   layer, II set by reuse factor and the multiplier bandwidth budget),
+//!   calibrated to the paper's 1.57 ms U-Net FPGA latency at 100 MHz.
+//! * [`resource`] — the Arria 10 resource estimator (ALUTs / DSPs / M20K),
+//!   calibrated to Tables II and III.
+//! * [`report`] — the Table III-style build report.
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod config;
+pub mod convert;
+pub mod dataflow;
+pub mod device;
+pub mod firmware;
+pub mod latency;
+pub mod profile;
+pub mod report;
+pub mod resource;
+
+pub use codegen::{emit_avalon_wrapper, emit_cpp};
+pub use config::{HlsConfig, IoInterface, PrecisionStrategy, ReuseConfig};
+pub use convert::convert;
+pub use dataflow::{minimal_skip_depths, simulate as simulate_dataflow, DataflowOutcome, FifoConfig};
+pub use device::ARRIA10_10AS066;
+pub use firmware::{Firmware, InferenceStats};
+pub use latency::render_loop_report;
+pub use profile::{profile_model, ModelProfile};
+pub use report::{precision_table, render_precision_table, BuildReport};
+pub use resource::ResourceEstimate;

@@ -1,0 +1,136 @@
+//! The profiling pass behind layer-based precision.
+//!
+//! "We re-evaluated the maximum absolute output value generated inside each
+//! individual layer of the model. Using this maximum, we calculated the
+//! required number of integer bits for each layer and adjusted each layer's
+//! precision individually." (Sec. IV-D)
+
+use rayon::prelude::*;
+use reads_nn::layer::Layer;
+use reads_nn::Model;
+use reads_tensor::FeatureMap;
+use serde::{Deserialize, Serialize};
+
+/// Per-node dynamic-range profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Maximum |activation| observed at each node's output, over all
+    /// calibration frames.
+    pub activation_max: Vec<f64>,
+    /// Maximum |weight| per node (0 for parameterless nodes).
+    pub weight_max: Vec<f64>,
+    /// Maximum |input| observed.
+    pub input_max: f64,
+    /// Number of calibration frames used.
+    pub frames: usize,
+}
+
+/// Profiles a model over calibration inputs (rayon-parallel across frames).
+///
+/// # Panics
+/// Panics if `inputs` is empty.
+#[must_use]
+pub fn profile_model(model: &Model, inputs: &[Vec<f64>]) -> ModelProfile {
+    assert!(!inputs.is_empty(), "profiling needs calibration frames");
+    let n_nodes = model.layers().len();
+
+    let (act_max, in_max) = inputs
+        .par_iter()
+        .map(|x| {
+            let input = FeatureMap::from_signal(x);
+            let cache = model.forward_cached(&input);
+            let maxes: Vec<f64> = cache.outputs.iter().map(FeatureMap::max_abs).collect();
+            (maxes, input.max_abs())
+        })
+        .reduce(
+            || (vec![0.0; n_nodes], 0.0),
+            |(mut a, ia), (b, ib)| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x = x.max(*y);
+                }
+                (a, ia.max(ib))
+            },
+        );
+
+    let weight_max = model
+        .layers()
+        .iter()
+        .map(|l| match l {
+            Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. } => p
+                .w
+                .max_abs()
+                .max(p.b.iter().fold(0.0f64, |m, &b| m.max(b.abs()))),
+            _ => 0.0,
+        })
+        .collect();
+
+    ModelProfile {
+        activation_max: act_max,
+        weight_max,
+        input_max: in_max,
+        frames: inputs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reads_nn::layer::DenseParams;
+    use reads_tensor::{Activation, Mat};
+
+    fn probe_model() -> Model {
+        // Two layers with known gains: |out1| <= 3*|in|, |out2| <= 2*|out1|.
+        Model::new(
+            2,
+            1,
+            vec![
+                Layer::Dense(DenseParams {
+                    w: Mat::from_vec(2, 2, vec![3.0, 0.0, 0.0, 1.0]),
+                    b: vec![0.0, 0.0],
+                    activation: Activation::Linear,
+                }),
+                Layer::Dense(DenseParams {
+                    w: Mat::from_vec(1, 2, vec![2.0, 0.0]),
+                    b: vec![0.5],
+                    activation: Activation::Linear,
+                }),
+            ],
+        )
+    }
+
+    #[test]
+    fn records_layer_maxima() {
+        let m = probe_model();
+        let p = profile_model(&m, &[vec![1.0, -4.0], vec![-2.0, 0.5]]);
+        // Node 0 outputs: [3, -4] and [-6, 0.5] -> max 6.
+        assert_eq!(p.activation_max[0], 6.0);
+        // Node 1: 2*3+0.5 = 6.5 and 2*-6+0.5 = -11.5 -> 11.5.
+        assert_eq!(p.activation_max[1], 11.5);
+        assert_eq!(p.input_max, 4.0);
+        assert_eq!(p.frames, 2);
+    }
+
+    #[test]
+    fn records_weight_maxima_including_bias() {
+        let m = probe_model();
+        let p = profile_model(&m, &[vec![0.0, 0.0]]);
+        assert_eq!(p.weight_max[0], 3.0);
+        assert_eq!(p.weight_max[1], 2.0); // bias 0.5 < weight 2.0
+    }
+
+    #[test]
+    fn more_frames_never_shrink_maxima() {
+        let m = probe_model();
+        let small = profile_model(&m, &[vec![1.0, 1.0]]);
+        let big = profile_model(&m, &[vec![1.0, 1.0], vec![5.0, -5.0]]);
+        for (a, b) in small.activation_max.iter().zip(&big.activation_max) {
+            assert!(b >= a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration frames")]
+    fn empty_calibration_rejected() {
+        let _ = profile_model(&probe_model(), &[]);
+    }
+}

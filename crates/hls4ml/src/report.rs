@@ -1,0 +1,264 @@
+//! Build reports — the Table III "Model Summary" view of a firmware build.
+
+use crate::config::PrecisionStrategy;
+use crate::device::{Device, ARRIA10_10AS066};
+use crate::firmware::Firmware;
+use crate::latency::{estimate_latency, LatencyBreakdown};
+use crate::resource::{estimate_resources_with, ResourceEstimate};
+use serde::Serialize;
+use std::fmt;
+
+/// A complete build summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct BuildReport {
+    /// Quantized parameter count.
+    pub params: usize,
+    /// Strategy label ("Layer-based", "Uniform ...").
+    pub strategy: String,
+    /// Default (conv) reuse factor.
+    pub default_reuse: u32,
+    /// Dense/sigmoid reuse factor.
+    pub dense_reuse: u32,
+    /// Latency breakdown.
+    pub latency: LatencyBreakdown,
+    /// Resource estimate.
+    pub resources: ResourceEstimate,
+    /// Weights saturated at conversion time.
+    pub saturated_weights: u64,
+}
+
+impl BuildReport {
+    /// Builds the report for a firmware.
+    #[must_use]
+    pub fn new(fw: &Firmware) -> Self {
+        let latency = estimate_latency(fw);
+        let resources = estimate_resources_with(fw, &latency);
+        Self {
+            params: fw.param_count(),
+            strategy: fw.config.strategy.label(),
+            default_reuse: fw.config.reuse.conv,
+            dense_reuse: fw.config.reuse.dense,
+            latency,
+            resources,
+            saturated_weights: fw
+                .nodes
+                .iter()
+                .filter_map(crate::firmware::FwNode::dense)
+                .map(|d| d.saturated_weights)
+                .sum(),
+        }
+    }
+
+    /// FPGA latency in milliseconds at 100 MHz.
+    #[must_use]
+    pub fn fpga_latency_ms(&self) -> f64 {
+        self.latency.duration().as_millis_f64()
+    }
+
+    /// The default precision label for uniform strategies, or the layer
+    /// notation for layer-based.
+    #[must_use]
+    pub fn precision_label(strategy: &PrecisionStrategy) -> String {
+        strategy.label()
+    }
+}
+
+/// One row of the per-layer precision table (the `x` annotations of the
+/// paper's Fig. 2).
+#[derive(Debug, Clone, Serialize)]
+pub struct LayerPrecisionRow {
+    /// Node index.
+    pub node: usize,
+    /// Layer kind tag.
+    pub kind: &'static str,
+    /// Output shape `(positions, channels)`.
+    pub shape: (usize, usize),
+    /// Weight format (None for parameterless nodes).
+    pub weight_format: Option<String>,
+    /// Result format, i.e. `ac_fixed<W, x>` with this layer's `x`.
+    pub result_format: Option<String>,
+    /// The layer's `x` (result integer bits), when it has a quantizer.
+    pub x: Option<i32>,
+}
+
+/// The per-layer precision assignment of a firmware build — reproduces the
+/// layer annotations of the paper's Fig. 2 ("each layer is annotated with
+/// its resource-aware custom layer-based precision (parameter x)").
+#[must_use]
+pub fn precision_table(fw: &Firmware) -> Vec<LayerPrecisionRow> {
+    use crate::firmware::FwNode;
+    fw.nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let kind = match node {
+                FwNode::Dense(_) => "Dense",
+                FwNode::PointwiseDense(_) => "Dense (per position)",
+                FwNode::Conv1d { .. } => "Conv1D",
+                FwNode::MaxPool { .. } => "MaxPooling1D",
+                FwNode::UpSample { .. } => "UpSampling1D",
+                FwNode::ConcatWith { .. } => "Concatenate",
+                FwNode::BatchNorm { .. } => "BatchNormalization",
+            };
+            let (wf, rf) = match node {
+                FwNode::Dense(d) | FwNode::PointwiseDense(d) | FwNode::Conv1d { d, .. } => (
+                    Some(d.weight_fmt.to_string()),
+                    Some(d.out_quant.format()),
+                ),
+                FwNode::ConcatWith { out_quant, .. } | FwNode::BatchNorm { out_quant, .. } => {
+                    (None, Some(out_quant.format()))
+                }
+                _ => (None, None),
+            };
+            LayerPrecisionRow {
+                node: i,
+                kind,
+                shape: fw.shapes[i],
+                weight_format: wf,
+                result_format: rf.map(|f| f.to_string()),
+                x: rf.map(|f| f.int_bits),
+            }
+        })
+        .collect()
+}
+
+/// Renders the precision table as text (the Fig. 2 view).
+#[must_use]
+pub fn render_precision_table(fw: &Firmware) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<22} {:>12}  {:<22} {:<22} {:>3}",
+        "node", "layer", "shape", "weights", "result", "x"
+    );
+    let _ = writeln!(
+        out,
+        "input quantizer: {}",
+        fw.input_quant.format()
+    );
+    for r in precision_table(fw) {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<22} {:>5}x{:<6}  {:<22} {:<22} {:>3}",
+            r.node,
+            r.kind,
+            r.shape.0,
+            r.shape.1,
+            r.weight_format.as_deref().unwrap_or("-"),
+            r.result_format.as_deref().unwrap_or("-"),
+            r.x.map_or("-".to_string(), |x| x.to_string()),
+        );
+    }
+    out
+}
+
+impl fmt::Display for BuildReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = ARRIA10_10AS066;
+        let r = &self.resources;
+        writeln!(f, "Model Summary (cf. paper Table III)")?;
+        writeln!(f, "  Trainable Parameters        {}", self.params)?;
+        writeln!(f, "  Precision Strategy          {}", self.strategy)?;
+        writeln!(f, "  Default Reuse Factor        {}", self.default_reuse)?;
+        writeln!(f, "  Dense/Sigmoid Reuse Factor  {}", self.dense_reuse)?;
+        writeln!(
+            f,
+            "  FPGA U-Net Latency          {:.2} ms ({} cycles @ 100 MHz)",
+            self.fpga_latency_ms(),
+            self.latency.total_cycles
+        )?;
+        writeln!(
+            f,
+            "  Logic Utilization (ALMs)    {} ({:.0}%)",
+            r.system_alms,
+            Device::pct(r.system_alms, d.alms)
+        )?;
+        writeln!(f, "  Total Registers             {}", r.registers)?;
+        writeln!(
+            f,
+            "  Total Pins                  {} ({:.0}%)",
+            r.pins,
+            Device::pct(r.pins, d.pins)
+        )?;
+        writeln!(
+            f,
+            "  Total Block Memory Bits     {} ({:.0}%)",
+            r.bram_bits,
+            Device::pct(r.bram_bits, d.m20k_bits)
+        )?;
+        writeln!(
+            f,
+            "  Total RAM Blocks            {} ({:.0}%)",
+            r.bram_blocks,
+            Device::pct(r.bram_blocks, d.m20k_blocks)
+        )?;
+        writeln!(
+            f,
+            "  Total DSP Blocks            {} ({:.0}%)",
+            r.dsps,
+            Device::pct(r.dsps, d.dsps)
+        )?;
+        writeln!(
+            f,
+            "  Total PLLs                  {} ({:.0}%)",
+            r.plls,
+            Device::pct(r.plls, d.plls)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HlsConfig;
+    use crate::convert::convert;
+    use crate::profile::profile_model;
+    use reads_nn::models;
+
+    #[test]
+    fn precision_table_reproduces_fig2_annotations() {
+        let m = models::reads_unet(1);
+        let inputs = vec![(0..260).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<f64>>()];
+        let p = profile_model(&m, &inputs);
+        let fw = convert(&m, &p, &HlsConfig::paper_default());
+        let table = precision_table(&fw);
+        assert_eq!(table.len(), 12);
+        // Every dense-like layer carries both formats and an x.
+        let dense_rows: Vec<_> = table
+            .iter()
+            .filter(|r| r.weight_format.is_some())
+            .collect();
+        assert_eq!(dense_rows.len(), 6, "5 convs + 1 head");
+        for r in &dense_rows {
+            assert!(r.result_format.as_deref().unwrap().starts_with("ac_fixed<16,"));
+            let x = r.x.expect("x");
+            assert!((-16..=16).contains(&x));
+        }
+        // The sigmoid head's result fits in [0,1]: x must be small.
+        let head = table.last().expect("head");
+        assert!(head.x.expect("head x") <= 2);
+        // Rendered view contains the layer names of Fig. 2.
+        let text = render_precision_table(&fw);
+        assert!(text.contains("Conv1D"));
+        assert!(text.contains("Concatenate"));
+        assert!(text.contains("MaxPooling1D"));
+        assert!(text.contains("UpSampling1D"));
+    }
+
+    #[test]
+    fn report_for_paper_unet() {
+        let m = models::reads_unet(1);
+        let inputs = vec![(0..260).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<f64>>()];
+        let p = profile_model(&m, &inputs);
+        let fw = convert(&m, &p, &HlsConfig::paper_default());
+        let rep = BuildReport::new(&fw);
+        assert_eq!(rep.params, 134_434);
+        assert_eq!(rep.default_reuse, 32);
+        assert_eq!(rep.dense_reuse, 260);
+        let text = rep.to_string();
+        assert!(text.contains("134434"));
+        assert!(text.contains("Layer-based"));
+        assert!(text.contains("Reuse"));
+    }
+}

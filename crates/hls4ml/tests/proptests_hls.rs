@@ -1,0 +1,119 @@
+//! Property tests of the conversion and scheduling invariants.
+
+use proptest::prelude::*;
+use reads_fixed::QFormat;
+use reads_hls4ml::config::PrecisionStrategy;
+use reads_hls4ml::latency::estimate_latency;
+use reads_hls4ml::resource::estimate_resources;
+use reads_hls4ml::{convert, profile_model, HlsConfig};
+use reads_nn::layer::{DenseParams, Layer};
+use reads_nn::Model;
+use reads_tensor::{Activation, Mat};
+
+/// A small random two-layer MLP with controllable weight scale.
+fn small_model(seed: u64, scale: f64) -> Model {
+    let mut rng = reads_sim::Rng::seed_from_u64(seed);
+    let mut dense = |n_in: usize, n_out: usize, act: Activation| {
+        Layer::Dense(DenseParams {
+            w: Mat::from_fn(n_out, n_in, |_, _| rng.range_f64(-scale, scale)),
+            b: vec![0.0; n_out],
+            activation: act,
+        })
+    };
+    let l0 = dense(12, 8, Activation::Relu);
+    let l1 = dense(8, 4, Activation::Sigmoid);
+    Model::new(12, 1, vec![l0, l1])
+}
+
+proptest! {
+    /// Every quantized weight lies within its assigned format's range, for
+    /// arbitrary weight scales and strategies.
+    #[test]
+    fn quantized_weights_in_range(seed in 0u64..500, scale in 0.01f64..50.0,
+                                  width in 4u32..20) {
+        let m = small_model(seed, scale);
+        let inputs = vec![vec![0.3; 12], vec![-0.9; 12]];
+        let profile = profile_model(&m, &inputs);
+        for strategy in [
+            PrecisionStrategy::LayerBased { width, int_margin: 0 },
+            PrecisionStrategy::Uniform(QFormat::signed(16, 7)),
+        ] {
+            let fw = convert(&m, &profile, &HlsConfig::with_strategy(strategy));
+            for node in &fw.nodes {
+                if let Some(d) = node.dense() {
+                    for &w in &d.weights {
+                        prop_assert!(d.weight_fmt.in_range(w), "{w} outside {}", d.weight_fmt);
+                        // And exactly on the grid.
+                        let q = (w / d.weight_fmt.lsb()).round();
+                        prop_assert!((w / d.weight_fmt.lsb() - q).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Firmware outputs stay within the head's format range for arbitrary
+    /// inputs (sigmoid head: within [0, 1] up to the grid).
+    #[test]
+    fn outputs_bounded(seed in 0u64..200, xs in prop::collection::vec(-10.0f64..10.0, 12)) {
+        let m = small_model(seed, 1.0);
+        let calib = vec![vec![1.0; 12], vec![-1.0; 12]];
+        let profile = profile_model(&m, &calib);
+        let fw = convert(&m, &profile, &HlsConfig::paper_default());
+        let (y, _) = fw.infer(&xs);
+        for v in y {
+            prop_assert!((-0.01..=1.01).contains(&v), "sigmoid-head output {v}");
+        }
+    }
+
+    /// Latency is monotone non-decreasing in the dense reuse factor, and
+    /// the instantiated multiplier count is monotone non-increasing.
+    #[test]
+    fn reuse_monotonicity(seed in 0u64..100, r1 in 1u32..64, r2 in 64u32..2048) {
+        let m = small_model(seed, 1.0);
+        let inputs = vec![vec![0.5; 12]];
+        let profile = profile_model(&m, &inputs);
+        let build = |reuse: u32| {
+            let mut cfg = HlsConfig::paper_default();
+            cfg.reuse.dense = reuse;
+            convert(&m, &profile, &cfg)
+        };
+        let (lo, hi) = (build(r1), build(r2));
+        let (llo, lhi) = (estimate_latency(&lo), estimate_latency(&hi));
+        prop_assert!(lhi.total_cycles >= llo.total_cycles);
+        let mults = |l: &reads_hls4ml::latency::LatencyBreakdown| {
+            l.nodes.iter().map(|n| n.parallel_mults).sum::<u64>()
+        };
+        prop_assert!(mults(&lhi) <= mults(&llo));
+        // Resources follow multipliers.
+        prop_assert!(estimate_resources(&hi).ip_aluts <= estimate_resources(&lo).ip_aluts);
+    }
+
+    /// More fraction bits improve firmware accuracy against the float
+    /// model, up to the nonlinearity floor. Pointwise monotonicity is NOT
+    /// guaranteed (a finer grid can flip a ReLU or cross a sigmoid-table
+    /// bin and land a single output slightly differently), so the property
+    /// is: wide formats reach the table-resolution floor, and never lose to
+    /// the coarse format by more than one table bin.
+    #[test]
+    fn wider_reaches_the_nonlinearity_floor(
+        seed in 0u64..100, xs in prop::collection::vec(-2.0f64..2.0, 12)
+    ) {
+        let m = small_model(seed, 0.8);
+        let calib = vec![vec![2.0; 12], vec![-2.0; 12]];
+        let profile = profile_model(&m, &calib);
+        let err_at = |width: u32| {
+            let mut cfg = HlsConfig::with_strategy(
+                PrecisionStrategy::Uniform(QFormat::signed(width, 6)),
+            );
+            cfg.overflow = reads_fixed::Overflow::Saturate;
+            let fw = convert(&m, &profile, &cfg);
+            let (yq, _) = fw.infer(&xs);
+            let yf = m.predict(&xs);
+            yf.iter().zip(&yq).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+        };
+        let table_bin = 16.0 / 1024.0 * 0.25; // hls4ml sigmoid table resolution
+        prop_assert!(err_at(24) <= err_at(8) + table_bin + 1e-9);
+        prop_assert!(err_at(24) <= 2.0 * table_bin + 1e-9, "24-bit error above the floor");
+    }
+}

@@ -1,0 +1,521 @@
+//! The model graph: a layer sequence with skip references.
+//!
+//! The READS U-Net is a chain where two `ConcatWith` nodes reach back to
+//! earlier encoder outputs — a strict superset of `Sequential`, far short of
+//! a general DAG, which keeps forward/backward simple and auditable.
+
+use crate::layer::{Layer, LayerGrad};
+use reads_tensor::{Activation, FeatureMap};
+use serde::{Deserialize, Serialize};
+
+/// A model: input shape plus a layer chain (node `i` consumes node `i-1`'s
+/// output; `ConcatWith { node }` additionally consumes node `node`'s output,
+/// where `node` may be `usize::MAX` to reference the model input).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    input_len: usize,
+    input_channels: usize,
+    layers: Vec<Layer>,
+}
+
+/// All intermediate activations of one forward pass (needed by backward and
+/// by the hls4ml profiling pass).
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// The model input.
+    pub input: FeatureMap,
+    /// Output of every node, in order.
+    pub outputs: Vec<FeatureMap>,
+    /// Pool argmaxes per node (empty for non-pool nodes).
+    pub argmaxes: Vec<Vec<u8>>,
+}
+
+impl ForwardCache {
+    /// The final output.
+    #[must_use]
+    pub fn output(&self) -> &FeatureMap {
+        self.outputs.last().expect("model has at least one layer")
+    }
+}
+
+/// Parameter gradients for every node.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// One entry per node, mirroring the layer list.
+    pub per_layer: Vec<LayerGrad>,
+}
+
+impl Gradients {
+    /// Zero gradients shaped like `model`.
+    #[must_use]
+    pub fn zeros_like(model: &Model) -> Self {
+        use reads_tensor::Mat;
+        let per_layer = model
+            .layers
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. } => {
+                    LayerGrad::Dense {
+                        dw: Mat::zeros(p.w.rows(), p.w.cols()),
+                        db: vec![0.0; p.b.len()],
+                    }
+                }
+                _ => LayerGrad::None,
+            })
+            .collect();
+        Self { per_layer }
+    }
+
+    /// Accumulates another gradient set (for mini-batch averaging).
+    ///
+    /// # Panics
+    /// Panics on structural mismatch.
+    pub fn accumulate(&mut self, other: &Gradients) {
+        assert_eq!(self.per_layer.len(), other.per_layer.len());
+        for (a, b) in self.per_layer.iter_mut().zip(&other.per_layer) {
+            match (a, b) {
+                (
+                    LayerGrad::Dense { dw, db },
+                    LayerGrad::Dense {
+                        dw: dw2,
+                        db: db2,
+                    },
+                ) => {
+                    for (x, y) in dw.as_mut_slice().iter_mut().zip(dw2.as_slice()) {
+                        *x += y;
+                    }
+                    for (x, y) in db.iter_mut().zip(db2) {
+                        *x += y;
+                    }
+                }
+                (LayerGrad::None, LayerGrad::None) => {}
+                _ => panic!("gradient structure mismatch"),
+            }
+        }
+    }
+
+    /// Scales all gradients by `k` (1/batch for averaging).
+    pub fn scale(&mut self, k: f64) {
+        for g in &mut self.per_layer {
+            if let LayerGrad::Dense { dw, db } = g {
+                for x in dw.as_mut_slice() {
+                    *x *= k;
+                }
+                for x in db.iter_mut() {
+                    *x *= k;
+                }
+            }
+        }
+    }
+
+    /// Global L2 norm over all parameter gradients.
+    #[must_use]
+    pub fn l2_norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for g in &self.per_layer {
+            if let LayerGrad::Dense { dw, db } = g {
+                acc += dw.as_slice().iter().map(|x| x * x).sum::<f64>();
+                acc += db.iter().map(|x| x * x).sum::<f64>();
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+/// Sentinel for `ConcatWith` referencing the model input.
+pub const INPUT_NODE: usize = usize::MAX;
+
+impl Model {
+    /// New model with the given input shape and layers.
+    ///
+    /// # Panics
+    /// Panics if the chain is shape-inconsistent or a skip reference points
+    /// forward.
+    #[must_use]
+    pub fn new(input_len: usize, input_channels: usize, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "empty model");
+        let m = Self {
+            input_len,
+            input_channels,
+            layers,
+        };
+        m.validate();
+        m
+    }
+
+    fn validate(&self) {
+        let mut shapes: Vec<(usize, usize)> = Vec::with_capacity(self.layers.len());
+        for (i, l) in self.layers.iter().enumerate() {
+            let input = if i == 0 {
+                (self.input_len, self.input_channels)
+            } else {
+                shapes[i - 1]
+            };
+            let skip = match l {
+                Layer::ConcatWith { node } => {
+                    let s = if *node == INPUT_NODE {
+                        (self.input_len, self.input_channels)
+                    } else {
+                        assert!(*node < i, "skip reference must point backward");
+                        shapes[*node]
+                    };
+                    Some(s)
+                }
+                _ => None,
+            };
+            shapes.push(l.output_shape(input, skip));
+        }
+    }
+
+    /// Input shape `(len, channels)`.
+    #[must_use]
+    pub fn input_shape(&self) -> (usize, usize) {
+        (self.input_len, self.input_channels)
+    }
+
+    /// Output shape `(len, channels)`.
+    #[must_use]
+    pub fn output_shape(&self) -> (usize, usize) {
+        let mut shape = (self.input_len, self.input_channels);
+        let mut shapes = Vec::with_capacity(self.layers.len());
+        for (i, l) in self.layers.iter().enumerate() {
+            let skip = match l {
+                Layer::ConcatWith { node } => Some(if *node == INPUT_NODE {
+                    (self.input_len, self.input_channels)
+                } else {
+                    shapes[*node]
+                }),
+                _ => None,
+            };
+            shape = l.output_shape(if i == 0 { shape } else { shapes[i - 1] }, skip);
+            shapes.push(shape);
+        }
+        shape
+    }
+
+    /// The layer chain.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by the optimizer).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Total nodes (neurons/units): input positions + dense units + conv
+    /// output channels, the convention behind the paper's "905 nodes" MLP
+    /// figure (259 + 128 + 518).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        let mut n = self.input_len * self.input_channels;
+        for l in &self.layers {
+            n += match l {
+                Layer::Dense(p) | Layer::PointwiseDense(p) => p.w.rows(),
+                Layer::Conv1d { p, .. } => p.w.rows(),
+                _ => 0,
+            };
+        }
+        n
+    }
+
+    /// Forward pass over a single-channel signal (the common case: one frame
+    /// of BLM readings). Returns the flattened output.
+    ///
+    /// # Panics
+    /// Panics if the model expects a multi-channel input.
+    #[must_use]
+    pub fn predict(&self, signal: &[f64]) -> Vec<f64> {
+        assert_eq!(self.input_channels, 1, "predict expects 1-channel input");
+        assert_eq!(signal.len(), self.input_len, "input length mismatch");
+        let input = FeatureMap::from_signal(signal);
+        self.forward(&input).into_vec()
+    }
+
+    /// Forward pass without caching intermediates.
+    #[must_use]
+    pub fn forward(&self, input: &FeatureMap) -> FeatureMap {
+        // Keep only outputs that a later concat will need, plus the running
+        // value; for the model sizes here, caching everything is also cheap,
+        // so reuse the cached path for simplicity and correctness.
+        self.forward_cached(input).outputs.pop().expect("nonempty")
+    }
+
+    /// Forward pass retaining every intermediate (for backprop/profiling).
+    #[must_use]
+    pub fn forward_cached(&self, input: &FeatureMap) -> ForwardCache {
+        let mut outputs: Vec<FeatureMap> = Vec::with_capacity(self.layers.len());
+        let mut argmaxes: Vec<Vec<u8>> = Vec::with_capacity(self.layers.len());
+        for (i, l) in self.layers.iter().enumerate() {
+            let x = if i == 0 { input } else { &outputs[i - 1] };
+            let skip = match l {
+                Layer::ConcatWith { node } => Some(if *node == INPUT_NODE {
+                    input
+                } else {
+                    &outputs[*node]
+                }),
+                _ => None,
+            };
+            let (y, am) = l.forward(x, skip);
+            outputs.push(y);
+            argmaxes.push(am);
+        }
+        ForwardCache {
+            input: input.clone(),
+            outputs,
+            argmaxes,
+        }
+    }
+
+    /// Backward pass from a gradient w.r.t. the final output.
+    ///
+    /// `fuse_final` marks `d_output` as being w.r.t. the final layer's
+    /// *pre-activation* (the numerically exact BCE⊗sigmoid path).
+    #[must_use]
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        d_output: &FeatureMap,
+        fuse_final: bool,
+    ) -> Gradients {
+        let n = self.layers.len();
+        // Accumulated output-gradients per node (concat writes into earlier
+        // nodes, so these are accumulation buffers, not single assignments).
+        let mut dys: Vec<Option<FeatureMap>> = vec![None; n];
+        dys[n - 1] = Some(d_output.clone());
+        let mut grads = Vec::with_capacity(n);
+        grads.resize_with(n, || LayerGrad::None);
+
+        for i in (0..n).rev() {
+            let dy = dys[i].take().unwrap_or_else(|| {
+                // A node whose output was never consumed downstream (cannot
+                // happen in a validated chain, but keep backward total).
+                let out = &cache.outputs[i];
+                FeatureMap::zeros(out.len(), out.channels())
+            });
+            let x = if i == 0 {
+                &cache.input
+            } else {
+                &cache.outputs[i - 1]
+            };
+            let y = &cache.outputs[i];
+            let fused = fuse_final && i == n - 1;
+            let (dx, dskip, g) = self.layers[i].backward(x, y, &dy, &cache.argmaxes[i], fused);
+            grads[i] = g;
+            if i > 0 {
+                add_into(&mut dys[i - 1], dx);
+            }
+            if let (Layer::ConcatWith { node }, Some(ds)) = (&self.layers[i], dskip) {
+                if *node != INPUT_NODE {
+                    add_into(&mut dys[*node], ds);
+                }
+            }
+        }
+        Gradients { per_layer: grads }
+    }
+
+    /// The output activation of the final layer (None if the final layer is
+    /// not dense-like) — used to decide the fused-loss path.
+    #[must_use]
+    pub fn final_activation(&self) -> Option<Activation> {
+        match self.layers.last() {
+            Some(Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. }) => {
+                Some(p.activation)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn add_into(slot: &mut Option<FeatureMap>, g: FeatureMap) {
+    match slot {
+        None => *slot = Some(g),
+        Some(acc) => {
+            debug_assert_eq!(acc.len(), g.len());
+            debug_assert_eq!(acc.channels(), g.channels());
+            for (a, b) in acc.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *a += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::DenseParams;
+    use reads_tensor::Mat;
+
+    fn tiny_unet_like() -> Model {
+        // input (4,1) -> conv(1->2,k3) -> pool2 -> up2 -> concat(node 0) -> pointwise(3->1, sigmoid)
+        Model::new(
+            4,
+            1,
+            vec![
+                Layer::Conv1d {
+                    p: DenseParams {
+                        w: Mat::from_vec(2, 3, vec![0.1, 0.2, 0.3, -0.1, 0.4, 0.2]),
+                        b: vec![0.05, -0.05],
+                        activation: Activation::Relu,
+                    },
+                    k: 3,
+                },
+                Layer::MaxPool { pool: 2 },
+                Layer::UpSample { factor: 2 },
+                Layer::ConcatWith { node: 0 },
+                Layer::PointwiseDense(DenseParams {
+                    w: Mat::from_vec(1, 4, vec![0.3, -0.2, 0.5, 0.1]),
+                    b: vec![0.1],
+                    activation: Activation::Sigmoid,
+                }),
+            ],
+        )
+    }
+
+    #[test]
+    fn shapes_propagate() {
+        let m = tiny_unet_like();
+        assert_eq!(m.output_shape(), (4, 1));
+    }
+
+    #[test]
+    fn forward_deterministic_and_bounded() {
+        let m = tiny_unet_like();
+        let y = m.forward(&FeatureMap::from_signal(&[1.0, -0.5, 2.0, 0.3]));
+        assert_eq!(y.len(), 4);
+        for &v in y.as_slice() {
+            assert!((0.0..=1.0).contains(&v), "sigmoid output in range");
+        }
+        let y2 = m.forward(&FeatureMap::from_signal(&[1.0, -0.5, 2.0, 0.3]));
+        assert_eq!(y.as_slice(), y2.as_slice());
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let m = tiny_unet_like();
+        assert_eq!(m.param_count(), (2 * 3 + 2) + (4 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "point backward")]
+    fn forward_skip_reference_rejected() {
+        let _ = Model::new(
+            4,
+            1,
+            vec![
+                Layer::ConcatWith { node: 3 },
+                Layer::MaxPool { pool: 2 },
+            ],
+        );
+    }
+
+    #[test]
+    fn gradients_shape_mirror() {
+        let m = tiny_unet_like();
+        let g = Gradients::zeros_like(&m);
+        assert_eq!(g.per_layer.len(), m.layers().len());
+        assert!(matches!(g.per_layer[0], LayerGrad::Dense { .. }));
+        assert!(matches!(g.per_layer[1], LayerGrad::None));
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let m = tiny_unet_like();
+        let cache = m.forward_cached(&FeatureMap::from_signal(&[1.0, 2.0, 3.0, 4.0]));
+        let dy = FeatureMap::from_signal(&[1.0, 1.0, 1.0, 1.0]);
+        let g1 = m.backward(&cache, &dy, false);
+        let mut acc = Gradients::zeros_like(&m);
+        acc.accumulate(&g1);
+        acc.accumulate(&g1);
+        acc.scale(0.5);
+        // acc should equal g1
+        if let (LayerGrad::Dense { dw: a, .. }, LayerGrad::Dense { dw: b, .. }) =
+            (&acc.per_layer[0], &g1.per_layer[0])
+        {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        } else {
+            panic!("expected dense grads");
+        }
+        assert!(acc.l2_norm() > 0.0);
+    }
+
+    /// Finite-difference gradient check across every trainable parameter of
+    /// a graph exercising conv, pool, upsample, concat and pointwise-dense —
+    /// the definitive correctness test for the backprop engine.
+    #[test]
+    fn gradcheck_full_graph() {
+        let mut m = tiny_unet_like();
+        let input = FeatureMap::from_signal(&[0.9, -0.4, 1.7, 0.2]);
+        let target = [0.2, 0.8, 0.5, 0.1];
+
+        // Loss: MSE (pure, unfused path exercises activation derivatives).
+        let loss_of = |m: &Model| {
+            let y = m.forward(&input);
+            y.as_slice()
+                .iter()
+                .zip(&target)
+                .map(|(y, t)| (y - t) * (y - t))
+                .sum::<f64>()
+        };
+
+        let cache = m.forward_cached(&input);
+        let y = cache.output().clone();
+        let mut dy = y.clone();
+        for (g, t) in dy.as_mut_slice().iter_mut().zip(&target) {
+            *g = 2.0 * (*g - t);
+        }
+        let grads = m.backward(&cache, &dy, false);
+
+        let eps = 1e-6;
+        for li in 0..m.layers().len() {
+            let (nw, nb) = match &m.layers()[li] {
+                Layer::Conv1d { p, .. } | Layer::PointwiseDense(p) | Layer::Dense(p) => {
+                    (p.w.count(), p.b.len())
+                }
+                _ => (0, 0),
+            };
+            for wi in 0..nw + nb {
+                let analytic = match &grads.per_layer[li] {
+                    LayerGrad::Dense { dw, db } => {
+                        if wi < nw {
+                            dw.as_slice()[wi]
+                        } else {
+                            db[wi - nw]
+                        }
+                    }
+                    LayerGrad::None => continue,
+                };
+                let bump = |m: &mut Model, delta: f64| {
+                    if let Layer::Conv1d { p, .. } | Layer::PointwiseDense(p) | Layer::Dense(p) =
+                        &mut m.layers_mut()[li]
+                    {
+                        if wi < nw {
+                            p.w.as_mut_slice()[wi] += delta;
+                        } else {
+                            p.b[wi - nw] += delta;
+                        }
+                    }
+                };
+                bump(&mut m, eps);
+                let up = loss_of(&m);
+                bump(&mut m, -2.0 * eps);
+                let down = loss_of(&m);
+                bump(&mut m, eps);
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5 * (1.0 + numeric.abs()),
+                    "layer {li} param {wi}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+}

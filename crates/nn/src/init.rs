@@ -1,0 +1,88 @@
+//! Weight initialization.
+
+use reads_sim::Rng;
+use reads_tensor::{Activation, Mat};
+
+/// He-normal initialization (`std = sqrt(2 / fan_in)`) — the standard choice
+/// ahead of ReLU layers.
+#[must_use]
+pub fn he_normal(rows: usize, cols: usize, fan_in: usize, rng: &mut Rng) -> Mat {
+    let std = (2.0 / fan_in as f64).sqrt();
+    Mat::from_fn(rows, cols, |_, _| rng.next_gaussian() * std)
+}
+
+/// Glorot/Xavier-normal initialization (`std = sqrt(2 / (fan_in+fan_out))`)
+/// — used ahead of the sigmoid output stage.
+#[must_use]
+pub fn glorot_normal(rows: usize, cols: usize, fan_in: usize, fan_out: usize, rng: &mut Rng) -> Mat {
+    let std = (2.0 / (fan_in + fan_out) as f64).sqrt();
+    Mat::from_fn(rows, cols, |_, _| rng.next_gaussian() * std)
+}
+
+/// Picks the initializer matching the layer's activation.
+#[must_use]
+pub fn for_activation(
+    activation: Activation,
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut Rng,
+) -> Mat {
+    match activation {
+        Activation::Relu => he_normal(rows, cols, fan_in, rng),
+        _ => glorot_normal(rows, cols, fan_in, fan_out, rng),
+    }
+}
+
+/// Uniform initialization on `[0, 1)` — the paper's *randomized* pre-test
+/// configuration ("for the randomized U-Net model, all the parameters are
+/// between 0 and 1", Sec. IV-D), used by the trained-vs-random dynamic-range
+/// ablation.
+#[must_use]
+pub fn uniform01(rows: usize, cols: usize, rng: &mut Rng) -> Mat {
+    Mat::from_fn(rows, cols, |_, _| rng.next_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_std_matches() {
+        let mut rng = Rng::seed_from_u64(1);
+        let m = he_normal(200, 300, 300, &mut rng);
+        let n = m.count() as f64;
+        let mean = m.as_slice().iter().sum::<f64>() / n;
+        let var = m.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let expect = 2.0 / 300.0;
+        assert!(mean.abs() < 0.002, "mean {mean}");
+        assert!((var - expect).abs() / expect < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn glorot_std_matches() {
+        let mut rng = Rng::seed_from_u64(2);
+        let m = glorot_normal(100, 400, 400, 100, &mut rng);
+        let n = m.count() as f64;
+        let var = m.as_slice().iter().map(|x| x * x).sum::<f64>() / n;
+        let expect = 2.0 / 500.0;
+        assert!((var - expect).abs() / expect < 0.05);
+    }
+
+    #[test]
+    fn uniform01_bounds() {
+        let mut rng = Rng::seed_from_u64(3);
+        let m = uniform01(50, 50, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = m.as_slice().iter().sum::<f64>() / m.count() as f64;
+        assert!((mean - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = he_normal(10, 10, 10, &mut Rng::seed_from_u64(7));
+        let b = he_normal(10, 10, 10, &mut Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,169 @@
+//! Versioned model checkpoints.
+//!
+//! Training runs, the artifact cache and the deployment pipeline all pass
+//! models through disk. The envelope carries a format version and the
+//! architecture fingerprint so an old or mismatched checkpoint fails loudly
+//! instead of deserializing into silent nonsense.
+
+use crate::graph::Model;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope {
+    version: u32,
+    param_count: usize,
+    input_shape: (usize, usize),
+    output_shape: (usize, usize),
+    model: Model,
+}
+
+/// Errors while loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Not a checkpoint / corrupted JSON.
+    Malformed(String),
+    /// A checkpoint from a different format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The model inside does not match its own recorded fingerprint.
+    FingerprintMismatch,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            CheckpointError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
+            CheckpointError::VersionMismatch { found } => {
+                write!(f, "checkpoint version {found} != {CHECKPOINT_VERSION}")
+            }
+            CheckpointError::FingerprintMismatch => {
+                write!(f, "checkpoint fingerprint mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Saves a model checkpoint (atomic write: temp file + rename).
+///
+/// # Errors
+/// I/O failures.
+pub fn save_checkpoint(model: &Model, path: &Path) -> Result<(), CheckpointError> {
+    let envelope = Envelope {
+        version: CHECKPOINT_VERSION,
+        param_count: model.param_count(),
+        input_shape: model.input_shape(),
+        output_shape: model.output_shape(),
+        model: model.clone(),
+    };
+    let bytes = serde_json::to_vec(&envelope)
+        .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+    let tmp = path.with_extension("ckpt.tmp");
+    fs::write(&tmp, bytes).map_err(CheckpointError::Io)?;
+    fs::rename(&tmp, path).map_err(CheckpointError::Io)
+}
+
+/// Loads and validates a model checkpoint.
+///
+/// # Errors
+/// See [`CheckpointError`].
+pub fn load_checkpoint(path: &Path) -> Result<Model, CheckpointError> {
+    let bytes = fs::read(path).map_err(CheckpointError::Io)?;
+    let envelope: Envelope = serde_json::from_slice(&bytes)
+        .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+    if envelope.version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::VersionMismatch {
+            found: envelope.version,
+        });
+    }
+    let m = envelope.model;
+    if m.param_count() != envelope.param_count
+        || m.input_shape() != envelope.input_shape
+        || m.output_shape() != envelope.output_shape
+    {
+        return Err(CheckpointError::FingerprintMismatch);
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("reads-nn-io-{name}-{}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let m = models::reads_mlp(5);
+        let path = tmp_path("roundtrip");
+        save_checkpoint(&m, &path).expect("save");
+        let back = load_checkpoint(&path).expect("load");
+        let input = vec![0.21; 259];
+        assert_eq!(m.predict(&input), back.predict(&input));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let m = models::reads_mlp(6);
+        let path = tmp_path("version");
+        save_checkpoint(&m, &path).expect("save");
+        let mut text = fs::read_to_string(&path).expect("read");
+        text = text.replacen("\"version\":1", "\"version\":99", 1);
+        fs::write(&path, text).expect("rewrite");
+        match load_checkpoint(&path) {
+            Err(CheckpointError::VersionMismatch { found: 99 }) => {}
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_tampered_fingerprint() {
+        let m = models::reads_mlp(7);
+        let path = tmp_path("fingerprint");
+        save_checkpoint(&m, &path).expect("save");
+        let mut text = fs::read_to_string(&path).expect("read");
+        text = text.replacen("\"param_count\":100102", "\"param_count\":123", 1);
+        fs::write(&path, text).expect("rewrite");
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::FingerprintMismatch)
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_checkpoint(Path::new("/nonexistent/reads.ckpt")),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let path = tmp_path("garbage");
+        fs::write(&path, b"not json").expect("write");
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Malformed(_))
+        ));
+        let _ = fs::remove_file(&path);
+    }
+}

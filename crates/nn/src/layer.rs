@@ -1,0 +1,478 @@
+//! Layers: parameters, forward, and backward rules.
+
+use reads_tensor::ops;
+use reads_tensor::{Activation, FeatureMap, Mat};
+use serde::{Deserialize, Serialize};
+
+/// Weights + bias + activation for dense-like layers (Dense, pointwise
+/// Dense, Conv1D — a conv is a dense product over its im2col receptive
+/// field, which is also exactly how hls4ml lowers it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseParams {
+    /// `out × in` weights (for Conv1D: `out_ch × (k·in_ch)`).
+    pub w: Mat,
+    /// Per-output bias.
+    pub b: Vec<f64>,
+    /// Activation applied to the output.
+    pub activation: Activation,
+}
+
+impl DenseParams {
+    /// Trainable parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.w.count() + self.b.len()
+    }
+}
+
+/// One node of the model graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully connected over the *flattened* input.
+    Dense(DenseParams),
+    /// Dense applied independently at every position (`in = channels`);
+    /// equivalent to a k=1 convolution. Kept distinct because hls4ml maps it
+    /// to a Dense firmware kernel reused across positions (the Table III
+    /// "Dense/Sigmoid Reuse Factor 260" stage).
+    PointwiseDense(DenseParams),
+    /// Same-padded 1-D convolution with odd kernel size `k`.
+    Conv1d {
+        /// Weights/bias/activation; `w` is `out_ch × (k·in_ch)`.
+        p: DenseParams,
+        /// Kernel size (odd).
+        k: usize,
+    },
+    /// Max pooling with window = stride = `pool`.
+    MaxPool {
+        /// Window/stride.
+        pool: usize,
+    },
+    /// Nearest-neighbour upsampling by `factor`.
+    UpSample {
+        /// Repetition factor.
+        factor: usize,
+    },
+    /// Concatenates the previous node's output with the output of an earlier
+    /// node (`node` is an index into the model's layer list; the U-Net skip
+    /// connections).
+    ConcatWith {
+        /// Index of the skip source node.
+        node: usize,
+    },
+    /// Frozen inference-mode batch normalization (per channel). Used for the
+    /// paper's "trained with a BatchNorm standardization layer" ablation
+    /// (Sec. IV-D); gamma/beta are counted as trainable parameters but are
+    /// held frozen by this implementation (gradients pass through the affine
+    /// transform).
+    BatchNorm {
+        /// Per-channel scale.
+        gamma: Vec<f64>,
+        /// Per-channel shift.
+        beta: Vec<f64>,
+        /// Per-channel running mean.
+        mean: Vec<f64>,
+        /// Per-channel running variance.
+        var: Vec<f64>,
+        /// Numerical floor added to the variance.
+        eps: f64,
+    },
+}
+
+/// Gradients for one layer (mirrors [`Layer`]'s trainable parameters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerGrad {
+    /// Gradients for a dense-like layer.
+    Dense {
+        /// d(loss)/d(w), same shape as the layer's `w`.
+        dw: Mat,
+        /// d(loss)/d(b).
+        db: Vec<f64>,
+    },
+    /// The layer has no trainable parameters (or they are frozen).
+    None,
+}
+
+impl Layer {
+    /// Trainable parameter count (Keras `model.summary()` convention; frozen
+    /// BatchNorm contributes its gamma/beta as in Keras' "trainable" rows
+    /// only when actually trained — here it is frozen, so zero).
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. } => {
+                p.param_count()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Output shape `(len, channels)` for a given input shape.
+    ///
+    /// `skip_shape` must be provided for [`Layer::ConcatWith`].
+    #[must_use]
+    pub fn output_shape(
+        &self,
+        input: (usize, usize),
+        skip_shape: Option<(usize, usize)>,
+    ) -> (usize, usize) {
+        let (len, ch) = input;
+        match self {
+            Layer::Dense(p) => (p.w.rows(), 1),
+            Layer::PointwiseDense(p) => (len, p.w.rows()),
+            Layer::Conv1d { p, .. } => (len, p.w.rows()),
+            Layer::MaxPool { pool } => (len / pool, ch),
+            Layer::UpSample { factor } => (len * factor, ch),
+            Layer::ConcatWith { .. } => {
+                let (slen, sch) = skip_shape.expect("concat needs skip shape");
+                assert_eq!(slen, len, "concat length mismatch");
+                (len, ch + sch)
+            }
+            Layer::BatchNorm { .. } => (len, ch),
+        }
+    }
+
+    /// Forward pass. `skip` is the concatenation source output (only for
+    /// [`Layer::ConcatWith`]). Returns the output and, for pooling, the
+    /// argmax offsets needed by the backward pass.
+    #[must_use]
+    pub fn forward(&self, input: &FeatureMap, skip: Option<&FeatureMap>) -> (FeatureMap, Vec<u8>) {
+        match self {
+            Layer::Dense(p) => {
+                let y = ops::gemv(&p.w, input.as_slice(), &p.b);
+                let mut fm = FeatureMap::from_vec(y.len(), 1, y);
+                fm.map_inplace(|x| p.activation.apply(x));
+                (fm, Vec::new())
+            }
+            Layer::PointwiseDense(p) => {
+                let mut out = FeatureMap::zeros(input.len(), p.w.rows());
+                for pos in 0..input.len() {
+                    let y = ops::gemv(&p.w, input.position(pos), &p.b);
+                    for (oc, v) in y.iter().enumerate() {
+                        out.set(pos, oc, p.activation.apply(*v));
+                    }
+                }
+                (out, Vec::new())
+            }
+            Layer::Conv1d { p, k } => {
+                let mut out = ops::conv1d_same(input, &p.w, &p.b, *k);
+                out.map_inplace(|x| p.activation.apply(x));
+                (out, Vec::new())
+            }
+            Layer::MaxPool { pool } => {
+                let (out, argmax) = ops::maxpool1d(input, *pool);
+                (out, argmax)
+            }
+            Layer::UpSample { factor } => (ops::upsample1d(input, *factor), Vec::new()),
+            Layer::ConcatWith { .. } => {
+                let skip = skip.expect("concat forward needs skip output");
+                (ops::concat_channels(input, skip), Vec::new())
+            }
+            Layer::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+                eps,
+            } => (
+                ops::batchnorm1d(input, gamma, beta, mean, var, *eps),
+                Vec::new(),
+            ),
+        }
+    }
+
+    /// Backward pass.
+    ///
+    /// * `x` — this layer's input (previous node output).
+    /// * `y` — this layer's output (post-activation).
+    /// * `dy` — gradient of the loss w.r.t. `y` (post-activation), except
+    ///   when `fused_output` is true, in which case `dy` is already the
+    ///   gradient w.r.t. the *pre-activation* (the BCE⊗sigmoid fusion).
+    /// * `argmax` — pooling argmax recorded by the forward pass.
+    ///
+    /// Returns `(dx, dskip, grads)`: gradient w.r.t. this layer's input,
+    /// gradient w.r.t. the skip source (for Concat), and parameter grads.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // index-coupled across w/dw/dx buffers
+    pub fn backward(
+        &self,
+        x: &FeatureMap,
+        y: &FeatureMap,
+        dy: &FeatureMap,
+        argmax: &[u8],
+        fused_output: bool,
+    ) -> (FeatureMap, Option<FeatureMap>, LayerGrad) {
+        match self {
+            Layer::Dense(p) => {
+                let dpre = pre_activation_grad(p.activation, y, dy, fused_output);
+                let mut dw = Mat::zeros(p.w.rows(), p.w.cols());
+                let mut db = vec![0.0; p.b.len()];
+                let xin = x.as_slice();
+                let mut dx_flat = vec![0.0; xin.len()];
+                for r in 0..p.w.rows() {
+                    let g = dpre.as_slice()[r];
+                    db[r] += g;
+                    let wrow = p.w.row(r);
+                    let dwrow = &mut dw.as_mut_slice()[r * xin.len()..(r + 1) * xin.len()];
+                    for c in 0..xin.len() {
+                        dwrow[c] += g * xin[c];
+                        dx_flat[c] += g * wrow[c];
+                    }
+                }
+                let dx = FeatureMap::from_vec(x.len(), x.channels(), dx_flat);
+                (dx, None, LayerGrad::Dense { dw, db })
+            }
+            Layer::PointwiseDense(p) => {
+                let dpre = pre_activation_grad(p.activation, y, dy, fused_output);
+                let in_ch = x.channels();
+                let out_ch = p.w.rows();
+                let mut dw = Mat::zeros(out_ch, in_ch);
+                let mut db = vec![0.0; out_ch];
+                let mut dx = FeatureMap::zeros(x.len(), in_ch);
+                for pos in 0..x.len() {
+                    let xs = x.position(pos);
+                    for oc in 0..out_ch {
+                        let g = dpre.get(pos, oc);
+                        db[oc] += g;
+                        let wrow = p.w.row(oc);
+                        for ic in 0..in_ch {
+                            *dw.get_mut(oc, ic) += g * xs[ic];
+                            *dx.get_mut(pos, ic) += g * wrow[ic];
+                        }
+                    }
+                }
+                (dx, None, LayerGrad::Dense { dw, db })
+            }
+            Layer::Conv1d { p, k } => {
+                let dpre = pre_activation_grad(p.activation, y, dy, fused_output);
+                let in_ch = x.channels();
+                let out_ch = p.w.rows();
+                let half = k / 2;
+                let len = x.len();
+                let mut dw = Mat::zeros(out_ch, k * in_ch);
+                let mut db = vec![0.0; out_ch];
+                let mut dx = FeatureMap::zeros(len, in_ch);
+                for opos in 0..len {
+                    for oc in 0..out_ch {
+                        let g = dpre.get(opos, oc);
+                        if g == 0.0 {
+                            continue; // common under ReLU; skip the tap loop
+                        }
+                        db[oc] += g;
+                        let wrow = p.w.row(oc);
+                        for tap in 0..*k {
+                            let ipos = opos as isize + tap as isize - half as isize;
+                            if ipos < 0 || ipos >= len as isize {
+                                continue;
+                            }
+                            let ipos = ipos as usize;
+                            let xs = x.position(ipos);
+                            let woff = tap * in_ch;
+                            for ic in 0..in_ch {
+                                *dw.get_mut(oc, woff + ic) += g * xs[ic];
+                                *dx.get_mut(ipos, ic) += g * wrow[woff + ic];
+                            }
+                        }
+                    }
+                }
+                (dx, None, LayerGrad::Dense { dw, db })
+            }
+            Layer::MaxPool { pool } => {
+                let ch = x.channels();
+                let mut dx = FeatureMap::zeros(x.len(), ch);
+                for opos in 0..y.len() {
+                    for c in 0..ch {
+                        let off = argmax[opos * ch + c] as usize;
+                        *dx.get_mut(opos * pool + off, c) += dy.get(opos, c);
+                    }
+                }
+                (dx, None, LayerGrad::None)
+            }
+            Layer::UpSample { factor } => {
+                let ch = x.channels();
+                let mut dx = FeatureMap::zeros(x.len(), ch);
+                for opos in 0..y.len() {
+                    for c in 0..ch {
+                        *dx.get_mut(opos / factor, c) += dy.get(opos, c);
+                    }
+                }
+                (dx, None, LayerGrad::None)
+            }
+            Layer::ConcatWith { .. } => {
+                let main_ch = x.channels();
+                let skip_ch = y.channels() - main_ch;
+                let mut dx = FeatureMap::zeros(x.len(), main_ch);
+                let mut dskip = FeatureMap::zeros(x.len(), skip_ch);
+                for pos in 0..x.len() {
+                    for c in 0..main_ch {
+                        dx.set(pos, c, dy.get(pos, c));
+                    }
+                    for c in 0..skip_ch {
+                        dskip.set(pos, c, dy.get(pos, main_ch + c));
+                    }
+                }
+                (dx, Some(dskip), LayerGrad::None)
+            }
+            Layer::BatchNorm {
+                gamma, var, eps, ..
+            } => {
+                // Frozen affine: dx = dy * gamma / sqrt(var + eps).
+                let ch = x.channels();
+                let mut dx = FeatureMap::zeros(x.len(), ch);
+                for c in 0..ch {
+                    let scale = gamma[c] / (var[c] + eps).sqrt();
+                    for pos in 0..x.len() {
+                        dx.set(pos, c, dy.get(pos, c) * scale);
+                    }
+                }
+                (dx, None, LayerGrad::None)
+            }
+        }
+    }
+}
+
+/// Converts a post-activation gradient into the pre-activation gradient
+/// using the activation derivative expressed via the forward output. When
+/// `fused` is set, `dy` already *is* the pre-activation gradient.
+fn pre_activation_grad(
+    activation: Activation,
+    y: &FeatureMap,
+    dy: &FeatureMap,
+    fused: bool,
+) -> FeatureMap {
+    if fused {
+        return dy.clone();
+    }
+    let mut out = dy.clone();
+    let ys = y.as_slice();
+    for (g, &yv) in out.as_mut_slice().iter_mut().zip(ys) {
+        *g *= activation.derivative_from_output(yv);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fm(vals: &[f64]) -> FeatureMap {
+        FeatureMap::from_signal(vals)
+    }
+
+    #[test]
+    fn dense_forward_applies_activation() {
+        let p = DenseParams {
+            w: Mat::from_vec(2, 2, vec![1., 0., 0., 1.]),
+            b: vec![0.0, -10.0],
+            activation: Activation::Relu,
+        };
+        let (y, _) = Layer::Dense(p).forward(&fm(&[3.0, 4.0]), None);
+        assert_eq!(y.as_slice(), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_flattens_multichannel_input() {
+        let p = DenseParams {
+            w: Mat::from_vec(1, 4, vec![1., 2., 3., 4.]),
+            b: vec![0.0],
+            activation: Activation::Linear,
+        };
+        let input = FeatureMap::from_vec(2, 2, vec![1., 1., 1., 1.]);
+        let (y, _) = Layer::Dense(p).forward(&input, None);
+        assert_eq!(y.as_slice(), &[10.0]);
+    }
+
+    #[test]
+    fn pointwise_dense_is_positionwise() {
+        let p = DenseParams {
+            w: Mat::from_vec(1, 2, vec![1.0, -1.0]),
+            b: vec![0.5],
+            activation: Activation::Linear,
+        };
+        let input = FeatureMap::from_vec(2, 2, vec![3., 1., 10., 4.]);
+        let (y, _) = Layer::PointwiseDense(p).forward(&input, None);
+        assert_eq!(y.as_slice(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn output_shapes() {
+        let conv = Layer::Conv1d {
+            p: DenseParams {
+                w: Mat::zeros(8, 3 * 2),
+                b: vec![0.0; 8],
+                activation: Activation::Relu,
+            },
+            k: 3,
+        };
+        assert_eq!(conv.output_shape((260, 2), None), (260, 8));
+        assert_eq!(
+            Layer::MaxPool { pool: 2 }.output_shape((260, 8), None),
+            (130, 8)
+        );
+        assert_eq!(
+            Layer::UpSample { factor: 2 }.output_shape((65, 8), None),
+            (130, 8)
+        );
+        assert_eq!(
+            Layer::ConcatWith { node: 0 }.output_shape((130, 8), Some((130, 4))),
+            (130, 12)
+        );
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let layer = Layer::MaxPool { pool: 2 };
+        let x = fm(&[1., 5., 3., 2.]);
+        let (y, argmax) = layer.forward(&x, None);
+        let dy = fm(&[10., 20.]);
+        let (dx, _, _) = layer.backward(&x, &y, &dy, &argmax, false);
+        assert_eq!(dx.as_slice(), &[0., 10., 20., 0.]);
+    }
+
+    #[test]
+    fn upsample_backward_sums_replicas() {
+        let layer = Layer::UpSample { factor: 2 };
+        let x = fm(&[1., 2.]);
+        let (y, _) = layer.forward(&x, None);
+        let dy = fm(&[1., 2., 3., 4.]);
+        let (dx, _, _) = layer.backward(&x, &y, &dy, &[], false);
+        assert_eq!(dx.as_slice(), &[3., 7.]);
+    }
+
+    #[test]
+    fn concat_backward_splits() {
+        let layer = Layer::ConcatWith { node: 0 };
+        let x = FeatureMap::from_vec(2, 1, vec![1., 2.]);
+        let skip = FeatureMap::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        let (y, _) = layer.forward(&x, Some(&skip));
+        let dy = FeatureMap::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let (dx, dskip, _) = layer.backward(&x, &y, &dy, &[], false);
+        assert_eq!(dx.as_slice(), &[1., 4.]);
+        assert_eq!(dskip.unwrap().as_slice(), &[2., 3., 5., 6.]);
+    }
+
+    #[test]
+    fn batchnorm_backward_scales() {
+        let layer = Layer::BatchNorm {
+            gamma: vec![2.0],
+            beta: vec![0.0],
+            mean: vec![0.0],
+            var: vec![3.0],
+            eps: 1.0,
+        };
+        let x = fm(&[1.0]);
+        let (y, _) = layer.forward(&x, None);
+        let (dx, _, _) = layer.backward(&x, &y, &fm(&[1.0]), &[], false);
+        assert_eq!(dx.as_slice(), &[1.0]); // 2 / sqrt(4) = 1
+    }
+
+    #[test]
+    fn param_counts() {
+        let dense = Layer::Dense(DenseParams {
+            w: Mat::zeros(128, 259),
+            b: vec![0.0; 128],
+            activation: Activation::Relu,
+        });
+        assert_eq!(dense.param_count(), 259 * 128 + 128);
+        assert_eq!(Layer::MaxPool { pool: 2 }.param_count(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! `reads-nn` — the float ("Keras-equivalent") models of the paper, with
+//! full backpropagation training.
+//!
+//! The paper starts from a *pre-trained* Keras U-Net; the quantization story
+//! (Table II, Figs. 5a/5b) hinges on the dynamic ranges trained weights and
+//! activations actually take ("the implementation of trained and untrained
+//! models can be very different", Sec. V). Since the Fermilab training data
+//! is not public, this crate implements the training stack itself — layers
+//! with forward *and* backward passes, BCE/MSE losses, SGD/Adam — so the
+//! models arrive at the quantization experiments genuinely trained (on the
+//! synthetic de-blending workload from `reads-blm`).
+//!
+//! * [`graph`] — a sequential graph with skip references ([`Model`]), enough
+//!   for the U-Net topology; forward, cached forward, and backward.
+//! * [`layer`] — Dense / pointwise-Dense / Conv1D / MaxPool / UpSample /
+//!   Concat / BatchNorm, each with its backward rule.
+//! * [`loss`] — BCE (with the fused sigmoid-output gradient) and MSE.
+//! * [`optim`] — SGD with momentum and Adam.
+//! * [`train`] — mini-batch training loop with rayon-parallel gradient
+//!   accumulation across a batch.
+//! * [`models`] — the exact paper architectures: [`models::reads_unet`]
+//!   (134,434 parameters) and [`models::reads_mlp`] (100,102 parameters,
+//!   905 nodes).
+//! * [`metrics`] — the paper's accuracy criterion (|Δ| ≤ 0.20 against the
+//!   float reference) and per-machine (MI/RR) summaries.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod init;
+pub mod io;
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod optim;
+pub mod schedule;
+pub mod summary;
+pub mod train;
+
+pub use graph::{ForwardCache, Gradients, Model};
+pub use layer::{DenseParams, Layer};
+pub use loss::Loss;
+pub use metrics::{accuracy_within, OutputLayout};
+pub use models::{reads_mlp, reads_unet, ModelSpec};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use schedule::{EarlyStopping, LrSchedule};
+pub use io::{load_checkpoint, save_checkpoint};
+pub use summary::summary;
+pub use train::{Dataset, TrainConfig, TrainReport};

@@ -1,0 +1,150 @@
+//! Loss functions.
+
+use reads_tensor::{Activation, FeatureMap};
+use serde::{Deserialize, Serialize};
+
+/// Training losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error `mean((y - t)^2)`.
+    Mse,
+    /// Binary cross-entropy, averaged over outputs — the natural loss for
+    /// the per-monitor MI/RR probabilities. Supports soft targets in
+    /// `[0, 1]` (the de-blending ground truth is a blend fraction, not a
+    /// hard class).
+    Bce,
+}
+
+impl Loss {
+    /// Loss value for one example.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn value(&self, y: &[f64], t: &[f64]) -> f64 {
+        assert_eq!(y.len(), t.len(), "loss: length mismatch");
+        let n = y.len() as f64;
+        match self {
+            Loss::Mse => y.iter().zip(t).map(|(y, t)| (y - t) * (y - t)).sum::<f64>() / n,
+            Loss::Bce => {
+                const EPS: f64 = 1e-12;
+                y.iter()
+                    .zip(t)
+                    .map(|(&y, &t)| {
+                        let y = y.clamp(EPS, 1.0 - EPS);
+                        -(t * y.ln() + (1.0 - t) * (1.0 - y).ln())
+                    })
+                    .sum::<f64>()
+                    / n
+            }
+        }
+    }
+
+    /// Output-side gradient for backprop. Returns `(grad, fused)`:
+    ///
+    /// * For BCE when the model's final activation is sigmoid, the gradient
+    ///   is computed directly w.r.t. the pre-activation as `(y − t)/n`
+    ///   (`fused = true`) — exact and immune to sigmoid saturation.
+    /// * Otherwise the gradient is w.r.t. the post-activation output.
+    #[must_use]
+    pub fn gradient(
+        &self,
+        y: &FeatureMap,
+        t: &[f64],
+        final_activation: Option<Activation>,
+    ) -> (FeatureMap, bool) {
+        assert_eq!(y.as_slice().len(), t.len(), "loss grad: length mismatch");
+        let n = t.len() as f64;
+        match self {
+            Loss::Mse => {
+                let mut g = y.clone();
+                for (g, t) in g.as_mut_slice().iter_mut().zip(t) {
+                    *g = 2.0 * (*g - t) / n;
+                }
+                (g, false)
+            }
+            Loss::Bce => {
+                if final_activation == Some(Activation::Sigmoid) {
+                    let mut g = y.clone();
+                    for (g, t) in g.as_mut_slice().iter_mut().zip(t) {
+                        *g = (*g - t) / n;
+                    }
+                    (g, true)
+                } else {
+                    const EPS: f64 = 1e-7;
+                    let mut g = y.clone();
+                    for (g, t) in g.as_mut_slice().iter_mut().zip(t) {
+                        let yv = g.clamp(EPS, 1.0 - EPS);
+                        *g = (yv - t) / (yv * (1.0 - yv)) / n;
+                    }
+                    (g, false)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known() {
+        let v = Loss::Mse.value(&[1.0, 2.0], &[0.0, 4.0]);
+        assert!((v - (1.0 + 4.0) / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bce_perfect_prediction_is_zero() {
+        let v = Loss::Bce.value(&[1.0, 0.0], &[1.0, 0.0]);
+        assert!(v < 1e-10, "{v}");
+    }
+
+    #[test]
+    fn bce_uncertain_prediction() {
+        // y = 0.5 everywhere: loss = ln 2 regardless of targets in {0,1}.
+        let v = Loss::Bce.value(&[0.5, 0.5], &[1.0, 0.0]);
+        assert!((v - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_handles_saturated_outputs() {
+        let v = Loss::Bce.value(&[1.0], &[0.0]);
+        assert!(v.is_finite());
+        assert!(v > 10.0);
+    }
+
+    #[test]
+    fn fused_gradient_is_y_minus_t_over_n() {
+        let y = FeatureMap::from_signal(&[0.9, 0.1]);
+        let (g, fused) = Loss::Bce.gradient(&y, &[1.0, 0.0], Some(Activation::Sigmoid));
+        assert!(fused);
+        assert!((g.as_slice()[0] - (-0.1 / 2.0)).abs() < 1e-12);
+        assert!((g.as_slice()[1] - (0.1 / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfused_bce_times_sigmoid_derivative_equals_fused() {
+        // Consistency: unfused grad * y(1-y) == fused grad.
+        let yv = 0.73;
+        let t = 0.2;
+        let y = FeatureMap::from_signal(&[yv]);
+        let (gu, fused_u) = Loss::Bce.gradient(&y, &[t], Some(Activation::Relu));
+        assert!(!fused_u);
+        let (gf, fused_f) = Loss::Bce.gradient(&y, &[t], Some(Activation::Sigmoid));
+        assert!(fused_f);
+        let chained = gu.as_slice()[0] * yv * (1.0 - yv);
+        assert!((chained - gf.as_slice()[0]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let y0 = 0.4;
+        let t = [0.9];
+        let h = 1e-7;
+        let numeric = (Loss::Mse.value(&[y0 + h], &t) - Loss::Mse.value(&[y0 - h], &t)) / (2.0 * h);
+        let y = FeatureMap::from_signal(&[y0]);
+        let (g, _) = Loss::Mse.gradient(&y, &t, None);
+        assert!((numeric - g.as_slice()[0]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,204 @@
+//! Evaluation metrics — including the paper's accuracy criterion.
+//!
+//! *"The accuracy of the model is measured as a percentage of the cases
+//! where the quantized model output is close enough to the pretrained model
+//! output ... classified as 'close enough' when the difference between the
+//! two outputs is within 0.20 given the full output range is between 0 and
+//! 1."* (Sec. IV-D). The MI/RR split follows the output layout: the U-Net
+//! emits (260 positions × 2 channels), channel 0 = MI, channel 1 = RR.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's closeness tolerance.
+pub const PAPER_TOLERANCE: f64 = 0.20;
+
+/// How a flat model output vector maps to per-machine streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputLayout {
+    /// Interleaved `(MI, RR)` pairs per position — the U-Net head layout
+    /// (position-major `FeatureMap` with 2 channels).
+    InterleavedMiRr,
+    /// First half MI, second half RR — the MLP layout.
+    SplitHalves,
+}
+
+impl OutputLayout {
+    /// Indices of the MI outputs.
+    pub fn mi_indices(&self, total: usize) -> Vec<usize> {
+        match self {
+            OutputLayout::InterleavedMiRr => (0..total).step_by(2).collect(),
+            OutputLayout::SplitHalves => (0..total / 2).collect(),
+        }
+    }
+
+    /// Indices of the RR outputs.
+    pub fn rr_indices(&self, total: usize) -> Vec<usize> {
+        match self {
+            OutputLayout::InterleavedMiRr => (1..total).step_by(2).collect(),
+            OutputLayout::SplitHalves => (total / 2..total).collect(),
+        }
+    }
+}
+
+/// Fraction of outputs where `|a − b| ≤ tol` (the Table II accuracy metric).
+///
+/// # Panics
+/// Panics on length mismatch or empty inputs.
+#[must_use]
+pub fn accuracy_within(a: &[f64], b: &[f64], tol: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "accuracy: length mismatch");
+    assert!(!a.is_empty(), "accuracy of empty outputs");
+    let close = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| (*x - *y).abs() <= tol)
+        .count();
+    close as f64 / a.len() as f64
+}
+
+/// Mean absolute difference (the Fig. 5a statistic).
+#[must_use]
+pub fn mean_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Count of outputs with `|a − b| > tol` — the paper's "abnormal points"
+/// (Fig. 5b).
+#[must_use]
+pub fn outlier_count(a: &[f64], b: &[f64], tol: f64) -> usize {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).filter(|(x, y)| (*x - *y).abs() > tol).count()
+}
+
+/// Per-machine accuracy summary over a batch of (reference, candidate)
+/// output pairs.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MachineAccuracy {
+    /// Accuracy (|Δ| ≤ tol fraction) over MI outputs.
+    pub mi: f64,
+    /// Accuracy over RR outputs.
+    pub rr: f64,
+    /// Mean |Δ| over MI outputs.
+    pub mi_mean_abs_diff: f64,
+    /// Mean |Δ| over RR outputs.
+    pub rr_mean_abs_diff: f64,
+    /// Outliers (|Δ| > tol) over all outputs.
+    pub outliers: usize,
+    /// Total outputs compared.
+    pub total_outputs: usize,
+}
+
+/// Computes the per-machine accuracy over a batch.
+///
+/// # Panics
+/// Panics if the batch is empty or shapes mismatch.
+#[must_use]
+pub fn machine_accuracy(
+    reference: &[Vec<f64>],
+    candidate: &[Vec<f64>],
+    layout: OutputLayout,
+    tol: f64,
+) -> MachineAccuracy {
+    assert_eq!(reference.len(), candidate.len(), "batch size mismatch");
+    assert!(!reference.is_empty(), "empty batch");
+    let total = reference[0].len();
+    let mi_idx = layout.mi_indices(total);
+    let rr_idx = layout.rr_indices(total);
+    let (mut mi_close, mut rr_close) = (0usize, 0usize);
+    let (mut mi_sum, mut rr_sum) = (0.0f64, 0.0f64);
+    let mut outliers = 0usize;
+    for (r, c) in reference.iter().zip(candidate) {
+        assert_eq!(r.len(), total);
+        assert_eq!(c.len(), total);
+        for &i in &mi_idx {
+            let d = (r[i] - c[i]).abs();
+            mi_sum += d;
+            mi_close += usize::from(d <= tol);
+            outliers += usize::from(d > tol);
+        }
+        for &i in &rr_idx {
+            let d = (r[i] - c[i]).abs();
+            rr_sum += d;
+            rr_close += usize::from(d <= tol);
+            outliers += usize::from(d > tol);
+        }
+    }
+    let n = reference.len();
+    MachineAccuracy {
+        mi: mi_close as f64 / (mi_idx.len() * n) as f64,
+        rr: rr_close as f64 / (rr_idx.len() * n) as f64,
+        mi_mean_abs_diff: mi_sum / (mi_idx.len() * n) as f64,
+        rr_mean_abs_diff: rr_sum / (rr_idx.len() * n) as f64,
+        outliers,
+        total_outputs: total * n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_within_counts() {
+        let a = [0.0, 0.5, 1.0, 0.3];
+        let b = [0.1, 0.8, 1.0, 0.51];
+        assert_eq!(accuracy_within(&a, &b, 0.2), 0.5); // idx 0 and 2 close
+    }
+
+    #[test]
+    fn tolerance_boundary_inclusive() {
+        assert_eq!(accuracy_within(&[0.0], &[0.2], 0.2), 1.0);
+        assert_eq!(accuracy_within(&[0.0], &[0.2000001], 0.2), 0.0);
+    }
+
+    #[test]
+    fn mean_abs_diff_known() {
+        assert!((mean_abs_diff(&[0.0, 1.0], &[0.5, 0.5]) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn outliers_complement_accuracy() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + if *x > 0.5 { 0.3 } else { 0.0 }).collect();
+        let acc = accuracy_within(&a, &b, 0.2);
+        let out = outlier_count(&a, &b, 0.2);
+        assert_eq!(out, 100 - (acc * 100.0).round() as usize);
+    }
+
+    #[test]
+    fn interleaved_layout_splits_channels() {
+        let mi = OutputLayout::InterleavedMiRr.mi_indices(6);
+        let rr = OutputLayout::InterleavedMiRr.rr_indices(6);
+        assert_eq!(mi, vec![0, 2, 4]);
+        assert_eq!(rr, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn split_layout() {
+        let mi = OutputLayout::SplitHalves.mi_indices(6);
+        let rr = OutputLayout::SplitHalves.rr_indices(6);
+        assert_eq!(mi, vec![0, 1, 2]);
+        assert_eq!(rr, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn machine_accuracy_separates_mi_rr() {
+        // MI exact, RR off by 0.3 everywhere.
+        let reference = vec![vec![0.2, 0.4, 0.2, 0.4]];
+        let candidate = vec![vec![0.2, 0.7, 0.2, 0.7]];
+        let acc = machine_accuracy(
+            &reference,
+            &candidate,
+            OutputLayout::InterleavedMiRr,
+            0.2,
+        );
+        assert_eq!(acc.mi, 1.0);
+        assert_eq!(acc.rr, 0.0);
+        assert_eq!(acc.outliers, 2);
+        assert!((acc.rr_mean_abs_diff - 0.3).abs() < 1e-12);
+        assert_eq!(acc.mi_mean_abs_diff, 0.0);
+        assert_eq!(acc.total_outputs, 4);
+    }
+}

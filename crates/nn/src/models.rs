@@ -1,0 +1,407 @@
+//! The exact paper architectures.
+//!
+//! The paper publishes parameter counts, not internal widths. DESIGN.md §2
+//! documents the reconstruction: these builders are the *unique* (MLP) and a
+//! *minimal-assumption* (U-Net) architecture matching every published count
+//! exactly. Unit tests below pin the counts so refactors cannot drift.
+
+use crate::graph::Model;
+use crate::init;
+use crate::layer::{DenseParams, Layer};
+use reads_sim::Rng;
+use reads_tensor::Activation;
+use serde::{Deserialize, Serialize};
+
+/// Number of beam loss monitors around the MI/RR complex.
+pub const N_BLM: usize = 260;
+
+/// MLP input width (the paper's 905-node / 100,102-parameter MLP uses 259 of
+/// the 260 BLM channels — the unique solution to both published counts; see
+/// DESIGN.md §2).
+pub const MLP_INPUT: usize = 259;
+/// MLP hidden width (paper Sec. III-A).
+pub const MLP_HIDDEN: usize = 128;
+/// MLP output width (paper Sec. III-A).
+pub const MLP_OUTPUT: usize = 518;
+
+/// U-Net encoder/decoder channel widths (reconstructed; DESIGN.md §2).
+pub const UNET_C1: usize = 32;
+/// Second-level channels.
+pub const UNET_C2: usize = 100;
+/// Bottleneck channels.
+pub const UNET_C3: usize = 136;
+/// Convolution kernel size.
+pub const UNET_K: usize = 3;
+
+/// Published trainable-parameter counts (Table I / Sec. III-A).
+pub const UNET_PARAMS: usize = 134_434;
+/// MLP parameter count.
+pub const MLP_PARAMS: usize = 100_102;
+/// MLP node count.
+pub const MLP_NODES: usize = 905;
+
+/// Which of the two paper models a component refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// The production U-Net (134,434 parameters).
+    UNet,
+    /// The verification/exploration MLP (100,102 parameters).
+    Mlp,
+}
+
+impl ModelSpec {
+    /// Human-readable name as used in the paper's tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelSpec::UNet => "U-Net",
+            ModelSpec::Mlp => "MLP",
+        }
+    }
+
+    /// Published parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        match self {
+            ModelSpec::UNet => UNET_PARAMS,
+            ModelSpec::Mlp => MLP_PARAMS,
+        }
+    }
+
+    /// Builds the freshly initialized model.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Model {
+        match self {
+            ModelSpec::UNet => reads_unet(seed),
+            ModelSpec::Mlp => reads_mlp(seed),
+        }
+    }
+
+    /// Model input width.
+    #[must_use]
+    pub fn input_len(&self) -> usize {
+        match self {
+            ModelSpec::UNet => N_BLM,
+            ModelSpec::Mlp => MLP_INPUT,
+        }
+    }
+
+    /// Model output width.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        match self {
+            ModelSpec::UNet => 2 * N_BLM,
+            ModelSpec::Mlp => MLP_OUTPUT,
+        }
+    }
+}
+
+fn conv_layer(in_ch: usize, out_ch: usize, k: usize, act: Activation, rng: &mut Rng) -> Layer {
+    let fan_in = k * in_ch;
+    Layer::Conv1d {
+        p: DenseParams {
+            w: init::for_activation(act, out_ch, fan_in, fan_in, out_ch, rng),
+            b: vec![0.0; out_ch],
+            activation: act,
+        },
+        k,
+    }
+}
+
+/// The READS U-Net: 260 → (260, 2) → 520 outputs, 134,434 parameters.
+///
+/// ```text
+/// Conv1D(1→32,k3,relu) ──────────────────────────┐ skip
+///   MaxPool(2)                                    │
+///   Conv1D(32→100,k3,relu) ───────────┐ skip      │
+///     MaxPool(2)                      │           │
+///     Conv1D(100→136,k3,relu)         │           │
+///     UpSample(2) ⊕ concat ───────────┘           │
+///   Conv1D(236→100,k3,relu)                       │
+///   UpSample(2) ⊕ concat ─────────────────────────┘
+/// Conv1D(132→32,k3,relu)
+/// PointwiseDense(32→2, sigmoid)        # the "Dense/Sigmoid" stage
+/// ```
+#[must_use]
+pub fn reads_unet(seed: u64) -> Model {
+    let mut rng = Rng::seed_from_u64(seed);
+    let (c1, c2, c3, k) = (UNET_C1, UNET_C2, UNET_C3, UNET_K);
+    let layers = vec![
+        // 0: encoder level 1 (len 260, ch 32)
+        conv_layer(1, c1, k, Activation::Relu, &mut rng),
+        // 1: pool -> 130
+        Layer::MaxPool { pool: 2 },
+        // 2: encoder level 2 (len 130, ch 100)
+        conv_layer(c1, c2, k, Activation::Relu, &mut rng),
+        // 3: pool -> 65
+        Layer::MaxPool { pool: 2 },
+        // 4: bottleneck (len 65, ch 136)
+        conv_layer(c2, c3, k, Activation::Relu, &mut rng),
+        // 5: upsample -> 130
+        Layer::UpSample { factor: 2 },
+        // 6: concat with encoder level 2 output (node 2) -> ch 236
+        Layer::ConcatWith { node: 2 },
+        // 7: decoder level 2 (len 130, ch 100)
+        conv_layer(c3 + c2, c2, k, Activation::Relu, &mut rng),
+        // 8: upsample -> 260
+        Layer::UpSample { factor: 2 },
+        // 9: concat with encoder level 1 output (node 0) -> ch 132
+        Layer::ConcatWith { node: 0 },
+        // 10: decoder level 1 (len 260, ch 32)
+        conv_layer(c2 + c1, c1, k, Activation::Relu, &mut rng),
+        // 11: per-position dense head 32 -> 2 with sigmoid (MI, RR)
+        Layer::PointwiseDense(DenseParams {
+            w: init::glorot_normal(2, c1, c1, 2, &mut rng),
+            b: vec![0.0; 2],
+            activation: Activation::Sigmoid,
+        }),
+    ];
+    Model::new(N_BLM, 1, layers)
+}
+
+/// The READS MLP: 259 → Dense(128, ReLU) → Dense(518, sigmoid);
+/// 100,102 parameters, 905 nodes.
+#[must_use]
+pub fn reads_mlp(seed: u64) -> Model {
+    let mut rng = Rng::seed_from_u64(seed);
+    let layers = vec![
+        Layer::Dense(DenseParams {
+            w: init::he_normal(MLP_HIDDEN, MLP_INPUT, MLP_INPUT, &mut rng),
+            b: vec![0.0; MLP_HIDDEN],
+            activation: Activation::Relu,
+        }),
+        Layer::Dense(DenseParams {
+            w: init::glorot_normal(MLP_OUTPUT, MLP_HIDDEN, MLP_HIDDEN, MLP_OUTPUT, &mut rng),
+            b: vec![0.0; MLP_OUTPUT],
+            activation: Activation::Sigmoid,
+        }),
+    ];
+    Model::new(MLP_INPUT, 1, layers)
+}
+
+/// The "trained with a BatchNorm standardization layer on raw data"
+/// configuration of Sec. IV-D: the same U-Net behind a frozen input
+/// BatchNorm whose running statistics absorb the raw digitizer scale
+/// (magnitudes 105,000–120,000). This is the model whose 16-bit uniform
+/// quantization collapses in Table II — the folded BN coefficients
+/// (scale ≈ 1/σ ≈ 2·10⁻⁴) underflow the format's fractional grid and the
+/// raw-scale input wraps its range.
+///
+/// The BatchNorm is frozen (not trained), so the trainable-parameter count
+/// stays at the published 134,434.
+#[must_use]
+pub fn reads_unet_input_bn(seed: u64, mean: f64, var: f64) -> Model {
+    let inner = reads_unet(seed);
+    let mut layers = vec![Layer::BatchNorm {
+        gamma: vec![1.0],
+        beta: vec![0.0],
+        mean: vec![mean],
+        var: vec![var],
+        eps: 1e-3,
+    }];
+    // Shift every skip reference by one to account for the prepended node.
+    for l in inner.layers() {
+        layers.push(match l {
+            Layer::ConcatWith { node } => Layer::ConcatWith { node: node + 1 },
+            other => other.clone(),
+        });
+    }
+    Model::new(N_BLM, 1, layers)
+}
+
+/// MLP variant of [`reads_unet_input_bn`] (for the fast verification tier).
+#[must_use]
+pub fn reads_mlp_input_bn(seed: u64, mean: f64, var: f64) -> Model {
+    let inner = reads_mlp(seed);
+    let mut layers = vec![Layer::BatchNorm {
+        gamma: vec![1.0],
+        beta: vec![0.0],
+        mean: vec![mean],
+        var: vec![var],
+        eps: 1e-3,
+    }];
+    layers.extend(inner.layers().iter().cloned());
+    Model::new(MLP_INPUT, 1, layers)
+}
+
+/// A dense autoencoder over the 260 BLM channels: 260 → 64 → 16 → 64 → 260, linear reconstruction head.
+///
+/// This is the "other IP cores" extension of Sec. IV-D ("the U-Net IP can
+/// be easily replaced by other IP cores as well, leveraging the general
+/// purpose interface wrapper") — an anomaly detector in the style of the
+/// LHC trigger autoencoders the paper cites (its ref. \[2\]): a frame's reconstruction
+/// error flags beam conditions the training distribution never contained.
+#[must_use]
+pub fn reads_autoencoder(seed: u64) -> Model {
+    let mut rng = Rng::seed_from_u64(seed);
+    let dense = |rng: &mut Rng, n_in: usize, n_out: usize, act: Activation| {
+        Layer::Dense(DenseParams {
+            w: init::for_activation(act, n_out, n_in, n_in, n_out, rng),
+            b: vec![0.0; n_out],
+            activation: act,
+        })
+    };
+    Model::new(
+        N_BLM,
+        1,
+        vec![
+            dense(&mut rng, N_BLM, 64, Activation::Relu),
+            dense(&mut rng, 64, 16, Activation::Relu),
+            dense(&mut rng, 16, 64, Activation::Relu),
+            dense(&mut rng, 64, N_BLM, Activation::Linear),
+        ],
+    )
+}
+
+/// Reconstruction error of an autoencoder on one frame (mean squared
+/// error) — the anomaly score.
+#[must_use]
+pub fn reconstruction_error(model: &Model, input: &[f64]) -> f64 {
+    let y = model.predict(input);
+    y.iter()
+        .zip(input)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / input.len() as f64
+}
+
+/// The randomized-parameter U-Net of the paper's pre-test phase ("all the
+/// parameters are between 0 and 1", Sec. IV-D) — used by the trained-vs-
+/// random dynamic-range ablation.
+#[must_use]
+pub fn reads_unet_randomized(seed: u64) -> Model {
+    let mut model = reads_unet(seed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xA5A5_A5A5);
+    for layer in model.layers_mut() {
+        if let Layer::Conv1d { p, .. } | Layer::PointwiseDense(p) | Layer::Dense(p) = layer {
+            let (r, c) = (p.w.rows(), p.w.cols());
+            p.w = init::uniform01(r, c, &mut rng);
+            for b in &mut p.b {
+                *b = rng.next_f64();
+            }
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reads_tensor::FeatureMap;
+
+    #[test]
+    fn unet_param_count_exactly_matches_paper() {
+        let m = reads_unet(0);
+        assert_eq!(m.param_count(), UNET_PARAMS);
+    }
+
+    #[test]
+    fn mlp_param_and_node_counts_exactly_match_paper() {
+        let m = reads_mlp(0);
+        assert_eq!(m.param_count(), MLP_PARAMS);
+        assert_eq!(m.node_count(), MLP_NODES);
+    }
+
+    #[test]
+    fn unet_shapes() {
+        let m = reads_unet(1);
+        assert_eq!(m.input_shape(), (260, 1));
+        assert_eq!(m.output_shape(), (260, 2));
+    }
+
+    #[test]
+    fn mlp_shapes() {
+        let m = reads_mlp(1);
+        assert_eq!(m.input_shape(), (259, 1));
+        assert_eq!(m.output_shape(), (518, 1));
+    }
+
+    #[test]
+    fn unet_forward_produces_probabilities() {
+        let m = reads_unet(2);
+        let input: Vec<f64> = (0..260).map(|i| (i as f64 * 0.1).sin()).collect();
+        let y = m.forward(&FeatureMap::from_signal(&input));
+        assert_eq!(y.len(), 260);
+        assert_eq!(y.channels(), 2);
+        for &v in y.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_weights() {
+        let a = reads_mlp(1);
+        let b = reads_mlp(2);
+        let input: Vec<f64> = vec![0.5; 259];
+        assert_ne!(a.predict(&input), b.predict(&input));
+    }
+
+    #[test]
+    fn same_seed_reproducible() {
+        let a = reads_unet(42);
+        let b = reads_unet(42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn randomized_unet_params_in_unit_interval() {
+        let m = reads_unet_randomized(7);
+        assert_eq!(m.param_count(), UNET_PARAMS);
+        for layer in m.layers() {
+            if let Layer::Conv1d { p, .. } | Layer::PointwiseDense(p) | Layer::Dense(p) = layer {
+                assert!(p.w.as_slice().iter().all(|&w| (0.0..1.0).contains(&w)));
+                assert!(p.b.iter().all(|&b| (0.0..1.0).contains(&b)));
+            }
+        }
+    }
+
+    #[test]
+    fn autoencoder_shapes_and_score() {
+        let m = reads_autoencoder(1);
+        assert_eq!(m.input_shape(), (260, 1));
+        assert_eq!(m.output_shape(), (260, 1));
+        let x = vec![0.3; 260];
+        let err = reconstruction_error(&m, &x);
+        assert!(err.is_finite() && err >= 0.0);
+        // An untrained AE reconstructs imperfectly.
+        assert!(err > 1e-6);
+    }
+
+    #[test]
+    fn input_bn_variants_keep_published_counts() {
+        let u = reads_unet_input_bn(3, 112_000.0, 16_000_000.0);
+        assert_eq!(u.param_count(), UNET_PARAMS, "frozen BN adds no params");
+        assert_eq!(u.output_shape(), (260, 2));
+        let m = reads_mlp_input_bn(3, 112_000.0, 16_000_000.0);
+        assert_eq!(m.param_count(), MLP_PARAMS);
+        assert_eq!(m.output_shape(), (518, 1));
+    }
+
+    #[test]
+    fn input_bn_standardizes_equivalently() {
+        // On raw-scale input, the BN model must behave like the plain model
+        // fed standardized input.
+        let mean = 112_000.0;
+        let var: f64 = 16_000_000.0;
+        let bn = reads_unet_input_bn(5, mean, var);
+        let plain = reads_unet(5);
+        let raw: Vec<f64> = (0..260).map(|j| mean + (j as f64 - 130.0) * 30.0).collect();
+        let std_input: Vec<f64> = raw
+            .iter()
+            .map(|&x| (x - mean) / (var + 1e-3).sqrt())
+            .collect();
+        let y_bn = bn.predict(&raw);
+        let y_plain = plain.predict(&std_input);
+        for (a, b) in y_bn.iter().zip(&y_plain) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spec_metadata_consistent() {
+        assert_eq!(ModelSpec::UNet.param_count(), reads_unet(0).param_count());
+        assert_eq!(ModelSpec::Mlp.param_count(), reads_mlp(0).param_count());
+        assert_eq!(ModelSpec::UNet.output_len(), 520);
+        assert_eq!(ModelSpec::Mlp.output_len(), 518);
+    }
+}

@@ -1,0 +1,258 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Both walk the model's layers in order and update dense-like parameters in
+//! place; per-parameter optimizer state (momentum / Adam moments) is stored
+//! flat, keyed by the deterministic traversal order.
+
+use crate::graph::{Gradients, Model};
+use crate::layer::{Layer, LayerGrad};
+
+/// A first-order optimizer.
+pub trait Optimizer {
+    /// Applies one update step from the given gradients.
+    fn step(&mut self, model: &mut Model, grads: &Gradients);
+
+    /// Updates the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f64);
+
+    /// Current learning rate.
+    fn lr(&self) -> f64;
+}
+
+/// Walks `(params, grads)` pairs in deterministic order, invoking `f` with
+/// (flat parameter slice, flat gradient slice, state offset).
+fn visit(model: &mut Model, grads: &Gradients, mut f: impl FnMut(&mut [f64], &[f64], usize)) {
+    let mut offset = 0;
+    for (layer, grad) in model.layers_mut().iter_mut().zip(&grads.per_layer) {
+        match (layer, grad) {
+            (
+                Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. },
+                LayerGrad::Dense { dw, db },
+            ) => {
+                f(p.w.as_mut_slice(), dw.as_slice(), offset);
+                offset += dw.as_slice().len();
+                f(&mut p.b, db, offset);
+                offset += db.len();
+            }
+            (_, LayerGrad::None) => {}
+            _ => panic!("gradient structure mismatches model"),
+        }
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    #[must_use]
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    fn step(&mut self, model: &mut Model, grads: &Gradients) {
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; model.param_count()];
+        }
+        let lr = self.lr;
+        let mom = self.momentum;
+        let vel = &mut self.velocity;
+        visit(model, grads, |params, gs, offset| {
+            for (i, (p, g)) in params.iter_mut().zip(gs).enumerate() {
+                let v = &mut vel[offset + i];
+                *v = mom * *v - lr * g;
+                *p += *v;
+            }
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Denominator floor.
+    pub eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Adam with the canonical defaults (β₁ 0.9, β₂ 0.999, ε 1e-8).
+    #[must_use]
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    fn step(&mut self, model: &mut Model, grads: &Gradients) {
+        if self.m.is_empty() {
+            let n = model.param_count();
+            self.m = vec![0.0; n];
+            self.v = vec![0.0; n];
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (m, v) = (&mut self.m, &mut self.v);
+        visit(model, grads, |params, gs, offset| {
+            for (i, (p, g)) in params.iter_mut().zip(gs).enumerate() {
+                let mi = &mut m[offset + i];
+                let vi = &mut v[offset + i];
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *p -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::DenseParams;
+    use reads_tensor::{Activation, FeatureMap, Mat};
+
+    /// A 1-parameter quadratic: minimize (w*1 - 2)^2 via the dense layer.
+    fn scalar_model(w0: f64) -> Model {
+        Model::new(
+            1,
+            1,
+            vec![Layer::Dense(DenseParams {
+                w: Mat::from_vec(1, 1, vec![w0]),
+                b: vec![0.0],
+                activation: Activation::Linear,
+            })],
+        )
+    }
+
+    fn loss_and_grads(m: &Model) -> (f64, Gradients) {
+        let input = FeatureMap::from_signal(&[1.0]);
+        let cache = m.forward_cached(&input);
+        let y = cache.output().as_slice()[0];
+        let loss = (y - 2.0) * (y - 2.0);
+        let dy = FeatureMap::from_signal(&[2.0 * (y - 2.0)]);
+        (loss, m.backward(&cache, &dy, false))
+    }
+
+    fn weight(m: &Model) -> f64 {
+        match &m.layers()[0] {
+            Layer::Dense(p) => p.w.get(0, 0),
+            _ => unreachable!(),
+        }
+    }
+
+    fn output(m: &Model) -> f64 {
+        m.predict(&[1.0])[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        // Weight and bias share the minimum (w + b = 2); check the output.
+        let mut m = scalar_model(0.0);
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..100 {
+            let (_, g) = loss_and_grads(&m);
+            opt.step(&mut m, &g);
+        }
+        assert!((output(&m) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mom: f64, steps: usize| {
+            let mut m = scalar_model(0.0);
+            let mut opt = Sgd::new(0.01, mom);
+            for _ in 0..steps {
+                let (_, g) = loss_and_grads(&m);
+                opt.step(&mut m, &g);
+            }
+            (output(&m) - 2.0).abs()
+        };
+        assert!(run(0.9, 40) < run(0.0, 40));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut m = scalar_model(10.0);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            let (_, g) = loss_and_grads(&m);
+            opt.step(&mut m, &g);
+        }
+        assert!((output(&m) - 2.0).abs() < 1e-3, "y = {}", output(&m));
+    }
+
+    #[test]
+    fn adam_step_magnitude_bounded_by_lr() {
+        // Adam's per-step displacement is ~lr regardless of gradient scale.
+        let mut m = scalar_model(1000.0);
+        let mut opt = Adam::new(0.1);
+        let w_before = weight(&m);
+        let (_, g) = loss_and_grads(&m);
+        opt.step(&mut m, &g);
+        let delta = (weight(&m) - w_before).abs();
+        assert!(delta < 0.11, "delta {delta}");
+        assert!(delta > 0.09);
+    }
+
+    #[test]
+    fn loss_decreases_under_training() {
+        let mut m = scalar_model(-3.0);
+        let mut opt = Adam::new(0.05);
+        let (l0, _) = loss_and_grads(&m);
+        for _ in 0..50 {
+            let (_, g) = loss_and_grads(&m);
+            opt.step(&mut m, &g);
+        }
+        let (l1, _) = loss_and_grads(&m);
+        assert!(l1 < l0 * 0.1, "loss {l0} -> {l1}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Learning-rate schedules and early stopping.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-epoch learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f64),
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Initial rate.
+        initial: f64,
+        /// Decay factor per step.
+        gamma: f64,
+        /// Epochs between steps.
+        every: usize,
+    },
+    /// Cosine annealing from `initial` to `floor` over `total_epochs`.
+    Cosine {
+        /// Initial rate.
+        initial: f64,
+        /// Final rate.
+        floor: f64,
+        /// Annealing horizon.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate for epoch `e` (0-based).
+    ///
+    /// # Panics
+    /// Panics in debug builds on non-positive rates.
+    #[must_use]
+    pub fn at(&self, epoch: usize) -> f64 {
+        let lr = match self {
+            LrSchedule::Constant(lr) => *lr,
+            LrSchedule::StepDecay {
+                initial,
+                gamma,
+                every,
+            } => initial * gamma.powi((epoch / every.max(&1)) as i32),
+            LrSchedule::Cosine {
+                initial,
+                floor,
+                total_epochs,
+            } => {
+                let t = (epoch as f64 / (*total_epochs).max(1) as f64).min(1.0);
+                floor + 0.5 * (initial - floor) * (1.0 + (std::f64::consts::PI * t).cos())
+            }
+        };
+        debug_assert!(lr > 0.0, "non-positive learning rate");
+        lr
+    }
+}
+
+/// Early stopping on a validation metric (smaller is better).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EarlyStopping {
+    /// Epochs without improvement tolerated before stopping.
+    pub patience: usize,
+    /// Minimum improvement that counts.
+    pub min_delta: f64,
+    best: f64,
+    stale: usize,
+}
+
+impl EarlyStopping {
+    /// New monitor.
+    #[must_use]
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        Self {
+            patience,
+            min_delta,
+            best: f64::INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Reports an epoch's validation metric; returns `true` when training
+    /// should stop.
+    pub fn update(&mut self, metric: f64) -> bool {
+        if metric < self.best - self.min_delta {
+            self.best = metric;
+            self.stale = 0;
+            false
+        } else {
+            self.stale += 1;
+            self.stale > self.patience
+        }
+    }
+
+    /// Best metric seen.
+    #[must_use]
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.01);
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(99), 0.01);
+    }
+
+    #[test]
+    fn step_decay_steps() {
+        let s = LrSchedule::StepDecay {
+            initial: 1.0,
+            gamma: 0.5,
+            every: 3,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(2), 1.0);
+        assert_eq!(s.at(3), 0.5);
+        assert_eq!(s.at(6), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_monotone() {
+        let s = LrSchedule::Cosine {
+            initial: 0.1,
+            floor: 0.001,
+            total_epochs: 10,
+        };
+        assert!((s.at(0) - 0.1).abs() < 1e-12);
+        assert!((s.at(10) - 0.001).abs() < 1e-12);
+        assert_eq!(s.at(20), s.at(10), "clamped past horizon");
+        let mut prev = s.at(0);
+        for e in 1..=10 {
+            let lr = s.at(e);
+            assert!(lr <= prev + 1e-12);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn early_stopping_waits_for_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.update(1.0));
+        assert!(!es.update(0.9)); // improves
+        assert!(!es.update(0.95)); // stale 1
+        assert!(!es.update(0.95)); // stale 2
+        assert!(es.update(0.95)); // stale 3 > patience
+        assert_eq!(es.best(), 0.9);
+    }
+
+    #[test]
+    fn min_delta_filters_noise() {
+        let mut es = EarlyStopping::new(0, 0.1);
+        assert!(!es.update(1.0));
+        // 0.95 improves by < min_delta: counts as stale, stops immediately
+        // with patience 0.
+        assert!(es.update(0.95));
+    }
+}

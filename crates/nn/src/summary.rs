@@ -1,0 +1,99 @@
+//! Keras-style model summaries.
+//!
+//! `model.summary()` is how the paper's Table I/III parameter counts were
+//! read off the Keras models; this renders the same view for ours.
+
+use crate::graph::Model;
+use crate::layer::Layer;
+
+/// Renders a `model.summary()`-style table: one row per layer with output
+/// shape and parameter count, plus the total.
+#[must_use]
+pub fn summary(model: &Model) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6}{:<26}{:<18}{:>10}",
+        "#", "Layer (type)", "Output shape", "Params"
+    );
+    let _ = writeln!(out, "{}", "=".repeat(60));
+    let (mut len, mut ch) = model.input_shape();
+    let _ = writeln!(
+        out,
+        "{:<6}{:<26}{:<18}{:>10}",
+        "-",
+        "Input",
+        format!("({len}, {ch})"),
+        0
+    );
+    let mut shapes: Vec<(usize, usize)> = Vec::with_capacity(model.layers().len());
+    for (i, l) in model.layers().iter().enumerate() {
+        let skip = match l {
+            Layer::ConcatWith { node } => Some(if *node == usize::MAX {
+                model.input_shape()
+            } else {
+                shapes[*node]
+            }),
+            _ => None,
+        };
+        let (nl, nc) = l.output_shape((len, ch), skip);
+        shapes.push((nl, nc));
+        (len, ch) = (nl, nc);
+        let kind = match l {
+            Layer::Dense(_) => "Dense",
+            Layer::PointwiseDense(_) => "Dense (per position)",
+            Layer::Conv1d { k, .. } => return_conv_label(*k),
+            Layer::MaxPool { .. } => "MaxPooling1D",
+            Layer::UpSample { .. } => "UpSampling1D",
+            Layer::ConcatWith { .. } => "Concatenate",
+            Layer::BatchNorm { .. } => "BatchNormalization",
+        };
+        let _ = writeln!(
+            out,
+            "{:<6}{:<26}{:<18}{:>10}",
+            i,
+            kind,
+            format!("({nl}, {nc})"),
+            l.param_count()
+        );
+    }
+    let _ = writeln!(out, "{}", "=".repeat(60));
+    let _ = writeln!(out, "Total trainable params: {}", model.param_count());
+    out
+}
+
+fn return_conv_label(k: usize) -> &'static str {
+    match k {
+        1 => "Conv1D (k=1)",
+        3 => "Conv1D (k=3)",
+        5 => "Conv1D (k=5)",
+        _ => "Conv1D",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn unet_summary_totals_match() {
+        let m = models::reads_unet(0);
+        let s = summary(&m);
+        assert!(s.contains("Total trainable params: 134434"));
+        assert!(s.contains("Conv1D (k=3)"));
+        assert!(s.contains("Concatenate"));
+        assert!(s.contains("(260, 2)"));
+        // One row per layer plus input/header/footer lines.
+        assert!(s.lines().count() >= m.layers().len() + 4);
+    }
+
+    #[test]
+    fn mlp_summary() {
+        let m = models::reads_mlp(0);
+        let s = summary(&m);
+        assert!(s.contains("Total trainable params: 100102"));
+        assert!(s.contains("(518, 1)"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Mini-batch training loop.
+//!
+//! Gradients for the examples of a batch are independent, so the batch is
+//! rayon-parallel: each example produces a `Gradients`, reduced by
+//! accumulation (deterministic result regardless of thread schedule, since
+//! the reduction is a sum of the same terms; f64 addition reordering across
+//! the reduce tree is the only nondeterminism and is controlled by reducing
+//! in chunk order via `rayon::iter::ParallelIterator::reduce` over an
+//! associative sum — acceptable here, and the tests pin behaviour on
+//! seeded data rather than bitwise equality of training runs).
+
+use crate::graph::{Gradients, Model};
+use crate::loss::Loss;
+use crate::optim::Optimizer;
+use rayon::prelude::*;
+use reads_sim::Rng;
+use reads_tensor::FeatureMap;
+use serde::{Deserialize, Serialize};
+
+/// A supervised dataset of flat input/target rows.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Input rows (each of the model's input length).
+    pub inputs: Vec<Vec<f64>>,
+    /// Target rows (each of the model's output length).
+    pub targets: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True when the dataset holds no examples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Splits into `(first_n, rest)` — train/validation split.
+    ///
+    /// # Panics
+    /// Panics if `n > len`.
+    #[must_use]
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len());
+        (
+            Dataset {
+                inputs: self.inputs[..n].to_vec(),
+                targets: self.targets[..n].to_vec(),
+            },
+            Dataset {
+                inputs: self.inputs[n..].to_vec(),
+                targets: self.targets[n..].to_vec(),
+            },
+        )
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Loss function.
+    pub loss: Loss,
+    /// Shuffle seed (examples are reshuffled every epoch).
+    pub seed: u64,
+    /// Clip the global gradient L2 norm to this value (None disables).
+    pub grad_clip: Option<f64>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            loss: Loss::Bce,
+            seed: 0,
+            grad_clip: Some(5.0),
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_loss: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Final epoch's mean loss.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_loss.last().expect("at least one epoch")
+    }
+}
+
+/// Computes the averaged gradients and mean loss over one batch
+/// (rayon-parallel across examples).
+#[must_use]
+pub fn batch_gradients(
+    model: &Model,
+    inputs: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    loss: Loss,
+) -> (Gradients, f64) {
+    assert_eq!(inputs.len(), targets.len());
+    assert!(!inputs.is_empty());
+    let final_act = model.final_activation();
+    let (grads, loss_sum) = inputs
+        .par_iter()
+        .zip(targets.par_iter())
+        .map(|(x, t)| {
+            let input = FeatureMap::from_signal(x);
+            let cache = model.forward_cached(&input);
+            let y = cache.output();
+            let l = loss.value(y.as_slice(), t);
+            let (dy, fused) = loss.gradient(y, t, final_act);
+            let g = model.backward(&cache, &dy, fused);
+            (g, l)
+        })
+        .reduce_with(|(mut ga, la), (gb, lb)| {
+            ga.accumulate(&gb);
+            (ga, la + lb)
+        })
+        .expect("nonempty batch");
+    let mut grads = grads;
+    grads.scale(1.0 / inputs.len() as f64);
+    (grads, loss_sum / inputs.len() as f64)
+}
+
+/// Trains `model` in place. Returns the per-epoch loss history.
+///
+/// # Panics
+/// Panics on an empty dataset or zero batch size.
+pub fn train(
+    model: &mut Model,
+    data: &Dataset,
+    config: &TrainConfig,
+    optimizer: &mut dyn Optimizer,
+) -> TrainReport {
+    assert!(!data.is_empty(), "empty training set");
+    assert!(config.batch_size > 0);
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut epoch_loss = Vec::with_capacity(config.epochs);
+
+    for _ in 0..config.epochs {
+        rng.shuffle(&mut order);
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let inputs: Vec<Vec<f64>> = chunk.iter().map(|&i| data.inputs[i].clone()).collect();
+            let targets: Vec<Vec<f64>> = chunk.iter().map(|&i| data.targets[i].clone()).collect();
+            let (mut grads, loss) = batch_gradients(model, &inputs, &targets, config.loss);
+            if let Some(clip) = config.grad_clip {
+                let norm = grads.l2_norm();
+                if norm > clip {
+                    grads.scale(clip / norm);
+                }
+            }
+            optimizer.step(model, &grads);
+            loss_sum += loss;
+            batches += 1;
+        }
+        epoch_loss.push(loss_sum / batches as f64);
+    }
+    TrainReport { epoch_loss }
+}
+
+/// Extended training: per-epoch learning-rate schedule plus early stopping
+/// on a validation set. Returns the report with one entry per epoch
+/// actually run.
+///
+/// # Panics
+/// Panics on empty datasets or zero batch size.
+pub fn train_with_schedule(
+    model: &mut Model,
+    data: &Dataset,
+    validation: &Dataset,
+    config: &TrainConfig,
+    schedule: crate::schedule::LrSchedule,
+    mut early: Option<crate::schedule::EarlyStopping>,
+    optimizer: &mut dyn Optimizer,
+) -> TrainReport {
+    assert!(!data.is_empty() && !validation.is_empty());
+    assert!(config.batch_size > 0);
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut epoch_loss = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        optimizer.set_lr(schedule.at(epoch));
+        rng.shuffle(&mut order);
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let inputs: Vec<Vec<f64>> = chunk.iter().map(|&i| data.inputs[i].clone()).collect();
+            let targets: Vec<Vec<f64>> = chunk.iter().map(|&i| data.targets[i].clone()).collect();
+            let (mut grads, loss) = batch_gradients(model, &inputs, &targets, config.loss);
+            if let Some(clip) = config.grad_clip {
+                let norm = grads.l2_norm();
+                if norm > clip {
+                    grads.scale(clip / norm);
+                }
+            }
+            optimizer.step(model, &grads);
+            loss_sum += loss;
+            batches += 1;
+        }
+        epoch_loss.push(loss_sum / batches as f64);
+        if let Some(es) = &mut early {
+            let val = evaluate(model, validation, config.loss);
+            if es.update(val) {
+                break;
+            }
+        }
+    }
+    TrainReport { epoch_loss }
+}
+
+/// Mean loss of `model` over a dataset (no training) — validation metric.
+#[must_use]
+pub fn evaluate(model: &Model, data: &Dataset, loss: Loss) -> f64 {
+    assert!(!data.is_empty());
+    data.inputs
+        .par_iter()
+        .zip(data.targets.par_iter())
+        .map(|(x, t)| loss.value(&model.predict(x), t))
+        .sum::<f64>()
+        / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{DenseParams, Layer};
+    use crate::optim::Adam;
+    use reads_tensor::Activation;
+
+    /// Learnable toy task: target = sigmoid-ish step of the input mean.
+    fn toy_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut d = Dataset::default();
+        for _ in 0..n {
+            let x: Vec<f64> = (0..8).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let mean = x.iter().sum::<f64>() / 8.0;
+            let t = vec![f64::from(mean > 0.0) * 0.8 + 0.1; 2];
+            d.inputs.push(x);
+            d.targets.push(t);
+        }
+        d
+    }
+
+    fn toy_model(seed: u64) -> Model {
+        let mut rng = Rng::seed_from_u64(seed);
+        Model::new(
+            8,
+            1,
+            vec![
+                Layer::Dense(DenseParams {
+                    w: crate::init::he_normal(16, 8, 8, &mut rng),
+                    b: vec![0.0; 16],
+                    activation: Activation::Relu,
+                }),
+                Layer::Dense(DenseParams {
+                    w: crate::init::glorot_normal(2, 16, 16, 2, &mut rng),
+                    b: vec![0.0; 2],
+                    activation: Activation::Sigmoid,
+                }),
+            ],
+        )
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = toy_dataset(256, 1);
+        let mut model = toy_model(2);
+        let before = evaluate(&model, &data, Loss::Bce);
+        let mut opt = Adam::new(0.01);
+        let report = train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                batch_size: 32,
+                loss: Loss::Bce,
+                seed: 3,
+                grad_clip: Some(5.0),
+            },
+            &mut opt,
+        );
+        let after = evaluate(&model, &data, Loss::Bce);
+        assert!(after < before * 0.6, "loss {before} -> {after}");
+        assert_eq!(report.epoch_loss.len(), 30);
+        // Loss history is broadly decreasing.
+        assert!(report.final_loss() < report.epoch_loss[0]);
+    }
+
+    #[test]
+    fn batch_gradients_average_matches_single_example() {
+        let data = toy_dataset(4, 5);
+        let model = toy_model(6);
+        // Batch of the same example 4x == gradient of that example.
+        let inputs = vec![data.inputs[0].clone(); 4];
+        let targets = vec![data.targets[0].clone(); 4];
+        let (g_batch, l_batch) = batch_gradients(&model, &inputs, &targets, Loss::Bce);
+        let (g_single, l_single) =
+            batch_gradients(&model, &inputs[..1], &targets[..1], Loss::Bce);
+        assert!((l_batch - l_single).abs() < 1e-12);
+        assert!((g_batch.l2_norm() - g_single.l2_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let d = toy_dataset(10, 7);
+        let (a, b) = d.split_at(7);
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.inputs[0], d.inputs[0]);
+        assert_eq!(b.inputs[0], d.inputs[7]);
+    }
+
+    #[test]
+    fn grad_clip_bounds_norm() {
+        let data = toy_dataset(8, 9);
+        let model = toy_model(10);
+        let (mut grads, _) = batch_gradients(&model, &data.inputs, &data.targets, Loss::Bce);
+        let clip = grads.l2_norm() / 2.0;
+        let norm = grads.l2_norm();
+        if norm > clip {
+            grads.scale(clip / norm);
+        }
+        assert!((grads.l2_norm() - clip).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_training_with_early_stopping() {
+        use crate::schedule::{EarlyStopping, LrSchedule};
+        let data = toy_dataset(192, 21);
+        let (train_set, val) = data.split_at(160);
+        let mut model = toy_model(22);
+        let mut opt = Adam::new(0.01);
+        let report = train_with_schedule(
+            &mut model,
+            &train_set,
+            &val,
+            &TrainConfig {
+                epochs: 60,
+                batch_size: 16,
+                loss: Loss::Bce,
+                seed: 23,
+                grad_clip: Some(5.0),
+            },
+            LrSchedule::Cosine {
+                initial: 0.01,
+                floor: 0.0005,
+                total_epochs: 60,
+            },
+            Some(EarlyStopping::new(3, 1e-4)),
+            &mut opt,
+        );
+        // Early stopping must have cut the run short of the full horizon on
+        // this quickly-saturating toy task.
+        assert!(report.epoch_loss.len() < 60, "ran {} epochs", report.epoch_loss.len());
+        assert!(report.final_loss() < report.epoch_loss[0]);
+        // The schedule actually annealed the optimizer's rate.
+        assert!(opt.lr() < 0.01);
+    }
+
+    #[test]
+    fn mse_training_also_works() {
+        let data = toy_dataset(128, 11);
+        let mut model = toy_model(12);
+        let mut opt = Adam::new(0.01);
+        let report = train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 15,
+                batch_size: 16,
+                loss: Loss::Mse,
+                seed: 13,
+                grad_clip: None,
+            },
+            &mut opt,
+        );
+        assert!(report.final_loss() < report.epoch_loss[0]);
+    }
+}

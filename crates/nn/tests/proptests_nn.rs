@@ -1,0 +1,89 @@
+//! Property tests of the neural-network stack's invariants.
+
+use proptest::prelude::*;
+use reads_nn::layer::{DenseParams, Layer};
+use reads_nn::{Loss, Model};
+use reads_tensor::{Activation, FeatureMap, Mat};
+
+fn tiny_model(weights: &[f64], bias: f64, act: Activation) -> Model {
+    Model::new(
+        weights.len(),
+        1,
+        vec![Layer::Dense(DenseParams {
+            w: Mat::from_vec(1, weights.len(), weights.to_vec()),
+            b: vec![bias],
+            activation: act,
+        })],
+    )
+}
+
+proptest! {
+    /// Forward evaluation is a pure function: identical inputs give
+    /// identical outputs across repeated calls and cloned models.
+    #[test]
+    fn forward_is_pure(ws in prop::collection::vec(-2.0f64..2.0, 1..16),
+                       xs_seed in 0u64..1000, bias in -1.0f64..1.0) {
+        let m = tiny_model(&ws, bias, Activation::Sigmoid);
+        let xs: Vec<f64> = (0..ws.len())
+            .map(|i| (((xs_seed as usize + i) % 17) as f64) * 0.1 - 0.8)
+            .collect();
+        let a = m.predict(&xs);
+        let b = m.clone().predict(&xs);
+        prop_assert_eq!(a.clone(), b);
+        prop_assert_eq!(a.clone(), m.predict(&xs));
+    }
+
+    /// A linear dense layer is actually linear: f(ax) = a·f(x) with zero
+    /// bias, and f(x + y) = f(x) + f(y).
+    #[test]
+    fn dense_linearity(ws in prop::collection::vec(-2.0f64..2.0, 1..12),
+                       scale in -3.0f64..3.0) {
+        let m = tiny_model(&ws, 0.0, Activation::Linear);
+        let x: Vec<f64> = (0..ws.len()).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let y: Vec<f64> = (0..ws.len()).map(|i| 0.5 - (i as f64) * 0.2).collect();
+        let fx = m.predict(&x)[0];
+        let fy = m.predict(&y)[0];
+        let scaled: Vec<f64> = x.iter().map(|v| v * scale).collect();
+        prop_assert!((m.predict(&scaled)[0] - scale * fx).abs() < 1e-9);
+        let summed: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        prop_assert!((m.predict(&summed)[0] - (fx + fy)).abs() < 1e-9);
+    }
+
+    /// The backward pass is linear in the output gradient: doubling dy
+    /// doubles every parameter gradient.
+    #[test]
+    fn backward_linear_in_dy(ws in prop::collection::vec(-1.0f64..1.0, 2..10),
+                             k in 0.1f64..4.0) {
+        let m = tiny_model(&ws, 0.1, Activation::Relu);
+        let x: Vec<f64> = (0..ws.len()).map(|i| (i as f64) * 0.4 - 0.7).collect();
+        let cache = m.forward_cached(&FeatureMap::from_signal(&x));
+        let dy1 = FeatureMap::from_signal(&[1.0]);
+        let dyk = FeatureMap::from_signal(&[k]);
+        let g1 = m.backward(&cache, &dy1, false);
+        let gk = m.backward(&cache, &dyk, false);
+        prop_assert!((gk.l2_norm() - k * g1.l2_norm()).abs() < 1e-9 * (1.0 + k));
+    }
+
+    /// BCE loss is non-negative and zero only at a perfect prediction.
+    #[test]
+    fn bce_nonnegative(y in 0.001f64..0.999, t in 0.0f64..1.0) {
+        let v = Loss::Bce.value(&[y], &[t]);
+        prop_assert!(v >= 0.0 || v.abs() < 1e-12);
+        // The minimizer over y of BCE(y, t) is y = t.
+        let at_t = Loss::Bce.value(&[t.clamp(0.001, 0.999)], &[t]);
+        prop_assert!(at_t <= v + 1e-9);
+    }
+
+    /// Sigmoid outputs stay in (0, 1) for any weights and inputs, so every
+    /// model prediction is a valid probability.
+    #[test]
+    fn sigmoid_head_emits_probabilities(
+        ws in prop::collection::vec(-50.0f64..50.0, 1..8),
+        xs in prop::collection::vec(-50.0f64..50.0, 8)
+    ) {
+        let n = ws.len();
+        let m = tiny_model(&ws, 0.0, Activation::Sigmoid);
+        let y = m.predict(&xs[..n]);
+        prop_assert!((0.0..=1.0).contains(&y[0]));
+    }
+}

@@ -1,0 +1,292 @@
+//! Probability distributions used by the workload and jitter models.
+//!
+//! * [`Normal`] / [`LogNormal`] — BLM noise and Linux-userspace timing jitter
+//!   (service-time distributions on a busy HPS are right-skewed; lognormal is
+//!   the standard choice).
+//! * [`Exponential`] — inter-arrival of rare scheduler-preemption events (the
+//!   >2 ms tail of Fig. 5c).
+//! * [`Bernoulli`] / [`Poisson`] — loss-event occurrence and pile-up counts in
+//!   the beam-loss generator.
+
+use crate::rng::Rng;
+
+/// Trait for sampling a distribution with an external RNG.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut Rng) -> f64;
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Uniform on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is non-finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+        Self { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Normal distribution N(μ, σ²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// N(mean, std_dev²).
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative or parameters are non-finite.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0);
+        Self { mean, std_dev }
+    }
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mean + self.std_dev * rng.next_gaussian()
+    }
+}
+
+/// Lognormal: `exp(N(mu, sigma²))` where `mu`/`sigma` act on the log scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// From log-scale parameters.
+    ///
+    /// # Panics
+    /// Panics on negative `sigma` or non-finite parameters.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        Self { mu, sigma }
+    }
+
+    /// Parameterizes by the distribution's own mean and standard deviation
+    /// (convenient for calibrating jitter to measured numbers).
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `std_dev >= 0`.
+    #[must_use]
+    pub fn from_mean_std(mean: f64, std_dev: f64) -> Self {
+        assert!(mean > 0.0 && std_dev >= 0.0);
+        let cv2 = (std_dev / mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// The distribution mean `exp(mu + sigma²/2)`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * rng.next_gaussian()).exp()
+    }
+}
+
+/// Exponential distribution with rate λ (mean 1/λ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// With rate λ.
+    ///
+    /// # Panics
+    /// Panics unless `rate > 0` and finite.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0);
+        Self { rate }
+    }
+
+    /// With a given mean (= 1/λ).
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0`.
+    #[must_use]
+    pub fn from_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inversion; 1 - U avoids ln(0).
+        -(1.0 - rng.next_f64()).ln() / self.rate
+    }
+}
+
+/// Bernoulli distribution; [`Sample`] returns 1.0 / 0.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Success probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        Self { p }
+    }
+
+    /// Draws a boolean.
+    pub fn draw(&self, rng: &mut Rng) -> bool {
+        rng.chance(self.p)
+    }
+}
+
+impl Sample for Bernoulli {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        if self.draw(rng) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Poisson distribution (Knuth's multiplication method — fine for the small
+/// λ ≤ ~30 used by the loss-event generator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// With mean λ.
+    ///
+    /// # Panics
+    /// Panics unless `λ > 0` and `λ ≤ 100` (method becomes slow/unstable
+    /// beyond that; the workloads here never need it).
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 100.0);
+        Self { lambda }
+    }
+
+    /// Draws a count.
+    pub fn draw(&self, rng: &mut Rng) -> u64 {
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+impl Sample for Poisson {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.draw(rng) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StreamingStats;
+
+    fn collect(d: &impl Sample, n: usize, seed: u64) -> StreamingStats {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut s = StreamingStats::new();
+        for _ in 0..n {
+            s.push(d.sample(&mut rng));
+        }
+        s
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let s = collect(&Uniform::new(2.0, 6.0), 100_000, 1);
+        assert!((s.mean() - 4.0).abs() < 0.02);
+        assert!(s.min() >= 2.0 && s.max() < 6.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let s = collect(&Normal::new(10.0, 3.0), 100_000, 2);
+        assert!((s.mean() - 10.0).abs() < 0.05);
+        assert!((s.std_dev() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_from_mean_std_recovers_moments() {
+        let d = LogNormal::from_mean_std(5.0, 2.0);
+        assert!((d.mean() - 5.0).abs() < 1e-9);
+        let s = collect(&d, 200_000, 3);
+        assert!((s.mean() - 5.0).abs() < 0.05, "mean {}", s.mean());
+        assert!((s.std_dev() - 2.0).abs() < 0.1, "std {}", s.std_dev());
+        assert!(s.min() > 0.0);
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let s = collect(&Exponential::from_mean(7.0), 100_000, 4);
+        assert!((s.mean() - 7.0).abs() < 0.15);
+        assert!(s.min() >= 0.0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let b = Bernoulli::new(0.25);
+        let mut rng = Rng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| b.draw(&mut rng)).count();
+        let f = hits as f64 / 100_000.0;
+        assert!((f - 0.25).abs() < 0.01, "{f}");
+    }
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let p = Poisson::new(4.0);
+        let s = collect(&p, 100_000, 6);
+        assert!((s.mean() - 4.0).abs() < 0.05, "mean {}", s.mean());
+        // For Poisson, variance == mean.
+        assert!((s.variance() - 4.0).abs() < 0.15, "var {}", s.variance());
+    }
+
+    #[test]
+    fn zero_sigma_lognormal_is_constant() {
+        let d = LogNormal::new(1.0, 0.0);
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert!((d.sample(&mut rng) - std::f64::consts::E).abs() < 1e-12);
+        }
+    }
+}

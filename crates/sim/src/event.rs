@@ -1,0 +1,234 @@
+//! A deterministic discrete-event kernel.
+//!
+//! The SoC simulator (`reads-soc`) models the central node — HPS, bridges,
+//! on-chip RAMs, the U-Net IP and the control IP — as components exchanging
+//! timestamped events. The kernel is a strict priority queue over
+//! `(time, sequence)` pairs: events at equal timestamps pop in insertion
+//! order, which makes whole-system runs bit-reproducible.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of future events with a simulation clock.
+///
+/// ```
+/// use reads_sim::{EventQueue, SimDuration};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_in(SimDuration::from_nanos(20), "late");
+/// q.schedule_in(SimDuration::from_nanos(10), "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.now().as_nanos(), 10);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at t = 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events popped so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past — a component bug that would
+    /// silently corrupt causality if allowed through.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedules `payload` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event and advances the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        self.processed += 1;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Peeks at the time of the next event without advancing.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drains the queue, calling `handler` for each event in causal order.
+    /// The handler may schedule further events. Returns the number of events
+    /// processed, stopping (with the queue still holding future events) once
+    /// `limit` events have been handled — a guard against runaway feedback
+    /// loops in component wiring.
+    pub fn run<F>(&mut self, limit: u64, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        let mut n = 0;
+        while n < limit {
+            let Some((t, e)) = self.pop() else { break };
+            handler(self, t, e);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), 3);
+        q.schedule_at(SimTime(10), 1);
+        q.schedule_at(SimTime(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), ());
+        q.schedule_at(SimTime(50), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(50));
+        q.pop();
+        assert_eq!(q.now(), SimTime(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), ());
+        q.pop();
+        q.schedule_at(SimTime(5), ());
+    }
+
+    #[test]
+    fn run_drives_cascading_events() {
+        // Each event at t spawns one at t+10 until t >= 100.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(0), ());
+        let n = q.run(1000, |q, t, ()| {
+            if t.as_nanos() < 100 {
+                q.schedule_at(SimTime(t.as_nanos() + 10), ());
+            }
+        });
+        assert_eq!(n, 11);
+        assert_eq!(q.now(), SimTime(100));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn run_respects_limit() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(0), ());
+        let n = q.run(5, |q, t, ()| {
+            q.schedule_at(SimTime(t.as_nanos() + 1), ());
+        });
+        assert_eq!(n, 5);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(42), ());
+        assert_eq!(q.peek_time(), Some(SimTime(42)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+}

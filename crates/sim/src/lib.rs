@@ -1,0 +1,33 @@
+//! `reads-sim` — simulation substrate for the READS reproduction.
+//!
+//! This crate provides the deterministic foundations every other crate in the
+//! workspace builds on:
+//!
+//! * [`rng`] — a seedable, portable xoshiro256++ PRNG. Every stochastic
+//!   experiment in the repository is reproducible from a single `u64` seed.
+//! * [`time`] — nanosecond-resolution simulation time ([`time::SimTime`],
+//!   [`time::SimDuration`]) and clock-domain conversion helpers. The Arria 10
+//!   fabric runs at 100 MHz, so one cycle is exactly 10 ns and all latency
+//!   arithmetic is integral.
+//! * [`event`] — a deterministic discrete-event kernel used by the SoC
+//!   simulator (`reads-soc`).
+//! * [`stats`] — streaming moments, fixed-bin histograms and exact quantiles
+//!   used by the latency campaigns (Fig. 5c) and accuracy sweeps (Fig. 5a/b).
+//! * [`dist`] — the distributions used by the workload and jitter models
+//!   (normal, lognormal, exponential, Bernoulli, Poisson).
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod stream;
+pub mod time;
+
+pub use dist::{Bernoulli, Exponential, LogNormal, Normal, Poisson, Uniform};
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use stats::{Histogram, Quantiles, StreamingStats};
+pub use stream::{P2Quantile, Reservoir};
+pub use time::{SimDuration, SimTime, FABRIC_CLOCK_HZ, NS_PER_CYCLE};

@@ -1,0 +1,270 @@
+//! Bounded-memory streaming statistics.
+//!
+//! The exact structures in [`crate::stats`] retain every sample — fine for
+//! the paper-scale 10,000-frame campaigns. For soak tests running millions
+//! of simulated frames, these two classics keep memory constant:
+//!
+//! * [`P2Quantile`] — the Jain & Chlamtac P² algorithm: one quantile,
+//!   five markers, no samples stored.
+//! * [`Reservoir`] — Vitter's Algorithm R: a uniform sample of the stream
+//!   for histograms and eyeballing.
+
+use crate::rng::Rng;
+
+/// P² single-quantile estimator (Jain & Chlamtac, 1985).
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based, as in the paper).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    count: usize,
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for the `q`-quantile (0 < q < 1).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(q: f64) -> Self {
+        assert!((0.0..1.0).contains(&q) && q > 0.0, "quantile {q}");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                self.heights.copy_from_slice(&self.init);
+            }
+            return;
+        }
+
+        // Find the cell and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three middle markers with the parabolic formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let dp = self.positions[i + 1] - self.positions[i];
+            let dm = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && dp > 1.0) || (d <= -1.0 && dm < -1.0) {
+                let s = d.signum();
+                let candidate = self.heights[i]
+                    + s / (dp - dm)
+                        * ((s - dm) * (self.heights[i + 1] - self.heights[i]) / dp
+                            + (dp - s) * (self.heights[i] - self.heights[i - 1]) / -dm);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    // Parabolic estimate left the bracket: linear step.
+                    let j = if s > 0.0 { i + 1 } else { i - 1 };
+                    self.heights[i]
+                        + s * (self.heights[j] - self.heights[i])
+                            / (self.positions[j] - self.positions[i])
+                };
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    /// Current quantile estimate.
+    ///
+    /// # Panics
+    /// Panics if no observations were pushed.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        assert!(self.count > 0, "estimate on empty stream");
+        if self.init.len() < 5 && self.count < 5 {
+            // Too few samples: exact order statistic on what we have.
+            let mut v = self.init.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            let idx = ((self.q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            return v[idx - 1];
+        }
+        self.heights[2]
+    }
+}
+
+/// Uniform reservoir sample of a stream (Algorithm R).
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    samples: Vec<f64>,
+}
+
+impl Reservoir {
+    /// Reservoir of `capacity` retained samples.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            capacity,
+            seen: 0,
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offers one observation.
+    pub fn push(&mut self, x: f64, rng: &mut Rng) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+        } else {
+            let j = rng.next_below(self.seen);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// Total observations offered.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained sample.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2_matches_exact_on_uniform_stream() {
+        let mut rng = Rng::seed_from_u64(1);
+        for q in [0.5, 0.9, 0.99] {
+            let mut p2 = P2Quantile::new(q);
+            let mut exact = Vec::new();
+            for _ in 0..50_000 {
+                let x = rng.next_f64();
+                p2.push(x);
+                exact.push(x);
+            }
+            exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let truth = exact[(q * 50_000.0) as usize];
+            let est = p2.estimate();
+            assert!(
+                (est - truth).abs() < 0.01,
+                "q={q}: est {est} vs exact {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2_on_skewed_latency_like_stream() {
+        // Lognormal-ish: the Fig. 5c shape. 99.97th percentile matters.
+        let mut rng = Rng::seed_from_u64(2);
+        let mut p2 = P2Quantile::new(0.999);
+        let mut exact = Vec::new();
+        for _ in 0..200_000 {
+            let x = (0.1 * rng.next_gaussian()).exp() * 1.8;
+            p2.push(x);
+            exact.push(x);
+        }
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let truth = exact[(0.999 * exact.len() as f64) as usize];
+        let est = p2.estimate();
+        assert!(
+            (est - truth).abs() / truth < 0.02,
+            "est {est} vs exact {truth}"
+        );
+    }
+
+    #[test]
+    fn p2_few_samples_falls_back_to_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        p2.push(3.0);
+        p2.push(1.0);
+        p2.push(2.0);
+        assert_eq!(p2.estimate(), 2.0);
+        assert_eq!(p2.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate on empty")]
+    fn p2_empty_panics() {
+        let _ = P2Quantile::new(0.5).estimate();
+    }
+
+    #[test]
+    fn reservoir_is_uniform() {
+        // Offer 0..10_000; mean of the retained sample ≈ stream mean.
+        let mut rng = Rng::seed_from_u64(3);
+        let mut r = Reservoir::new(500);
+        for i in 0..10_000 {
+            r.push(f64::from(i), &mut rng);
+        }
+        assert_eq!(r.seen(), 10_000);
+        assert_eq!(r.samples().len(), 500);
+        let mean: f64 = r.samples().iter().sum::<f64>() / 500.0;
+        assert!((mean - 4_999.5).abs() < 450.0, "mean {mean}");
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_under_capacity() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut r = Reservoir::new(100);
+        for i in 0..50 {
+            r.push(f64::from(i), &mut rng);
+        }
+        assert_eq!(r.samples().len(), 50);
+    }
+}

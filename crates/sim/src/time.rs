@@ -1,0 +1,249 @@
+//! Simulation time.
+//!
+//! All latencies in the paper are in the microsecond-to-millisecond range and
+//! the FPGA fabric clock is 100 MHz, so a `u64` nanosecond counter is exact
+//! (one fabric cycle = 10 ns) and overflows after ~584 years of simulated
+//! time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Fabric clock of the deployed Arria 10 design (paper Sec. VI): 100 MHz.
+pub const FABRIC_CLOCK_HZ: u64 = 100_000_000;
+
+/// Nanoseconds per fabric clock cycle at [`FABRIC_CLOCK_HZ`].
+pub const NS_PER_CYCLE: u64 = 1_000_000_000 / FABRIC_CLOCK_HZ;
+
+/// An absolute instant on the simulation timeline, in nanoseconds since t=0.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of the simulation timeline.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Duration since an earlier instant.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is after `self`.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "since() with later instant");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Nanoseconds since t=0.
+    #[must_use]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// From microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// From milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// From whole fabric clock cycles at [`FABRIC_CLOCK_HZ`].
+    #[must_use]
+    pub const fn from_cycles(cycles: u64) -> Self {
+        SimDuration(cycles * NS_PER_CYCLE)
+    }
+
+    /// From a (possibly fractional) count of seconds. Rounds to nearest ns.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0);
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole fabric cycles this span covers (rounded up, as hardware would
+    /// wait for the next edge).
+    #[must_use]
+    pub const fn as_cycles_ceil(self) -> u64 {
+        self.0.div_ceil(NS_PER_CYCLE)
+    }
+
+    /// Fractional milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional microseconds.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0 + d.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0 - d.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, d: SimDuration) {
+        self.0 -= d.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000 {
+            write!(f, "{:.3} ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3} µs", self.as_micros_f64())
+        } else {
+            write!(f, "{ns} ns")
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", SimDuration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_conversion_is_exact_at_100mhz() {
+        assert_eq!(NS_PER_CYCLE, 10);
+        assert_eq!(SimDuration::from_cycles(157_000).as_millis_f64(), 1.57);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::ZERO + SimDuration::from_micros(5);
+        let t2 = t + SimDuration::from_nanos(40);
+        assert_eq!(t2.since(t).as_nanos(), 40);
+        assert_eq!((t2 - SimDuration::from_nanos(40)), t);
+    }
+
+    #[test]
+    fn ceil_cycles() {
+        assert_eq!(SimDuration::from_nanos(0).as_cycles_ceil(), 0);
+        assert_eq!(SimDuration::from_nanos(1).as_cycles_ceil(), 1);
+        assert_eq!(SimDuration::from_nanos(10).as_cycles_ceil(), 1);
+        assert_eq!(SimDuration::from_nanos(11).as_cycles_ceil(), 2);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(5)), "5 ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000 µs");
+        assert_eq!(format!("{}", SimDuration::from_millis(3)), "3.000 ms");
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.003).as_nanos(), 3_000_000);
+        assert_eq!(SimDuration::from_secs_f64(1e-9).as_nanos(), 1);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let a = SimDuration::from_nanos(5);
+        let b = SimDuration::from_nanos(9);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_sub(a).as_nanos(), 4);
+    }
+}

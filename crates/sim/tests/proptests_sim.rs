@@ -1,0 +1,97 @@
+//! Property tests of the simulation substrate.
+
+use proptest::prelude::*;
+use reads_sim::{EventQueue, Histogram, P2Quantile, Quantiles, Rng, SimTime, StreamingStats};
+
+proptest! {
+    /// The event queue is a stable priority queue: pops are globally
+    /// time-ordered, and FIFO within equal timestamps.
+    #[test]
+    fn event_queue_ordering(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "stability violated");
+            }
+            last = Some((t, i));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Welford merge equals sequential accumulation for any split point.
+    #[test]
+    fn welford_merge_any_split(xs in prop::collection::vec(-1e6f64..1e6, 2..300),
+                               split_frac in 0.0f64..1.0) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut whole = StreamingStats::new();
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.push(x);
+            if i < split { a.push(x) } else { b.push(x) }
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs()
+            <= 1e-5 * (1.0 + whole.variance().abs()));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+    }
+
+    /// Histogram total always equals the number of pushes, however the
+    /// values fall against the range.
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(-100.0f64..100.0, 0..300)) {
+        let mut h = Histogram::new(-10.0, 10.0, 7);
+        for &x in &xs {
+            h.push(x);
+        }
+        let binned: u64 = (0..h.n_bins()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+    }
+
+    /// Exact quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..200),
+                          q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let quant = Quantiles::from_samples(xs.clone());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quant.quantile(lo) <= quant.quantile(hi) + 1e-12);
+        prop_assert!(quant.quantile(0.0) >= quant.min() - 1e-12);
+        prop_assert!(quant.quantile(1.0) <= quant.max() + 1e-12);
+    }
+
+    /// P² stays within the sample envelope for any stream.
+    #[test]
+    fn p2_within_envelope(seed in 0u64..1000, n in 10usize..2000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut p2 = P2Quantile::new(0.9);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for _ in 0..n {
+            let x = rng.next_gaussian() * 10.0;
+            lo = lo.min(x);
+            hi = hi.max(x);
+            p2.push(x);
+        }
+        let est = p2.estimate();
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "{est} outside [{lo}, {hi}]");
+    }
+
+    /// `next_below` is unbiased enough that every residue class of a small
+    /// modulus is hit over a long stream (coverage, not exact uniformity).
+    #[test]
+    fn next_below_coverage(seed in 0u64..100, n in 2u64..20) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut seen = vec![false; n as usize];
+        for _ in 0..(n * 200) {
+            seen[rng.next_below(n) as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,154 @@
+//! Boot and (re)deployment sequence of the central node.
+//!
+//! "We programmed the Achilles board with a prebuilt Linux system on the
+//! HPS side using TFTP. Through the USB port on the board we are able to
+//! log into the system and run customized user space applications"
+//! (Sec. IV-B). For an operations team the interesting number is the
+//! *recovery time*: how long after a power cycle, a reconfiguration or a
+//! model update until the node is serving 3 ms frames again. This module
+//! models that sequence — each stage with a documented duration — and
+//! answers how many digitizer frames are missed.
+
+use reads_sim::SimDuration;
+use serde::Serialize;
+
+/// One stage of the bring-up sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BootStage {
+    /// Power-on reset and HPS boot ROM.
+    PowerOnReset,
+    /// FPGA configuration: the bitstream is shifted in at the configuration
+    /// clock (Arria 10 SoC: full configuration via the HPS).
+    FpgaConfiguration,
+    /// U-Boot + TFTP transfer of the prebuilt kernel/rootfs image.
+    TftpLoad,
+    /// Linux kernel boot to userspace.
+    KernelBoot,
+    /// The de-blending user-space application start: mmap the bridges,
+    /// fit/load the standardizer, arm the control IP.
+    AppStart,
+}
+
+/// Bring-up plan parameters.
+#[derive(Debug, Clone, Serialize)]
+pub struct BootModel {
+    /// Bitstream size, bytes (Arria 10 660 ≈ 32 MB compressed `.rbf`).
+    pub bitstream_bytes: u64,
+    /// Configuration throughput, bytes/s (HPS full configuration path).
+    pub config_bytes_per_sec: f64,
+    /// Kernel+rootfs image size over TFTP, bytes.
+    pub image_bytes: u64,
+    /// Effective TFTP throughput, bytes/s (lock-step protocol on GbE).
+    pub tftp_bytes_per_sec: f64,
+    /// Fixed durations of the remaining stages, ms.
+    pub por_ms: f64,
+    /// Kernel boot to userspace, ms.
+    pub kernel_ms: f64,
+    /// Application start, ms.
+    pub app_start_ms: f64,
+}
+
+impl Default for BootModel {
+    fn default() -> Self {
+        Self {
+            bitstream_bytes: 32 * 1024 * 1024,
+            config_bytes_per_sec: 100e6,
+            image_bytes: 48 * 1024 * 1024,
+            tftp_bytes_per_sec: 10e6,
+            por_ms: 150.0,
+            kernel_ms: 4_500.0,
+            app_start_ms: 350.0,
+        }
+    }
+}
+
+impl BootModel {
+    /// Duration of one stage.
+    #[must_use]
+    pub fn stage_time(&self, stage: BootStage) -> SimDuration {
+        let ms = match stage {
+            BootStage::PowerOnReset => self.por_ms,
+            BootStage::FpgaConfiguration => {
+                self.bitstream_bytes as f64 / self.config_bytes_per_sec * 1e3
+            }
+            BootStage::TftpLoad => self.image_bytes as f64 / self.tftp_bytes_per_sec * 1e3,
+            BootStage::KernelBoot => self.kernel_ms,
+            BootStage::AppStart => self.app_start_ms,
+        };
+        SimDuration::from_nanos((ms * 1e6) as u64)
+    }
+
+    /// Full cold-boot time (all stages).
+    #[must_use]
+    pub fn cold_boot(&self) -> SimDuration {
+        [
+            BootStage::PowerOnReset,
+            BootStage::FpgaConfiguration,
+            BootStage::TftpLoad,
+            BootStage::KernelBoot,
+            BootStage::AppStart,
+        ]
+        .into_iter()
+        .fold(SimDuration::ZERO, |acc, s| acc + self.stage_time(s))
+    }
+
+    /// Model-update redeployment: the Linux side stays up; only the FPGA is
+    /// reconfigured with the new IP bitstream and the app restarts — the
+    /// reconfigurability the paper's platform choice buys (Sec. I).
+    #[must_use]
+    pub fn model_update(&self) -> SimDuration {
+        self.stage_time(BootStage::FpgaConfiguration) + self.stage_time(BootStage::AppStart)
+    }
+
+    /// Digitizer frames (3 ms) missed during an outage of the given length.
+    #[must_use]
+    pub fn frames_missed(&self, outage: SimDuration) -> u64 {
+        outage.as_nanos().div_ceil(3_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_boot_is_seconds_scale() {
+        let m = BootModel::default();
+        let secs = m.cold_boot().as_secs_f64();
+        assert!(
+            (5.0..60.0).contains(&secs),
+            "cold boot {secs} s should be embedded-Linux scale"
+        );
+    }
+
+    #[test]
+    fn model_update_is_much_faster_than_cold_boot() {
+        let m = BootModel::default();
+        assert!(m.model_update().as_nanos() * 5 < m.cold_boot().as_nanos());
+        // Sub-second FPGA-only reconfiguration.
+        assert!(m.model_update().as_secs_f64() < 1.5);
+    }
+
+    #[test]
+    fn stage_times_follow_sizes() {
+        let small = BootModel {
+            bitstream_bytes: 1024,
+            ..BootModel::default()
+        };
+        let big = BootModel::default();
+        assert!(
+            small.stage_time(BootStage::FpgaConfiguration)
+                < big.stage_time(BootStage::FpgaConfiguration)
+        );
+    }
+
+    #[test]
+    fn frames_missed_rounds_up() {
+        let m = BootModel::default();
+        assert_eq!(m.frames_missed(SimDuration::from_millis(3)), 1);
+        assert_eq!(m.frames_missed(SimDuration::from_millis(4)), 2);
+        // A model update costs a few hundred frames of beam monitoring.
+        let missed = m.frames_missed(m.model_update());
+        assert!((50..2_000).contains(&missed), "{missed} frames");
+    }
+}

@@ -1,0 +1,142 @@
+//! HPS↔FPGA interconnect models: the Avalon-MM bridge the paper uses, and a
+//! DMA engine for the Table I comparison.
+//!
+//! The paper chose the lightweight memory-mapped bridge over DMA: "DMA is
+//! tailored for transferring large chunks of data at a time and its use in
+//! these ML hardware solutions results in higher latencies" (Sec. II). The
+//! two models below make that trade-off measurable: DMA amortizes a large
+//! setup cost over long bursts; the MM bridge pays a small per-word cost
+//! with zero setup.
+
+use reads_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The HPS-to-FPGA Avalon-MM bridge (CPU-driven, word-at-a-time).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AvalonBridge {
+    /// Nanoseconds per posted 32-bit write.
+    pub write_word_ns: f64,
+    /// Nanoseconds per non-posted 32-bit read.
+    pub read_word_ns: f64,
+}
+
+impl Default for AvalonBridge {
+    fn default() -> Self {
+        // Same constants as the HPS model; kept separate so interconnect
+        // experiments can vary them independently.
+        Self {
+            write_word_ns: 250.0,
+            read_word_ns: 350.0,
+        }
+    }
+}
+
+impl AvalonBridge {
+    /// Time to move `n_words` 32-bit words HPS→FPGA.
+    #[must_use]
+    pub fn write_time(&self, n_words: usize) -> SimDuration {
+        SimDuration::from_nanos((n_words as f64 * self.write_word_ns) as u64)
+    }
+
+    /// Time to move `n_words` 32-bit words FPGA→HPS.
+    #[must_use]
+    pub fn read_time(&self, n_words: usize) -> SimDuration {
+        SimDuration::from_nanos((n_words as f64 * self.read_word_ns) as u64)
+    }
+}
+
+/// A descriptor-based DMA engine (the transfer mechanism of the Table I
+/// related-work rows that report "DMA").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DmaEngine {
+    /// Driver/descriptor setup per transfer, µs (ioctl + descriptor write +
+    /// cache maintenance).
+    pub setup_us: f64,
+    /// Sustained beat rate: nanoseconds per 32-bit beat once streaming.
+    pub beat_ns: f64,
+    /// Completion-interrupt cost, µs.
+    pub completion_irq_us: f64,
+}
+
+impl Default for DmaEngine {
+    fn default() -> Self {
+        Self {
+            setup_us: 45.0,
+            beat_ns: 10.0, // 32 bit @ 100 MHz fabric
+            completion_irq_us: 100.0,
+        }
+    }
+}
+
+impl DmaEngine {
+    /// Total time for one DMA transfer of `n_words` 32-bit words.
+    #[must_use]
+    pub fn transfer_time(&self, n_words: usize) -> SimDuration {
+        let ns = self.setup_us * 1_000.0
+            + n_words as f64 * self.beat_ns
+            + self.completion_irq_us * 1_000.0;
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Words at which DMA starts beating the MM bridge for a round trip
+    /// (write there + read back), by bisection over the closed-form costs.
+    #[must_use]
+    pub fn crossover_words(&self, bridge: &AvalonBridge) -> usize {
+        let dma = |n: usize| 2 * self.transfer_time(n).as_nanos();
+        let mm = |n: usize| (bridge.write_time(n) + bridge.read_time(n)).as_nanos();
+        let mut n = 1usize;
+        while n < 1 << 24 {
+            if dma(n) <= mm(n) {
+                return n;
+            }
+            n *= 2;
+        }
+        usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_bridge_wins_at_frame_size() {
+        // The paper's frame: 130 words in, 260 words out. MM must beat DMA
+        // at this size — that is the design decision of Sec. IV-D.
+        let bridge = AvalonBridge::default();
+        let dma = DmaEngine::default();
+        let mm = bridge.write_time(130) + bridge.read_time(260);
+        let dma_t = dma.transfer_time(130) + dma.transfer_time(260);
+        assert!(
+            mm < dma_t,
+            "MM {} must beat DMA {} at frame size",
+            mm,
+            dma_t
+        );
+    }
+
+    #[test]
+    fn dma_wins_for_large_blocks() {
+        let bridge = AvalonBridge::default();
+        let dma = DmaEngine::default();
+        let n = 100_000;
+        assert!(dma.transfer_time(n) < bridge.write_time(n));
+    }
+
+    #[test]
+    fn crossover_is_between_frame_and_bulk() {
+        let bridge = AvalonBridge::default();
+        let dma = DmaEngine::default();
+        let x = dma.crossover_words(&bridge);
+        assert!(x > 390, "crossover {x} must exceed the 390-word frame");
+        assert!(x < 100_000, "crossover {x} must exist well below bulk sizes");
+    }
+
+    #[test]
+    fn transfer_times_scale_linearly() {
+        let bridge = AvalonBridge::default();
+        let t1 = bridge.write_time(100).as_nanos();
+        let t2 = bridge.write_time(200).as_nanos();
+        assert_eq!(t2, 2 * t1);
+    }
+}

@@ -1,0 +1,195 @@
+//! The control IP: the trigger/done/IRQ handshake FSM.
+//!
+//! "We also designed a dedicated control IP in HDL to handle the handshake
+//! between HPS and the U-Net IP" (Sec. IV-B). The FSM below is that
+//! component, driven by register accesses (as the HPS sees it) and by the
+//! U-Net IP's done pulse. The verification flow (Sec. IV-C step 1) tests
+//! this FSM exhaustively before it is combined with the IP — mirrored by
+//! the tests at the bottom.
+
+use serde::{Deserialize, Serialize};
+
+/// Control/status register map (32-bit registers, HPS-visible).
+pub mod regs {
+    /// Write 1 to arm and trigger the IP (Step 2 of Fig. 2).
+    pub const TRIGGER: usize = 0x0;
+    /// Read: 1 while the IP is running.
+    pub const BUSY: usize = 0x1;
+    /// Read: 1 when results are ready; cleared by `IRQ_ACK`.
+    pub const DONE: usize = 0x2;
+    /// Write 1 to acknowledge the completion interrupt (Step 7).
+    pub const IRQ_ACK: usize = 0x3;
+    /// Read: number of frames processed since reset.
+    pub const FRAME_COUNT: usize = 0x4;
+}
+
+/// FSM states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlState {
+    /// Waiting for a trigger.
+    Idle,
+    /// IP computing.
+    Running,
+    /// IP finished; interrupt line asserted until acknowledged.
+    DonePendingAck,
+}
+
+/// The control IP.
+#[derive(Debug, Clone)]
+pub struct ControlIp {
+    state: ControlState,
+    irq_line: bool,
+    frames: u32,
+    spurious_triggers: u32,
+}
+
+impl Default for ControlIp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ControlIp {
+    /// Power-on state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: ControlState::Idle,
+            irq_line: false,
+            frames: 0,
+            spurious_triggers: 0,
+        }
+    }
+
+    /// Current FSM state.
+    #[must_use]
+    pub fn state(&self) -> ControlState {
+        self.state
+    }
+
+    /// Level of the interrupt line to the HPS GIC.
+    #[must_use]
+    pub fn irq_asserted(&self) -> bool {
+        self.irq_line
+    }
+
+    /// Triggers observed while not idle (a software protocol violation the
+    /// hardware tolerates by ignoring; counted for diagnostics).
+    #[must_use]
+    pub fn spurious_triggers(&self) -> u32 {
+        self.spurious_triggers
+    }
+
+    /// HPS register write. Returns `true` if the write started the IP
+    /// (the caller then schedules the IP-done event).
+    pub fn write_reg(&mut self, reg: usize, value: u32) -> bool {
+        match (reg, value) {
+            (regs::TRIGGER, v) if v & 1 == 1 => {
+                if self.state == ControlState::Idle {
+                    self.state = ControlState::Running;
+                    true
+                } else {
+                    self.spurious_triggers += 1;
+                    false
+                }
+            }
+            (regs::IRQ_ACK, v) if v & 1 == 1 => {
+                if self.state == ControlState::DonePendingAck {
+                    self.state = ControlState::Idle;
+                    self.irq_line = false;
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// HPS register read.
+    #[must_use]
+    pub fn read_reg(&self, reg: usize) -> u32 {
+        match reg {
+            regs::BUSY => u32::from(self.state == ControlState::Running),
+            regs::DONE => u32::from(self.state == ControlState::DonePendingAck),
+            regs::FRAME_COUNT => self.frames,
+            _ => 0,
+        }
+    }
+
+    /// The U-Net IP's done pulse (Step 6): latch done, raise the IRQ.
+    ///
+    /// # Panics
+    /// Panics if the IP signals done while the controller never started it —
+    /// a wiring bug the HDL testbench would catch.
+    pub fn ip_done(&mut self) {
+        assert_eq!(
+            self.state,
+            ControlState::Running,
+            "done pulse while not running"
+        );
+        self.state = ControlState::DonePendingAck;
+        self.irq_line = true;
+        self.frames = self.frames.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_handshake_cycle() {
+        let mut c = ControlIp::new();
+        assert_eq!(c.state(), ControlState::Idle);
+        assert!(c.write_reg(regs::TRIGGER, 1), "trigger starts the IP");
+        assert_eq!(c.state(), ControlState::Running);
+        assert_eq!(c.read_reg(regs::BUSY), 1);
+        c.ip_done();
+        assert!(c.irq_asserted());
+        assert_eq!(c.read_reg(regs::DONE), 1);
+        c.write_reg(regs::IRQ_ACK, 1);
+        assert!(!c.irq_asserted());
+        assert_eq!(c.state(), ControlState::Idle);
+        assert_eq!(c.read_reg(regs::FRAME_COUNT), 1);
+    }
+
+    #[test]
+    fn double_trigger_ignored() {
+        let mut c = ControlIp::new();
+        assert!(c.write_reg(regs::TRIGGER, 1));
+        assert!(!c.write_reg(regs::TRIGGER, 1), "second trigger ignored");
+        assert_eq!(c.spurious_triggers(), 1);
+        assert_eq!(c.state(), ControlState::Running);
+    }
+
+    #[test]
+    fn ack_without_done_is_noop() {
+        let mut c = ControlIp::new();
+        c.write_reg(regs::IRQ_ACK, 1);
+        assert_eq!(c.state(), ControlState::Idle);
+        assert!(!c.irq_asserted());
+    }
+
+    #[test]
+    fn trigger_requires_bit0() {
+        let mut c = ControlIp::new();
+        assert!(!c.write_reg(regs::TRIGGER, 2));
+        assert_eq!(c.state(), ControlState::Idle);
+    }
+
+    #[test]
+    fn frame_counter_accumulates() {
+        let mut c = ControlIp::new();
+        for i in 0..5 {
+            assert!(c.write_reg(regs::TRIGGER, 1));
+            c.ip_done();
+            c.write_reg(regs::IRQ_ACK, 1);
+            assert_eq!(c.read_reg(regs::FRAME_COUNT), i + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "done pulse while not running")]
+    fn unsolicited_done_is_a_bug() {
+        ControlIp::new().ip_done();
+    }
+}

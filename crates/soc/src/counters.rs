@@ -1,0 +1,97 @@
+//! Performance counters.
+//!
+//! "We integrated ... performance counters to measure real latency through
+//! the platform designer facility of Quartus" (Sec. IV-B). A counter latches
+//! the fabric cycle count at named signal edges; reading the deltas gives
+//! the hardware-truth step latencies the paper's Fig. 5c derives from.
+
+use reads_sim::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// A set of named timestamp latches.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PerfCounters {
+    marks: Vec<(&'static str, SimTime)>,
+}
+
+impl PerfCounters {
+    /// Empty counter block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latches `name` at time `t`. Names may repeat across frames; readers
+    /// use the most recent pair.
+    pub fn mark(&mut self, name: &'static str, t: SimTime) {
+        self.marks.push((name, t));
+    }
+
+    /// Most recent timestamp for `name`.
+    #[must_use]
+    pub fn last(&self, name: &str) -> Option<SimTime> {
+        self.marks
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, t)| *t)
+    }
+
+    /// Duration between the most recent `from` and `to` marks.
+    ///
+    /// # Panics
+    /// Panics if either mark is missing or ordered backwards.
+    #[must_use]
+    pub fn span(&self, from: &str, to: &str) -> SimDuration {
+        let a = self.last(from).expect("missing 'from' mark");
+        let b = self.last(to).expect("missing 'to' mark");
+        b.since(a)
+    }
+
+    /// All recorded marks, in order.
+    #[must_use]
+    pub fn marks(&self) -> &[(&'static str, SimTime)] {
+        &self.marks
+    }
+
+    /// Clears history (between frames, to bound memory in long campaigns).
+    pub fn clear(&mut self) {
+        self.marks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_between_marks() {
+        let mut c = PerfCounters::new();
+        c.mark("start", SimTime(100));
+        c.mark("end", SimTime(350));
+        assert_eq!(c.span("start", "end").as_nanos(), 250);
+    }
+
+    #[test]
+    fn last_wins_on_repeat() {
+        let mut c = PerfCounters::new();
+        c.mark("tick", SimTime(1));
+        c.mark("tick", SimTime(9));
+        assert_eq!(c.last("tick"), Some(SimTime(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn missing_mark_panics() {
+        let _ = PerfCounters::new().span("a", "b");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = PerfCounters::new();
+        c.mark("x", SimTime(5));
+        c.clear();
+        assert!(c.last("x").is_none());
+        assert!(c.marks().is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Ethernet ingress/egress (Steps 0 and 9 of Fig. 2).
+//!
+//! The HPS's gigabit MAC receives the 7 hub packets and sends the ACNET
+//! verdict. These costs sit *outside* the paper's measured Steps 1–8 window
+//! but bound the sustainable frame rate together with the core pipeline.
+
+use reads_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Gigabit Ethernet + kernel network stack model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EthernetModel {
+    /// Link rate, bits per second.
+    pub link_bps: f64,
+    /// Fixed per-packet kernel stack cost (rx or tx), µs.
+    pub stack_us: f64,
+    /// Ethernet + IP + UDP framing overhead per packet, bytes.
+    pub framing_bytes: usize,
+}
+
+impl Default for EthernetModel {
+    fn default() -> Self {
+        Self {
+            link_bps: 1e9,
+            stack_us: 18.0,
+            framing_bytes: 46, // 14 eth + 20 ip + 8 udp + 4 fcs
+        }
+    }
+}
+
+impl EthernetModel {
+    /// Wire + stack time to receive one packet of `payload` bytes.
+    #[must_use]
+    pub fn packet_time(&self, payload: usize) -> SimDuration {
+        let bits = ((payload + self.framing_bytes) * 8) as f64;
+        SimDuration::from_nanos((bits / self.link_bps * 1e9 + self.stack_us * 1_000.0) as u64)
+    }
+
+    /// Time to ingest one full frame of 7 hub packets (sequential arrival
+    /// on one link; stack costs dominate).
+    #[must_use]
+    pub fn frame_ingest_time(&self, hub_payloads: &[usize]) -> SimDuration {
+        hub_payloads
+            .iter()
+            .map(|&p| self.packet_time(p))
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_frame_ingest_well_under_poll_period() {
+        // 7 hub packets of ~161 bytes each must ingest far faster than the
+        // 3 ms digitizer period, or the system could never keep up.
+        let eth = EthernetModel::default();
+        let payloads = [161usize; 7];
+        let t = eth.frame_ingest_time(&payloads);
+        assert!(
+            t.as_micros_f64() < 300.0,
+            "ingest {t} must be well under 3 ms"
+        );
+    }
+
+    #[test]
+    fn wire_time_scales_with_payload() {
+        let eth = EthernetModel::default();
+        let small = eth.packet_time(100);
+        let large = eth.packet_time(1400);
+        assert!(large > small);
+        // The delta is pure wire time: (1300 bytes × 8) / 1 Gbps = 10.4 µs.
+        let delta_us = (large - small).as_micros_f64();
+        assert!((delta_us - 10.4).abs() < 0.1, "delta {delta_us}");
+    }
+}

@@ -1,0 +1,51 @@
+//! `reads-soc` — a discrete-event simulator of the Achilles Arria 10 SoC
+//! central node.
+//!
+//! The paper's latency figures (Fig. 3, Fig. 5c, Tables I and III) are
+//! *system* latencies: Steps 1–8 of Fig. 2, from the HPS reading the float
+//! input in SDRAM, through the Avalon-MM bridge writes, the control-IP
+//! trigger handshake, the U-Net IP's compute, the completion interrupt, and
+//! the HPS reading the results back to SDRAM. This crate models each of
+//! those components:
+//!
+//! * [`ram`] — the two dual-port on-chip RAMs (16-bit IP port, 32-bit HPS
+//!   port) used as input/output buffers.
+//! * [`bridge`] — the HPS↔FPGA Avalon-MM bridge with per-word costs, plus a
+//!   DMA engine model for the Table I comparison against DMA-based designs.
+//! * [`control`] — the hand-written control IP: the trigger/done/IRQ
+//!   handshake FSM of Sec. IV-B, exercised cycle-by-cycle.
+//! * [`hps`] — the HPS software model: userspace bridge access costs,
+//!   interrupt delivery, and the Linux scheduler-preemption jitter that
+//!   produces Fig. 5c's >2 ms tail.
+//! * [`node`] — the central-node frame simulation: an event-driven run of
+//!   Steps 1–8 returning a per-step timing breakdown.
+//! * [`eth`] — the Ethernet ingress/egress (Steps 0 and 9): hub-packet wire
+//!   and kernel-stack costs.
+//! * [`counters`] — the performance counters the paper embedded in the
+//!   platform to "measure real latency".
+
+#![warn(missing_docs)]
+
+pub mod boot;
+pub mod bridge;
+pub mod control;
+pub mod counters;
+pub mod eth;
+pub mod hps;
+pub mod node;
+pub mod platform;
+pub mod ram;
+pub mod signaltap;
+
+pub use boot::{BootModel, BootStage};
+pub use bridge::{AvalonBridge, DmaEngine};
+pub use control::{ControlIp, ControlState};
+pub use hps::HpsModel;
+pub use node::{CentralNodeSim, FrameTiming, TapProbes};
+pub use signaltap::{SignalTap, SignalValue};
+pub use platform::{Component, Platform};
+pub use ram::DualPortRam;
+
+/// Re-export of the target device table (defined next to the resource
+/// estimator in `reads-hls4ml`).
+pub use reads_hls4ml::device::{Device, ARRIA10_10AS066};

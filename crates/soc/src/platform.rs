@@ -1,0 +1,296 @@
+//! The Platform-Designer subsystem model.
+//!
+//! "We integrated all the components: the U-Net IP, the input/output
+//! buffers, the control IP, and performance counters through the platform
+//! designer facility of Quartus" (Sec. IV-B). Platform Designer's job is
+//! interconnect generation: giving every component a window in the HPS
+//! bridge's address space and checking the wiring. This module models that
+//! assembly step — components with base addresses and spans, plus the
+//! validation Quartus performs (overlap, alignment, bridge-window bounds) —
+//! and resolves HPS bus addresses to `(component, offset)` the way the
+//! generated interconnect would.
+
+use serde::Serialize;
+use std::fmt;
+
+/// The lightweight HPS-to-FPGA bridge window on Arria 10 (2 MiB of the
+/// lightweight bridge is typical for control/status designs).
+pub const LW_BRIDGE_SPAN: u64 = 0x20_0000;
+
+/// A component hanging off the interconnect.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Component {
+    /// Instance name (platform-designer style, e.g. `unet_ip_0`).
+    pub name: String,
+    /// Base address within the bridge window.
+    pub base: u64,
+    /// Span in bytes.
+    pub span: u64,
+}
+
+impl Component {
+    fn end(&self) -> u64 {
+        self.base + self.span
+    }
+}
+
+/// Assembly errors Platform Designer would flag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum AssemblyError {
+    /// Two components' windows overlap.
+    Overlap {
+        /// First component.
+        a: String,
+        /// Second component.
+        b: String,
+    },
+    /// A base address is not aligned to the component's span rounded up to
+    /// a power of two (interconnect decoders need power-of-two alignment).
+    Misaligned {
+        /// Offending component.
+        name: String,
+    },
+    /// A component extends beyond the bridge window.
+    OutOfWindow {
+        /// Offending component.
+        name: String,
+    },
+    /// Duplicate instance name.
+    DuplicateName {
+        /// The name.
+        name: String,
+    },
+    /// Zero-span component.
+    EmptySpan {
+        /// The name.
+        name: String,
+    },
+}
+
+impl fmt::Display for AssemblyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssemblyError::Overlap { a, b } => write!(f, "address overlap: {a} vs {b}"),
+            AssemblyError::Misaligned { name } => write!(f, "misaligned base: {name}"),
+            AssemblyError::OutOfWindow { name } => write!(f, "outside bridge window: {name}"),
+            AssemblyError::DuplicateName { name } => write!(f, "duplicate instance: {name}"),
+            AssemblyError::EmptySpan { name } => write!(f, "empty span: {name}"),
+        }
+    }
+}
+
+/// A validated subsystem.
+#[derive(Debug, Clone, Serialize)]
+pub struct Platform {
+    components: Vec<Component>,
+}
+
+impl Platform {
+    /// Validates and builds the platform.
+    ///
+    /// # Errors
+    /// Returns every problem found (not just the first), so a bring-up
+    /// engineer fixes the whole map in one pass.
+    pub fn assemble(components: Vec<Component>) -> Result<Self, Vec<AssemblyError>> {
+        let mut errors = Vec::new();
+        for (i, c) in components.iter().enumerate() {
+            if c.span == 0 {
+                errors.push(AssemblyError::EmptySpan {
+                    name: c.name.clone(),
+                });
+                continue;
+            }
+            let align = c.span.next_power_of_two();
+            if c.base % align != 0 {
+                errors.push(AssemblyError::Misaligned {
+                    name: c.name.clone(),
+                });
+            }
+            if c.end() > LW_BRIDGE_SPAN {
+                errors.push(AssemblyError::OutOfWindow {
+                    name: c.name.clone(),
+                });
+            }
+            for other in &components[i + 1..] {
+                if c.name == other.name {
+                    errors.push(AssemblyError::DuplicateName {
+                        name: c.name.clone(),
+                    });
+                }
+                if c.base < other.end() && other.base < c.end() {
+                    errors.push(AssemblyError::Overlap {
+                        a: c.name.clone(),
+                        b: other.name.clone(),
+                    });
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(Self { components })
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// The paper's central-node subsystem: control registers, input buffer
+    /// (260 × 16 bit behind a 32-bit port), output buffer (520 × 16 bit)
+    /// and the performance counters.
+    #[must_use]
+    pub fn reads_central_node() -> Self {
+        Self::assemble(vec![
+            Component {
+                name: "control_ip".into(),
+                base: 0x0000,
+                span: 0x40,
+            },
+            Component {
+                name: "perf_counters".into(),
+                base: 0x0040,
+                span: 0x40,
+            },
+            Component {
+                name: "input_buffer".into(),
+                base: 0x1000,
+                span: 0x1000, // 260 x 2 B rounded into a 4 KiB page
+            },
+            Component {
+                name: "output_buffer".into(),
+                base: 0x2000,
+                span: 0x1000, // 520 x 2 B
+            },
+        ])
+        .expect("the reference platform must validate")
+    }
+
+    /// Resolves a bus address to `(component name, byte offset)`.
+    #[must_use]
+    pub fn decode(&self, address: u64) -> Option<(&str, u64)> {
+        self.components
+            .iter()
+            .find(|c| address >= c.base && address < c.end())
+            .map(|c| (c.name.as_str(), address - c.base))
+    }
+
+    /// Components of the platform.
+    #[must_use]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Renders a platform-designer-style address map listing.
+    #[must_use]
+    pub fn address_map(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<16} {:>10} {:>10}", "instance", "base", "end");
+        let mut sorted: Vec<&Component> = self.components.iter().collect();
+        sorted.sort_by_key(|c| c.base);
+        for c in sorted {
+            let _ = writeln!(
+                out,
+                "{:<16} {:#10x} {:#10x}",
+                c.name,
+                c.base,
+                c.end() - 1
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_platform_validates_and_decodes() {
+        let p = Platform::reads_central_node();
+        assert_eq!(p.components().len(), 4);
+        assert_eq!(p.decode(0x0000), Some(("control_ip", 0)));
+        assert_eq!(p.decode(0x0044), Some(("perf_counters", 4)));
+        assert_eq!(p.decode(0x1104), Some(("input_buffer", 0x104)));
+        assert_eq!(p.decode(0x2FFF), Some(("output_buffer", 0xFFF)));
+        assert_eq!(p.decode(0x3000), None, "hole after the output buffer");
+        let map = p.address_map();
+        assert!(map.contains("input_buffer"));
+        assert!(map.contains("0x1000"));
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let errs = Platform::assemble(vec![
+            Component {
+                name: "a".into(),
+                base: 0x0,
+                span: 0x100,
+            },
+            Component {
+                name: "b".into(),
+                base: 0x80,
+                span: 0x100,
+            },
+        ])
+        .unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AssemblyError::Overlap { .. })));
+        // b is also misaligned for its 0x100 span.
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AssemblyError::Misaligned { name } if name == "b")));
+    }
+
+    #[test]
+    fn window_bound_checked() {
+        let errs = Platform::assemble(vec![Component {
+            name: "huge".into(),
+            base: 0x0,
+            span: LW_BRIDGE_SPAN + 4,
+        }])
+        .unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AssemblyError::OutOfWindow { .. })));
+    }
+
+    #[test]
+    fn duplicates_and_empty_spans_rejected() {
+        let errs = Platform::assemble(vec![
+            Component {
+                name: "x".into(),
+                base: 0x0,
+                span: 0x10,
+            },
+            Component {
+                name: "x".into(),
+                base: 0x100,
+                span: 0,
+            },
+        ])
+        .unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AssemblyError::DuplicateName { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AssemblyError::EmptySpan { .. })));
+    }
+
+    #[test]
+    fn all_errors_reported_at_once() {
+        let errs = Platform::assemble(vec![
+            Component {
+                name: "a".into(),
+                base: 0x4,
+                span: 0x100,
+            }, // misaligned
+            Component {
+                name: "b".into(),
+                base: LW_BRIDGE_SPAN,
+                span: 0x100,
+            }, // out of window
+        ])
+        .unwrap_err();
+        assert!(errs.len() >= 2, "{errs:?}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Dual-port on-chip RAM buffers.
+//!
+//! "Two dual-port RAMs serve as [input/output] buffers, a 16-bit data port
+//! is used for communication with the U-Net IP, and a 32-bit port is used
+//! for the communication with the HPS." (Sec. IV-D). Backing storage is an
+//! array of 16-bit words; the HPS port packs two words per access.
+
+/// A dual-port RAM of `n` 16-bit words.
+#[derive(Debug, Clone)]
+pub struct DualPortRam {
+    words: Vec<u16>,
+}
+
+impl DualPortRam {
+    /// Zero-initialized RAM of `n` 16-bit words.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            words: vec![0; n],
+        }
+    }
+
+    /// Capacity in 16-bit words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the RAM has zero capacity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// IP-port read (16-bit).
+    ///
+    /// # Panics
+    /// Panics on out-of-range address — address decode in hardware would
+    /// alias; the simulator treats it as a wiring bug.
+    #[must_use]
+    pub fn read16(&self, addr: usize) -> u16 {
+        self.words[addr]
+    }
+
+    /// IP-port write (16-bit).
+    pub fn write16(&mut self, addr: usize, value: u16) {
+        self.words[addr] = value;
+    }
+
+    /// HPS-port read (32-bit, little-endian pair of 16-bit words at
+    /// `2*word_addr`).
+    #[must_use]
+    pub fn read32(&self, word_addr: usize) -> u32 {
+        let lo = u32::from(self.words[2 * word_addr]);
+        let hi = u32::from(self.words[2 * word_addr + 1]);
+        (hi << 16) | lo
+    }
+
+    /// HPS-port write (32-bit).
+    pub fn write32(&mut self, word_addr: usize, value: u32) {
+        self.words[2 * word_addr] = (value & 0xFFFF) as u16;
+        self.words[2 * word_addr + 1] = (value >> 16) as u16;
+    }
+
+    /// Writes a slice of 16-bit values through the HPS 32-bit port,
+    /// returning the number of 32-bit transfers performed (the count the
+    /// latency model charges for).
+    pub fn store_frame(&mut self, values: &[u16]) -> usize {
+        assert!(values.len() <= self.words.len(), "frame exceeds buffer");
+        let mut transfers = 0;
+        for (i, pair) in values.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                self.write32(i, (u32::from(pair[1]) << 16) | u32::from(pair[0]));
+            } else {
+                // Trailing half word of an odd-length frame: the bridge
+                // still issues one (byte-enabled) 32-bit transfer.
+                self.write16(2 * i, pair[0]);
+            }
+            transfers += 1;
+        }
+        transfers
+    }
+
+    /// Reads `n` 16-bit values through the HPS port; returns values and the
+    /// number of 32-bit transfers.
+    #[must_use]
+    pub fn load_frame(&self, n: usize) -> (Vec<u16>, usize) {
+        assert!(n <= self.words.len());
+        let mut out = Vec::with_capacity(n);
+        let mut transfers = 0;
+        let mut i = 0;
+        while out.len() < n {
+            transfers += 1;
+            if n - out.len() == 1 {
+                // Trailing half word (odd frame): byte-enabled access.
+                out.push(self.read16(2 * i));
+            } else {
+                let w = self.read32(i);
+                out.push((w & 0xFFFF) as u16);
+                out.push((w >> 16) as u16);
+            }
+            i += 1;
+        }
+        (out, transfers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_alias_same_storage() {
+        let mut ram = DualPortRam::new(4);
+        ram.write32(0, 0xBEEF_1234);
+        assert_eq!(ram.read16(0), 0x1234);
+        assert_eq!(ram.read16(1), 0xBEEF);
+        ram.write16(2, 0xAA55);
+        assert_eq!(ram.read32(1) & 0xFFFF, 0xAA55);
+    }
+
+    #[test]
+    fn store_frame_counts_transfers() {
+        let mut ram = DualPortRam::new(260);
+        let vals: Vec<u16> = (0..260).map(|i| i as u16).collect();
+        let transfers = ram.store_frame(&vals);
+        assert_eq!(transfers, 130);
+        assert_eq!(ram.read16(259), 259);
+    }
+
+    #[test]
+    fn odd_length_frame() {
+        let mut ram = DualPortRam::new(6);
+        let transfers = ram.store_frame(&[1, 2, 3]);
+        assert_eq!(transfers, 2);
+        let (vals, rt) = ram.load_frame(3);
+        assert_eq!(vals, vec![1, 2, 3]);
+        assert_eq!(rt, 2);
+    }
+
+    #[test]
+    fn load_roundtrip_520() {
+        let mut ram = DualPortRam::new(520);
+        let vals: Vec<u16> = (0..520).map(|i| (i * 7) as u16).collect();
+        ram.store_frame(&vals);
+        let (back, transfers) = ram.load_frame(520);
+        assert_eq!(back, vals);
+        assert_eq!(transfers, 260);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn overflow_rejected() {
+        DualPortRam::new(2).store_frame(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,254 @@
+//! A SignalTap-style embedded logic analyzer.
+//!
+//! The paper debugs the FPGA side "by monitoring real-time signals via the
+//! SignalTap utility" (Sec. IV-C). This module is that instrument for the
+//! simulator: components record signal transitions against simulation time,
+//! and the capture exports as a VCD (value-change dump) readable by GTKWave
+//! or any waveform viewer.
+
+use reads_sim::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Value of a traced signal at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalValue {
+    /// Single-bit signal.
+    Bit(bool),
+    /// Multi-bit bus (up to 64 bits).
+    Bus(u64),
+}
+
+/// One signal's declaration and transition history.
+#[derive(Debug, Clone)]
+struct Trace {
+    name: String,
+    width: u32,
+    changes: Vec<(SimTime, SignalValue)>,
+}
+
+/// The capture buffer.
+#[derive(Debug, Clone, Default)]
+pub struct SignalTap {
+    traces: Vec<Trace>,
+}
+
+/// Handle to a declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalId(usize);
+
+impl SignalTap {
+    /// Empty capture.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a single-bit signal.
+    pub fn add_bit(&mut self, name: &str) -> SignalId {
+        self.declare(name, 1)
+    }
+
+    /// Declares a bus of `width` bits (≤ 64).
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds 64, or the name duplicates an
+    /// existing signal.
+    pub fn declare(&mut self, name: &str, width: u32) -> SignalId {
+        assert!((1..=64).contains(&width), "bus width {width}");
+        assert!(
+            self.traces.iter().all(|t| t.name != name),
+            "duplicate signal {name}"
+        );
+        self.traces.push(Trace {
+            name: name.to_string(),
+            width,
+            changes: Vec::new(),
+        });
+        SignalId(self.traces.len() - 1)
+    }
+
+    /// Records a transition. Out-of-order timestamps are a component bug.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the signal's last recorded change, or a bus
+    /// value exceeds the declared width.
+    pub fn record(&mut self, id: SignalId, t: SimTime, value: SignalValue) {
+        let trace = &mut self.traces[id.0];
+        if let Some((last, _)) = trace.changes.last() {
+            assert!(*last <= t, "out-of-order transition on {}", trace.name);
+        }
+        match value {
+            SignalValue::Bit(_) => assert_eq!(trace.width, 1, "bit write to bus {}", trace.name),
+            SignalValue::Bus(v) => assert!(
+                trace.width == 64 || v < (1u64 << trace.width),
+                "value {v} exceeds {}-bit bus {}",
+                trace.width,
+                trace.name
+            ),
+        }
+        // Suppress no-op transitions (same value) to keep captures compact.
+        if trace.changes.last().map(|(_, v)| *v) != Some(value) {
+            trace.changes.push((t, value));
+        }
+    }
+
+    /// Number of declared signals.
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total recorded transitions.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.traces.iter().map(|t| t.changes.len()).sum()
+    }
+
+    /// Value of a signal at time `t` (last change at or before `t`).
+    #[must_use]
+    pub fn value_at(&self, id: SignalId, t: SimTime) -> Option<SignalValue> {
+        let trace = &self.traces[id.0];
+        let idx = trace.changes.partition_point(|(ct, _)| *ct <= t);
+        idx.checked_sub(1).map(|i| trace.changes[i].1)
+    }
+
+    /// Exports the capture as a VCD document (1 ns timescale).
+    #[must_use]
+    pub fn to_vcd(&self, module: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$date reads-soc signaltap capture $end");
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module {module} $end");
+        for (i, t) in self.traces.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                t.width,
+                vcd_id(i),
+                t.name
+            );
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+
+        // Merge all transitions into a single time-ordered stream.
+        let mut timeline: BTreeMap<u64, Vec<(usize, SignalValue)>> = BTreeMap::new();
+        for (i, t) in self.traces.iter().enumerate() {
+            for (at, v) in &t.changes {
+                timeline.entry(at.as_nanos()).or_default().push((i, *v));
+            }
+        }
+        for (t, changes) in timeline {
+            let _ = writeln!(out, "#{t}");
+            for (i, v) in changes {
+                match v {
+                    SignalValue::Bit(b) => {
+                        let _ = writeln!(out, "{}{}", u8::from(b), vcd_id(i));
+                    }
+                    SignalValue::Bus(x) => {
+                        let _ = writeln!(out, "b{x:b} {}", vcd_id(i));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// VCD identifier characters (printable ASCII, starting at `!`).
+fn vcd_id(i: usize) -> String {
+    // Base-94 encoding over '!'..='~'.
+    let mut n = i;
+    let mut s = String::new();
+    loop {
+        s.push(char::from(b'!' + (n % 94) as u8));
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries_transitions() {
+        let mut tap = SignalTap::new();
+        let trig = tap.add_bit("trigger");
+        tap.record(trig, SimTime(10), SignalValue::Bit(true));
+        tap.record(trig, SimTime(20), SignalValue::Bit(false));
+        assert_eq!(tap.value_at(trig, SimTime(5)), None);
+        assert_eq!(tap.value_at(trig, SimTime(10)), Some(SignalValue::Bit(true)));
+        assert_eq!(tap.value_at(trig, SimTime(15)), Some(SignalValue::Bit(true)));
+        assert_eq!(tap.value_at(trig, SimTime(25)), Some(SignalValue::Bit(false)));
+    }
+
+    #[test]
+    fn suppresses_noop_transitions() {
+        let mut tap = SignalTap::new();
+        let s = tap.add_bit("x");
+        tap.record(s, SimTime(1), SignalValue::Bit(true));
+        tap.record(s, SimTime(2), SignalValue::Bit(true));
+        tap.record(s, SimTime(3), SignalValue::Bit(false));
+        assert_eq!(tap.transition_count(), 2);
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let mut tap = SignalTap::new();
+        let trig = tap.add_bit("trigger");
+        let state = tap.declare("state", 2);
+        tap.record(trig, SimTime(0), SignalValue::Bit(false));
+        tap.record(state, SimTime(0), SignalValue::Bus(0));
+        tap.record(trig, SimTime(100), SignalValue::Bit(true));
+        tap.record(state, SimTime(110), SignalValue::Bus(1));
+        let vcd = tap.to_vcd("central_node");
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$var wire 1 ! trigger $end"));
+        assert!(vcd.contains("$var wire 2 \" state $end"));
+        assert!(vcd.contains("#100"));
+        assert!(vcd.contains("b1 \""));
+        // Header before any timestamped section.
+        let defs = vcd.find("$enddefinitions").expect("defs");
+        let first_time = vcd.find('#').expect("time");
+        assert!(defs < first_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn rejects_time_travel() {
+        let mut tap = SignalTap::new();
+        let s = tap.add_bit("x");
+        tap.record(s, SimTime(10), SignalValue::Bit(true));
+        tap.record(s, SimTime(5), SignalValue::Bit(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2-bit bus")]
+    fn rejects_oversized_bus_value() {
+        let mut tap = SignalTap::new();
+        let s = tap.declare("st", 2);
+        tap.record(s, SimTime(0), SignalValue::Bus(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal")]
+    fn rejects_duplicate_names() {
+        let mut tap = SignalTap::new();
+        tap.add_bit("x");
+        tap.add_bit("x");
+    }
+
+    #[test]
+    fn vcd_ids_unique_for_many_signals() {
+        let ids: Vec<String> = (0..200).map(vcd_id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200);
+    }
+}

@@ -1,0 +1,188 @@
+//! Activations and the firmware sigmoid lookup table.
+
+use serde::{Deserialize, Serialize};
+
+/// Activation functions used by the READS models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Pass-through.
+    Linear,
+    /// `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid `1 / (1 + e^-x)` — the output stage of both models.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Forward evaluation.
+    #[inline]
+    #[must_use]
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => sigmoid(x),
+        }
+    }
+
+    /// Derivative with respect to the *pre-activation* input, expressed in
+    /// terms of the forward output `y` (the form backprop wants: for sigmoid
+    /// `y(1−y)`, for ReLU the indicator of `y > 0`).
+    #[inline]
+    #[must_use]
+    pub fn derivative_from_output(&self, y: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+/// Exact logistic sigmoid.
+#[inline]
+#[must_use]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The sigmoid lookup table hls4ml synthesizes in firmware.
+///
+/// hls4ml implements non-linear activations as a table over a bounded input
+/// range (default ±8 with 1024 entries), indexed by the quantized
+/// pre-activation; out-of-range inputs clamp to the table ends. This is one
+/// of the quantization error sources the paper's accuracy comparison against
+/// Keras sees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SigmoidTable {
+    table: Vec<f64>,
+    range: f64,
+}
+
+impl SigmoidTable {
+    /// The hls4ml defaults: 1024 entries spanning `[-8, 8)`.
+    #[must_use]
+    pub fn hls_default() -> Self {
+        Self::new(1024, 8.0)
+    }
+
+    /// Table with `entries` points over `[-range, range)`, each entry holding
+    /// the sigmoid of its bin's lower edge (hls4ml's indexing convention).
+    ///
+    /// # Panics
+    /// Panics unless `entries >= 2` and `range > 0`.
+    #[must_use]
+    pub fn new(entries: usize, range: f64) -> Self {
+        assert!(entries >= 2 && range > 0.0);
+        let table = (0..entries)
+            .map(|i| {
+                let x = -range + (2.0 * range) * (i as f64) / (entries as f64);
+                sigmoid(x)
+            })
+            .collect();
+        Self { table, range }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Table lookup (nearest-bin, clamped) — the firmware evaluation.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.table.len() as f64;
+        let idx = ((x + self.range) / (2.0 * self.range) * n).floor();
+        let idx = (idx.max(0.0) as usize).min(self.table.len() - 1);
+        self.table[idx]
+    }
+
+    /// Worst-case absolute error of the table against the exact sigmoid,
+    /// probed on a dense grid (used by tests and the verification flow).
+    #[must_use]
+    pub fn max_error_on_grid(&self, probes: usize) -> f64 {
+        (0..probes)
+            .map(|i| {
+                let x = -self.range + 2.0 * self.range * (i as f64) / (probes as f64);
+                (self.eval(x) - sigmoid(x)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_known_points() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-100.0) < 1e-12);
+        // Symmetry.
+        assert!((sigmoid(1.3) + sigmoid(-1.3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_and_linear() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Linear.apply(-2.5), -2.5);
+    }
+
+    #[test]
+    fn derivatives_from_output() {
+        assert_eq!(Activation::Linear.derivative_from_output(5.0), 1.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(2.0), 1.0);
+        let y = sigmoid(0.7);
+        assert!((Activation::Sigmoid.derivative_from_output(y) - y * (1.0 - y)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sigmoid_derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for &x in &[-3.0, -0.5, 0.0, 0.8, 2.5] {
+            let numeric = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            let analytic = Activation::Sigmoid.derivative_from_output(sigmoid(x));
+            assert!((numeric - analytic).abs() < 1e-8, "x={x}");
+        }
+    }
+
+    #[test]
+    fn table_tracks_sigmoid_within_bin_width() {
+        let t = SigmoidTable::hls_default();
+        // Max slope of sigmoid is 1/4; bin width is 16/1024; the nearest-edge
+        // scheme errs at most one bin of input, i.e. ~0.0039.
+        let err = t.max_error_on_grid(10_000);
+        assert!(err <= 16.0 / 1024.0 * 0.25 + 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn table_clamps_out_of_range() {
+        let t = SigmoidTable::hls_default();
+        assert_eq!(t.eval(1e9), t.eval(7.999));
+        assert_eq!(t.eval(-1e9), t.eval(-8.0));
+        assert!(t.eval(1e9) > 0.999);
+        assert!(t.eval(-1e9) < 0.001);
+    }
+
+    #[test]
+    fn table_monotone() {
+        let t = SigmoidTable::new(256, 8.0);
+        let mut prev = -1.0;
+        for i in 0..1000 {
+            let x = -10.0 + i as f64 * 0.02;
+            let y = t.eval(x);
+            assert!(y >= prev);
+            prev = y;
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Rayon-parallel batch helpers.
+//!
+//! Dataset generation, accuracy sweeps and Monte-Carlo latency campaigns all
+//! evaluate an independent function over thousands of frames; these helpers
+//! centralize the parallel-iterator plumbing so call sites stay sequential in
+//! shape (per the guide: `iter()` → `par_iter()` and nothing else changes).
+
+use rayon::prelude::*;
+
+/// Applies `f` to every item in parallel, preserving order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync + Send,
+{
+    items.par_iter().map(f).collect()
+}
+
+/// Applies `f` to every index `0..n` in parallel, preserving order.
+///
+/// Used where each replica needs its own seed: `par_map_indexed(n, |i|
+/// run(seed_base + i))` keeps determinism regardless of thread scheduling.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync + Send,
+{
+    (0..n).into_par_iter().map(f).collect()
+}
+
+/// Parallel fold-and-merge: maps items to accumulators and merges them with
+/// `merge`. `init` must produce a neutral element.
+pub fn par_accumulate<T, A, FM, FMerge, FInit>(items: &[T], init: FInit, map: FM, merge: FMerge) -> A
+where
+    T: Sync,
+    A: Send,
+    FInit: Fn() -> A + Sync + Send,
+    FM: Fn(A, &T) -> A + Sync + Send,
+    FMerge: Fn(A, A) -> A + Sync + Send,
+{
+    items
+        .par_iter()
+        .fold(&init, &map)
+        .reduce(&init, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys = par_map(&xs, |&x| x * 2);
+        assert_eq!(ys, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_indexed_deterministic() {
+        let a = par_map_indexed(500, |i| i as u64 * 3);
+        let b = par_map_indexed(500, |i| i as u64 * 3);
+        assert_eq!(a, b);
+        assert_eq!(a[499], 1497);
+    }
+
+    #[test]
+    fn par_accumulate_sums() {
+        let xs: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let total = par_accumulate(&xs, || 0.0f64, |acc, &x| acc + x, |a, b| a + b);
+        let expect = 9999.0 * 10_000.0 / 2.0;
+        assert!((total - expect).abs() < 1e-6);
+    }
+}

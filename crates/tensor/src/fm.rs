@@ -1,0 +1,167 @@
+//! 1-D feature maps.
+
+use serde::{Deserialize, Serialize};
+
+/// A 1-D feature map of `len` positions × `channels` channels,
+/// position-major (`data[pos * channels + ch]`) — the layout a streaming
+/// hls4ml conv kernel consumes, one position per beat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMap {
+    len: usize,
+    channels: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMap {
+    /// Zero-filled map.
+    #[must_use]
+    pub fn zeros(len: usize, channels: usize) -> Self {
+        Self {
+            len,
+            channels,
+            data: vec![0.0; len * channels],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != len * channels`.
+    #[must_use]
+    pub fn from_vec(len: usize, channels: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), len * channels, "feature map shape mismatch");
+        Self {
+            len,
+            channels,
+            data,
+        }
+    }
+
+    /// A single-channel map from a plain signal.
+    #[must_use]
+    pub fn from_signal(signal: &[f64]) -> Self {
+        Self {
+            len: signal.len(),
+            channels: 1,
+            data: signal.to_vec(),
+        }
+    }
+
+    /// Number of positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map has no positions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Value at `(pos, ch)`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, pos: usize, ch: usize) -> f64 {
+        debug_assert!(pos < self.len && ch < self.channels);
+        self.data[pos * self.channels + ch]
+    }
+
+    /// Mutable value at `(pos, ch)`.
+    #[inline]
+    pub fn get_mut(&mut self, pos: usize, ch: usize) -> &mut f64 {
+        debug_assert!(pos < self.len && ch < self.channels);
+        &mut self.data[pos * self.channels + ch]
+    }
+
+    /// Sets `(pos, ch)`.
+    #[inline]
+    pub fn set(&mut self, pos: usize, ch: usize, v: f64) {
+        *self.get_mut(pos, ch) = v;
+    }
+
+    /// All channel values at one position.
+    #[must_use]
+    pub fn position(&self, pos: usize) -> &[f64] {
+        &self.data[pos * self.channels..(pos + 1) * self.channels]
+    }
+
+    /// The flat position-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes into the flat buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Largest absolute value (0 for an empty map) — the profiling statistic
+    /// behind the paper's layer-based precision.
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_position_major() {
+        let mut fm = FeatureMap::zeros(3, 2);
+        fm.set(1, 0, 10.0);
+        fm.set(1, 1, 11.0);
+        assert_eq!(fm.as_slice(), &[0.0, 0.0, 10.0, 11.0, 0.0, 0.0]);
+        assert_eq!(fm.position(1), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn from_signal_single_channel() {
+        let fm = FeatureMap::from_signal(&[1.0, 2.0, 3.0]);
+        assert_eq!(fm.len(), 3);
+        assert_eq!(fm.channels(), 1);
+        assert_eq!(fm.get(2, 0), 3.0);
+    }
+
+    #[test]
+    fn max_abs() {
+        let fm = FeatureMap::from_vec(2, 2, vec![1.0, -5.0, 2.0, 3.0]);
+        assert_eq!(fm.max_abs(), 5.0);
+        assert_eq!(FeatureMap::zeros(0, 4).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn map_inplace() {
+        let mut fm = FeatureMap::from_signal(&[1.0, -2.0]);
+        fm.map_inplace(|x| x * x);
+        assert_eq!(fm.as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_vec_validates() {
+        let _ = FeatureMap::from_vec(3, 2, vec![0.0; 5]);
+    }
+}

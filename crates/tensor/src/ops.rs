@@ -1,0 +1,291 @@
+//! Forward kernels: GEMV, conv1d, pooling, upsampling, concatenation.
+//!
+//! These are the float reference implementations against which the quantized
+//! firmware (`reads-hls4ml`) is verified, exactly as the paper verifies each
+//! HLS stage against "the expected Keras outputs" (Sec. IV-C).
+
+use crate::fm::FeatureMap;
+use crate::mat::Mat;
+
+/// `y = W·x + b` where `W` is `out × in`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // r indexes rows of W and y together
+pub fn gemv(w: &Mat, x: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(w.cols(), x.len(), "gemv: W cols vs x");
+    assert_eq!(w.rows(), b.len(), "gemv: W rows vs b");
+    let mut y = Vec::with_capacity(w.rows());
+    for r in 0..w.rows() {
+        let row = w.row(r);
+        let mut acc = b[r];
+        // Iterator zip lets LLVM elide bounds checks and vectorize.
+        acc += row.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>();
+        y.push(acc);
+    }
+    y
+}
+
+/// Same-padded 1-D convolution, stride 1.
+///
+/// `kernels` is `out_ch` matrices of shape `k × in_ch` flattened into one
+/// `Mat` of shape `out_ch × (k * in_ch)`, matching the im2col view an hls4ml
+/// conv kernel uses (each output position is a dense product over the
+/// `k × in_ch` receptive field). `bias` has `out_ch` entries. Positions
+/// outside the input contribute zero (Keras `padding="same"`).
+///
+/// # Panics
+/// Panics on shape mismatch or even kernel size (same-padding needs odd `k`).
+#[must_use]
+#[allow(clippy::needless_range_loop)] // position/tap indices couple several buffers
+pub fn conv1d_same(input: &FeatureMap, kernels: &Mat, bias: &[f64], k: usize) -> FeatureMap {
+    assert!(k % 2 == 1, "same-padded conv needs odd kernel size");
+    let in_ch = input.channels();
+    let out_ch = kernels.rows();
+    assert_eq!(kernels.cols(), k * in_ch, "conv1d: kernel width");
+    assert_eq!(bias.len(), out_ch, "conv1d: bias length");
+    let half = k / 2;
+    let len = input.len();
+    let mut out = FeatureMap::zeros(len, out_ch);
+    for pos in 0..len {
+        for oc in 0..out_ch {
+            let kr = kernels.row(oc);
+            let mut acc = bias[oc];
+            for tap in 0..k {
+                // Signed arithmetic for the boundary; casts are safe because
+                // len, pos, tap, half are all small.
+                let ipos = pos as isize + tap as isize - half as isize;
+                if ipos < 0 || ipos >= len as isize {
+                    continue;
+                }
+                let xs = input.position(ipos as usize);
+                let ws = &kr[tap * in_ch..(tap + 1) * in_ch];
+                acc += ws.iter().zip(xs).map(|(w, x)| w * x).sum::<f64>();
+            }
+            out.set(pos, oc, acc);
+        }
+    }
+    out
+}
+
+/// Max pooling with window = stride = `pool`. Returns the pooled map and the
+/// argmax offsets (within each window, per channel) needed for backprop.
+///
+/// # Panics
+/// Panics unless `pool` divides the input length (the READS U-Net pools
+/// 260 → 130 → 65 exactly).
+#[must_use]
+pub fn maxpool1d(input: &FeatureMap, pool: usize) -> (FeatureMap, Vec<u8>) {
+    assert!(pool >= 1);
+    assert_eq!(
+        input.len() % pool,
+        0,
+        "pooling window must divide input length"
+    );
+    let out_len = input.len() / pool;
+    let ch = input.channels();
+    let mut out = FeatureMap::zeros(out_len, ch);
+    let mut argmax = vec![0u8; out_len * ch];
+    for opos in 0..out_len {
+        for c in 0..ch {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_off = 0u8;
+            for off in 0..pool {
+                let v = input.get(opos * pool + off, c);
+                if v > best {
+                    best = v;
+                    best_off = off as u8;
+                }
+            }
+            out.set(opos, c, best);
+            argmax[opos * ch + c] = best_off;
+        }
+    }
+    (out, argmax)
+}
+
+/// Nearest-neighbour upsampling by `factor` (Keras `UpSampling1D`).
+#[must_use]
+pub fn upsample1d(input: &FeatureMap, factor: usize) -> FeatureMap {
+    assert!(factor >= 1);
+    let ch = input.channels();
+    let mut out = FeatureMap::zeros(input.len() * factor, ch);
+    for pos in 0..input.len() {
+        for rep in 0..factor {
+            for c in 0..ch {
+                out.set(pos * factor + rep, c, input.get(pos, c));
+            }
+        }
+    }
+    out
+}
+
+/// Channel concatenation `[a | b]` (U-Net skip connections).
+///
+/// # Panics
+/// Panics if the maps have different lengths.
+#[must_use]
+pub fn concat_channels(a: &FeatureMap, b: &FeatureMap) -> FeatureMap {
+    assert_eq!(a.len(), b.len(), "concat: length mismatch");
+    let mut out = FeatureMap::zeros(a.len(), a.channels() + b.channels());
+    for pos in 0..a.len() {
+        for c in 0..a.channels() {
+            out.set(pos, c, a.get(pos, c));
+        }
+        for c in 0..b.channels() {
+            out.set(pos, a.channels() + c, b.get(pos, c));
+        }
+    }
+    out
+}
+
+/// Inference-mode batch normalization:
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta`, per channel.
+///
+/// # Panics
+/// Panics if the per-channel parameter slices mismatch the channel count.
+#[must_use]
+pub fn batchnorm1d(
+    input: &FeatureMap,
+    gamma: &[f64],
+    beta: &[f64],
+    mean: &[f64],
+    var: &[f64],
+    eps: f64,
+) -> FeatureMap {
+    let ch = input.channels();
+    assert!(
+        gamma.len() == ch && beta.len() == ch && mean.len() == ch && var.len() == ch,
+        "batchnorm: per-channel parameter mismatch"
+    );
+    let mut out = FeatureMap::zeros(input.len(), ch);
+    for c in 0..ch {
+        let scale = gamma[c] / (var[c] + eps).sqrt();
+        let shift = beta[c] - mean[c] * scale;
+        for pos in 0..input.len() {
+            out.set(pos, c, input.get(pos, c) * scale + shift);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemv_known() {
+        let w = Mat::from_vec(2, 3, vec![1., 0., 2., -1., 1., 0.]);
+        let y = gemv(&w, &[3., 4., 5.], &[10., 20.]);
+        assert_eq!(y, vec![10. + 3. + 10., 20. - 3. + 4.]);
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // k=1 conv with identity weights is a passthrough.
+        let input = FeatureMap::from_vec(4, 2, vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let kernels = Mat::from_vec(2, 2, vec![1., 0., 0., 1.]); // out0<-in0, out1<-in1
+        let out = conv1d_same(&input, &kernels, &[0., 0.], 1);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_same_padding_boundaries() {
+        // Moving-sum kernel [1,1,1] on single channel.
+        let input = FeatureMap::from_signal(&[1., 2., 3., 4.]);
+        let kernels = Mat::from_vec(1, 3, vec![1., 1., 1.]);
+        let out = conv1d_same(&input, &kernels, &[0.], 3);
+        // Boundaries zero-padded: [0+1+2, 1+2+3, 2+3+4, 3+4+0]
+        assert_eq!(out.as_slice(), &[3., 6., 9., 7.]);
+    }
+
+    #[test]
+    fn conv_bias_applied_everywhere() {
+        let input = FeatureMap::from_signal(&[0., 0., 0.]);
+        let kernels = Mat::from_vec(1, 3, vec![1., 1., 1.]);
+        let out = conv1d_same(&input, &kernels, &[5.], 3);
+        assert_eq!(out.as_slice(), &[5., 5., 5.]);
+    }
+
+    #[test]
+    fn conv_multichannel_receptive_field() {
+        // 2 in-channels, k=3, 1 out-channel; weights pick tap 0 channel 1 only.
+        let input = FeatureMap::from_vec(3, 2, vec![1., 10., 2., 20., 3., 30.]);
+        let mut w = vec![0.0; 6];
+        w[1] = 1.0; // tap 0 (leftmost), channel 1
+        let kernels = Mat::from_vec(1, 6, w);
+        let out = conv1d_same(&input, &kernels, &[0.], 3);
+        // Output[pos] = input[pos-1].ch1 (zero at pos 0).
+        assert_eq!(out.as_slice(), &[0., 10., 20.]);
+    }
+
+    #[test]
+    fn maxpool_values_and_argmax() {
+        let input = FeatureMap::from_signal(&[1., 5., 3., 2., 9., 0.]);
+        let (out, argmax) = maxpool1d(&input, 2);
+        assert_eq!(out.as_slice(), &[5., 3., 9.]);
+        assert_eq!(argmax, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn maxpool_multichannel() {
+        let input = FeatureMap::from_vec(4, 2, vec![1., 8., 2., 7., 3., 6., 4., 5.]);
+        let (out, argmax) = maxpool1d(&input, 2);
+        assert_eq!(out.as_slice(), &[2., 8., 4., 6.]);
+        assert_eq!(argmax, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn upsample_nearest() {
+        let input = FeatureMap::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let out = upsample1d(&input, 2);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.as_slice(), &[1., 2., 1., 2., 3., 4., 3., 4.]);
+    }
+
+    #[test]
+    fn pool_then_upsample_shapes_roundtrip() {
+        let input = FeatureMap::zeros(260, 3);
+        let (pooled, _) = maxpool1d(&input, 2);
+        assert_eq!(pooled.len(), 130);
+        let up = upsample1d(&pooled, 2);
+        assert_eq!(up.len(), 260);
+    }
+
+    #[test]
+    fn concat_orders_channels() {
+        let a = FeatureMap::from_vec(2, 1, vec![1., 2.]);
+        let b = FeatureMap::from_vec(2, 2, vec![10., 11., 20., 21.]);
+        let c = concat_channels(&a, &b);
+        assert_eq!(c.channels(), 3);
+        assert_eq!(c.position(0), &[1., 10., 11.]);
+        assert_eq!(c.position(1), &[2., 20., 21.]);
+    }
+
+    #[test]
+    fn batchnorm_standardizes() {
+        let input = FeatureMap::from_vec(2, 1, vec![10., 20.]);
+        let out = batchnorm1d(&input, &[1.0], &[0.0], &[15.0], &[25.0], 0.0);
+        assert_eq!(out.as_slice(), &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn batchnorm_gamma_beta() {
+        let input = FeatureMap::from_vec(1, 1, vec![3.0]);
+        let out = batchnorm1d(&input, &[2.0], &[7.0], &[0.0], &[1.0], 0.0);
+        assert_eq!(out.as_slice(), &[13.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide input length")]
+    fn maxpool_requires_divisible_length() {
+        let _ = maxpool1d(&FeatureMap::zeros(5, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn conv_rejects_even_kernel() {
+        let _ = conv1d_same(&FeatureMap::zeros(4, 1), &Mat::zeros(1, 2), &[0.0], 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the tensor kernels — the algebraic identities the
+//! float reference must satisfy for the firmware verification to mean
+//! anything.
+
+use proptest::prelude::*;
+use reads_tensor::ops::{concat_channels, conv1d_same, gemv, maxpool1d, upsample1d};
+use reads_tensor::{FeatureMap, Mat};
+
+fn arb_signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    /// GEMV is linear: W(ax + by) = aWx + bWy.
+    #[test]
+    fn gemv_linearity(x in arb_signal(8), y in arb_signal(8),
+                      a in -3.0f64..3.0, b in -3.0f64..3.0) {
+        let w = Mat::from_fn(4, 8, |r, c| ((r * 8 + c) as f64 * 0.37).sin());
+        let zeros = vec![0.0; 4];
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(u, v)| a * u + b * v).collect();
+        let lhs = gemv(&w, &combo, &zeros);
+        let wx = gemv(&w, &x, &zeros);
+        let wy = gemv(&w, &y, &zeros);
+        for i in 0..4 {
+            let rhs = a * wx[i] + b * wy[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+        }
+    }
+
+    /// A k=1 convolution with identity kernels is the identity map.
+    #[test]
+    fn conv_k1_identity(signal in arb_signal(16)) {
+        let input = FeatureMap::from_signal(&signal);
+        let kernels = Mat::from_vec(1, 1, vec![1.0]);
+        let out = conv1d_same(&input, &kernels, &[0.0], 1);
+        prop_assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    /// Convolution commutes with input shifts away from the boundary: a
+    /// shifted input yields a shifted output (translation equivariance).
+    #[test]
+    fn conv_translation_equivariance(signal in arb_signal(12)) {
+        let mut padded = vec![0.0; 20];
+        padded[4..16].copy_from_slice(&signal);
+        let mut shifted = vec![0.0; 20];
+        shifted[5..17].copy_from_slice(&signal);
+        let kernels = Mat::from_vec(1, 3, vec![0.25, 0.5, 0.25]);
+        let a = conv1d_same(&FeatureMap::from_signal(&padded), &kernels, &[0.0], 3);
+        let b = conv1d_same(&FeatureMap::from_signal(&shifted), &kernels, &[0.0], 3);
+        // Compare interior positions only (boundary sees the zero pad).
+        for p in 2..17 {
+            prop_assert!((a.get(p, 0) - b.get(p + 1, 0)).abs() < 1e-12);
+        }
+    }
+
+    /// Pool(upsample(x)) = x: nearest-neighbour upsampling then max-pooling
+    /// with the same factor is the identity.
+    #[test]
+    fn pool_inverts_upsample(signal in arb_signal(10)) {
+        let input = FeatureMap::from_signal(&signal);
+        let up = upsample1d(&input, 2);
+        let (down, _) = maxpool1d(&up, 2);
+        prop_assert_eq!(down.as_slice(), input.as_slice());
+    }
+
+    /// Max pooling is monotone: pointwise-larger inputs give pointwise-
+    /// larger (or equal) pooled outputs.
+    #[test]
+    fn maxpool_monotone(signal in arb_signal(8), bump in 0.0f64..5.0) {
+        let lo = FeatureMap::from_signal(&signal);
+        let hi_vals: Vec<f64> = signal.iter().map(|v| v + bump).collect();
+        let hi = FeatureMap::from_signal(&hi_vals);
+        let (plo, _) = maxpool1d(&lo, 2);
+        let (phi, _) = maxpool1d(&hi, 2);
+        for i in 0..plo.len() {
+            prop_assert!(phi.get(i, 0) >= plo.get(i, 0));
+        }
+    }
+
+    /// Concatenation preserves both inputs exactly, in order.
+    #[test]
+    fn concat_preserves(xa in arb_signal(6), xb in arb_signal(6)) {
+        let a = FeatureMap::from_signal(&xa);
+        let b = FeatureMap::from_signal(&xb);
+        let c = concat_channels(&a, &b);
+        for p in 0..6 {
+            prop_assert_eq!(c.get(p, 0), a.get(p, 0));
+            prop_assert_eq!(c.get(p, 1), b.get(p, 0));
+        }
+    }
+
+    /// Convolution with an averaging kernel never exceeds the input range
+    /// (convex-combination bound, interior positions).
+    #[test]
+    fn averaging_conv_bounded(signal in arb_signal(12)) {
+        let input = FeatureMap::from_signal(&signal);
+        let kernels = Mat::from_vec(1, 3, vec![1.0 / 3.0; 3]);
+        let out = conv1d_same(&input, &kernels, &[0.0], 3);
+        let lo = signal.iter().cloned().fold(f64::INFINITY, f64::min).min(0.0);
+        let hi = signal.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(0.0);
+        for p in 1..11 {
+            prop_assert!(out.get(p, 0) >= lo - 1e-9 && out.get(p, 0) <= hi + 1e-9);
+        }
+    }
+}

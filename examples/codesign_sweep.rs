@@ -1,0 +1,103 @@
+//! The ML/HLS co-design exploration of Sec. IV-D: sweep reuse factors and
+//! precision strategies and print the accuracy/latency/resource frontier,
+//! then let the co-design loop fit the design onto progressively smaller
+//! devices.
+//!
+//! ```sh
+//! cargo run --release --example codesign_sweep
+//! ```
+
+use reads::central::codesign::codesign;
+use reads::central::trained::{TrainedBundle, TrainingTier};
+use reads::fixed::QFormat;
+use reads::hls4ml::config::PrecisionStrategy;
+use reads::hls4ml::latency::estimate_latency;
+use reads::hls4ml::resource::estimate_resources;
+use reads::hls4ml::{convert, profile_model, HlsConfig, ARRIA10_10AS066};
+use reads::nn::{metrics, ModelSpec};
+
+fn main() {
+    let bundle = TrainedBundle::get_or_train(ModelSpec::UNet, TrainingTier::Fast, 3);
+    let calibration = bundle.calibration_inputs(32);
+    let profile = profile_model(&bundle.model, &calibration);
+    let eval = bundle.eval_frames(16, 0).inputs;
+    let float_out: Vec<Vec<f64>> = eval.iter().map(|x| bundle.model.predict(x)).collect();
+
+    println!("reuse-factor sweep (layer-based 16-bit):");
+    println!(
+        "{:>7} {:>12} {:>12} {:>10} {:>8}",
+        "reuse", "cycles", "latency", "ALUTs", "fits"
+    );
+    for reuse in [8u32, 16, 32, 64, 128, 256, 512] {
+        let mut cfg = HlsConfig::paper_default();
+        cfg.reuse.conv = reuse;
+        let fw = convert(&bundle.model, &profile, &cfg);
+        let lat = estimate_latency(&fw);
+        let res = estimate_resources(&fw);
+        println!(
+            "{:>7} {:>12} {:>12} {:>10} {:>8}",
+            reuse,
+            lat.total_cycles,
+            format!("{}", lat.duration()),
+            res.ip_aluts,
+            res.fits(&ARRIA10_10AS066)
+        );
+    }
+
+    println!("\nprecision sweep (reuse 32/260), accuracy vs float on 16 frames:");
+    println!(
+        "{:>46} {:>9} {:>9} {:>9}",
+        "strategy", "acc", "ALUT %", "fits"
+    );
+    let mut strategies = vec![
+        PrecisionStrategy::Uniform(QFormat::signed(12, 6)),
+        PrecisionStrategy::Uniform(QFormat::signed(16, 7)),
+        PrecisionStrategy::Uniform(QFormat::signed(18, 10)),
+    ];
+    for width in [10, 12, 14, 16] {
+        strategies.push(PrecisionStrategy::LayerBased {
+            width,
+            int_margin: 0,
+        });
+    }
+    for strategy in strategies {
+        let cfg = HlsConfig::with_strategy(strategy);
+        let fw = convert(&bundle.model, &profile, &cfg);
+        let (quant_out, _) = fw.infer_batch(&eval);
+        let acc: f64 = float_out
+            .iter()
+            .zip(&quant_out)
+            .map(|(a, b)| metrics::accuracy_within(a, b, metrics::PAPER_TOLERANCE))
+            .sum::<f64>()
+            / eval.len() as f64;
+        let res = estimate_resources(&fw);
+        println!(
+            "{:>46} {:>8.1}% {:>8.1}% {:>9}",
+            strategy.label(),
+            acc * 100.0,
+            res.alut_pct(&ARRIA10_10AS066),
+            res.fits(&ARRIA10_10AS066)
+        );
+    }
+
+    println!("\nco-design loop onto shrinking devices:");
+    for shrink in [1u64, 2, 3, 4] {
+        let mut device = ARRIA10_10AS066;
+        device.aluts /= shrink;
+        device.alms /= shrink;
+        let result = codesign(
+            &bundle.model,
+            &profile,
+            HlsConfig::paper_default(),
+            &device,
+            64,
+        );
+        println!(
+            "  1/{shrink} device: fits={} after {} reuse raises, latency {}, ALUTs {}",
+            result.fits,
+            result.iterations,
+            result.report.latency.duration(),
+            result.report.resources.ip_aluts
+        );
+    }
+}

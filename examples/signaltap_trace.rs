@@ -1,0 +1,54 @@
+//! SignalTap-style capture of the control-path handshake, exported as VCD.
+//!
+//! The paper debugs the deployed system "by monitoring real-time signals
+//! via the SignalTap utility" (Sec. IV-C). This example runs three frames
+//! through the simulated central node with the logic analyzer attached and
+//! writes `target/reads-artifacts/handshake.vcd` — open it in GTKWave to
+//! see the trigger/busy/done/IRQ handshake of Fig. 2, Steps 1–8.
+//!
+//! ```sh
+//! cargo run --release --example signaltap_trace
+//! ```
+
+use reads::central::trained::{TrainedBundle, TrainingTier};
+use reads::hls4ml::{convert, profile_model, HlsConfig};
+use reads::nn::ModelSpec;
+use reads::sim::{SimDuration, SimTime};
+use reads::soc::node::{CentralNodeSim, TapProbes};
+use reads::soc::SignalTap;
+
+fn main() {
+    let bundle = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 17);
+    let calibration = bundle.calibration_inputs(8);
+    let profile = profile_model(&bundle.model, &calibration);
+    let firmware = convert(&bundle.model, &profile, &HlsConfig::paper_default());
+    let mut node = CentralNodeSim::new(firmware, Default::default(), 4);
+
+    let mut tap = SignalTap::new();
+    let probes = TapProbes::declare(&mut tap);
+    let input = bundle.eval_frames(3, 0).inputs;
+
+    let mut base = SimTime::ZERO;
+    for (i, frame) in input.iter().enumerate() {
+        let (_, timing) = node.run_frame_traced(frame, &mut tap, probes, base);
+        println!(
+            "frame {i}: total {} (write {} | compute {} | irq {} | read {})",
+            timing.total, timing.write, timing.compute, timing.irq, timing.read
+        );
+        // Idle gap between frames, as the 3 ms cadence would leave.
+        base = base + timing.total + SimDuration::from_micros(500);
+    }
+
+    let vcd = tap.to_vcd("reads_central_node");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/reads-artifacts");
+    std::fs::create_dir_all(&dir).expect("artifacts dir");
+    let path = dir.join("handshake.vcd");
+    std::fs::write(&path, &vcd).expect("write vcd");
+    println!(
+        "\n{} signals, {} transitions -> {}",
+        tap.signal_count(),
+        tap.transition_count(),
+        path.display()
+    );
+    println!("open with: gtkwave {}", path.display());
+}

@@ -1,0 +1,250 @@
+//! `reads-cli` — the operator/developer command line for the READS central
+//! node.
+//!
+//! ```text
+//! reads-cli train    [--model unet|mlp] [--tier fast|full] [--seed N]
+//! reads-cli summary  [--model unet|mlp]
+//! reads-cli convert  [--model unet|mlp] [--width W] [--seed N]
+//! reads-cli run      [--model unet|mlp] [--frames N] [--seed N]
+//! reads-cli verify   [--model unet|mlp]
+//! reads-cli fifo     [--model unet|mlp]
+//! reads-cli scenario [--model unet] [--frames N]
+//! reads-cli boot
+//! ```
+//!
+//! Everything is cached under `target/reads-artifacts/`; the first `train`
+//! (or any command needing a model) pays the training cost once.
+
+use reads::central::campaign::run_latency_campaign;
+use reads::central::trained::{TrainedBundle, TrainingTier};
+use reads::central::verification::run_verification_flow;
+use reads::hls4ml::config::PrecisionStrategy;
+use reads::hls4ml::{
+    convert, minimal_skip_depths, profile_model, render_loop_report, render_precision_table,
+    BuildReport, HlsConfig,
+};
+use reads::nn::{metrics, summary, ModelSpec};
+use reads::soc::hps::HpsModel;
+use std::process::ExitCode;
+
+struct Args {
+    model: ModelSpec,
+    tier: TrainingTier,
+    seed: u64,
+    width: u32,
+    frames: usize,
+}
+
+fn parse_args(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        model: ModelSpec::UNet,
+        tier: TrainingTier::Fast,
+        seed: 2024,
+        width: 16,
+        frames: 2_000,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--model" => {
+                args.model = match value()?.as_str() {
+                    "unet" => ModelSpec::UNet,
+                    "mlp" => ModelSpec::Mlp,
+                    other => return Err(format!("unknown model '{other}' (unet|mlp)")),
+                }
+            }
+            "--tier" => {
+                args.tier = match value()?.as_str() {
+                    "fast" => TrainingTier::Fast,
+                    "full" => TrainingTier::Full,
+                    other => return Err(format!("unknown tier '{other}' (fast|full)")),
+                }
+            }
+            "--seed" => {
+                args.seed = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--width" => {
+                args.width = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --width: {e}"))?;
+            }
+            "--frames" => {
+                args.frames = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --frames: {e}"))?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn bundle_of(a: &Args) -> TrainedBundle {
+    TrainedBundle::get_or_train(a.model, a.tier, a.seed)
+}
+
+fn firmware_of(a: &Args) -> (TrainedBundle, reads::hls4ml::Firmware) {
+    let bundle = bundle_of(a);
+    let calib = bundle.calibration_inputs(32);
+    let profile = profile_model(&bundle.model, &calib);
+    let cfg = HlsConfig::with_strategy(PrecisionStrategy::LayerBased {
+        width: a.width,
+        int_margin: 0,
+    });
+    let fw = convert(&bundle.model, &profile, &cfg);
+    (bundle, fw)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: reads-cli <train|summary|convert|run|verify|fifo|scenario|boot> \
+         [--model unet|mlp] [--tier fast|full] [--seed N] [--width W] [--frames N]"
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "train" => {
+            let b = bundle_of(&args);
+            println!(
+                "{}: {} parameters, final loss {:.4}, val loss {:.4}",
+                b.spec.name(),
+                b.model.param_count(),
+                b.final_loss,
+                b.val_loss
+            );
+        }
+        "summary" => {
+            let b = bundle_of(&args);
+            print!("{}", summary(&b.model));
+        }
+        "convert" => {
+            let (_, fw) = firmware_of(&args);
+            print!("{}", BuildReport::new(&fw));
+            print!("{}", render_precision_table(&fw));
+            print!("{}", render_loop_report(&fw));
+        }
+        "run" => {
+            let (bundle, fw) = firmware_of(&args);
+            let input = vec![0.1; bundle.spec.input_len()];
+            let c = run_latency_campaign(
+                &fw,
+                &HpsModel::default(),
+                &input,
+                args.frames,
+                8,
+                args.seed,
+            );
+            println!(
+                "{} over {} frames: mean {:.3} ms | min {:.3} | max {:.3} | {:.1} fps | {:.2}% under 3 ms",
+                bundle.spec.name(),
+                c.samples_ms.len(),
+                c.mean_ms,
+                c.min_ms,
+                c.max_ms,
+                c.throughput_fps(),
+                c.deadline_met_fraction * 100.0
+            );
+        }
+        "verify" => {
+            let (bundle, fw) = firmware_of(&args);
+            let frames = bundle.eval_frames(8, 0).inputs;
+            let mut ok = true;
+            for r in
+                run_verification_flow(&bundle.model, &fw, &frames, metrics::PAPER_TOLERANCE)
+            {
+                println!(
+                    "stage {} [{}] {} — {}",
+                    r.stage,
+                    if r.passed { "PASS" } else { "FAIL" },
+                    r.name,
+                    r.detail
+                );
+                ok &= r.passed;
+            }
+            if !ok {
+                return ExitCode::FAILURE;
+            }
+        }
+        "scenario" => {
+            let b = bundle_of(&args);
+            println!(
+                "{:<28} {:>18} {:>12}",
+                "scenario", "decision accuracy", "trip rate"
+            );
+            for row in reads::central::ablations::scenario_robustness(
+                &b.model,
+                &b.standardizer,
+                args.frames.min(1_000),
+                args.seed,
+            ) {
+                println!(
+                    "{:<28} {:>17.1}% {:>11.1}%",
+                    row.scenario,
+                    row.decision_accuracy * 100.0,
+                    row.trip_rate * 100.0
+                );
+            }
+        }
+        "boot" => {
+            use reads::soc::boot::{BootModel, BootStage};
+            let m = BootModel::default();
+            for stage in [
+                BootStage::PowerOnReset,
+                BootStage::FpgaConfiguration,
+                BootStage::TftpLoad,
+                BootStage::KernelBoot,
+                BootStage::AppStart,
+            ] {
+                println!("{:<22} {}", format!("{stage:?}"), m.stage_time(stage));
+            }
+            println!(
+                "cold boot {} ({} frames missed); model update {} ({} frames missed)",
+                m.cold_boot(),
+                m.frames_missed(m.cold_boot()),
+                m.model_update(),
+                m.frames_missed(m.model_update())
+            );
+        }
+        "fifo" => {
+            let (_, fw) = firmware_of(&args);
+            let depths = minimal_skip_depths(&fw, 8);
+            if depths.is_empty() {
+                println!("no skip connections: chain designs need no FIFO analysis");
+            }
+            for (edge, depth) in depths {
+                let full = fw.shapes[edge.from].0;
+                println!(
+                    "skip {} -> {}: minimal safe depth {depth} (conservative full-tensor: {full})",
+                    edge.from, edge.to
+                );
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

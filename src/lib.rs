@@ -1,0 +1,15 @@
+//! `reads` — facade crate re-exporting the whole workspace.
+//!
+//! A Rust reproduction of *"ML-Based Real-Time Control at the Edge: An
+//! Approach Using hls4ml"* (IPPS 2024): the Fermilab beam-loss de-blending
+//! central node on a simulated Intel Arria 10 SoC. See README.md for the
+//! architecture tour and DESIGN.md for the per-experiment index.
+
+pub use reads_blm as blm;
+pub use reads_core as central;
+pub use reads_fixed as fixed;
+pub use reads_hls4ml as hls4ml;
+pub use reads_nn as nn;
+pub use reads_sim as sim;
+pub use reads_soc as soc;
+pub use reads_tensor as tensor;
