@@ -40,7 +40,10 @@ fn bench_fig5c(c: &mut Criterion) {
                 let mut cfg = HlsConfig::paper_default();
                 cfg.reuse.conv = reuse;
                 let fw = convert(&bundle.model, &profile, &cfg);
-                black_box((estimate_latency(&fw).total_cycles, estimate_resources(&fw).ip_aluts));
+                black_box((
+                    estimate_latency(&fw).total_cycles,
+                    estimate_resources(&fw).ip_aluts,
+                ));
             }
         })
     });

@@ -10,7 +10,9 @@ use std::hint::black_box;
 fn bench_fixed(c: &mut Criterion) {
     let fmt = QFormat::signed(16, 7);
     let wf = QFormat::signed(16, 2);
-    let xs: Vec<f64> = (0..1024).map(|i| ((i as f64) * 0.37).sin() * 50.0).collect();
+    let xs: Vec<f64> = (0..1024)
+        .map(|i| ((i as f64) * 0.37).sin() * 50.0)
+        .collect();
     let ws: Vec<f64> = (0..1024).map(|i| ((i as f64) * 0.11).cos() * 1.5).collect();
 
     let mut g = c.benchmark_group("fixed_point");
@@ -51,20 +53,21 @@ fn bench_fixed(c: &mut Criterion) {
         // The firmware interpreter's path: dequantized values, f64 FMA.
         let wq: Vec<f64> = ws
             .iter()
-            .map(|&w| Fx::from_f64(w, wf, Rounding::Truncate, Overflow::Saturate).0.to_f64())
+            .map(|&w| {
+                Fx::from_f64(w, wf, Rounding::Truncate, Overflow::Saturate)
+                    .0
+                    .to_f64()
+            })
             .collect();
         let xq: Vec<f64> = xs
             .iter()
-            .map(|&x| Fx::from_f64(x, fmt, Rounding::Truncate, Overflow::Saturate).0.to_f64())
+            .map(|&x| {
+                Fx::from_f64(x, fmt, Rounding::Truncate, Overflow::Saturate)
+                    .0
+                    .to_f64()
+            })
             .collect();
-        b.iter(|| {
-            black_box(
-                wq.iter()
-                    .zip(&xq)
-                    .map(|(w, x)| w * x)
-                    .sum::<f64>(),
-            )
-        })
+        b.iter(|| black_box(wq.iter().zip(&xq).map(|(w, x)| w * x).sum::<f64>()))
     });
     g.bench_function("sigmoid_table_1024", |b| {
         let t = SigmoidTable::hls_default();

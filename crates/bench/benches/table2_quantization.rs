@@ -29,9 +29,8 @@ fn bench_table2(c: &mut Criterion) {
     // Ablation: wrap (hls4ml default) vs saturate overflow handling on the
     // quantized inference path.
     for overflow in [Overflow::Wrap, Overflow::Saturate] {
-        let mut config = HlsConfig::with_strategy(PrecisionStrategy::Uniform(QFormat::signed(
-            16, 7,
-        )));
+        let mut config =
+            HlsConfig::with_strategy(PrecisionStrategy::Uniform(QFormat::signed(16, 7)));
         config.overflow = overflow;
         let fw = convert(&bundle.model, &profile, &config);
         g.bench_function(format!("infer_batch8/{overflow:?}"), |b| {

@@ -36,7 +36,10 @@ fn main() {
 
     println!("\n=== transfer mechanism: MM bridge vs DMA round trip ===");
     let (rows, crossover) = transfer_study(&[130, 390, 1_000, 5_000, 20_000, 100_000]);
-    println!("{:>10} {:>12} {:>12} {:>8}", "words", "MM µs", "DMA µs", "winner");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "words", "MM µs", "DMA µs", "winner"
+    );
     for r in &rows {
         println!(
             "{:>10} {:>12.1} {:>12.1} {:>8}",

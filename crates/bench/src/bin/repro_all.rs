@@ -42,7 +42,10 @@ fn main() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/reads-artifacts");
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join("repro_report.json");
-    std::fs::write(&path, serde_json::to_vec_pretty(&report).expect("serialize"))
-        .expect("write report");
+    std::fs::write(
+        &path,
+        serde_json::to_vec_pretty(&report).expect("serialize"),
+    )
+    .expect("write report");
     println!("\nreport written to {}", path.display());
 }

@@ -27,7 +27,8 @@ fn main() {
         &[1, 16, 256, 4_096, 32_768],
         6,
         REPRO_SEED,
-    );
+    )
+    .expect("the U-Net firmware has weight memory");
     for r in &rows {
         println!(
             "{:>8} {:>13.3}% {:>13.3}% {:>14.6} {:>11.0}%",

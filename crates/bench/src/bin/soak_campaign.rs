@@ -84,5 +84,8 @@ fn main() {
         p9997s[p9997s.len() / 2]
     );
     let retained: usize = partials.iter().map(|(_, _, _, r)| r.samples().len()).sum();
-    println!("  reservoir retained {retained} samples of {}", stats.count());
+    println!(
+        "  reservoir retained {retained} samples of {}",
+        stats.count()
+    );
 }

@@ -59,14 +59,21 @@ pub struct Table1Row {
 pub fn run_table1() -> Vec<Table1Row> {
     header("Table I — System Latency Comparison Across Models and Platforms");
     let mut rows = Vec::new();
-    println!("{:<10} {:<12} {:>10} {:>6} {:>11} {:>12}", "Work", "IP Core", "Params", "Bits", "Latency", "Data Tran.");
+    println!(
+        "{:<10} {:<12} {:>10} {:>6} {:>11} {:>12}",
+        "Work", "IP Core", "Params", "Bits", "Latency", "Data Tran."
+    );
     for spec in table1_related_work() {
         let ms = spec.modeled_latency_ms();
         println!(
             "{:<10} {:<12} {:>10} {:>6} {:>8.2} ms {:>12}",
             spec.work,
             spec.ip_core,
-            if spec.params > 0 { spec.params.to_string() } else { "?".into() },
+            if spec.params > 0 {
+                spec.params.to_string()
+            } else {
+                "?".into()
+            },
             spec.precision_bits,
             ms,
             format!("{:?}", spec.transfer),
@@ -349,9 +356,10 @@ pub fn run_fig5c() -> Fig5cSummary {
     header("Fig. 5c — Distribution of system latency (Steps 1–8)");
     let frames = campaign_frame_count();
     let mut out = Vec::new();
-    for (bundle, paper_mean, paper_min, paper_max) in
-        [(unet_bundle(), 1.74, 1.73, 2.27), (mlp_bundle(), 0.31, 0.26, 0.91)]
-    {
+    for (bundle, paper_mean, paper_min, paper_max) in [
+        (unet_bundle(), 1.74, 1.73, 2.27),
+        (mlp_bundle(), 0.31, 0.26, 0.91),
+    ] {
         let fw = build_firmware(&bundle, 100);
         let input = vec![0.1; bundle.spec.input_len()];
         let c = run_latency_campaign(&fw, &HpsModel::default(), &input, frames, 16, REPRO_SEED);

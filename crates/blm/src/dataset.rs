@@ -148,7 +148,10 @@ mod tests {
         let more = g.batch(100, 50);
         for f in &more {
             for &x in &s.apply_frame(&f.readings) {
-                assert!(x.abs() < 64.0, "standardized reading {x} exceeds ac_fixed<16,7>");
+                assert!(
+                    x.abs() < 64.0,
+                    "standardized reading {x} exceeds ac_fixed<16,7>"
+                );
             }
         }
     }

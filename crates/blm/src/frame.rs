@@ -138,7 +138,11 @@ impl FrameGenerator {
         let cfg = &self.config;
         let mut events = Vec::new();
         for (machine, rate, amp) in [
-            (Machine::MainInjector, cfg.mi_events_per_frame, cfg.mi_amplitude),
+            (
+                Machine::MainInjector,
+                cfg.mi_events_per_frame,
+                cfg.mi_amplitude,
+            ),
             (Machine::Recycler, cfg.rr_events_per_frame, cfg.rr_amplitude),
         ] {
             let n = Poisson::new(rate).draw(rng);
@@ -264,7 +268,10 @@ mod tests {
             (0.33..=0.52).contains(&mean_rr),
             "mean RR fraction {mean_rr}"
         );
-        assert!(mean_rr > 1.8 * mean_mi, "RR must dominate: {mean_rr} vs {mean_mi}");
+        assert!(
+            mean_rr > 1.8 * mean_mi,
+            "RR must dominate: {mean_rr} vs {mean_mi}"
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl Tunnel {
         let smooth = |rng: &mut Rng| -> Vec<f64> {
             // Sum of three ring-periodic harmonics with random phase, plus
             // per-monitor scatter, mapped into [0.35, 1.0].
-            let phases: Vec<f64> = (0..3).map(|_| rng.range_f64(0.0, std::f64::consts::TAU)).collect();
+            let phases: Vec<f64> = (0..3)
+                .map(|_| rng.range_f64(0.0, std::f64::consts::TAU))
+                .collect();
             let amps: Vec<f64> = (0..3).map(|_| rng.range_f64(0.2, 0.5)).collect();
             (0..N_BLM)
                 .map(|j| {
@@ -82,7 +84,10 @@ mod tests {
             }
         }
         let t2 = Tunnel::new(1);
-        assert_eq!(t.gain(Machine::Recycler, 100), t2.gain(Machine::Recycler, 100));
+        assert_eq!(
+            t.gain(Machine::Recycler, 100),
+            t2.gain(Machine::Recycler, 100)
+        );
     }
 
     #[test]

@@ -128,6 +128,24 @@ impl HubPacket {
     }
 }
 
+/// Flips the given `(byte, bit)` sites in a wire buffer in place — the
+/// Ethernet fault plane's in-flight corruption model. Out-of-range sites
+/// are ignored; returns the number of flips applied. Any *net* change to
+/// the buffer is caught by [`HubPacket::decode`]'s checksum or an earlier
+/// header check — Fletcher-16 detects all single-bit errors — which is
+/// exactly the property the degraded-mode ingest relies on. (A site
+/// listed twice cancels itself: XOR semantics, as in hardware.)
+pub fn corrupt_wire(buf: &mut [u8], sites: &[(usize, u8)]) -> usize {
+    let mut applied = 0;
+    for &(byte, bit) in sites {
+        if byte < buf.len() && bit < 8 {
+            buf[byte] ^= 1 << bit;
+            applied += 1;
+        }
+    }
+    applied
+}
+
 /// Splits a 260-reading frame into the 7 hub packets for `sequence`.
 ///
 /// # Panics
@@ -233,6 +251,33 @@ mod tests {
         let mut bytes = p.encode();
         bytes[15] ^= 0x40;
         assert_eq!(HubPacket::decode(&bytes), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn corrupt_wire_flips_are_rejected_by_decode() {
+        let p = HubPacket {
+            hub: 2,
+            sequence: 40,
+            first_monitor: 75,
+            counts: vec![100_000; 37],
+        };
+        let clean = p.encode();
+        // Every single-bit flip anywhere in the packet must be rejected.
+        for byte in 0..clean.len() {
+            for bit in 0..8u8 {
+                let mut buf = clean.clone();
+                assert_eq!(corrupt_wire(&mut buf, &[(byte, bit)]), 1);
+                assert!(
+                    HubPacket::decode(&buf).is_err(),
+                    "flip at ({byte},{bit}) slipped through"
+                );
+            }
+        }
+        // Out-of-range sites are ignored; double flips cancel.
+        let mut buf = clean.clone();
+        assert_eq!(corrupt_wire(&mut buf, &[(9_999, 0), (0, 8)]), 0);
+        assert_eq!(corrupt_wire(&mut buf, &[(20, 3), (20, 3)]), 2);
+        assert_eq!(HubPacket::decode(&buf).unwrap(), p);
     }
 
     #[test]

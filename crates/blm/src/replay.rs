@@ -110,9 +110,7 @@ impl CorrelatedStream {
         };
         let amp_dist = LogNormal::from_mean_std(amp, amp * cfg.amplitude_spread);
         let amplitude = amp_dist.sample(&mut self.rng);
-        let width = self
-            .rng
-            .range_f64(cfg.width_range.0, cfg.width_range.1);
+        let width = self.rng.range_f64(cfg.width_range.0, cfg.width_range.1);
         let lifetime = (-(1.0 - self.rng.next_f64()).ln() * self.config.mean_lifetime_frames)
             .ceil()
             .max(1.0) as u64;
@@ -211,7 +209,10 @@ mod tests {
             total += stream.live_episodes();
         }
         let mean = total as f64 / 100.0;
-        assert!((12.0..32.0).contains(&mean), "steady-state population {mean}");
+        assert!(
+            (12.0..32.0).contains(&mean),
+            "steady-state population {mean}"
+        );
     }
 
     #[test]

@@ -131,10 +131,7 @@ mod tests {
         let gen = FrameGenerator::new(9, Scenario::AbortLevel.workload());
         let f = gen.frame(0);
         // Somewhere on the ring the loss is near-total MI attribution.
-        let peak = f
-            .frac_mi
-            .iter()
-            .fold(0.0f64, |m, &x| m.max(x));
+        let peak = f.frac_mi.iter().fold(0.0f64, |m, &x| m.max(x));
         assert!(peak > 0.9, "abort peak MI fraction {peak}");
         // And the readings there tower over the baseline.
         let max_reading = f.readings.iter().fold(0.0f64, |m, &x| m.max(x));

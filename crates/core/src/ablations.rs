@@ -104,7 +104,11 @@ pub fn scenario_robustness(
     frames_per_scenario: usize,
     seed: u64,
 ) -> Vec<ScenarioRow> {
-    assert_eq!(model.input_shape(), (260, 1), "scenario study needs the U-Net");
+    assert_eq!(
+        model.input_shape(),
+        (260, 1),
+        "scenario study needs the U-Net"
+    );
     // Ground-truth trip threshold: total attribution mass.
     const TRIP_MASS: f64 = 5.0;
 
@@ -158,10 +162,8 @@ pub fn scenario_robustness(
                     } else {
                         Some(Machine::Recycler)
                     };
-                    let (t_mi, t_rr) = (
-                        f.frac_mi.iter().sum::<f64>(),
-                        f.frac_rr.iter().sum::<f64>(),
-                    );
+                    let (t_mi, t_rr) =
+                        (f.frac_mi.iter().sum::<f64>(), f.frac_rr.iter().sum::<f64>());
                     let truth = if t_mi.max(t_rr) < TRIP_MASS {
                         None
                     } else if t_mi >= t_rr {
@@ -223,11 +225,7 @@ mod tests {
         let bundle = TrainedBundle::get_or_train(ModelSpec::UNet, TrainingTier::Fast, 51);
         let rows = scenario_robustness(&bundle.model, &bundle.standardizer, 40, 3);
         assert_eq!(rows.len(), Scenario::ALL.len());
-        let by = |name: &str| {
-            rows.iter()
-                .find(|r| r.scenario == name)
-                .expect("row")
-        };
+        let by = |name: &str| rows.iter().find(|r| r.scenario == name).expect("row");
         // Quiet store: essentially no trips.
         assert!(by("quiet store").trip_rate < 0.2);
         // The strongly one-sided scenarios must be decided well even

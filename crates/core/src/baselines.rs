@@ -31,7 +31,7 @@ pub fn measure_cpu_latency_ms(model: &Model, input: &[f64], warmup: usize, reps:
             t0.elapsed().as_secs_f64() * 1_000.0
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times.sort_by(f64::total_cmp);
     times[times.len() / 2]
 }
 
@@ -260,9 +260,8 @@ impl DesignSpec {
             }
             Transfer::MmBridge => {
                 let b = AvalonBridge::default();
-                (b.write_time(self.transfer_words / 3)
-                    + b.read_time(2 * self.transfer_words / 3))
-                .as_millis_f64()
+                (b.write_time(self.transfer_words / 3) + b.read_time(2 * self.transfer_words / 3))
+                    .as_millis_f64()
             }
         };
         compute_ms + transfer_ms

@@ -10,9 +10,9 @@
 
 use rayon::prelude::*;
 use reads_hls4ml::Firmware;
+use reads_sim::{Histogram, Quantiles, StreamingStats};
 use reads_soc::hps::HpsModel;
 use reads_soc::node::CentralNodeSim;
-use reads_sim::{Histogram, Quantiles, StreamingStats};
 use serde::Serialize;
 
 /// Campaign output.

@@ -125,8 +125,7 @@ mod tests {
         // demand is width-driven, which reuse cannot fix fast enough within
         // a few iterations.
         let (m, p) = unet_profile();
-        let cfg =
-            HlsConfig::with_strategy(PrecisionStrategy::Uniform(QFormat::signed(18, 10)));
+        let cfg = HlsConfig::with_strategy(PrecisionStrategy::Uniform(QFormat::signed(18, 10)));
         let r = codesign(&m, &p, cfg, &ARRIA10_10AS066, 0);
         assert!(!r.fits, "18-bit uniform must blow the ALUT budget");
     }

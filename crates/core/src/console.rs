@@ -5,10 +5,11 @@
 //! operational statistics from the frame stream — bounded memory (P²
 //! quantiles, no sample retention), so it can run for an entire store.
 
+use crate::resilience::{HealthCounters, HealthState};
 use reads_blm::acnet::DeblendVerdict;
 use reads_blm::Machine;
-use reads_soc::node::FrameTiming;
 use reads_sim::{P2Quantile, StreamingStats};
+use reads_soc::node::FrameTiming;
 use serde::Serialize;
 
 /// Rolling operational statistics.
@@ -24,6 +25,16 @@ pub struct OperatorConsole {
     deadline_misses: u64,
     trip_threshold: f64,
     deadline_ms: f64,
+    node_health: Option<NodeHealth>,
+}
+
+/// The watchdog's view of the node, as surfaced to the console.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct NodeHealth {
+    /// Health FSM state.
+    pub state: HealthState,
+    /// Resilience counters at observation time.
+    pub counters: HealthCounters,
 }
 
 /// A point-in-time summary for display or logging.
@@ -49,6 +60,8 @@ pub struct ConsoleSummary {
     pub preempted: u64,
     /// Frames over the deadline.
     pub deadline_misses: u64,
+    /// Watchdog health, when a watchdog reports into this console.
+    pub node_health: Option<NodeHealth>,
 }
 
 impl OperatorConsole {
@@ -66,7 +79,19 @@ impl OperatorConsole {
             deadline_misses: 0,
             trip_threshold,
             deadline_ms,
+            node_health: None,
         }
+    }
+
+    /// Feeds the watchdog's current health view (typically once per frame
+    /// or per reporting interval; the latest observation wins). Until this
+    /// is called, summaries and renders omit the resilience block, so
+    /// consoles without a watchdog are unchanged.
+    pub fn observe_health(&mut self, state: HealthState, counters: &HealthCounters) {
+        self.node_health = Some(NodeHealth {
+            state,
+            counters: *counters,
+        });
     }
 
     /// Feeds one frame's outcome.
@@ -102,6 +127,7 @@ impl OperatorConsole {
             quiet_frames: self.quiet,
             preempted: self.preempted,
             deadline_misses: self.deadline_misses,
+            node_health: self.node_health,
         }
     }
 
@@ -128,6 +154,27 @@ impl OperatorConsole {
             " health             {} preemptions | {} deadline misses",
             s.preempted, s.deadline_misses
         );
+        if let Some(h) = &s.node_health {
+            let state = match h.state {
+                HealthState::Healthy => "HEALTHY",
+                HealthState::Degraded => "DEGRADED",
+                HealthState::Tripped => "TRIPPED",
+            };
+            let c = &h.counters;
+            let _ = writeln!(
+                out,
+                " resilience         {} | {} faults | {} recovered | {} unrecovered",
+                state, c.faults_seen, c.recoveries, c.unrecovered
+            );
+            let _ = writeln!(
+                out,
+                " recovery           {} salvages | {} resets | {} rescrubs | MTTR {:.3} ms",
+                c.salvages,
+                c.soft_resets,
+                c.rescrubs,
+                c.mttr_ms()
+            );
+        }
         out
     }
 }
@@ -192,5 +239,35 @@ mod tests {
     #[should_panic(expected = "no frames")]
     fn empty_summary_panics() {
         let _ = OperatorConsole::new(5.0, 3.0).summary();
+    }
+
+    #[test]
+    fn render_without_watchdog_has_no_resilience_block() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        c.observe(&verdict(0.1, 0.6), &timing(1_750, false));
+        assert!(!c.render().contains("resilience"));
+        assert!(c.summary().node_health.is_none());
+    }
+
+    #[test]
+    fn render_surfaces_watchdog_health() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        c.observe(&verdict(0.1, 0.6), &timing(1_750, false));
+        let counters = HealthCounters {
+            faults_seen: 4,
+            recoveries: 3,
+            salvages: 1,
+            soft_resets: 2,
+            rescrubs: 1,
+            unrecovered: 1,
+            recovery_ns: 9_000_000,
+            ..HealthCounters::default()
+        };
+        c.observe_health(HealthState::Tripped, &counters);
+        let text = c.render();
+        assert!(text.contains("TRIPPED | 4 faults | 3 recovered | 1 unrecovered"));
+        assert!(text.contains("1 salvages | 2 resets | 1 rescrubs | MTTR 3.000 ms"));
+        // The existing lines survive untouched.
+        assert!(text.contains("frames processed   1"));
     }
 }

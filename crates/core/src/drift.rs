@@ -349,13 +349,13 @@ mod tests {
         );
         let recent: Vec<Vec<f64>> = (0..30).map(|i| shifted.frame(i).readings).collect();
         let refit = DriftMonitor::refit(&recent);
-        assert!((refit.mean - 150_000.0).abs() < 5_000.0, "mean {}", refit.mean);
+        assert!(
+            (refit.mean - 150_000.0).abs() < 5_000.0,
+            "mean {}",
+            refit.mean
+        );
         // Standardizing the shifted data with the refit brings it to z ~ 1.
-        let z: f64 = recent[0]
-            .iter()
-            .map(|&x| refit.apply(x).abs())
-            .sum::<f64>()
-            / 260.0;
+        let z: f64 = recent[0].iter().map(|&x| refit.apply(x).abs()).sum::<f64>() / 260.0;
         assert!(z < 3.0, "post-refit |z| {z}");
     }
 }

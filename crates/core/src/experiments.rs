@@ -151,10 +151,8 @@ pub fn bit_sweep(
     let mut points = Vec::new();
     for &width in widths {
         for &int_margin in margins {
-            let config = HlsConfig::with_strategy(PrecisionStrategy::LayerBased {
-                width,
-                int_margin,
-            });
+            let config =
+                HlsConfig::with_strategy(PrecisionStrategy::LayerBased { width, int_margin });
             let firmware = convert(model, &profile, &config);
             let (quant_out, stats) = firmware.infer_batch(eval_inputs);
             let acc = machine_accuracy(
@@ -272,14 +270,7 @@ mod tests {
         // extra bit to the integer part". At 16 bits the remaining outliers
         // are overflow-driven; an extra integer bit must remove most.
         let (bundle, calib, eval) = fixture();
-        let pts = bit_sweep(
-            &bundle.model,
-            ModelSpec::Mlp,
-            &calib,
-            &eval,
-            &[16],
-            &[0, 1],
-        );
+        let pts = bit_sweep(&bundle.model, ModelSpec::Mlp, &calib, &eval, &[16], &[0, 1]);
         let (base, margin) = (&pts[0], &pts[1]);
         assert!(
             margin.overflow_events <= base.overflow_events,
@@ -298,14 +289,7 @@ mod tests {
     #[test]
     fn sweep_reports_totals() {
         let (bundle, calib, eval) = fixture();
-        let pts = bit_sweep(
-            &bundle.model,
-            ModelSpec::Mlp,
-            &calib,
-            &eval,
-            &[10],
-            &[0, 1],
-        );
+        let pts = bit_sweep(&bundle.model, ModelSpec::Mlp, &calib, &eval, &[10], &[0, 1]);
         assert_eq!(pts.len(), 2);
         for p in &pts {
             assert_eq!(p.total_outputs, eval.len() * 518);

@@ -17,6 +17,8 @@
 //!   standardization, the SoC frame run, ACNET egress, and the 320 fps /
 //!   3 ms real-time admission check.
 //! * [`campaign`] — Monte-Carlo latency campaigns (Fig. 5c) and throughput.
+//! * [`resilience`] — the handshake watchdog, recovery ladder and health
+//!   tracking over the `reads-soc` fault-injection plane.
 //! * [`baselines`] — platform baselines: host-measured CPU, the analytic
 //!   GPU model, and the Table I related-work latency models.
 //! * [`experiments`] — Table II and the Fig. 5a/5b bit-width sweeps.
@@ -31,6 +33,7 @@ pub mod console;
 pub mod drift;
 pub mod experiments;
 pub mod qat;
+pub mod resilience;
 pub mod seu;
 pub mod system;
 pub mod throughput;
@@ -39,7 +42,11 @@ pub mod verification;
 
 pub use campaign::{run_latency_campaign, LatencyCampaign};
 pub use codesign::{codesign, CodesignResult};
-pub use console::{ConsoleSummary, OperatorConsole};
+pub use console::{ConsoleSummary, NodeHealth, OperatorConsole};
+pub use resilience::{
+    run_fault_campaign, FaultCampaignConfig, FaultCampaignRow, HealthCounters, HealthState,
+    Watchdog, WatchdogPolicy,
+};
 pub use system::DeblendingSystem;
 pub use trained::{TrainedBundle, TrainingTier};
 pub use verification::{run_verification_flow, StageResult};

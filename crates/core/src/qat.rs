@@ -23,12 +23,11 @@ use serde::Serialize;
 pub fn quantize_weights_inplace(model: &mut Model, width: u32) {
     for layer in model.layers_mut() {
         if let Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. } = layer {
-            let max_abs = p
-                .w
-                .max_abs()
-                .max(p.b.iter().fold(0.0f64, |m, &b| m.max(b.abs())));
-            let int_bits = QFormat::required_int_bits_signed(max_abs)
-                .clamp(-(width as i32) + 2, width as i32);
+            let max_abs =
+                p.w.max_abs()
+                    .max(p.b.iter().fold(0.0f64, |m, &b| m.max(b.abs())));
+            let int_bits =
+                QFormat::required_int_bits_signed(max_abs).clamp(-(width as i32) + 2, width as i32);
             let fmt = QFormat::signed(width, int_bits);
             let q = |v: f64| {
                 Fx::from_f64(v, fmt, Rounding::Truncate, Overflow::Saturate)
@@ -68,8 +67,7 @@ pub fn train_qat(
         let mut batches = 0usize;
         for chunk in order.chunks(config.batch_size) {
             let inputs: Vec<Vec<f64>> = chunk.iter().map(|&i| data.inputs[i].clone()).collect();
-            let targets: Vec<Vec<f64>> =
-                chunk.iter().map(|&i| data.targets[i].clone()).collect();
+            let targets: Vec<Vec<f64>> = chunk.iter().map(|&i| data.targets[i].clone()).collect();
             // STE forward/backward on the quantized shadow.
             let mut shadow = model.clone();
             quantize_weights_inplace(&mut shadow, width);

@@ -28,21 +28,86 @@ pub struct Upset {
     pub bit: u32,
 }
 
+/// An upset site that does not exist in the target firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SeuError {
+    /// Node index beyond the firmware graph.
+    NoSuchNode {
+        /// Offending node index.
+        node: usize,
+    },
+    /// The node exists but holds no weight memory (activation, reshape…).
+    NoWeightMemory {
+        /// Offending node index.
+        node: usize,
+    },
+    /// Flat weight index beyond the node's weight count.
+    WeightOutOfRange {
+        /// Offending flat weight index.
+        weight: usize,
+        /// The node's weight count.
+        len: usize,
+    },
+    /// Bit position beyond the quantized word width.
+    BitBeyondWidth {
+        /// Offending bit position.
+        bit: u32,
+        /// The node's word width.
+        width: u32,
+    },
+    /// The firmware has no weight memory anywhere to upset.
+    NoWeightsAnywhere,
+}
+
+impl std::fmt::Display for SeuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSuchNode { node } => write!(f, "node {node} does not exist"),
+            Self::NoWeightMemory { node } => write!(f, "node {node} has no weight memory"),
+            Self::WeightOutOfRange { weight, len } => {
+                write!(f, "weight {weight} beyond node weight count {len}")
+            }
+            Self::BitBeyondWidth { bit, width } => {
+                write!(f, "bit {bit} beyond word width {width}")
+            }
+            Self::NoWeightsAnywhere => write!(f, "firmware holds no weight memory"),
+        }
+    }
+}
+
+impl std::error::Error for SeuError {}
+
 /// Flips the given bit of the given quantized weight, in place. The weight
 /// is stored on its format's grid; the flip operates on the raw two's-
 /// complement word exactly as a BRAM upset would.
 ///
-/// # Panics
-/// Panics if the node has no weights or indices are out of range.
-pub fn inject(fw: &mut Firmware, upset: Upset) {
-    let node = &mut fw.nodes[upset.node];
+/// # Errors
+/// [`SeuError`] when the site does not exist in this firmware; the
+/// firmware is left untouched.
+pub fn inject(fw: &mut Firmware, upset: Upset) -> Result<(), SeuError> {
+    let node = fw
+        .nodes
+        .get_mut(upset.node)
+        .ok_or(SeuError::NoSuchNode { node: upset.node })?;
     let d = match node {
         FwNode::Dense(d) | FwNode::PointwiseDense(d) | FwNode::Conv1d { d, .. } => d,
-        _ => panic!("node {} has no weight memory", upset.node),
+        _ => return Err(SeuError::NoWeightMemory { node: upset.node }),
     };
-    assert!(upset.bit < d.weight_fmt.width, "bit beyond word width");
+    if upset.bit >= d.weight_fmt.width {
+        return Err(SeuError::BitBeyondWidth {
+            bit: upset.bit,
+            width: d.weight_fmt.width,
+        });
+    }
     let lsb = d.weight_fmt.lsb();
-    let w = &mut d.weights[upset.weight];
+    let len = d.weights.len();
+    let w = d
+        .weights
+        .get_mut(upset.weight)
+        .ok_or(SeuError::WeightOutOfRange {
+            weight: upset.weight,
+            len,
+        })?;
     // Raw two's-complement word of the stored weight.
     let raw = (*w / lsb).round() as i64;
     let width = d.weight_fmt.width;
@@ -55,11 +120,15 @@ pub fn inject(fw: &mut Firmware, upset: Upset) {
         flipped -= modulus;
     }
     *w = flipped as f64 * lsb;
+    Ok(())
 }
 
 /// Draws `n` distinct random upset sites over the firmware's weight memory.
-#[must_use]
-pub fn random_upsets(fw: &Firmware, n: usize, rng: &mut Rng) -> Vec<Upset> {
+///
+/// # Errors
+/// [`SeuError::NoWeightsAnywhere`] when the firmware holds no weights (so
+/// there is nothing to upset).
+pub fn random_upsets(fw: &Firmware, n: usize, rng: &mut Rng) -> Result<Vec<Upset>, SeuError> {
     let nodes: Vec<(usize, usize, u32)> = fw
         .nodes
         .iter()
@@ -70,6 +139,9 @@ pub fn random_upsets(fw: &Firmware, n: usize, rng: &mut Rng) -> Vec<Upset> {
         })
         .collect();
     let total: usize = nodes.iter().map(|(_, w, _)| w).sum();
+    if total == 0 {
+        return Err(SeuError::NoWeightsAnywhere);
+    }
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let mut flat = rng.index(total);
@@ -85,12 +157,15 @@ pub fn random_upsets(fw: &Firmware, n: usize, rng: &mut Rng) -> Vec<Upset> {
             }
             flat -= len;
         }
-        let site = site.expect("flat index within total");
+        // `flat < total` and the spans tile `0..total`, so a site always
+        // resolves; the guard above makes that unreachable-by-construction
+        // rather than a panic.
+        let Some(site) = site else { continue };
         if !out.contains(&site) {
             out.push(site);
         }
     }
-    out
+    Ok(out)
 }
 
 /// One row of the SEU campaign.
@@ -113,28 +188,36 @@ pub struct SeuRow {
 /// Runs the SEU campaign: for each upset count, `trials` independent
 /// corrupted copies of the firmware are evaluated on `eval_inputs` against
 /// the pristine outputs.
-#[must_use]
+///
+/// # Errors
+/// [`SeuError::NoWeightsAnywhere`] when the firmware holds no weight
+/// memory. (Per-site errors cannot occur: every drawn site exists by
+/// construction.)
 pub fn seu_campaign(
     firmware: &Firmware,
     eval_inputs: &[Vec<f64>],
     upset_counts: &[usize],
     trials: usize,
     seed: u64,
-) -> Vec<SeuRow> {
+) -> Result<Vec<SeuRow>, SeuError> {
+    if !firmware.nodes.iter().any(|n| n.dense().is_some()) {
+        return Err(SeuError::NoWeightsAnywhere);
+    }
     let (clean_out, clean_stats) = firmware.infer_batch(eval_inputs);
     let clean_overflows = clean_stats.total_overflows();
 
-    upset_counts
+    Ok(upset_counts
         .iter()
         .map(|&n| {
             let results: Vec<(f64, f64, bool)> = (0..trials)
                 .into_par_iter()
                 .map(|t| {
-                    let mut rng =
-                        Rng::seed_from_u64(seed ^ ((n as u64) << 32) ^ t as u64);
+                    let mut rng = Rng::seed_from_u64(seed ^ ((n as u64) << 32) ^ t as u64);
                     let mut corrupted = firmware.clone();
-                    for u in random_upsets(firmware, n, &mut rng) {
-                        inject(&mut corrupted, u);
+                    // Infallible here: the fail-fast check above proved
+                    // weight memory exists, and drawn sites are in range.
+                    for u in random_upsets(firmware, n, &mut rng).unwrap_or_default() {
+                        let _ = inject(&mut corrupted, u);
                     }
                     let (out, stats) = corrupted.infer_batch(eval_inputs);
                     let acc = clean_out
@@ -161,11 +244,10 @@ pub fn seu_campaign(
                     .map(|(a, _, _)| *a)
                     .fold(f64::INFINITY, f64::min),
                 mean_abs_diff: results.iter().map(|(_, m, _)| m).sum::<f64>() / n_trials,
-                detected_fraction: results.iter().filter(|(_, _, d)| *d).count() as f64
-                    / n_trials,
+                detected_fraction: results.iter().filter(|(_, _, d)| *d).count() as f64 / n_trials,
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -194,8 +276,12 @@ mod tests {
                 weight: 100,
                 bit: 15,
             },
+        )
+        .expect("valid site");
+        let (da, db) = (
+            fw.nodes[0].dense().unwrap(),
+            corrupted.nodes[0].dense().unwrap(),
         );
-        let (da, db) = (fw.nodes[0].dense().unwrap(), corrupted.nodes[0].dense().unwrap());
         let diffs = da
             .weights
             .iter()
@@ -227,7 +313,8 @@ mod tests {
                     weight: 7,
                     bit,
                 },
-            );
+            )
+            .expect("valid site");
             let (out, _) = c.infer_batch(&inputs);
             clean
                 .iter()
@@ -246,7 +333,7 @@ mod tests {
     fn random_upsets_are_distinct_and_in_range() {
         let (fw, _) = firmware_and_inputs();
         let mut rng = Rng::seed_from_u64(1);
-        let upsets = random_upsets(&fw, 50, &mut rng);
+        let upsets = random_upsets(&fw, 50, &mut rng).expect("weights exist");
         assert_eq!(upsets.len(), 50);
         for (i, u) in upsets.iter().enumerate() {
             let d = fw.nodes[u.node].dense().expect("weighted node");
@@ -257,9 +344,49 @@ mod tests {
     }
 
     #[test]
+    fn inject_rejects_bad_sites_without_touching_weights() {
+        let (fw, _) = firmware_and_inputs();
+        let mut c = fw.clone();
+        let mut err = |u| inject(&mut c, u).unwrap_err();
+        assert_eq!(
+            err(Upset {
+                node: 999,
+                weight: 0,
+                bit: 0
+            }),
+            SeuError::NoSuchNode { node: 999 }
+        );
+        assert_eq!(
+            err(Upset {
+                node: 0,
+                weight: 0,
+                bit: 99
+            }),
+            SeuError::BitBeyondWidth { bit: 99, width: 16 }
+        );
+        let len = fw.nodes[0].dense().unwrap().weights.len();
+        assert_eq!(
+            err(Upset {
+                node: 0,
+                weight: usize::MAX,
+                bit: 0
+            }),
+            SeuError::WeightOutOfRange {
+                weight: usize::MAX,
+                len
+            }
+        );
+        assert_eq!(
+            c.nodes[0].dense().unwrap().weights,
+            fw.nodes[0].dense().unwrap().weights,
+            "failed injections must leave the firmware untouched"
+        );
+    }
+
+    #[test]
     fn accuracy_degrades_with_upset_count() {
         let (fw, inputs) = firmware_and_inputs();
-        let rows = seu_campaign(&fw, &inputs, &[1, 256, 8192], 4, 9);
+        let rows = seu_campaign(&fw, &inputs, &[1, 256, 8192], 4, 9).expect("weights exist");
         assert_eq!(rows.len(), 3);
         assert!(rows[0].mean_accuracy > 0.99, "1 upset ~harmless on average");
         // The sensitive metric degrades monotonically with upset count.

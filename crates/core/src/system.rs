@@ -2,14 +2,16 @@
 //! run → ACNET egress (Steps 0–9 of Fig. 2), plus the real-time admission
 //! check (320 fps at a 3 ms deadline).
 
+use crate::resilience::Watchdog;
 use reads_blm::acnet::DeblendVerdict;
 use reads_blm::hubs::{assemble_frame, HubPacket};
 use reads_blm::Standardizer;
 use reads_hls4ml::Firmware;
+use reads_sim::SimDuration;
 use reads_soc::eth::EthernetModel;
+use reads_soc::faults::{FaultLog, FaultPlan};
 use reads_soc::hps::HpsModel;
 use reads_soc::node::{CentralNodeSim, FrameTiming};
-use reads_sim::SimDuration;
 use serde::Serialize;
 
 /// ACNET trip threshold: total attribution mass below which a frame is
@@ -38,7 +40,9 @@ pub struct DeblendingSystem {
     sequence_errors: u64,
     frames_processed: u64,
     degraded_frames: u64,
+    held_verdicts: u64,
     last_readings: Option<Vec<f64>>,
+    last_verdict: Option<DeblendVerdict>,
 }
 
 /// Errors surfaced to the operator console.
@@ -48,6 +52,10 @@ pub enum SystemError {
     BadFrame,
     /// Input length does not match the deployed firmware.
     WrongFrameSize,
+    /// The node hung beyond the watchdog's recovery budget and no previous
+    /// verdict exists to hold. The frame is lost; the health state latches
+    /// [`crate::resilience::HealthState::Tripped`].
+    NodeUnrecovered,
 }
 
 impl DeblendingSystem {
@@ -61,7 +69,9 @@ impl DeblendingSystem {
             sequence_errors: 0,
             frames_processed: 0,
             degraded_frames: 0,
+            held_verdicts: 0,
             last_readings: None,
+            last_verdict: None,
         }
     }
 
@@ -84,10 +94,36 @@ impl DeblendingSystem {
         self.degraded_frames
     }
 
+    /// Frames answered by re-emitting the previous verdict because the node
+    /// hung beyond the recovery budget (hold-last-verdict degradation).
+    #[must_use]
+    pub fn held_verdicts(&self) -> u64 {
+        self.held_verdicts
+    }
+
+    /// The most recent verdict emitted, if any.
+    #[must_use]
+    pub fn last_verdict(&self) -> Option<&DeblendVerdict> {
+        self.last_verdict.as_ref()
+    }
+
     /// The node simulator (for counters/firmware access).
     #[must_use]
     pub fn node(&self) -> &CentralNodeSim {
         &self.node
+    }
+
+    /// Installs (or clears, with `None`) a fault plan on the underlying
+    /// node. The quiet default keeps the system bit-identical to a
+    /// fault-free run.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.node.set_fault_plan(plan);
+    }
+
+    /// The fault log, if a plan is installed.
+    #[must_use]
+    pub fn fault_log(&self) -> Option<&FaultLog> {
+        self.node.fault_log()
     }
 
     /// Processes one 3 ms tick: 7 hub packets in, verdict out.
@@ -157,11 +193,46 @@ impl DeblendingSystem {
         self.process_readings(&readings, packets, sequence)
     }
 
+    /// Watched tick: like [`Self::process_tick`], but the node handshake
+    /// runs behind `watchdog`'s recovery ladder. A hang recovered within
+    /// budget still yields the computed verdict (recovery time charged to
+    /// the frame); an *unrecovered* hang degrades to hold-last-verdict —
+    /// the previous verdict is re-emitted under the current sequence so
+    /// ACNET still sees an on-time answer, and the frame is counted in
+    /// [`Self::held_verdicts`] and [`Self::degraded_frames`].
+    ///
+    /// # Errors
+    /// [`SystemError::BadFrame`] / [`SystemError::WrongFrameSize`] as for
+    /// [`Self::process_tick`]; [`SystemError::NodeUnrecovered`] when the
+    /// node hangs beyond budget before any verdict exists to hold.
+    pub fn process_tick_watched(
+        &mut self,
+        packets: &[HubPacket],
+        sequence: u32,
+        watchdog: &mut Watchdog,
+    ) -> Result<(DeblendVerdict, EndToEndTiming), SystemError> {
+        let readings = assemble_frame(packets).map_err(|_| {
+            self.sequence_errors += 1;
+            SystemError::BadFrame
+        })?;
+        self.process_readings_via(&readings, packets, sequence, Some(watchdog))
+    }
+
     fn process_readings(
         &mut self,
         readings: &[f64],
         packets: &[HubPacket],
         sequence: u32,
+    ) -> Result<(DeblendVerdict, EndToEndTiming), SystemError> {
+        self.process_readings_via(readings, packets, sequence, None)
+    }
+
+    fn process_readings_via(
+        &mut self,
+        readings: &[f64],
+        packets: &[HubPacket],
+        sequence: u32,
+        watchdog: Option<&mut Watchdog>,
     ) -> Result<(DeblendVerdict, EndToEndTiming), SystemError> {
         let payloads: Vec<usize> = packets.iter().map(|p| p.encode().len()).collect();
         let ingress = self.eth.frame_ingest_time(&payloads);
@@ -176,7 +247,42 @@ impl DeblendingSystem {
             .map(|&x| self.standardizer.apply(x))
             .collect();
 
-        let (outputs, core) = self.node.run_frame(&standardized);
+        let (outputs, core) = match watchdog {
+            None => self.node.run_frame(&standardized),
+            Some(wd) => {
+                let frame = wd.run_frame(&mut self.node, &standardized);
+                if frame.hung {
+                    self.degraded_frames += 1;
+                }
+                match frame.outputs {
+                    Some(out) => (out, frame.timing),
+                    None => {
+                        // Unrecovered hang: degrade to hold-last-verdict.
+                        // The input readings were good, so keep them for
+                        // the degraded-assembly path of later ticks.
+                        self.last_readings = Some(readings.to_vec());
+                        let Some(prev) = self.last_verdict.clone() else {
+                            return Err(SystemError::NodeUnrecovered);
+                        };
+                        let mut held = prev;
+                        held.sequence = sequence;
+                        let egress = self.eth.packet_time(held.encode(TRIP_THRESHOLD).len());
+                        self.held_verdicts += 1;
+                        self.frames_processed += 1;
+                        let total = ingress + frame.timing.total + egress;
+                        return Ok((
+                            held,
+                            EndToEndTiming {
+                                ingress,
+                                core: frame.timing,
+                                egress,
+                                total,
+                            },
+                        ));
+                    }
+                }
+            }
+        };
         // The U-Net emits 520 interleaved (MI, RR) values; the MLP emits
         // 518 split-halves values over 259 monitors.
         let verdict = if outputs.len() == 2 * reads_blm::N_BLM {
@@ -187,6 +293,7 @@ impl DeblendingSystem {
         let egress = self.eth.packet_time(verdict.encode(TRIP_THRESHOLD).len());
         self.frames_processed += 1;
         self.last_readings = Some(readings.to_vec());
+        self.last_verdict = Some(verdict.clone());
         Ok((
             verdict,
             EndToEndTiming {
@@ -228,7 +335,7 @@ mod tests {
     use reads_hls4ml::{convert, profile_model, HlsConfig};
     use reads_nn::ModelSpec;
 
-    fn unet_system() -> (DeblendingSystem, FrameGenerator) {
+    fn unet_system_with_fw() -> (DeblendingSystem, FrameGenerator, Firmware) {
         // Untrained U-Net is fine here: these tests exercise the data path
         // and timing, not accuracy.
         let bundle = TrainedBundle::get_or_train(ModelSpec::Mlp, TrainingTier::Fast, 21);
@@ -242,9 +349,20 @@ mod tests {
         let profile = profile_model(&model, &calib);
         let fw = convert(&model, &profile, &HlsConfig::paper_default());
         (
-            DeblendingSystem::new(fw, bundle.standardizer.clone(), Default::default(), 99),
+            DeblendingSystem::new(
+                fw.clone(),
+                bundle.standardizer.clone(),
+                Default::default(),
+                99,
+            ),
             gen,
+            fw,
         )
+    }
+
+    fn unet_system() -> (DeblendingSystem, FrameGenerator) {
+        let (sys, gen, _) = unet_system_with_fw();
+        (sys, gen)
     }
 
     #[test]
@@ -311,12 +429,120 @@ mod tests {
     fn degraded_mode_ignores_stale_sequence_packets() {
         let (mut sys, gen) = unet_system();
         let f0 = gen.frame(7_100);
-        sys.process_tick(&split_frame(&f0.readings, 0), 0).expect("prime");
+        sys.process_tick(&split_frame(&f0.readings, 0), 0)
+            .expect("prime");
         // All packets from the wrong tick: gap-fill everything from frame 0.
         let stale = split_frame(&gen.frame(7_101).readings, 99);
         let (verdict, _) = sys.process_tick_degraded(&stale, 1).expect("held frame");
         assert_eq!(verdict.sequence, 1);
         assert_eq!(sys.degraded_frames(), 1);
+    }
+
+    #[test]
+    fn degraded_mode_first_frame_pedestal_fallback() {
+        // Very first frame, one hub lost: the missing span is gap-filled
+        // with the fitted pedestal (there is no previous frame to hold),
+        // and a verdict still ships on time.
+        let (mut sys, gen) = unet_system();
+        let f0 = gen.frame(7_200);
+        let mut p0 = split_frame(&f0.readings, 0);
+        p0.remove(5);
+        let (verdict, _) = sys.process_tick_degraded(&p0, 0).expect("pedestal fill");
+        assert_eq!(verdict.sequence, 0);
+        assert_eq!(sys.degraded_frames(), 1);
+        assert_eq!(sys.frames_processed(), 1);
+    }
+
+    #[test]
+    fn degraded_frames_accounting_across_ticks() {
+        let (mut sys, gen) = unet_system();
+        for seq in 0..4u32 {
+            let f = gen.frame(7_300 + u64::from(seq));
+            let mut p = split_frame(&f.readings, seq);
+            if seq % 2 == 1 {
+                p.remove(2); // every odd tick loses a hub
+            }
+            sys.process_tick_degraded(&p, seq).expect("tick");
+        }
+        assert_eq!(sys.degraded_frames(), 2);
+        assert_eq!(sys.frames_processed(), 4);
+        assert_eq!(sys.sequence_errors(), 0);
+    }
+
+    #[test]
+    fn watched_tick_is_bit_identical_when_quiet() {
+        let (mut plain, gen, fw) = unet_system_with_fw();
+        let (mut watched, _, _) = unet_system_with_fw();
+        let mut wd = crate::resilience::Watchdog::new(fw, Default::default());
+        let sample = gen.frame(8_000);
+        let packets = split_frame(&sample.readings, 3);
+        let (va, ta) = plain.process_tick(&packets, 3).expect("plain");
+        let (vb, tb) = watched
+            .process_tick_watched(&packets, 3, &mut wd)
+            .expect("watched");
+        assert_eq!(va, vb, "watchdog must not perturb a healthy frame");
+        assert_eq!(ta.total, tb.total);
+        assert_eq!(wd.counters().faults_seen, 0);
+        assert_eq!(watched.held_verdicts(), 0);
+    }
+
+    #[test]
+    fn watched_tick_salvages_lost_irq() {
+        let (mut sys, gen, fw) = unet_system_with_fw();
+        let mut wd = crate::resilience::Watchdog::new(fw, Default::default());
+        sys.set_fault_plan(Some(reads_soc::FaultPlan::lost_irq(1.0, 31)));
+        let sample = gen.frame(8_100);
+        let packets = split_frame(&sample.readings, 0);
+        let (verdict, _) = sys
+            .process_tick_watched(&packets, 0, &mut wd)
+            .expect("salvaged");
+        assert_eq!(verdict.mi.len(), 260);
+        assert_eq!(wd.counters().salvages, 1);
+        assert_eq!(
+            sys.degraded_frames(),
+            1,
+            "a recovered hang is a degraded frame"
+        );
+        assert_eq!(sys.held_verdicts(), 0, "salvage yields the real verdict");
+    }
+
+    #[test]
+    fn watched_tick_holds_last_verdict_on_unrecovered_hang() {
+        let (mut sys, gen, fw) = unet_system_with_fw();
+        let mut wd = crate::resilience::Watchdog::new(fw, Default::default());
+        // Prime one healthy verdict.
+        let f0 = gen.frame(8_200);
+        let (v0, _) = sys
+            .process_tick_watched(&split_frame(&f0.readings, 0), 0, &mut wd)
+            .expect("prime");
+        // A stuck-FSM probability of 1.0 models a hard fault: every ladder
+        // attempt re-hangs, so the watchdog gives up.
+        sys.set_fault_plan(Some(reads_soc::FaultPlan::stuck_fsm(1.0, 32)));
+        let f1 = gen.frame(8_201);
+        let (v1, t1) = sys
+            .process_tick_watched(&split_frame(&f1.readings, 1), 1, &mut wd)
+            .expect("held verdict");
+        assert_eq!(v1.sequence, 1, "held verdict is re-stamped");
+        assert_eq!(v1.mi, v0.mi, "payload is the previous verdict's");
+        assert_eq!(sys.held_verdicts(), 1);
+        assert_eq!(sys.degraded_frames(), 1);
+        assert_eq!(wd.counters().unrecovered, 1);
+        assert_eq!(wd.health(), crate::resilience::HealthState::Tripped);
+        assert!(t1.core.total > SimDuration::ZERO, "wasted time is charged");
+    }
+
+    #[test]
+    fn watched_tick_without_prior_verdict_errors() {
+        let (mut sys, gen, fw) = unet_system_with_fw();
+        let mut wd = crate::resilience::Watchdog::new(fw, Default::default());
+        sys.set_fault_plan(Some(reads_soc::FaultPlan::stuck_fsm(1.0, 33)));
+        let f0 = gen.frame(8_300);
+        assert_eq!(
+            sys.process_tick_watched(&split_frame(&f0.readings, 0), 0, &mut wd)
+                .unwrap_err(),
+            SystemError::NodeUnrecovered
+        );
+        assert_eq!(sys.frames_processed(), 0);
     }
 
     #[test]

@@ -100,7 +100,9 @@ pub fn analyze_throughput(
                 hps.clone(),
                 seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
-            (0..per).map(|_| node.run_frame(input).1).collect::<Vec<_>>()
+            (0..per)
+                .map(|_| node.run_frame(input).1)
+                .collect::<Vec<_>>()
         })
         .collect();
     ThroughputAnalysis::from_timings(&timings)
@@ -136,11 +138,19 @@ mod tests {
         assert_eq!(a.bottleneck, Stage::Compute, "{:?}", a.stage_ms);
         // Sequential ≈ the paper's regime (we land near 557 fps with the
         // full-tier build; this fast-tier firmware has the same cycle count).
-        assert!((450.0..650.0).contains(&a.sequential_fps), "{}", a.sequential_fps);
+        assert!(
+            (450.0..650.0).contains(&a.sequential_fps),
+            "{}",
+            a.sequential_fps
+        );
         // Pipelining pushes toward 1/compute ≈ 650 fps.
         assert!(a.speedup() > 1.1, "speedup {}", a.speedup());
         assert!(a.pipelined_fps > a.sequential_fps);
-        assert!((600.0..700.0).contains(&a.pipelined_fps), "{}", a.pipelined_fps);
+        assert!(
+            (600.0..700.0).contains(&a.pipelined_fps),
+            "{}",
+            a.pipelined_fps
+        );
     }
 
     #[test]

@@ -91,8 +91,12 @@ impl TrainedBundle {
         // Atomic-ish publish: write to a temp file, then rename, so a
         // concurrent reader never sees a half-written artifact.
         let tmp = path.with_extension("json.tmp");
-        if fs::write(&tmp, serde_json::to_vec(&bundle).expect("serialize")).is_ok() {
-            let _ = fs::rename(&tmp, &path);
+        // A serialization or filesystem failure only costs the cache:
+        // training still returns the bundle, the next run retrains.
+        if let Ok(bytes) = serde_json::to_vec(&bundle) {
+            if fs::write(&tmp, bytes).is_ok() {
+                let _ = fs::rename(&tmp, &path);
+            }
         }
         bundle
     }
@@ -197,8 +201,12 @@ impl BnBundle {
         let bundle = Self::train_now(spec, tier, seed);
         let _ = fs::create_dir_all(artifacts_dir());
         let tmp = path.with_extension("json.tmp");
-        if fs::write(&tmp, serde_json::to_vec(&bundle).expect("serialize")).is_ok() {
-            let _ = fs::rename(&tmp, &path);
+        // A serialization or filesystem failure only costs the cache:
+        // training still returns the bundle, the next run retrains.
+        if let Ok(bytes) = serde_json::to_vec(&bundle) {
+            if fs::write(&tmp, bytes).is_ok() {
+                let _ = fs::rename(&tmp, &path);
+            }
         }
         bundle
     }

@@ -113,11 +113,7 @@ pub fn stage3_fpga_subsystem(firmware: &Firmware, frames: &[Vec<f64>]) -> StageR
     for x in frames {
         let (direct, _) = firmware.infer(x);
         let (via_ram, _) = node.run_frame(x);
-        mismatches += direct
-            .iter()
-            .zip(&via_ram)
-            .filter(|(a, b)| a != b)
-            .count() as u64;
+        mismatches += direct.iter().zip(&via_ram).filter(|(a, b)| a != b).count() as u64;
     }
     StageResult {
         stage: 3,
@@ -280,7 +276,11 @@ mod tests {
         let results = run_verification_flow(&m, &fw, &frames, reads_nn::metrics::PAPER_TOLERANCE);
         assert_eq!(results.len(), 6);
         for r in &results {
-            assert!(r.passed, "stage {} ({}) failed: {}", r.stage, r.name, r.detail);
+            assert!(
+                r.passed,
+                "stage {} ({}) failed: {}",
+                r.stage, r.name, r.detail
+            );
         }
     }
 

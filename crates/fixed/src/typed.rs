@@ -210,7 +210,10 @@ mod tests {
         assert!((x.to_f64() - 3.1875).abs() < Fix16x7::format().lsb());
         assert_eq!(Fix16x7::from_f64(1e9), Fix16x7::max_value());
         assert_eq!(Fix16x7::from_f64(-1e9), Fix16x7::min_value());
-        assert_eq!(Fix16x7::max_value().to_f64(), 64.0 - Fix16x7::format().lsb());
+        assert_eq!(
+            Fix16x7::max_value().to_f64(),
+            64.0 - Fix16x7::format().lsb()
+        );
     }
 
     #[test]

@@ -95,7 +95,13 @@ impl Fx {
     /// result's grid; overflow handled per `overflow`). Returns the sum and
     /// whether it overflowed.
     #[must_use]
-    pub fn add(&self, other: &Fx, fmt: QFormat, rounding: Rounding, overflow: Overflow) -> (Fx, bool) {
+    pub fn add(
+        &self,
+        other: &Fx,
+        fmt: QFormat,
+        rounding: Rounding,
+        overflow: Overflow,
+    ) -> (Fx, bool) {
         let sum = self.to_f64() + other.to_f64(); // exact: both on dyadic grids within f64
         Fx::from_f64(sum, fmt, rounding, overflow)
     }

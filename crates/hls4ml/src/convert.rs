@@ -299,10 +299,7 @@ mod tests {
                 let lsb = d.weight_fmt.lsb();
                 for &w in &d.weights {
                     let q = (w / lsb).round();
-                    assert!(
-                        (w / lsb - q).abs() < 1e-9,
-                        "weight {w} off grid lsb {lsb}"
-                    );
+                    assert!((w / lsb - q).abs() < 1e-9, "weight {w} off grid lsb {lsb}");
                 }
             }
         }
@@ -315,7 +312,11 @@ mod tests {
         let input: Vec<f64> = (0..260).map(|j| ((j as f64) * 0.07).sin() * 2.0).collect();
         let yf = m.predict(&input);
         let (yq, stats) = fw.infer(&input);
-        assert_eq!(stats.total_overflows(), 0, "profiled formats must not overflow on calibration data");
+        assert_eq!(
+            stats.total_overflows(),
+            0,
+            "profiled formats must not overflow on calibration data"
+        );
         let max_err = yf
             .iter()
             .zip(&yq)

@@ -208,9 +208,10 @@ pub fn simulate(fw: &Firmware, config: &FifoConfig) -> DataflowOutcome {
                 continue;
             }
             // Space on every out-edge.
-            let space = edges.iter().filter(|e| e.from == i).all(|e| {
-                produced[i] - consumed_on(e, &produced) < config.depth(e)
-            });
+            let space = edges
+                .iter()
+                .filter(|e| e.from == i)
+                .all(|e| produced[i] - consumed_on(e, &produced) < config.depth(e));
             if !space {
                 continue;
             }
@@ -284,7 +285,9 @@ mod tests {
 
     fn unet_fw() -> Firmware {
         let m = models::reads_unet(1);
-        let inputs = vec![(0..260).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<f64>>()];
+        let inputs = vec![(0..260)
+            .map(|j| (j as f64 * 0.1).sin())
+            .collect::<Vec<f64>>()];
         let p = profile_model(&m, &inputs);
         convert(&m, &p, &HlsConfig::paper_default())
     }
@@ -332,7 +335,9 @@ mod tests {
                 assert!(produced[0] < 260, "node0 produced {}", produced[0]);
                 // …and the blocked edge is the undersized skip.
                 assert!(
-                    full_edges.iter().any(|e| e.skip && e.from == 0 && e.to == 9),
+                    full_edges
+                        .iter()
+                        .any(|e| e.skip && e.from == 0 && e.to == 9),
                     "{full_edges:?}"
                 );
             }
@@ -372,7 +377,10 @@ mod tests {
         }
         // The minimal depths are far below the conservative full-tensor
         // buffering — the "resource trade-off" the paper pursued.
-        let (_, d0) = minimal.iter().find(|(e, _)| e.from == 0).expect("long skip");
+        let (_, d0) = minimal
+            .iter()
+            .find(|(e, _)| e.from == 0)
+            .expect("long skip");
         assert!(*d0 < 260, "long-skip minimal depth {d0} must beat 260");
     }
 

@@ -197,19 +197,10 @@ impl Firmware {
             outputs.push(y);
             stats.per_node[i] = st;
         }
-        (
-            outputs.pop().expect("nonempty firmware").into_vec(),
-            stats,
-        )
+        (outputs.pop().expect("nonempty firmware").into_vec(), stats)
     }
 
-    fn eval_dense_at(
-        &self,
-        d: &FwDense,
-        xs: &[f64],
-        out: &mut Vec<f64>,
-        q: &mut Quantizer,
-    ) {
+    fn eval_dense_at(&self, d: &FwDense, xs: &[f64], out: &mut Vec<f64>, q: &mut Quantizer) {
         debug_assert_eq!(xs.len(), d.cols);
         for r in 0..d.rows {
             let row = &d.weights[r * d.cols..(r + 1) * d.cols];

@@ -225,7 +225,9 @@ mod tests {
 
     fn unet_firmware() -> Firmware {
         let m = models::reads_unet(1);
-        let inputs = vec![(0..260).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<f64>>()];
+        let inputs = vec![(0..260)
+            .map(|j| (j as f64 * 0.1).sin())
+            .collect::<Vec<f64>>()];
         let p = profile_model(&m, &inputs);
         convert(&m, &p, &HlsConfig::paper_default())
     }
@@ -261,7 +263,9 @@ mod tests {
     #[test]
     fn heavier_reuse_is_slower() {
         let m = models::reads_unet(1);
-        let inputs = vec![(0..260).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<f64>>()];
+        let inputs = vec![(0..260)
+            .map(|j| (j as f64 * 0.1).sin())
+            .collect::<Vec<f64>>()];
         let p = profile_model(&m, &inputs);
         let mut slow_cfg = HlsConfig::paper_default();
         slow_cfg.reuse.conv = 512;
@@ -301,17 +305,16 @@ mod tests {
         let lat = estimate_latency(&fw);
         assert_eq!(lat.io_cycles, 0);
         let mm = convert(&m, &p, &HlsConfig::paper_default());
-        assert_eq!(
-            estimate_latency(&mm).io_cycles,
-            (259 + 518) * MM_RW_CYCLES
-        );
+        assert_eq!(estimate_latency(&mm).io_cycles, (259 + 518) * MM_RW_CYCLES);
     }
 
     #[test]
     fn latency_independent_of_precision_strategy() {
         // Table II varies precision only; the cycle count is reuse-driven.
         let m = models::reads_unet(2);
-        let inputs = vec![(0..260).map(|j| (j as f64 * 0.2).cos()).collect::<Vec<f64>>()];
+        let inputs = vec![(0..260)
+            .map(|j| (j as f64 * 0.2).cos())
+            .collect::<Vec<f64>>()];
         let p = profile_model(&m, &inputs);
         let a = estimate_latency(&convert(&m, &p, &HlsConfig::paper_default()));
         let b = estimate_latency(&convert(

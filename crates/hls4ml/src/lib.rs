@@ -43,7 +43,9 @@ pub mod resource;
 pub use codegen::{emit_avalon_wrapper, emit_cpp};
 pub use config::{HlsConfig, IoInterface, PrecisionStrategy, ReuseConfig};
 pub use convert::convert;
-pub use dataflow::{minimal_skip_depths, simulate as simulate_dataflow, DataflowOutcome, FifoConfig};
+pub use dataflow::{
+    minimal_skip_depths, simulate as simulate_dataflow, DataflowOutcome, FifoConfig,
+};
 pub use device::ARRIA10_10AS066;
 pub use firmware::{Firmware, InferenceStats};
 pub use latency::render_loop_report;

@@ -56,10 +56,10 @@ pub fn profile_model(model: &Model, inputs: &[Vec<f64>]) -> ModelProfile {
         .layers()
         .iter()
         .map(|l| match l {
-            Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. } => p
-                .w
-                .max_abs()
-                .max(p.b.iter().fold(0.0f64, |m, &b| m.max(b.abs()))),
+            Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. } => {
+                p.w.max_abs()
+                    .max(p.b.iter().fold(0.0f64, |m, &b| m.max(b.abs())))
+            }
             _ => 0.0,
         })
         .collect();

@@ -101,10 +101,9 @@ pub fn precision_table(fw: &Firmware) -> Vec<LayerPrecisionRow> {
                 FwNode::BatchNorm { .. } => "BatchNormalization",
             };
             let (wf, rf) = match node {
-                FwNode::Dense(d) | FwNode::PointwiseDense(d) | FwNode::Conv1d { d, .. } => (
-                    Some(d.weight_fmt.to_string()),
-                    Some(d.out_quant.format()),
-                ),
+                FwNode::Dense(d) | FwNode::PointwiseDense(d) | FwNode::Conv1d { d, .. } => {
+                    (Some(d.weight_fmt.to_string()), Some(d.out_quant.format()))
+                }
                 FwNode::ConcatWith { out_quant, .. } | FwNode::BatchNorm { out_quant, .. } => {
                     (None, Some(out_quant.format()))
                 }
@@ -132,11 +131,7 @@ pub fn render_precision_table(fw: &Firmware) -> String {
         "{:>4}  {:<22} {:>12}  {:<22} {:<22} {:>3}",
         "node", "layer", "shape", "weights", "result", "x"
     );
-    let _ = writeln!(
-        out,
-        "input quantizer: {}",
-        fw.input_quant.format()
-    );
+    let _ = writeln!(out, "input quantizer: {}", fw.input_quant.format());
     for r in precision_table(fw) {
         let _ = writeln!(
             out,
@@ -219,19 +214,22 @@ mod tests {
     #[test]
     fn precision_table_reproduces_fig2_annotations() {
         let m = models::reads_unet(1);
-        let inputs = vec![(0..260).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<f64>>()];
+        let inputs = vec![(0..260)
+            .map(|j| (j as f64 * 0.1).sin())
+            .collect::<Vec<f64>>()];
         let p = profile_model(&m, &inputs);
         let fw = convert(&m, &p, &HlsConfig::paper_default());
         let table = precision_table(&fw);
         assert_eq!(table.len(), 12);
         // Every dense-like layer carries both formats and an x.
-        let dense_rows: Vec<_> = table
-            .iter()
-            .filter(|r| r.weight_format.is_some())
-            .collect();
+        let dense_rows: Vec<_> = table.iter().filter(|r| r.weight_format.is_some()).collect();
         assert_eq!(dense_rows.len(), 6, "5 convs + 1 head");
         for r in &dense_rows {
-            assert!(r.result_format.as_deref().unwrap().starts_with("ac_fixed<16,"));
+            assert!(r
+                .result_format
+                .as_deref()
+                .unwrap()
+                .starts_with("ac_fixed<16,"));
             let x = r.x.expect("x");
             assert!((-16..=16).contains(&x));
         }
@@ -249,7 +247,9 @@ mod tests {
     #[test]
     fn report_for_paper_unet() {
         let m = models::reads_unet(1);
-        let inputs = vec![(0..260).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<f64>>()];
+        let inputs = vec![(0..260)
+            .map(|j| (j as f64 * 0.1).sin())
+            .collect::<Vec<f64>>()];
         let p = profile_model(&m, &inputs);
         let fw = convert(&m, &p, &HlsConfig::paper_default());
         let rep = BuildReport::new(&fw);

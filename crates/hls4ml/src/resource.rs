@@ -162,9 +162,8 @@ pub fn estimate_resources_with(fw: &Firmware, lat: &LatencyBreakdown) -> Resourc
         IoInterface::Streaming => 0,
     };
 
-    let bram_blocks = weight_lanes
-        + (fifo_channels as f64 * FIFO_BANKS_PER_CHANNEL) as u64
-        + PLATFORM_M20K;
+    let bram_blocks =
+        weight_lanes + (fifo_channels as f64 * FIFO_BANKS_PER_CHANNEL) as u64 + PLATFORM_M20K;
     let bram_bits = ((weight_bits + fifo_bits + io_bits) as f64 * BITS_PADDING) as u64;
 
     let system_alms = (ip_aluts as f64 * ALM_PACKING) as u64 + PLATFORM_BASE_ALMS;
@@ -200,7 +199,9 @@ mod tests {
 
     fn unet_fw(strategy: PrecisionStrategy) -> Firmware {
         let m = models::reads_unet(1);
-        let inputs = vec![(0..260).map(|j| (j as f64 * 0.1).sin()).collect::<Vec<f64>>()];
+        let inputs = vec![(0..260)
+            .map(|j| (j as f64 * 0.1).sin())
+            .collect::<Vec<f64>>()];
         let p = profile_model(&m, &inputs);
         convert(&m, &p, &HlsConfig::with_strategy(strategy))
     }
@@ -233,12 +234,16 @@ mod tests {
             width: 16,
             int_margin: 0,
         }));
-        let u18 =
-            estimate_resources(&unet_fw(PrecisionStrategy::Uniform(QFormat::signed(18, 10))));
+        let u18 = estimate_resources(&unet_fw(PrecisionStrategy::Uniform(QFormat::signed(
+            18, 10,
+        ))));
         assert!(u16.ip_aluts < lb.ip_aluts);
         assert!(lb.ip_aluts < u18.ip_aluts / 2);
         let lb_pct = lb.alut_pct(&ARRIA10_10AS066);
-        assert!((25.0..=38.0).contains(&lb_pct), "layer-based {lb_pct}% vs 31%");
+        assert!(
+            (25.0..=38.0).contains(&lb_pct),
+            "layer-based {lb_pct}% vs 31%"
+        );
         assert!(lb.fits(&ARRIA10_10AS066));
     }
 
@@ -251,7 +256,10 @@ mod tests {
         }));
         let d = ARRIA10_10AS066;
         let alm_pct = Device::pct(lb.system_alms, d.alms);
-        assert!((80.0..=98.0).contains(&alm_pct), "system ALMs {alm_pct}% vs 89%");
+        assert!(
+            (80.0..=98.0).contains(&alm_pct),
+            "system ALMs {alm_pct}% vs 89%"
+        );
         assert!(
             (220..=330).contains(&lb.dsps),
             "DSPs {} vs paper 273",
@@ -271,7 +279,9 @@ mod tests {
     #[test]
     fn reuse_trades_resources_for_latency() {
         let m = models::reads_unet(2);
-        let inputs = vec![(0..260).map(|j| (j as f64 * 0.2).cos()).collect::<Vec<f64>>()];
+        let inputs = vec![(0..260)
+            .map(|j| (j as f64 * 0.2).cos())
+            .collect::<Vec<f64>>()];
         let p = profile_model(&m, &inputs);
         let mut hi_cfg = HlsConfig::paper_default();
         hi_cfg.reuse.conv = 256;

@@ -74,13 +74,7 @@ impl Gradients {
         assert_eq!(self.per_layer.len(), other.per_layer.len());
         for (a, b) in self.per_layer.iter_mut().zip(&other.per_layer) {
             match (a, b) {
-                (
-                    LayerGrad::Dense { dw, db },
-                    LayerGrad::Dense {
-                        dw: dw2,
-                        db: db2,
-                    },
-                ) => {
+                (LayerGrad::Dense { dw, db }, LayerGrad::Dense { dw: dw2, db: db2 }) => {
                     for (x, y) in dw.as_mut_slice().iter_mut().zip(dw2.as_slice()) {
                         *x += y;
                     }
@@ -409,10 +403,7 @@ mod tests {
         let _ = Model::new(
             4,
             1,
-            vec![
-                Layer::ConcatWith { node: 3 },
-                Layer::MaxPool { pool: 2 },
-            ],
+            vec![Layer::ConcatWith { node: 3 }, Layer::MaxPool { pool: 2 }],
         );
     }
 

@@ -14,7 +14,13 @@ pub fn he_normal(rows: usize, cols: usize, fan_in: usize, rng: &mut Rng) -> Mat 
 /// Glorot/Xavier-normal initialization (`std = sqrt(2 / (fan_in+fan_out))`)
 /// — used ahead of the sigmoid output stage.
 #[must_use]
-pub fn glorot_normal(rows: usize, cols: usize, fan_in: usize, fan_out: usize, rng: &mut Rng) -> Mat {
+pub fn glorot_normal(
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut Rng,
+) -> Mat {
     let std = (2.0 / (fan_in + fan_out) as f64).sqrt();
     Mat::from_fn(rows, cols, |_, _| rng.next_gaussian() * std)
 }

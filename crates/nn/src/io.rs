@@ -68,8 +68,8 @@ pub fn save_checkpoint(model: &Model, path: &Path) -> Result<(), CheckpointError
         output_shape: model.output_shape(),
         model: model.clone(),
     };
-    let bytes = serde_json::to_vec(&envelope)
-        .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+    let bytes =
+        serde_json::to_vec(&envelope).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
     let tmp = path.with_extension("ckpt.tmp");
     fs::write(&tmp, bytes).map_err(CheckpointError::Io)?;
     fs::rename(&tmp, path).map_err(CheckpointError::Io)
@@ -81,8 +81,8 @@ pub fn save_checkpoint(model: &Model, path: &Path) -> Result<(), CheckpointError
 /// See [`CheckpointError`].
 pub fn load_checkpoint(path: &Path) -> Result<Model, CheckpointError> {
     let bytes = fs::read(path).map_err(CheckpointError::Io)?;
-    let envelope: Envelope = serde_json::from_slice(&bytes)
-        .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+    let envelope: Envelope =
+        serde_json::from_slice(&bytes).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
     if envelope.version != CHECKPOINT_VERSION {
         return Err(CheckpointError::VersionMismatch {
             found: envelope.version,

@@ -99,9 +99,7 @@ impl Layer {
     #[must_use]
     pub fn param_count(&self) -> usize {
         match self {
-            Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. } => {
-                p.param_count()
-            }
+            Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. } => p.param_count(),
             _ => 0,
         }
     }

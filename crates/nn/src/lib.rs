@@ -39,12 +39,12 @@ pub mod summary;
 pub mod train;
 
 pub use graph::{ForwardCache, Gradients, Model};
+pub use io::{load_checkpoint, save_checkpoint};
 pub use layer::{DenseParams, Layer};
 pub use loss::Loss;
 pub use metrics::{accuracy_within, OutputLayout};
 pub use models::{reads_mlp, reads_unet, ModelSpec};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use schedule::{EarlyStopping, LrSchedule};
-pub use io::{load_checkpoint, save_checkpoint};
 pub use summary::summary;
 pub use train::{Dataset, TrainConfig, TrainReport};

@@ -69,7 +69,10 @@ pub fn mean_abs_diff(a: &[f64], b: &[f64]) -> f64 {
 #[must_use]
 pub fn outlier_count(a: &[f64], b: &[f64], tol: f64) -> usize {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).filter(|(x, y)| (*x - *y).abs() > tol).count()
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| (*x - *y).abs() > tol)
+        .count()
 }
 
 /// Per-machine accuracy summary over a batch of (reference, candidate)
@@ -161,7 +164,10 @@ mod tests {
     #[test]
     fn outliers_complement_accuracy() {
         let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
-        let b: Vec<f64> = a.iter().map(|x| x + if *x > 0.5 { 0.3 } else { 0.0 }).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .map(|x| x + if *x > 0.5 { 0.3 } else { 0.0 })
+            .collect();
         let acc = accuracy_within(&a, &b, 0.2);
         let out = outlier_count(&a, &b, 0.2);
         assert_eq!(out, 100 - (acc * 100.0).round() as usize);
@@ -188,12 +194,7 @@ mod tests {
         // MI exact, RR off by 0.3 everywhere.
         let reference = vec![vec![0.2, 0.4, 0.2, 0.4]];
         let candidate = vec![vec![0.2, 0.7, 0.2, 0.7]];
-        let acc = machine_accuracy(
-            &reference,
-            &candidate,
-            OutputLayout::InterleavedMiRr,
-            0.2,
-        );
+        let acc = machine_accuracy(&reference, &candidate, OutputLayout::InterleavedMiRr, 0.2);
         assert_eq!(acc.mi, 1.0);
         assert_eq!(acc.rr, 0.0);
         assert_eq!(acc.outliers, 2);

@@ -311,8 +311,7 @@ mod tests {
         let inputs = vec![data.inputs[0].clone(); 4];
         let targets = vec![data.targets[0].clone(); 4];
         let (g_batch, l_batch) = batch_gradients(&model, &inputs, &targets, Loss::Bce);
-        let (g_single, l_single) =
-            batch_gradients(&model, &inputs[..1], &targets[..1], Loss::Bce);
+        let (g_single, l_single) = batch_gradients(&model, &inputs[..1], &targets[..1], Loss::Bce);
         assert!((l_batch - l_single).abs() < 1e-12);
         assert!((g_batch.l2_norm() - g_single.l2_norm()).abs() < 1e-9);
     }
@@ -368,7 +367,11 @@ mod tests {
         );
         // Early stopping must have cut the run short of the full horizon on
         // this quickly-saturating toy task.
-        assert!(report.epoch_loss.len() < 60, "ran {} epochs", report.epoch_loss.len());
+        assert!(
+            report.epoch_loss.len() < 60,
+            "ran {} epochs",
+            report.epoch_loss.len()
+        );
         assert!(report.final_loss() < report.epoch_loss[0]);
         // The schedule actually annealed the optimizer's rate.
         assert!(opt.lr() < 0.01);

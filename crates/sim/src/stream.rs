@@ -100,17 +100,16 @@ impl P2Quantile {
                     + s / (dp - dm)
                         * ((s - dm) * (self.heights[i + 1] - self.heights[i]) / dp
                             + (dp - s) * (self.heights[i] - self.heights[i - 1]) / -dm);
-                self.heights[i] = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    // Parabolic estimate left the bracket: linear step.
-                    let j = if s > 0.0 { i + 1 } else { i - 1 };
-                    self.heights[i]
-                        + s * (self.heights[j] - self.heights[i])
-                            / (self.positions[j] - self.positions[i])
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        // Parabolic estimate left the bracket: linear step.
+                        let j = if s > 0.0 { i + 1 } else { i - 1 };
+                        self.heights[i]
+                            + s * (self.heights[j] - self.heights[i])
+                                / (self.positions[j] - self.positions[i])
+                    };
                 self.positions[i] += s;
             }
         }

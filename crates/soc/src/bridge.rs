@@ -129,7 +129,10 @@ mod tests {
         let dma = DmaEngine::default();
         let x = dma.crossover_words(&bridge);
         assert!(x > 390, "crossover {x} must exceed the 390-word frame");
-        assert!(x < 100_000, "crossover {x} must exist well below bulk sizes");
+        assert!(
+            x < 100_000,
+            "crossover {x} must exist well below bulk sizes"
+        );
     }
 
     #[test]

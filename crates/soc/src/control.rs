@@ -41,6 +41,8 @@ pub struct ControlIp {
     irq_line: bool,
     frames: u32,
     spurious_triggers: u32,
+    unsolicited_dones: u32,
+    soft_resets: u32,
 }
 
 impl Default for ControlIp {
@@ -58,6 +60,8 @@ impl ControlIp {
             irq_line: false,
             frames: 0,
             spurious_triggers: 0,
+            unsolicited_dones: 0,
+            soft_resets: 0,
         }
     }
 
@@ -78,6 +82,28 @@ impl ControlIp {
     #[must_use]
     pub fn spurious_triggers(&self) -> u32 {
         self.spurious_triggers
+    }
+
+    /// Done pulses observed while not running (a glitch on the done wire,
+    /// or an SEU replaying the pulse; tolerated by ignoring, counted).
+    #[must_use]
+    pub fn unsolicited_dones(&self) -> u32 {
+        self.unsolicited_dones
+    }
+
+    /// Soft resets issued by the watchdog since power-on.
+    #[must_use]
+    pub fn soft_resets(&self) -> u32 {
+        self.soft_resets
+    }
+
+    /// Watchdog escape hatch: force the FSM back to [`ControlState::Idle`]
+    /// and drop the interrupt line, whatever state it latched up in. The
+    /// frame counter survives (it is diagnostic state, not datapath).
+    pub fn soft_reset(&mut self) {
+        self.state = ControlState::Idle;
+        self.irq_line = false;
+        self.soft_resets = self.soft_resets.wrapping_add(1);
     }
 
     /// HPS register write. Returns `true` if the write started the IP
@@ -117,15 +143,16 @@ impl ControlIp {
 
     /// The U-Net IP's done pulse (Step 6): latch done, raise the IRQ.
     ///
-    /// # Panics
-    /// Panics if the IP signals done while the controller never started it —
-    /// a wiring bug the HDL testbench would catch.
+    /// Idempotent against glitches: a done pulse while the controller is
+    /// not in [`ControlState::Running`] (never started, or already done) is
+    /// ignored and counted in [`Self::unsolicited_dones`] — the radiation
+    /// environment makes replayed or spurious pulses a survivable event,
+    /// not a testbench-only wiring bug.
     pub fn ip_done(&mut self) {
-        assert_eq!(
-            self.state,
-            ControlState::Running,
-            "done pulse while not running"
-        );
+        if self.state != ControlState::Running {
+            self.unsolicited_dones = self.unsolicited_dones.wrapping_add(1);
+            return;
+        }
         self.state = ControlState::DonePendingAck;
         self.irq_line = true;
         self.frames = self.frames.wrapping_add(1);
@@ -188,8 +215,135 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "done pulse while not running")]
-    fn unsolicited_done_is_a_bug() {
-        ControlIp::new().ip_done();
+    fn unsolicited_done_is_counted_not_acted_on() {
+        let mut c = ControlIp::new();
+        c.ip_done();
+        assert_eq!(c.state(), ControlState::Idle, "glitch pulse ignored");
+        assert!(!c.irq_asserted());
+        assert_eq!(c.unsolicited_dones(), 1);
+        assert_eq!(c.read_reg(regs::FRAME_COUNT), 0);
+        // A second pulse while done-pending is equally inert.
+        assert!(c.write_reg(regs::TRIGGER, 1));
+        c.ip_done();
+        c.ip_done();
+        assert_eq!(c.state(), ControlState::DonePendingAck);
+        assert_eq!(c.unsolicited_dones(), 2);
+        assert_eq!(c.read_reg(regs::FRAME_COUNT), 1);
+    }
+
+    #[test]
+    fn soft_reset_recovers_any_state() {
+        let mut c = ControlIp::new();
+        c.write_reg(regs::TRIGGER, 1);
+        c.soft_reset();
+        assert_eq!(c.state(), ControlState::Idle);
+        assert!(!c.irq_asserted());
+        assert_eq!(c.soft_resets(), 1);
+        // And the handshake works again afterwards.
+        assert!(c.write_reg(regs::TRIGGER, 1));
+        c.ip_done();
+        assert!(c.irq_asserted());
+        c.write_reg(regs::IRQ_ACK, 1);
+        assert_eq!(c.state(), ControlState::Idle);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Replay an arbitrary stimulus sequence against the FSM. Actions:
+    /// 0 = trigger write, 1 = ack write, 2 = done pulse, 3 = junk write.
+    fn replay(actions: &[u8]) -> ControlIp {
+        let mut c = ControlIp::new();
+        for &a in actions {
+            match a % 4 {
+                0 => {
+                    c.write_reg(regs::TRIGGER, 1);
+                }
+                1 => {
+                    c.write_reg(regs::IRQ_ACK, 1);
+                }
+                2 => c.ip_done(),
+                _ => {
+                    c.write_reg(regs::FRAME_COUNT, 7);
+                }
+            }
+        }
+        c
+    }
+
+    proptest! {
+        #[test]
+        fn wrong_state_writes_are_noops(actions in prop::collection::vec(0u8..4, 0..64)) {
+            // Whatever the stimulus, the FSM only ever sits in one of its
+            // three legal states, and BUSY/DONE are consistent with it.
+            let c = replay(&actions);
+            let busy = c.read_reg(regs::BUSY);
+            let done = c.read_reg(regs::DONE);
+            prop_assert!(busy <= 1 && done <= 1);
+            prop_assert!(!(busy == 1 && done == 1), "busy and done never overlap");
+            match c.state() {
+                ControlState::Idle => prop_assert!(busy == 0 && done == 0 && !c.irq_asserted()),
+                ControlState::Running => prop_assert!(busy == 1 && done == 0),
+                ControlState::DonePendingAck => {
+                    prop_assert!(busy == 0 && done == 1 && c.irq_asserted());
+                }
+            }
+        }
+
+        #[test]
+        fn spurious_triggers_counted_not_acted_on(burst in 1u32..20) {
+            let mut c = ControlIp::new();
+            prop_assert!(c.write_reg(regs::TRIGGER, 1));
+            for _ in 0..burst {
+                prop_assert!(!c.write_reg(regs::TRIGGER, 1));
+            }
+            prop_assert_eq!(c.state(), ControlState::Running);
+            prop_assert_eq!(c.spurious_triggers(), burst);
+            // The burst does not fabricate frames.
+            prop_assert_eq!(c.read_reg(regs::FRAME_COUNT), 0);
+        }
+
+        #[test]
+        fn ip_done_idempotent(extra in 0u32..10, started in proptest::strategy::Just(true)) {
+            let mut c = ControlIp::new();
+            if started {
+                c.write_reg(regs::TRIGGER, 1);
+            }
+            c.ip_done();
+            let state_after_first = c.state();
+            let frames_after_first = c.read_reg(regs::FRAME_COUNT);
+            for _ in 0..extra {
+                c.ip_done();
+            }
+            prop_assert_eq!(c.state(), state_after_first, "repeat pulses change nothing");
+            prop_assert_eq!(c.read_reg(regs::FRAME_COUNT), frames_after_first);
+            prop_assert_eq!(c.unsolicited_dones(), extra);
+        }
+
+        #[test]
+        fn frame_count_equals_completed_handshakes(cycles in 0u32..30, noise in prop::collection::vec(0u8..4, 0..16)) {
+            let mut c = ControlIp::new();
+            // Interleave noise, then run `cycles` clean handshakes.
+            for &a in &noise {
+                match a % 4 {
+                    0 => { c.write_reg(regs::TRIGGER, 1); }
+                    1 => { c.write_reg(regs::IRQ_ACK, 1); }
+                    2 => c.ip_done(),
+                    _ => {}
+                }
+            }
+            c.soft_reset();
+            let base = c.read_reg(regs::FRAME_COUNT);
+            for _ in 0..cycles {
+                prop_assert!(c.write_reg(regs::TRIGGER, 1));
+                c.ip_done();
+                c.write_reg(regs::IRQ_ACK, 1);
+            }
+            prop_assert_eq!(c.read_reg(regs::FRAME_COUNT), base + cycles);
+            prop_assert_eq!(c.state(), ControlState::Idle);
+        }
     }
 }

@@ -4,6 +4,7 @@
 //! verdict. These costs sit *outside* the paper's measured Steps 1–8 window
 //! but bound the sustainable frame rate together with the core pipeline.
 
+use crate::faults::EthPacketFault;
 use reads_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +46,36 @@ impl EthernetModel {
             .map(|&p| self.packet_time(p))
             .fold(SimDuration::ZERO, |a, b| a + b)
     }
+
+    /// Ingest time for a frame whose packets carry per-packet fault
+    /// decisions from the injector. A dropped packet never reaches the MAC
+    /// (no cost); a duplicated packet is received — and its stack cost paid
+    /// — twice; a delayed packet adds its late-arrival slack; corruption
+    /// costs nothing extra on the wire (the checksum rejects it later, at
+    /// decode). `faults` may be shorter than `hub_payloads`; missing
+    /// entries mean clean packets.
+    #[must_use]
+    pub fn faulty_frame_ingest_time(
+        &self,
+        hub_payloads: &[usize],
+        faults: &[EthPacketFault],
+    ) -> SimDuration {
+        let mut t = SimDuration::ZERO;
+        for (i, &p) in hub_payloads.iter().enumerate() {
+            let Some(f) = faults.get(i) else {
+                t += self.packet_time(p);
+                continue;
+            };
+            if f.dropped {
+                continue;
+            }
+            t += self.packet_time(p) + f.delay;
+            if f.duplicated {
+                t += self.packet_time(p);
+            }
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -62,6 +93,35 @@ mod tests {
             t.as_micros_f64() < 300.0,
             "ingest {t} must be well under 3 ms"
         );
+    }
+
+    #[test]
+    fn faulty_ingest_accounts_drops_dups_and_delays() {
+        let eth = EthernetModel::default();
+        let payloads = [161usize; 4];
+        let clean = eth.frame_ingest_time(&payloads);
+        let per = eth.packet_time(161);
+        let faults = [
+            EthPacketFault {
+                dropped: true,
+                ..Default::default()
+            },
+            EthPacketFault {
+                duplicated: true,
+                ..Default::default()
+            },
+            EthPacketFault {
+                delay: SimDuration::from_micros(40),
+                ..Default::default()
+            },
+            // fourth packet clean by omission
+        ];
+        let t = eth.faulty_frame_ingest_time(&payloads[..3], &faults);
+        // drop (-1 packet) and dup (+1 packet) cancel against 3 clean
+        // packets; the delay rides on top.
+        assert_eq!(t, per * 3 + SimDuration::from_micros(40));
+        // No faults at all matches the clean path bit-for-bit.
+        assert_eq!(eth.faulty_frame_ingest_time(&payloads, &[]), clean);
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! Seeded fault-injection plane for the SoC simulator.
+//!
+//! Real deployments of the central node sit in a radiation field next to a
+//! proton beamline: packets drop, the H2F bridge occasionally NACKs, the
+//! control FSM can latch up after an SEU in its state register, buffers
+//! take bit flips, and the kernel sometimes preempts the readout thread in
+//! bursts. [`FaultPlan`] describes all of those as per-frame (or
+//! per-packet) probabilities; [`FaultInjector`] turns a plan into a
+//! deterministic decision stream from its own seeded [`Rng`], completely
+//! separate from the cost-model RNG — so an all-zero plan (the default)
+//! leaves every existing experiment bit-identical.
+//!
+//! The injector decides *what* goes wrong; the subsystems
+//! ([`crate::control::ControlIp`], [`crate::ram::DualPortRam`],
+//! [`crate::node::CentralNodeSim`], the Ethernet ingress in `reads-core`)
+//! apply the decisions. Recovery lives in `reads-core::resilience`.
+
+use crate::bridge::AvalonBridge;
+use crate::hps::HpsModel;
+use reads_sim::{Rng, SimDuration};
+use serde::Serialize;
+
+/// Ethernet ingress faults, decided per hub packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EthFaults {
+    /// Probability a hub packet is dropped on the wire.
+    pub drop_prob: f64,
+    /// Probability a packet is delayed past its slot (adds ingress time).
+    pub delay_prob: f64,
+    /// Delay bounds when delayed, µs (uniform).
+    pub delay_us: (f64, f64),
+    /// Probability a packet arrives with corrupted payload bytes.
+    pub corrupt_prob: f64,
+    /// Bit flips applied to a corrupted packet (uniform in `1..=max`).
+    pub corrupt_bits_max: u64,
+    /// Probability a packet is duplicated by the switch fabric.
+    pub duplicate_prob: f64,
+    /// Probability two adjacent packets swap arrival order.
+    pub reorder_prob: f64,
+}
+
+impl Default for EthFaults {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            delay_us: (0.0, 0.0),
+            corrupt_prob: 0.0,
+            corrupt_bits_max: 4,
+            duplicate_prob: 0.0,
+            reorder_prob: 0.0,
+        }
+    }
+}
+
+/// Avalon-MM bridge faults, decided per frame and per direction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BridgeFaults {
+    /// Probability the input write burst hits at least one bus error.
+    pub write_error_prob: f64,
+    /// Probability the result read-back hits at least one bus error.
+    pub read_error_prob: f64,
+    /// Retries per error event (uniform in `1..=max_retries`); each retry
+    /// replays a bridge transaction and costs [`AvalonBridge`] time.
+    pub max_retries: u64,
+    /// Extra words replayed per retry (the aborted burst tail).
+    pub retry_words: usize,
+}
+
+impl Default for BridgeFaults {
+    fn default() -> Self {
+        Self {
+            write_error_prob: 0.0,
+            read_error_prob: 0.0,
+            max_retries: 3,
+            retry_words: 16,
+        }
+    }
+}
+
+/// Control-IP handshake faults, decided per frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Default)]
+pub struct ControlFaults {
+    /// Probability the FSM latches up mid-compute (SEU in the state
+    /// register): the done pulse never arrives and BUSY stays high.
+    pub stuck_fsm_prob: f64,
+    /// Probability the done IRQ is lost between the GIC and userspace:
+    /// DONE reads 1 but no interrupt is ever delivered.
+    pub lost_irq_prob: f64,
+    /// Probability a burst of spurious triggers hits the controller while
+    /// it is already running (noise on the trigger write path).
+    pub spurious_prob: f64,
+    /// Burst length when spurious triggers fire (uniform in `1..=max`).
+    pub spurious_burst_max: u64,
+}
+
+/// On-chip RAM faults: transient bit flips in the I/O buffers (the weight
+/// memories are covered by `reads-core::seu`; the watchdog's scrub rung
+/// repairs both from the golden copy in HPS DDR).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RamFaults {
+    /// Probability a frame's *input* buffer takes flips after the write.
+    pub input_flip_prob: f64,
+    /// Probability a frame's *output* buffer takes flips before read-back.
+    pub output_flip_prob: f64,
+    /// Flips per corrupted buffer (uniform in `1..=max`).
+    pub flips_max: u64,
+}
+
+impl Default for RamFaults {
+    fn default() -> Self {
+        Self {
+            input_flip_prob: 0.0,
+            output_flip_prob: 0.0,
+            flips_max: 2,
+        }
+    }
+}
+
+/// HPS scheduler faults: preemption *storms* (several back-to-back stalls
+/// in one frame, e.g. an IRQ flood on a shared core), on top of the
+/// calibrated single-preemption tail already in [`HpsModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HpsFaults {
+    /// Probability a frame is hit by a storm.
+    pub storm_prob: f64,
+    /// Stalls per storm (uniform in `2..=max`).
+    pub storm_preemptions_max: u64,
+}
+
+impl Default for HpsFaults {
+    fn default() -> Self {
+        Self {
+            storm_prob: 0.0,
+            storm_preemptions_max: 4,
+        }
+    }
+}
+
+/// A complete fault configuration. `FaultPlan::default()` injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Seed of the injector's private RNG (independent of the cost model).
+    pub seed: u64,
+    /// Ethernet ingress faults.
+    pub eth: EthFaults,
+    /// Avalon bridge faults.
+    pub bridge: BridgeFaults,
+    /// Control-IP handshake faults.
+    pub control: ControlFaults,
+    /// I/O buffer faults.
+    pub ram: RamFaults,
+    /// Scheduler faults.
+    pub hps: HpsFaults,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0xFA_17,
+            eth: EthFaults::default(),
+            bridge: BridgeFaults::default(),
+            control: ControlFaults::default(),
+            ram: RamFaults::default(),
+            hps: HpsFaults::default(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The no-fault plan.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when every probability is zero: the injector draws nothing
+    /// and the simulation is bit-identical to a node without a plan.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.eth.drop_prob == 0.0
+            && self.eth.delay_prob == 0.0
+            && self.eth.corrupt_prob == 0.0
+            && self.eth.duplicate_prob == 0.0
+            && self.eth.reorder_prob == 0.0
+            && self.bridge.write_error_prob == 0.0
+            && self.bridge.read_error_prob == 0.0
+            && self.control.stuck_fsm_prob == 0.0
+            && self.control.lost_irq_prob == 0.0
+            && self.control.spurious_prob == 0.0
+            && self.ram.input_flip_prob == 0.0
+            && self.ram.output_flip_prob == 0.0
+            && self.hps.storm_prob == 0.0
+    }
+
+    /// Plan with only a stuck-FSM hazard (the acceptance-curve scenario).
+    #[must_use]
+    pub fn stuck_fsm(rate: f64, seed: u64) -> Self {
+        let mut p = Self {
+            seed,
+            ..Self::default()
+        };
+        p.control.stuck_fsm_prob = rate;
+        p
+    }
+
+    /// Plan with only a lost-done-IRQ hazard.
+    #[must_use]
+    pub fn lost_irq(rate: f64, seed: u64) -> Self {
+        let mut p = Self {
+            seed,
+            ..Self::default()
+        };
+        p.control.lost_irq_prob = rate;
+        p
+    }
+}
+
+/// Per-frame fault decisions (all-zero when nothing fired).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FrameFaults {
+    /// Bus-error retries charged to the input write burst.
+    pub write_retries: u64,
+    /// Bus-error retries charged to the result read-back.
+    pub read_retries: u64,
+    /// The FSM latches up this frame: the done pulse never arrives.
+    pub stuck_fsm: bool,
+    /// The done IRQ is lost between GIC and userspace.
+    pub lost_irq: bool,
+    /// Spurious trigger writes arriving while the IP runs.
+    pub spurious_triggers: u64,
+    /// Bit flips in the input buffer after the write.
+    pub input_flips: u64,
+    /// Bit flips in the output buffer before read-back.
+    pub output_flips: u64,
+    /// Preemption stalls beyond the calibrated single-stall tail.
+    pub storm_preemptions: u64,
+}
+
+impl FrameFaults {
+    /// Whether any fault fired this frame.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+}
+
+/// Per-packet Ethernet fault decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct EthPacketFault {
+    /// Packet never arrives.
+    pub dropped: bool,
+    /// Late arrival: added to the ingress time.
+    pub delay: SimDuration,
+    /// Payload bit flips (0 = clean).
+    pub corrupt_bits: u64,
+    /// Packet arrives twice.
+    pub duplicated: bool,
+    /// Packet swaps order with its neighbour.
+    pub reordered: bool,
+}
+
+/// Running totals of everything the injector has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FaultLog {
+    /// Packets dropped.
+    pub eth_dropped: u64,
+    /// Packets delayed.
+    pub eth_delayed: u64,
+    /// Packets corrupted.
+    pub eth_corrupted: u64,
+    /// Packets duplicated.
+    pub eth_duplicated: u64,
+    /// Packets reordered.
+    pub eth_reordered: u64,
+    /// Bridge write-burst error events.
+    pub bridge_write_errors: u64,
+    /// Bridge read-burst error events.
+    pub bridge_read_errors: u64,
+    /// Frames with a stuck FSM.
+    pub stuck_fsm: u64,
+    /// Frames with a lost done IRQ.
+    pub lost_irq: u64,
+    /// Spurious trigger writes injected.
+    pub spurious_triggers: u64,
+    /// Input-buffer bit flips applied.
+    pub input_flips: u64,
+    /// Output-buffer bit flips applied.
+    pub output_flips: u64,
+    /// Preemption storms.
+    pub hps_storms: u64,
+}
+
+impl FaultLog {
+    /// Total distinct fault events (packet + frame level).
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.eth_dropped
+            + self.eth_delayed
+            + self.eth_corrupted
+            + self.eth_duplicated
+            + self.eth_reordered
+            + self.bridge_write_errors
+            + self.bridge_read_errors
+            + self.stuck_fsm
+            + self.lost_irq
+            + self.spurious_triggers
+            + self.input_flips
+            + self.output_flips
+            + self.hps_storms
+    }
+}
+
+/// Turns a [`FaultPlan`] into a deterministic decision stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Rng,
+    log: FaultLog,
+}
+
+impl FaultInjector {
+    /// Builds an injector; the RNG is seeded from the plan alone.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            rng: Rng::seed_from_u64(plan.seed ^ 0xF4_0175),
+            plan,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// The plan in force.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Everything injected so far.
+    #[must_use]
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Draws the fault decisions for one SoC frame. Draw order is fixed so
+    /// campaigns are reproducible under a fixed seed.
+    pub fn draw_frame(&mut self) -> FrameFaults {
+        if self.plan.is_quiet() {
+            return FrameFaults::default();
+        }
+        let mut f = FrameFaults::default();
+        let b = self.plan.bridge;
+        if b.write_error_prob > 0.0 && self.rng.chance(b.write_error_prob) {
+            f.write_retries = self.rng.range_u64(1, b.max_retries.max(1) + 1);
+            self.log.bridge_write_errors += 1;
+        }
+        if b.read_error_prob > 0.0 && self.rng.chance(b.read_error_prob) {
+            f.read_retries = self.rng.range_u64(1, b.max_retries.max(1) + 1);
+            self.log.bridge_read_errors += 1;
+        }
+        let c = self.plan.control;
+        if c.stuck_fsm_prob > 0.0 && self.rng.chance(c.stuck_fsm_prob) {
+            f.stuck_fsm = true;
+            self.log.stuck_fsm += 1;
+        }
+        if c.lost_irq_prob > 0.0 && self.rng.chance(c.lost_irq_prob) {
+            f.lost_irq = true;
+            self.log.lost_irq += 1;
+        }
+        if c.spurious_prob > 0.0 && self.rng.chance(c.spurious_prob) {
+            f.spurious_triggers = self.rng.range_u64(1, c.spurious_burst_max.max(1) + 1);
+            self.log.spurious_triggers += f.spurious_triggers;
+        }
+        let r = self.plan.ram;
+        if r.input_flip_prob > 0.0 && self.rng.chance(r.input_flip_prob) {
+            f.input_flips = self.rng.range_u64(1, r.flips_max.max(1) + 1);
+            self.log.input_flips += f.input_flips;
+        }
+        if r.output_flip_prob > 0.0 && self.rng.chance(r.output_flip_prob) {
+            f.output_flips = self.rng.range_u64(1, r.flips_max.max(1) + 1);
+            self.log.output_flips += f.output_flips;
+        }
+        let h = self.plan.hps;
+        if h.storm_prob > 0.0 && self.rng.chance(h.storm_prob) {
+            f.storm_preemptions = self.rng.range_u64(2, h.storm_preemptions_max.max(2) + 1);
+            self.log.hps_storms += 1;
+        }
+        f
+    }
+
+    /// Draws the fault decision for one ingress hub packet.
+    pub fn draw_packet(&mut self) -> EthPacketFault {
+        let e = self.plan.eth;
+        let mut f = EthPacketFault::default();
+        if e.drop_prob > 0.0 && self.rng.chance(e.drop_prob) {
+            f.dropped = true;
+            self.log.eth_dropped += 1;
+            return f; // a dropped packet can suffer nothing else
+        }
+        if e.delay_prob > 0.0 && self.rng.chance(e.delay_prob) {
+            let us = self
+                .rng
+                .range_f64(e.delay_us.0, e.delay_us.1.max(e.delay_us.0));
+            f.delay = SimDuration::from_nanos((us * 1_000.0) as u64);
+            self.log.eth_delayed += 1;
+        }
+        if e.corrupt_prob > 0.0 && self.rng.chance(e.corrupt_prob) {
+            f.corrupt_bits = self.rng.range_u64(1, e.corrupt_bits_max.max(1) + 1);
+            self.log.eth_corrupted += 1;
+        }
+        if e.duplicate_prob > 0.0 && self.rng.chance(e.duplicate_prob) {
+            f.duplicated = true;
+            self.log.eth_duplicated += 1;
+        }
+        if e.reorder_prob > 0.0 && self.rng.chance(e.reorder_prob) {
+            f.reordered = true;
+            self.log.eth_reordered += 1;
+        }
+        f
+    }
+
+    /// Picks `n` distinct flip sites (word index, bit < 16) in a buffer of
+    /// `words` 16-bit words.
+    pub fn flip_sites(&mut self, words: usize, n: u64) -> Vec<(usize, u32)> {
+        let mut sites: Vec<(usize, u32)> = Vec::with_capacity(n as usize);
+        if words == 0 {
+            return sites;
+        }
+        while (sites.len() as u64) < n {
+            let site = (self.rng.index(words), self.rng.next_u32() % 16);
+            if !sites.contains(&site) {
+                sites.push(site);
+            }
+        }
+        sites
+    }
+
+    /// A fair byte/bit position stream for packet corruption.
+    pub fn corrupt_positions(&mut self, len: usize, bits: u64) -> Vec<(usize, u8)> {
+        let mut out = Vec::with_capacity(bits as usize);
+        if len == 0 {
+            return out;
+        }
+        for _ in 0..bits {
+            out.push((self.rng.index(len), (self.rng.next_u32() % 8) as u8));
+        }
+        out
+    }
+
+    /// Cost of replaying aborted bridge bursts: `retries` transactions of
+    /// `retry_words` words each, in the given direction.
+    #[must_use]
+    pub fn retry_cost(
+        bridge: &AvalonBridge,
+        plan: &BridgeFaults,
+        retries: u64,
+        write: bool,
+    ) -> SimDuration {
+        if retries == 0 {
+            return SimDuration::ZERO;
+        }
+        let per = if write {
+            bridge.write_time(plan.retry_words)
+        } else {
+            bridge.read_time(plan.retry_words)
+        };
+        per * retries
+    }
+
+    /// Total stall of a preemption storm: `k` stalls each drawn from the
+    /// calibrated preemption window of `hps`.
+    pub fn storm_cost(&mut self, hps: &HpsModel, k: u64) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for _ in 0..k {
+            let us = self.rng.range_f64(hps.preemption_us.0, hps.preemption_us.1);
+            total += SimDuration::from_nanos((us * 1_000.0) as u64);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_quiet_and_draws_nothing() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_quiet());
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..100 {
+            assert!(!inj.draw_frame().any());
+        }
+        assert_eq!(inj.log().total_events(), 0);
+    }
+
+    #[test]
+    fn stuck_fsm_rate_matches_plan() {
+        let mut inj = FaultInjector::new(FaultPlan::stuck_fsm(0.05, 9));
+        let n = 20_000;
+        let hits = (0..n).filter(|_| inj.draw_frame().stuck_fsm).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.03..0.07).contains(&rate), "rate {rate}");
+        assert_eq!(inj.log().stuck_fsm, hits as u64);
+    }
+
+    #[test]
+    fn injector_deterministic_per_seed() {
+        let mut a = FaultInjector::new(FaultPlan::stuck_fsm(0.2, 42));
+        let mut b = FaultInjector::new(FaultPlan::stuck_fsm(0.2, 42));
+        for _ in 0..500 {
+            assert_eq!(a.draw_frame(), b.draw_frame());
+        }
+        assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn flip_sites_distinct_and_in_range() {
+        let mut inj = FaultInjector::new(FaultPlan::stuck_fsm(0.0, 3));
+        let sites = inj.flip_sites(64, 8);
+        assert_eq!(sites.len(), 8);
+        for (i, &(w, b)) in sites.iter().enumerate() {
+            assert!(w < 64 && b < 16);
+            assert!(!sites[..i].contains(&(w, b)), "duplicate site");
+        }
+    }
+
+    #[test]
+    fn dropped_packet_short_circuits() {
+        let mut plan = FaultPlan::default();
+        plan.eth.drop_prob = 1.0;
+        plan.eth.corrupt_prob = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        let f = inj.draw_packet();
+        assert!(f.dropped);
+        assert_eq!(f.corrupt_bits, 0, "dropped packets take no other fault");
+    }
+
+    #[test]
+    fn storm_cost_bounded_by_window() {
+        let hps = HpsModel::default();
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        let c = inj.storm_cost(&hps, 3);
+        let max = SimDuration::from_nanos((3.0 * hps.preemption_us.1 * 1_000.0) as u64);
+        let min = SimDuration::from_nanos((3.0 * hps.preemption_us.0 * 1_000.0) as u64);
+        assert!(c >= min && c <= max, "{c:?}");
+    }
+}

@@ -97,11 +97,9 @@ impl HpsModel {
         let read_words = n_out.div_ceil(2) as f64;
         // Per-word noise of a few percent (bus arbitration).
         let wiggle = |rng: &mut Rng| 1.0 + rng.range_f64(-0.03, 0.03);
-        let write = SimDuration::from_nanos(
-            (write_words * self.write_word_ns * wiggle(rng)) as u64,
-        );
-        let read =
-            SimDuration::from_nanos((read_words * self.read_word_ns * wiggle(rng)) as u64);
+        let write =
+            SimDuration::from_nanos((write_words * self.write_word_ns * wiggle(rng)) as u64);
+        let read = SimDuration::from_nanos((read_words * self.read_word_ns * wiggle(rng)) as u64);
         let control = SimDuration::from_nanos(
             (self.control_accesses as f64 * self.read_word_ns * wiggle(rng)) as u64,
         );

@@ -23,6 +23,9 @@
 //!   and kernel-stack costs.
 //! * [`counters`] — the performance counters the paper embedded in the
 //!   platform to "measure real latency".
+//! * [`faults`] — the seeded fault-injection plane: per-subsystem fault
+//!   plans (Ethernet, bridge, control FSM, I/O RAM, scheduler) whose
+//!   all-zero default leaves every experiment bit-identical.
 
 #![warn(missing_docs)]
 
@@ -31,6 +34,7 @@ pub mod bridge;
 pub mod control;
 pub mod counters;
 pub mod eth;
+pub mod faults;
 pub mod hps;
 pub mod node;
 pub mod platform;
@@ -40,11 +44,12 @@ pub mod signaltap;
 pub use boot::{BootModel, BootStage};
 pub use bridge::{AvalonBridge, DmaEngine};
 pub use control::{ControlIp, ControlState};
+pub use faults::{FaultInjector, FaultLog, FaultPlan};
 pub use hps::HpsModel;
-pub use node::{CentralNodeSim, FrameTiming, TapProbes};
-pub use signaltap::{SignalTap, SignalValue};
+pub use node::{CentralNodeSim, FrameHang, FrameTiming, HangKind, TapProbes};
 pub use platform::{Component, Platform};
 pub use ram::DualPortRam;
+pub use signaltap::{SignalTap, SignalValue};
 
 /// Re-export of the target device table (defined next to the resource
 /// estimator in `reads-hls4ml`).

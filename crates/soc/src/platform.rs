@@ -186,13 +186,7 @@ impl Platform {
         let mut sorted: Vec<&Component> = self.components.iter().collect();
         sorted.sort_by_key(|c| c.base);
         for c in sorted {
-            let _ = writeln!(
-                out,
-                "{:<16} {:#10x} {:#10x}",
-                c.name,
-                c.base,
-                c.end() - 1
-            );
+            let _ = writeln!(out, "{:<16} {:#10x} {:#10x}", c.name, c.base, c.end() - 1);
         }
         out
     }

@@ -15,9 +15,7 @@ impl DualPortRam {
     /// Zero-initialized RAM of `n` 16-bit words.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self {
-            words: vec![0; n],
-        }
+        Self { words: vec![0; n] }
     }
 
     /// Capacity in 16-bit words.
@@ -79,6 +77,22 @@ impl DualPortRam {
             transfers += 1;
         }
         transfers
+    }
+
+    /// Flips the given `(word, bit)` sites in place — the fault plane's
+    /// model of single-event upsets in the I/O buffers (the weight
+    /// memories are handled by `reads-core`'s SEU campaign). Out-of-range
+    /// sites are ignored (an upset outside the decoded region is invisible);
+    /// returns the number of flips actually applied.
+    pub fn inject_bit_flips(&mut self, sites: &[(usize, u32)]) -> usize {
+        let mut applied = 0;
+        for &(word, bit) in sites {
+            if word < self.words.len() && bit < 16 {
+                self.words[word] ^= 1 << bit;
+                applied += 1;
+            }
+        }
+        applied
     }
 
     /// Reads `n` 16-bit values through the HPS port; returns values and the
@@ -152,5 +166,18 @@ mod tests {
     #[should_panic(expected = "exceeds buffer")]
     fn overflow_rejected() {
         DualPortRam::new(2).store_frame(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn bit_flips_toggle_and_ignore_out_of_range() {
+        let mut ram = DualPortRam::new(4);
+        ram.store_frame(&[0, 0, 0, 0]);
+        let applied = ram.inject_bit_flips(&[(0, 3), (2, 15), (99, 0), (1, 16)]);
+        assert_eq!(applied, 2, "out-of-range sites are invisible");
+        assert_eq!(ram.read16(0), 1 << 3);
+        assert_eq!(ram.read16(2), 1 << 15);
+        // A second identical flip restores the word (XOR semantics).
+        ram.inject_bit_flips(&[(0, 3)]);
+        assert_eq!(ram.read16(0), 0);
     }
 }

@@ -121,13 +121,7 @@ impl SignalTap {
         let _ = writeln!(out, "$timescale 1ns $end");
         let _ = writeln!(out, "$scope module {module} $end");
         for (i, t) in self.traces.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "$var wire {} {} {} $end",
-                t.width,
-                vcd_id(i),
-                t.name
-            );
+            let _ = writeln!(out, "$var wire {} {} {} $end", t.width, vcd_id(i), t.name);
         }
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");
@@ -182,9 +176,18 @@ mod tests {
         tap.record(trig, SimTime(10), SignalValue::Bit(true));
         tap.record(trig, SimTime(20), SignalValue::Bit(false));
         assert_eq!(tap.value_at(trig, SimTime(5)), None);
-        assert_eq!(tap.value_at(trig, SimTime(10)), Some(SignalValue::Bit(true)));
-        assert_eq!(tap.value_at(trig, SimTime(15)), Some(SignalValue::Bit(true)));
-        assert_eq!(tap.value_at(trig, SimTime(25)), Some(SignalValue::Bit(false)));
+        assert_eq!(
+            tap.value_at(trig, SimTime(10)),
+            Some(SignalValue::Bit(true))
+        );
+        assert_eq!(
+            tap.value_at(trig, SimTime(15)),
+            Some(SignalValue::Bit(true))
+        );
+        assert_eq!(
+            tap.value_at(trig, SimTime(25)),
+            Some(SignalValue::Bit(false))
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ where
 
 /// Parallel fold-and-merge: maps items to accumulators and merges them with
 /// `merge`. `init` must produce a neutral element.
-pub fn par_accumulate<T, A, FM, FMerge, FInit>(items: &[T], init: FInit, map: FM, merge: FMerge) -> A
+pub fn par_accumulate<T, A, FM, FMerge, FInit>(
+    items: &[T],
+    init: FInit,
+    map: FM,
+    merge: FMerge,
+) -> A
 where
     T: Sync,
     A: Send,
@@ -39,10 +44,7 @@ where
     FM: Fn(A, &T) -> A + Sync + Send,
     FMerge: Fn(A, A) -> A + Sync + Send,
 {
-    items
-        .par_iter()
-        .fold(&init, &map)
-        .reduce(&init, merge)
+    items.par_iter().fold(&init, &map).reduce(&init, merge)
 }
 
 #[cfg(test)]

@@ -7,9 +7,7 @@
 //! ```
 
 use reads::central::trained::{TrainedBundle, TrainingTier};
-use reads::hls4ml::{
-    codegen, convert, profile_model, BuildReport, HlsConfig,
-};
+use reads::hls4ml::{codegen, convert, profile_model, BuildReport, HlsConfig};
 use reads::nn::ModelSpec;
 
 fn main() {
@@ -21,8 +19,8 @@ fn main() {
     let cpp = codegen::emit_cpp(&firmware, "unet_deblender");
     let vhdl = codegen::emit_avalon_wrapper(&firmware, "unet_deblender");
 
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("target/reads-artifacts/firmware");
+    let dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/reads-artifacts/firmware");
     std::fs::create_dir_all(&dir).expect("artifacts dir");
     std::fs::write(dir.join("unet_deblender.cpp"), &cpp).expect("write cpp");
     std::fs::write(dir.join("unet_deblender_wrapper.vhd"), &vhdl).expect("write vhdl");

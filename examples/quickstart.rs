@@ -44,8 +44,14 @@ fn main() {
 
     println!("frame timing:");
     println!("  ingress {:>10}", timing.ingress);
-    println!("  steps 1-8 {:>8}   (write {} | compute {} | irq {} | read {})",
-        timing.core.total, timing.core.write, timing.core.compute, timing.core.irq, timing.core.read);
+    println!(
+        "  steps 1-8 {:>8}   (write {} | compute {} | irq {} | read {})",
+        timing.core.total,
+        timing.core.write,
+        timing.core.compute,
+        timing.core.irq,
+        timing.core.read
+    );
     println!("  egress  {:>10}", timing.egress);
     match verdict.trip_decision(TRIP_THRESHOLD) {
         Some(machine) => println!("verdict: trip {}", machine.tag()),

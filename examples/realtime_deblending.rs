@@ -15,8 +15,8 @@ use crossbeam::channel;
 use reads::blm::hubs::{split_frame, HubPacket};
 use reads::blm::FrameGenerator;
 use reads::central::system::{DeblendingSystem, TRIP_THRESHOLD};
-use reads::central::OperatorConsole;
 use reads::central::trained::{TrainedBundle, TrainingTier};
+use reads::central::OperatorConsole;
 use reads::hls4ml::{convert, profile_model, HlsConfig};
 use reads::nn::ModelSpec;
 use std::time::{Duration, Instant};
@@ -29,12 +29,8 @@ fn main() {
     let calibration = bundle.calibration_inputs(16);
     let profile = profile_model(&bundle.model, &calibration);
     let firmware = convert(&bundle.model, &profile, &HlsConfig::paper_default());
-    let mut system = DeblendingSystem::new(
-        firmware,
-        bundle.standardizer.clone(),
-        Default::default(),
-        1,
-    );
+    let mut system =
+        DeblendingSystem::new(firmware, bundle.standardizer.clone(), Default::default(), 1);
     let generator = FrameGenerator::with_defaults(bundle.workload_seed);
 
     let (hub_tx, hub_rx) = channel::bounded::<(u32, Vec<HubPacket>)>(8);

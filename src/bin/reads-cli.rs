@@ -45,10 +45,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .ok_or_else(|| format!("missing value for {flag}"))
-        };
+        let mut value = || it.next().ok_or_else(|| format!("missing value for {flag}"));
         match flag.as_str() {
             "--model" => {
                 args.model = match value()?.as_str() {
@@ -65,19 +62,13 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                 }
             }
             "--seed" => {
-                args.seed = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?;
+                args.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--width" => {
-                args.width = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --width: {e}"))?;
+                args.width = value()?.parse().map_err(|e| format!("bad --width: {e}"))?;
             }
             "--frames" => {
-                args.frames = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --frames: {e}"))?;
+                args.frames = value()?.parse().map_err(|e| format!("bad --frames: {e}"))?;
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -147,14 +138,8 @@ fn main() -> ExitCode {
         "run" => {
             let (bundle, fw) = firmware_of(&args);
             let input = vec![0.1; bundle.spec.input_len()];
-            let c = run_latency_campaign(
-                &fw,
-                &HpsModel::default(),
-                &input,
-                args.frames,
-                8,
-                args.seed,
-            );
+            let c =
+                run_latency_campaign(&fw, &HpsModel::default(), &input, args.frames, 8, args.seed);
             println!(
                 "{} over {} frames: mean {:.3} ms | min {:.3} | max {:.3} | {:.1} fps | {:.2}% under 3 ms",
                 bundle.spec.name(),
@@ -170,9 +155,7 @@ fn main() -> ExitCode {
             let (bundle, fw) = firmware_of(&args);
             let frames = bundle.eval_frames(8, 0).inputs;
             let mut ok = true;
-            for r in
-                run_verification_flow(&bundle.model, &fw, &frames, metrics::PAPER_TOLERANCE)
-            {
+            for r in run_verification_flow(&bundle.model, &fw, &frames, metrics::PAPER_TOLERANCE) {
                 println!(
                     "stage {} [{}] {} — {}",
                     r.stage,

@@ -32,7 +32,10 @@ fn full_pipeline_produces_sane_verdicts() {
         assert_eq!(verdict.sequence, seq);
         assert!(verdict.mi.iter().all(|&p| (0.0..=1.0).contains(&p)));
         assert!(verdict.rr.iter().all(|&p| (0.0..=1.0).contains(&p)));
-        assert!(timing.core.total < SimDuration::from_millis(3), "3 ms deadline");
+        assert!(
+            timing.core.total < SimDuration::from_millis(3),
+            "3 ms deadline"
+        );
         trips += usize::from(verdict.trip_decision(5.0).is_some());
     }
     assert_eq!(system.frames_processed(), 30);
@@ -55,12 +58,8 @@ fn quantized_system_tracks_float_model_through_the_whole_stack() {
     let calibration = bundle.calibration_inputs(24);
     let profile = profile_model(&bundle.model, &calibration);
     let firmware = convert(&bundle.model, &profile, &HlsConfig::paper_default());
-    let mut system = DeblendingSystem::new(
-        firmware,
-        bundle.standardizer.clone(),
-        Default::default(),
-        6,
-    );
+    let mut system =
+        DeblendingSystem::new(firmware, bundle.standardizer.clone(), Default::default(), 6);
     let gen = FrameGenerator::with_defaults(bundle.workload_seed);
 
     let mut worst = 0.0f64;

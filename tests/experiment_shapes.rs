@@ -49,15 +49,24 @@ fn table2_shape_on_fast_tier() {
         &raw_calib,
         &raw_eval,
     );
-    assert!(rows[0].accuracy_mi > 0.9 && !rows[0].fits, "row 1: accurate, too big");
+    assert!(
+        rows[0].accuracy_mi > 0.9 && !rows[0].fits,
+        "row 1: accurate, too big"
+    );
     assert!(
         rows[1].accuracy_mi < 0.6 && rows[1].accuracy_rr < 0.6,
         "row 2 must collapse: {} / {}",
         rows[1].accuracy_mi,
         rows[1].accuracy_rr
     );
-    assert!(rows[2].accuracy_mi > 0.9 && rows[2].fits, "row 3: accurate and fits");
-    assert!(rows[2].alut_pct < 50.0, "layer-based stays far below budget");
+    assert!(
+        rows[2].accuracy_mi > 0.9 && rows[2].fits,
+        "row 3: accurate and fits"
+    );
+    assert!(
+        rows[2].alut_pct < 50.0,
+        "layer-based stays far below budget"
+    );
 }
 
 #[test]
@@ -97,13 +106,16 @@ fn trained_vs_randomized_dynamic_ranges_differ() {
     let random = reads::nn::models::reads_unet_randomized(41);
     // The randomized pre-test drives the IP with inputs in [0,1] (Sec. IV-D).
     let random_inputs: Vec<Vec<f64>> = (0..16)
-        .map(|i| (0..260).map(|j| (((i * 37 + j) % 100) as f64) / 100.0).collect())
+        .map(|i| {
+            (0..260)
+                .map(|j| (((i * 37 + j) % 100) as f64) / 100.0)
+                .collect()
+        })
         .collect();
     let random_profile = profile_model(&random, &random_inputs);
 
-    let max_of = |p: &reads::hls4ml::ModelProfile| {
-        p.activation_max.iter().copied().fold(0.0f64, f64::max)
-    };
+    let max_of =
+        |p: &reads::hls4ml::ModelProfile| p.activation_max.iter().copied().fold(0.0f64, f64::max);
     // All-positive uniform weights make the randomized model's activations
     // blow up combinatorially; the trained model stays moderate. The two
     // regimes demand very different integer-bit budgets.

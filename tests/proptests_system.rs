@@ -62,7 +62,11 @@ proptest! {
 fn tiny_trained_pair() -> (Model, Firmware) {
     let model = models::reads_mlp(77);
     let frames: Vec<Vec<f64>> = (0..4)
-        .map(|f| (0..259).map(|j| ((j + f * 11) as f64 * 0.1).sin()).collect())
+        .map(|f| {
+            (0..259)
+                .map(|j| ((j + f * 11) as f64 * 0.1).sin())
+                .collect()
+        })
         .collect();
     let profile = profile_model(&model, &frames);
     let firmware = convert(&model, &profile, &HlsConfig::paper_default());

@@ -1,0 +1,112 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel::bounded` backed by the standard library's
+//! `mpsc::sync_channel`. Unlike the real crate the receiver is not
+//! cloneable (every use in this workspace is single-consumer), and only
+//! the blocking `send`/`recv` pair is exposed.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel; cloneable for multiple producers.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when every receiver has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned when every sender has been dropped and the buffer
+    /// is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is queued or all receivers are gone.
+        ///
+        /// # Errors
+        /// Returns [`SendError`] carrying the value back when disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders are gone.
+        ///
+        /// # Errors
+        /// Returns [`RecvError`] when disconnected and empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Returns immediately with a value if one is ready.
+        ///
+        /// # Errors
+        /// Returns `Err` when the channel is empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_roundtrip_across_threads() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..5 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            drop(tx);
+            let got: Vec<u32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn disconnected_send_returns_value() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+}

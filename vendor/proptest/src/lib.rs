@@ -1,0 +1,557 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the `proptest!` / `prop_assert*` / `prop_oneof!` macro surface
+//! and the strategy combinators this workspace uses (numeric ranges, tuples,
+//! `prop::collection::vec`, `any`, `Just`, `prop_map`, `prop::num::f64::ANY`)
+//! over a deterministic internal RNG. Every test runs a fixed number of
+//! random cases seeded from the test's name, so failures reproduce exactly
+//! across runs and machines. Shrinking and regression-file persistence are
+//! not implemented; a failure report includes the case number instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of a given type.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_uint_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = u64::from(self.end as u64 - self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64 - lo as u64) + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uint_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + (hi - lo) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    );
+
+    /// Full-domain strategy for `any::<T>()`.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Returns a strategy over `T`'s full domain.
+    #[must_use]
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    macro_rules! impl_any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_uint!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<i32> {
+        type Value = i32;
+        fn generate(&self, rng: &mut TestRng) -> i32 {
+            rng.next_u64() as i32
+        }
+    }
+
+    impl Strategy for Any<i64> {
+        type Value = i64;
+        fn generate(&self, rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count specification for [`vec`]: an exact size or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy producing vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    /// Strategies over floating-point domains.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy over every `f64` bit pattern, biased toward the special
+        /// values that break naive numeric code.
+        pub struct F64Any;
+
+        /// All of `f64`, including NaN, infinities and signed zeros.
+        pub const ANY: F64Any = F64Any;
+
+        const SPECIALS: [f64; 10] = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            1.0,
+        ];
+
+        impl Strategy for F64Any {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                if rng.below(8) == 0 {
+                    SPECIALS[rng.below(SPECIALS.len() as u64) as usize]
+                } else {
+                    f64::from_bits(rng.next_u64())
+                }
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic splitmix64 RNG driving test-case generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        fn seed_from(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// RNG for one case of one test, derived from the test's name so
+        /// every run of the suite draws identical inputs.
+        #[must_use]
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::seed_from(h ^ (u64::from(case) << 32) ^ u64::from(case))
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of precision.
+        #[allow(clippy::cast_precision_loss)]
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Failure raised by a `prop_assert*` macro.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failed-assertion error.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.msg)
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Cases per property; fixed so suite cost is predictable.
+    pub const CASES: u32 = 64;
+
+    /// Runs `f` against `CASES` deterministic inputs, panicking (so the
+    /// harness reports a normal test failure) on the first failing case.
+    pub fn run(name: &str, mut f: impl FnMut(&mut TestRng) -> TestCaseResult) {
+        for case in 0..CASES {
+            let mut rng = TestRng::for_case(name, case);
+            if let Err(e) = f(&mut rng) {
+                panic!("property '{name}' failed at case {case}/{CASES}: {e}");
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __pt_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property, failing only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts two expressions differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($s)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3u32..17, b in -5i64..5, x in 0.25f64..0.75,
+                                 w in 2u32..=4) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((2..=4).contains(&w));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(xs in prop::collection::vec(any::<u8>(), 2..6),
+                                    ys in prop::collection::vec(0u16..9, 3)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert_eq!(ys.len(), 3);
+            prop_assert!(ys.iter().all(|y| *y < 9));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u8..4).prop_map(u32::from),
+            Just(99u32),
+        ]) {
+            prop_assert!(v < 4 || v == 99);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = prop::collection::vec(0.0f64..1.0, 5);
+        let a = strat.generate(&mut TestRng::for_case("det", 7));
+        let b = strat.generate(&mut TestRng::for_case("det", 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn f64_any_hits_special_values() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::for_case("specials", 0);
+        let mut saw_nonfinite = false;
+        for _ in 0..4096 {
+            let x = prop::num::f64::ANY.generate(&mut rng);
+            saw_nonfinite |= !x.is_finite();
+        }
+        assert!(saw_nonfinite);
+    }
+}

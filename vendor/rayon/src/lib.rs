@@ -1,0 +1,177 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes the same `par_iter()` / `into_par_iter()` entry points and the
+//! combinator subset this workspace uses (`map`, `zip`, `sum`, `fold`,
+//! `reduce`, `reduce_with`, `flat_map`, `collect`), but executes
+//! sequentially on the calling thread. Because every campaign in this repo
+//! seeds each replica by *index* (not by thread), results are identical to
+//! a truly parallel run — only wall-clock differs.
+
+pub mod iter {
+    /// Sequential adapter with rayon's parallel-iterator method surface.
+    pub struct ParIter<I> {
+        it: I,
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        pub(crate) fn new(it: I) -> Self {
+            Self { it }
+        }
+
+        pub fn map<U, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+        where
+            F: FnMut(I::Item) -> U,
+        {
+            ParIter::new(self.it.map(f))
+        }
+
+        pub fn flat_map<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+        where
+            U: IntoIterator,
+            F: FnMut(I::Item) -> U,
+        {
+            ParIter::new(self.it.flat_map(f))
+        }
+
+        pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+            ParIter::new(self.it.zip(other.it))
+        }
+
+        pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+        where
+            F: FnMut(&I::Item) -> bool,
+        {
+            ParIter::new(self.it.filter(f))
+        }
+
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.it.collect()
+        }
+
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.it.sum()
+        }
+
+        pub fn count(self) -> usize {
+            self.it.count()
+        }
+
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.it.for_each(f);
+        }
+
+        /// Folds all items into a single accumulator. Rayon yields one
+        /// accumulator per work chunk; sequentially there is exactly one,
+        /// which the subsequent `reduce` merges with the identity.
+        pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+        where
+            ID: Fn() -> T,
+            F: FnMut(T, I::Item) -> T,
+        {
+            ParIter::new(std::iter::once(self.it.fold(identity(), fold_op)))
+        }
+
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: FnOnce() -> I::Item,
+            OP: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.it.fold(identity(), op)
+        }
+
+        pub fn reduce_with<OP>(self, op: OP) -> Option<I::Item>
+        where
+            OP: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.it.reduce(op)
+        }
+    }
+
+    /// Conversion into a "parallel" iterator by value.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Item = T::Item;
+        type Iter = T::IntoIter;
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter::new(self.into_iter())
+        }
+    }
+
+    /// Conversion into a "parallel" iterator over references.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Item = <&'data I as IntoIterator>::Item;
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            ParIter::new(self.into_iter())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs = vec![1u32, 2, 3];
+        let ys: Vec<u32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, vec![2, 4, 6]);
+        let zs: Vec<u64> = (0..4u64).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(zs, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let xs: Vec<f64> = (1..=10).map(f64::from).collect();
+        let init = || 0.0f64;
+        let total = xs
+            .par_iter()
+            .fold(init, |acc, x| acc + x)
+            .reduce(&init, |a, b| a + b);
+        assert_eq!(total, 55.0);
+    }
+
+    #[test]
+    fn zip_sum_reduce_with() {
+        let a = vec![1.0, 2.0];
+        let b = vec![10.0, 20.0];
+        let s: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(s, 50.0);
+        let m = a.par_iter().map(|x| *x).reduce_with(f64::max);
+        assert_eq!(m, Some(2.0));
+        assert_eq!(
+            Vec::<f64>::new()
+                .par_iter()
+                .map(|x| *x)
+                .reduce_with(f64::max),
+            None
+        );
+    }
+
+    #[test]
+    fn flat_map_flattens() {
+        let v: Vec<usize> = (0..3usize)
+            .into_par_iter()
+            .flat_map(|i| vec![i; i])
+            .collect();
+        assert_eq!(v, vec![1, 2, 2]);
+    }
+}

@@ -1,0 +1,114 @@
+//! JSON-shaped value tree used as the intermediate representation for the
+//! vendored serde stand-in.
+
+use crate::Error;
+
+/// A JSON-shaped dynamic value.
+///
+/// Objects keep insertion order (a `Vec` of pairs, not a map) so serialized
+/// output is deterministic and mirrors field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Short name of the value's shape, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up `key` in an object, returning `Null` when the key is absent
+    /// or `self` is not an object (so `Option` fields decode to `None`).
+    #[must_use]
+    pub fn field_or_null(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+
+    /// Indexes into an array.
+    ///
+    /// # Errors
+    /// Returns [`Error`] when `self` is not an array or `i` is out of bounds.
+    pub fn index(&self, i: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(i)
+                .ok_or_else(|| Error::new(format!("index {i} out of bounds ({})", items.len()))),
+            other => Err(Error::new(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// Extracts an unsigned integer (accepts non-negative `Int` too).
+    ///
+    /// # Errors
+    /// Returns [`Error`] on shape mismatch or negative value.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::UInt(n) => Ok(*n),
+            Value::Int(n) => {
+                u64::try_from(*n).map_err(|_| Error::new(format!("expected unsigned, got {n}")))
+            }
+            other => Err(Error::new(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extracts a signed integer (accepts in-range `UInt` too).
+    ///
+    /// # Errors
+    /// Returns [`Error`] on shape mismatch or out-of-range value.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            Value::UInt(n) => {
+                i64::try_from(*n).map_err(|_| Error::new(format!("{n} overflows i64")))
+            }
+            other => Err(Error::new(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extracts a float. Integers widen; `Null` decodes to NaN (the writer
+    /// emits `null` for non-finite floats, mirroring JSON's limitations).
+    ///
+    /// # Errors
+    /// Returns [`Error`] on shape mismatch.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::new(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
