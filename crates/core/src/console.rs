@@ -26,6 +26,22 @@ pub struct OperatorConsole {
     trip_threshold: f64,
     deadline_ms: f64,
     node_health: Option<NodeHealth>,
+    shards: Vec<ShardHealth>,
+}
+
+/// One shard's line in the fleet view of a sharded engine.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Health FSM state of the shard's watchdog (or executor).
+    pub state: HealthState,
+    /// Frames the shard turned into verdicts.
+    pub processed: u64,
+    /// Frames the shard lost to unrecovered hangs.
+    pub lost: u64,
+    /// The shard's resilience counters at observation time.
+    pub counters: HealthCounters,
 }
 
 /// The watchdog's view of the node, as surfaced to the console.
@@ -62,6 +78,9 @@ pub struct ConsoleSummary {
     pub deadline_misses: u64,
     /// Watchdog health, when a watchdog reports into this console.
     pub node_health: Option<NodeHealth>,
+    /// Per-shard health, when a sharded engine reports into this console
+    /// (empty for single-node operation).
+    pub shards: Vec<ShardHealth>,
 }
 
 impl OperatorConsole {
@@ -80,7 +99,45 @@ impl OperatorConsole {
             trip_threshold,
             deadline_ms,
             node_health: None,
+            shards: Vec::new(),
         }
+    }
+
+    /// Feeds one shard's health view from the sharded engine (latest
+    /// observation per shard wins). The fleet-worst state also becomes the
+    /// node health so existing renders degrade correctly.
+    pub fn observe_shard_health(
+        &mut self,
+        shard: usize,
+        state: HealthState,
+        counters: &HealthCounters,
+        processed: u64,
+        lost: u64,
+    ) {
+        let entry = ShardHealth {
+            shard,
+            state,
+            processed,
+            lost,
+            counters: *counters,
+        };
+        match self.shards.iter_mut().find(|s| s.shard == shard) {
+            Some(s) => *s = entry,
+            None => {
+                self.shards.push(entry);
+                self.shards.sort_by_key(|s| s.shard);
+            }
+        }
+        // Recompute the fleet view from scratch so repeated observations of
+        // the same shard never double-count.
+        let mut merged = HealthCounters::default();
+        for s in &self.shards {
+            merged.merge(&s.counters);
+        }
+        self.node_health = Some(NodeHealth {
+            state: HealthState::worst(self.shards.iter().map(|s| s.state)),
+            counters: merged,
+        });
     }
 
     /// Feeds the watchdog's current health view (typically once per frame
@@ -128,6 +185,7 @@ impl OperatorConsole {
             preempted: self.preempted,
             deadline_misses: self.deadline_misses,
             node_health: self.node_health,
+            shards: self.shards.clone(),
         }
     }
 
@@ -173,6 +231,18 @@ impl OperatorConsole {
                 c.soft_resets,
                 c.rescrubs,
                 c.mttr_ms()
+            );
+        }
+        for sh in &s.shards {
+            let state = match sh.state {
+                HealthState::Healthy => "healthy",
+                HealthState::Degraded => "DEGRADED",
+                HealthState::Tripped => "TRIPPED",
+            };
+            let _ = writeln!(
+                out,
+                " shard {:<3}          {} | {} frames | {} lost | {} faults",
+                sh.shard, state, sh.processed, sh.lost, sh.counters.faults_seen
             );
         }
         out
@@ -269,5 +339,32 @@ mod tests {
         assert!(text.contains("1 salvages | 2 resets | 1 rescrubs | MTTR 3.000 ms"));
         // The existing lines survive untouched.
         assert!(text.contains("frames processed   1"));
+    }
+
+    #[test]
+    fn shard_health_merges_to_fleet_worst_without_double_count() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        c.observe(&verdict(0.1, 0.6), &timing(1_750, false));
+        let counters = HealthCounters {
+            faults_seen: 2,
+            recoveries: 2,
+            ..HealthCounters::default()
+        };
+        c.observe_shard_health(1, HealthState::Degraded, &counters, 40, 0);
+        c.observe_shard_health(0, HealthState::Healthy, &HealthCounters::default(), 42, 0);
+        // Re-observing shard 1 must replace, not accumulate.
+        c.observe_shard_health(1, HealthState::Tripped, &counters, 41, 1);
+        let s = c.summary();
+        assert_eq!(s.shards.len(), 2);
+        assert_eq!(s.shards[0].shard, 0, "sorted by shard index");
+        let h = s.node_health.expect("fleet health present");
+        assert_eq!(h.state, HealthState::Tripped);
+        assert_eq!(h.counters.faults_seen, 2);
+        let text = c.render();
+        assert!(text.contains("shard 0"), "{text}");
+        assert!(
+            text.contains("TRIPPED | 41 frames | 1 lost | 2 faults"),
+            "{text}"
+        );
     }
 }

@@ -1,0 +1,896 @@
+//! The sharded multi-hub inference engine.
+//!
+//! The paper's node serves one hub chain with one control IP, one frame at
+//! a time. The production target (ROADMAP) is many synchronized hub chains
+//! feeding shared inference as fast as the host allows. [`ShardedEngine`]
+//! is that layer:
+//!
+//! * incoming [`ChainFrame`] streams are sharded `chain % workers`, so
+//!   per-chain frame order is preserved end to end;
+//! * each shard is a real OS thread behind a bounded work queue
+//!   (backpressure is explicit: [`DropPolicy::Block`] is lossless,
+//!   [`DropPolicy::DropNewest`] sheds load at the queue, and an optional
+//!   wall-clock staleness deadline drops frames that waited too long —
+//!   a 3 ms control loop has no use for late answers);
+//! * workers drain their queue into batches of up to `batch` frames and
+//!   run [`Firmware::infer_batch`], merging [`InferenceStats`] per shard;
+//! * each shard owns its executor: [`NativeExecutor`] (a cloned firmware
+//!   interpreter — the fast path) or [`SocExecutor`] (an [`IpArray`] of M
+//!   replicated control IPs behind the simulated bridge, watched by the
+//!   PR 1 [`Watchdog`] so a wedged IP degrades only its shard);
+//! * [`FleetReport`] merges per-shard stats, health, and simulated busy
+//!   time so Fig. 5c / Table I numbers stay derivable per shard and
+//!   fleet-wide (see [`crate::throughput::FleetThroughput`]).
+//!
+//! Outputs are bit-identical to the sequential path: sharding and batching
+//! only reorder *which replica* computes a frame, never the fixed-point
+//! arithmetic — the golden-vector conformance suite pins this.
+
+use crate::resilience::{HealthCounters, HealthState, Watchdog, WatchdogPolicy};
+use crate::throughput::FleetThroughput;
+use crossbeam::channel::{self, TrySendError};
+use reads_blm::acnet::DeblendVerdict;
+use reads_blm::hubs::{assemble_frame, ChainFrame};
+use reads_blm::Standardizer;
+use reads_hls4ml::firmware::InferenceStats;
+use reads_hls4ml::latency::estimate_latency;
+use reads_hls4ml::Firmware;
+use reads_sim::SimDuration;
+use reads_soc::hps::HpsModel;
+use reads_soc::multi::{batch_makespan, IpArray};
+use reads_soc::node::FrameTiming;
+use serde::Serialize;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What to do when a shard's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DropPolicy {
+    /// Block the submitter until the shard drains (lossless).
+    Block,
+    /// Drop the frame being submitted and count it (load shedding).
+    DropNewest,
+}
+
+/// Engine sizing and policy.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads (= shards).
+    pub workers: usize,
+    /// Max frames per `infer_batch` call.
+    pub batch: usize,
+    /// Bounded per-shard queue depth.
+    pub queue_depth: usize,
+    /// Behaviour on a full shard queue.
+    pub drop_policy: DropPolicy,
+    /// Wall-clock staleness bound: frames older than this at dequeue are
+    /// dropped unprocessed (`None` = process everything).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            batch: 8,
+            queue_depth: 64,
+            drop_policy: DropPolicy::Block,
+            deadline: None,
+        }
+    }
+}
+
+/// One processed frame's result.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrameResult {
+    /// Hub chain the frame came from.
+    pub chain: u32,
+    /// Frame sequence within the chain.
+    pub sequence: u32,
+    /// Shard that computed it.
+    pub shard: usize,
+    /// The de-blending verdict.
+    pub verdict: DeblendVerdict,
+    /// Simulated Steps 1–8 timing of the frame.
+    pub timing: FrameTiming,
+}
+
+/// Outcome of one executor batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-frame outputs in submission order; `None` = frame lost (an
+    /// unrecovered hang with every replica wedged).
+    pub outputs: Vec<Option<Vec<f64>>>,
+    /// Per-frame timings (same order; lost frames charge their wasted
+    /// wall clock here too).
+    pub timings: Vec<FrameTiming>,
+    /// Merged overflow statistics of the batch.
+    pub stats: InferenceStats,
+    /// Simulated completion time of the whole batch on this shard.
+    pub busy: SimDuration,
+}
+
+/// A shard's inference backend. The engine holds one per worker; both the
+/// native fast path and the simulated-SoC path implement it, so the
+/// scheduler above is identical for either.
+pub trait ShardExecutor: Send {
+    /// Flattened input length the firmware consumes. Assembled frames are
+    /// truncated to this, mirroring the single-node ingest (the MLP
+    /// variant reads 259 of the 260 monitors).
+    fn input_len(&self) -> usize;
+
+    /// Runs one batch of standardized frames. Outputs must be
+    /// bit-identical to `Firmware::infer` per frame.
+    fn run_batch(&mut self, inputs: &[Vec<f64>]) -> BatchOutcome;
+
+    /// Shard health as seen by this executor.
+    fn health(&self) -> (HealthState, HealthCounters) {
+        (HealthState::Healthy, HealthCounters::default())
+    }
+}
+
+/// Fast path: a cloned firmware interpreter per shard. Host execution is
+/// as fast as the machine allows; simulated timing uses the deterministic
+/// expected HPS overhead plus the hls4ml compute-cycle estimate (one IP
+/// pipeline per shard, frames back to back).
+#[derive(Debug, Clone)]
+pub struct NativeExecutor {
+    firmware: Firmware,
+    frame_overhead: SimDuration,
+    compute: SimDuration,
+}
+
+impl NativeExecutor {
+    /// Builds the executor for one shard.
+    #[must_use]
+    pub fn new(firmware: Firmware, hps: &HpsModel) -> Self {
+        let words = |width: u32| (width as usize).div_ceil(16);
+        let in_fmt = firmware.input_quant.format();
+        let out_fmt = firmware
+            .nodes
+            .last()
+            .and_then(reads_hls4ml::firmware::FwNode::dense)
+            .map_or(in_fmt, |d| d.out_quant.format());
+        let n_in = firmware.input_len * firmware.input_channels * words(in_fmt.width);
+        let n_out = firmware.output_len() * words(out_fmt.width);
+        let frame_overhead = hps.expected_overhead(n_in, n_out);
+        let compute = SimDuration::from_cycles(estimate_latency(&firmware).total_cycles);
+        Self {
+            firmware,
+            frame_overhead,
+            compute,
+        }
+    }
+}
+
+impl ShardExecutor for NativeExecutor {
+    fn input_len(&self) -> usize {
+        self.firmware.input_len * self.firmware.input_channels
+    }
+
+    fn run_batch(&mut self, inputs: &[Vec<f64>]) -> BatchOutcome {
+        let (outputs, stats) = self.firmware.infer_batch(inputs);
+        let per_frame = FrameTiming {
+            write: SimDuration::ZERO,
+            control: SimDuration::ZERO,
+            compute: self.compute,
+            irq: SimDuration::ZERO,
+            read: SimDuration::ZERO,
+            misc: self.frame_overhead,
+            preempted: false,
+            total: self.frame_overhead + self.compute,
+        };
+        let timings = vec![per_frame; inputs.len()];
+        let assigned = vec![0; inputs.len()];
+        let busy = batch_makespan(&timings, &assigned, 1);
+        BatchOutcome {
+            outputs: outputs.into_iter().map(Some).collect(),
+            timings,
+            stats,
+            busy,
+        }
+    }
+}
+
+/// Simulated-SoC path: M replicated control IPs behind the shared bridge,
+/// every frame run behind the shard's watchdog. An unrecovered hang wedges
+/// only the IP it happened on; the frame retries on the next healthy IP
+/// and is lost only when the whole shard's array is wedged.
+#[derive(Debug)]
+pub struct SocExecutor {
+    array: IpArray,
+    watchdog: Watchdog,
+    n_in: usize,
+}
+
+impl SocExecutor {
+    /// Builds the executor: `ips` replicated control-IP instances and a
+    /// shard-local watchdog holding the golden firmware copy.
+    #[must_use]
+    pub fn new(
+        firmware: Firmware,
+        hps: &HpsModel,
+        ips: usize,
+        policy: WatchdogPolicy,
+        seed: u64,
+    ) -> Self {
+        let array = IpArray::new(&firmware, hps, ips, seed);
+        let n_in = firmware.input_len * firmware.input_channels;
+        let watchdog = Watchdog::new(firmware, policy);
+        Self {
+            array,
+            watchdog,
+            n_in,
+        }
+    }
+
+    /// The IP array (for fault-plan installation in studies and tests).
+    pub fn array_mut(&mut self) -> &mut IpArray {
+        &mut self.array
+    }
+}
+
+impl ShardExecutor for SocExecutor {
+    fn input_len(&self) -> usize {
+        self.n_in
+    }
+
+    fn run_batch(&mut self, inputs: &[Vec<f64>]) -> BatchOutcome {
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut timings = Vec::with_capacity(inputs.len());
+        let mut assigned = Vec::with_capacity(inputs.len());
+        let mut stats = InferenceStats::default();
+        for x in inputs {
+            loop {
+                let Some(ip) = self.array.dispatch() else {
+                    // Whole shard wedged: the frame is lost; no time moves
+                    // because nothing could even be triggered.
+                    outputs.push(None);
+                    timings.push(FrameTiming {
+                        write: SimDuration::ZERO,
+                        control: SimDuration::ZERO,
+                        compute: SimDuration::ZERO,
+                        irq: SimDuration::ZERO,
+                        read: SimDuration::ZERO,
+                        misc: SimDuration::ZERO,
+                        preempted: false,
+                        total: SimDuration::ZERO,
+                    });
+                    assigned.push(0);
+                    break;
+                };
+                let frame = self.watchdog.run_frame(self.array.ip_mut(ip), x);
+                timings.push(frame.timing);
+                assigned.push(ip);
+                match frame.outputs {
+                    Some(out) => {
+                        outputs.push(Some(out));
+                        break;
+                    }
+                    None => {
+                        // Unrecovered: take this IP out of rotation and
+                        // retry the frame on the next healthy one.
+                        self.array.mark_wedged(ip);
+                        continue;
+                    }
+                }
+            }
+        }
+        // The simulated data path quantizes inside the RAM model, not the
+        // interpreter, so only input-side volume is visible here.
+        stats.input.total += inputs.iter().map(|x| x.len() as u64).sum::<u64>();
+        let busy = batch_makespan(&timings, &assigned, self.array.ip_count());
+        BatchOutcome {
+            outputs,
+            timings,
+            stats,
+            busy,
+        }
+    }
+
+    fn health(&self) -> (HealthState, HealthCounters) {
+        (self.watchdog.health(), *self.watchdog.counters())
+    }
+}
+
+/// Per-shard accounting, returned by [`ShardedEngine::finish`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Frames that produced a verdict.
+    pub processed: u64,
+    /// Frames lost (unrecovered hangs with the whole array wedged).
+    pub lost: u64,
+    /// Frames dropped for staleness at dequeue.
+    pub dropped_deadline: u64,
+    /// Frames whose hub packets failed to assemble.
+    pub assembly_errors: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch observed.
+    pub max_batch: usize,
+    /// Merged overflow statistics of the shard.
+    pub stats: InferenceStats,
+    /// Simulated busy time of the shard (sum of batch makespans).
+    pub busy: SimDuration,
+    /// Per-frame timings (for fleet percentile/throughput analysis).
+    pub timings: Vec<FrameTiming>,
+    /// Shard health at shutdown.
+    pub health: HealthState,
+    /// Shard resilience counters at shutdown.
+    pub counters: HealthCounters,
+}
+
+/// Fleet-wide accounting.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Every shard's report, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Frames accepted into queues.
+    pub submitted: u64,
+    /// Frames shed at submission ([`DropPolicy::DropNewest`]).
+    pub dropped_backpressure: u64,
+    /// Host wall-clock time from engine start to drain.
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// Frames that produced verdicts, fleet-wide.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Merged overflow statistics across shards (shards may run different
+    /// node counts only when mixing firmwares, which the engine forbids —
+    /// so the merge is well-formed).
+    #[must_use]
+    pub fn merged_stats(&self) -> InferenceStats {
+        let mut merged = InferenceStats::default();
+        for s in &self.shards {
+            merged.merge(&s.stats);
+        }
+        merged
+    }
+
+    /// Merged resilience counters across shards.
+    #[must_use]
+    pub fn merged_counters(&self) -> HealthCounters {
+        let mut merged = HealthCounters::default();
+        for s in &self.shards {
+            merged.merge(&s.counters);
+        }
+        merged
+    }
+
+    /// Worst health state across shards — one wedged shard degrades the
+    /// fleet view without stopping the others.
+    #[must_use]
+    pub fn worst_health(&self) -> HealthState {
+        HealthState::worst(self.shards.iter().map(|s| s.health))
+    }
+
+    /// Fleet throughput derived from per-shard busy time and timings.
+    ///
+    /// # Panics
+    /// Panics when no frame was processed.
+    #[must_use]
+    pub fn throughput(&self) -> FleetThroughput {
+        let per_shard: Vec<(u64, SimDuration)> = self
+            .shards
+            .iter()
+            .map(|s| (s.processed + s.lost, s.busy))
+            .collect();
+        let mut ms: Vec<f64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.timings.iter().map(|t| t.total.as_millis_f64()))
+            .collect();
+        FleetThroughput::from_shards(&per_shard, &mut ms)
+    }
+}
+
+struct Job {
+    chain: u32,
+    sequence: u32,
+    packets: Vec<reads_blm::hubs::HubPacket>,
+    enqueued: Instant,
+}
+
+/// The engine: spawn with [`ShardedEngine::start`] (or the `native` /
+/// `simulated` convenience constructors), feed [`ChainFrame`]s through
+/// [`ShardedEngine::submit`], then [`ShardedEngine::finish`] to drain and
+/// collect every result plus the fleet report.
+pub struct ShardedEngine {
+    senders: Vec<channel::Sender<Job>>,
+    results_rx: channel::Receiver<FrameResult>,
+    reports_rx: channel::Receiver<ShardReport>,
+    handles: Vec<thread::JoinHandle<()>>,
+    submitted: u64,
+    dropped_backpressure: u64,
+    drop_policy: DropPolicy,
+    started: Instant,
+}
+
+impl ShardedEngine {
+    /// Starts the engine with one executor per shard from `make_executor`
+    /// (called with the shard index).
+    ///
+    /// # Panics
+    /// Panics when `workers`, `batch`, or `queue_depth` is zero.
+    #[must_use]
+    pub fn start(
+        cfg: &EngineConfig,
+        standardizer: &Standardizer,
+        mut make_executor: impl FnMut(usize) -> Box<dyn ShardExecutor>,
+    ) -> Self {
+        assert!(cfg.workers > 0, "engine needs at least one worker");
+        assert!(cfg.batch > 0, "batch size must be positive");
+        assert!(cfg.queue_depth > 0, "queue depth must be positive");
+        let (results_tx, results_rx) = channel::unbounded::<FrameResult>();
+        let (reports_tx, reports_rx) = channel::unbounded::<ShardReport>();
+        let mut senders = Vec::with_capacity(cfg.workers);
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for shard in 0..cfg.workers {
+            let (tx, rx) = channel::bounded::<Job>(cfg.queue_depth);
+            senders.push(tx);
+            let executor = make_executor(shard);
+            let results_tx = results_tx.clone();
+            let reports_tx = reports_tx.clone();
+            let std = standardizer.clone();
+            let batch_cap = cfg.batch;
+            let deadline = cfg.deadline;
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("reads-shard-{shard}"))
+                    .spawn(move || {
+                        shard_worker(
+                            shard,
+                            &rx,
+                            executor,
+                            &std,
+                            batch_cap,
+                            deadline,
+                            &results_tx,
+                            &reports_tx,
+                        );
+                    })
+                    .expect("spawn shard worker"),
+            );
+        }
+        Self {
+            senders,
+            results_rx,
+            reports_rx,
+            handles,
+            submitted: 0,
+            dropped_backpressure: 0,
+            drop_policy: cfg.drop_policy,
+            started: Instant::now(),
+        }
+    }
+
+    /// Native fast-path engine: every shard interprets a clone of
+    /// `firmware` directly.
+    #[must_use]
+    pub fn native(
+        cfg: &EngineConfig,
+        firmware: &Firmware,
+        hps: &HpsModel,
+        standardizer: &Standardizer,
+    ) -> Self {
+        Self::start(cfg, standardizer, |_| {
+            Box::new(NativeExecutor::new(firmware.clone(), hps))
+        })
+    }
+
+    /// Simulated-SoC engine: every shard drives an [`IpArray`] of
+    /// `ips_per_shard` replicated control IPs behind its own watchdog.
+    #[must_use]
+    pub fn simulated(
+        cfg: &EngineConfig,
+        firmware: &Firmware,
+        hps: &HpsModel,
+        standardizer: &Standardizer,
+        ips_per_shard: usize,
+        policy: WatchdogPolicy,
+        seed: u64,
+    ) -> Self {
+        Self::start(cfg, standardizer, |shard| {
+            Box::new(SocExecutor::new(
+                firmware.clone(),
+                hps,
+                ips_per_shard,
+                policy,
+                seed ^ (shard as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+            ))
+        })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Submits one chain frame; the shard is `chain % workers`. Returns
+    /// `false` when the frame was shed (full queue under
+    /// [`DropPolicy::DropNewest`], or a dead shard).
+    pub fn submit(&mut self, frame: ChainFrame) -> bool {
+        let shard = frame.chain as usize % self.senders.len();
+        let job = Job {
+            chain: frame.chain,
+            sequence: frame.sequence,
+            packets: frame.packets,
+            enqueued: Instant::now(),
+        };
+        let accepted = match self.drop_policy {
+            DropPolicy::Block => self.senders[shard].send(job).is_ok(),
+            DropPolicy::DropNewest => match self.senders[shard].try_send(job) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => false,
+            },
+        };
+        if accepted {
+            self.submitted += 1;
+        } else {
+            self.dropped_backpressure += 1;
+        }
+        accepted
+    }
+
+    /// Results produced so far without blocking (the engine keeps running).
+    pub fn poll_results(&self) -> Vec<FrameResult> {
+        std::iter::from_fn(|| self.results_rx.try_recv().ok()).collect()
+    }
+
+    /// Closes the queues, drains every worker, and returns all remaining
+    /// results plus the fleet report.
+    ///
+    /// # Panics
+    /// Panics if a shard worker panicked.
+    #[must_use]
+    pub fn finish(self) -> (Vec<FrameResult>, FleetReport) {
+        let ShardedEngine {
+            senders,
+            results_rx,
+            reports_rx,
+            handles,
+            submitted,
+            dropped_backpressure,
+            started,
+            ..
+        } = self;
+        drop(senders); // workers see disconnect and flush
+        for h in handles {
+            h.join().expect("shard worker panicked");
+        }
+        let mut results: Vec<FrameResult> = results_rx.iter().collect();
+        let mut shards: Vec<ShardReport> = reports_rx.iter().collect();
+        shards.sort_by_key(|s| s.shard);
+        results.sort_by_key(|r| (r.chain, r.sequence));
+        (
+            results,
+            FleetReport {
+                shards,
+                submitted,
+                dropped_backpressure,
+                wall: started.elapsed(),
+            },
+        )
+    }
+
+    /// Convenience: runs a whole pre-generated stream through a fresh
+    /// engine and returns `(results sorted by (chain, sequence), report)`.
+    #[must_use]
+    pub fn run_stream(
+        cfg: &EngineConfig,
+        standardizer: &Standardizer,
+        make_executor: impl FnMut(usize) -> Box<dyn ShardExecutor>,
+        frames: Vec<ChainFrame>,
+    ) -> (Vec<FrameResult>, FleetReport) {
+        let mut engine = Self::start(cfg, standardizer, make_executor);
+        for f in frames {
+            engine.submit(f);
+        }
+        engine.finish()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn shard_worker(
+    shard: usize,
+    rx: &channel::Receiver<Job>,
+    mut executor: Box<dyn ShardExecutor>,
+    standardizer: &Standardizer,
+    batch_cap: usize,
+    deadline: Option<Duration>,
+    results_tx: &channel::Sender<FrameResult>,
+    reports_tx: &channel::Sender<ShardReport>,
+) {
+    let mut processed = 0u64;
+    let mut lost = 0u64;
+    let mut dropped_deadline = 0u64;
+    let mut assembly_errors = 0u64;
+    let mut batches = 0u64;
+    let mut max_batch = 0usize;
+    let mut stats = InferenceStats::default();
+    let mut busy = SimDuration::ZERO;
+    let mut timings: Vec<FrameTiming> = Vec::new();
+
+    while let Ok(first) = rx.recv() {
+        // Drain what is already queued into one batch (up to the cap) —
+        // under load the queue is deep and batches fill; idle streams
+        // degenerate to batch-of-one with no added latency.
+        let mut jobs = vec![first];
+        while jobs.len() < batch_cap {
+            match rx.try_recv() {
+                Ok(j) => jobs.push(j),
+                Err(_) => break,
+            }
+        }
+
+        // Staleness + assembly happen at the shard so the submitter never
+        // pays for them.
+        let mut meta: Vec<(u32, u32)> = Vec::with_capacity(jobs.len());
+        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if let Some(limit) = deadline {
+                if job.enqueued.elapsed() > limit {
+                    dropped_deadline += 1;
+                    continue;
+                }
+            }
+            match assemble_frame(&job.packets) {
+                Ok(readings) => {
+                    let n_in = executor.input_len().min(readings.len());
+                    inputs.push(standardizer.apply_frame(&readings[..n_in]));
+                    meta.push((job.chain, job.sequence));
+                }
+                Err(_) => assembly_errors += 1,
+            }
+        }
+        if inputs.is_empty() {
+            continue;
+        }
+
+        let outcome = executor.run_batch(&inputs);
+        batches += 1;
+        max_batch = max_batch.max(inputs.len());
+        stats.merge(&outcome.stats);
+        busy += outcome.busy;
+        timings.extend(outcome.timings.iter().copied());
+        for (((chain, sequence), out), timing) in
+            meta.into_iter().zip(outcome.outputs).zip(&outcome.timings)
+        {
+            match out {
+                Some(outputs) => {
+                    let verdict = if outputs.len() == 2 * reads_blm::N_BLM {
+                        DeblendVerdict::from_interleaved(sequence, &outputs)
+                    } else {
+                        DeblendVerdict::from_split_halves(sequence, &outputs)
+                    };
+                    processed += 1;
+                    let _ = results_tx.send(FrameResult {
+                        chain,
+                        sequence,
+                        shard,
+                        verdict,
+                        timing: *timing,
+                    });
+                }
+                None => lost += 1,
+            }
+        }
+    }
+
+    let (health, counters) = executor.health();
+    let _ = reports_tx.send(ShardReport {
+        shard,
+        processed,
+        lost,
+        dropped_deadline,
+        assembly_errors,
+        batches,
+        max_batch,
+        stats,
+        busy,
+        timings,
+        health,
+        counters,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reads_blm::hubs::MultiChainSource;
+    use reads_hls4ml::{convert, profile_model, HlsConfig};
+    use reads_nn::models;
+
+    fn mlp_firmware() -> Firmware {
+        let m = models::reads_mlp(3);
+        let frames = vec![vec![0.2; 259]];
+        let p = profile_model(&m, &frames);
+        convert(&m, &p, &HlsConfig::paper_default())
+    }
+
+    fn standardizer() -> Standardizer {
+        Standardizer {
+            mean: 112_000.0,
+            std: 3_500.0,
+        }
+    }
+
+    #[test]
+    fn native_engine_processes_every_frame_in_order_per_chain() {
+        let fw = mlp_firmware();
+        let frames = MultiChainSource::new(3, 5).ticks(8);
+        let cfg = EngineConfig {
+            workers: 3,
+            ..EngineConfig::default()
+        };
+        let (results, report) = ShardedEngine::run_stream(
+            &cfg,
+            &standardizer(),
+            |_| Box::new(NativeExecutor::new(fw.clone(), &HpsModel::default())),
+            frames,
+        );
+        assert_eq!(results.len(), 24, "3 chains × 8 ticks");
+        assert_eq!(report.processed(), 24);
+        assert_eq!(report.dropped_backpressure, 0);
+        // Per-chain sequences are dense and sorted after finish().
+        for chain in 0..3u32 {
+            let seqs: Vec<u32> = results
+                .iter()
+                .filter(|r| r.chain == chain)
+                .map(|r| r.sequence)
+                .collect();
+            assert_eq!(seqs, (0..8).collect::<Vec<u32>>());
+        }
+        // Every shard saw exactly one chain's frames.
+        for s in &report.shards {
+            assert_eq!(s.processed, 8, "shard {}", s.shard);
+            assert_eq!(s.health, HealthState::Healthy);
+        }
+    }
+
+    #[test]
+    fn engine_outputs_match_sequential_inference_bit_for_bit() {
+        let fw = mlp_firmware();
+        let std = standardizer();
+        let frames = MultiChainSource::new(4, 6).ticks(5);
+        // Sequential reference.
+        let mut expect: Vec<(u32, u32, Vec<f64>)> = frames
+            .iter()
+            .map(|cf| {
+                let readings = assemble_frame(&cf.packets).unwrap();
+                let n_in = fw.input_len * fw.input_channels;
+                let (out, _) = fw.infer(&std.apply_frame(&readings[..n_in]));
+                (cf.chain, cf.sequence, out)
+            })
+            .collect();
+        expect.sort_by_key(|(c, s, _)| (*c, *s));
+        let (results, _) = ShardedEngine::run_stream(
+            &EngineConfig {
+                workers: 4,
+                batch: 3,
+                ..EngineConfig::default()
+            },
+            &std,
+            |_| Box::new(NativeExecutor::new(fw.clone(), &HpsModel::default())),
+            frames,
+        );
+        assert_eq!(results.len(), expect.len());
+        for (r, (chain, seq, out)) in results.iter().zip(&expect) {
+            assert_eq!((r.chain, r.sequence), (*chain, *seq));
+            let direct = DeblendVerdict::from_split_halves(*seq, out);
+            assert_eq!(r.verdict, direct, "chain {chain} seq {seq}");
+        }
+    }
+
+    #[test]
+    fn bad_chain_frames_are_counted_not_fatal() {
+        let fw = mlp_firmware();
+        let mut frames = MultiChainSource::new(1, 6).ticks(3);
+        frames[1].packets.pop(); // lose a hub packet
+        let (results, report) = ShardedEngine::run_stream(
+            &EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+            &standardizer(),
+            |_| Box::new(NativeExecutor::new(fw.clone(), &HpsModel::default())),
+            frames,
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(report.shards[0].assembly_errors, 1);
+    }
+
+    #[test]
+    fn simulated_engine_matches_native_outputs() {
+        let fw = mlp_firmware();
+        let std = standardizer();
+        let frames = MultiChainSource::new(2, 7).ticks(3);
+        let (native, _) = ShardedEngine::run_stream(
+            &EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+            &std,
+            |_| Box::new(NativeExecutor::new(fw.clone(), &HpsModel::default())),
+            frames.clone(),
+        );
+        let (soc, report) = ShardedEngine::run_stream(
+            &EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+            &std,
+            |shard| {
+                Box::new(SocExecutor::new(
+                    fw.clone(),
+                    &HpsModel::default(),
+                    2,
+                    WatchdogPolicy::default(),
+                    99 ^ shard as u64,
+                ))
+            },
+            frames,
+        );
+        assert_eq!(native.len(), soc.len());
+        for (a, b) in native.iter().zip(&soc) {
+            assert_eq!(a.verdict, b.verdict, "SoC data path must be bit-exact");
+        }
+        assert_eq!(report.worst_health(), HealthState::Healthy);
+        assert_eq!(report.merged_counters().faults_seen, 0);
+    }
+
+    #[test]
+    fn fleet_throughput_scales_with_workers() {
+        let fw = mlp_firmware();
+        let std = standardizer();
+        let run = |workers: usize| {
+            let frames = MultiChainSource::new(8, 11).ticks(6);
+            let (_, report) = ShardedEngine::run_stream(
+                &EngineConfig {
+                    workers,
+                    ..EngineConfig::default()
+                },
+                &std,
+                |_| Box::new(NativeExecutor::new(fw.clone(), &HpsModel::default())),
+                frames,
+            );
+            report.throughput()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four.fleet_fps >= 3.0 * one.fleet_fps,
+            "4 workers {:.0} fps vs 1 worker {:.0} fps",
+            four.fleet_fps,
+            one.fleet_fps
+        );
+        assert!((four.speedup - 4.0).abs() < 0.5, "{}", four.speedup);
+    }
+
+    #[test]
+    fn deadline_zero_sheds_every_frame() {
+        let fw = mlp_firmware();
+        let frames = MultiChainSource::new(1, 12).ticks(4);
+        let (results, report) = ShardedEngine::run_stream(
+            &EngineConfig {
+                workers: 1,
+                deadline: Some(Duration::ZERO),
+                ..EngineConfig::default()
+            },
+            &standardizer(),
+            |_| Box::new(NativeExecutor::new(fw.clone(), &HpsModel::default())),
+            frames,
+        );
+        assert!(results.is_empty());
+        assert_eq!(report.shards[0].dropped_deadline, 4);
+        assert_eq!(report.processed(), 0);
+    }
+}

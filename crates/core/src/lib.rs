@@ -19,6 +19,10 @@
 //! * [`campaign`] — Monte-Carlo latency campaigns (Fig. 5c) and throughput.
 //! * [`resilience`] — the handshake watchdog, recovery ladder and health
 //!   tracking over the `reads-soc` fault-injection plane.
+//! * [`engine`] — the sharded multi-hub inference engine: N worker threads,
+//!   per-shard bounded queues with explicit backpressure, frame batching
+//!   through `Firmware::infer_batch`, and per-shard watchdog health over
+//!   either the native interpreter or replicated simulated control IPs.
 //! * [`baselines`] — platform baselines: host-measured CPU, the analytic
 //!   GPU model, and the Table I related-work latency models.
 //! * [`experiments`] — Table II and the Fig. 5a/5b bit-width sweeps.
@@ -31,6 +35,7 @@ pub mod campaign;
 pub mod codesign;
 pub mod console;
 pub mod drift;
+pub mod engine;
 pub mod experiments;
 pub mod qat;
 pub mod resilience;
@@ -42,7 +47,11 @@ pub mod verification;
 
 pub use campaign::{run_latency_campaign, LatencyCampaign};
 pub use codesign::{codesign, CodesignResult};
-pub use console::{ConsoleSummary, NodeHealth, OperatorConsole};
+pub use console::{ConsoleSummary, NodeHealth, OperatorConsole, ShardHealth};
+pub use engine::{
+    DropPolicy, EngineConfig, FleetReport, FrameResult, NativeExecutor, ShardExecutor, ShardReport,
+    ShardedEngine, SocExecutor,
+};
 pub use resilience::{
     run_fault_campaign, FaultCampaignConfig, FaultCampaignRow, HealthCounters, HealthState,
     Watchdog, WatchdogPolicy,

@@ -40,6 +40,23 @@ pub enum HealthState {
     Tripped,
 }
 
+impl HealthState {
+    /// The worst state in `states` — the fleet view of a sharded node,
+    /// where one tripped shard degrades the aggregate without hiding that
+    /// the others are fine. An empty iterator is [`HealthState::Healthy`].
+    #[must_use]
+    pub fn worst(states: impl IntoIterator<Item = HealthState>) -> HealthState {
+        states
+            .into_iter()
+            .max_by_key(|s| match s {
+                HealthState::Healthy => 0,
+                HealthState::Degraded => 1,
+                HealthState::Tripped => 2,
+            })
+            .unwrap_or(HealthState::Healthy)
+    }
+}
+
 /// Resilience counters, cheap enough to keep for an entire store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct HealthCounters {
@@ -65,6 +82,19 @@ pub struct HealthCounters {
 }
 
 impl HealthCounters {
+    /// Accumulates another watcher's counters (per-shard → fleet merge).
+    pub fn merge(&mut self, other: &HealthCounters) {
+        self.faults_seen += other.faults_seen;
+        self.recoveries += other.recoveries;
+        self.salvages += other.salvages;
+        self.retriggers += other.retriggers;
+        self.soft_resets += other.soft_resets;
+        self.rescrubs += other.rescrubs;
+        self.deadline_misses += other.deadline_misses;
+        self.unrecovered += other.unrecovered;
+        self.recovery_ns += other.recovery_ns;
+    }
+
     /// Mean time to recovery over recovered hangs, milliseconds.
     #[must_use]
     pub fn mttr_ms(&self) -> f64 {

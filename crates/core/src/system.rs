@@ -75,6 +75,13 @@ impl DeblendingSystem {
         }
     }
 
+    /// The deployed standardizer — the sharded engine reuses it so fleet
+    /// and single-node paths see identical inputs.
+    #[must_use]
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
     /// Frames processed since deployment.
     #[must_use]
     pub fn frames_processed(&self) -> u64 {

@@ -10,6 +10,7 @@
 
 use rayon::prelude::*;
 use reads_hls4ml::Firmware;
+use reads_sim::SimDuration;
 use reads_soc::hps::HpsModel;
 use reads_soc::node::{CentralNodeSim, FrameTiming};
 use serde::Serialize;
@@ -77,6 +78,79 @@ impl ThroughputAnalysis {
     #[must_use]
     pub fn speedup(&self) -> f64 {
         self.pipelined_fps / self.sequential_fps
+    }
+}
+
+/// Fleet-wide throughput of the sharded engine, in the simulation's time
+/// domain (frames per *simulated* second — the same domain as the paper's
+/// 575 fps figure, so single-shard numbers are directly comparable).
+///
+/// The fleet rate is frames over the *slowest* shard's busy time: shards
+/// run concurrently, so the fleet finishes when its stragglers do. The
+/// single-lane rate divides by the *summed* busy time — what one worker
+/// would have taken — making `speedup` the honest parallel-efficiency
+/// figure (≤ shard count; equality means perfect balance).
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetThroughput {
+    /// Frames accounted (processed + lost; lost frames burned their time).
+    pub frames: u64,
+    /// Fleet rate: frames / max per-shard busy time.
+    pub fleet_fps: f64,
+    /// One-worker-equivalent rate: frames / summed busy time.
+    pub single_lane_fps: f64,
+    /// `fleet_fps / single_lane_fps` — parallel speedup.
+    pub speedup: f64,
+    /// Shard with the largest busy time (the straggler).
+    pub bottleneck_shard: usize,
+    /// Mean per-frame Steps 1–8 latency, ms.
+    pub mean_ms: f64,
+    /// 99th-percentile per-frame latency, ms (nearest-rank).
+    pub p99_ms: f64,
+    /// Worst per-frame latency, ms.
+    pub max_ms: f64,
+}
+
+impl FleetThroughput {
+    /// Derives fleet throughput from `(frames, busy)` per shard and the
+    /// pooled per-frame latencies (sorted in place).
+    ///
+    /// # Panics
+    /// Panics when no shard processed any frame.
+    #[must_use]
+    pub fn from_shards(per_shard: &[(u64, SimDuration)], latencies_ms: &mut [f64]) -> Self {
+        let frames: u64 = per_shard.iter().map(|(n, _)| n).sum();
+        assert!(frames > 0, "no frames processed");
+        let (bottleneck_shard, _) = per_shard
+            .iter()
+            .enumerate()
+            .max_by(|(_, (_, a)), (_, (_, b))| a.cmp(b))
+            .expect("nonempty fleet");
+        let slowest = per_shard[bottleneck_shard].1.as_secs_f64();
+        let total: f64 = per_shard.iter().map(|(_, b)| b.as_secs_f64()).sum();
+        let fleet_fps = frames as f64 / slowest.max(f64::MIN_POSITIVE);
+        let single_lane_fps = frames as f64 / total.max(f64::MIN_POSITIVE);
+        latencies_ms.sort_by(f64::total_cmp);
+        let (mean_ms, p99_ms, max_ms) = if latencies_ms.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            let n = latencies_ms.len();
+            let rank = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
+            (
+                latencies_ms.iter().sum::<f64>() / n as f64,
+                latencies_ms[rank],
+                latencies_ms[n - 1],
+            )
+        };
+        Self {
+            frames,
+            fleet_fps,
+            single_lane_fps,
+            speedup: fleet_fps / single_lane_fps,
+            bottleneck_shard,
+            mean_ms,
+            p99_ms,
+            max_ms,
+        }
     }
 }
 

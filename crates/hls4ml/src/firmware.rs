@@ -295,6 +295,87 @@ impl Firmware {
         }
     }
 
+    /// A stable digest of the firmware's functional content: topology,
+    /// formats, and every quantized parameter's exact bit pattern (FNV-1a
+    /// over the f64 bits — the values are on-grid, so this is the same as
+    /// hashing the raw fixed-point words). Two firmwares with equal
+    /// digests compute bit-identical outputs; the golden-vector
+    /// conformance suite uses this to pin the build under test.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        let eat_fmt = |eat: &mut dyn FnMut(u64), f: &QFormat| {
+            eat(u64::from(f.width));
+            eat(f.int_bits as u64);
+        };
+        let eat_vals = |eat: &mut dyn FnMut(u64), vs: &[f64]| {
+            eat(vs.len() as u64);
+            for v in vs {
+                eat(v.to_bits());
+            }
+        };
+        eat(self.input_len as u64);
+        eat(self.input_channels as u64);
+        eat_fmt(&mut eat, &self.input_quant.format());
+        eat(self.nodes.len() as u64);
+        for node in &self.nodes {
+            match node {
+                FwNode::Dense(d) | FwNode::PointwiseDense(d) | FwNode::Conv1d { d, .. } => {
+                    let tag = match node {
+                        FwNode::Dense(_) => 1u64,
+                        FwNode::PointwiseDense(_) => 2,
+                        FwNode::Conv1d { k, .. } => 3 | ((*k as u64) << 8),
+                        _ => unreachable!(),
+                    };
+                    eat(tag);
+                    eat(d.rows as u64);
+                    eat(d.cols as u64);
+                    eat_fmt(&mut eat, &d.weight_fmt);
+                    eat_fmt(&mut eat, &d.out_quant.format());
+                    eat(match d.activation {
+                        FwActivation::Linear => 0,
+                        FwActivation::Relu => 1,
+                        FwActivation::SigmoidTable => 2,
+                    });
+                    eat_vals(&mut eat, &d.weights);
+                    eat_vals(&mut eat, &d.bias);
+                }
+                FwNode::MaxPool { pool } => {
+                    eat(4);
+                    eat(*pool as u64);
+                }
+                FwNode::UpSample { factor } => {
+                    eat(5);
+                    eat(*factor as u64);
+                }
+                FwNode::ConcatWith { node, out_quant } => {
+                    eat(6);
+                    eat(*node as u64);
+                    eat_fmt(&mut eat, &out_quant.format());
+                }
+                FwNode::BatchNorm {
+                    scale,
+                    shift,
+                    out_quant,
+                } => {
+                    eat(7);
+                    eat_fmt(&mut eat, &out_quant.format());
+                    eat_vals(&mut eat, scale);
+                    eat_vals(&mut eat, shift);
+                }
+            }
+        }
+        h
+    }
+
     /// Batch inference (rayon-parallel), merging overflow statistics.
     #[must_use]
     pub fn infer_batch(&self, inputs: &[Vec<f64>]) -> (Vec<Vec<f64>>, InferenceStats) {
@@ -442,6 +523,26 @@ mod tests {
         assert_eq!(stats.per_node[0].overflows, 1);
         assert!(y[0] < 2.0, "wrapped value in range: {}", y[0]);
         assert_ne!(y[0], of.max_value(), "wrap, not saturation");
+    }
+
+    #[test]
+    fn content_digest_pins_parameters_and_formats() {
+        let a = tiny_firmware(FwActivation::Relu);
+        assert_eq!(a.content_digest(), a.content_digest(), "stable");
+        assert_eq!(
+            a.content_digest(),
+            a.clone().content_digest(),
+            "clone-invariant"
+        );
+        // A one-LSB weight nudge changes the digest.
+        let mut b = tiny_firmware(FwActivation::Relu);
+        if let FwNode::Dense(d) = &mut b.nodes[0] {
+            d.weights[0] += d.weight_fmt.lsb();
+        }
+        assert_ne!(a.content_digest(), b.content_digest());
+        // So does an activation swap at identical weights.
+        let c = tiny_firmware(FwActivation::Linear);
+        assert_ne!(a.content_digest(), c.content_digest());
     }
 
     #[test]

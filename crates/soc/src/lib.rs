@@ -21,6 +21,9 @@
 //!   Steps 1–8 returning a per-step timing breakdown.
 //! * [`eth`] — the Ethernet ingress/egress (Steps 0 and 9): hub-packet wire
 //!   and kernel-stack costs.
+//! * [`multi`] — M replicated control-IP instances behind the one bridge:
+//!   round-robin dispatch, per-IP handshake state, and the shared-bridge
+//!   batch makespan model the sharded engine schedules against.
 //! * [`counters`] — the performance counters the paper embedded in the
 //!   platform to "measure real latency".
 //! * [`faults`] — the seeded fault-injection plane: per-subsystem fault
@@ -36,6 +39,7 @@ pub mod counters;
 pub mod eth;
 pub mod faults;
 pub mod hps;
+pub mod multi;
 pub mod node;
 pub mod platform;
 pub mod ram;
@@ -46,6 +50,7 @@ pub use bridge::{AvalonBridge, DmaEngine};
 pub use control::{ControlIp, ControlState};
 pub use faults::{FaultInjector, FaultLog, FaultPlan};
 pub use hps::HpsModel;
+pub use multi::{batch_makespan, BatchRun, IpArray};
 pub use node::{CentralNodeSim, FrameHang, FrameTiming, HangKind, TapProbes};
 pub use platform::{Component, Platform};
 pub use ram::DualPortRam;

@@ -1,0 +1,209 @@
+//! Golden-vector conformance suite.
+//!
+//! Seeded input frames and their expected fixed-point outputs are checked
+//! in under `tests/golden/` as f64 *bit patterns* (hex), so the assertions
+//! are exact to the last mantissa bit — any numeric drift in the firmware
+//! interpreter (quantizer rounding, accumulation order, activation tables)
+//! fails loudly, and so does any divergence between the sequential,
+//! batched, and multi-threaded inference paths.
+//!
+//! The vectors are built from *untrained but seeded* models run through
+//! the real profile → convert pipeline: training is deliberately excluded
+//! so the suite pins interpreter semantics, not optimizer trajectories.
+//! Each file also records the firmware's content digest; a digest mismatch
+//! means conversion itself changed and the vectors need review.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```sh
+//! REGEN_GOLDEN=1 cargo test --test golden_vectors
+//! ```
+
+use reads_hls4ml::{convert, profile_model, Firmware, HlsConfig};
+use reads_nn::models;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct GoldenFile {
+    /// `"mlp"` or `"unet"`.
+    model: String,
+    /// Model seed.
+    seed: u64,
+    /// `Firmware::content_digest()` as hex.
+    digest: String,
+    /// Input frames, each value an f64 bit pattern in hex.
+    inputs: Vec<Vec<String>>,
+    /// Expected outputs per frame, f64 bit patterns in hex.
+    outputs: Vec<Vec<String>>,
+}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn unhex(s: &str) -> f64 {
+    f64::from_bits(u64::from_str_radix(s, 16).expect("hex f64 bit pattern"))
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Deterministic synthetic frame in the standardized-input regime
+/// (zero-mean, few-sigma range — the values the IP actually sees).
+fn synth_frame(len: usize, frame: usize) -> Vec<f64> {
+    (0..len)
+        .map(|j| {
+            let phase = (j as f64).mul_add(0.173, frame as f64 * 1.37);
+            2.5 * phase.sin() + 0.25 * ((j % 17) as f64 - 8.0) / 8.0
+        })
+        .collect()
+}
+
+fn build_firmware(model: &str, seed: u64) -> Firmware {
+    let m = match model {
+        "mlp" => models::reads_mlp(seed),
+        "unet" => models::reads_unet(seed),
+        other => panic!("unknown golden model {other}"),
+    };
+    let (input_len, _) = m.input_shape();
+    let calib: Vec<Vec<f64>> = (0..6).map(|f| synth_frame(input_len, f + 100)).collect();
+    let profile = profile_model(&m, &calib);
+    convert(&m, &profile, &HlsConfig::paper_default())
+}
+
+fn cases() -> Vec<(&'static str, u64, usize)> {
+    // (model, seed, frame count)
+    vec![("mlp", 3, 6), ("mlp", 17, 4), ("unet", 7, 4)]
+}
+
+fn file_name(model: &str, seed: u64) -> String {
+    format!("{model}_seed{seed}.json")
+}
+
+fn generate(model: &str, seed: u64, frames: usize) -> GoldenFile {
+    let fw = build_firmware(model, seed);
+    let n_in = fw.input_len * fw.input_channels;
+    let inputs: Vec<Vec<f64>> = (0..frames).map(|f| synth_frame(n_in, f)).collect();
+    let outputs: Vec<Vec<f64>> = inputs.iter().map(|x| fw.infer(x).0).collect();
+    GoldenFile {
+        model: model.to_string(),
+        seed,
+        digest: format!("{:016x}", fw.content_digest()),
+        inputs: inputs
+            .iter()
+            .map(|x| x.iter().copied().map(hex).collect())
+            .collect(),
+        outputs: outputs
+            .iter()
+            .map(|x| x.iter().copied().map(hex).collect())
+            .collect(),
+    }
+}
+
+#[test]
+fn golden_vectors_hold_bit_exactly() {
+    let regen = std::env::var("REGEN_GOLDEN").is_ok_and(|v| v == "1");
+    for (model, seed, frames) in cases() {
+        let path = golden_dir().join(file_name(model, seed));
+        if regen {
+            let gf = generate(model, seed, frames);
+            std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+            std::fs::write(&path, serde_json::to_string_pretty(&gf).unwrap())
+                .expect("write golden file");
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run REGEN_GOLDEN=1 cargo test --test golden_vectors",
+                path.display()
+            )
+        });
+        let gf: GoldenFile = serde_json::from_str(&text).expect("parse golden file");
+        assert_eq!(gf.model, model);
+        assert_eq!(gf.seed, seed);
+        assert_eq!(gf.inputs.len(), frames, "{model} seed {seed} frame count");
+
+        let fw = build_firmware(model, seed);
+        assert_eq!(
+            format!("{:016x}", fw.content_digest()),
+            gf.digest,
+            "{model} seed {seed}: conversion pipeline changed — regenerate and review"
+        );
+
+        let inputs: Vec<Vec<f64>> = gf
+            .inputs
+            .iter()
+            .map(|x| x.iter().map(|s| unhex(s)).collect())
+            .collect();
+        for (f, (x, want_hex)) in inputs.iter().zip(&gf.outputs).enumerate() {
+            let (got, _) = fw.infer(x);
+            assert_eq!(got.len(), want_hex.len(), "{model} seed {seed} frame {f}");
+            for (j, (g, w)) in got.iter().zip(want_hex).enumerate() {
+                assert_eq!(
+                    hex(*g),
+                    *w,
+                    "{model} seed {seed} frame {f} output {j}: {} != {}",
+                    g,
+                    unhex(w)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_path_is_bit_identical_to_sequential() {
+    for (model, seed, frames) in cases() {
+        let fw = build_firmware(model, seed);
+        let n_in = fw.input_len * fw.input_channels;
+        let inputs: Vec<Vec<f64>> = (0..frames).map(|f| synth_frame(n_in, f)).collect();
+        let sequential: Vec<Vec<f64>> = inputs.iter().map(|x| fw.infer(x).0).collect();
+        let (batched, _) = fw.infer_batch(&inputs);
+        assert_eq!(batched.len(), sequential.len());
+        for (f, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            let s_bits: Vec<u64> = s.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(b_bits, s_bits, "{model} seed {seed} frame {f}");
+        }
+    }
+}
+
+#[test]
+fn parallel_workers_with_cloned_firmware_are_bit_identical() {
+    // The engine's parallelism is cloned firmware on worker threads; prove
+    // the clone+thread combination cannot perturb a single bit.
+    let fw = build_firmware("mlp", 3);
+    let n_in = fw.input_len * fw.input_channels;
+    let inputs: Vec<Vec<f64>> = (0..16).map(|f| synth_frame(n_in, f)).collect();
+    let sequential: Vec<Vec<f64>> = inputs.iter().map(|x| fw.infer(x).0).collect();
+
+    let workers = 4;
+    let chunk = inputs.len().div_ceil(workers);
+    let parallel: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .map(|part| {
+                let worker_fw = fw.clone();
+                s.spawn(move || {
+                    part.iter()
+                        .map(|x| worker_fw.infer(x).0)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    assert_eq!(parallel.len(), sequential.len());
+    for (f, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+        let p_bits: Vec<u64> = p.iter().map(|v| v.to_bits()).collect();
+        let s_bits: Vec<u64> = s.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(p_bits, s_bits, "frame {f}");
+    }
+}

@@ -1,23 +1,32 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides `crossbeam::channel::bounded` backed by the standard library's
-//! `mpsc::sync_channel`. Unlike the real crate the receiver is not
-//! cloneable (every use in this workspace is single-consumer), and only
-//! the blocking `send`/`recv` pair is exposed.
+//! Provides `crossbeam::channel::{bounded, unbounded}` backed by the
+//! standard library's mpsc channels. Unlike the real crate the receiver is
+//! not cloneable (every use in this workspace is single-consumer); the
+//! exposed surface is the blocking `send`/`recv` pair plus the non-blocking
+//! `try_send`/`try_recv` used for backpressure drop policies.
 
 pub mod channel {
     use std::sync::mpsc;
 
-    /// Sending half of a bounded channel; cloneable for multiple producers.
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// Sending half of a channel; cloneable for multiple producers.
+    pub struct Sender<T>(Tx<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+            })
         }
     }
 
-    /// Receiving half of a bounded channel.
+    /// Receiving half of a channel.
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
     /// Error returned when every receiver has been dropped.
@@ -31,6 +40,35 @@ pub mod channel {
     }
 
     impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded buffer is full; the value is handed back.
+        Full(T),
+        /// Every receiver has been dropped; the value is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
 
     /// Error returned when every sender has been dropped and the buffer
     /// is drained.
@@ -51,9 +89,28 @@ pub mod channel {
         /// # Errors
         /// Returns [`SendError`] carrying the value back when disconnected.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.0 {
+                Tx::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+
+        /// Queues the value only if there is room right now.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] when the bounded buffer has no free slot
+        /// (never returned by unbounded channels);
+        /// [`TrySendError::Disconnected`] when every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+                Tx::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+            }
         }
     }
 
@@ -73,13 +130,25 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.0.try_recv()
         }
+
+        /// Blocking iterator draining the channel until disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(|| self.recv().ok())
+        }
     }
 
     /// Creates a channel holding at most `cap` in-flight messages.
     #[must_use]
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a channel with no capacity bound (sends never block).
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
     }
 }
 
@@ -108,5 +177,26 @@ mod tests {
         let (tx, rx) = channel::bounded::<u8>(1);
         drop(rx);
         assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn try_send_reports_full_then_drains() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn unbounded_never_fills() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        for i in 0..1_000 {
+            tx.try_send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 1_000);
     }
 }
