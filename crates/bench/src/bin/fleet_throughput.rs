@@ -67,7 +67,7 @@ fn main() {
                 let (_, report) = ShardedEngine::run_stream(
                     &cfg,
                     &std,
-                    |_| Box::new(NativeExecutor::new(firmware.clone(), &hps)),
+                    |_| Box::new(NativeExecutor::compiled(&firmware, &hps)),
                     frames,
                 );
                 let t = report.throughput();

@@ -1,0 +1,243 @@
+//! Single-thread inference hot-path benchmark: interpreter vs the lowered
+//! integer-quanta engine.
+//!
+//! Sweeps {U-Net, MLP} × {interpreter, compiled} × batch sizes over
+//! deterministic synthetic frames, each engine running its steady-state
+//! path (`Firmware::infer_reusing` with a reused `InterpState`;
+//! `CompiledFirmware::infer_into` with a reused `Scratch`). Reports
+//! frames/sec, ns/frame, and heap allocations/frame counted by a global
+//! counting allocator, then writes `BENCH_inference_hotpath.json` at the
+//! repo root — the tracked benchmark trajectory.
+//!
+//! Asserts that the compiled engine allocates nothing per frame and that
+//! its single-thread U-Net speedup over the interpreter is at least
+//! `MIN_SPEEDUP` (default 3; CI runs with 2 as the regression floor).
+//!
+//! ```sh
+//! cargo run --release -p reads-bench --bin inference_hotpath
+//! ```
+
+use reads_hls4ml::{convert, profile_model, CompiledFirmware, Firmware, HlsConfig};
+use reads_nn::models;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every allocation while delegating to the system allocator —
+/// benchmark-only instrumentation for the allocations/frame column.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const SEED: u64 = 2024;
+
+fn synth_frame(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            (t * 12.57).sin() * 1.5 + (t * 40.0).cos() * 0.4 + next() * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn build(model: &reads_nn::Model, seed: u64) -> Firmware {
+    let (len, ch) = model.input_shape();
+    let frames: Vec<Vec<f64>> = (0..3).map(|i| synth_frame(len * ch, seed + i)).collect();
+    let profile = profile_model(model, &frames);
+    convert(model, &profile, &HlsConfig::paper_default())
+}
+
+struct Cell {
+    model: &'static str,
+    engine: &'static str,
+    batch: usize,
+    frames: u64,
+    ns_per_frame: f64,
+    fps: f64,
+    allocs_per_frame: f64,
+}
+
+/// Runs `frames_per_rep`-frame batches of `step` until ~0.4 s has elapsed
+/// (min 3 reps), returning (frames, ns/frame, allocs/frame).
+fn measure(
+    batch: usize,
+    inputs: &[Vec<f64>],
+    mut step: impl FnMut(&[Vec<f64>]),
+) -> (u64, f64, f64) {
+    // Warm-up: one pass so lazy buffers (and the page cache) settle.
+    step(&inputs[..batch]);
+    let alloc_start = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let mut frames = 0u64;
+    let mut reps = 0u32;
+    while reps < 3 || t0.elapsed().as_secs_f64() < 0.4 {
+        step(&inputs[..batch]);
+        frames += batch as u64;
+        reps += 1;
+        if frames > 2_000_000 {
+            break;
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+    (
+        frames,
+        elapsed * 1e9 / frames as f64,
+        allocs as f64 / frames as f64,
+    )
+}
+
+fn sweep_model(name: &'static str, fw: &Firmware, batches: &[usize], rows: &mut Vec<Cell>) {
+    let n_in = fw.input_len * fw.input_channels;
+    let max_batch = *batches.iter().max().unwrap();
+    let inputs: Vec<Vec<f64>> = (0..max_batch)
+        .map(|i| synth_frame(n_in, SEED + i as u64))
+        .collect();
+
+    let compiled = CompiledFirmware::lower(fw);
+    // Sanity: both engines agree on the bench frames before we time them.
+    let (want, want_stats) = fw.infer(&inputs[0]);
+    let (got, got_stats) = compiled.infer(&inputs[0]);
+    assert_eq!(want, got, "{name}: engines diverge");
+    assert_eq!(want_stats, got_stats, "{name}: stats diverge");
+
+    for &batch in batches {
+        let mut state = fw.interp_state();
+        let (frames, ns, allocs) = measure(batch, &inputs, |xs| {
+            for x in xs {
+                let (y, stats) = fw.infer_reusing(x, &mut state);
+                std::hint::black_box((y, stats));
+            }
+        });
+        rows.push(Cell {
+            model: name,
+            engine: "interpreter",
+            batch,
+            frames,
+            ns_per_frame: ns,
+            fps: 1e9 / ns,
+            allocs_per_frame: allocs,
+        });
+
+        let mut scratch = compiled.scratch();
+        let (frames, ns, allocs) = measure(batch, &inputs, |xs| {
+            for x in xs {
+                let (y, stats) = compiled.infer_into(x, &mut scratch);
+                std::hint::black_box((y, stats));
+            }
+        });
+        rows.push(Cell {
+            model: name,
+            engine: "compiled",
+            batch,
+            frames,
+            ns_per_frame: ns,
+            fps: 1e9 / ns,
+            allocs_per_frame: allocs,
+        });
+    }
+}
+
+/// Best (lowest) ns/frame for one model × engine across batch sizes.
+fn best_ns(rows: &[Cell], model: &str, engine: &str) -> f64 {
+    rows.iter()
+        .filter(|c| c.model == model && c.engine == engine)
+        .map(|c| c.ns_per_frame)
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let min_speedup: f64 = std::env::var("MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let batches = [1usize, 8, 32];
+
+    let unet = build(&models::reads_unet(SEED), SEED);
+    let mlp = build(&models::reads_mlp(SEED), SEED + 1);
+
+    println!("inference hot path: interpreter vs lowered engine (single thread, seed {SEED})");
+    println!(
+        "{:>6} {:>12} {:>6} {:>8} {:>12} {:>12} {:>13}",
+        "model", "engine", "batch", "frames", "ns/frame", "frames/s", "allocs/frame"
+    );
+
+    let mut rows = Vec::new();
+    sweep_model("unet", &unet, &batches, &mut rows);
+    sweep_model("mlp", &mlp, &batches, &mut rows);
+
+    for c in &rows {
+        println!(
+            "{:>6} {:>12} {:>6} {:>8} {:>12.0} {:>12.0} {:>13.2}",
+            c.model, c.engine, c.batch, c.frames, c.ns_per_frame, c.fps, c.allocs_per_frame
+        );
+    }
+
+    let unet_speedup = best_ns(&rows, "unet", "interpreter") / best_ns(&rows, "unet", "compiled");
+    let mlp_speedup = best_ns(&rows, "mlp", "interpreter") / best_ns(&rows, "mlp", "compiled");
+    println!("\nU-Net single-thread speedup: {unet_speedup:.2}x (floor {min_speedup:.1}x)");
+    println!("MLP   single-thread speedup: {mlp_speedup:.2}x");
+
+    for c in rows.iter().filter(|c| c.engine == "compiled") {
+        assert!(
+            c.allocs_per_frame == 0.0,
+            "{} batch {}: compiled hot path allocated {:.2}/frame",
+            c.model,
+            c.batch,
+            c.allocs_per_frame
+        );
+    }
+    assert!(
+        unet_speedup >= min_speedup,
+        "U-Net compiled speedup {unet_speedup:.2}x below the {min_speedup:.1}x floor"
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"model\":\"{}\",\"engine\":\"{}\",\"batch\":{},\"frames\":{},\
+                 \"ns_per_frame\":{:.1},\"fps\":{:.1},\"allocs_per_frame\":{:.3}}}",
+                c.model, c.engine, c.batch, c.frames, c.ns_per_frame, c.fps, c.allocs_per_frame
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"seed\":{SEED},\"min_speedup\":{min_speedup},\"unet_speedup\":{unet_speedup:.3},\
+         \"mlp_speedup\":{mlp_speedup:.3},\"rows\":[{}]}}\n",
+        json_rows.join(",")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_inference_hotpath.json");
+    let mut f = std::fs::File::create(&path).expect("write benchmark json");
+    f.write_all(json.as_bytes()).expect("write benchmark json");
+    println!("trajectory written to {}", path.display());
+}

@@ -34,7 +34,7 @@ use reads_blm::hubs::{assemble_frame, ChainFrame};
 use reads_blm::Standardizer;
 use reads_hls4ml::firmware::InferenceStats;
 use reads_hls4ml::latency::estimate_latency;
-use reads_hls4ml::Firmware;
+use reads_hls4ml::{CompiledFirmware, Firmware, Scratch};
 use reads_sim::SimDuration;
 use reads_soc::hps::HpsModel;
 use reads_soc::multi::{batch_makespan, IpArray};
@@ -129,21 +129,37 @@ pub trait ShardExecutor: Send {
     }
 }
 
-/// Fast path: a cloned firmware interpreter per shard. Host execution is
-/// as fast as the machine allows; simulated timing uses the deterministic
-/// expected HPS overhead plus the hls4ml compute-cycle estimate (one IP
-/// pipeline per shard, frames back to back).
+/// The native executor's inference backend: the reference interpreter, or
+/// the lowered integer-quanta engine with its per-shard scratch arena.
+#[derive(Debug, Clone)]
+enum NativeBackend {
+    Interpreter(Firmware),
+    Compiled {
+        engine: Box<CompiledFirmware>,
+        scratch: Scratch,
+    },
+}
+
+/// Fast path: one inference engine per shard. Host execution is as fast as
+/// the machine allows; simulated timing uses the deterministic expected
+/// HPS overhead plus the hls4ml compute-cycle estimate (one IP pipeline
+/// per shard, frames back to back).
+///
+/// Two bit-identical backends exist: [`NativeExecutor::new`] interprets
+/// the firmware directly (the reference path), while
+/// [`NativeExecutor::compiled`] lowers it once into integer-quanta kernels
+/// and runs frames allocation-free through a reused scratch arena — the
+/// production hot path [`ShardedEngine::native`] uses.
 #[derive(Debug, Clone)]
 pub struct NativeExecutor {
-    firmware: Firmware,
+    backend: NativeBackend,
+    n_in: usize,
     frame_overhead: SimDuration,
     compute: SimDuration,
 }
 
 impl NativeExecutor {
-    /// Builds the executor for one shard.
-    #[must_use]
-    pub fn new(firmware: Firmware, hps: &HpsModel) -> Self {
+    fn timing(firmware: &Firmware, hps: &HpsModel) -> (usize, SimDuration, SimDuration) {
         let words = |width: u32| (width as usize).div_ceil(16);
         let in_fmt = firmware.input_quant.format();
         let out_fmt = firmware
@@ -151,12 +167,37 @@ impl NativeExecutor {
             .last()
             .and_then(reads_hls4ml::firmware::FwNode::dense)
             .map_or(in_fmt, |d| d.out_quant.format());
-        let n_in = firmware.input_len * firmware.input_channels * words(in_fmt.width);
-        let n_out = firmware.output_len() * words(out_fmt.width);
-        let frame_overhead = hps.expected_overhead(n_in, n_out);
-        let compute = SimDuration::from_cycles(estimate_latency(&firmware).total_cycles);
+        let n_in = firmware.input_len * firmware.input_channels;
+        let io_in = n_in * words(in_fmt.width);
+        let io_out = firmware.output_len() * words(out_fmt.width);
+        let frame_overhead = hps.expected_overhead(io_in, io_out);
+        let compute = SimDuration::from_cycles(estimate_latency(firmware).total_cycles);
+        (n_in, frame_overhead, compute)
+    }
+
+    /// Builds an interpreter-backed executor for one shard.
+    #[must_use]
+    pub fn new(firmware: Firmware, hps: &HpsModel) -> Self {
+        let (n_in, frame_overhead, compute) = Self::timing(&firmware, hps);
         Self {
-            firmware,
+            backend: NativeBackend::Interpreter(firmware),
+            n_in,
+            frame_overhead,
+            compute,
+        }
+    }
+
+    /// Builds an executor backed by the lowered integer-quanta engine —
+    /// bit-identical outputs and statistics, several times faster, zero
+    /// steady-state allocations per frame.
+    #[must_use]
+    pub fn compiled(firmware: &Firmware, hps: &HpsModel) -> Self {
+        let (n_in, frame_overhead, compute) = Self::timing(firmware, hps);
+        let engine = Box::new(CompiledFirmware::lower(firmware));
+        let scratch = engine.scratch();
+        Self {
+            backend: NativeBackend::Compiled { engine, scratch },
+            n_in,
             frame_overhead,
             compute,
         }
@@ -165,11 +206,23 @@ impl NativeExecutor {
 
 impl ShardExecutor for NativeExecutor {
     fn input_len(&self) -> usize {
-        self.firmware.input_len * self.firmware.input_channels
+        self.n_in
     }
 
     fn run_batch(&mut self, inputs: &[Vec<f64>]) -> BatchOutcome {
-        let (outputs, stats) = self.firmware.infer_batch(inputs);
+        let (outputs, stats) = match &mut self.backend {
+            NativeBackend::Interpreter(fw) => fw.infer_batch(inputs),
+            NativeBackend::Compiled { engine, scratch } => {
+                let mut merged = InferenceStats::default();
+                let mut outs = Vec::with_capacity(inputs.len());
+                for x in inputs {
+                    let (y, st) = engine.infer_into(x, scratch);
+                    merged.merge(st);
+                    outs.push(y.to_vec());
+                }
+                (outs, merged)
+            }
+        };
         let per_frame = FrameTiming {
             write: SimDuration::ZERO,
             control: SimDuration::ZERO,
@@ -471,8 +524,9 @@ impl ShardedEngine {
         }
     }
 
-    /// Native fast-path engine: every shard interprets a clone of
-    /// `firmware` directly.
+    /// Native fast-path engine: every shard runs the lowered
+    /// integer-quanta engine ([`NativeExecutor::compiled`]) — bit-identical
+    /// to the interpreter, several times faster.
     #[must_use]
     pub fn native(
         cfg: &EngineConfig,
@@ -481,7 +535,7 @@ impl ShardedEngine {
         standardizer: &Standardizer,
     ) -> Self {
         Self::start(cfg, standardizer, |_| {
-            Box::new(NativeExecutor::new(firmware.clone(), hps))
+            Box::new(NativeExecutor::compiled(firmware, hps))
         })
     }
 
@@ -788,6 +842,40 @@ mod tests {
             let direct = DeblendVerdict::from_split_halves(*seq, out);
             assert_eq!(r.verdict, direct, "chain {chain} seq {seq}");
         }
+    }
+
+    #[test]
+    fn compiled_executor_matches_interpreter_executor_bit_for_bit() {
+        let fw = mlp_firmware();
+        let std = standardizer();
+        let frames = MultiChainSource::new(3, 9).ticks(4);
+        let (interp, interp_report) = ShardedEngine::run_stream(
+            &EngineConfig {
+                workers: 3,
+                batch: 2,
+                ..EngineConfig::default()
+            },
+            &std,
+            |_| Box::new(NativeExecutor::new(fw.clone(), &HpsModel::default())),
+            frames.clone(),
+        );
+        let (compiled, compiled_report) = ShardedEngine::run_stream(
+            &EngineConfig {
+                workers: 3,
+                batch: 2,
+                ..EngineConfig::default()
+            },
+            &std,
+            |_| Box::new(NativeExecutor::compiled(&fw, &HpsModel::default())),
+            frames,
+        );
+        assert_eq!(interp.len(), compiled.len());
+        for (a, b) in interp.iter().zip(&compiled) {
+            assert_eq!((a.chain, a.sequence), (b.chain, b.sequence));
+            assert_eq!(a.verdict, b.verdict, "chain {} seq {}", a.chain, a.sequence);
+        }
+        // Overflow accounting is part of the contract, not just outputs.
+        assert_eq!(interp_report.merged_stats(), compiled_report.merged_stats());
     }
 
     #[test]

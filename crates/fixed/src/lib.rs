@@ -19,17 +19,22 @@
 //!   feed the Fig. 5b "abnormal points from inner-layer overflow" analysis.
 //! * [`Accum`] — the wide multiply-accumulate register an HLS dense/conv
 //!   kernel synthesizes; exact for every MAC chain in the READS models.
+//! * [`Requant`] — grid-to-grid conversion folded into integer shift/clamp
+//!   constants, the substrate of the lowered inference engine in
+//!   `reads-hls4ml::compiled`.
 
 #![warn(missing_docs)]
 
 pub mod accum;
 pub mod format;
 pub mod quantizer;
+pub mod requant;
 pub mod typed;
 pub mod value;
 
 pub use accum::Accum;
 pub use format::{Overflow, QFormat, Rounding};
 pub use quantizer::{OverflowStats, Quantizer};
+pub use requant::Requant;
 pub use typed::{Fix16x7, Fix18x10, Fixed};
 pub use value::Fx;

@@ -1,0 +1,225 @@
+//! Quanta-domain requantization.
+//!
+//! The firmware interpreter converts between layer grids by dequantizing to
+//! `f64` and calling [`Fx::from_f64`] — exact, but it pays a float multiply,
+//! an `exp2`, a `floor`, and a range check per element. A [`Requant`] folds
+//! the whole conversion into integer constants at lowering time: a single
+//! arithmetic shift (with a precomputed rounding addend) plus a clamp/wrap
+//! against the destination's raw range. The lowered inference engine in
+//! `reads-hls4ml::compiled` runs every layer-to-layer conversion through
+//! these, and the result is *bit-identical* to the `f64` route whenever the
+//! source value stays below 2⁵² quanta (the same exactness domain the
+//! interpreter itself relies on — see `Firmware`'s module docs).
+
+use crate::format::{Overflow, QFormat, Rounding};
+use crate::value::{wrap_to_width, Fx};
+
+/// Integer requantizer from a source dyadic grid into a destination
+/// [`QFormat`], with the rounding and overflow semantics of
+/// [`Fx::from_f64`] folded into precomputed constants.
+///
+/// Construction fixes the source grid (`src_frac_bits`), so applying it is
+/// branch-light: one shift, one addend, one range check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Requant {
+    /// `src_frac_bits − dst.frac_bits()`: right-shift distance when
+    /// positive, left-shift when negative (the destination grid is finer,
+    /// so the conversion is exact).
+    shift: i32,
+    /// Rounding addend in source quanta: `2^(shift−1)` for
+    /// [`Rounding::Nearest`] with a positive shift, 0 otherwise (truncation
+    /// is an arithmetic shift; non-positive shifts never round).
+    half: i128,
+    /// Destination raw range, inclusive.
+    lo: i64,
+    /// Destination raw range, inclusive.
+    hi: i64,
+    /// Destination format (kept for wrap semantics and introspection).
+    dst: QFormat,
+    /// Overflow mode applied when the shifted value leaves `[lo, hi]`.
+    overflow: Overflow,
+}
+
+impl Requant {
+    /// Builds the requantizer from a source grid into `dst`.
+    #[must_use]
+    pub fn new(src_frac_bits: i32, dst: QFormat, rounding: Rounding, overflow: Overflow) -> Self {
+        let shift = src_frac_bits - dst.frac_bits();
+        let half = if rounding == Rounding::Nearest && shift > 0 {
+            1i128 << (shift - 1)
+        } else {
+            0
+        };
+        Self {
+            shift,
+            half,
+            lo: dst.raw_min(),
+            hi: dst.raw_max(),
+            dst,
+            overflow,
+        }
+    }
+
+    /// The destination format.
+    #[must_use]
+    pub fn dst_format(&self) -> QFormat {
+        self.dst
+    }
+
+    /// Requantizes a raw source-grid value. Returns the destination raw
+    /// value and whether the conversion overflowed the destination range —
+    /// bit-identical to `Fx::from_f64(raw · 2^-src_frac_bits, dst, …)` for
+    /// every `|raw| < 2⁵²` (beyond that the `f64` reference itself starts
+    /// rounding; callers uphold the bound at lowering time).
+    #[inline]
+    #[must_use]
+    pub fn apply(&self, raw: i128) -> (i64, bool) {
+        let rounded: i128 = if self.shift > 0 {
+            // floor((raw + half) / 2^shift): arithmetic shift floors for
+            // negatives, matching AC_TRN / AC_RND exactly.
+            (raw + self.half) >> self.shift
+        } else {
+            // The destination grid is at least as fine: exact.
+            raw << (-self.shift)
+        };
+        let ovf = rounded < i128::from(self.lo) || rounded > i128::from(self.hi);
+        let out = if ovf {
+            match self.overflow {
+                Overflow::Saturate => {
+                    if rounded > i128::from(self.hi) {
+                        self.hi
+                    } else {
+                        self.lo
+                    }
+                }
+                Overflow::Wrap => wrap_to_width(rounded, self.dst),
+            }
+        } else {
+            rounded as i64
+        };
+        (out, ovf)
+    }
+}
+
+impl crate::quantizer::Quantizer {
+    /// The quanta-domain requantizer from a source grid into this
+    /// quantizer's format, with its rounding and overflow modes folded in —
+    /// the constants a lowered (integer) inference kernel executes instead
+    /// of the `f64` [`crate::quantizer::Quantizer::quantize_dequantize`]
+    /// round-trip.
+    #[must_use]
+    pub fn requant_from(&self, src_frac_bits: i32) -> Requant {
+        Requant::new(
+            src_frac_bits,
+            self.format(),
+            self.rounding(),
+            self.overflow_mode(),
+        )
+    }
+}
+
+/// Reference check used by tests and lowering debug assertions: the `f64`
+/// route for the same conversion.
+#[must_use]
+pub fn requant_via_f64(
+    raw: i128,
+    src_frac_bits: i32,
+    dst: QFormat,
+    rounding: Rounding,
+    overflow: Overflow,
+) -> (i64, bool) {
+    let x = raw as f64 * (-src_frac_bits as f64).exp2();
+    let (fx, ovf) = Fx::from_f64(x, dst, rounding, overflow);
+    (fx.raw(), ovf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_modes() -> [(Rounding, Overflow); 4] {
+        [
+            (Rounding::Truncate, Overflow::Saturate),
+            (Rounding::Truncate, Overflow::Wrap),
+            (Rounding::Nearest, Overflow::Saturate),
+            (Rounding::Nearest, Overflow::Wrap),
+        ]
+    }
+
+    #[test]
+    fn matches_f64_route_across_shifts_and_modes() {
+        // Sweep source grids coarser and finer than the destination, all
+        // four mode combinations, and raws straddling zero and the range
+        // edges — every case must agree with Fx::from_f64 bit for bit.
+        let dst = QFormat::signed(8, 3); // raw in [-128, 127], frac 5
+        for src_frac in [-2i32, 0, 3, 5, 9, 14] {
+            for (rounding, overflow) in all_modes() {
+                let rq = Requant::new(src_frac, dst, rounding, overflow);
+                for raw in -5000i128..5000 {
+                    let got = rq.apply(raw);
+                    let want = requant_via_f64(raw, src_frac, dst, rounding, overflow);
+                    assert_eq!(
+                        got, want,
+                        "raw {raw} src_frac {src_frac} {rounding:?} {overflow:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_f64_route_unsigned_destination() {
+        let dst = QFormat::unsigned(6, 2); // raw in [0, 63]
+        for (rounding, overflow) in all_modes() {
+            let rq = Requant::new(7, dst, rounding, overflow);
+            for raw in -600i128..600 {
+                assert_eq!(
+                    rq.apply(raw),
+                    requant_via_f64(raw, 7, dst, rounding, overflow),
+                    "raw {raw} {rounding:?} {overflow:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_widening_never_overflows_or_rounds() {
+        // Coarse source grid into a finer, wider destination: pure shl.
+        let dst = QFormat::signed(16, 7); // frac 9
+        let rq = Requant::new(4, dst, Rounding::Nearest, Overflow::Wrap);
+        for raw in -100i128..100 {
+            let (out, ovf) = rq.apply(raw);
+            assert!(!ovf);
+            assert_eq!(i128::from(out), raw << 5);
+        }
+    }
+
+    #[test]
+    fn nearest_ties_go_up() {
+        // src frac 6 -> dst frac 5: shift 1, tie at odd raws.
+        let dst = QFormat::signed(16, 11);
+        let rq = Requant::new(6, dst, Rounding::Nearest, Overflow::Saturate);
+        assert_eq!(rq.apply(1).0, 1, "+0.5 quanta rounds up (AC_RND)");
+        assert_eq!(rq.apply(-1).0, 0, "-0.5 quanta rounds toward +inf");
+        assert_eq!(rq.apply(3).0, 2);
+    }
+
+    #[test]
+    fn quantizer_exposes_requant() {
+        let q = crate::quantizer::Quantizer::hls_default(QFormat::signed(16, 7));
+        let rq = q.requant_from(20);
+        assert_eq!(rq.dst_format(), QFormat::signed(16, 7));
+        // 2^20 quanta at frac 20 == 1.0 == raw 512 at frac 9.
+        assert_eq!(rq.apply(1 << 20), (512, false));
+    }
+
+    #[test]
+    fn wrap_matches_twos_complement() {
+        let dst = QFormat::signed(16, 7); // raw range ±2^15
+        let rq = Requant::new(9, dst, Rounding::Truncate, Overflow::Wrap);
+        // 64.0 == raw 32768 at frac 9 wraps to -32768.
+        let (out, ovf) = rq.apply(32768);
+        assert!(ovf);
+        assert_eq!(out, -32768);
+    }
+}

@@ -1,0 +1,1058 @@
+//! The lowered inference engine: integer-quanta kernels compiled once from
+//! a [`Firmware`].
+//!
+//! The interpreter in [`crate::firmware`] executes every frame the way the
+//! *converter* reasons: on-grid `f64` values, a `quantize_dequantize`
+//! round-trip per element (float multiply, `exp2`, `floor`, range check),
+//! and fresh buffers per layer. [`CompiledFirmware`] lowers the model once
+//! and executes the whole frame in the integer-quanta domain instead — the
+//! same move hls4ml makes when it turns a Keras graph into fixed-point
+//! firmware:
+//!
+//! * weights and biases are pre-converted to raw `i64` quanta on their
+//!   `QFormat` grids, biases pre-aligned to the accumulator grid;
+//! * every layer-to-layer conversion is folded into a [`Requant`] — one
+//!   shift, one precomputed rounding addend, one clamp — instead of the
+//!   `f64` round-trip;
+//! * dense / pointwise / conv1d kernels fuse quantize → integer MAC →
+//!   activation → requantize; the MAC runs in `i64`, which the compiler can
+//!   reassociate and vectorize (the serial `f64` addition chain in the
+//!   interpreter cannot be);
+//! * the sigmoid table is pre-quantized into each consuming layer's output
+//!   format at lowering time, so the hot path is a table index plus a load;
+//! * all working memory lives in a caller-held [`Scratch`] arena (ping-pong
+//!   layer buffers, retained skip-connection buffers, the conv im2col
+//!   window, output and statistics storage), all sized at lowering time —
+//!   steady-state [`CompiledFirmware::infer_into`] performs **zero heap
+//!   allocations per frame**.
+//!
+//! # Why bit-exactness is preserved
+//!
+//! Every value the interpreter touches is dyadic: `raw · 2^-frac` for an
+//! integer `raw` on a known grid. Its `f64` arithmetic is *exact* as long
+//! as every intermediate stays below 2⁵² quanta on the common grid (f64
+//! holds 53 mantissa bits; one bit of headroom covers the `+0.5` rounding
+//! addend). Lowering computes, per layer, a worst-case accumulator bound
+//! from the weight raws and the producer format's raw range, and panics if
+//! the bound leaves that domain — so wherever a `CompiledFirmware` exists
+//! at all, its integer arithmetic and the interpreter's `f64` arithmetic
+//! are the *same function*, and outputs and overflow counts match bit for
+//! bit. The golden-vector conformance suite and a differential proptest
+//! assert this. DESIGN.md §9 has the full argument.
+
+use crate::firmware::{Firmware, FwActivation, FwDense, FwNode, InferenceStats};
+use reads_fixed::{Fx, Overflow, OverflowStats, QFormat, Requant, Rounding};
+use reads_tensor::activ::SigmoidTable;
+
+/// Largest accumulator magnitude (in quanta) for which the interpreter's
+/// `f64` arithmetic is still exact — the domain in which lowering is valid.
+const EXACT_BOUND: i128 = 1 << 52;
+
+/// Per-node work counts, recorded at lowering time — the substrate the
+/// resource and latency estimators can read instead of re-deriving shapes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerOps {
+    /// Multiply-accumulate operations per frame (0 for pure data movement).
+    pub macs: u64,
+    /// Output elements produced per frame.
+    pub elements: u64,
+}
+
+/// Fused activation + requantization stage of a dense-like kernel.
+#[derive(Debug, Clone)]
+enum CAct {
+    /// Requantize the accumulator as-is.
+    Linear(Requant),
+    /// Clamp the accumulator at zero, then requantize.
+    Relu(Requant),
+    /// Index the pre-quantized sigmoid table.
+    Sigmoid {
+        /// `(raw, overflowed)` per table entry, quantized into the layer's
+        /// output format at lowering time.
+        lut: Vec<(i64, bool)>,
+        /// Exact value of one accumulator quantum (a power of two), used to
+        /// reproduce the interpreter's `f64` table addressing bit for bit.
+        acc_lsb: f64,
+    },
+}
+
+/// A lowered dense-like kernel (dense / pointwise / conv im2col view).
+#[derive(Debug, Clone)]
+struct CDense {
+    /// Raw weights, row-major `rows × cols`.
+    w: Vec<i64>,
+    /// Narrowed copy of `w`, present when every weight *and* the layer's
+    /// worst-case input raw fit in `i32` (always true for the paper's ≤18-bit
+    /// formats). Enables the exact `i32×i32→i64` widening MAC, which
+    /// vectorizes far better than the general `i64` product.
+    w32: Option<Vec<i32>>,
+    /// Raw biases, pre-shifted onto the accumulator grid.
+    b: Vec<i64>,
+    rows: usize,
+    cols: usize,
+    /// Left shift applied to the MAC sum to reach the accumulator grid
+    /// (nonzero only when the input grid is coarser than 1, i.e. negative
+    /// fractional bits).
+    prod_shift: u32,
+    act: CAct,
+}
+
+/// One lowered node.
+#[derive(Debug, Clone)]
+enum CKernel {
+    Dense(CDense),
+    Pointwise(CDense),
+    Conv1d {
+        d: CDense,
+        k: usize,
+        in_ch: usize,
+    },
+    MaxPool {
+        pool: usize,
+    },
+    UpSample {
+        factor: usize,
+    },
+    Concat {
+        /// Retained-buffer slot holding the skip source's raws.
+        slot: usize,
+        skip_ch: usize,
+        /// Requantizer for the main (previous-node) channels.
+        rq_main: Requant,
+        /// Requantizer for the skip channels (they live on the skip source's
+        /// grid, which generally differs from the main input's).
+        rq_skip: Requant,
+    },
+    BatchNorm {
+        /// Raw per-channel scales on the coefficient grid.
+        scale: Vec<i64>,
+        /// Raw per-channel shifts, pre-aligned to the accumulator grid.
+        shift: Vec<i64>,
+        prod_shift: u32,
+        rq: Requant,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct CNode {
+    kernel: CKernel,
+    out_len: usize,
+    out_ch: usize,
+    /// When set, a copy of this node's output raws is retained in
+    /// `Scratch::skips[slot]` for a later concat.
+    retain_slot: Option<usize>,
+}
+
+/// Reusable working memory for [`CompiledFirmware::infer_into`]: two
+/// ping-pong layer buffers, retained skip-connection buffers, the conv
+/// im2col window, the dequantized output frame, and the statistics block —
+/// everything a frame touches, sized once by [`CompiledFirmware::scratch`].
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    a: Vec<i64>,
+    b: Vec<i64>,
+    window: Vec<i64>,
+    /// Narrowed input staging for the `i32` widening-MAC fast path.
+    x32: Vec<i32>,
+    skips: Vec<Vec<i64>>,
+    out: Vec<f64>,
+    stats: InferenceStats,
+}
+
+/// A [`Firmware`] lowered into integer-quanta kernels.
+///
+/// Construct with [`CompiledFirmware::lower`]; execute with
+/// [`CompiledFirmware::infer_into`] (allocation-free) or the convenience
+/// wrappers [`CompiledFirmware::infer`] / [`CompiledFirmware::infer_batch`]
+/// (which allocate only for their returned values). Outputs and
+/// [`InferenceStats`] are bit-identical to the interpreter's.
+#[derive(Debug, Clone)]
+pub struct CompiledFirmware {
+    input_fmt: QFormat,
+    input_rounding: Rounding,
+    input_overflow: Overflow,
+    nodes: Vec<CNode>,
+    sigmoid: SigmoidTable,
+    input_len: usize,
+    input_channels: usize,
+    output_len: usize,
+    /// Quantum value of the final node's grid (dequantizes the output).
+    out_lsb: f64,
+    digest: u64,
+    max_elems: usize,
+    max_window: usize,
+    skip_sizes: Vec<usize>,
+    layer_ops: Vec<LayerOps>,
+    /// Runtime-detected: dispatch the narrow MAC through the AVX2
+    /// instantiation. Purely a codegen choice — results are bit-identical.
+    simd_avx2: bool,
+}
+
+/// Raw value exactly on `fmt`'s grid (weights/biases/coefficients are
+/// stored on-grid by the converter; anything else is a lowering bug).
+fn on_grid_raw(v: f64, fmt: QFormat) -> i64 {
+    let (fx, ovf) = Fx::from_f64(v, fmt, Rounding::Truncate, Overflow::Saturate);
+    assert!(
+        !ovf && fx.to_f64() == v,
+        "parameter {v} is not on the {fmt} grid"
+    );
+    fx.raw()
+}
+
+/// Largest raw magnitude any value of `fmt` can carry (wrap and saturate
+/// both keep raws inside the format's range).
+fn fmt_raw_bound(fmt: QFormat) -> i64 {
+    fmt.raw_max()
+        .max(fmt.raw_min().checked_neg().expect("width <= 48"))
+}
+
+/// Coarsest dyadic grid (fractional bits) on which every value in `vals`
+/// has an exact integer raw — recovers the coefficient grid for folded
+/// batch-norm parameters, which do not carry their format.
+fn dyadic_frac(vals: &[f64]) -> i32 {
+    let mut frac = -64i32;
+    loop {
+        let ok = vals.iter().all(|&v| {
+            let scaled = v * f64::from(frac).exp2();
+            scaled.fract() == 0.0 && scaled.abs() < EXACT_BOUND as f64
+        });
+        if ok {
+            return frac;
+        }
+        frac += 1;
+        assert!(frac <= 128, "coefficients not on a dyadic grid");
+    }
+}
+
+/// Lowers one dense-like kernel given the input grid and raw bound.
+/// Returns the kernel and the raw bound of its output (= the output
+/// format's range).
+/// Runtime check for the AVX2 kernel instantiation; always false off x86-64.
+fn detect_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn lower_dense(d: &FwDense, in_grid: i32, in_bound: i64, sigmoid: &SigmoidTable) -> CDense {
+    let frac_w = d.weight_fmt.frac_bits();
+    let prod_shift = u32::try_from((-in_grid).max(0)).expect("bounded int_bits");
+    let bias_shift = u32::try_from(in_grid.max(0)).expect("bounded int_bits");
+    let acc_frac = frac_w + in_grid.max(0);
+
+    let w: Vec<i64> = d
+        .weights
+        .iter()
+        .map(|&v| on_grid_raw(v, d.weight_fmt))
+        .collect();
+    let b: Vec<i128> = d
+        .bias
+        .iter()
+        .map(|&v| {
+            i128::from(on_grid_raw(v, d.weight_fmt))
+                .checked_mul(1i128 << bias_shift)
+                .expect("bias leaves the f64-exactness domain")
+        })
+        .collect();
+
+    // Worst-case accumulator per row: Σ|w|·max|x| (shifted to the
+    // accumulator grid) plus the aligned bias. Every partial sum of the
+    // interpreter's f64 accumulation is bounded by this; below EXACT_BOUND
+    // both routes compute the identical value.
+    for r in 0..d.rows {
+        let mac: i128 = w[r * d.cols..(r + 1) * d.cols]
+            .iter()
+            .map(|&wr| i128::from(wr.unsigned_abs()) * i128::from(in_bound))
+            .sum();
+        let bound = mac
+            .checked_mul(1i128 << prod_shift)
+            .and_then(|m| m.checked_add(b[r].abs()))
+            .unwrap_or(i128::MAX);
+        assert!(
+            bound < EXACT_BOUND,
+            "row {r} accumulator bound {bound} leaves the f64-exactness \
+             domain; the interpreter itself would be inexact here"
+        );
+    }
+
+    let act = match d.activation {
+        FwActivation::Linear => CAct::Linear(d.out_quant.requant_from(acc_frac)),
+        FwActivation::Relu => CAct::Relu(d.out_quant.requant_from(acc_frac)),
+        FwActivation::SigmoidTable => {
+            let out_fmt = d.out_quant.format();
+            let lut = sigmoid
+                .values()
+                .iter()
+                .map(|&y| {
+                    let (fx, ovf) = Fx::from_f64(
+                        y,
+                        out_fmt,
+                        d.out_quant.rounding(),
+                        d.out_quant.overflow_mode(),
+                    );
+                    (fx.raw(), ovf)
+                })
+                .collect();
+            CAct::Sigmoid {
+                lut,
+                acc_lsb: f64::from(-acc_frac).exp2(),
+            }
+        }
+    };
+
+    // Narrow path guard: every product the kernel forms is w·x with
+    // |x| ≤ in_bound, so if both operands fit in i32 the widening multiply
+    // computes the identical i64 product.
+    let w32 = (in_bound <= i64::from(i32::MAX) && w.iter().all(|&v| i32::try_from(v).is_ok()))
+        .then(|| w.iter().map(|&v| v as i32).collect());
+
+    CDense {
+        w,
+        w32,
+        b: b.into_iter()
+            .map(|v| i64::try_from(v).expect("bias within exactness bound"))
+            .collect(),
+        rows: d.rows,
+        cols: d.cols,
+        prod_shift,
+        act,
+    }
+}
+
+/// Executes one lowered dense-like kernel over one input vector, writing
+/// `d.rows` outputs and counting quantization events.
+#[inline]
+fn dense_rows(
+    d: &CDense,
+    sigmoid: &SigmoidTable,
+    avx2: bool,
+    xs: &[i64],
+    x32: &mut [i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    debug_assert_eq!(xs.len(), d.cols);
+    debug_assert_eq!(out.len(), d.rows);
+    if let Some(w32) = &d.w32 {
+        // Narrow fast path: operands fit i32 (guaranteed at lowering), so
+        // each product is an exact i32×i32→i64 widening multiply — the
+        // form LLVM vectorizes well.
+        let x32 = &mut x32[..d.cols];
+        for (s, &x) in x32.iter_mut().zip(xs) {
+            *s = x as i32;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if avx2 {
+            // SAFETY: `avx2` is set by `CompiledFirmware::lower` only after
+            // runtime detection confirmed the feature on this CPU.
+            unsafe { rows_w32_avx2(d, w32, sigmoid, x32, out, ovf) };
+            return;
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = avx2;
+        rows_w32(d, w32, sigmoid, x32, out, ovf);
+    } else {
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = &d.w[r * d.cols..(r + 1) * d.cols];
+            // i64 MAC: associative, so LLVM may reorder/vectorize — the
+            // bound check at lowering guarantees no intermediate overflow.
+            let mac: i64 = row.iter().zip(xs).map(|(&w, &x)| w * x).sum();
+            let (y, o) = finish_row(d, sigmoid, mac, r);
+            *slot = y;
+            *ovf += u64::from(o);
+        }
+    }
+}
+
+/// Row loop of the narrow path. `inline(always)` so the AVX2 wrapper below
+/// picks up this exact body and LLVM revectorizes it with 256-bit widening
+/// multiplies; the baseline instantiation keeps portable codegen.
+#[inline(always)]
+fn rows_w32(
+    d: &CDense,
+    w32: &[i32],
+    sigmoid: &SigmoidTable,
+    x32: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    for (r, slot) in out.iter_mut().enumerate() {
+        let row = &w32[r * d.cols..(r + 1) * d.cols];
+        let mac: i64 = row
+            .iter()
+            .zip(x32)
+            .map(|(&w, &x)| i64::from(w) * i64::from(x))
+            .sum();
+        let (y, o) = finish_row(d, sigmoid, mac, r);
+        *slot = y;
+        *ovf += u64::from(o);
+    }
+}
+
+/// AVX2 instantiation of [`rows_w32`], reached only through runtime feature
+/// detection. Bit-identical to the baseline: the vector lanes compute the
+/// same exact integer products, and integer addition is associative.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rows_w32_avx2(
+    d: &CDense,
+    w32: &[i32],
+    sigmoid: &SigmoidTable,
+    x32: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    rows_w32(d, w32, sigmoid, x32, out, ovf);
+}
+
+/// Shift-bias-activate-requantize tail shared by both MAC paths.
+#[inline(always)]
+fn finish_row(d: &CDense, sigmoid: &SigmoidTable, mac: i64, r: usize) -> (i64, bool) {
+    let acc = (mac << d.prod_shift) + d.b[r];
+    match &d.act {
+        CAct::Linear(rq) => rq.apply(i128::from(acc)),
+        CAct::Relu(rq) => rq.apply(i128::from(acc.max(0))),
+        CAct::Sigmoid { lut, acc_lsb } => lut[sigmoid.index_of(acc as f64 * acc_lsb)],
+    }
+}
+
+impl CompiledFirmware {
+    /// Lowers a converted firmware into integer-quanta kernels.
+    ///
+    /// # Panics
+    /// Panics if a parameter is off-grid or a layer's worst-case
+    /// accumulator leaves the `f64`-exactness domain (in which case the
+    /// interpreter's own arithmetic would be inexact and no bit-identical
+    /// lowering exists). Neither occurs for firmware produced by
+    /// [`crate::convert`] with the paper's precision strategies.
+    #[must_use]
+    pub fn lower(fw: &Firmware) -> Self {
+        let input_fmt = fw.input_quant.format();
+
+        // Which node outputs must be retained for later concats, and where.
+        let mut retain: Vec<Option<usize>> = vec![None; fw.nodes.len()];
+        let mut skip_sizes = Vec::new();
+        for node in &fw.nodes {
+            if let FwNode::ConcatWith { node: src, .. } = node {
+                if retain[*src].is_none() {
+                    retain[*src] = Some(skip_sizes.len());
+                    let (len, ch) = fw.shapes[*src];
+                    skip_sizes.push(len * ch);
+                }
+            }
+        }
+
+        // Walk the chain, tracking each value stream's grid (fractional
+        // bits) and worst-case raw magnitude.
+        let mut grids: Vec<i32> = Vec::with_capacity(fw.nodes.len());
+        let mut nodes = Vec::with_capacity(fw.nodes.len());
+        let mut layer_ops = Vec::with_capacity(fw.nodes.len());
+        let mut cur_grid = input_fmt.frac_bits();
+        let mut cur_bound = fmt_raw_bound(input_fmt);
+        let mut max_elems = fw.input_len * fw.input_channels;
+        let mut max_window = 0usize;
+
+        for (i, node) in fw.nodes.iter().enumerate() {
+            let (in_len, in_ch) = if i == 0 {
+                (fw.input_len, fw.input_channels)
+            } else {
+                fw.shapes[i - 1]
+            };
+            let (out_len, out_ch) = fw.shapes[i];
+            let out_elems = (out_len * out_ch) as u64;
+            let (kernel, ops) = match node {
+                FwNode::Dense(d) => {
+                    let c = lower_dense(d, cur_grid, cur_bound, &fw.sigmoid);
+                    cur_grid = d.out_quant.format().frac_bits();
+                    cur_bound = fmt_raw_bound(d.out_quant.format());
+                    let macs = (d.rows * d.cols) as u64;
+                    (
+                        CKernel::Dense(c),
+                        LayerOps {
+                            macs,
+                            elements: out_elems,
+                        },
+                    )
+                }
+                FwNode::PointwiseDense(d) => {
+                    let c = lower_dense(d, cur_grid, cur_bound, &fw.sigmoid);
+                    cur_grid = d.out_quant.format().frac_bits();
+                    cur_bound = fmt_raw_bound(d.out_quant.format());
+                    let macs = (in_len * d.rows * d.cols) as u64;
+                    (
+                        CKernel::Pointwise(c),
+                        LayerOps {
+                            macs,
+                            elements: out_elems,
+                        },
+                    )
+                }
+                FwNode::Conv1d { d, k } => {
+                    let c = lower_dense(d, cur_grid, cur_bound, &fw.sigmoid);
+                    cur_grid = d.out_quant.format().frac_bits();
+                    cur_bound = fmt_raw_bound(d.out_quant.format());
+                    max_window = max_window.max(k * in_ch);
+                    let macs = (out_len * d.rows * d.cols) as u64;
+                    (
+                        CKernel::Conv1d { d: c, k: *k, in_ch },
+                        LayerOps {
+                            macs,
+                            elements: out_elems,
+                        },
+                    )
+                }
+                FwNode::MaxPool { pool } => (
+                    // Grid and bound pass through untouched.
+                    CKernel::MaxPool { pool: *pool },
+                    LayerOps {
+                        macs: 0,
+                        elements: out_elems,
+                    },
+                ),
+                FwNode::UpSample { factor } => (
+                    CKernel::UpSample { factor: *factor },
+                    LayerOps {
+                        macs: 0,
+                        elements: out_elems,
+                    },
+                ),
+                FwNode::ConcatWith {
+                    node: src,
+                    out_quant,
+                } => {
+                    let rq_main = out_quant.requant_from(cur_grid);
+                    let rq_skip = out_quant.requant_from(grids[*src]);
+                    cur_grid = out_quant.format().frac_bits();
+                    cur_bound = fmt_raw_bound(out_quant.format());
+                    (
+                        CKernel::Concat {
+                            slot: retain[*src].expect("skip source retained"),
+                            skip_ch: fw.shapes[*src].1,
+                            rq_main,
+                            rq_skip,
+                        },
+                        LayerOps {
+                            macs: 0,
+                            elements: out_elems,
+                        },
+                    )
+                }
+                FwNode::BatchNorm {
+                    scale,
+                    shift,
+                    out_quant,
+                } => {
+                    // The folded coefficients are on a weight grid but do
+                    // not carry their format; recover the coarsest dyadic
+                    // grid that represents all of them exactly.
+                    let coeff_frac =
+                        dyadic_frac(&scale.iter().chain(shift).copied().collect::<Vec<f64>>());
+                    let prod_shift = u32::try_from((-cur_grid).max(0)).expect("bounded");
+                    let shift_shift = u32::try_from(cur_grid.max(0)).expect("bounded");
+                    let acc_frac = coeff_frac + cur_grid.max(0);
+                    let to_raw = |v: f64| {
+                        let scaled = v * f64::from(coeff_frac).exp2();
+                        debug_assert_eq!(scaled.fract(), 0.0);
+                        scaled as i64
+                    };
+                    let scale_raw: Vec<i64> = scale.iter().map(|&v| to_raw(v)).collect();
+                    let shift_raw: Vec<i64> = shift
+                        .iter()
+                        .map(|&v| {
+                            i128::from(to_raw(v))
+                                .checked_mul(1i128 << shift_shift)
+                                .and_then(|s| i64::try_from(s).ok())
+                                .expect("shift leaves the f64-exactness domain")
+                        })
+                        .collect();
+                    for (s, t) in scale_raw.iter().zip(&shift_raw) {
+                        let bound = (i128::from(s.unsigned_abs()) * i128::from(cur_bound))
+                            .checked_mul(1i128 << prod_shift)
+                            .and_then(|m| m.checked_add(i128::from(t.unsigned_abs())))
+                            .unwrap_or(i128::MAX);
+                        assert!(
+                            bound < EXACT_BOUND,
+                            "batchnorm accumulator bound {bound} leaves the \
+                             f64-exactness domain"
+                        );
+                    }
+                    let rq = out_quant.requant_from(acc_frac);
+                    cur_grid = out_quant.format().frac_bits();
+                    cur_bound = fmt_raw_bound(out_quant.format());
+                    (
+                        CKernel::BatchNorm {
+                            scale: scale_raw,
+                            shift: shift_raw,
+                            prod_shift,
+                            rq,
+                        },
+                        LayerOps {
+                            macs: out_elems,
+                            elements: out_elems,
+                        },
+                    )
+                }
+            };
+            grids.push(cur_grid);
+            max_elems = max_elems.max(out_len * out_ch);
+            layer_ops.push(ops);
+            nodes.push(CNode {
+                kernel,
+                out_len,
+                out_ch,
+                retain_slot: retain[i],
+            });
+        }
+
+        Self {
+            input_fmt,
+            input_rounding: fw.input_quant.rounding(),
+            input_overflow: fw.input_quant.overflow_mode(),
+            nodes,
+            sigmoid: fw.sigmoid.clone(),
+            input_len: fw.input_len,
+            input_channels: fw.input_channels,
+            output_len: fw.output_len(),
+            out_lsb: f64::from(-cur_grid).exp2(),
+            digest: fw.content_digest(),
+            max_elems,
+            max_window,
+            skip_sizes,
+            layer_ops,
+            simd_avx2: detect_avx2(),
+        }
+    }
+
+    /// Builds a [`Scratch`] arena sized for this firmware. Reuse one per
+    /// thread; frames executed through it never allocate.
+    #[must_use]
+    pub fn scratch(&self) -> Scratch {
+        Scratch {
+            a: vec![0; self.max_elems],
+            b: vec![0; self.max_elems],
+            window: vec![0; self.max_window],
+            x32: vec![0; self.max_elems.max(self.max_window)],
+            skips: self.skip_sizes.iter().map(|&n| vec![0; n]).collect(),
+            out: vec![0.0; self.output_len],
+            stats: InferenceStats {
+                input: OverflowStats::default(),
+                per_node: vec![OverflowStats::default(); self.nodes.len()],
+            },
+        }
+    }
+
+    /// Runs one frame entirely inside `scratch` — the zero-allocation hot
+    /// path. Returns the dequantized outputs and this frame's statistics,
+    /// both living in the scratch arena. Bit-identical to
+    /// [`Firmware::infer`].
+    ///
+    /// # Panics
+    /// Panics if the input length mismatches or `scratch` was built for a
+    /// different firmware.
+    pub fn infer_into<'s>(
+        &self,
+        input: &[f64],
+        scratch: &'s mut Scratch,
+    ) -> (&'s [f64], &'s InferenceStats) {
+        let n_in = self.input_len * self.input_channels;
+        assert_eq!(input.len(), n_in, "compiled firmware input length");
+        assert_eq!(
+            scratch.stats.per_node.len(),
+            self.nodes.len(),
+            "scratch built for a different firmware"
+        );
+
+        scratch.stats.input = OverflowStats::default();
+        for s in &mut scratch.stats.per_node {
+            *s = OverflowStats::default();
+        }
+
+        // Input quantization: the only stage that consumes arbitrary
+        // floats, so it pays the full from_f64 conversion per element.
+        let mut ovf = 0u64;
+        for (slot, &v) in scratch.a[..n_in].iter_mut().zip(input) {
+            let (fx, o) = Fx::from_f64(v, self.input_fmt, self.input_rounding, self.input_overflow);
+            *slot = fx.raw();
+            ovf += u64::from(o);
+        }
+        scratch.stats.input = OverflowStats {
+            total: n_in as u64,
+            overflows: ovf,
+        };
+
+        let mut cur_elems = n_in;
+        let mut cur_len = self.input_len;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let out_elems = node.out_len * node.out_ch;
+            let mut ovf = 0u64;
+            let mut counted = out_elems as u64;
+            {
+                let (src, dst) = (&scratch.a[..cur_elems], &mut scratch.b[..out_elems]);
+                match &node.kernel {
+                    CKernel::Dense(d) => {
+                        let x32 = &mut scratch.x32;
+                        dense_rows(d, &self.sigmoid, self.simd_avx2, src, x32, dst, &mut ovf);
+                    }
+                    CKernel::Pointwise(d) => {
+                        let x32 = &mut scratch.x32;
+                        for (xs, out) in src.chunks_exact(d.cols).zip(dst.chunks_exact_mut(d.rows))
+                        {
+                            dense_rows(d, &self.sigmoid, self.simd_avx2, xs, x32, out, &mut ovf);
+                        }
+                    }
+                    CKernel::Conv1d { d, k, in_ch } => {
+                        let window = &mut scratch.window[..k * in_ch];
+                        let x32 = &mut scratch.x32;
+                        let half = (k / 2) as isize;
+                        for (pos, out) in dst.chunks_exact_mut(d.rows).enumerate() {
+                            let start = pos as isize - half;
+                            // Interior positions: the im2col window (taps
+                            // contiguous, channels innermost) is exactly a
+                            // contiguous slice of the position-major input —
+                            // feed it directly, no copy.
+                            if start >= 0 && start as usize + k <= cur_len {
+                                let at = start as usize * in_ch;
+                                let xs = &src[at..at + k * in_ch];
+                                dense_rows(
+                                    d,
+                                    &self.sigmoid,
+                                    self.simd_avx2,
+                                    xs,
+                                    x32,
+                                    out,
+                                    &mut ovf,
+                                );
+                            } else {
+                                for tap in 0..*k {
+                                    let ipos = start + tap as isize;
+                                    let wslot = &mut window[tap * in_ch..(tap + 1) * in_ch];
+                                    if ipos < 0 || ipos >= cur_len as isize {
+                                        wslot.fill(0);
+                                    } else {
+                                        let at = ipos as usize * in_ch;
+                                        wslot.copy_from_slice(&src[at..at + in_ch]);
+                                    }
+                                }
+                                dense_rows(
+                                    d,
+                                    &self.sigmoid,
+                                    self.simd_avx2,
+                                    window,
+                                    x32,
+                                    out,
+                                    &mut ovf,
+                                );
+                            }
+                        }
+                    }
+                    CKernel::MaxPool { pool } => {
+                        // Monotone raw→value map: the integer argmax is the
+                        // f64 argmax. No quantization, no stats.
+                        counted = 0;
+                        let ch = node.out_ch;
+                        for (opos, out) in dst.chunks_exact_mut(ch).enumerate() {
+                            for (c, slot) in out.iter_mut().enumerate() {
+                                let mut best = i64::MIN;
+                                for off in 0..*pool {
+                                    let v = src[(opos * pool + off) * ch + c];
+                                    if v > best {
+                                        best = v;
+                                    }
+                                }
+                                *slot = best;
+                            }
+                        }
+                    }
+                    CKernel::UpSample { factor } => {
+                        counted = 0;
+                        let ch = node.out_ch;
+                        for (pos, xs) in src.chunks_exact(ch).enumerate() {
+                            for rep in 0..*factor {
+                                let at = (pos * factor + rep) * ch;
+                                dst[at..at + ch].copy_from_slice(xs);
+                            }
+                        }
+                    }
+                    CKernel::Concat {
+                        slot,
+                        skip_ch,
+                        rq_main,
+                        rq_skip,
+                    } => {
+                        let skip = &scratch.skips[*slot];
+                        let main_ch = node.out_ch - skip_ch;
+                        for (pos, out) in dst.chunks_exact_mut(node.out_ch).enumerate() {
+                            for (c, o) in out[..main_ch].iter_mut().enumerate() {
+                                let (y, ov) = rq_main.apply(i128::from(src[pos * main_ch + c]));
+                                *o = y;
+                                ovf += u64::from(ov);
+                            }
+                            for (c, o) in out[main_ch..].iter_mut().enumerate() {
+                                let (y, ov) = rq_skip.apply(i128::from(skip[pos * skip_ch + c]));
+                                *o = y;
+                                ovf += u64::from(ov);
+                            }
+                        }
+                    }
+                    CKernel::BatchNorm {
+                        scale,
+                        shift,
+                        prod_shift,
+                        rq,
+                    } => {
+                        let ch = node.out_ch;
+                        for (xs, out) in src.chunks_exact(ch).zip(dst.chunks_exact_mut(ch)) {
+                            for (c, (x, o)) in xs.iter().zip(out.iter_mut()).enumerate() {
+                                let acc = ((x * scale[c]) << prod_shift) + shift[c];
+                                let (y, ov) = rq.apply(i128::from(acc));
+                                *o = y;
+                                ovf += u64::from(ov);
+                            }
+                        }
+                    }
+                }
+            }
+            scratch.stats.per_node[i] = OverflowStats {
+                total: counted,
+                overflows: ovf,
+            };
+            if let Some(slot) = node.retain_slot {
+                scratch.skips[slot].copy_from_slice(&scratch.b[..out_elems]);
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+            cur_elems = out_elems;
+            cur_len = node.out_len;
+        }
+
+        for (o, &raw) in scratch.out.iter_mut().zip(&scratch.a[..cur_elems]) {
+            *o = raw as f64 * self.out_lsb;
+        }
+        (&scratch.out, &scratch.stats)
+    }
+
+    /// Runs one frame with a throwaway scratch — convenience for tests and
+    /// cold paths; the hot path is [`CompiledFirmware::infer_into`].
+    ///
+    /// # Panics
+    /// Panics if the input length mismatches.
+    #[must_use]
+    pub fn infer(&self, input: &[f64]) -> (Vec<f64>, InferenceStats) {
+        let mut scratch = self.scratch();
+        let (y, stats) = self.infer_into(input, &mut scratch);
+        (y.to_vec(), stats.clone())
+    }
+
+    /// Batch inference through one reused scratch, merging statistics —
+    /// bit-identical to [`Firmware::infer_batch`]. Allocates only for the
+    /// returned frames.
+    ///
+    /// # Panics
+    /// Panics if any input length mismatches.
+    #[must_use]
+    pub fn infer_batch(&self, inputs: &[Vec<f64>]) -> (Vec<Vec<f64>>, InferenceStats) {
+        let mut scratch = self.scratch();
+        let mut merged = InferenceStats::default();
+        let mut outs = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            let (y, stats) = self.infer_into(x, &mut scratch);
+            merged.merge(stats);
+            outs.push(y.to_vec());
+        }
+        (outs, merged)
+    }
+
+    /// The source firmware's content digest (see
+    /// [`Firmware::content_digest`]) — lowering is content-preserving, so
+    /// the digest pins this engine's outputs too.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Flattened input length.
+    #[must_use]
+    pub fn input_elems(&self) -> usize {
+        self.input_len * self.input_channels
+    }
+
+    /// Flattened output length.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// Per-node work counts recorded at lowering time.
+    #[must_use]
+    pub fn layer_ops(&self) -> &[LayerOps] {
+        &self.layer_ops
+    }
+
+    /// Total MACs per frame across all nodes.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layer_ops.iter().map(|o| o.macs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HlsConfig;
+    use crate::firmware::InferenceStats;
+    use crate::{convert, profile_model};
+    use reads_nn::models;
+
+    fn synth_frame(n: usize, seed: u64) -> Vec<f64> {
+        // Same synthesis as the golden-vector suite: deterministic, mixes
+        // smooth structure with pseudo-random jitter and outliers.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                let smooth = (t * 12.57).sin() * 1.5 + (t * 40.0).cos() * 0.4;
+                let jitter = next() * 2.0 - 1.0;
+                let spike = if next() > 0.97 { next() * 30.0 } else { 0.0 };
+                smooth + jitter + spike
+            })
+            .collect()
+    }
+
+    fn build(model: &reads_nn::Model, seed: u64) -> Firmware {
+        let (len, ch) = model.input_shape();
+        let n = len * ch;
+        let frames: Vec<Vec<f64>> = (0..3).map(|i| synth_frame(n, seed + i)).collect();
+        let profile = profile_model(model, &frames);
+        convert(model, &profile, &HlsConfig::paper_default())
+    }
+
+    fn assert_identical(fw: &Firmware, cf: &CompiledFirmware, frame: &[f64]) {
+        let (want, want_stats) = fw.infer(frame);
+        let (got, got_stats) = cf.infer(frame);
+        assert_eq!(want.len(), got.len());
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(w.to_bits(), g.to_bits(), "output {i}: {w} vs {g}");
+        }
+        assert_eq!(want_stats, got_stats, "stats diverge");
+    }
+
+    #[test]
+    fn mlp_matches_interpreter_bit_for_bit() {
+        let fw = build(&models::reads_mlp(11), 5);
+        let cf = CompiledFirmware::lower(&fw);
+        for s in 0..4 {
+            assert_identical(
+                &fw,
+                &cf,
+                &synth_frame(fw.input_len * fw.input_channels, 100 + s),
+            );
+        }
+    }
+
+    #[test]
+    fn unet_matches_interpreter_bit_for_bit() {
+        let fw = build(&models::reads_unet(11), 9);
+        let cf = CompiledFirmware::lower(&fw);
+        for s in 0..3 {
+            assert_identical(
+                &fw,
+                &cf,
+                &synth_frame(fw.input_len * fw.input_channels, 400 + s),
+            );
+        }
+    }
+
+    #[test]
+    fn overflowing_frames_count_identically() {
+        // Amplified inputs force input and inner-layer overflows; the
+        // compiled engine must reproduce every count.
+        let fw = build(&models::reads_unet(3), 21);
+        let cf = CompiledFirmware::lower(&fw);
+        let frame: Vec<f64> = synth_frame(fw.input_len * fw.input_channels, 77)
+            .into_iter()
+            .map(|v| v * 900.0)
+            .collect();
+        let (_, stats) = fw.infer(&frame);
+        assert!(stats.total_overflows() > 0, "test frame must overflow");
+        assert_identical(&fw, &cf, &frame);
+    }
+
+    #[test]
+    fn batch_matches_interpreter() {
+        let fw = build(&models::reads_mlp(2), 31);
+        let cf = CompiledFirmware::lower(&fw);
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|s| synth_frame(fw.input_len * fw.input_channels, 900 + s))
+            .collect();
+        let (want, want_stats) = fw.infer_batch(&inputs);
+        let (got, got_stats) = cf.infer_batch(&inputs);
+        assert_eq!(want, got);
+        assert_eq!(want_stats, got_stats);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let fw = build(&models::reads_mlp(7), 1);
+        let cf = CompiledFirmware::lower(&fw);
+        let a = synth_frame(fw.input_len * fw.input_channels, 10);
+        let b = synth_frame(fw.input_len * fw.input_channels, 11);
+        let mut scratch = cf.scratch();
+        let first_a: (Vec<f64>, InferenceStats) = {
+            let (y, s) = cf.infer_into(&a, &mut scratch);
+            (y.to_vec(), s.clone())
+        };
+        let _ = cf.infer_into(&b, &mut scratch);
+        let again_a: (Vec<f64>, InferenceStats) = {
+            let (y, s) = cf.infer_into(&a, &mut scratch);
+            (y.to_vec(), s.clone())
+        };
+        assert_eq!(
+            first_a, again_a,
+            "scratch must carry no state across frames"
+        );
+    }
+
+    #[test]
+    fn digest_is_preserved_from_source() {
+        let fw = build(&models::reads_mlp(4), 2);
+        assert_eq!(
+            CompiledFirmware::lower(&fw).content_digest(),
+            fw.content_digest()
+        );
+    }
+
+    #[test]
+    fn layer_ops_cover_every_node() {
+        let fw = build(&models::reads_unet(5), 3);
+        let cf = CompiledFirmware::lower(&fw);
+        assert_eq!(cf.layer_ops().len(), fw.nodes.len());
+        assert!(cf.total_macs() > 1_000_000, "U-Net is MAC-heavy");
+        // Dense-like nodes carry MACs; pool/upsample are pure data movement.
+        for (ops, node) in cf.layer_ops().iter().zip(&fw.nodes) {
+            match node {
+                FwNode::MaxPool { .. } | FwNode::UpSample { .. } => assert_eq!(ops.macs, 0),
+                FwNode::ConcatWith { .. } => assert_eq!(ops.macs, 0),
+                _ => assert!(ops.macs > 0),
+            }
+            assert!(ops.elements > 0);
+        }
+    }
+
+    #[test]
+    fn shapes_and_lengths_agree() {
+        let fw = build(&models::reads_unet(6), 4);
+        let cf = CompiledFirmware::lower(&fw);
+        assert_eq!(cf.input_elems(), fw.input_len * fw.input_channels);
+        assert_eq!(cf.output_len(), fw.output_len());
+    }
+}

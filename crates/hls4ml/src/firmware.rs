@@ -101,7 +101,7 @@ impl FwNode {
 }
 
 /// Overflow accounting for one inference (or a merged batch).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InferenceStats {
     /// Overflows at the input quantizer.
     pub input: OverflowStats,
@@ -149,6 +149,18 @@ pub struct Firmware {
     pub shapes: Vec<(usize, usize)>,
 }
 
+/// Reusable interpreter working state: the per-layer quantizers (cloned
+/// once, reset with [`Quantizer::reset_stats`] per frame instead of cloned
+/// per frame) and the conv1d im2col window, hoisted out of the per-frame
+/// path. One state serves any number of sequential frames; clone it per
+/// thread for parallel use.
+#[derive(Debug, Clone)]
+pub struct InterpState {
+    input_quant: Quantizer,
+    node_quants: Vec<Option<Quantizer>>,
+    window: Vec<f64>,
+}
+
 impl Firmware {
     /// Flattened output length.
     #[must_use]
@@ -167,6 +179,48 @@ impl Firmware {
             .sum()
     }
 
+    /// Builds a reusable [`InterpState`] for this firmware: quantizers are
+    /// cloned here once and only reset per frame thereafter, and the conv
+    /// im2col window is sized to the widest receptive field.
+    #[must_use]
+    pub fn interp_state(&self) -> InterpState {
+        let node_quants = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                FwNode::Dense(d) | FwNode::PointwiseDense(d) | FwNode::Conv1d { d, .. } => {
+                    Some(d.out_quant.clone())
+                }
+                FwNode::ConcatWith { out_quant, .. } | FwNode::BatchNorm { out_quant, .. } => {
+                    Some(out_quant.clone())
+                }
+                FwNode::MaxPool { .. } | FwNode::UpSample { .. } => None,
+            })
+            .collect();
+        let max_window = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                FwNode::Conv1d { k, .. } => {
+                    let in_ch = if i == 0 {
+                        self.input_channels
+                    } else {
+                        self.shapes[i - 1].1
+                    };
+                    Some(k * in_ch)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        InterpState {
+            input_quant: self.input_quant.clone(),
+            node_quants,
+            window: vec![0.0; max_window],
+        }
+    }
+
     /// Runs one frame through the IP. Returns the flattened (dequantized)
     /// outputs and the overflow statistics of this run.
     ///
@@ -174,10 +228,28 @@ impl Firmware {
     /// Panics if the input length mismatches.
     #[must_use]
     pub fn infer(&self, input: &[f64]) -> (Vec<f64>, InferenceStats) {
+        self.infer_reusing(input, &mut self.interp_state())
+    }
+
+    /// [`Firmware::infer`] with caller-held state: repeated frames skip the
+    /// per-frame quantizer clones and window allocation. Bit-identical to
+    /// `infer` (the state carries no numeric content across frames — only
+    /// buffers and reset counters).
+    ///
+    /// # Panics
+    /// Panics if the input length mismatches or the state was built for a
+    /// different topology.
+    #[must_use]
+    pub fn infer_reusing(&self, input: &[f64], st: &mut InterpState) -> (Vec<f64>, InferenceStats) {
         assert_eq!(
             input.len(),
             self.input_len * self.input_channels,
             "firmware input length"
+        );
+        assert_eq!(
+            st.node_quants.len(),
+            self.nodes.len(),
+            "interpreter state topology"
         );
         let mut stats = InferenceStats {
             input: OverflowStats::default(),
@@ -185,114 +257,50 @@ impl Firmware {
         };
 
         // Quantize the incoming frame.
-        let mut iq = self.input_quant.clone();
-        let x: Vec<f64> = input.iter().map(|&v| iq.quantize_dequantize(v)).collect();
-        stats.input = iq.stats();
+        st.input_quant.reset_stats();
+        let x: Vec<f64> = input
+            .iter()
+            .map(|&v| st.input_quant.quantize_dequantize(v))
+            .collect();
+        stats.input = st.input_quant.stats();
         let input_fm = FeatureMap::from_vec(self.input_len, self.input_channels, x);
 
         let mut outputs: Vec<FeatureMap> = Vec::with_capacity(self.nodes.len());
         for (i, node) in self.nodes.iter().enumerate() {
             let xin = if i == 0 { &input_fm } else { &outputs[i - 1] };
-            let (y, st) = self.eval_node(node, xin, &outputs);
+            if let Some(q) = &mut st.node_quants[i] {
+                q.reset_stats();
+            }
+            let y = eval_node(
+                &self.sigmoid,
+                node,
+                xin,
+                &outputs,
+                st.node_quants[i].as_mut(),
+                &mut st.window,
+            );
             outputs.push(y);
-            stats.per_node[i] = st;
+            stats.per_node[i] = st.node_quants[i]
+                .as_ref()
+                .map(Quantizer::stats)
+                .unwrap_or_default();
         }
         (outputs.pop().expect("nonempty firmware").into_vec(), stats)
     }
 
-    fn eval_dense_at(&self, d: &FwDense, xs: &[f64], out: &mut Vec<f64>, q: &mut Quantizer) {
-        debug_assert_eq!(xs.len(), d.cols);
-        for r in 0..d.rows {
-            let row = &d.weights[r * d.cols..(r + 1) * d.cols];
-            // Exact accumulation: all terms are dyadic, well within f64.
-            let mut acc = d.bias[r];
-            acc += row.iter().zip(xs).map(|(w, x)| w * x).sum::<f64>();
-            let activated = match d.activation {
-                FwActivation::Linear => acc,
-                FwActivation::Relu => acc.max(0.0),
-                FwActivation::SigmoidTable => self.sigmoid.eval(acc),
-            };
-            out.push(q.quantize_dequantize(activated));
+    /// Batch inference (sequential, one reused [`InterpState`]), merging
+    /// overflow statistics across frames.
+    #[must_use]
+    pub fn infer_batch(&self, inputs: &[Vec<f64>]) -> (Vec<Vec<f64>>, InferenceStats) {
+        let mut st = self.interp_state();
+        let mut merged = InferenceStats::default();
+        let mut outs = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            let (y, stats) = self.infer_reusing(x, &mut st);
+            merged.merge(&stats);
+            outs.push(y);
         }
-    }
-
-    fn eval_node(
-        &self,
-        node: &FwNode,
-        x: &FeatureMap,
-        outputs: &[FeatureMap],
-    ) -> (FeatureMap, OverflowStats) {
-        match node {
-            FwNode::Dense(d) => {
-                let mut q = d.out_quant.clone();
-                let mut y = Vec::with_capacity(d.rows);
-                self.eval_dense_at(d, x.as_slice(), &mut y, &mut q);
-                (FeatureMap::from_vec(d.rows, 1, y), q.stats())
-            }
-            FwNode::PointwiseDense(d) => {
-                let mut q = d.out_quant.clone();
-                let mut y = Vec::with_capacity(x.len() * d.rows);
-                for pos in 0..x.len() {
-                    self.eval_dense_at(d, x.position(pos), &mut y, &mut q);
-                }
-                (FeatureMap::from_vec(x.len(), d.rows, y), q.stats())
-            }
-            FwNode::Conv1d { d, k } => {
-                let mut q = d.out_quant.clone();
-                let in_ch = x.channels();
-                let half = k / 2;
-                let len = x.len();
-                // im2col window reused across positions (no per-position
-                // allocation in the hot loop).
-                let mut window = vec![0.0; k * in_ch];
-                let mut y = Vec::with_capacity(len * d.rows);
-                for pos in 0..len {
-                    for tap in 0..*k {
-                        let ipos = pos as isize + tap as isize - half as isize;
-                        let dst = &mut window[tap * in_ch..(tap + 1) * in_ch];
-                        if ipos < 0 || ipos >= len as isize {
-                            dst.fill(0.0);
-                        } else {
-                            dst.copy_from_slice(x.position(ipos as usize));
-                        }
-                    }
-                    self.eval_dense_at(d, &window, &mut y, &mut q);
-                }
-                (FeatureMap::from_vec(len, d.rows, y), q.stats())
-            }
-            FwNode::MaxPool { pool } => {
-                let (y, _) = reads_tensor::ops::maxpool1d(x, *pool);
-                (y, OverflowStats::default())
-            }
-            FwNode::UpSample { factor } => (
-                reads_tensor::ops::upsample1d(x, *factor),
-                OverflowStats::default(),
-            ),
-            FwNode::ConcatWith { node, out_quant } => {
-                let skip = &outputs[*node];
-                let mut q = out_quant.clone();
-                let mut y = reads_tensor::ops::concat_channels(x, skip);
-                for v in y.as_mut_slice() {
-                    *v = q.quantize_dequantize(*v);
-                }
-                (y, q.stats())
-            }
-            FwNode::BatchNorm {
-                scale,
-                shift,
-                out_quant,
-            } => {
-                let mut q = out_quant.clone();
-                let mut y = FeatureMap::zeros(x.len(), x.channels());
-                for pos in 0..x.len() {
-                    for c in 0..x.channels() {
-                        let v = x.get(pos, c) * scale[c] + shift[c];
-                        y.set(pos, c, q.quantize_dequantize(v));
-                    }
-                }
-                (y, q.stats())
-            }
-        }
+        (outs, merged)
     }
 
     /// A stable digest of the firmware's functional content: topology,
@@ -375,20 +383,102 @@ impl Firmware {
         }
         h
     }
+}
 
-    /// Batch inference (rayon-parallel), merging overflow statistics.
-    #[must_use]
-    pub fn infer_batch(&self, inputs: &[Vec<f64>]) -> (Vec<Vec<f64>>, InferenceStats) {
-        use rayon::prelude::*;
-        let results: Vec<(Vec<f64>, InferenceStats)> =
-            inputs.par_iter().map(|x| self.infer(x)).collect();
-        let mut merged = InferenceStats::default();
-        let mut outs = Vec::with_capacity(results.len());
-        for (y, st) in results {
-            merged.merge(&st);
-            outs.push(y);
+fn eval_dense_at(
+    sigmoid: &SigmoidTable,
+    d: &FwDense,
+    xs: &[f64],
+    out: &mut Vec<f64>,
+    q: &mut Quantizer,
+) {
+    debug_assert_eq!(xs.len(), d.cols);
+    for r in 0..d.rows {
+        let row = &d.weights[r * d.cols..(r + 1) * d.cols];
+        // Exact accumulation: all terms are dyadic, well within f64.
+        let mut acc = d.bias[r];
+        acc += row.iter().zip(xs).map(|(w, x)| w * x).sum::<f64>();
+        let activated = match d.activation {
+            FwActivation::Linear => acc,
+            FwActivation::Relu => acc.max(0.0),
+            FwActivation::SigmoidTable => sigmoid.eval(acc),
+        };
+        out.push(q.quantize_dequantize(activated));
+    }
+}
+
+fn eval_node(
+    sigmoid: &SigmoidTable,
+    node: &FwNode,
+    x: &FeatureMap,
+    outputs: &[FeatureMap],
+    q: Option<&mut Quantizer>,
+    window: &mut Vec<f64>,
+) -> FeatureMap {
+    match node {
+        FwNode::Dense(d) => {
+            let q = q.expect("dense carries a quantizer");
+            let mut y = Vec::with_capacity(d.rows);
+            eval_dense_at(sigmoid, d, x.as_slice(), &mut y, q);
+            FeatureMap::from_vec(d.rows, 1, y)
         }
-        (outs, merged)
+        FwNode::PointwiseDense(d) => {
+            let q = q.expect("pointwise dense carries a quantizer");
+            let mut y = Vec::with_capacity(x.len() * d.rows);
+            for pos in 0..x.len() {
+                eval_dense_at(sigmoid, d, x.position(pos), &mut y, q);
+            }
+            FeatureMap::from_vec(x.len(), d.rows, y)
+        }
+        FwNode::Conv1d { d, k } => {
+            let q = q.expect("conv carries a quantizer");
+            let in_ch = x.channels();
+            let half = k / 2;
+            let len = x.len();
+            // im2col window hoisted into the reusable state (no per-node,
+            // let alone per-position, allocation in the hot loop).
+            let need = k * in_ch;
+            if window.len() < need {
+                window.resize(need, 0.0);
+            }
+            let window = &mut window[..need];
+            let mut y = Vec::with_capacity(len * d.rows);
+            for pos in 0..len {
+                for tap in 0..*k {
+                    let ipos = pos as isize + tap as isize - half as isize;
+                    let dst = &mut window[tap * in_ch..(tap + 1) * in_ch];
+                    if ipos < 0 || ipos >= len as isize {
+                        dst.fill(0.0);
+                    } else {
+                        dst.copy_from_slice(x.position(ipos as usize));
+                    }
+                }
+                eval_dense_at(sigmoid, d, window, &mut y, q);
+            }
+            FeatureMap::from_vec(len, d.rows, y)
+        }
+        FwNode::MaxPool { pool } => reads_tensor::ops::maxpool1d(x, *pool).0,
+        FwNode::UpSample { factor } => reads_tensor::ops::upsample1d(x, *factor),
+        FwNode::ConcatWith { node, .. } => {
+            let q = q.expect("concat carries a quantizer");
+            let skip = &outputs[*node];
+            let mut y = reads_tensor::ops::concat_channels(x, skip);
+            for v in y.as_mut_slice() {
+                *v = q.quantize_dequantize(*v);
+            }
+            y
+        }
+        FwNode::BatchNorm { scale, shift, .. } => {
+            let q = q.expect("batchnorm carries a quantizer");
+            let mut y = FeatureMap::zeros(x.len(), x.channels());
+            for pos in 0..x.len() {
+                for c in 0..x.channels() {
+                    let v = x.get(pos, c) * scale[c] + shift[c];
+                    y.set(pos, c, q.quantize_dequantize(v));
+                }
+            }
+            y
+        }
     }
 }
 

@@ -20,6 +20,11 @@
 //! * [`firmware`] — the synthesized IP: bit-exact fixed-point inference
 //!   (exact MAC accumulation, write-back rounding/overflow, sigmoid lookup
 //!   table) with overflow accounting per layer.
+//! * [`compiled`] — the lowered execution engine: the firmware compiled
+//!   once into integer-quanta kernels (raw `i64` weights, folded
+//!   shift/clamp requantizers, pre-quantized sigmoid tables) with a
+//!   reusable scratch arena — bit-identical to [`firmware`], several times
+//!   faster, zero allocations per frame (DESIGN.md §9).
 //! * [`latency`] — the cycle model of the streaming IP (positions × II per
 //!   layer, II set by reuse factor and the multiplier bandwidth budget),
 //!   calibrated to the paper's 1.57 ms U-Net FPGA latency at 100 MHz.
@@ -30,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod codegen;
+pub mod compiled;
 pub mod config;
 pub mod convert;
 pub mod dataflow;
@@ -41,6 +47,7 @@ pub mod report;
 pub mod resource;
 
 pub use codegen::{emit_avalon_wrapper, emit_cpp};
+pub use compiled::{CompiledFirmware, LayerOps, Scratch};
 pub use config::{HlsConfig, IoInterface, PrecisionStrategy, ReuseConfig};
 pub use convert::convert;
 pub use dataflow::{

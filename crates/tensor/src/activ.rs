@@ -95,13 +95,29 @@ impl SigmoidTable {
         self.table.len()
     }
 
+    /// The raw table values, in bin order — what a lowered inference engine
+    /// pre-quantizes into its output format at build time.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// The clamped bin index the firmware addresses for input `x`. Exposed
+    /// so a lowered engine can reproduce the exact same indexing (including
+    /// every `f64` rounding in the address computation) against a
+    /// pre-quantized copy of the table.
+    #[inline]
+    #[must_use]
+    pub fn index_of(&self, x: f64) -> usize {
+        let n = self.table.len() as f64;
+        let idx = ((x + self.range) / (2.0 * self.range) * n).floor();
+        (idx.max(0.0) as usize).min(self.table.len() - 1)
+    }
+
     /// Table lookup (nearest-bin, clamped) — the firmware evaluation.
     #[must_use]
     pub fn eval(&self, x: f64) -> f64 {
-        let n = self.table.len() as f64;
-        let idx = ((x + self.range) / (2.0 * self.range) * n).floor();
-        let idx = (idx.max(0.0) as usize).min(self.table.len() - 1);
-        self.table[idx]
+        self.table[self.index_of(x)]
     }
 
     /// Worst-case absolute error of the table against the exact sigmoid,

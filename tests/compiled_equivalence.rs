@@ -1,0 +1,179 @@
+//! Differential property test: the lowered integer-quanta engine
+//! ([`CompiledFirmware`]) against the firmware interpreter.
+//!
+//! The compiled engine's contract is *bit identity*, not closeness: for any
+//! converted model — every node type (dense, pointwise, conv, maxpool,
+//! upsample, concat, batchnorm), any precision strategy and width, any
+//! rounding/overflow mode, and inputs hot enough to force saturation or
+//! wraparound — both `infer` and `infer_batch` must return the same f64 bit
+//! patterns *and* the same per-layer overflow statistics as the
+//! interpreter. Bundles are cached per configuration so proptest explores
+//! the input space cheaply.
+
+use proptest::prelude::*;
+use reads::fixed::{Overflow, QFormat, Rounding};
+use reads::hls4ml::{
+    convert, profile_model, CompiledFirmware, Firmware, HlsConfig, PrecisionStrategy,
+};
+use reads::nn::{models, Model};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+const N_MODELS: usize = 5;
+const N_STRATEGIES: usize = 5;
+const N_MODES: usize = 4;
+
+fn model(idx: usize) -> Model {
+    let seed = 31 + idx as u64 * 7;
+    match idx {
+        0 => models::reads_mlp(seed),
+        1 => models::reads_unet(seed),
+        2 => models::reads_mlp_input_bn(seed, 0.3, 2.0),
+        3 => models::reads_unet_input_bn(seed, -0.1, 1.5),
+        _ => models::reads_autoencoder(seed),
+    }
+}
+
+fn strategy(idx: usize) -> PrecisionStrategy {
+    match idx {
+        0 => PrecisionStrategy::Uniform(QFormat::signed(18, 10)),
+        1 => PrecisionStrategy::Uniform(QFormat::signed(16, 7)),
+        // Narrow format: guarantees overflow events under hot inputs, so
+        // the statistics comparison is not vacuous.
+        2 => PrecisionStrategy::Uniform(QFormat::signed(10, 3)),
+        3 => PrecisionStrategy::LayerBased {
+            width: 16,
+            int_margin: 0,
+        },
+        _ => PrecisionStrategy::LayerBased {
+            width: 12,
+            int_margin: 1,
+        },
+    }
+}
+
+fn modes(idx: usize) -> (Rounding, Overflow) {
+    match idx {
+        0 => (Rounding::Truncate, Overflow::Saturate),
+        1 => (Rounding::Nearest, Overflow::Saturate),
+        2 => (Rounding::Truncate, Overflow::Wrap),
+        _ => (Rounding::Nearest, Overflow::Wrap),
+    }
+}
+
+fn deterministic_frame(len: usize, salt: u64, amp: f64) -> Vec<f64> {
+    (0..len)
+        .map(|j| {
+            let phase = (j as f64).mul_add(0.271, salt as f64 * 0.613);
+            amp * phase.sin() + 0.1 * ((j % 13) as f64 - 6.0)
+        })
+        .collect()
+}
+
+type Bundle = Arc<(Firmware, CompiledFirmware)>;
+type BundleCache = Mutex<HashMap<(usize, usize, usize), Bundle>>;
+
+/// Build (or fetch) the firmware + lowered engine for one configuration.
+fn bundle(model_idx: usize, strat_idx: usize, mode_idx: usize) -> Bundle {
+    static CACHE: OnceLock<BundleCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("bundle cache");
+    map.entry((model_idx, strat_idx, mode_idx))
+        .or_insert_with(|| {
+            let m = model(model_idx);
+            let (len, ch) = m.input_shape();
+            let calib: Vec<Vec<f64>> = (0..4)
+                .map(|f| deterministic_frame(len * ch, f + 90, 2.0))
+                .collect();
+            let profile = profile_model(&m, &calib);
+            let (rounding, overflow) = modes(mode_idx);
+            let cfg = HlsConfig {
+                strategy: strategy(strat_idx),
+                rounding,
+                overflow,
+                ..HlsConfig::paper_default()
+            };
+            let fw = convert(&m, &profile, &cfg);
+            let engine = CompiledFirmware::lower(&fw);
+            Arc::new((fw, engine))
+        })
+        .clone()
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// `infer` and `infer_batch` agree bit-for-bit — outputs and overflow
+    /// statistics — between the interpreter and the lowered engine, across
+    /// random configurations and input regimes (amplitudes up to 40 drive
+    /// the narrow formats deep into saturation/wrap territory).
+    #[test]
+    fn compiled_engine_is_bit_identical_to_interpreter(
+        model_idx in 0usize..N_MODELS,
+        strat_idx in 0usize..N_STRATEGIES,
+        mode_idx in 0usize..N_MODES,
+        salt in 0u64..100_000,
+        amp in 0.05f64..40.0,
+        batch in 1usize..4,
+    ) {
+        let b = bundle(model_idx, strat_idx, mode_idx);
+        let (fw, engine) = &*b;
+        let n_in = fw.input_len * fw.input_channels;
+        let frames: Vec<Vec<f64>> = (0..batch)
+            .map(|i| deterministic_frame(n_in, salt.wrapping_add(i as u64), amp))
+            .collect();
+
+        for (f, x) in frames.iter().enumerate() {
+            let (want, want_stats) = fw.infer(x);
+            let (got, got_stats) = engine.infer(x);
+            prop_assert_eq!(
+                bits(&want), bits(&got),
+                "cfg ({}, {}, {}) frame {}: outputs diverge",
+                model_idx, strat_idx, mode_idx, f
+            );
+            prop_assert_eq!(
+                want_stats, got_stats,
+                "cfg ({}, {}, {}) frame {}: stats diverge",
+                model_idx, strat_idx, mode_idx, f
+            );
+        }
+
+        let (want_b, want_bs) = fw.infer_batch(&frames);
+        let (got_b, got_bs) = engine.infer_batch(&frames);
+        prop_assert_eq!(want_b.len(), got_b.len());
+        for (f, (w, g)) in want_b.iter().zip(&got_b).enumerate() {
+            prop_assert_eq!(
+                bits(w), bits(g),
+                "cfg ({}, {}, {}) batched frame {}: outputs diverge",
+                model_idx, strat_idx, mode_idx, f
+            );
+        }
+        prop_assert_eq!(
+            want_bs, got_bs,
+            "cfg ({}, {}, {}): merged batch stats diverge",
+            model_idx, strat_idx, mode_idx
+        );
+    }
+
+    /// One scratch arena reused across wildly different frames leaks no
+    /// state: results equal a fresh-scratch run, bit for bit.
+    #[test]
+    fn reused_scratch_is_stateless(
+        salts in proptest::collection::vec(0u64..100_000, 2..5),
+        amp in 0.05f64..40.0,
+    ) {
+        let b = bundle(1, 2, 1);
+        let (_, engine) = &*b;
+        let n_in = engine.input_elems();
+        let mut scratch = engine.scratch();
+        for salt in salts {
+            let x = deterministic_frame(n_in, salt, amp);
+            let (fresh, fresh_stats) = engine.infer(&x);
+            let (reused, reused_stats) = engine.infer_into(&x, &mut scratch);
+            prop_assert_eq!(bits(&fresh), bits(reused), "salt {}", salt);
+            prop_assert_eq!(&fresh_stats, reused_stats, "salt {}", salt);
+        }
+    }
+}

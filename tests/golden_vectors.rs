@@ -19,7 +19,7 @@
 //! REGEN_GOLDEN=1 cargo test --test golden_vectors
 //! ```
 
-use reads_hls4ml::{convert, profile_model, Firmware, HlsConfig};
+use reads_hls4ml::{convert, profile_model, CompiledFirmware, Firmware, HlsConfig};
 use reads_nn::models;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -151,6 +151,53 @@ fn golden_vectors_hold_bit_exactly() {
                     unhex(w)
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn compiled_engine_matches_golden_vectors_bit_exactly() {
+    // The lowered integer-quanta engine must reproduce the checked-in
+    // vectors to the last mantissa bit, carry the source firmware's digest,
+    // and report identical overflow statistics — through one reused scratch
+    // arena, the way the production engine runs it.
+    for (model, seed, _) in cases() {
+        let path = golden_dir().join(file_name(model, seed));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run REGEN_GOLDEN=1 cargo test --test golden_vectors",
+                path.display()
+            )
+        });
+        let gf: GoldenFile = serde_json::from_str(&text).expect("parse golden file");
+
+        let fw = build_firmware(model, seed);
+        let engine = CompiledFirmware::lower(&fw);
+        assert_eq!(
+            format!("{:016x}", engine.content_digest()),
+            gf.digest,
+            "{model} seed {seed}: compiled engine digest must pin the source firmware"
+        );
+
+        let mut scratch = engine.scratch();
+        for (f, (x_hex, want_hex)) in gf.inputs.iter().zip(&gf.outputs).enumerate() {
+            let x: Vec<f64> = x_hex.iter().map(|s| unhex(s)).collect();
+            let (want_ref, want_stats) = fw.infer(&x);
+            let (got, got_stats) = engine.infer_into(&x, &mut scratch);
+            for (j, (g, w)) in got.iter().zip(want_hex).enumerate() {
+                assert_eq!(
+                    hex(*g),
+                    *w,
+                    "{model} seed {seed} frame {f} output {j}: compiled {} != golden {}",
+                    g,
+                    unhex(w)
+                );
+            }
+            assert_eq!(got.len(), want_ref.len());
+            assert_eq!(
+                *got_stats, want_stats,
+                "{model} seed {seed} frame {f}: overflow statistics diverge"
+            );
         }
     }
 }
