@@ -69,6 +69,14 @@ pub enum DecodeError {
 }
 
 impl HubPacket {
+    /// Exact length [`HubPacket::encode`] would produce, without encoding
+    /// (hot paths price Ethernet ingest per packet and must not pay an
+    /// allocation for it).
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        11 + 4 * self.counts.len() + 2
+    }
+
     /// Wire-encodes the packet:
     /// `magic u16 | hub u8 | seq u32 | first u16 | n u16 | counts n×u32 | fletcher16 u16`,
     /// all big-endian.

@@ -5,7 +5,7 @@
 //! operational statistics from the frame stream — bounded memory (P²
 //! quantiles, no sample retention), so it can run for an entire store.
 
-use crate::resilience::{HealthCounters, HealthState};
+use crate::resilience::{HealthCounters, HealthState, NetCounters};
 use reads_blm::acnet::DeblendVerdict;
 use reads_blm::Machine;
 use reads_sim::{P2Quantile, StreamingStats};
@@ -27,6 +27,19 @@ pub struct OperatorConsole {
     deadline_ms: f64,
     node_health: Option<NodeHealth>,
     shards: Vec<ShardHealth>,
+    net_health: Option<NetHealth>,
+}
+
+/// The network serving plane's line in the console: transport state plus
+/// the counters behind it, as reported by the TCP hub gateway.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct NetHealth {
+    /// Transport health under the standard ladder.
+    pub state: HealthState,
+    /// Live connections at observation time.
+    pub sessions: u64,
+    /// The gateway's transport counters at observation time.
+    pub counters: NetCounters,
 }
 
 /// One shard's line in the fleet view of a sharded engine.
@@ -81,6 +94,9 @@ pub struct ConsoleSummary {
     /// Per-shard health, when a sharded engine reports into this console
     /// (empty for single-node operation).
     pub shards: Vec<ShardHealth>,
+    /// Network serving-plane health, when a hub gateway reports into this
+    /// console (absent for in-process operation).
+    pub net_health: Option<NetHealth>,
 }
 
 impl OperatorConsole {
@@ -100,7 +116,19 @@ impl OperatorConsole {
             deadline_ms,
             node_health: None,
             shards: Vec::new(),
+            net_health: None,
         }
+    }
+
+    /// Feeds the hub gateway's transport view (latest observation wins).
+    /// Until this is called, summaries and renders omit the network line,
+    /// so in-process consoles are unchanged.
+    pub fn observe_net_health(&mut self, sessions: u64, counters: &NetCounters) {
+        self.net_health = Some(NetHealth {
+            state: counters.health(),
+            sessions,
+            counters: *counters,
+        });
     }
 
     /// Feeds one shard's health view from the sharded engine (latest
@@ -186,6 +214,7 @@ impl OperatorConsole {
             deadline_misses: self.deadline_misses,
             node_health: self.node_health,
             shards: self.shards.clone(),
+            net_health: self.net_health,
         }
     }
 
@@ -231,6 +260,24 @@ impl OperatorConsole {
                 c.soft_resets,
                 c.rescrubs,
                 c.mttr_ms()
+            );
+        }
+        if let Some(n) = &s.net_health {
+            let state = match n.state {
+                HealthState::Healthy => "HEALTHY",
+                HealthState::Degraded => "DEGRADED",
+                HealthState::Tripped => "TRIPPED",
+            };
+            let c = &n.counters;
+            let _ = writeln!(
+                out,
+                " network            {} | {} sessions | {} frames | {} decode errors | {} gaps | {} slow-consumer drops",
+                state,
+                n.sessions,
+                c.frames_assembled,
+                c.decode_errors,
+                c.sequence_gaps,
+                c.slow_consumer_drops
             );
         }
         for sh in &s.shards {
@@ -339,6 +386,31 @@ mod tests {
         assert!(text.contains("1 salvages | 2 resets | 1 rescrubs | MTTR 3.000 ms"));
         // The existing lines survive untouched.
         assert!(text.contains("frames processed   1"));
+    }
+
+    #[test]
+    fn render_surfaces_network_health() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        c.observe(&verdict(0.1, 0.6), &timing(1_750, false));
+        assert!(!c.render().contains("network"), "no net line before report");
+        let counters = NetCounters {
+            connections: 3,
+            frames_assembled: 120,
+            frames_accepted: 120,
+            decode_errors: 2,
+            sequence_gaps: 1,
+            ..NetCounters::default()
+        };
+        c.observe_net_health(3, &counters);
+        let text = c.render();
+        assert!(
+            text.contains(
+                "network            DEGRADED | 3 sessions | 120 frames | 2 decode errors | 1 gaps"
+            ),
+            "{text}"
+        );
+        let s = c.summary();
+        assert_eq!(s.net_health.unwrap().state, HealthState::Degraded);
     }
 
     #[test]

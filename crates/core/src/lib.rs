@@ -47,14 +47,14 @@ pub mod verification;
 
 pub use campaign::{run_latency_campaign, LatencyCampaign};
 pub use codesign::{codesign, CodesignResult};
-pub use console::{ConsoleSummary, NodeHealth, OperatorConsole, ShardHealth};
+pub use console::{ConsoleSummary, NetHealth, NodeHealth, OperatorConsole, ShardHealth};
 pub use engine::{
     DropPolicy, EngineConfig, FleetReport, FrameResult, NativeExecutor, ShardExecutor, ShardReport,
     ShardedEngine, SocExecutor,
 };
 pub use resilience::{
     run_fault_campaign, FaultCampaignConfig, FaultCampaignRow, HealthCounters, HealthState,
-    Watchdog, WatchdogPolicy,
+    NetCounters, Watchdog, WatchdogPolicy,
 };
 pub use system::DeblendingSystem;
 pub use trained::{TrainedBundle, TrainingTier};

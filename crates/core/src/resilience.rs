@@ -106,6 +106,119 @@ impl HealthCounters {
     }
 }
 
+/// Network-plane resilience counters: the transport-side complement of
+/// [`HealthCounters`]. The TCP hub gateway (`reads-net`) accumulates these
+/// from wire-level decode failures, per-chain sequence tracking, and the
+/// subscriber slow-consumer policy, so the PR 1 health machinery — the
+/// Healthy/Degraded/Tripped ladder and the operator console — covers the
+/// transport as well as the inference pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct NetCounters {
+    /// Connections accepted over the gateway's lifetime.
+    pub connections: u64,
+    /// Connections that ended (EOF, error, or forced disconnect).
+    pub disconnects: u64,
+    /// Well-formed wire messages decoded.
+    pub messages: u64,
+    /// Wire frames rejected by the codec (bad magic/version/CRC/length —
+    /// each one is a transport fault, never a panic).
+    pub decode_errors: u64,
+    /// Hub-chain frames fully assembled from their seven packets.
+    pub frames_assembled: u64,
+    /// Assembled frames accepted into the inference engine's queues.
+    pub frames_accepted: u64,
+    /// Sequence-number gaps observed per chain (a completed frame skipped
+    /// ahead of the expected sequence).
+    pub sequence_gaps: u64,
+    /// Packets that arrived behind the newest pending sequence but were
+    /// still mergeable (out-of-order delivery).
+    pub reordered: u64,
+    /// Packets for sequences already completed or evicted — too stale to
+    /// use in a 3 ms control loop.
+    pub stale_drops: u64,
+    /// Duplicate hub packets within one pending frame.
+    pub duplicate_packets: u64,
+    /// Incomplete frames evicted because the chain moved too far ahead
+    /// (a hub died mid-frame).
+    pub expired_incomplete: u64,
+    /// Frames shed at engine submission (backpressure).
+    pub backpressure_drops: u64,
+    /// Verdicts dropped on slow subscriber queues (DropNewest policy).
+    pub slow_consumer_drops: u64,
+    /// Subscribers force-disconnected for falling behind (Disconnect
+    /// policy).
+    pub slow_consumer_disconnects: u64,
+}
+
+impl NetCounters {
+    /// Accumulates another gateway's counters (per-listener → site merge).
+    pub fn merge(&mut self, other: &NetCounters) {
+        self.connections += other.connections;
+        self.disconnects += other.disconnects;
+        self.messages += other.messages;
+        self.decode_errors += other.decode_errors;
+        self.frames_assembled += other.frames_assembled;
+        self.frames_accepted += other.frames_accepted;
+        self.sequence_gaps += other.sequence_gaps;
+        self.reordered += other.reordered;
+        self.stale_drops += other.stale_drops;
+        self.duplicate_packets += other.duplicate_packets;
+        self.expired_incomplete += other.expired_incomplete;
+        self.backpressure_drops += other.backpressure_drops;
+        self.slow_consumer_drops += other.slow_consumer_drops;
+        self.slow_consumer_disconnects += other.slow_consumer_disconnects;
+    }
+
+    /// Transport anomalies that indicate data was damaged or lost in
+    /// flight (the inputs to the health ladder).
+    #[must_use]
+    pub fn anomalies(&self) -> u64 {
+        self.decode_errors
+            + self.sequence_gaps
+            + self.stale_drops
+            + self.duplicate_packets
+            + self.expired_incomplete
+            + self.backpressure_drops
+            + self.slow_consumer_drops
+            + self.slow_consumer_disconnects
+    }
+
+    /// Health of the transport under the same ladder the watchdog uses:
+    /// any anomaly degrades; losing a subscriber to the slow-consumer
+    /// policy trips (an operator must notice a consumer that cannot keep
+    /// up, exactly like an unrecovered hang).
+    #[must_use]
+    pub fn health(&self) -> HealthState {
+        if self.slow_consumer_disconnects > 0 {
+            HealthState::Tripped
+        } else if self.anomalies() > 0 {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        }
+    }
+
+    /// Projects the transport counters into the watchdog's
+    /// [`HealthCounters`] vocabulary so fleet merges (`per-shard + net`)
+    /// stay single-typed: every anomaly is a fault seen; recoveries are
+    /// the anomalies the protocol absorbed without losing a frame
+    /// (reorders merged, duplicates ignored); unrecovered are frames or
+    /// verdicts actually lost.
+    #[must_use]
+    pub fn as_health_counters(&self) -> HealthCounters {
+        HealthCounters {
+            faults_seen: self.anomalies() + self.reordered,
+            recoveries: self.reordered + self.duplicate_packets,
+            unrecovered: self.decode_errors
+                + self.expired_incomplete
+                + self.backpressure_drops
+                + self.slow_consumer_drops
+                + self.slow_consumer_disconnects,
+            ..HealthCounters::default()
+        }
+    }
+}
+
 /// The recovery budget.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct WatchdogPolicy {
@@ -499,6 +612,32 @@ mod tests {
         let frames = vec![vec![0.2; 259]];
         let p = profile_model(&m, &frames);
         convert(&m, &p, &HlsConfig::paper_default())
+    }
+
+    #[test]
+    fn net_counters_ladder_and_merge() {
+        let clean = NetCounters::default();
+        assert_eq!(clean.health(), HealthState::Healthy);
+        let mut degraded = NetCounters {
+            decode_errors: 3,
+            sequence_gaps: 2,
+            reordered: 5,
+            ..NetCounters::default()
+        };
+        assert_eq!(degraded.health(), HealthState::Degraded);
+        let tripped = NetCounters {
+            slow_consumer_disconnects: 1,
+            ..NetCounters::default()
+        };
+        assert_eq!(tripped.health(), HealthState::Tripped);
+        degraded.merge(&tripped);
+        assert_eq!(degraded.health(), HealthState::Tripped);
+        assert_eq!(degraded.decode_errors, 3);
+        // Projection into the watchdog vocabulary keeps loss visible.
+        let hc = degraded.as_health_counters();
+        assert_eq!(hc.faults_seen, degraded.anomalies() + degraded.reordered);
+        assert_eq!(hc.unrecovered, 3 + 1); // decode errors + slow disconnect...
+        assert!(hc.recoveries >= 5);
     }
 
     #[test]

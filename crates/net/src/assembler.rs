@@ -1,0 +1,292 @@
+//! Per-chain frame assembly with sequence-gap / reorder / staleness
+//! tracking.
+//!
+//! Hub packets arrive on independent TCP connections in whatever order the
+//! network delivers them. [`FrameAssembler`] regroups them into complete
+//! [`ChainFrame`]s: a frame is *complete* when all seven hubs of one
+//! `(chain, sequence)` are present. The tracker keeps a bounded window of
+//! pending sequences per chain; packets behind the completed watermark are
+//! stale (a 3 ms control loop has no use for them), and when a chain runs
+//! more than the window ahead, the oldest incomplete frame is evicted —
+//! both outcomes counted into [`NetCounters`], never silently.
+
+use reads_blm::hubs::{ChainFrame, HubPacket, N_HUBS};
+use reads_core::resilience::NetCounters;
+use std::collections::HashMap;
+
+/// One pending (incomplete) frame of a chain.
+#[derive(Debug)]
+struct Pending {
+    sequence: u32,
+    slots: [Option<HubPacket>; N_HUBS],
+    filled: usize,
+}
+
+impl Pending {
+    fn new(sequence: u32) -> Self {
+        Self {
+            sequence,
+            slots: Default::default(),
+            filled: 0,
+        }
+    }
+}
+
+/// Per-chain assembly state.
+#[derive(Debug, Default)]
+struct ChainState {
+    /// Pending frames, oldest first; bounded by the assembler window.
+    pending: Vec<Pending>,
+    /// Highest sequence ever completed (None until the first completion).
+    completed: Option<u32>,
+    /// Highest sequence ever seen arriving.
+    newest_seen: Option<u32>,
+}
+
+/// Regroups hub packets into complete chain frames.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    chains: HashMap<u32, ChainState>,
+    /// Max pending sequences per chain before the oldest incomplete frame
+    /// is evicted.
+    window: usize,
+}
+
+/// What became of one offered packet.
+#[derive(Debug, PartialEq)]
+pub enum Offer {
+    /// Packet merged; frame still incomplete.
+    Merged,
+    /// Packet completed its frame.
+    Complete(ChainFrame),
+    /// Packet was behind the completed watermark (dropped).
+    Stale,
+    /// The same hub already contributed to this sequence (dropped).
+    Duplicate,
+    /// Hub index out of range for the seven-hub chain (dropped).
+    BadHub,
+}
+
+impl FrameAssembler {
+    /// New assembler holding at most `window` pending sequences per chain.
+    ///
+    /// # Panics
+    /// Panics when `window == 0`.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "assembler window must be positive");
+        Self {
+            chains: HashMap::new(),
+            window,
+        }
+    }
+
+    /// Number of incomplete frames currently pending across chains.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.chains.values().map(|c| c.pending.len()).sum()
+    }
+
+    /// Offers one packet; updates `counters` for every anomaly observed
+    /// (reorders, staleness, duplicates, gap detection on completion,
+    /// window evictions).
+    pub fn offer(&mut self, chain: u32, packet: HubPacket, counters: &mut NetCounters) -> Offer {
+        if usize::from(packet.hub) >= N_HUBS {
+            counters.decode_errors += 1;
+            return Offer::BadHub;
+        }
+        let state = self.chains.entry(chain).or_default();
+        let seq = packet.sequence;
+
+        // Staleness: behind the completion watermark means the control
+        // tick already passed (or the frame was evicted).
+        if state.completed.is_some_and(|w| seq <= w) {
+            counters.stale_drops += 1;
+            return Offer::Stale;
+        }
+        // Reorder: arriving behind the newest sequence this chain has seen
+        // but still usable.
+        if state.newest_seen.is_some_and(|n| seq < n) {
+            counters.reordered += 1;
+        }
+        state.newest_seen = Some(state.newest_seen.map_or(seq, |n| n.max(seq)));
+
+        let idx = match state.pending.iter().position(|p| p.sequence == seq) {
+            Some(i) => i,
+            None => {
+                // Keep pending ordered by sequence (insertion sort over a
+                // short, bounded window).
+                let at = state
+                    .pending
+                    .iter()
+                    .position(|p| p.sequence > seq)
+                    .unwrap_or(state.pending.len());
+                state.pending.insert(at, Pending::new(seq));
+                // Window overflow: evict the oldest incomplete frame — a
+                // hub died mid-frame and the chain has moved on.
+                if state.pending.len() > self.window {
+                    let evicted = state.pending.remove(0);
+                    counters.expired_incomplete += 1;
+                    // The watermark moves so late stragglers of the
+                    // evicted frame count as stale, not as new pendings.
+                    state.completed = Some(
+                        state
+                            .completed
+                            .map_or(evicted.sequence, |w| w.max(evicted.sequence)),
+                    );
+                    if evicted.sequence == seq {
+                        // The packet that caused the eviction was its own
+                        // victim (window full of newer frames).
+                        return Offer::Stale;
+                    }
+                }
+                state
+                    .pending
+                    .iter()
+                    .position(|p| p.sequence == seq)
+                    .expect("just inserted")
+            }
+        };
+
+        let slot = usize::from(packet.hub);
+        let pend = &mut state.pending[idx];
+        if pend.slots[slot].is_some() {
+            counters.duplicate_packets += 1;
+            return Offer::Duplicate;
+        }
+        pend.slots[slot] = Some(packet);
+        pend.filled += 1;
+        if pend.filled < N_HUBS {
+            return Offer::Merged;
+        }
+
+        // Complete: detach, count gaps against the previous completion.
+        let done = state.pending.remove(idx);
+        if let Some(prev) = state.completed {
+            if done.sequence > prev + 1 {
+                counters.sequence_gaps += u64::from(done.sequence - prev - 1);
+            }
+        }
+        state.completed = Some(
+            state
+                .completed
+                .map_or(done.sequence, |w| w.max(done.sequence)),
+        );
+        counters.frames_assembled += 1;
+        let packets: Vec<HubPacket> = done.slots.into_iter().map(|s| s.expect("filled")).collect();
+        Offer::Complete(ChainFrame {
+            chain,
+            sequence: done.sequence,
+            packets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reads_blm::hubs::split_frame;
+    use reads_blm::N_BLM;
+
+    fn packets(seq: u32) -> Vec<HubPacket> {
+        let readings: Vec<f64> = (0..N_BLM).map(|j| 110_000.0 + j as f64).collect();
+        let mut ps = split_frame(&readings, seq);
+        for p in &mut ps {
+            p.sequence = seq;
+        }
+        ps
+    }
+
+    #[test]
+    fn in_order_packets_complete_cleanly() {
+        let mut asm = FrameAssembler::new(8);
+        let mut c = NetCounters::default();
+        for seq in 0..3u32 {
+            let ps = packets(seq);
+            for (i, p) in ps.into_iter().enumerate() {
+                let out = asm.offer(0, p, &mut c);
+                if i == N_HUBS - 1 {
+                    let Offer::Complete(cf) = out else {
+                        panic!("frame should complete")
+                    };
+                    assert_eq!(cf.sequence, seq);
+                    assert_eq!(cf.packets.len(), N_HUBS);
+                } else {
+                    assert_eq!(out, Offer::Merged);
+                }
+            }
+        }
+        assert_eq!(c.frames_assembled, 3);
+        assert_eq!(c.anomalies(), 0);
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn reordered_packets_within_window_still_complete() {
+        let mut asm = FrameAssembler::new(8);
+        let mut c = NetCounters::default();
+        let mut a0 = packets(0);
+        let mut a1 = packets(1);
+        let b0 = packets(0);
+        let mut completions = 0;
+        // Chain 4: six packets of seq 1 arrive first, then all of seq 0
+        // (out of order but not yet stale), then seq 1's last packet.
+        let a1_last = a1.pop().unwrap();
+        for p in a1 {
+            assert_eq!(asm.offer(4, p, &mut c), Offer::Merged);
+        }
+        let a0_last = a0.pop().unwrap();
+        for p in a0 {
+            assert_eq!(asm.offer(4, p, &mut c), Offer::Merged);
+        }
+        if matches!(asm.offer(4, a0_last, &mut c), Offer::Complete(_)) {
+            completions += 1;
+        }
+        if matches!(asm.offer(4, a1_last, &mut c), Offer::Complete(_)) {
+            completions += 1;
+        }
+        // Another chain is unaffected.
+        for p in b0 {
+            if matches!(asm.offer(7, p, &mut c), Offer::Complete(_)) {
+                completions += 1;
+            }
+        }
+        assert_eq!(completions, 3);
+        assert_eq!(
+            c.reordered, 7,
+            "all of chain 4's seq-0 packets arrived late"
+        );
+        assert_eq!(c.stale_drops, 0);
+        assert_eq!(c.frames_assembled, 3);
+        assert_eq!(c.sequence_gaps, 0);
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn gaps_duplicates_and_eviction_are_counted() {
+        let mut asm = FrameAssembler::new(2);
+        let mut c = NetCounters::default();
+        // Complete seq 0.
+        for p in packets(0) {
+            asm.offer(9, p, &mut c);
+        }
+        // Complete seq 5 → gap of 4.
+        for p in packets(5) {
+            asm.offer(9, p, &mut c);
+        }
+        assert_eq!(c.sequence_gaps, 4);
+        // Duplicate hub within one pending frame.
+        let ps = packets(6);
+        let dup = ps[0].clone();
+        asm.offer(9, ps[0].clone(), &mut c);
+        assert_eq!(asm.offer(9, dup, &mut c), Offer::Duplicate);
+        assert_eq!(c.duplicate_packets, 1);
+        // Open two more sequences: window (2) overflows, seq 6 evicted.
+        asm.offer(9, packets(7)[0].clone(), &mut c);
+        asm.offer(9, packets(8)[0].clone(), &mut c);
+        assert_eq!(c.expired_incomplete, 1);
+        // Stragglers of the evicted frame are stale now.
+        assert_eq!(asm.offer(9, ps[1].clone(), &mut c), Offer::Stale);
+        assert!(c.stale_drops >= 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Gateway clients: a thin blocking connection wrapper plus the
+//! closed/open-loop load generators used by the loopback tests and the
+//! `netserve_throughput` bench.
+
+use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg};
+use reads_blm::hubs::{ChainFrame, MultiChainSource};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A blocking client connection to a [`HubGateway`](crate::HubGateway).
+///
+/// Connecting immediately sends the role handshake; after that the
+/// connection is a plain message pipe — [`GatewayClient::send`] writes one
+/// wire frame, [`GatewayClient::recv`] blocks (up to a timeout) for the
+/// next message from the gateway.
+#[derive(Debug)]
+pub struct GatewayClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl GatewayClient {
+    /// Connects and performs the `Hello` handshake for `role`.
+    ///
+    /// # Errors
+    /// Propagates connect/configure/write failures.
+    pub fn connect(addr: impl ToSocketAddrs, role: Role) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Self {
+            stream,
+            decoder: FrameDecoder::new(),
+        };
+        client.send(&Msg::Hello { role })?;
+        Ok(client)
+    }
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn send(&mut self, msg: &Msg) -> std::io::Result<()> {
+        self.stream.write_all(&encode_msg(msg))
+    }
+
+    /// Sends every hub packet of one chain frame (seven `HubData`
+    /// messages, exactly what the seven independent hubs would emit —
+    /// coalesced into one socket write, as a NIC would burst them).
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn send_frame(&mut self, frame: &ChainFrame) -> std::io::Result<()> {
+        let mut burst = Vec::new();
+        for packet in &frame.packets {
+            burst.extend_from_slice(&encode_msg(&Msg::HubData {
+                chain: frame.chain,
+                packet: packet.clone(),
+            }));
+        }
+        self.stream.write_all(&burst)
+    }
+
+    /// Receives the next message, waiting at most `timeout`. Returns
+    /// `Ok(None)` when the timeout elapses without a complete message.
+    /// Malformed frames from the gateway are a hard error here: the server
+    /// is ours, so corruption means a real bug.
+    ///
+    /// # Errors
+    /// Propagates socket read failures; decode failures surface as
+    /// [`std::io::ErrorKind::InvalidData`]; a closed peer as
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn recv(&mut self, timeout: Duration) -> std::io::Result<Option<Msg>> {
+        let deadline = Instant::now() + timeout;
+        let mut chunk = [0u8; 8 * 1024];
+        loop {
+            match self.decoder.next_msg() {
+                Ok(Some(msg)) => return Ok(Some(msg)),
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    ))
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.stream.set_read_timeout(Some(deadline - now))?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "gateway closed the connection",
+                    ))
+                }
+                Ok(n) => self.decoder.push(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Receives messages until a verdict arrives or `timeout` elapses,
+    /// discarding acks along the way (subscriber convenience).
+    ///
+    /// # Errors
+    /// Propagates [`GatewayClient::recv`] failures.
+    pub fn recv_verdict(&mut self, timeout: Duration) -> std::io::Result<Option<VerdictMsg>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            match self.recv(deadline - now)? {
+                Some(Msg::Verdict(v)) => return Ok(Some(v)),
+                Some(_) => {}
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Independent hub chains to synthesize.
+    pub chains: usize,
+    /// 3 ms ticks to send (each tick is one frame per chain).
+    pub ticks: usize,
+    /// Seed for the synthetic beam-loss source.
+    pub seed: u64,
+    /// Closed-loop window: maximum unacked frames in flight. `0` means
+    /// open-loop (fire-and-forget, no ack pacing).
+    pub window: usize,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            chains: 8,
+            ticks: 125,
+            seed: 3,
+            window: 256,
+        }
+    }
+}
+
+/// What the load generator observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Complete chain frames pushed (7 hub packets each).
+    pub frames_sent: u64,
+    /// Frame acks received back.
+    pub acks_received: u64,
+    /// Wall-clock duration of the send loop (excludes the final ack
+    /// drain).
+    pub send_wall: Duration,
+}
+
+/// Drives a gateway with synthetic multi-chain traffic over one producer
+/// connection. With `window > 0` the loop is **closed**: it never lets
+/// more than `window` unacked frames ride, so a slow gateway throttles the
+/// generator instead of overflowing it. With `window == 0` it is **open**:
+/// frames go out as fast as the socket accepts them.
+///
+/// # Errors
+/// Propagates connect/send failures and malformed gateway replies.
+pub fn run_load(addr: impl ToSocketAddrs, cfg: &LoadGenConfig) -> std::io::Result<LoadReport> {
+    let mut client = GatewayClient::connect(addr, Role::Producer)?;
+    let mut source = MultiChainSource::new(cfg.chains, cfg.seed);
+    let mut frames_sent = 0u64;
+    let mut acks = 0u64;
+    let started = Instant::now();
+    for _ in 0..cfg.ticks {
+        for frame in source.tick() {
+            // Closed loop: at the window, drain acks down to half of it in
+            // one burst — ack-per-frame ping-pong would cost a context
+            // switch each on a busy host.
+            if cfg.window > 0 && frames_sent - acks >= cfg.window as u64 {
+                let refill = (cfg.window / 2).max(1) as u64;
+                while frames_sent - acks > refill {
+                    match client.recv(Duration::from_millis(200))? {
+                        Some(Msg::FrameAck { .. }) => acks += 1,
+                        Some(_) => {}
+                        None => break, // window stuck — keep going, acks may lag
+                    }
+                }
+            }
+            client.send_frame(&frame)?;
+            frames_sent += 1;
+        }
+    }
+    let send_wall = started.elapsed();
+    // Final drain: give stragglers a moment to arrive.
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    while acks < frames_sent && Instant::now() < drain_deadline {
+        match client.recv(Duration::from_millis(50))? {
+            Some(Msg::FrameAck { .. }) => acks += 1,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    Ok(LoadReport {
+        frames_sent,
+        acks_received: acks,
+        send_wall,
+    })
+}

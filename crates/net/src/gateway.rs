@@ -1,0 +1,711 @@
+//! The TCP hub gateway: a real serving plane in front of the sharded
+//! inference engine.
+//!
+//! Topology (all `std` threads, no async runtime):
+//!
+//! ```text
+//!  producers ──TCP──▶ reader threads ──events──▶ hub thread ──▶ ShardedEngine
+//!                                                  │  ▲              │
+//!  subscribers ◀──TCP── writer threads ◀─bytes─────┘  └──verdicts────┘
+//! ```
+//!
+//! * One **reader thread per connection** feeds the panic-free incremental
+//!   [`FrameDecoder`](crate::wire::FrameDecoder); well-formed hub packets
+//!   flow to the hub thread over a bounded event channel (TCP backpressure
+//!   propagates naturally when the hub falls behind).
+//! * The **hub thread** owns the [`FrameAssembler`], the
+//!   [`ShardedEngine`], and the [`NetCounters`]: completed chain frames
+//!   are priced in simulated time with
+//!   [`EthernetModel::frame_ingest_time`] (the *same* model the in-process
+//!   pipeline uses — no duplicated bandwidth constants), submitted to the
+//!   engine, and acked back to the producer that completed them.
+//! * Verdicts stream back to every subscriber through a bounded
+//!   per-connection queue with an explicit slow-consumer policy:
+//!   [`SlowConsumerPolicy::DropNewest`] sheds the verdict and counts it;
+//!   [`SlowConsumerPolicy::Disconnect`] drops the subscriber (and trips
+//!   the network health ladder — an operator must notice).
+//! * **Graceful shutdown** ([`GatewayHandle::shutdown`], a wire-level
+//!   [`Msg::Shutdown`], or an external flag such as ctrl-c) stops the
+//!   acceptor and readers, drains every in-flight event, finishes the
+//!   engine, flushes remaining verdicts to subscribers, joins every
+//!   thread, and returns a [`GatewayReport`] — no accepted-and-acked
+//!   frame is ever lost.
+
+use crate::assembler::{FrameAssembler, Offer};
+use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError};
+use reads_blm::hubs::HubPacket;
+use reads_core::console::OperatorConsole;
+use reads_core::engine::{FleetReport, FrameResult, ShardedEngine};
+use reads_core::resilience::NetCounters;
+use reads_core::system::TRIP_THRESHOLD;
+use reads_sim::SimDuration;
+use reads_soc::eth::EthernetModel;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// What to do when a subscriber's outbound queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowConsumerPolicy {
+    /// Drop the verdict for that subscriber and count it.
+    DropNewest,
+    /// Disconnect the subscriber (trips network health).
+    Disconnect,
+}
+
+/// Gateway sizing and policy.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Outbound queue depth per connection (verdicts / acks).
+    pub outbound_queue: usize,
+    /// Behaviour on a full subscriber queue.
+    pub slow_consumer: SlowConsumerPolicy,
+    /// Pending-sequence window per chain in the assembler.
+    pub assembly_window: usize,
+    /// Whether to ack each accepted frame back to its producer.
+    pub ack_frames: bool,
+    /// Simulated-time pricing of hub-frame ingest. **Single source of
+    /// truth**: the gateway never re-derives bandwidth or stack-overhead
+    /// constants from this model — it calls
+    /// [`EthernetModel::frame_ingest_time`] exactly like the in-process
+    /// pipeline does.
+    pub eth: EthernetModel,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            outbound_queue: 256,
+            slow_consumer: SlowConsumerPolicy::DropNewest,
+            assembly_window: 64,
+            ack_frames: true,
+            eth: EthernetModel::default(),
+        }
+    }
+}
+
+/// Everything the gateway knows at shutdown.
+#[derive(Debug)]
+pub struct GatewayReport {
+    /// The inference engine's fleet report (per-shard stats + health).
+    pub fleet: FleetReport,
+    /// Transport counters.
+    pub net: NetCounters,
+    /// Verdict messages actually queued to subscribers.
+    pub verdicts_sent: u64,
+    /// Frame acks queued to producers.
+    pub acks_sent: u64,
+    /// Simulated ingest time of every assembled frame, priced by
+    /// [`EthernetModel::frame_ingest_time`].
+    pub sim_ingest: SimDuration,
+    /// Rendered operator console (latency, trips, shard + network health
+    /// lines); empty when no frame produced a verdict.
+    pub console: String,
+}
+
+const READ_CHUNK: usize = 64 * 1024;
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+const HUB_POLL: Duration = Duration::from_millis(2);
+const EVENT_QUEUE: usize = 64 * 1024;
+
+enum Event {
+    Attach {
+        conn: u64,
+        tx: SyncSender<Vec<u8>>,
+        stream: TcpStream,
+        writer: JoinHandle<()>,
+    },
+    Hello {
+        conn: u64,
+        role: Role,
+    },
+    Packet {
+        conn: u64,
+        chain: u32,
+        packet: reads_blm::hubs::HubPacket,
+    },
+    DecodeErr {
+        conn: u64,
+        fatal: bool,
+    },
+    ShutdownRequested,
+    Closed {
+        conn: u64,
+    },
+    /// Several events from one socket read, delivered in one channel
+    /// wakeup (never nested).
+    Batch(Vec<Event>),
+}
+
+struct ConnState {
+    tx: SyncSender<Vec<u8>>,
+    stream: TcpStream,
+    writer: Option<JoinHandle<()>>,
+    role: Role,
+}
+
+/// Connection registry + verdict fan-out + operational console: everything
+/// the hub needs that is *not* the engine, so the shutdown path can keep
+/// broadcasting after [`ShardedEngine::finish`] consumed the engine.
+struct Switchboard {
+    conns: HashMap<u64, ConnState>,
+    counters: NetCounters,
+    console: OperatorConsole,
+    observed: u64,
+    verdicts_sent: u64,
+    acks_sent: u64,
+}
+
+impl Switchboard {
+    /// Abruptly severs a connection: the socket dies first, so a writer
+    /// blocked on a slow peer unblocks with an error and drains. Used for
+    /// fatal protocol violations, peer hangups and slow-consumer
+    /// disconnects.
+    fn drop_conn(&mut self, conn: u64) {
+        if let Some(c) = self.conns.remove(&conn) {
+            let _ = c.stream.shutdown(Shutdown::Both);
+            drop(c.tx); // writer drains its queue and exits
+            if let Some(w) = c.writer {
+                let _ = w.join();
+            }
+        }
+    }
+
+    /// Gracefully closes a connection: the writer first drains and flushes
+    /// everything already queued (final verdicts, final acks), *then* the
+    /// socket closes. Used at shutdown so accepted-and-acked work is never
+    /// lost on the floor of an outbound queue.
+    fn close_conn_graceful(&mut self, conn: u64) {
+        if let Some(c) = self.conns.remove(&conn) {
+            drop(c.tx); // channel closes → writer drains, flushes, exits
+            if let Some(w) = c.writer {
+                let _ = w.join();
+            }
+            let _ = c.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Sends every result to every subscriber under the slow-consumer
+    /// policy, and feeds the console.
+    fn fan_out(&mut self, results: Vec<FrameResult>, policy: SlowConsumerPolicy) {
+        for r in results {
+            self.console.observe(&r.verdict, &r.timing);
+            self.observed += 1;
+            let bytes = encode_msg(&Msg::Verdict(VerdictMsg {
+                chain: r.chain,
+                verdict: r.verdict,
+            }));
+            let mut to_drop: Vec<u64> = Vec::new();
+            for (&id, c) in &self.conns {
+                if c.role != Role::Subscriber {
+                    continue;
+                }
+                match c.tx.try_send(bytes.clone()) {
+                    Ok(()) => self.verdicts_sent += 1,
+                    Err(TrySendError::Full(_)) => match policy {
+                        SlowConsumerPolicy::DropNewest => {
+                            self.counters.slow_consumer_drops += 1;
+                        }
+                        SlowConsumerPolicy::Disconnect => {
+                            self.counters.slow_consumer_disconnects += 1;
+                            to_drop.push(id);
+                        }
+                    },
+                    Err(TrySendError::Disconnected(_)) => to_drop.push(id),
+                }
+            }
+            for id in to_drop {
+                self.drop_conn(id);
+            }
+        }
+    }
+
+    /// Gracefully closes every remaining connection (drain → flush →
+    /// close) and joins its writer.
+    fn close_all(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn_graceful(id);
+        }
+    }
+
+    fn publish(&self, shared: &Arc<Mutex<(NetCounters, u64)>>) {
+        let mut guard = shared.lock().expect("counters lock");
+        guard.0 = self.counters;
+        guard.1 = self.conns.len() as u64;
+    }
+}
+
+/// Constructor namespace for the gateway server.
+pub struct HubGateway;
+
+/// A running gateway. Always call [`GatewayHandle::shutdown`] — dropping
+/// the handle without it leaks the server threads.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    flag: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    hub: Option<JoinHandle<()>>,
+    report_rx: Receiver<GatewayReport>,
+    shared: Arc<Mutex<(NetCounters, u64)>>,
+}
+
+impl HubGateway {
+    /// Binds `addr` and starts serving the given engine. The engine's drop
+    /// policy governs ingest backpressure (`Block` is lossless;
+    /// `DropNewest` sheds and counts).
+    ///
+    /// # Errors
+    /// Propagates socket bind/configure failures.
+    ///
+    /// # Panics
+    /// Panics when `cfg.outbound_queue` is zero.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        cfg: GatewayConfig,
+        engine: ShardedEngine,
+    ) -> std::io::Result<GatewayHandle> {
+        assert!(cfg.outbound_queue > 0, "outbound queue must be positive");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let flag = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Mutex::new((NetCounters::default(), 0u64)));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (event_tx, event_rx) = mpsc::sync_channel::<Event>(EVENT_QUEUE);
+        let (report_tx, report_rx) = mpsc::sync_channel::<GatewayReport>(1);
+
+        let acceptor = {
+            let flag = Arc::clone(&flag);
+            let readers = Arc::clone(&readers);
+            let event_tx = event_tx.clone();
+            let queue = cfg.outbound_queue;
+            thread::Builder::new()
+                .name("reads-net-accept".into())
+                .spawn(move || accept_loop(&listener, &flag, &readers, &event_tx, queue))
+                .expect("spawn acceptor")
+        };
+        // The hub must see Disconnected once the acceptor and every reader
+        // are gone, so the constructor's copy dies here.
+        drop(event_tx);
+
+        let hub = {
+            let flag = Arc::clone(&flag);
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("reads-net-hub".into())
+                .spawn(move || {
+                    let report = hub_loop(&cfg, engine, &event_rx, &flag, &shared);
+                    let _ = report_tx.send(report);
+                })
+                .expect("spawn hub")
+        };
+
+        Ok(GatewayHandle {
+            addr: local,
+            flag,
+            acceptor: Some(acceptor),
+            readers,
+            hub: Some(hub),
+            report_rx,
+            shared,
+        })
+    }
+}
+
+impl GatewayHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag — store `true` (e.g. from a ctrl-c handler) to
+    /// begin a graceful drain, then call [`GatewayHandle::shutdown`] to
+    /// join and collect the report.
+    #[must_use]
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// Whether a shutdown has been requested (externally or by a wire
+    /// [`Msg::Shutdown`]).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the transport counters.
+    #[must_use]
+    pub fn counters(&self) -> NetCounters {
+        self.shared.lock().expect("counters lock").0
+    }
+
+    /// Live sessions right now.
+    #[must_use]
+    pub fn sessions(&self) -> u64 {
+        self.shared.lock().expect("counters lock").1
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight frames through
+    /// the engine, flush remaining verdicts, join every thread, and return
+    /// the final report.
+    ///
+    /// # Panics
+    /// Panics if a gateway thread panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> GatewayReport {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            a.join().expect("acceptor panicked");
+        }
+        // No new readers can spawn now; join the existing ones. Their
+        // event senders drop here, which is what lets the hub finalize.
+        let readers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.readers.lock().expect("readers lock"));
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        let report = self.report_rx.recv().expect("hub report");
+        if let Some(h) = self.hub.take() {
+            h.join().expect("hub panicked");
+        }
+        report
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    flag: &Arc<AtomicBool>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    event_tx: &SyncSender<Event>,
+    outbound_queue: usize,
+) {
+    let mut next_conn = 0u64;
+    while !flag.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                next_conn += 1;
+                let conn = next_conn;
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                let (Ok(write_half), Ok(ctrl_half)) = (stream.try_clone(), stream.try_clone())
+                else {
+                    continue;
+                };
+                let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(outbound_queue);
+                let writer = thread::Builder::new()
+                    .name(format!("reads-net-w{conn}"))
+                    .spawn(move || writer_loop(write_half, &rx))
+                    .expect("spawn writer");
+                if event_tx
+                    .send(Event::Attach {
+                        conn,
+                        tx,
+                        stream: ctrl_half,
+                        writer,
+                    })
+                    .is_err()
+                {
+                    return; // hub gone — shutting down
+                }
+                let reader = {
+                    let event_tx = event_tx.clone();
+                    let flag = Arc::clone(flag);
+                    thread::Builder::new()
+                        .name(format!("reads-net-r{conn}"))
+                        .spawn(move || reader_loop(conn, stream, &event_tx, &flag))
+                        .expect("spawn reader")
+                };
+                readers.lock().expect("readers lock").push(reader);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn reader_loop(
+    conn: u64,
+    mut stream: TcpStream,
+    event_tx: &SyncSender<Event>,
+    flag: &Arc<AtomicBool>,
+) {
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; READ_CHUNK];
+    // Only a *peer*-initiated end (EOF, socket error, fatal protocol
+    // violation) reports `Closed` to the hub: a flag-driven shutdown exit
+    // must leave the connection registered so the finalize path can still
+    // drain its last verdicts/acks through the graceful close.
+    let mut peer_gone = false;
+    'outer: while !flag.load(Ordering::SeqCst) {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => {
+                peer_gone = true;
+                break; // EOF
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                peer_gone = true;
+                break;
+            }
+        };
+        decoder.push(&chunk[..n]);
+        // Decode everything this read delivered and ship it as ONE event:
+        // a channel wakeup per hub packet would cost a context switch each
+        // at serving rates.
+        let mut batch: Vec<Event> = Vec::new();
+        let mut fatal_err = false;
+        loop {
+            match decoder.next_msg() {
+                Ok(Some(msg)) => batch.push(match msg {
+                    Msg::Hello { role } => Event::Hello { conn, role },
+                    Msg::HubData { chain, packet } => Event::Packet {
+                        conn,
+                        chain,
+                        packet,
+                    },
+                    Msg::Shutdown => Event::ShutdownRequested,
+                    // Server-to-client kinds arriving at the server are
+                    // protocol violations, not transport corruption.
+                    Msg::FrameAck { .. } | Msg::Verdict(_) => {
+                        Event::DecodeErr { conn, fatal: false }
+                    }
+                }),
+                Ok(None) => break,
+                Err(e) => {
+                    // An adversarial length field is the one error worth a
+                    // disconnect: it signals a peer probing the buffer
+                    // bounds, and resync past it cannot be trusted.
+                    let fatal = matches!(e, WireError::Oversized(_));
+                    batch.push(Event::DecodeErr { conn, fatal });
+                    if fatal {
+                        fatal_err = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let send_failed = match batch.len() {
+            0 => false,
+            1 => event_tx.send(batch.pop().expect("len 1")).is_err(),
+            _ => event_tx.send(Event::Batch(batch)).is_err(),
+        };
+        if fatal_err {
+            peer_gone = true;
+        }
+        if send_failed || fatal_err {
+            break 'outer;
+        }
+    }
+    if peer_gone {
+        let _ = event_tx.send(Event::Closed { conn });
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: &Receiver<Vec<u8>>) {
+    // Coalesce whatever is queued into one write: at verdict rates a
+    // wakeup per message would cost a syscall + context switch each.
+    let mut burst: Vec<u8> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        burst.clear();
+        burst.extend_from_slice(&first);
+        while burst.len() < 256 * 1024 {
+            match rx.try_recv() {
+                Ok(more) => burst.extend_from_slice(&more),
+                Err(_) => break,
+            }
+        }
+        if stream.write_all(&burst).is_err() {
+            // Socket dead: drain the queue so senders never block on a
+            // corpse, then exit when the channel closes.
+            while rx.recv().is_ok() {}
+            break;
+        }
+    }
+    let _ = stream.flush();
+}
+
+fn hub_loop(
+    cfg: &GatewayConfig,
+    mut engine: ShardedEngine,
+    events: &Receiver<Event>,
+    flag: &Arc<AtomicBool>,
+    shared: &Arc<Mutex<(NetCounters, u64)>>,
+) -> GatewayReport {
+    let mut board = Switchboard {
+        conns: HashMap::new(),
+        counters: NetCounters::default(),
+        console: OperatorConsole::new(TRIP_THRESHOLD, 3.0),
+        observed: 0,
+        verdicts_sent: 0,
+        acks_sent: 0,
+    };
+    let mut assembler = FrameAssembler::new(cfg.assembly_window);
+    let mut sim_ingest = SimDuration::ZERO;
+
+    fn handle_event(
+        ev: Event,
+        cfg: &GatewayConfig,
+        flag: &AtomicBool,
+        board: &mut Switchboard,
+        assembler: &mut FrameAssembler,
+        engine: &mut ShardedEngine,
+        sim_ingest: &mut SimDuration,
+    ) {
+        match ev {
+            Event::Attach {
+                conn,
+                tx,
+                stream,
+                writer,
+            } => {
+                board.counters.connections += 1;
+                board.conns.insert(
+                    conn,
+                    ConnState {
+                        tx,
+                        stream,
+                        writer: Some(writer),
+                        role: Role::Producer,
+                    },
+                );
+            }
+            Event::Hello { conn, role } => {
+                board.counters.messages += 1;
+                if let Some(c) = board.conns.get_mut(&conn) {
+                    c.role = role;
+                }
+            }
+            Event::Packet {
+                conn,
+                chain,
+                packet,
+            } => {
+                board.counters.messages += 1;
+                if let Offer::Complete(frame) = assembler.offer(chain, packet, &mut board.counters)
+                {
+                    // Price the frame's ingest in simulated time with the
+                    // canonical Ethernet model — never a local copy of its
+                    // constants.
+                    let payloads: Vec<usize> =
+                        frame.packets.iter().map(HubPacket::encoded_len).collect();
+                    *sim_ingest += cfg.eth.frame_ingest_time(&payloads);
+                    let sequence = frame.sequence;
+                    if engine.submit(frame) {
+                        board.counters.frames_accepted += 1;
+                        if cfg.ack_frames {
+                            if let Some(c) = board.conns.get(&conn) {
+                                let ack = encode_msg(&Msg::FrameAck { chain, sequence });
+                                if c.tx.try_send(ack).is_ok() {
+                                    board.acks_sent += 1;
+                                }
+                            }
+                        }
+                    } else {
+                        board.counters.backpressure_drops += 1;
+                    }
+                }
+            }
+            Event::DecodeErr { conn, fatal } => {
+                board.counters.decode_errors += 1;
+                if fatal {
+                    board.drop_conn(conn);
+                }
+            }
+            Event::ShutdownRequested => {
+                board.counters.messages += 1;
+                flag.store(true, Ordering::SeqCst);
+            }
+            Event::Closed { conn } => {
+                board.counters.disconnects += 1;
+                board.drop_conn(conn);
+            }
+            Event::Batch(evs) => {
+                for e in evs {
+                    handle_event(e, cfg, flag, board, assembler, engine, sim_ingest);
+                }
+            }
+        }
+    }
+
+    loop {
+        match events.recv_timeout(HUB_POLL) {
+            Ok(ev) => {
+                handle_event(
+                    ev,
+                    cfg,
+                    flag,
+                    &mut board,
+                    &mut assembler,
+                    &mut engine,
+                    &mut sim_ingest,
+                );
+                // Drain a bounded burst before looking at results again.
+                for _ in 0..256 {
+                    match events.try_recv() {
+                        Ok(ev) => handle_event(
+                            ev,
+                            cfg,
+                            flag,
+                            &mut board,
+                            &mut assembler,
+                            &mut engine,
+                            &mut sim_ingest,
+                        ),
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            // Every producer of events (acceptor + readers) is gone and
+            // the queue is fully drained: time to finalize.
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        let results = engine.poll_results();
+        board.fan_out(results, cfg.slow_consumer);
+        board.publish(shared);
+    }
+
+    // Finalize: the engine drains its queues (Block policy loses nothing),
+    // remaining verdicts go out, writers flush, everything joins.
+    let (remaining, fleet) = engine.finish();
+    board.fan_out(remaining, cfg.slow_consumer);
+    board.close_all();
+
+    let mut console_render = String::new();
+    if board.observed > 0 {
+        for s in &fleet.shards {
+            board
+                .console
+                .observe_shard_health(s.shard, s.health, &s.counters, s.processed, s.lost);
+        }
+        board.console.observe_net_health(0, &board.counters);
+        console_render = board.console.render();
+    }
+    board.publish(shared);
+    GatewayReport {
+        fleet,
+        net: board.counters,
+        verdicts_sent: board.verdicts_sent,
+        acks_sent: board.acks_sent,
+        sim_ingest,
+        console: console_render,
+    }
+}

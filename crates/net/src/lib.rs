@@ -1,0 +1,35 @@
+//! `reads-net` — the TCP serving plane in front of the sharded inference
+//! engine.
+//!
+//! The paper's deployed node receives hub packets over Ethernet and
+//! answers with de-blending verdicts; everywhere else in this repository
+//! that ingress is simulated. This crate makes it real: a versioned,
+//! length-prefixed, CRC-checked [`wire`] protocol; a thread-per-connection
+//! [`gateway`] that assembles packets into chain frames (tracking
+//! sequence gaps, reorders and staleness), drives the
+//! [`ShardedEngine`](reads_core::engine::ShardedEngine) through its
+//! bounded backpressure queues, and streams verdicts to subscribers under
+//! an explicit slow-consumer policy; and a [`client`] side with
+//! closed/open-loop load generators.
+//!
+//! Everything is `std`-only — no async runtime, no external networking
+//! crates — and every transport anomaly feeds
+//! [`NetCounters`](reads_core::resilience::NetCounters), the same health
+//! machinery the fault-injection plane reports through.
+
+#![warn(missing_docs)]
+
+pub mod assembler;
+pub mod client;
+pub mod gateway;
+pub mod shutdown;
+pub mod wire;
+
+pub use assembler::{FrameAssembler, Offer};
+pub use client::{run_load, GatewayClient, LoadGenConfig, LoadReport};
+pub use gateway::{GatewayConfig, GatewayHandle, GatewayReport, HubGateway, SlowConsumerPolicy};
+pub use shutdown::{ctrl_c_requested, install_ctrl_c, request_shutdown};
+pub use wire::{
+    crc32, encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError, MAX_PAYLOAD,
+    PROTOCOL_VERSION, WIRE_MAGIC,
+};

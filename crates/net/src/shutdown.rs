@@ -1,0 +1,46 @@
+//! Ctrl-c (SIGINT) wiring without external crates.
+//!
+//! The gateway drains gracefully when its shutdown flag flips; all this
+//! module does is flip a process-wide flag from the C signal handler so a
+//! serve loop can poll it. `libc`'s `signal(2)` is reachable from any
+//! `std` binary on Unix without adding a dependency; on other platforms
+//! installation is a no-op and the flag simply never fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static CTRL_C: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    CTRL_C.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT handler (idempotent) and returns the flag it sets.
+/// On non-Unix targets this returns the flag without installing anything.
+pub fn install_ctrl_c() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        // SAFETY: `signal` with a handler that only performs an atomic
+        // store is async-signal-safe; re-installation is harmless.
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+    &CTRL_C
+}
+
+/// Whether SIGINT has fired since [`install_ctrl_c`].
+#[must_use]
+pub fn ctrl_c_requested() -> bool {
+    CTRL_C.load(Ordering::SeqCst)
+}
+
+/// Testing/CLI hook: arms the same flag as a real SIGINT would.
+pub fn request_shutdown() {
+    CTRL_C.store(true, Ordering::SeqCst);
+}

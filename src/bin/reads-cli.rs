@@ -10,6 +10,7 @@
 //! reads-cli fifo     [--model unet|mlp]
 //! reads-cli scenario [--model unet] [--frames N]
 //! reads-cli boot
+//! reads-cli serve    [--model unet|mlp] [--addr HOST:PORT]
 //! ```
 //!
 //! Everything is cached under `target/reads-artifacts/`; the first `train`
@@ -33,6 +34,7 @@ struct Args {
     seed: u64,
     width: u32,
     frames: usize,
+    addr: String,
 }
 
 fn parse_args(rest: &[String]) -> Result<Args, String> {
@@ -42,6 +44,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         seed: 2024,
         width: 16,
         frames: 2_000,
+        addr: "127.0.0.1:7311".to_string(),
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -70,6 +73,9 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             "--frames" => {
                 args.frames = value()?.parse().map_err(|e| format!("bad --frames: {e}"))?;
             }
+            "--addr" => {
+                args.addr = value()?.clone();
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -94,8 +100,9 @@ fn firmware_of(a: &Args) -> (TrainedBundle, reads::hls4ml::Firmware) {
 
 fn usage() {
     eprintln!(
-        "usage: reads-cli <train|summary|convert|run|verify|fifo|scenario|boot> \
-         [--model unet|mlp] [--tier fast|full] [--seed N] [--width W] [--frames N]"
+        "usage: reads-cli <train|summary|convert|run|verify|fifo|scenario|boot|serve> \
+         [--model unet|mlp] [--tier fast|full] [--seed N] [--width W] [--frames N] \
+         [--addr HOST:PORT]"
     );
 }
 
@@ -207,6 +214,62 @@ fn main() -> ExitCode {
                 m.frames_missed(m.cold_boot()),
                 m.model_update(),
                 m.frames_missed(m.model_update())
+            );
+        }
+        "serve" => {
+            use reads::central::engine::{EngineConfig, ShardedEngine};
+            use reads::net::{ctrl_c_requested, install_ctrl_c, GatewayConfig, HubGateway};
+            let (bundle, fw) = firmware_of(&args);
+            let engine = ShardedEngine::native(
+                &EngineConfig::default(),
+                &fw,
+                &HpsModel::default(),
+                &bundle.standardizer,
+            );
+            let handle =
+                match HubGateway::start(args.addr.as_str(), GatewayConfig::default(), engine) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        eprintln!("error: cannot bind {}: {e}", args.addr);
+                        return ExitCode::FAILURE;
+                    }
+                };
+            install_ctrl_c();
+            println!(
+                "serving {} verdicts on {} — ctrl-c drains and exits",
+                bundle.spec.name(),
+                handle.local_addr()
+            );
+            let mut last_frames = 0u64;
+            while !ctrl_c_requested() && !handle.shutdown_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(250));
+                let c = handle.counters();
+                if c.frames_assembled != last_frames {
+                    last_frames = c.frames_assembled;
+                    println!(
+                        "  {} sessions | {} frames | {} gaps | {} decode errors",
+                        handle.sessions(),
+                        c.frames_assembled,
+                        c.sequence_gaps,
+                        c.decode_errors
+                    );
+                }
+            }
+            println!("draining in-flight frames…");
+            let report = handle.shutdown();
+            if report.console.is_empty() {
+                println!("no frames served");
+            } else {
+                print!("{}", report.console);
+            }
+            println!(
+                "served {} frames ({} verdicts to subscribers, {} acks) | \
+                 sim ingest {} | wall {:.1}s",
+                report.fleet.processed(),
+                report.verdicts_sent,
+                report.acks_sent,
+                report.sim_ingest,
+                report.fleet.wall.as_secs_f64()
             );
         }
         "fifo" => {

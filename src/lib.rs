@@ -9,6 +9,7 @@ pub use reads_blm as blm;
 pub use reads_core as central;
 pub use reads_fixed as fixed;
 pub use reads_hls4ml as hls4ml;
+pub use reads_net as net;
 pub use reads_nn as nn;
 pub use reads_sim as sim;
 pub use reads_soc as soc;
