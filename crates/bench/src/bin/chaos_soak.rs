@@ -1,0 +1,391 @@
+//! Chaos soak: the serving plane under a sweep of deterministic fault
+//! intensities — connection cuts, byte corruption, stalls and partial
+//! writes on the network flank ([`ChaosProxy`]) composed with a stuck-FSM
+//! [`FaultPlan`] wedging one shard on the SoC flank, so the supervised
+//! restart path runs inside every faulted pass.
+//!
+//! For each intensity a resilient producer streams multi-chain hub
+//! frames through the proxy while a resilient subscriber collects
+//! verdicts; both reconnect-and-resume through every fault. Reported per
+//! intensity: availability (distinct verdicts delivered / frames sent),
+//! acked-frame loss (acked but never served — must be **zero**
+//! everywhere), reconnects, resumes, mean time to recovery, supervised
+//! restarts and the simulated deadline-miss fraction.
+//!
+//! Asserts zero acked-frame loss at every intensity, at least one
+//! supervised shard restart in every faulted pass, and availability
+//! ≥ 99% with MTTR ≤ 250 ms at the default intensity (0.002). Writes
+//! `BENCH_chaos_soak.json` at the repo root. `CHAOS_TICKS` and
+//! `CHAOS_CHAINS` scale the run.
+//!
+//! ```sh
+//! cargo run --release -p reads-bench --bin chaos_soak
+//! ```
+
+use reads_bench::mlp_bundle;
+use reads_blm::dataset::Standardizer;
+use reads_blm::hubs::MultiChainSource;
+use reads_core::engine::{DropPolicy, EngineConfig, ShardedEngine, SocExecutor};
+use reads_core::resilience::{SupervisorPolicy, WatchdogPolicy};
+use reads_hls4ml::{convert, profile_model, Firmware, HlsConfig};
+use reads_net::chaos::{ChaosConfig, ChaosProxy};
+use reads_net::resilient::{ResilienceConfig, ResilientClient};
+use reads_net::{GatewayConfig, HubGateway, Msg, Role, SlowConsumerPolicy};
+use reads_soc::faults::FaultPlan;
+use reads_soc::HpsModel;
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 31;
+const INTENSITIES: [f64; 4] = [0.0, 0.002, 0.01, 0.05];
+/// The intensity whose availability/MTTR floor is enforced.
+const DEFAULT_INTENSITY: f64 = 0.002;
+const MIN_AVAILABILITY: f64 = 0.99;
+const MAX_MTTR_MS: f64 = 250.0;
+/// Simulated per-frame latency budget (the paper's real-time envelope).
+const DEADLINE_MS: f64 = 3.0;
+
+struct Row {
+    intensity: f64,
+    frames: usize,
+    delivered: usize,
+    availability: f64,
+    acked: usize,
+    acked_loss: usize,
+    reconnects: u64,
+    resumes: u64,
+    fresh_sessions: u64,
+    mttr_ms: f64,
+    restarts: u64,
+    cuts: u64,
+    corruptions: u64,
+    stalls: u64,
+    deadline_miss: f64,
+    wall_ms: f64,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_intensity(
+    intensity: f64,
+    ticks: usize,
+    chains: usize,
+    firmware: &Firmware,
+    standardizer: &Standardizer,
+) -> Row {
+    let frames = MultiChainSource::new(chains, SEED).ticks(ticks);
+    let expected = frames.len();
+
+    // Supervised simulated-SoC engine. In faulted passes shard 1's first
+    // incarnation runs a stuck-FSM fault plan on every replica — the
+    // supervisor restarts it and re-serves the in-flight frames, so the
+    // SoC fault plane and the network chaos plane are exercised together.
+    let fw_engine = firmware.clone();
+    let hps = HpsModel::default();
+    let faulted = intensity > 0.0;
+    let mut first_build_of_shard_1 = true;
+    let engine = ShardedEngine::start_supervised(
+        &EngineConfig {
+            workers: 2,
+            batch: 8,
+            queue_depth: 256,
+            drop_policy: DropPolicy::Block,
+            ..EngineConfig::default()
+        },
+        standardizer,
+        move |shard| {
+            let mut exec = SocExecutor::new(
+                fw_engine.clone(),
+                &hps,
+                2,
+                WatchdogPolicy::default(),
+                SEED ^ shard as u64,
+            );
+            if faulted && shard == 1 && first_build_of_shard_1 {
+                first_build_of_shard_1 = false;
+                for ip in 0..2 {
+                    exec.array_mut()
+                        .set_fault_plan_on(ip, Some(FaultPlan::stuck_fsm(1.0, 5)));
+                }
+            }
+            Box::new(exec)
+        },
+        SupervisorPolicy {
+            max_restarts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+        },
+    );
+    let handle = HubGateway::start(
+        "127.0.0.1:0",
+        GatewayConfig {
+            outbound_queue: 16 * 1024,
+            slow_consumer: SlowConsumerPolicy::DropNewest,
+            ..GatewayConfig::default()
+        },
+        engine,
+    )
+    .expect("bind gateway");
+
+    let proxy = ChaosProxy::start(
+        handle.local_addr(),
+        ChaosConfig {
+            seed: SEED ^ intensity.to_bits(),
+            cut_rate: intensity,
+            corrupt_rate: intensity * 0.5,
+            stall_rate: (intensity * 2.0).min(0.2),
+            stall: Duration::from_millis(2),
+            max_chunk: 1024,
+            min_bytes_before_cut: 8 * 1024,
+        },
+    )
+    .expect("bind chaos proxy");
+    let addr = proxy.local_addr();
+
+    let client_cfg = |seed: u64| ResilienceConfig {
+        max_reconnect_attempts: 30,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(50),
+        seed,
+        ..ResilienceConfig::default()
+    };
+    let mut subscriber = ResilientClient::connect(addr, Role::Subscriber, client_cfg(202))
+        .expect("subscriber connects");
+    while handle.sessions() < 1 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(20));
+
+    let consumer = std::thread::spawn(move || {
+        let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let deadline = Instant::now() + Duration::from_secs(25);
+        while seen.len() < expected && Instant::now() < deadline {
+            match subscriber.recv(Duration::from_millis(50)) {
+                Ok(Some(Msg::Verdict(v))) => {
+                    seen.insert((v.chain, v.verdict.sequence));
+                }
+                Ok(_) => {}
+                Err(e) => panic!("subscriber gave up: {e}"),
+            }
+        }
+        (seen, subscriber.stats())
+    });
+
+    let mut producer =
+        ResilientClient::connect(addr, Role::Producer, client_cfg(101)).expect("producer connects");
+    let mut acked: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let t0 = Instant::now();
+    for (i, frame) in frames.iter().enumerate() {
+        producer.send_frame(frame).expect("send survives chaos");
+        if i % chains == chains - 1 {
+            // One opportunistic ack drain per tick keeps the replay
+            // buffer from ballooning under heavy cut rates.
+            if let Ok(Some(Msg::FrameAck { chain, sequence })) =
+                producer.recv(Duration::from_millis(1))
+            {
+                acked.insert((chain, sequence));
+            }
+        }
+    }
+    // Drain acks; nudge a full replay whenever progress stalls (e.g. a
+    // corrupted packet punched a hole in a half-assembled frame).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut last_progress = Instant::now();
+    while producer.unacked_len() > 0 && Instant::now() < deadline {
+        match producer.recv(Duration::from_millis(20)) {
+            Ok(Some(Msg::FrameAck { chain, sequence })) => {
+                acked.insert((chain, sequence));
+                last_progress = Instant::now();
+            }
+            Ok(_) => {}
+            Err(e) => panic!("producer gave up: {e}"),
+        }
+        if last_progress.elapsed() > Duration::from_millis(300) {
+            let _ = producer.replay_unacked().expect("replay nudge");
+            last_progress = Instant::now();
+        }
+    }
+    let wall = t0.elapsed();
+    let producer_stats = producer.stats();
+    drop(producer);
+
+    let (delivered, subscriber_stats) = consumer.join().expect("subscriber thread");
+    let chaos = proxy.shutdown();
+    let report = handle.shutdown(); // a supervisor panic would surface here
+
+    let acked_loss = acked.iter().filter(|k| !delivered.contains(*k)).count();
+    let disconnects = producer_stats.disconnects + subscriber_stats.disconnects;
+    let outage = producer_stats.outage + subscriber_stats.outage;
+    let mttr_ms = if disconnects == 0 {
+        0.0
+    } else {
+        outage.as_secs_f64() * 1e3 / disconnects as f64
+    };
+    let timings: Vec<f64> = report
+        .fleet
+        .shards
+        .iter()
+        .flat_map(|s| s.timings.iter().map(|t| t.total.as_millis_f64()))
+        .collect();
+    let deadline_miss = if timings.is_empty() {
+        0.0
+    } else {
+        timings.iter().filter(|&&ms| ms > DEADLINE_MS).count() as f64 / timings.len() as f64
+    };
+    let merged = report.fleet.merged_counters();
+
+    Row {
+        intensity,
+        frames: expected,
+        delivered: delivered.len(),
+        availability: delivered.len() as f64 / expected as f64,
+        acked: acked.len(),
+        acked_loss,
+        reconnects: disconnects,
+        resumes: producer_stats.resumed + subscriber_stats.resumed,
+        fresh_sessions: producer_stats.fresh_sessions + subscriber_stats.fresh_sessions,
+        mttr_ms,
+        restarts: merged.shard_restarts,
+        cuts: chaos.cuts,
+        corruptions: chaos.corruptions,
+        stalls: chaos.stalls,
+        deadline_miss,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let ticks: usize = std::env::var("CHAOS_TICKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let chains: usize = std::env::var("CHAOS_CHAINS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let bundle = mlp_bundle();
+    let calib = bundle.calibration_inputs(50);
+    let profile = profile_model(&bundle.model, &calib);
+    let firmware = convert(&bundle.model, &profile, &HlsConfig::paper_default());
+    let standardizer = bundle.standardizer.clone();
+
+    println!(
+        "chaos soak: {chains} chains x {ticks} ticks through the chaos proxy (seed {SEED}), \
+         intensities {INTENSITIES:?}"
+    );
+    let rows: Vec<Row> = INTENSITIES
+        .iter()
+        .map(|&i| run_intensity(i, ticks, chains, &firmware, &standardizer))
+        .collect();
+
+    println!(
+        "{:>10} {:>7} {:>9} {:>12} {:>10} {:>10} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "intensity",
+        "frames",
+        "delivered",
+        "availability",
+        "acked-loss",
+        "reconnects",
+        "resumes",
+        "mttr ms",
+        "restarts",
+        "ddl-miss",
+        "wall ms"
+    );
+    for r in &rows {
+        println!(
+            "{:>10.3} {:>7} {:>9} {:>12.4} {:>10} {:>10} {:>8} {:>9.1} {:>9} {:>10.4} {:>10.1}",
+            r.intensity,
+            r.frames,
+            r.delivered,
+            r.availability,
+            r.acked_loss,
+            r.reconnects,
+            r.resumes,
+            r.mttr_ms,
+            r.restarts,
+            r.deadline_miss,
+            r.wall_ms,
+        );
+    }
+
+    for r in &rows {
+        assert_eq!(
+            r.acked_loss, 0,
+            "intensity {}: {} acked frames lost their verdict",
+            r.intensity, r.acked_loss
+        );
+        assert_eq!(
+            r.acked, r.frames,
+            "intensity {}: every frame must end up acked",
+            r.intensity
+        );
+        if r.intensity > 0.0 {
+            assert!(
+                r.restarts >= 1,
+                "intensity {}: the wedged shard was never restarted",
+                r.intensity
+            );
+        }
+    }
+    let default_row = rows
+        .iter()
+        .find(|r| (r.intensity - DEFAULT_INTENSITY).abs() < 1e-12)
+        .expect("default intensity swept");
+    assert!(
+        default_row.availability >= MIN_AVAILABILITY,
+        "availability regression at default intensity: {:.4} < {MIN_AVAILABILITY}",
+        default_row.availability
+    );
+    assert!(
+        default_row.mttr_ms <= MAX_MTTR_MS,
+        "recovery regression at default intensity: MTTR {:.1} ms > {MAX_MTTR_MS} ms",
+        default_row.mttr_ms
+    );
+    println!(
+        "\ndefault intensity {DEFAULT_INTENSITY}: availability {:.4} (floor {MIN_AVAILABILITY}), \
+         MTTR {:.1} ms (ceiling {MAX_MTTR_MS} ms), zero acked-frame loss everywhere",
+        default_row.availability, default_row.mttr_ms
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"intensity\":{},\"frames\":{},\"delivered\":{},\"availability\":{:.6},\
+                 \"acked\":{},\"acked_loss\":{},\"reconnects\":{},\"resumes\":{},\
+                 \"fresh_sessions\":{},\"mttr_ms\":{:.3},\"restarts\":{},\"cuts\":{},\
+                 \"corruptions\":{},\"stalls\":{},\"deadline_miss\":{:.6},\"wall_ms\":{:.2}}}",
+                r.intensity,
+                r.frames,
+                r.delivered,
+                r.availability,
+                r.acked,
+                r.acked_loss,
+                r.reconnects,
+                r.resumes,
+                r.fresh_sessions,
+                r.mttr_ms,
+                r.restarts,
+                r.cuts,
+                r.corruptions,
+                r.stalls,
+                r.deadline_miss,
+                r.wall_ms,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"seed\":{SEED},\"ticks\":{ticks},\"chains\":{chains},\
+         \"min_availability\":{MIN_AVAILABILITY},\"max_mttr_ms\":{MAX_MTTR_MS},\
+         \"deadline_ms\":{DEADLINE_MS},\"rows\":[{}]}}\n",
+        json_rows.join(",")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_chaos_soak.json");
+    let mut f = std::fs::File::create(&path).expect("write benchmark json");
+    f.write_all(json.as_bytes()).expect("write benchmark json");
+    println!("trajectory written to {}", path.display());
+}

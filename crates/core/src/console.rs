@@ -271,13 +271,14 @@ impl OperatorConsole {
             let c = &n.counters;
             let _ = writeln!(
                 out,
-                " network            {} | {} sessions | {} frames | {} decode errors | {} gaps | {} slow-consumer drops",
+                " network            {} | {} sessions | {} frames | {} decode errors | {} gaps | {} slow-consumer drops | {} resumes",
                 state,
                 n.sessions,
                 c.frames_assembled,
                 c.decode_errors,
                 c.sequence_gaps,
-                c.slow_consumer_drops
+                c.slow_consumer_drops,
+                c.resumes
             );
         }
         for sh in &s.shards {
@@ -288,8 +289,13 @@ impl OperatorConsole {
             };
             let _ = writeln!(
                 out,
-                " shard {:<3}          {} | {} frames | {} lost | {} faults",
-                sh.shard, state, sh.processed, sh.lost, sh.counters.faults_seen
+                " shard {:<3}          {} | {} frames | {} lost | {} faults | {} restarts",
+                sh.shard,
+                state,
+                sh.processed,
+                sh.lost,
+                sh.counters.faults_seen,
+                sh.counters.shard_restarts
             );
         }
         out

@@ -26,7 +26,7 @@
 //! only reorder *which replica* computes a frame, never the fixed-point
 //! arithmetic — the golden-vector conformance suite pins this.
 
-use crate::resilience::{HealthCounters, HealthState, Watchdog, WatchdogPolicy};
+use crate::resilience::{HealthCounters, HealthState, SupervisorPolicy, Watchdog, WatchdogPolicy};
 use crate::throughput::FleetThroughput;
 use crossbeam::channel::{self, TrySendError};
 use reads_blm::acnet::DeblendVerdict;
@@ -126,6 +126,15 @@ pub trait ShardExecutor: Send {
     /// Shard health as seen by this executor.
     fn health(&self) -> (HealthState, HealthCounters) {
         (HealthState::Healthy, HealthCounters::default())
+    }
+
+    /// Whether this executor is *fully* wedged — no replica can run
+    /// another frame, so every future output would be `None`. A supervised
+    /// engine uses this as the restart trigger; an unsupervised engine
+    /// keeps the PR 2 behaviour (the shard drains its queue as counted
+    /// losses).
+    fn wedged(&self) -> bool {
+        false
     }
 }
 
@@ -344,6 +353,45 @@ impl ShardExecutor for SocExecutor {
     fn health(&self) -> (HealthState, HealthCounters) {
         (self.watchdog.health(), *self.watchdog.counters())
     }
+
+    fn wedged(&self) -> bool {
+        self.array.wedged_count() == self.array.ip_count()
+    }
+}
+
+/// Terminal executor for a shard past its restart budget: drains the
+/// queue as counted losses so a `Block`-policy submitter never deadlocks
+/// on a dead shard, and reports [`HealthState::Tripped`] so the operator
+/// console cannot miss it.
+struct WedgedSink;
+
+impl ShardExecutor for WedgedSink {
+    fn input_len(&self) -> usize {
+        0
+    }
+
+    fn run_batch(&mut self, inputs: &[Vec<f64>]) -> BatchOutcome {
+        let zero = FrameTiming {
+            write: SimDuration::ZERO,
+            control: SimDuration::ZERO,
+            compute: SimDuration::ZERO,
+            irq: SimDuration::ZERO,
+            read: SimDuration::ZERO,
+            misc: SimDuration::ZERO,
+            preempted: false,
+            total: SimDuration::ZERO,
+        };
+        BatchOutcome {
+            outputs: vec![None; inputs.len()],
+            timings: vec![zero; inputs.len()],
+            stats: InferenceStats::default(),
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    fn health(&self) -> (HealthState, HealthCounters) {
+        (HealthState::Tripped, HealthCounters::default())
+    }
 }
 
 /// Per-shard accounting, returned by [`ShardedEngine::finish`].
@@ -451,6 +499,151 @@ struct Job {
     enqueued: Instant,
 }
 
+/// Everything a shard worker needs besides its queue and executor —
+/// cloned per incarnation so the supervisor can respawn a worker without
+/// re-threading half a dozen arguments.
+#[derive(Clone)]
+struct WorkerCtx {
+    standardizer: Standardizer,
+    batch_cap: usize,
+    deadline: Option<Duration>,
+    results_tx: channel::Sender<FrameResult>,
+    reports_tx: channel::Sender<ShardReport>,
+}
+
+/// Accounting that survives a shard restart: the wedged incarnation hands
+/// this to the supervisor, the replacement continues from it, and only the
+/// final incarnation emits the (single, merged) [`ShardReport`].
+struct ShardState {
+    shard: usize,
+    processed: u64,
+    lost: u64,
+    dropped_deadline: u64,
+    assembly_errors: u64,
+    batches: u64,
+    max_batch: usize,
+    stats: InferenceStats,
+    busy: SimDuration,
+    timings: Vec<FrameTiming>,
+    /// Resilience counters of executors torn down by a wedge.
+    carried: HealthCounters,
+    restarts: u64,
+    denied: bool,
+}
+
+impl ShardState {
+    fn new(shard: usize) -> Self {
+        Self {
+            shard,
+            processed: 0,
+            lost: 0,
+            dropped_deadline: 0,
+            assembly_errors: 0,
+            batches: 0,
+            max_batch: 0,
+            stats: InferenceStats::default(),
+            busy: SimDuration::ZERO,
+            timings: Vec::new(),
+            carried: HealthCounters::default(),
+            restarts: 0,
+            denied: false,
+        }
+    }
+}
+
+/// A wedged worker's hand-off to the supervisor: the queue receiver, the
+/// frames that were in flight when every replica wedged, and the running
+/// accounting.
+struct WedgeReport {
+    rx: channel::Receiver<Job>,
+    requeue: Vec<Job>,
+    state: ShardState,
+}
+
+enum SupMsg {
+    Wedge(Box<WedgeReport>),
+    Done,
+}
+
+fn spawn_worker(
+    ctx: WorkerCtx,
+    rx: channel::Receiver<Job>,
+    executor: Box<dyn ShardExecutor>,
+    state: ShardState,
+    initial: Vec<Job>,
+    sup_tx: Option<channel::Sender<SupMsg>>,
+) -> thread::JoinHandle<()> {
+    let name = format!("reads-shard-{}r{}", state.shard, state.restarts);
+    thread::Builder::new()
+        .name(name)
+        .spawn(move || shard_worker(ctx, rx, executor, state, initial, sup_tx))
+        .expect("spawn shard worker")
+}
+
+/// Restart loop for supervised shards. Exits once every shard has sent
+/// its final `Done`; a replacement worker spawned here is joined before
+/// the loop returns so [`ShardedEngine::finish`] sees a quiet fleet.
+fn supervisor_loop(
+    mut factory: Box<dyn FnMut(usize) -> Box<dyn ShardExecutor> + Send>,
+    policy: SupervisorPolicy,
+    ctx: WorkerCtx,
+    sup_tx: channel::Sender<SupMsg>,
+    sup_rx: channel::Receiver<SupMsg>,
+    workers: usize,
+) {
+    let mut live = workers;
+    let mut respawned: Vec<thread::JoinHandle<()>> = Vec::new();
+    while live > 0 {
+        match sup_rx.recv() {
+            Ok(SupMsg::Done) => live -= 1,
+            Ok(SupMsg::Wedge(report)) => {
+                let WedgeReport {
+                    rx,
+                    requeue,
+                    mut state,
+                } = *report;
+                let shard = state.shard;
+                if state.restarts < u64::from(policy.max_restarts) {
+                    // Backoff before the respawn: a shard wedged by a
+                    // persistent upstream fault would otherwise burn its
+                    // whole budget in microseconds.
+                    #[allow(clippy::cast_possible_truncation)]
+                    thread::sleep(policy.backoff_for(state.restarts as u32));
+                    state.restarts += 1;
+                    let executor = factory(shard);
+                    respawned.push(spawn_worker(
+                        ctx.clone(),
+                        rx,
+                        executor,
+                        state,
+                        requeue,
+                        Some(sup_tx.clone()),
+                    ));
+                } else {
+                    // Budget exhausted: the shard trips. A sink executor
+                    // keeps draining the queue so a `Block`-policy
+                    // submitter never deadlocks on a dead shard; every
+                    // drained frame counts as lost.
+                    state.denied = true;
+                    respawned.push(spawn_worker(
+                        ctx.clone(),
+                        rx,
+                        Box::new(WedgedSink),
+                        state,
+                        requeue,
+                        Some(sup_tx.clone()),
+                    ));
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    drop(sup_tx);
+    for h in respawned {
+        let _ = h.join();
+    }
+}
+
 /// The engine: spawn with [`ShardedEngine::start`] (or the `native` /
 /// `simulated` convenience constructors), feed [`ChainFrame`]s through
 /// [`ShardedEngine::submit`], then [`ShardedEngine::finish`] to drain and
@@ -460,6 +653,7 @@ pub struct ShardedEngine {
     results_rx: channel::Receiver<FrameResult>,
     reports_rx: channel::Receiver<ShardReport>,
     handles: Vec<thread::JoinHandle<()>>,
+    supervisor: Option<thread::JoinHandle<()>>,
     submitted: u64,
     dropped_backpressure: u64,
     drop_policy: DropPolicy,
@@ -483,40 +677,109 @@ impl ShardedEngine {
         assert!(cfg.queue_depth > 0, "queue depth must be positive");
         let (results_tx, results_rx) = channel::unbounded::<FrameResult>();
         let (reports_tx, reports_rx) = channel::unbounded::<ShardReport>();
+        let ctx = WorkerCtx {
+            standardizer: standardizer.clone(),
+            batch_cap: cfg.batch,
+            deadline: cfg.deadline,
+            results_tx,
+            reports_tx,
+        };
         let mut senders = Vec::with_capacity(cfg.workers);
         let mut handles = Vec::with_capacity(cfg.workers);
         for shard in 0..cfg.workers {
             let (tx, rx) = channel::bounded::<Job>(cfg.queue_depth);
             senders.push(tx);
-            let executor = make_executor(shard);
-            let results_tx = results_tx.clone();
-            let reports_tx = reports_tx.clone();
-            let std = standardizer.clone();
-            let batch_cap = cfg.batch;
-            let deadline = cfg.deadline;
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("reads-shard-{shard}"))
-                    .spawn(move || {
-                        shard_worker(
-                            shard,
-                            &rx,
-                            executor,
-                            &std,
-                            batch_cap,
-                            deadline,
-                            &results_tx,
-                            &reports_tx,
-                        );
-                    })
-                    .expect("spawn shard worker"),
-            );
+            handles.push(spawn_worker(
+                ctx.clone(),
+                rx,
+                make_executor(shard),
+                ShardState::new(shard),
+                Vec::new(),
+                None,
+            ));
         }
         Self {
             senders,
             results_rx,
             reports_rx,
             handles,
+            supervisor: None,
+            submitted: 0,
+            dropped_backpressure: 0,
+            drop_policy: cfg.drop_policy,
+            started: Instant::now(),
+        }
+    }
+
+    /// Starts a **supervised** engine: a dedicated supervisor thread
+    /// watches for shards whose every replica has wedged (all watchdog
+    /// rungs exhausted), restarts them with a fresh executor from
+    /// `make_executor` under the restart budget/backoff of `policy`, and
+    /// requeues the frames that were in flight so nothing is silently
+    /// lost. A shard that exhausts its budget trips
+    /// ([`HealthState::Tripped`]) but keeps draining its queue — counted
+    /// as losses — so `Block`-policy submitters never deadlock.
+    ///
+    /// The factory must be `Send + 'static` because it moves into the
+    /// supervisor thread to build replacement executors (same
+    /// digest-pinned firmware → replays stay bit-identical).
+    ///
+    /// # Panics
+    /// Panics when `workers`, `batch`, or `queue_depth` is zero.
+    #[must_use]
+    pub fn start_supervised(
+        cfg: &EngineConfig,
+        standardizer: &Standardizer,
+        mut make_executor: impl FnMut(usize) -> Box<dyn ShardExecutor> + Send + 'static,
+        policy: SupervisorPolicy,
+    ) -> Self {
+        assert!(cfg.workers > 0, "engine needs at least one worker");
+        assert!(cfg.batch > 0, "batch size must be positive");
+        assert!(cfg.queue_depth > 0, "queue depth must be positive");
+        let (results_tx, results_rx) = channel::unbounded::<FrameResult>();
+        let (reports_tx, reports_rx) = channel::unbounded::<ShardReport>();
+        let (sup_tx, sup_rx) = channel::unbounded::<SupMsg>();
+        let ctx = WorkerCtx {
+            standardizer: standardizer.clone(),
+            batch_cap: cfg.batch,
+            deadline: cfg.deadline,
+            results_tx,
+            reports_tx,
+        };
+        let mut senders = Vec::with_capacity(cfg.workers);
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for shard in 0..cfg.workers {
+            let (tx, rx) = channel::bounded::<Job>(cfg.queue_depth);
+            senders.push(tx);
+            handles.push(spawn_worker(
+                ctx.clone(),
+                rx,
+                make_executor(shard),
+                ShardState::new(shard),
+                Vec::new(),
+                Some(sup_tx.clone()),
+            ));
+        }
+        let workers = cfg.workers;
+        let supervisor = thread::Builder::new()
+            .name("reads-supervisor".into())
+            .spawn(move || {
+                supervisor_loop(
+                    Box::new(make_executor),
+                    policy,
+                    ctx,
+                    sup_tx,
+                    sup_rx,
+                    workers,
+                );
+            })
+            .expect("spawn shard supervisor");
+        Self {
+            senders,
+            results_rx,
+            reports_rx,
+            handles,
+            supervisor: Some(supervisor),
             submitted: 0,
             dropped_backpressure: 0,
             drop_policy: cfg.drop_policy,
@@ -560,6 +823,40 @@ impl ShardedEngine {
                 seed ^ (shard as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
             ))
         })
+    }
+
+    /// Supervised simulated-SoC engine: [`ShardedEngine::simulated`] plus
+    /// a [`supervisor`](ShardedEngine::start_supervised) that rebuilds a
+    /// fully wedged shard's [`IpArray`] from the same digest-pinned
+    /// firmware.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn simulated_supervised(
+        cfg: &EngineConfig,
+        firmware: &Firmware,
+        hps: &HpsModel,
+        standardizer: &Standardizer,
+        ips_per_shard: usize,
+        wd_policy: WatchdogPolicy,
+        seed: u64,
+        sup_policy: SupervisorPolicy,
+    ) -> Self {
+        let firmware = firmware.clone();
+        let hps = hps.clone();
+        Self::start_supervised(
+            cfg,
+            standardizer,
+            move |shard| {
+                Box::new(SocExecutor::new(
+                    firmware.clone(),
+                    &hps,
+                    ips_per_shard,
+                    wd_policy,
+                    seed ^ (shard as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                ))
+            },
+            sup_policy,
+        )
     }
 
     /// Number of shards.
@@ -611,6 +908,7 @@ impl ShardedEngine {
             results_rx,
             reports_rx,
             handles,
+            supervisor,
             submitted,
             dropped_backpressure,
             started,
@@ -619,6 +917,11 @@ impl ShardedEngine {
         drop(senders); // workers see disconnect and flush
         for h in handles {
             h.join().expect("shard worker panicked");
+        }
+        // The supervisor joins any replacement workers it spawned, so
+        // after this every incarnation has flushed its report.
+        if let Some(s) = supervisor {
+            s.join().expect("shard supervisor panicked");
         }
         let mut results: Vec<FrameResult> = results_rx.iter().collect();
         let mut shards: Vec<ShardReport> = reports_rx.iter().collect();
@@ -652,57 +955,57 @@ impl ShardedEngine {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn shard_worker(
-    shard: usize,
-    rx: &channel::Receiver<Job>,
+    ctx: WorkerCtx,
+    rx: channel::Receiver<Job>,
     mut executor: Box<dyn ShardExecutor>,
-    standardizer: &Standardizer,
-    batch_cap: usize,
-    deadline: Option<Duration>,
-    results_tx: &channel::Sender<FrameResult>,
-    reports_tx: &channel::Sender<ShardReport>,
+    mut state: ShardState,
+    mut initial: Vec<Job>,
+    sup_tx: Option<channel::Sender<SupMsg>>,
 ) {
-    let mut processed = 0u64;
-    let mut lost = 0u64;
-    let mut dropped_deadline = 0u64;
-    let mut assembly_errors = 0u64;
-    let mut batches = 0u64;
-    let mut max_batch = 0usize;
-    let mut stats = InferenceStats::default();
-    let mut busy = SimDuration::ZERO;
-    let mut timings: Vec<FrameTiming> = Vec::new();
-
-    while let Ok(first) = rx.recv() {
-        // Drain what is already queued into one batch (up to the cap) —
-        // under load the queue is deep and batches fill; idle streams
-        // degenerate to batch-of-one with no added latency.
-        let mut jobs = vec![first];
-        while jobs.len() < batch_cap {
-            match rx.try_recv() {
-                Ok(j) => jobs.push(j),
+    loop {
+        // Frames requeued from a pre-restart incarnation run first, and
+        // the queue is not touched until they drain — per-chain sequence
+        // order survives the restart.
+        let mut jobs: Vec<Job> = if initial.is_empty() {
+            match rx.recv() {
+                Ok(first) => vec![first],
                 Err(_) => break,
+            }
+        } else {
+            let take = initial.len().min(ctx.batch_cap);
+            initial.drain(..take).collect()
+        };
+        if initial.is_empty() {
+            // Drain what is already queued into one batch (up to the cap)
+            // — under load the queue is deep and batches fill; idle
+            // streams degenerate to batch-of-one with no added latency.
+            while jobs.len() < ctx.batch_cap {
+                match rx.try_recv() {
+                    Ok(j) => jobs.push(j),
+                    Err(_) => break,
+                }
             }
         }
 
         // Staleness + assembly happen at the shard so the submitter never
         // pays for them.
-        let mut meta: Vec<(u32, u32)> = Vec::with_capacity(jobs.len());
+        let mut kept: Vec<Job> = Vec::with_capacity(jobs.len());
         let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(jobs.len());
         for job in jobs {
-            if let Some(limit) = deadline {
+            if let Some(limit) = ctx.deadline {
                 if job.enqueued.elapsed() > limit {
-                    dropped_deadline += 1;
+                    state.dropped_deadline += 1;
                     continue;
                 }
             }
             match assemble_frame(&job.packets) {
                 Ok(readings) => {
                     let n_in = executor.input_len().min(readings.len());
-                    inputs.push(standardizer.apply_frame(&readings[..n_in]));
-                    meta.push((job.chain, job.sequence));
+                    inputs.push(ctx.standardizer.apply_frame(&readings[..n_in]));
+                    kept.push(job);
                 }
-                Err(_) => assembly_errors += 1,
+                Err(_) => state.assembly_errors += 1,
             }
         }
         if inputs.is_empty() {
@@ -710,50 +1013,81 @@ fn shard_worker(
         }
 
         let outcome = executor.run_batch(&inputs);
-        batches += 1;
-        max_batch = max_batch.max(inputs.len());
-        stats.merge(&outcome.stats);
-        busy += outcome.busy;
-        timings.extend(outcome.timings.iter().copied());
-        for (((chain, sequence), out), timing) in
-            meta.into_iter().zip(outcome.outputs).zip(&outcome.timings)
-        {
+        state.batches += 1;
+        state.max_batch = state.max_batch.max(inputs.len());
+        state.stats.merge(&outcome.stats);
+        state.busy += outcome.busy;
+        state.timings.extend(outcome.timings.iter().copied());
+        // Supervised and every replica wedged: frames the dead executor
+        // returned `None` for go back to the supervisor instead of being
+        // counted lost.
+        let wedge = sup_tx.is_some() && executor.wedged();
+        let mut requeue: Vec<Job> = Vec::new();
+        for ((job, out), timing) in kept.into_iter().zip(outcome.outputs).zip(&outcome.timings) {
             match out {
                 Some(outputs) => {
                     let verdict = if outputs.len() == 2 * reads_blm::N_BLM {
-                        DeblendVerdict::from_interleaved(sequence, &outputs)
+                        DeblendVerdict::from_interleaved(job.sequence, &outputs)
                     } else {
-                        DeblendVerdict::from_split_halves(sequence, &outputs)
+                        DeblendVerdict::from_split_halves(job.sequence, &outputs)
                     };
-                    processed += 1;
-                    let _ = results_tx.send(FrameResult {
-                        chain,
-                        sequence,
-                        shard,
+                    state.processed += 1;
+                    let _ = ctx.results_tx.send(FrameResult {
+                        chain: job.chain,
+                        sequence: job.sequence,
+                        shard: state.shard,
                         verdict,
                         timing: *timing,
                     });
                 }
-                None => lost += 1,
+                None if wedge => requeue.push(job),
+                None => state.lost += 1,
             }
+        }
+        if wedge {
+            requeue.append(&mut initial);
+            let (_, counters) = executor.health();
+            state.carried.merge(&counters);
+            if let Some(tx) = &sup_tx {
+                let _ = tx.send(SupMsg::Wedge(Box::new(WedgeReport { rx, requeue, state })));
+            }
+            // No final report and no `Done` — the replacement incarnation
+            // the supervisor spawns owns both.
+            return;
         }
     }
 
-    let (health, counters) = executor.health();
-    let _ = reports_tx.send(ShardReport {
-        shard,
-        processed,
-        lost,
-        dropped_deadline,
-        assembly_errors,
-        batches,
-        max_batch,
-        stats,
-        busy,
-        timings,
+    let (exec_health, exec_counters) = executor.health();
+    let mut counters = state.carried;
+    counters.merge(&exec_counters);
+    counters.shard_restarts += state.restarts;
+    if state.denied {
+        counters.restarts_denied += 1;
+    }
+    let health = if state.denied {
+        HealthState::Tripped
+    } else if state.restarts > 0 {
+        HealthState::worst([exec_health, HealthState::Degraded])
+    } else {
+        exec_health
+    };
+    let _ = ctx.reports_tx.send(ShardReport {
+        shard: state.shard,
+        processed: state.processed,
+        lost: state.lost,
+        dropped_deadline: state.dropped_deadline,
+        assembly_errors: state.assembly_errors,
+        batches: state.batches,
+        max_batch: state.max_batch,
+        stats: state.stats,
+        busy: state.busy,
+        timings: state.timings,
         health,
         counters,
     });
+    if let Some(tx) = sup_tx {
+        let _ = tx.send(SupMsg::Done);
+    }
 }
 
 #[cfg(test)]

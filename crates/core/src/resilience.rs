@@ -79,6 +79,13 @@ pub struct HealthCounters {
     /// Total time spent from first stall to recovery, nanoseconds
     /// (numerator of MTTR).
     pub recovery_ns: u64,
+    /// Supervised shard restarts: a fully wedged executor was torn down
+    /// and respawned from the digest-pinned build.
+    pub shard_restarts: u64,
+    /// Restart requests refused because the shard exhausted its
+    /// [`SupervisorPolicy::max_restarts`] budget (the shard trips and
+    /// drains its queue as lost frames instead of respawning forever).
+    pub restarts_denied: u64,
 }
 
 impl HealthCounters {
@@ -93,6 +100,8 @@ impl HealthCounters {
         self.deadline_misses += other.deadline_misses;
         self.unrecovered += other.unrecovered;
         self.recovery_ns += other.recovery_ns;
+        self.shard_restarts += other.shard_restarts;
+        self.restarts_denied += other.restarts_denied;
     }
 
     /// Mean time to recovery over recovered hangs, milliseconds.
@@ -148,6 +157,25 @@ pub struct NetCounters {
     /// Subscribers force-disconnected for falling behind (Disconnect
     /// policy).
     pub slow_consumer_disconnects: u64,
+    /// Sessions resumed across a reconnect (a `Resume` wire message found
+    /// its parked session alive within the resume window).
+    pub resumes: u64,
+    /// Resume attempts whose session was unknown or expired — the client
+    /// was issued a fresh session and its server-side replay state is gone.
+    pub resume_rejects: u64,
+    /// Connections refused because the session table was at
+    /// `max_sessions` with nothing parked to evict.
+    pub session_rejects: u64,
+    /// Replayed producer frames deduplicated against the completed
+    /// watermark and re-acked (idempotent replay: one re-ack per frame, no
+    /// second inference).
+    pub replayed_frames: u64,
+    /// Verdicts re-sent to resumed subscribers from the parked replay
+    /// ring.
+    pub replayed_verdicts: u64,
+    /// Replay-ring entries evicted while their subscriber session was
+    /// parked — verdicts a resuming subscriber can no longer recover.
+    pub resume_overflow: u64,
 }
 
 impl NetCounters {
@@ -167,6 +195,12 @@ impl NetCounters {
         self.backpressure_drops += other.backpressure_drops;
         self.slow_consumer_drops += other.slow_consumer_drops;
         self.slow_consumer_disconnects += other.slow_consumer_disconnects;
+        self.resumes += other.resumes;
+        self.resume_rejects += other.resume_rejects;
+        self.session_rejects += other.session_rejects;
+        self.replayed_frames += other.replayed_frames;
+        self.replayed_verdicts += other.replayed_verdicts;
+        self.resume_overflow += other.resume_overflow;
     }
 
     /// Transport anomalies that indicate data was damaged or lost in
@@ -181,6 +215,9 @@ impl NetCounters {
             + self.backpressure_drops
             + self.slow_consumer_drops
             + self.slow_consumer_disconnects
+            + self.resume_rejects
+            + self.session_rejects
+            + self.resume_overflow
     }
 
     /// Health of the transport under the same ladder the watchdog uses:
@@ -208,12 +245,18 @@ impl NetCounters {
     pub fn as_health_counters(&self) -> HealthCounters {
         HealthCounters {
             faults_seen: self.anomalies() + self.reordered,
-            recoveries: self.reordered + self.duplicate_packets,
+            recoveries: self.reordered
+                + self.duplicate_packets
+                + self.resumes
+                + self.replayed_frames
+                + self.replayed_verdicts,
             unrecovered: self.decode_errors
                 + self.expired_incomplete
                 + self.backpressure_drops
                 + self.slow_consumer_drops
-                + self.slow_consumer_disconnects,
+                + self.slow_consumer_disconnects
+                + self.session_rejects
+                + self.resume_overflow,
             ..HealthCounters::default()
         }
     }
@@ -247,6 +290,47 @@ impl Default for WatchdogPolicy {
             scrub_interval: None,
             heal_after: 64,
         }
+    }
+}
+
+/// Restart budget for the shard supervisor (`engine::ShardedEngine`
+/// under `start_supervised`). The watchdog ladder recovers *within* an
+/// executor; the supervisor is the next rung up — when every replica of a
+/// shard's executor is wedged, it tears the executor down and respawns a
+/// fresh one from the digest-pinned build, requeueing the in-flight
+/// frames. Budgeted and backed off so a hard fault cannot turn into a
+/// restart storm: past `max_restarts` the shard trips and drains its
+/// queue as counted losses instead of respawning forever.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorPolicy {
+    /// Restarts granted per shard before it trips.
+    pub max_restarts: u32,
+    /// Backoff before the first restart of a shard; doubles per restart.
+    pub base_backoff: std::time::Duration,
+    /// Backoff ceiling.
+    pub max_backoff: std::time::Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 3,
+            base_backoff: std::time::Duration::from_millis(2),
+            max_backoff: std::time::Duration::from_millis(100),
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// The backoff before restart number `n` (0-based), doubling from
+    /// [`SupervisorPolicy::base_backoff`] and capped at
+    /// [`SupervisorPolicy::max_backoff`].
+    #[must_use]
+    pub fn backoff_for(&self, n: u32) -> std::time::Duration {
+        let doubled = self
+            .base_backoff
+            .saturating_mul(2u32.saturating_pow(n.min(16)));
+        doubled.min(self.max_backoff)
     }
 }
 
@@ -638,6 +722,50 @@ mod tests {
         assert_eq!(hc.faults_seen, degraded.anomalies() + degraded.reordered);
         assert_eq!(hc.unrecovered, 3 + 1); // decode errors + slow disconnect...
         assert!(hc.recoveries >= 5);
+    }
+
+    #[test]
+    fn supervisor_backoff_doubles_and_caps() {
+        let p = SupervisorPolicy::default();
+        assert_eq!(p.backoff_for(0), p.base_backoff);
+        assert_eq!(p.backoff_for(1), p.base_backoff * 2);
+        assert_eq!(p.backoff_for(30), p.max_backoff, "ceiling holds");
+        // Supervision counters ride the standard merge.
+        let mut a = HealthCounters {
+            shard_restarts: 2,
+            restarts_denied: 1,
+            ..HealthCounters::default()
+        };
+        a.merge(&HealthCounters {
+            shard_restarts: 1,
+            ..HealthCounters::default()
+        });
+        assert_eq!(a.shard_restarts, 3);
+        assert_eq!(a.restarts_denied, 1);
+    }
+
+    #[test]
+    fn resume_counters_feed_the_health_ladder() {
+        let resumed = NetCounters {
+            resumes: 3,
+            replayed_frames: 2,
+            replayed_verdicts: 4,
+            ..NetCounters::default()
+        };
+        // Successful resumes are recoveries, not anomalies: health stays
+        // clean when every outage was absorbed.
+        assert_eq!(resumed.health(), HealthState::Healthy);
+        let hc = resumed.as_health_counters();
+        assert_eq!(hc.recoveries, 3 + 2 + 4);
+        // Lost replay state is an anomaly the operator must see.
+        let lossy = NetCounters {
+            resume_rejects: 1,
+            resume_overflow: 5,
+            session_rejects: 2,
+            ..NetCounters::default()
+        };
+        assert_eq!(lossy.health(), HealthState::Degraded);
+        assert_eq!(lossy.as_health_counters().unrecovered, 5 + 2);
     }
 
     #[test]

@@ -2,11 +2,23 @@
 //! closed/open-loop load generators used by the loopback tests and the
 //! `netserve_throughput` bench.
 
-use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg};
+use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError};
 use reads_blm::hubs::{ChainFrame, MultiChainSource};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Whether an I/O error from [`GatewayClient::recv`] was a *mid-message*
+/// connection cut (the typed [`WireError::Truncated`] travels as the error
+/// source). A clean close — EOF on a message boundary — returns `false`:
+/// reconnect logic treats the first as an outage to resume through and the
+/// second as an orderly goodbye.
+#[must_use]
+pub fn was_truncated(e: &std::io::Error) -> bool {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<WireError>())
+        .is_some_and(|w| *w == WireError::Truncated)
+}
 
 /// A blocking client connection to a [`HubGateway`](crate::HubGateway).
 ///
@@ -34,6 +46,20 @@ impl GatewayClient {
         };
         client.send(&Msg::Hello { role })?;
         Ok(client)
+    }
+
+    /// Connects *without* sending any handshake. The resilient client uses
+    /// this to open the socket and then speak [`Msg::Resume`] itself.
+    ///
+    /// # Errors
+    /// Propagates connect/configure failures.
+    pub fn connect_raw(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+        })
     }
 
     /// Sends one message.
@@ -69,7 +95,9 @@ impl GatewayClient {
     /// # Errors
     /// Propagates socket read failures; decode failures surface as
     /// [`std::io::ErrorKind::InvalidData`]; a closed peer as
-    /// [`std::io::ErrorKind::UnexpectedEof`].
+    /// [`std::io::ErrorKind::UnexpectedEof`] — with
+    /// [`WireError::Truncated`] as the typed error source when the cut
+    /// landed mid-message (see [`was_truncated`]).
     pub fn recv(&mut self, timeout: Duration) -> std::io::Result<Option<Msg>> {
         let deadline = Instant::now() + timeout;
         let mut chunk = [0u8; 8 * 1024];
@@ -91,10 +119,17 @@ impl GatewayClient {
             self.stream.set_read_timeout(Some(deadline - now))?;
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "gateway closed the connection",
-                    ))
+                    // EOF with a partial wire frame buffered is a
+                    // mid-message cut — typed so reconnect logic can tell
+                    // it from a clean close on a message boundary.
+                    return Err(if self.decoder.buffered() > 0 {
+                        std::io::Error::new(std::io::ErrorKind::UnexpectedEof, WireError::Truncated)
+                    } else {
+                        std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "gateway closed the connection",
+                        )
+                    });
                 }
                 Ok(n) => self.decoder.push(&chunk[..n]),
                 Err(e)

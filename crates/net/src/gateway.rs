@@ -30,6 +30,14 @@
 //!   engine, flushes remaining verdicts to subscribers, joins every
 //!   thread, and returns a [`GatewayReport`] — no accepted-and-acked
 //!   frame is ever lost.
+//! * **Session resumption**: every `Hello` opens a server-side session
+//!   and answers [`Msg::Welcome`] with its id. When a connection dies the
+//!   session *parks* for [`GatewayConfig::session_resume_window`]; a
+//!   client reconnecting with [`Msg::Resume`] rebinds it, gets verdicts
+//!   it never saw replayed from a bounded per-session ring, and replayed
+//!   producer frames behind the assembler watermark are re-acked exactly
+//!   once per connection — so a resumed stream is idempotent and its
+//!   verdicts stay bit-identical to an uninterrupted run.
 
 use crate::assembler::{FrameAssembler, Offer};
 use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError};
@@ -40,14 +48,14 @@ use reads_core::resilience::NetCounters;
 use reads_core::system::TRIP_THRESHOLD;
 use reads_sim::SimDuration;
 use reads_soc::eth::EthernetModel;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What to do when a subscriber's outbound queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +77,17 @@ pub struct GatewayConfig {
     pub assembly_window: usize,
     /// Whether to ack each accepted frame back to its producer.
     pub ack_frames: bool,
+    /// Maximum live sessions (attached + parked). At the cap the oldest
+    /// parked session is evicted; when every session is attached, new
+    /// connections are rejected and counted.
+    pub max_sessions: usize,
+    /// How long a disconnected session stays parked and resumable.
+    pub session_resume_window: Duration,
+    /// Verdicts remembered per subscriber session for replay on resume.
+    /// Overflow while parked sheds the oldest verdict and counts it
+    /// ([`NetCounters::resume_overflow`]) — the resumed stream then has a
+    /// gap the client can see.
+    pub resume_buffer: usize,
     /// Simulated-time pricing of hub-frame ingest. **Single source of
     /// truth**: the gateway never re-derives bandwidth or stack-overhead
     /// constants from this model — it calls
@@ -84,6 +103,9 @@ impl Default for GatewayConfig {
             slow_consumer: SlowConsumerPolicy::DropNewest,
             assembly_window: 64,
             ack_frames: true,
+            max_sessions: 1024,
+            session_resume_window: Duration::from_secs(30),
+            resume_buffer: 1024,
             eth: EthernetModel::default(),
         }
     }
@@ -125,6 +147,12 @@ enum Event {
         conn: u64,
         role: Role,
     },
+    Resume {
+        conn: u64,
+        session_id: u64,
+        role: Role,
+        acked: Vec<(u32, u32)>,
+    },
     Packet {
         conn: u64,
         chain: u32,
@@ -148,6 +176,22 @@ struct ConnState {
     stream: TcpStream,
     writer: Option<JoinHandle<()>>,
     role: Role,
+    /// Frames re-acked on this connection (replay dedupe: a frame
+    /// replayed after a resume is acked at most once more, no matter how
+    /// many of its seven hub packets land behind the watermark).
+    reacked: HashSet<(u32, u32)>,
+}
+
+/// Server-side session: survives its TCP connection so a reconnecting
+/// client can resume exactly where it left off.
+struct Session {
+    role: Role,
+    /// Attached connection, `None` while parked.
+    conn: Option<u64>,
+    /// When the session parked (connection died); governs expiry.
+    parked_at: Option<Instant>,
+    /// Recent verdicts for replay on resume: `(chain, sequence, bytes)`.
+    replay: VecDeque<(u32, u32, Vec<u8>)>,
 }
 
 /// Connection registry + verdict fan-out + operational console: everything
@@ -155,12 +199,28 @@ struct ConnState {
 /// broadcasting after [`ShardedEngine::finish`] consumed the engine.
 struct Switchboard {
     conns: HashMap<u64, ConnState>,
+    /// Sessions by id — the unit of resumption.
+    sessions: HashMap<u64, Session>,
+    /// Attached connection → session id.
+    conn_sessions: HashMap<u64, u64>,
+    /// Accepted-and-acked frame sequences per chain (bounded), so a
+    /// replayed frame behind the assembler watermark can be told apart
+    /// from one that was evicted without ever completing.
+    accepted: HashMap<u32, BTreeSet<u32>>,
+    next_session: u64,
     counters: NetCounters,
     console: OperatorConsole,
     observed: u64,
     verdicts_sent: u64,
     acks_sent: u64,
 }
+
+/// Accepted-frame memory per chain. Large enough that a client replaying
+/// a bounded unacked window can always be re-acked; old sequences age out
+/// from the bottom.
+const ACCEPTED_WINDOW: usize = 4096;
+/// Re-ack dedupe entries kept per connection before the set resets.
+const REACK_WINDOW: usize = 8192;
 
 impl Switchboard {
     /// Abruptly severs a connection: the socket dies first, so a writer
@@ -174,6 +234,184 @@ impl Switchboard {
             if let Some(w) = c.writer {
                 let _ = w.join();
             }
+        }
+    }
+
+    /// Parks the connection's session (resumable until the window
+    /// expires), then severs the connection.
+    fn park_conn(&mut self, conn: u64) {
+        if let Some(sid) = self.conn_sessions.remove(&conn) {
+            if let Some(s) = self.sessions.get_mut(&sid) {
+                if s.conn == Some(conn) {
+                    s.conn = None;
+                    s.parked_at = Some(Instant::now());
+                }
+            }
+        }
+        self.drop_conn(conn);
+    }
+
+    /// Drops parked sessions whose resume window has expired.
+    fn expire_sessions(&mut self, window: Duration) {
+        self.sessions
+            .retain(|_, s| s.parked_at.is_none_or(|t| t.elapsed() <= window));
+    }
+
+    /// Makes room for one more session. At the cap the oldest parked
+    /// session is evicted; with every session attached there is no room.
+    fn make_room(&mut self, max_sessions: usize) -> bool {
+        if self.sessions.len() < max_sessions {
+            return true;
+        }
+        let oldest = self
+            .sessions
+            .iter()
+            .filter_map(|(&sid, s)| s.parked_at.map(|t| (t, sid)))
+            .min()
+            .map(|(_, sid)| sid);
+        if let Some(sid) = oldest {
+            self.sessions.remove(&sid);
+        }
+        self.sessions.len() < max_sessions
+    }
+
+    /// Opens a fresh session for `conn` and answers `Welcome`. At
+    /// capacity the connection is rejected (dropped + counted) — the
+    /// client sees EOF before any `Welcome`.
+    fn bind_fresh_session(&mut self, conn: u64, role: Role, max_sessions: usize) {
+        if !self.conns.contains_key(&conn) {
+            return;
+        }
+        if !self.make_room(max_sessions) {
+            self.counters.session_rejects += 1;
+            self.drop_conn(conn);
+            return;
+        }
+        self.next_session += 1;
+        let sid = self.next_session;
+        self.sessions.insert(
+            sid,
+            Session {
+                role,
+                conn: Some(conn),
+                parked_at: None,
+                replay: VecDeque::new(),
+            },
+        );
+        self.conn_sessions.insert(conn, sid);
+        let c = self.conns.get_mut(&conn).expect("checked above");
+        c.role = role;
+        let _ = c.tx.try_send(encode_msg(&Msg::Welcome {
+            session_id: sid,
+            resumed: false,
+        }));
+    }
+
+    /// Handles a `Resume`: rebinds the session when it is known, the role
+    /// matches, and the park window has not expired — replaying to a
+    /// subscriber every ringed verdict above the client's acked
+    /// watermarks. Anything else falls back to a fresh session (counted),
+    /// and the client learns from `Welcome { resumed: false }` that its
+    /// history is gone.
+    fn resume_session(
+        &mut self,
+        conn: u64,
+        sid: u64,
+        role: Role,
+        acked: &[(u32, u32)],
+        cfg: &GatewayConfig,
+    ) {
+        let resumable = self.sessions.get(&sid).is_some_and(|s| {
+            s.role == role
+                && s.parked_at
+                    .is_none_or(|t| t.elapsed() <= cfg.session_resume_window)
+        });
+        if !resumable {
+            self.counters.resume_rejects += 1;
+            self.bind_fresh_session(conn, role, cfg.max_sessions);
+            return;
+        }
+        // The client may have reconnected before the old reader noticed
+        // the cut: steal the session from the zombie connection.
+        if let Some(old) = self.sessions.get(&sid).and_then(|s| s.conn) {
+            if old != conn {
+                self.conn_sessions.remove(&old);
+                self.drop_conn(old);
+            }
+        }
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        c.role = role;
+        let session = self.sessions.get_mut(&sid).expect("checked above");
+        session.conn = Some(conn);
+        session.parked_at = None;
+        self.conn_sessions.insert(conn, sid);
+        self.counters.resumes += 1;
+        let mut outbound = vec![encode_msg(&Msg::Welcome {
+            session_id: sid,
+            resumed: true,
+        })];
+        if role == Role::Subscriber {
+            let watermark: HashMap<u32, u32> = acked.iter().copied().collect();
+            outbound.extend(
+                session
+                    .replay
+                    .iter()
+                    .filter(|(chain, seq, _)| watermark.get(chain).is_none_or(|&high| *seq > high))
+                    .map(|(_, _, bytes)| bytes.clone()),
+            );
+        }
+        let mut sent = outbound.into_iter();
+        let _ = c.tx.try_send(sent.next().expect("welcome"));
+        let mut replayed = 0u64;
+        for bytes in sent {
+            if c.tx.try_send(bytes).is_ok() {
+                replayed += 1;
+            }
+        }
+        self.counters.replayed_verdicts += replayed;
+        self.verdicts_sent += replayed;
+    }
+
+    /// Remembers an accepted-and-acked frame so its replay can be
+    /// re-acked.
+    fn note_accepted(&mut self, chain: u32, sequence: u32) {
+        let set = self.accepted.entry(chain).or_default();
+        set.insert(sequence);
+        while set.len() > ACCEPTED_WINDOW {
+            set.pop_first();
+        }
+    }
+
+    /// Re-acks a replayed frame that fell behind the assembler watermark
+    /// — exactly once per connection, and only when the frame really was
+    /// accepted (an evicted-incomplete frame stays unacked: that loss is
+    /// visible to the client, as it must be).
+    fn maybe_reack(&mut self, conn: u64, chain: u32, sequence: u32, ack_frames: bool) {
+        if !ack_frames
+            || !self
+                .accepted
+                .get(&chain)
+                .is_some_and(|s| s.contains(&sequence))
+        {
+            return;
+        }
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        if c.reacked.len() > REACK_WINDOW {
+            c.reacked.clear();
+        }
+        if !c.reacked.insert((chain, sequence)) {
+            return;
+        }
+        if c.tx
+            .try_send(encode_msg(&Msg::FrameAck { chain, sequence }))
+            .is_ok()
+        {
+            self.acks_sent += 1;
+            self.counters.replayed_frames += 1;
         }
     }
 
@@ -191,9 +429,12 @@ impl Switchboard {
         }
     }
 
-    /// Sends every result to every subscriber under the slow-consumer
-    /// policy, and feeds the console.
-    fn fan_out(&mut self, results: Vec<FrameResult>, policy: SlowConsumerPolicy) {
+    /// Sends every result to every subscriber session under the
+    /// slow-consumer policy, rings it for resume replay, and feeds the
+    /// console. A parked session accumulates verdicts in its ring; when
+    /// the ring overflows while parked, the shed verdict is gone for good
+    /// and counted.
+    fn fan_out(&mut self, results: Vec<FrameResult>, policy: SlowConsumerPolicy, ring: usize) {
         for r in results {
             self.console.observe(&r.verdict, &r.timing);
             self.observed += 1;
@@ -201,11 +442,22 @@ impl Switchboard {
                 chain: r.chain,
                 verdict: r.verdict,
             }));
-            let mut to_drop: Vec<u64> = Vec::new();
-            for (&id, c) in &self.conns {
-                if c.role != Role::Subscriber {
+            let mut to_park: Vec<u64> = Vec::new();
+            for s in self.sessions.values_mut() {
+                if s.role != Role::Subscriber {
                     continue;
                 }
+                if s.replay.len() >= ring {
+                    s.replay.pop_front();
+                    if s.conn.is_none() {
+                        self.counters.resume_overflow += 1;
+                    }
+                }
+                s.replay.push_back((r.chain, r.sequence, bytes.clone()));
+                let Some(id) = s.conn else { continue };
+                let Some(c) = self.conns.get(&id) else {
+                    continue;
+                };
                 match c.tx.try_send(bytes.clone()) {
                     Ok(()) => self.verdicts_sent += 1,
                     Err(TrySendError::Full(_)) => match policy {
@@ -214,14 +466,14 @@ impl Switchboard {
                         }
                         SlowConsumerPolicy::Disconnect => {
                             self.counters.slow_consumer_disconnects += 1;
-                            to_drop.push(id);
+                            to_park.push(id);
                         }
                     },
-                    Err(TrySendError::Disconnected(_)) => to_drop.push(id),
+                    Err(TrySendError::Disconnected(_)) => to_park.push(id),
                 }
             }
-            for id in to_drop {
-                self.drop_conn(id);
+            for id in to_park {
+                self.park_conn(id);
             }
         }
     }
@@ -482,9 +734,19 @@ fn reader_loop(
                         packet,
                     },
                     Msg::Shutdown => Event::ShutdownRequested,
+                    Msg::Resume {
+                        session_id,
+                        role,
+                        acked,
+                    } => Event::Resume {
+                        conn,
+                        session_id,
+                        role,
+                        acked,
+                    },
                     // Server-to-client kinds arriving at the server are
                     // protocol violations, not transport corruption.
-                    Msg::FrameAck { .. } | Msg::Verdict(_) => {
+                    Msg::FrameAck { .. } | Msg::Verdict(_) | Msg::Welcome { .. } => {
                         Event::DecodeErr { conn, fatal: false }
                     }
                 }),
@@ -551,6 +813,10 @@ fn hub_loop(
 ) -> GatewayReport {
     let mut board = Switchboard {
         conns: HashMap::new(),
+        sessions: HashMap::new(),
+        conn_sessions: HashMap::new(),
+        accepted: HashMap::new(),
+        next_session: 0,
         counters: NetCounters::default(),
         console: OperatorConsole::new(TRIP_THRESHOLD, 3.0),
         observed: 0,
@@ -584,14 +850,22 @@ fn hub_loop(
                         stream,
                         writer: Some(writer),
                         role: Role::Producer,
+                        reacked: HashSet::new(),
                     },
                 );
             }
             Event::Hello { conn, role } => {
                 board.counters.messages += 1;
-                if let Some(c) = board.conns.get_mut(&conn) {
-                    c.role = role;
-                }
+                board.bind_fresh_session(conn, role, cfg.max_sessions);
+            }
+            Event::Resume {
+                conn,
+                session_id,
+                role,
+                acked,
+            } => {
+                board.counters.messages += 1;
+                board.resume_session(conn, session_id, role, &acked, cfg);
             }
             Event::Packet {
                 conn,
@@ -599,34 +873,46 @@ fn hub_loop(
                 packet,
             } => {
                 board.counters.messages += 1;
-                if let Offer::Complete(frame) = assembler.offer(chain, packet, &mut board.counters)
-                {
-                    // Price the frame's ingest in simulated time with the
-                    // canonical Ethernet model — never a local copy of its
-                    // constants.
-                    let payloads: Vec<usize> =
-                        frame.packets.iter().map(HubPacket::encoded_len).collect();
-                    *sim_ingest += cfg.eth.frame_ingest_time(&payloads);
-                    let sequence = frame.sequence;
-                    if engine.submit(frame) {
-                        board.counters.frames_accepted += 1;
-                        if cfg.ack_frames {
-                            if let Some(c) = board.conns.get(&conn) {
-                                let ack = encode_msg(&Msg::FrameAck { chain, sequence });
-                                if c.tx.try_send(ack).is_ok() {
-                                    board.acks_sent += 1;
+                let sequence = packet.sequence;
+                match assembler.offer(chain, packet, &mut board.counters) {
+                    Offer::Complete(frame) => {
+                        // Price the frame's ingest in simulated time with
+                        // the canonical Ethernet model — never a local
+                        // copy of its constants.
+                        let payloads: Vec<usize> =
+                            frame.packets.iter().map(HubPacket::encoded_len).collect();
+                        *sim_ingest += cfg.eth.frame_ingest_time(&payloads);
+                        let sequence = frame.sequence;
+                        if engine.submit(frame) {
+                            board.counters.frames_accepted += 1;
+                            if cfg.ack_frames {
+                                board.note_accepted(chain, sequence);
+                                if let Some(c) = board.conns.get(&conn) {
+                                    let ack = encode_msg(&Msg::FrameAck { chain, sequence });
+                                    if c.tx.try_send(ack).is_ok() {
+                                        board.acks_sent += 1;
+                                    }
                                 }
                             }
+                        } else {
+                            board.counters.backpressure_drops += 1;
                         }
-                    } else {
-                        board.counters.backpressure_drops += 1;
                     }
+                    // A packet behind the watermark is (usually) a frame
+                    // replayed after a resume: re-ack it so the client's
+                    // replay buffer drains.
+                    Offer::Stale => board.maybe_reack(conn, chain, sequence, cfg.ack_frames),
+                    Offer::Merged | Offer::Duplicate | Offer::BadHub => {}
                 }
             }
             Event::DecodeErr { conn, fatal } => {
                 board.counters.decode_errors += 1;
                 if fatal {
-                    board.drop_conn(conn);
+                    // The connection cannot be trusted past an adversarial
+                    // length field, but its *session* can park: chaos-level
+                    // byte corruption hits length fields too, and the
+                    // client deserves a resume path.
+                    board.park_conn(conn);
                 }
             }
             Event::ShutdownRequested => {
@@ -635,7 +921,7 @@ fn hub_loop(
             }
             Event::Closed { conn } => {
                 board.counters.disconnects += 1;
-                board.drop_conn(conn);
+                board.park_conn(conn);
             }
             Event::Batch(evs) => {
                 for e in evs {
@@ -679,14 +965,15 @@ fn hub_loop(
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
         let results = engine.poll_results();
-        board.fan_out(results, cfg.slow_consumer);
+        board.fan_out(results, cfg.slow_consumer, cfg.resume_buffer);
+        board.expire_sessions(cfg.session_resume_window);
         board.publish(shared);
     }
 
     // Finalize: the engine drains its queues (Block policy loses nothing),
     // remaining verdicts go out, writers flush, everything joins.
     let (remaining, fleet) = engine.finish();
-    board.fan_out(remaining, cfg.slow_consumer);
+    board.fan_out(remaining, cfg.slow_consumer, cfg.resume_buffer);
     board.close_all();
 
     let mut console_render = String::new();

@@ -12,6 +12,12 @@
 //! an explicit slow-consumer policy; and a [`client`] side with
 //! closed/open-loop load generators.
 //!
+//! The serving plane is chaos-hardened: gateway-side sessions park and
+//! resume across TCP cuts ([`gateway`]), the [`resilient`] client
+//! reconnects with backoff + jitter and replays unacked frames, and the
+//! seeded [`chaos`] proxy injects resets, partial writes, stalls and byte
+//! corruption deterministically so all of it stays testable.
+//!
 //! Everything is `std`-only — no async runtime, no external networking
 //! crates — and every transport anomaly feeds
 //! [`NetCounters`](reads_core::resilience::NetCounters), the same health
@@ -20,14 +26,18 @@
 #![warn(missing_docs)]
 
 pub mod assembler;
+pub mod chaos;
 pub mod client;
 pub mod gateway;
+pub mod resilient;
 pub mod shutdown;
 pub mod wire;
 
 pub use assembler::{FrameAssembler, Offer};
-pub use client::{run_load, GatewayClient, LoadGenConfig, LoadReport};
+pub use chaos::{ChaosConfig, ChaosHandle, ChaosProxy, ChaosStats};
+pub use client::{run_load, was_truncated, GatewayClient, LoadGenConfig, LoadReport};
 pub use gateway::{GatewayConfig, GatewayHandle, GatewayReport, HubGateway, SlowConsumerPolicy};
+pub use resilient::{ResilienceConfig, ResilienceStats, ResilientClient};
 pub use shutdown::{ctrl_c_requested, install_ctrl_c, request_shutdown};
 pub use wire::{
     crc32, encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError, MAX_PAYLOAD,

@@ -1,0 +1,375 @@
+//! A reconnecting gateway client: [`ResilientClient`] wraps
+//! [`GatewayClient`] with exponential-backoff + jitter reconnects, a
+//! bounded unacked-frame replay buffer keyed by `(chain, sequence)`, and
+//! the [`Msg::Resume`] handshake — so a TCP cut (clean, mid-message, or
+//! byte-corrupted) costs an outage window, never an acked frame.
+//!
+//! The dedupe contract is split between the two ends: the client replays
+//! every frame it was never acked for, and the gateway's assembler
+//! watermark plus accepted-frame memory make the replay idempotent (a
+//! frame that *was* accepted before the cut is re-acked exactly once per
+//! connection; one that was not completes normally). Verdicts a
+//! subscriber never saw come back from the gateway's per-session replay
+//! ring, filtered by the acked watermarks the client sends in its
+//! `Resume`.
+
+use crate::client::{was_truncated, GatewayClient};
+use crate::wire::{Msg, Role};
+use reads_blm::hubs::ChainFrame;
+use reads_sim::Rng;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Reconnect/replay policy.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Reconnect attempts per outage before giving up.
+    pub max_reconnect_attempts: u32,
+    /// First backoff; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Multiplicative jitter spread: each sleep is scaled by a seeded
+    /// uniform draw from `[1 - jitter, 1 + jitter]`, so a fleet of
+    /// clients cut by the same fault does not reconnect in lockstep.
+    pub jitter: f64,
+    /// Seed for the jitter stream (deterministic chaos runs).
+    pub seed: u64,
+    /// Unacked frames remembered for replay. At the cap the oldest is
+    /// dropped — visible as a frame that never acks.
+    pub replay_buffer: usize,
+    /// How long to wait for the `Welcome` after sending `Resume`.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            max_reconnect_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.25,
+            seed: 7,
+            replay_buffer: 1024,
+            handshake_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What the client lived through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResilienceStats {
+    /// Connection losses observed (any cause).
+    pub disconnects: u64,
+    /// Dial attempts made while reconnecting (includes failures).
+    pub reconnect_attempts: u64,
+    /// Reconnects the gateway answered `Welcome { resumed: true }`.
+    pub resumed: u64,
+    /// Reconnects that came back as a fresh session (history gone).
+    pub fresh_sessions: u64,
+    /// Frames replayed from the unacked buffer.
+    pub frames_replayed: u64,
+    /// Cuts that landed mid-message ([`crate::wire::WireError::Truncated`]).
+    pub truncated_cuts: u64,
+    /// Total wall-clock spent disconnected (outage begin → handshake
+    /// complete), for MTTR curves.
+    pub outage: Duration,
+}
+
+impl ResilienceStats {
+    /// Mean time to recovery in milliseconds (0 when never disconnected).
+    #[must_use]
+    pub fn mttr_ms(&self) -> f64 {
+        if self.disconnects == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.outage.as_secs_f64() * 1e3 / self.disconnects as f64
+        }
+    }
+}
+
+/// A gateway client that survives its transport.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    role: Role,
+    cfg: ResilienceConfig,
+    rng: Rng,
+    inner: Option<GatewayClient>,
+    session_id: u64,
+    /// Unacked frames by `(chain, sequence)` — the replay set.
+    unacked: BTreeMap<(u32, u32), ChainFrame>,
+    /// Highest acked/seen sequence per chain — the resume watermarks.
+    acked_high: BTreeMap<u32, u32>,
+    /// Messages that arrived while waiting for a `Welcome`.
+    pending: VecDeque<Msg>,
+    stats: ResilienceStats,
+}
+
+impl ResilientClient {
+    /// Connects and opens a session (`Hello` → `Welcome`).
+    ///
+    /// # Errors
+    /// Propagates connect failures and a missing `Welcome`.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        role: Role,
+        cfg: ResilienceConfig,
+    ) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("no address resolved"))?;
+        let rng = Rng::seed_from_u64(cfg.seed);
+        let mut client = Self {
+            addr,
+            role,
+            cfg,
+            rng,
+            inner: None,
+            session_id: 0,
+            unacked: BTreeMap::new(),
+            acked_high: BTreeMap::new(),
+            pending: VecDeque::new(),
+            stats: ResilienceStats::default(),
+        };
+        let mut inner = GatewayClient::connect(client.addr, role)?;
+        let (sid, _) = client.await_welcome(&mut inner)?;
+        client.session_id = sid;
+        client.inner = Some(inner);
+        Ok(client)
+    }
+
+    /// The session id the gateway assigned (changes when a resume falls
+    /// back to a fresh session).
+    #[must_use]
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Outage/replay accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    /// Frames sent but not yet acked.
+    #[must_use]
+    pub fn unacked_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Sends one chain frame, remembering it for replay until acked. A
+    /// dead transport triggers a reconnect; the frame itself rides the
+    /// post-resume replay, so the send "succeeds" once the session is
+    /// back.
+    ///
+    /// # Errors
+    /// Returns an error only when reconnecting exhausted its attempts.
+    pub fn send_frame(&mut self, frame: &ChainFrame) -> std::io::Result<()> {
+        if self.unacked.len() >= self.cfg.replay_buffer {
+            self.unacked.pop_first(); // oldest frame becomes visible loss
+        }
+        self.unacked
+            .insert((frame.chain, frame.sequence), frame.clone());
+        loop {
+            let Some(client) = self.inner.as_mut() else {
+                self.reconnect()?;
+                continue;
+            };
+            match client.send_frame(frame) {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    // The replay after resume carries this frame.
+                    self.begin_outage(false);
+                    self.reconnect()?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Receives the next message, reconnecting through transport faults.
+    /// Returns `Ok(None)` on a quiet timeout *or* after a reconnect (the
+    /// caller just polls again). Acks and verdicts prune the replay
+    /// buffer and advance the per-chain watermarks before the message is
+    /// handed back.
+    ///
+    /// # Errors
+    /// Returns an error only when reconnecting exhausted its attempts.
+    pub fn recv(&mut self, timeout: Duration) -> std::io::Result<Option<Msg>> {
+        if let Some(msg) = self.pending.pop_front() {
+            self.observe(&msg);
+            return Ok(Some(msg));
+        }
+        let Some(client) = self.inner.as_mut() else {
+            self.reconnect()?;
+            return Ok(None);
+        };
+        match client.recv(timeout) {
+            Ok(Some(msg)) => {
+                self.observe(&msg);
+                Ok(Some(msg))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                let truncated = was_truncated(&e);
+                if truncated || Self::is_transport_fault(&e) {
+                    self.begin_outage(truncated);
+                    self.reconnect()?;
+                    Ok(None)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Re-sends every frame still unacked (e.g. after the gateway evicted
+    /// an incomplete assembly that a corrupted packet poked a hole in).
+    ///
+    /// # Errors
+    /// Returns an error only when reconnecting exhausted its attempts.
+    pub fn replay_unacked(&mut self) -> std::io::Result<usize> {
+        let frames: Vec<ChainFrame> = self.unacked.values().cloned().collect();
+        let n = frames.len();
+        for frame in frames {
+            let Some(client) = self.inner.as_mut() else {
+                self.reconnect()?;
+                return Ok(0);
+            };
+            if client.send_frame(&frame).is_err() {
+                self.begin_outage(false);
+                self.reconnect()?;
+                return Ok(0);
+            }
+            self.stats.frames_replayed += 1;
+        }
+        Ok(n)
+    }
+
+    /// Transport faults worth a reconnect; anything else (e.g. a local
+    /// logic error) propagates. `InvalidData` is *corruption on the
+    /// wire* — under chaos that is the transport's fault, so it counts.
+    fn is_transport_fault(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::InvalidData
+        )
+    }
+
+    fn begin_outage(&mut self, truncated: bool) {
+        self.inner = None;
+        self.stats.disconnects += 1;
+        if truncated {
+            self.stats.truncated_cuts += 1;
+        }
+    }
+
+    fn observe(&mut self, msg: &Msg) {
+        match msg {
+            Msg::FrameAck { chain, sequence } => {
+                self.unacked.remove(&(*chain, *sequence));
+                self.bump_watermark(*chain, *sequence);
+            }
+            Msg::Verdict(v) => self.bump_watermark(v.chain, v.verdict.sequence),
+            _ => {}
+        }
+    }
+
+    fn bump_watermark(&mut self, chain: u32, sequence: u32) {
+        let high = self.acked_high.entry(chain).or_insert(sequence);
+        *high = (*high).max(sequence);
+    }
+
+    /// Backoff → dial → `Resume` → `Welcome` → replay, until connected or
+    /// out of attempts. The outage clock runs from the first backoff to
+    /// the completed handshake.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let outage_started = Instant::now();
+        let mut result = Err(std::io::Error::other("no reconnect attempt made"));
+        for attempt in 0..self.cfg.max_reconnect_attempts {
+            let exp = self
+                .cfg
+                .base_backoff
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(self.cfg.max_backoff);
+            let jittered = exp.mul_f64(
+                self.rng
+                    .range_f64((1.0 - self.cfg.jitter).max(0.0), 1.0 + self.cfg.jitter),
+            );
+            std::thread::sleep(jittered);
+            self.stats.reconnect_attempts += 1;
+            match self.try_resume() {
+                Ok(()) => {
+                    result = Ok(());
+                    break;
+                }
+                Err(e) => result = Err(e),
+            }
+        }
+        self.stats.outage += outage_started.elapsed();
+        result
+    }
+
+    fn try_resume(&mut self) -> std::io::Result<()> {
+        let mut client = GatewayClient::connect_raw(self.addr)?;
+        let acked: Vec<(u32, u32)> = self
+            .acked_high
+            .iter()
+            .map(|(&chain, &high)| (chain, high))
+            .collect();
+        client.send(&Msg::Resume {
+            session_id: self.session_id,
+            role: self.role,
+            acked,
+        })?;
+        let (sid, resumed) = self.await_welcome(&mut client)?;
+        if resumed {
+            self.stats.resumed += 1;
+        } else {
+            self.stats.fresh_sessions += 1;
+        }
+        self.session_id = sid;
+        // Replay everything unacked on the fresh pipe. The gateway
+        // re-acks what it already accepted and processes the rest —
+        // either way the buffer drains through normal acks.
+        for frame in self.unacked.values() {
+            client.send_frame(frame)?;
+            self.stats.frames_replayed += 1;
+        }
+        self.inner = Some(client);
+        Ok(())
+    }
+
+    /// Waits for the `Welcome`, buffering anything else that arrives
+    /// first (replayed verdicts land *after* the `Welcome` by protocol,
+    /// but acks from a pre-cut burst may already be queued).
+    fn await_welcome(&mut self, client: &mut GatewayClient) -> std::io::Result<(u64, bool)> {
+        let deadline = Instant::now() + self.cfg.handshake_timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no Welcome before handshake timeout",
+                ));
+            }
+            match client.recv(deadline - now)? {
+                Some(Msg::Welcome {
+                    session_id,
+                    resumed,
+                }) => return Ok((session_id, resumed)),
+                Some(other) => self.pending.push_back(other),
+                None => {}
+            }
+        }
+    }
+}

@@ -83,6 +83,31 @@ pub enum Msg {
     Verdict(VerdictMsg),
     /// Administrative graceful-shutdown request.
     Shutdown,
+    /// Client → gateway: reconnect handshake. Replaces `Hello` on a
+    /// reconnecting client: names the session to resume, re-declares the
+    /// role (the gateway must be able to serve a fresh session when the
+    /// old one expired), and carries the client's per-chain delivery
+    /// watermarks — for a producer the highest acked sequence per chain,
+    /// for a subscriber the highest verdict sequence seen per chain — so
+    /// the gateway replays only what the client provably missed.
+    Resume {
+        /// Session to resume (`0` = none yet; always answered fresh).
+        session_id: u64,
+        /// Declared role, authoritative when the session cannot resume.
+        role: Role,
+        /// Per-chain `(chain, highest delivered sequence)` watermarks.
+        acked: Vec<(u32, u32)>,
+    },
+    /// Gateway → client: handshake answer to `Hello` or `Resume`. Carries
+    /// the session id to present on the next `Resume`, and whether the
+    /// named session actually resumed (`false` = fresh session — any
+    /// server-side replay state is gone).
+    Welcome {
+        /// The session id this connection is bound to.
+        session_id: u64,
+        /// Whether a `Resume` found its session alive.
+        resumed: bool,
+    },
 }
 
 /// A verdict in transit: chain tag plus the in-process verdict. The f64
@@ -104,6 +129,8 @@ enum Kind {
     FrameAck = 3,
     Verdict = 4,
     Shutdown = 5,
+    Resume = 6,
+    Welcome = 7,
 }
 
 /// Typed decode failures. None of these panic, and none cause the decoder
@@ -126,6 +153,12 @@ pub enum WireError {
     BadPayload,
     /// An embedded hub packet failed its own codec.
     BadHubPacket(DecodeError),
+    /// The peer closed the connection in the middle of a wire frame. The
+    /// decoder never produces this itself (it just waits for more bytes);
+    /// the *reader* raises it when EOF lands with a partial message still
+    /// buffered, so reconnect logic can tell a mid-frame cut from a clean
+    /// close.
+    Truncated,
 }
 
 impl std::fmt::Display for WireError {
@@ -139,6 +172,7 @@ impl std::fmt::Display for WireError {
             WireError::BadCrc => write!(f, "crc32 mismatch"),
             WireError::BadPayload => write!(f, "malformed payload"),
             WireError::BadHubPacket(e) => write!(f, "embedded hub packet: {e:?}"),
+            WireError::Truncated => write!(f, "connection cut mid-message"),
         }
     }
 }
@@ -184,6 +218,8 @@ fn kind_of(msg: &Msg) -> Kind {
         Msg::FrameAck { .. } => Kind::FrameAck,
         Msg::Verdict(_) => Kind::Verdict,
         Msg::Shutdown => Kind::Shutdown,
+        Msg::Resume { .. } => Kind::Resume,
+        Msg::Welcome { .. } => Kind::Welcome,
     }
 }
 
@@ -222,6 +258,37 @@ fn payload_of(msg: &Msg) -> Vec<u8> {
             out
         }
         Msg::Shutdown => Vec::new(),
+        Msg::Resume {
+            session_id,
+            role,
+            acked,
+        } => {
+            assert!(
+                acked.len() <= usize::from(u16::MAX),
+                "resume watermark list exceeds u16 count"
+            );
+            let mut out = Vec::with_capacity(11 + 8 * acked.len());
+            out.extend_from_slice(&session_id.to_be_bytes());
+            out.push(match role {
+                Role::Producer => 0,
+                Role::Subscriber => 1,
+            });
+            out.extend_from_slice(&(acked.len() as u16).to_be_bytes());
+            for (chain, seq) in acked {
+                out.extend_from_slice(&chain.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+            }
+            out
+        }
+        Msg::Welcome {
+            session_id,
+            resumed,
+        } => {
+            let mut out = Vec::with_capacity(9);
+            out.extend_from_slice(&session_id.to_be_bytes());
+            out.push(u8::from(*resumed));
+            out
+        }
     }
 }
 
@@ -307,6 +374,44 @@ fn decode_payload(kind: u8, p: &[u8]) -> Result<Msg, WireError> {
             } else {
                 Err(WireError::BadPayload)
             }
+        }
+        k if k == Kind::Resume as u8 => {
+            if p.len() < 11 {
+                return Err(WireError::BadPayload);
+            }
+            let mut sid = [0u8; 8];
+            sid.copy_from_slice(&p[..8]);
+            let role = match p[8] {
+                0 => Role::Producer,
+                1 => Role::Subscriber,
+                _ => return Err(WireError::BadPayload),
+            };
+            let n = usize::from(u16::from_be_bytes([p[9], p[10]]));
+            if p.len() != 11 + 8 * n {
+                return Err(WireError::BadPayload);
+            }
+            let acked = (0..n)
+                .map(|i| {
+                    let o = 11 + 8 * i;
+                    (be_u32(&p[o..]), be_u32(&p[o + 4..]))
+                })
+                .collect();
+            Ok(Msg::Resume {
+                session_id: u64::from_be_bytes(sid),
+                role,
+                acked,
+            })
+        }
+        k if k == Kind::Welcome as u8 => {
+            if p.len() != 9 || p[8] > 1 {
+                return Err(WireError::BadPayload);
+            }
+            let mut sid = [0u8; 8];
+            sid.copy_from_slice(&p[..8]);
+            Ok(Msg::Welcome {
+                session_id: u64::from_be_bytes(sid),
+                resumed: p[8] == 1,
+            })
         }
         k => Err(WireError::BadKind(k)),
     }
@@ -466,6 +571,24 @@ mod tests {
                 },
             }),
             Msg::Shutdown,
+            Msg::Resume {
+                session_id: 0xDEAD_BEEF_0042,
+                role: Role::Producer,
+                acked: vec![(0, 17), (3, 1_000_000), (9, 0)],
+            },
+            Msg::Resume {
+                session_id: 0,
+                role: Role::Subscriber,
+                acked: Vec::new(),
+            },
+            Msg::Welcome {
+                session_id: 7,
+                resumed: true,
+            },
+            Msg::Welcome {
+                session_id: u64::MAX,
+                resumed: false,
+            },
         ];
         let mut dec = FrameDecoder::new();
         for m in &msgs {

@@ -11,6 +11,7 @@
 //! reads-cli scenario [--model unet] [--frames N]
 //! reads-cli boot
 //! reads-cli serve    [--model unet|mlp] [--addr HOST:PORT]
+//!                    [--max-sessions N] [--session-resume-window SECS]
 //! ```
 //!
 //! Everything is cached under `target/reads-artifacts/`; the first `train`
@@ -35,6 +36,8 @@ struct Args {
     width: u32,
     frames: usize,
     addr: String,
+    max_sessions: usize,
+    session_resume_window: std::time::Duration,
 }
 
 fn parse_args(rest: &[String]) -> Result<Args, String> {
@@ -45,6 +48,8 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         width: 16,
         frames: 2_000,
         addr: "127.0.0.1:7311".to_string(),
+        max_sessions: 1024,
+        session_resume_window: std::time::Duration::from_secs(30),
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -76,6 +81,37 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             "--addr" => {
                 args.addr = value()?.clone();
             }
+            "--max-sessions" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --max-sessions: {e}"))?;
+                if n == 0 {
+                    return Err("--max-sessions 0 would reject every client; use at least 1".into());
+                }
+                if n > 1_000_000 {
+                    return Err(format!(
+                        "--max-sessions {n} is absurd for one gateway; the cap is 1000000"
+                    ));
+                }
+                args.max_sessions = n;
+            }
+            "--session-resume-window" => {
+                let secs: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --session-resume-window: {e}"))?;
+                if secs == 0 {
+                    return Err("--session-resume-window 0 disables resume entirely; \
+                         use at least 1 second"
+                        .into());
+                }
+                if secs > 3600 {
+                    return Err(format!(
+                        "--session-resume-window {secs}s would park dead sessions for over \
+                         an hour; the cap is 3600"
+                    ));
+                }
+                args.session_resume_window = std::time::Duration::from_secs(secs);
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -102,7 +138,7 @@ fn usage() {
     eprintln!(
         "usage: reads-cli <train|summary|convert|run|verify|fifo|scenario|boot|serve> \
          [--model unet|mlp] [--tier fast|full] [--seed N] [--width W] [--frames N] \
-         [--addr HOST:PORT]"
+         [--addr HOST:PORT] [--max-sessions N] [--session-resume-window SECS]"
     );
 }
 
@@ -226,14 +262,18 @@ fn main() -> ExitCode {
                 &HpsModel::default(),
                 &bundle.standardizer,
             );
-            let handle =
-                match HubGateway::start(args.addr.as_str(), GatewayConfig::default(), engine) {
-                    Ok(h) => h,
-                    Err(e) => {
-                        eprintln!("error: cannot bind {}: {e}", args.addr);
-                        return ExitCode::FAILURE;
-                    }
-                };
+            let gw_cfg = GatewayConfig {
+                max_sessions: args.max_sessions,
+                session_resume_window: args.session_resume_window,
+                ..GatewayConfig::default()
+            };
+            let handle = match HubGateway::start(args.addr.as_str(), gw_cfg, engine) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: cannot bind {}: {e}", args.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
             install_ctrl_c();
             println!(
                 "serving {} verdicts on {} — ctrl-c drains and exits",
