@@ -23,17 +23,19 @@
 //! ```
 
 use reads_bench::mlp_bundle;
+use reads_blm::acnet::DeblendVerdict;
 use reads_blm::dataset::Standardizer;
-use reads_blm::hubs::MultiChainSource;
+use reads_blm::hubs::{assemble_frame, ChainFrame, MultiChainSource};
 use reads_core::engine::{DropPolicy, EngineConfig, ShardedEngine, SocExecutor};
 use reads_core::resilience::{SupervisorPolicy, WatchdogPolicy};
 use reads_hls4ml::{convert, profile_model, Firmware, HlsConfig};
 use reads_net::chaos::{ChaosConfig, ChaosProxy};
+use reads_net::fleet::{FleetConfig, FleetProducer, FleetSubscriber, GatewayFleet};
 use reads_net::resilient::{ResilienceConfig, ResilientClient};
 use reads_net::{GatewayConfig, HubGateway, Msg, Role, SlowConsumerPolicy};
 use reads_soc::faults::FaultPlan;
 use reads_soc::HpsModel;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
@@ -45,6 +47,14 @@ const MIN_AVAILABILITY: f64 = 0.99;
 const MAX_MTTR_MS: f64 = 250.0;
 /// Simulated per-frame latency budget (the paper's real-time envelope).
 const DEADLINE_MS: f64 = 3.0;
+/// Fleet-kill pass: gateways in the federation.
+const FLEET_GATEWAYS: usize = 3;
+/// Fleet-kill pass MTTR ceiling — a whole-gateway death costs the
+/// heartbeat-detection window plus the client's routed failover, so the
+/// bound is looser than the single-gateway cut bound.
+const MAX_FLEET_MTTR_MS: f64 = 2_000.0;
+/// Supervisor detection-latency ceiling for a logged kill.
+const MAX_DETECTION_MS: f64 = 1_500.0;
 
 struct Row {
     intensity: f64,
@@ -254,7 +264,198 @@ fn run_intensity(
     }
 }
 
+struct FleetKillRow {
+    gateways: usize,
+    killed: u32,
+    frames: usize,
+    delivered: usize,
+    availability: f64,
+    acked_loss: usize,
+    bit_identical: bool,
+    handoffs: u64,
+    failovers: u64,
+    resumes: u64,
+    fresh_sessions: u64,
+    duplicates: u64,
+    detection_ms: f64,
+    mttr_ms: f64,
+    wall_ms: f64,
+}
+
+/// In-process golden run — the bit-exact reference the killed fleet must
+/// still reproduce.
+fn golden(
+    fw: &Firmware,
+    std: &Standardizer,
+    frames: &[ChainFrame],
+) -> BTreeMap<(u32, u32), Vec<u64>> {
+    let n_in = fw.input_len * fw.input_channels;
+    let mut expect = BTreeMap::new();
+    for cf in frames {
+        let readings = assemble_frame(&cf.packets).expect("synthetic frame assembles");
+        let (out, _) = fw.infer(&std.apply_frame(&readings[..n_in]));
+        let verdict = if out.len() == 2 * reads_blm::N_BLM {
+            DeblendVerdict::from_interleaved(cf.sequence, &out)
+        } else {
+            DeblendVerdict::from_split_halves(cf.sequence, &out)
+        };
+        let flat: Vec<u64> = verdict
+            .mi
+            .iter()
+            .chain(verdict.rr.iter())
+            .map(|x| x.to_bits())
+            .collect();
+        expect.insert((cf.chain, cf.sequence), flat);
+    }
+    expect
+}
+
+/// Fleet-kill pass: a federated fleet serves the stream while the owner
+/// of chain 0 is SIGKILL-killed mid-run. The supervisor detects the
+/// death by heartbeat timeout; chain-pinned producers re-route and
+/// refeed retained acked frames; subscriber sessions hand off via
+/// gossip. Asserted downstream: zero acked-frame loss, availability and
+/// fleet MTTR within bounds, merged verdict stream bit-identical to the
+/// unkilled golden run.
+#[allow(clippy::too_many_lines)]
+fn run_fleet_kill(
+    ticks: usize,
+    chains: usize,
+    firmware: &Firmware,
+    standardizer: &Standardizer,
+) -> FleetKillRow {
+    let frames = MultiChainSource::new(chains, SEED).ticks(ticks);
+    let expected = frames.len();
+    let expect = golden(firmware, standardizer, &frames);
+
+    let fleet_cfg = FleetConfig {
+        gateways: FLEET_GATEWAYS,
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_timeout: Duration::from_millis(400),
+        gossip_interval: Duration::from_millis(50),
+        gateway: GatewayConfig {
+            outbound_queue: 16 * 1024,
+            slow_consumer: SlowConsumerPolicy::DropNewest,
+            ..GatewayConfig::default()
+        },
+        chains_hint: u32::try_from(chains).expect("chain count fits u32"),
+    };
+    let engine_cfg = EngineConfig {
+        workers: 2,
+        batch: 8,
+        queue_depth: 256,
+        drop_policy: DropPolicy::Block,
+        ..EngineConfig::default()
+    };
+    let mut fleet = GatewayFleet::start_local(
+        fleet_cfg,
+        ShardedEngine::native_factory(&engine_cfg, firmware, &HpsModel::default(), standardizer),
+    )
+    .expect("fleet starts");
+    let addrs = fleet.addrs();
+    let victim = fleet.state().owner_of(0).expect("chain 0 has an owner");
+
+    let client_cfg = |seed: u64| ResilienceConfig {
+        max_reconnect_attempts: 40,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        seed,
+        insist_resume: 20,
+        acked_retention: 4096,
+        ..ResilienceConfig::default()
+    };
+    let mut subscriber =
+        FleetSubscriber::connect(&addrs, &client_cfg(202)).expect("subscribers connect");
+    while (0..FLEET_GATEWAYS)
+        .map(|i| fleet.sessions(u32::try_from(i).expect("small fleet")))
+        .sum::<u64>()
+        < FLEET_GATEWAYS as u64
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    let mut producer = FleetProducer::new(&addrs, client_cfg(101));
+
+    let mut got: BTreeMap<(u32, u32), Vec<u64>> = BTreeMap::new();
+    let collect = |sub: &mut FleetSubscriber, got: &mut BTreeMap<(u32, u32), Vec<u64>>| {
+        for v in sub.poll(Duration::from_millis(5)) {
+            let flat: Vec<u64> = v
+                .verdict
+                .mi
+                .iter()
+                .chain(v.verdict.rr.iter())
+                .map(|x| x.to_bits())
+                .collect();
+            got.insert((v.chain, v.verdict.sequence), flat);
+        }
+    };
+
+    let kill_after_tick = ticks / 2;
+    let t0 = Instant::now();
+    for (tick, tick_frames) in frames.chunks(chains).enumerate() {
+        for frame in tick_frames {
+            producer.send_frame(frame).expect("send survives the kill");
+        }
+        producer
+            .drain_acks(Duration::from_millis(1))
+            .expect("ack pump");
+        collect(&mut subscriber, &mut got);
+        if tick + 1 == kill_after_tick {
+            let _ = fleet.kill_gateway(victim);
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while (got.len() < expected || producer.unacked_total() > 0) && Instant::now() < deadline {
+        producer
+            .drain_acks(Duration::from_millis(25))
+            .expect("final ack pump");
+        collect(&mut subscriber, &mut got);
+    }
+    let wall = t0.elapsed();
+
+    let producer_stats = producer.stats();
+    let subscriber_stats = subscriber.stats();
+    let duplicates = subscriber.duplicates();
+    let unacked = producer.unacked_total();
+    drop(producer);
+    drop(subscriber);
+    let report = fleet.shutdown();
+
+    assert_eq!(unacked, 0, "fleet kill: every frame must end up acked");
+    let bit_identical = expect
+        .iter()
+        .all(|(key, want)| got.get(key).is_some_and(|served| served == want));
+    let disconnects = producer_stats.disconnects + subscriber_stats.disconnects;
+    let outage = producer_stats.outage + subscriber_stats.outage;
+    let mttr_ms = if disconnects == 0 {
+        0.0
+    } else {
+        outage.as_secs_f64() * 1e3 / disconnects as f64
+    };
+    let handoffs: u64 = report.gateways.iter().map(|(_, r)| r.net.handoffs).sum();
+    println!("{}", report.fleet_console);
+
+    FleetKillRow {
+        gateways: FLEET_GATEWAYS,
+        killed: victim,
+        frames: expected,
+        delivered: got.len(),
+        availability: got.len() as f64 / expected as f64,
+        acked_loss: expected - got.len(),
+        bit_identical,
+        handoffs,
+        failovers: producer_stats.failovers + subscriber_stats.failovers,
+        resumes: producer_stats.resumed + subscriber_stats.resumed,
+        fresh_sessions: producer_stats.fresh_sessions + subscriber_stats.fresh_sessions,
+        duplicates,
+        detection_ms: report.detection_ms.first().copied().unwrap_or(f64::NAN),
+        mttr_ms,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
 fn main() {
+    let kill_gateways = std::env::args().any(|a| a == "--kill-gateways");
     let ticks: usize = std::env::var("CHAOS_TICKS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -349,6 +550,62 @@ fn main() {
         default_row.availability, default_row.mttr_ms
     );
 
+    let fleet_row = if kill_gateways {
+        println!(
+            "\nfleet-kill pass: {FLEET_GATEWAYS} gateways, killing the owner of chain 0 mid-run"
+        );
+        let row = run_fleet_kill(ticks, chains, &firmware, &standardizer);
+        println!(
+            "fleet kill: gw {} killed | {}/{} verdicts | availability {:.4} | acked loss {} | \
+             bit-identical {} | handoffs {} | failovers {} | resumes {} | fresh {} | dups {} | \
+             detection {:.1} ms | MTTR {:.1} ms | wall {:.1} ms",
+            row.killed,
+            row.delivered,
+            row.frames,
+            row.availability,
+            row.acked_loss,
+            row.bit_identical,
+            row.handoffs,
+            row.failovers,
+            row.resumes,
+            row.fresh_sessions,
+            row.duplicates,
+            row.detection_ms,
+            row.mttr_ms,
+            row.wall_ms,
+        );
+        assert_eq!(
+            row.acked_loss, 0,
+            "fleet kill: acked frames lost their verdict"
+        );
+        assert!(
+            row.bit_identical,
+            "fleet kill: verdict stream drifted from the unkilled golden run"
+        );
+        assert!(
+            row.availability >= MIN_AVAILABILITY,
+            "fleet kill: availability {:.4} < {MIN_AVAILABILITY}",
+            row.availability
+        );
+        assert!(
+            row.mttr_ms <= MAX_FLEET_MTTR_MS,
+            "fleet kill: MTTR {:.1} ms > {MAX_FLEET_MTTR_MS} ms",
+            row.mttr_ms
+        );
+        assert!(
+            row.detection_ms <= MAX_DETECTION_MS,
+            "fleet kill: supervisor detection {:.1} ms > {MAX_DETECTION_MS} ms",
+            row.detection_ms
+        );
+        assert!(
+            row.handoffs >= 1,
+            "fleet kill: no survivor imported an orphaned session"
+        );
+        Some(row)
+    } else {
+        None
+    };
+
     let json_rows: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -376,10 +633,37 @@ fn main() {
             )
         })
         .collect();
+    let fleet_json = fleet_row.as_ref().map_or_else(
+        || "null".to_string(),
+        |r| {
+            format!(
+                "{{\"gateways\":{},\"killed\":{},\"frames\":{},\"delivered\":{},\
+                 \"availability\":{:.6},\"acked_loss\":{},\"bit_identical\":{},\
+                 \"handoffs\":{},\"failovers\":{},\"resumes\":{},\"fresh_sessions\":{},\
+                 \"duplicates\":{},\"detection_ms\":{:.3},\"mttr_ms\":{:.3},\
+                 \"max_mttr_ms\":{MAX_FLEET_MTTR_MS},\"wall_ms\":{:.2}}}",
+                r.gateways,
+                r.killed,
+                r.frames,
+                r.delivered,
+                r.availability,
+                r.acked_loss,
+                r.bit_identical,
+                r.handoffs,
+                r.failovers,
+                r.resumes,
+                r.fresh_sessions,
+                r.duplicates,
+                r.detection_ms,
+                r.mttr_ms,
+                r.wall_ms,
+            )
+        },
+    );
     let json = format!(
         "{{\"seed\":{SEED},\"ticks\":{ticks},\"chains\":{chains},\
          \"min_availability\":{MIN_AVAILABILITY},\"max_mttr_ms\":{MAX_MTTR_MS},\
-         \"deadline_ms\":{DEADLINE_MS},\"rows\":[{}]}}\n",
+         \"deadline_ms\":{DEADLINE_MS},\"rows\":[{}],\"fleet_kill\":{fleet_json}}}\n",
         json_rows.join(",")
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

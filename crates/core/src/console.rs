@@ -28,6 +28,7 @@ pub struct OperatorConsole {
     node_health: Option<NodeHealth>,
     shards: Vec<ShardHealth>,
     net_health: Option<NetHealth>,
+    gateways: Vec<GatewayHealth>,
 }
 
 /// The network serving plane's line in the console: transport state plus
@@ -39,6 +40,23 @@ pub struct NetHealth {
     /// Live connections at observation time.
     pub sessions: u64,
     /// The gateway's transport counters at observation time.
+    pub counters: NetCounters,
+}
+
+/// One gateway's line in the federation view of a gateway fleet.
+#[derive(Debug, Clone, Serialize)]
+pub struct GatewayHealth {
+    /// Gateway identity within the fleet.
+    pub gateway: u32,
+    /// Human-readable owned-chain description (e.g. `"0,3,6"` or
+    /// `"hash-slice 2/3"`). Placement is rendezvous-hashed, so there is no
+    /// contiguous range to print — the gateway describes its own slice.
+    pub chains: String,
+    /// Transport health of this gateway under the standard ladder.
+    pub state: HealthState,
+    /// Live sessions bound to this gateway at observation time.
+    pub sessions: u64,
+    /// This gateway's transport counters at observation time.
     pub counters: NetCounters,
 }
 
@@ -95,8 +113,12 @@ pub struct ConsoleSummary {
     /// (empty for single-node operation).
     pub shards: Vec<ShardHealth>,
     /// Network serving-plane health, when a hub gateway reports into this
-    /// console (absent for in-process operation).
+    /// console (absent for in-process operation). In fleet operation this
+    /// is the merged view across all observed gateways.
     pub net_health: Option<NetHealth>,
+    /// Per-gateway health, when a gateway fleet reports into this console
+    /// (empty for single-gateway or in-process operation).
+    pub gateways: Vec<GatewayHealth>,
 }
 
 impl OperatorConsole {
@@ -117,6 +139,7 @@ impl OperatorConsole {
             node_health: None,
             shards: Vec::new(),
             net_health: None,
+            gateways: Vec::new(),
         }
     }
 
@@ -128,6 +151,43 @@ impl OperatorConsole {
             state: counters.health(),
             sessions,
             counters: *counters,
+        });
+    }
+
+    /// Feeds one gateway's health view from a federated fleet (latest
+    /// observation per gateway wins). The fleet-worst transport state and
+    /// the from-scratch merge of all gateway counters become the console's
+    /// network line — the same replace-then-recompute rule as the shard
+    /// roll-up, so repeated observations never double-count.
+    pub fn observe_gateway_health(
+        &mut self,
+        gateway: u32,
+        chains: impl Into<String>,
+        sessions: u64,
+        counters: &NetCounters,
+    ) {
+        let entry = GatewayHealth {
+            gateway,
+            chains: chains.into(),
+            state: counters.health(),
+            sessions,
+            counters: *counters,
+        };
+        match self.gateways.iter_mut().find(|g| g.gateway == gateway) {
+            Some(g) => *g = entry,
+            None => {
+                self.gateways.push(entry);
+                self.gateways.sort_by_key(|g| g.gateway);
+            }
+        }
+        let mut merged = NetCounters::default();
+        for g in &self.gateways {
+            merged.merge(&g.counters);
+        }
+        self.net_health = Some(NetHealth {
+            state: HealthState::worst(self.gateways.iter().map(|g| g.state)),
+            sessions: self.gateways.iter().map(|g| g.sessions).sum(),
+            counters: merged,
         });
     }
 
@@ -215,6 +275,7 @@ impl OperatorConsole {
             node_health: self.node_health,
             shards: self.shards.clone(),
             net_health: self.net_health,
+            gateways: self.gateways.clone(),
         }
     }
 
@@ -281,6 +342,7 @@ impl OperatorConsole {
                 c.resumes
             );
         }
+        out.push_str(&render_gateway_lines(&s.gateways));
         for sh in &s.shards {
             let state = match sh.state {
                 HealthState::Healthy => "healthy",
@@ -300,6 +362,39 @@ impl OperatorConsole {
         }
         out
     }
+
+    /// Renders only the federation lines (`gw[i]: …`), one per observed
+    /// gateway. Unlike [`Self::render`] this never panics: a fleet report
+    /// is meaningful even before the first frame lands (e.g. a gateway
+    /// killed during warm-up). Empty when no gateway has reported.
+    #[must_use]
+    pub fn render_fleet(&self) -> String {
+        render_gateway_lines(&self.gateways)
+    }
+}
+
+fn render_gateway_lines(gateways: &[GatewayHealth]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for g in gateways {
+        let state = match g.state {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "DEGRADED",
+            HealthState::Tripped => "TRIPPED",
+        };
+        let _ = writeln!(
+            out,
+            " gw[{}]: chains {} | {} | {} sessions | {} resumes | {} handoffs | {} redirects",
+            g.gateway,
+            g.chains,
+            state,
+            g.sessions,
+            g.counters.resumes,
+            g.counters.handoffs,
+            g.counters.redirects
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -417,6 +512,49 @@ mod tests {
         );
         let s = c.summary();
         assert_eq!(s.net_health.unwrap().state, HealthState::Degraded);
+    }
+
+    #[test]
+    fn gateway_health_merges_to_fleet_worst_without_double_count() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        c.observe(&verdict(0.1, 0.6), &timing(1_750, false));
+        let degraded = NetCounters {
+            connections: 2,
+            frames_assembled: 50,
+            frames_accepted: 50,
+            decode_errors: 1,
+            resumes: 3,
+            handoffs: 1,
+            redirects: 4,
+            ..NetCounters::default()
+        };
+        c.observe_gateway_health(1, "1,4,7", 2, &degraded);
+        c.observe_gateway_health(0, "0,3,6", 1, &NetCounters::default());
+        // Re-observing gateway 1 must replace, not accumulate.
+        c.observe_gateway_health(1, "1,4,7", 2, &degraded);
+        let s = c.summary();
+        assert_eq!(s.gateways.len(), 2);
+        assert_eq!(s.gateways[0].gateway, 0, "sorted by gateway id");
+        let n = s.net_health.expect("merged net health present");
+        assert_eq!(n.state, HealthState::Degraded, "fleet-worst wins");
+        assert_eq!(n.sessions, 3, "sessions summed across the fleet");
+        assert_eq!(n.counters.resumes, 3, "no double-count on re-observe");
+        assert_eq!(n.counters.handoffs, 1);
+        let text = c.render();
+        assert!(
+            text.contains("gw[1]: chains 1,4,7 | DEGRADED | 2 sessions | 3 resumes | 1 handoffs | 4 redirects"),
+            "{text}"
+        );
+        assert!(text.contains("gw[0]: chains 0,3,6 | healthy"), "{text}");
+    }
+
+    #[test]
+    fn render_fleet_works_before_first_frame() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        assert!(c.render_fleet().is_empty());
+        c.observe_gateway_health(2, "2,5,8", 0, &NetCounters::default());
+        let text = c.render_fleet();
+        assert!(text.contains("gw[2]: chains 2,5,8"), "{text}");
     }
 
     #[test]

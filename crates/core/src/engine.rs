@@ -802,6 +802,24 @@ impl ShardedEngine {
         })
     }
 
+    /// Factory of independent native engines, one per caller-chosen index
+    /// — the hook a gateway fleet uses to give every federated gateway its
+    /// own [`ShardedEngine`] over the same firmware. Every engine lowers
+    /// the same digest-pinned firmware, so a frame replayed on a successor
+    /// gateway after a failover produces a bit-identical verdict.
+    pub fn native_factory(
+        cfg: &EngineConfig,
+        firmware: &Firmware,
+        hps: &HpsModel,
+        standardizer: &Standardizer,
+    ) -> impl FnMut(usize) -> ShardedEngine + Send + 'static {
+        let cfg = *cfg;
+        let firmware = firmware.clone();
+        let hps = hps.clone();
+        let standardizer = standardizer.clone();
+        move |_gateway| ShardedEngine::native(&cfg, &firmware, &hps, &standardizer)
+    }
+
     /// Simulated-SoC engine: every shard drives an [`IpArray`] of
     /// `ips_per_shard` replicated control IPs behind its own watchdog.
     #[must_use]

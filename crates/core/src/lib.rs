@@ -47,7 +47,9 @@ pub mod verification;
 
 pub use campaign::{run_latency_campaign, LatencyCampaign};
 pub use codesign::{codesign, CodesignResult};
-pub use console::{ConsoleSummary, NetHealth, NodeHealth, OperatorConsole, ShardHealth};
+pub use console::{
+    ConsoleSummary, GatewayHealth, NetHealth, NodeHealth, OperatorConsole, ShardHealth,
+};
 pub use engine::{
     DropPolicy, EngineConfig, FleetReport, FrameResult, NativeExecutor, ShardExecutor, ShardReport,
     ShardedEngine, SocExecutor,

@@ -176,6 +176,15 @@ pub struct NetCounters {
     /// Replay-ring entries evicted while their subscriber session was
     /// parked — verdicts a resuming subscriber can no longer recover.
     pub resume_overflow: u64,
+    /// `Redirect` answers sent by a fleet-member gateway: misrouted hub
+    /// packets bounced to the owning gateway plus explicit `Route`
+    /// queries answered. Not an anomaly — lazy placement discovery is how
+    /// clients are *supposed* to learn the hash ring.
+    pub redirects: u64,
+    /// Sessions adopted from a dead fleet peer: a `Resume` whose session
+    /// was unknown locally but found in the gossiped digest of a gateway
+    /// the fleet supervisor declared dead, imported and rebound here.
+    pub handoffs: u64,
 }
 
 impl NetCounters {
@@ -201,6 +210,8 @@ impl NetCounters {
         self.replayed_frames += other.replayed_frames;
         self.replayed_verdicts += other.replayed_verdicts;
         self.resume_overflow += other.resume_overflow;
+        self.redirects += other.redirects;
+        self.handoffs += other.handoffs;
     }
 
     /// Transport anomalies that indicate data was damaged or lost in

@@ -40,6 +40,7 @@
 //!   verdicts stay bit-identical to an uninterrupted run.
 
 use crate::assembler::{FrameAssembler, Offer};
+use crate::router::{FleetLink, SessionStub};
 use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError};
 use reads_blm::hubs::HubPacket;
 use reads_core::console::OperatorConsole;
@@ -94,6 +95,13 @@ pub struct GatewayConfig {
     /// [`EthernetModel::frame_ingest_time`] exactly like the in-process
     /// pipeline does.
     pub eth: EthernetModel,
+    /// Fleet membership (`None` = standalone gateway, the PR 5 behaviour).
+    /// A fleet member redirects hub packets for chains it does not own,
+    /// answers [`Msg::Route`] queries, heartbeats into the shared fleet
+    /// state, gossips its session digest every
+    /// [`FleetLink::gossip_interval`], and adopts sessions orphaned by a
+    /// dead peer on `Resume`.
+    pub fleet: Option<FleetLink>,
 }
 
 impl Default for GatewayConfig {
@@ -107,6 +115,7 @@ impl Default for GatewayConfig {
             session_resume_window: Duration::from_secs(30),
             resume_buffer: 1024,
             eth: EthernetModel::default(),
+            fleet: None,
         }
     }
 }
@@ -158,6 +167,10 @@ enum Event {
         chain: u32,
         packet: reads_blm::hubs::HubPacket,
     },
+    Route {
+        conn: u64,
+        chain: u32,
+    },
     DecodeErr {
         conn: u64,
         fatal: bool,
@@ -192,6 +205,28 @@ struct Session {
     parked_at: Option<Instant>,
     /// Recent verdicts for replay on resume: `(chain, sequence, bytes)`.
     replay: VecDeque<(u32, u32, Vec<u8>)>,
+    /// Highest verdict sequence ringed-or-sent per chain — the watermark
+    /// this session gossips to fleet peers (subscribers only).
+    delivered_high: HashMap<u32, u32>,
+    /// Fan-out floor per chain for sessions adopted from a dead fleet
+    /// peer: verdicts at or below the floor were provably delivered by
+    /// the previous gateway (the client said so in its `Resume`), so the
+    /// post-handoff re-run must not deliver them again. Empty for
+    /// home-grown sessions.
+    delivered_floor: HashMap<u32, u32>,
+}
+
+impl Session {
+    fn fresh(role: Role, conn: u64) -> Self {
+        Self {
+            role,
+            conn: Some(conn),
+            parked_at: None,
+            replay: VecDeque::new(),
+            delivered_high: HashMap::new(),
+            delivered_floor: HashMap::new(),
+        }
+    }
 }
 
 /// Connection registry + verdict fan-out + operational console: everything
@@ -289,15 +324,7 @@ impl Switchboard {
         }
         self.next_session += 1;
         let sid = self.next_session;
-        self.sessions.insert(
-            sid,
-            Session {
-                role,
-                conn: Some(conn),
-                parked_at: None,
-                replay: VecDeque::new(),
-            },
-        );
+        self.sessions.insert(sid, Session::fresh(role, conn));
         self.conn_sessions.insert(conn, sid);
         let c = self.conns.get_mut(&conn).expect("checked above");
         c.role = role;
@@ -327,6 +354,11 @@ impl Switchboard {
                     .is_none_or(|t| t.elapsed() <= cfg.session_resume_window)
         });
         if !resumable {
+            // Fleet handoff: a session this gateway has never parked may
+            // be orphaned by a dead peer — the gossip board decides.
+            if self.try_import_session(conn, sid, role, acked, cfg) {
+                return;
+            }
             self.counters.resume_rejects += 1;
             self.bind_fresh_session(conn, role, cfg.max_sessions);
             return;
@@ -372,6 +404,75 @@ impl Switchboard {
         }
         self.counters.replayed_verdicts += replayed;
         self.verdicts_sent += replayed;
+    }
+
+    /// Adopts a session orphaned by a dead fleet peer: the gossip board
+    /// claims it, the claimant is dead, nobody alive claims it, and the
+    /// roles match. The adopted session starts with an empty replay ring
+    /// (the dead gateway's ring died with it); the client's own `Resume`
+    /// watermarks become the fan-out floor, so the producer-side re-run
+    /// delivers exactly the verdicts the client never saw. Returns `false`
+    /// when this is not a handoff (caller falls back to a fresh session).
+    fn try_import_session(
+        &mut self,
+        conn: u64,
+        sid: u64,
+        role: Role,
+        acked: &[(u32, u32)],
+        cfg: &GatewayConfig,
+    ) -> bool {
+        let Some(link) = &cfg.fleet else {
+            return false;
+        };
+        if self.sessions.contains_key(&sid) || !self.conns.contains_key(&conn) {
+            return false;
+        }
+        let claims = link.state.digest_claims(sid);
+        // A claim by an *alive* member means the session lives elsewhere:
+        // this is a misrouted resume, not a handoff.
+        if claims.is_empty() || claims.iter().any(|(gw, _)| link.state.is_alive(*gw)) {
+            return false;
+        }
+        let (dead_gw, stub) = claims.into_iter().next().expect("checked non-empty");
+        if stub.role != role || !self.make_room(cfg.max_sessions) {
+            return false;
+        }
+        link.state.retract_claim(dead_gw, sid);
+        let mut session = Session::fresh(role, conn);
+        session.delivered_high = stub.watermarks.iter().copied().collect();
+        session.delivered_floor = acked.iter().copied().collect();
+        self.sessions.insert(sid, session);
+        self.conn_sessions.insert(conn, sid);
+        self.counters.handoffs += 1;
+        self.counters.resumes += 1;
+        let c = self.conns.get_mut(&conn).expect("checked above");
+        c.role = role;
+        let _ = c.tx.try_send(encode_msg(&Msg::Welcome {
+            session_id: sid,
+            resumed: true,
+        }));
+        true
+    }
+
+    /// This gateway's gossiped session digest: every live session's role
+    /// plus (for subscribers) its delivered-verdict watermarks.
+    fn session_digest(&self) -> HashMap<u64, SessionStub> {
+        self.sessions
+            .iter()
+            .map(|(&sid, s)| {
+                (
+                    sid,
+                    SessionStub {
+                        role: s.role,
+                        watermarks: if s.role == Role::Subscriber {
+                            s.delivered_high.iter().map(|(&c, &h)| (c, h)).collect()
+                        } else {
+                            Vec::new()
+                        },
+                    },
+                )
+            })
+            .collect()
     }
 
     /// Remembers an accepted-and-acked frame so its replay can be
@@ -447,6 +548,15 @@ impl Switchboard {
                 if s.role != Role::Subscriber {
                     continue;
                 }
+                // Post-handoff duplicate suppression: the previous gateway
+                // already delivered this verdict (the client's `Resume`
+                // proved it), so the re-run's copy must not go out again.
+                if s.delivered_floor
+                    .get(&r.chain)
+                    .is_some_and(|&floor| r.sequence <= floor)
+                {
+                    continue;
+                }
                 if s.replay.len() >= ring {
                     s.replay.pop_front();
                     if s.conn.is_none() {
@@ -454,6 +564,8 @@ impl Switchboard {
                     }
                 }
                 s.replay.push_back((r.chain, r.sequence, bytes.clone()));
+                let high = s.delivered_high.entry(r.chain).or_insert(r.sequence);
+                *high = (*high).max(r.sequence);
                 let Some(id) = s.conn else { continue };
                 let Some(c) = self.conns.get(&id) else {
                     continue;
@@ -502,6 +614,7 @@ pub struct HubGateway;
 pub struct GatewayHandle {
     addr: SocketAddr,
     flag: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     hub: Option<JoinHandle<()>>,
@@ -524,11 +637,29 @@ impl HubGateway {
         cfg: GatewayConfig,
         engine: ShardedEngine,
     ) -> std::io::Result<GatewayHandle> {
+        Self::start_on(TcpListener::bind(addr)?, cfg, engine)
+    }
+
+    /// Starts serving on an already-bound listener. The fleet layer binds
+    /// every member's listener *first* (so the shared
+    /// [`FleetState`](crate::router::FleetState) can carry real addresses
+    /// even with OS-assigned ports), then hands each listener here.
+    ///
+    /// # Errors
+    /// Propagates socket configure failures.
+    ///
+    /// # Panics
+    /// Panics when `cfg.outbound_queue` is zero.
+    pub fn start_on(
+        listener: TcpListener,
+        cfg: GatewayConfig,
+        engine: ShardedEngine,
+    ) -> std::io::Result<GatewayHandle> {
         assert!(cfg.outbound_queue > 0, "outbound queue must be positive");
-        let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let flag = Arc::new(AtomicBool::new(false));
+        let kill = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Mutex::new((NetCounters::default(), 0u64)));
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let (event_tx, event_rx) = mpsc::sync_channel::<Event>(EVENT_QUEUE);
@@ -550,11 +681,12 @@ impl HubGateway {
 
         let hub = {
             let flag = Arc::clone(&flag);
+            let kill = Arc::clone(&kill);
             let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name("reads-net-hub".into())
                 .spawn(move || {
-                    let report = hub_loop(&cfg, engine, &event_rx, &flag, &shared);
+                    let report = hub_loop(&cfg, local, engine, &event_rx, &flag, &kill, &shared);
                     let _ = report_tx.send(report);
                 })
                 .expect("spawn hub")
@@ -563,6 +695,7 @@ impl HubGateway {
         Ok(GatewayHandle {
             addr: local,
             flag,
+            kill,
             acceptor: Some(acceptor),
             readers,
             hub: Some(hub),
@@ -620,6 +753,36 @@ impl GatewayHandle {
         }
         // No new readers can spawn now; join the existing ones. Their
         // event senders drop here, which is what lets the hub finalize.
+        let readers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.readers.lock().expect("readers lock"));
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        let report = self.report_rx.recv().expect("hub report");
+        if let Some(h) = self.hub.take() {
+            h.join().expect("hub panicked");
+        }
+        report
+    }
+
+    /// SIGKILL-equivalent death: every socket is severed abruptly (no
+    /// drain, no flush, no goodbye), in-flight engine results are
+    /// discarded, and clients learn only from the TCP reset — exactly what
+    /// a killed process looks like from outside. The fleet supervisor
+    /// notices the stopped heartbeat; peers adopt the orphaned sessions
+    /// from gossip. The threads themselves are still joined (they are this
+    /// process's threads — the kill is wire-visible, not UB) and a report
+    /// is returned for accounting, but nothing in it reached any client.
+    ///
+    /// # Panics
+    /// Panics if a gateway thread panicked.
+    #[must_use]
+    pub fn kill(mut self) -> GatewayReport {
+        self.kill.store(true, Ordering::SeqCst);
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            a.join().expect("acceptor panicked");
+        }
         let readers: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.readers.lock().expect("readers lock"));
         for r in readers {
@@ -744,11 +907,13 @@ fn reader_loop(
                         role,
                         acked,
                     },
+                    Msg::Route { chain } => Event::Route { conn, chain },
                     // Server-to-client kinds arriving at the server are
                     // protocol violations, not transport corruption.
-                    Msg::FrameAck { .. } | Msg::Verdict(_) | Msg::Welcome { .. } => {
-                        Event::DecodeErr { conn, fatal: false }
-                    }
+                    Msg::FrameAck { .. }
+                    | Msg::Verdict(_)
+                    | Msg::Welcome { .. }
+                    | Msg::Redirect { .. } => Event::DecodeErr { conn, fatal: false },
                 }),
                 Ok(None) => break,
                 Err(e) => {
@@ -806,9 +971,11 @@ fn writer_loop(mut stream: TcpStream, rx: &Receiver<Vec<u8>>) {
 
 fn hub_loop(
     cfg: &GatewayConfig,
+    local: SocketAddr,
     mut engine: ShardedEngine,
     events: &Receiver<Event>,
     flag: &Arc<AtomicBool>,
+    kill: &Arc<AtomicBool>,
     shared: &Arc<Mutex<(NetCounters, u64)>>,
 ) -> GatewayReport {
     let mut board = Switchboard {
@@ -816,7 +983,13 @@ fn hub_loop(
         sessions: HashMap::new(),
         conn_sessions: HashMap::new(),
         accepted: HashMap::new(),
-        next_session: 0,
+        // Fleet members mint session ids in a per-gateway namespace
+        // (top bits), so an adopted session can never collide with one
+        // minted here.
+        next_session: cfg
+            .fleet
+            .as_ref()
+            .map_or(0, |l| (u64::from(l.gateway_id) + 1) << 40),
         counters: NetCounters::default(),
         console: OperatorConsole::new(TRIP_THRESHOLD, 3.0),
         observed: 0,
@@ -826,9 +999,11 @@ fn hub_loop(
     let mut assembler = FrameAssembler::new(cfg.assembly_window);
     let mut sim_ingest = SimDuration::ZERO;
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_event(
         ev: Event,
         cfg: &GatewayConfig,
+        local: SocketAddr,
         flag: &AtomicBool,
         board: &mut Switchboard,
         assembler: &mut FrameAssembler,
@@ -867,12 +1042,51 @@ fn hub_loop(
                 board.counters.messages += 1;
                 board.resume_session(conn, session_id, role, &acked, cfg);
             }
+            Event::Route { conn, chain } => {
+                board.counters.messages += 1;
+                board.counters.redirects += 1;
+                let (gateway_id, addr) = match &cfg.fleet {
+                    Some(link) => match link.state.owner_of(chain) {
+                        Some(owner) => (owner, link.state.addr_of(owner).to_string()),
+                        // Whole fleet marked dead (we are evidently not):
+                        // answer with ourselves rather than nothing.
+                        None => (link.gateway_id, local.to_string()),
+                    },
+                    None => (0, local.to_string()),
+                };
+                if let Some(c) = board.conns.get(&conn) {
+                    let _ = c.tx.try_send(encode_msg(&Msg::Redirect {
+                        chain,
+                        gateway_id,
+                        addr,
+                    }));
+                }
+            }
             Event::Packet {
                 conn,
                 chain,
                 packet,
             } => {
                 board.counters.messages += 1;
+                // Fleet placement check: a hub packet for a chain owned by
+                // a living peer bounces back as a `Redirect` instead of
+                // being assembled here — lazy placement discovery, not an
+                // error.
+                if let Some(link) = &cfg.fleet {
+                    if let Some(owner) = link.state.owner_of(chain) {
+                        if owner != link.gateway_id {
+                            board.counters.redirects += 1;
+                            if let Some(c) = board.conns.get(&conn) {
+                                let _ = c.tx.try_send(encode_msg(&Msg::Redirect {
+                                    chain,
+                                    gateway_id: owner,
+                                    addr: link.state.addr_of(owner).to_string(),
+                                }));
+                            }
+                            return;
+                        }
+                    }
+                }
                 let sequence = packet.sequence;
                 match assembler.offer(chain, packet, &mut board.counters) {
                     Offer::Complete(frame) => {
@@ -925,18 +1139,24 @@ fn hub_loop(
             }
             Event::Batch(evs) => {
                 for e in evs {
-                    handle_event(e, cfg, flag, board, assembler, engine, sim_ingest);
+                    handle_event(e, cfg, local, flag, board, assembler, engine, sim_ingest);
                 }
             }
         }
     }
 
+    let mut last_gossip = Instant::now();
     loop {
+        // SIGKILL-equivalent: stop mid-everything, events still queued.
+        if kill.load(Ordering::SeqCst) {
+            break;
+        }
         match events.recv_timeout(HUB_POLL) {
             Ok(ev) => {
                 handle_event(
                     ev,
                     cfg,
+                    local,
                     flag,
                     &mut board,
                     &mut assembler,
@@ -949,6 +1169,7 @@ fn hub_loop(
                         Ok(ev) => handle_event(
                             ev,
                             cfg,
+                            local,
                             flag,
                             &mut board,
                             &mut assembler,
@@ -968,6 +1189,37 @@ fn hub_loop(
         board.fan_out(results, cfg.slow_consumer, cfg.resume_buffer);
         board.expire_sessions(cfg.session_resume_window);
         board.publish(shared);
+        if let Some(link) = &cfg.fleet {
+            // Liveness is "this loop is turning", not "the process
+            // exists" — a wedged hub is as dead as a killed one.
+            link.state.beat(link.gateway_id);
+            if last_gossip.elapsed() >= link.gossip_interval {
+                last_gossip = Instant::now();
+                link.state
+                    .publish_digest(link.gateway_id, board.session_digest());
+            }
+        }
+    }
+
+    if kill.load(Ordering::SeqCst) {
+        // Abrupt death: sever every socket (no drain, no flush — clients
+        // see a reset mid-stream), then silently discard whatever the
+        // engine still owes. The producer-side acked-frame retention plus
+        // the fleet handoff path are what make this survivable.
+        let ids: Vec<u64> = board.conns.keys().copied().collect();
+        for id in ids {
+            board.drop_conn(id);
+        }
+        let (_discarded, fleet) = engine.finish();
+        board.publish(shared);
+        return GatewayReport {
+            fleet,
+            net: board.counters,
+            verdicts_sent: board.verdicts_sent,
+            acks_sent: board.acks_sent,
+            sim_ingest,
+            console: String::new(),
+        };
     }
 
     // Finalize: the engine drains its queues (Block policy loses nothing),

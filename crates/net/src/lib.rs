@@ -18,6 +18,14 @@
 //! seeded [`chaos`] proxy injects resets, partial writes, stalls and byte
 //! corruption deterministically so all of it stays testable.
 //!
+//! Above a single gateway sits the federation tier ([`router`] +
+//! [`fleet`]): N gateways each owning a rendezvous-hash slice of chain
+//! ids, `Route`/`Redirect` wire messages so any member answers "who owns
+//! chain c?", a heartbeat supervisor that declares SIGKILL-equivalent
+//! deaths, and gossiped session-watermark digests so a dead member's
+//! sessions hand off to survivors — with acked-but-unserved verdicts
+//! recomputed bit-identically from producer refeed.
+//!
 //! Everything is `std`-only — no async runtime, no external networking
 //! crates — and every transport anomaly feeds
 //! [`NetCounters`](reads_core::resilience::NetCounters), the same health
@@ -28,16 +36,22 @@
 pub mod assembler;
 pub mod chaos;
 pub mod client;
+pub mod fleet;
 pub mod gateway;
 pub mod resilient;
+pub mod router;
 pub mod shutdown;
 pub mod wire;
 
 pub use assembler::{FrameAssembler, Offer};
 pub use chaos::{ChaosConfig, ChaosHandle, ChaosProxy, ChaosStats};
 pub use client::{run_load, was_truncated, GatewayClient, LoadGenConfig, LoadReport};
+pub use fleet::{
+    FederationReport, FleetConfig, FleetHandle, FleetProducer, FleetSubscriber, GatewayFleet,
+};
 pub use gateway::{GatewayConfig, GatewayHandle, GatewayReport, HubGateway, SlowConsumerPolicy};
 pub use resilient::{ResilienceConfig, ResilienceStats, ResilientClient};
+pub use router::{FleetLink, FleetMember, FleetState, SessionStub};
 pub use shutdown::{ctrl_c_requested, install_ctrl_c, request_shutdown};
 pub use wire::{
     crc32, encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError, MAX_PAYLOAD,

@@ -12,6 +12,26 @@
 //! subscriber never saw come back from the gateway's per-session replay
 //! ring, filtered by the acked watermarks the client sends in its
 //! `Resume`.
+//!
+//! Fleet-aware failover adds three behaviours on top (all off by default,
+//! so a single-gateway client is byte-for-byte the PR 5 one):
+//!
+//! * **Address cycling** — the client holds a *list* of candidate gateway
+//!   addresses ([`ResilientClient::connect_fleet`]); a dial failure
+//!   advances to the next candidate under the same seeded backoff, so a
+//!   dead gateway costs one refused connect, not the whole outage budget.
+//! * **Acked-frame retention** — the last
+//!   [`ResilienceConfig::acked_retention`] *acked* frames are kept in a
+//!   ring. A failover (new gateway, or a fresh session anywhere) drains
+//!   the ring back into the replay set: the successor gateway has none of
+//!   the dead gateway's engine state, so acked-but-undelivered verdicts
+//!   are recomputed from the refeed — deterministically, hence
+//!   bit-identical (subscriber-side watermarks suppress the duplicates).
+//! * **Routing** — a producer pinned to one chain
+//!   ([`ResilienceConfig::route_chain`]) asks any reachable gateway
+//!   [`Msg::Route`] before resuming and follows the [`Msg::Redirect`]
+//!   answer to the owner, and follows unsolicited redirects (misroute
+//!   bounces) by migrating its session to the named owner.
 
 use crate::client::{was_truncated, GatewayClient};
 use crate::wire::{Msg, Role};
@@ -41,6 +61,24 @@ pub struct ResilienceConfig {
     pub replay_buffer: usize,
     /// How long to wait for the `Welcome` after sending `Resume`.
     pub handshake_timeout: Duration,
+    /// *Acked* frames retained for failover refeed. When a reconnect
+    /// lands on a different gateway (or comes back as a fresh session),
+    /// these frames rejoin the replay set so the successor can recompute
+    /// the verdicts the dead gateway still owed. `0` disables retention
+    /// (the PR 5 behaviour).
+    pub acked_retention: usize,
+    /// How many `Welcome { resumed: false }` answers to *refuse* per
+    /// outage before accepting a fresh session. A client racing the fleet
+    /// supervisor (reconnected to a survivor before the dead gateway was
+    /// declared dead) needs a few refusals for the gossip-import window
+    /// to open. `0` accepts the first answer (the PR 5 behaviour).
+    pub insist_resume: u32,
+    /// Chain this producer is pinned to. When set, reconnects first ask
+    /// a reachable gateway [`Msg::Route`] for the chain's owner and dial
+    /// the answer — so a failover goes straight to the successor instead
+    /// of bouncing off a non-owner. `None` for subscribers and
+    /// single-gateway producers.
+    pub route_chain: Option<u32>,
 }
 
 impl Default for ResilienceConfig {
@@ -53,6 +91,9 @@ impl Default for ResilienceConfig {
             seed: 7,
             replay_buffer: 1024,
             handshake_timeout: Duration::from_secs(2),
+            acked_retention: 0,
+            insist_resume: 0,
+            route_chain: None,
         }
     }
 }
@@ -75,6 +116,12 @@ pub struct ResilienceStats {
     /// Total wall-clock spent disconnected (outage begin → handshake
     /// complete), for MTTR curves.
     pub outage: Duration,
+    /// `Redirect` answers acted on — explicit `Route` lookups plus
+    /// misroute bounces that triggered a migration.
+    pub redirects_followed: u64,
+    /// Reconnects that landed on a *different* gateway than the previous
+    /// connection (each drains the acked ring into the replay set).
+    pub failovers: u64,
 }
 
 impl ResilienceStats {
@@ -91,10 +138,15 @@ impl ResilienceStats {
     }
 }
 
-/// A gateway client that survives its transport.
+/// A gateway client that survives its transport — and, given a candidate
+/// list, its gateway.
 #[derive(Debug)]
 pub struct ResilientClient {
-    addr: SocketAddr,
+    /// Candidate gateway addresses; `cursor` indexes the current target.
+    addrs: Vec<SocketAddr>,
+    cursor: usize,
+    /// Address of the live (or last) connection — failover detection.
+    connected_addr: Option<SocketAddr>,
     role: Role,
     cfg: ResilienceConfig,
     rng: Rng,
@@ -102,6 +154,8 @@ pub struct ResilientClient {
     session_id: u64,
     /// Unacked frames by `(chain, sequence)` — the replay set.
     unacked: BTreeMap<(u32, u32), ChainFrame>,
+    /// Recently *acked* frames, oldest first — the failover refeed ring.
+    acked_ring: VecDeque<ChainFrame>,
     /// Highest acked/seen sequence per chain — the resume watermarks.
     acked_high: BTreeMap<u32, u32>,
     /// Messages that arrived while waiting for a `Welcome`.
@@ -119,28 +173,66 @@ impl ResilientClient {
         role: Role,
         cfg: ResilienceConfig,
     ) -> std::io::Result<Self> {
-        let addr = addr
-            .to_socket_addrs()?
-            .next()
-            .ok_or_else(|| std::io::Error::other("no address resolved"))?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        Self::connect_fleet(&addrs, role, cfg)
+    }
+
+    /// Connects against a candidate list: the first reachable address
+    /// that answers a `Welcome` wins; later outages cycle the list.
+    ///
+    /// # Errors
+    /// Fails when the list is empty or no candidate completed a
+    /// handshake.
+    pub fn connect_fleet(
+        addrs: &[SocketAddr],
+        role: Role,
+        cfg: ResilienceConfig,
+    ) -> std::io::Result<Self> {
+        if addrs.is_empty() {
+            return Err(std::io::Error::other("no address resolved"));
+        }
         let rng = Rng::seed_from_u64(cfg.seed);
         let mut client = Self {
-            addr,
+            addrs: addrs.to_vec(),
+            cursor: 0,
+            connected_addr: None,
             role,
             cfg,
             rng,
             inner: None,
             session_id: 0,
             unacked: BTreeMap::new(),
+            acked_ring: VecDeque::new(),
             acked_high: BTreeMap::new(),
             pending: VecDeque::new(),
             stats: ResilienceStats::default(),
         };
-        let mut inner = GatewayClient::connect(client.addr, role)?;
-        let (sid, _) = client.await_welcome(&mut inner)?;
-        client.session_id = sid;
-        client.inner = Some(inner);
-        Ok(client)
+        if client.cfg.route_chain.is_some() {
+            client.locate_owner();
+        }
+        let mut last = std::io::Error::other("no candidate address answered");
+        for _ in 0..client.addrs.len() {
+            let target = client.current_addr();
+            match GatewayClient::connect(target, role) {
+                Ok(mut inner) => match client.await_welcome(&mut inner) {
+                    Ok((sid, _)) => {
+                        client.session_id = sid;
+                        client.connected_addr = Some(target);
+                        client.inner = Some(inner);
+                        return Ok(client);
+                    }
+                    Err(e) => {
+                        last = e;
+                        client.advance_cursor();
+                    }
+                },
+                Err(e) => {
+                    last = e;
+                    client.advance_cursor();
+                }
+            }
+        }
+        Err(last)
     }
 
     /// The session id the gateway assigned (changes when a resume falls
@@ -160,6 +252,31 @@ impl ResilientClient {
     #[must_use]
     pub fn unacked_len(&self) -> usize {
         self.unacked.len()
+    }
+
+    /// The gateway address currently (or last) connected to.
+    #[must_use]
+    pub fn connected_addr(&self) -> Option<SocketAddr> {
+        self.connected_addr
+    }
+
+    fn current_addr(&self) -> SocketAddr {
+        self.addrs[self.cursor]
+    }
+
+    fn advance_cursor(&mut self) {
+        self.cursor = (self.cursor + 1) % self.addrs.len();
+    }
+
+    /// Points the cursor at `target`, learning the address if new.
+    fn retarget(&mut self, target: SocketAddr) {
+        match self.addrs.iter().position(|&a| a == target) {
+            Some(i) => self.cursor = i,
+            None => {
+                self.addrs.push(target);
+                self.cursor = self.addrs.len() - 1;
+            }
+        }
     }
 
     /// Sends one chain frame, remembering it for replay until acked. A
@@ -196,24 +313,21 @@ impl ResilientClient {
     /// Returns `Ok(None)` on a quiet timeout *or* after a reconnect (the
     /// caller just polls again). Acks and verdicts prune the replay
     /// buffer and advance the per-chain watermarks before the message is
-    /// handed back.
+    /// handed back; redirects are followed internally (session migration
+    /// to the named owner) and never surface to the caller.
     ///
     /// # Errors
     /// Returns an error only when reconnecting exhausted its attempts.
     pub fn recv(&mut self, timeout: Duration) -> std::io::Result<Option<Msg>> {
         if let Some(msg) = self.pending.pop_front() {
-            self.observe(&msg);
-            return Ok(Some(msg));
+            return Ok(self.digest(msg));
         }
         let Some(client) = self.inner.as_mut() else {
             self.reconnect()?;
             return Ok(None);
         };
         match client.recv(timeout) {
-            Ok(Some(msg)) => {
-                self.observe(&msg);
-                Ok(Some(msg))
-            }
+            Ok(Some(msg)) => Ok(self.digest(msg)),
             Ok(None) => Ok(None),
             Err(e) => {
                 let truncated = was_truncated(&e);
@@ -273,10 +387,35 @@ impl ResilientClient {
         }
     }
 
+    /// Observes a message's accounting side effects, then decides whether
+    /// to surface it. Redirects migrate the session: drop the transport
+    /// (the owner has our chain; this gateway does not) and let the next
+    /// reconnect resume at the redirect target with a full replay.
+    fn digest(&mut self, msg: Msg) -> Option<Msg> {
+        self.observe(&msg);
+        if let Msg::Redirect { addr, .. } = &msg {
+            if let Ok(target) = addr.parse::<SocketAddr>() {
+                self.stats.redirects_followed += 1;
+                self.retarget(target);
+                // Voluntary migration, not an outage: no disconnect count.
+                self.inner = None;
+            }
+            return None;
+        }
+        Some(msg)
+    }
+
     fn observe(&mut self, msg: &Msg) {
         match msg {
             Msg::FrameAck { chain, sequence } => {
-                self.unacked.remove(&(*chain, *sequence));
+                if let Some(frame) = self.unacked.remove(&(*chain, *sequence)) {
+                    if self.cfg.acked_retention > 0 {
+                        self.acked_ring.push_back(frame);
+                        while self.acked_ring.len() > self.cfg.acked_retention {
+                            self.acked_ring.pop_front();
+                        }
+                    }
+                }
                 self.bump_watermark(*chain, *sequence);
             }
             Msg::Verdict(v) => self.bump_watermark(v.chain, v.verdict.sequence),
@@ -289,12 +428,54 @@ impl ResilientClient {
         *high = (*high).max(sequence);
     }
 
-    /// Backoff → dial → `Resume` → `Welcome` → replay, until connected or
-    /// out of attempts. The outage clock runs from the first backoff to
-    /// the completed handshake.
+    /// Best-effort owner lookup for the pinned chain: probe candidates
+    /// with [`Msg::Route`] until one answers, then point the cursor at
+    /// the owner. Silent on total failure — the dial loop will cycle.
+    fn locate_owner(&mut self) {
+        let Some(chain) = self.cfg.route_chain else {
+            return;
+        };
+        for i in 0..self.addrs.len() {
+            let probe_addr = self.addrs[(self.cursor + i) % self.addrs.len()];
+            let Ok(mut probe) = GatewayClient::connect_raw(probe_addr) else {
+                continue;
+            };
+            if probe.send(&Msg::Route { chain }).is_err() {
+                continue;
+            }
+            let deadline = Instant::now() + self.cfg.handshake_timeout;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match probe.recv(deadline - now) {
+                    Ok(Some(Msg::Redirect { addr, .. })) => {
+                        if let Ok(target) = addr.parse::<SocketAddr>() {
+                            self.stats.redirects_followed += 1;
+                            self.retarget(target);
+                            return;
+                        }
+                        break;
+                    }
+                    Ok(Some(_)) => {}
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+
+    /// Backoff → (route) → dial → `Resume` → `Welcome` → replay, until
+    /// connected or out of attempts. The outage clock runs from the first
+    /// backoff to the completed handshake. A dial/handshake failure
+    /// cycles the candidate list; a refused fresh session (while
+    /// insisting) retries in place — the handoff window it is waiting for
+    /// opens at the *same* gateway once the supervisor declares the old
+    /// owner dead.
     fn reconnect(&mut self) -> std::io::Result<()> {
         let outage_started = Instant::now();
         let mut result = Err(std::io::Error::other("no reconnect attempt made"));
+        let mut insisted = 0u32;
         for attempt in 0..self.cfg.max_reconnect_attempts {
             let exp = self
                 .cfg
@@ -307,20 +488,39 @@ impl ResilientClient {
             );
             std::thread::sleep(jittered);
             self.stats.reconnect_attempts += 1;
-            match self.try_resume() {
-                Ok(()) => {
+            if self.cfg.route_chain.is_some() {
+                self.locate_owner();
+            }
+            let accept_fresh = insisted >= self.cfg.insist_resume;
+            match self.try_resume(accept_fresh) {
+                Ok(true) => {
                     result = Ok(());
                     break;
                 }
-                Err(e) => result = Err(e),
+                Ok(false) => {
+                    insisted += 1;
+                    result = Err(std::io::Error::other(
+                        "gateway offered a fresh session while insisting on resume",
+                    ));
+                }
+                Err(e) => {
+                    self.advance_cursor();
+                    result = Err(e);
+                }
             }
         }
         self.stats.outage += outage_started.elapsed();
         result
     }
 
-    fn try_resume(&mut self) -> std::io::Result<()> {
-        let mut client = GatewayClient::connect_raw(self.addr)?;
+    /// One resume attempt against the current candidate. `Ok(true)` =
+    /// connected (session committed, replay sent). `Ok(false)` = the
+    /// gateway offered a fresh session and `accept_fresh` was false — the
+    /// offer is abandoned (the gateway parks and expires it). `Err` =
+    /// dial or handshake failure.
+    fn try_resume(&mut self, accept_fresh: bool) -> std::io::Result<bool> {
+        let target = self.current_addr();
+        let mut client = GatewayClient::connect_raw(target)?;
         let acked: Vec<(u32, u32)> = self
             .acked_high
             .iter()
@@ -332,12 +532,35 @@ impl ResilientClient {
             acked,
         })?;
         let (sid, resumed) = self.await_welcome(&mut client)?;
+        if !resumed && !accept_fresh {
+            // Whatever was buffered during this handshake belongs to the
+            // abandoned session.
+            self.pending.clear();
+            return Ok(false);
+        }
         if resumed {
             self.stats.resumed += 1;
         } else {
             self.stats.fresh_sessions += 1;
         }
+        // Failover: a different gateway (or a fresh session anywhere) has
+        // none of the engine state behind our acked frames — refeed the
+        // retained ring so the successor recomputes those verdicts. The
+        // unacked map replays in (chain, sequence) order, so per-chain
+        // verdict order survives the handoff.
+        let moved = self.connected_addr.is_some_and(|prev| prev != target);
+        if moved || !resumed {
+            if moved {
+                self.stats.failovers += 1;
+            }
+            for frame in self.acked_ring.drain(..) {
+                self.unacked
+                    .entry((frame.chain, frame.sequence))
+                    .or_insert(frame);
+            }
+        }
         self.session_id = sid;
+        self.connected_addr = Some(target);
         // Replay everything unacked on the fresh pipe. The gateway
         // re-acks what it already accepted and processes the rest —
         // either way the buffer drains through normal acks.
@@ -346,7 +569,7 @@ impl ResilientClient {
             self.stats.frames_replayed += 1;
         }
         self.inner = Some(client);
-        Ok(())
+        Ok(true)
     }
 
     /// Waits for the `Welcome`, buffering anything else that arrives

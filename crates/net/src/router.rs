@@ -1,0 +1,394 @@
+//! Fleet placement and replicated session digests: the shared state every
+//! federated gateway and the [`FleetSupervisor`](crate::fleet) read.
+//!
+//! **Placement** is rendezvous hashing (highest random weight): chain `c`
+//! is owned by the *alive* member maximizing `mix(c, member_id)`. The
+//! property that matters for failover is minimal disruption — when a
+//! member dies, only the chains it owned move (each to the peer that was
+//! its runner-up); every other chain keeps its owner, so clients pinned to
+//! surviving gateways never see a redirect from a fleet death.
+//!
+//! **Liveness** is a heartbeat counter per member, bumped by the member's
+//! own hub loop every poll iteration (≤ 2 ms apart). The supervisor reads
+//! the counters; a counter that stops advancing for the configured timeout
+//! is a dead gateway — indistinguishable from SIGKILL, which is the point.
+//! Death bumps the fleet `epoch`, so owners recompute lazily everywhere.
+//!
+//! **Gossip** is a per-gateway digest of its live sessions — role plus
+//! per-chain delivered-verdict watermarks — republished every
+//! [`FleetLink::gossip_interval`]. The digest is the handoff primitive: a
+//! `Resume` landing on a gateway that has never seen the session consults
+//! the board, and a stub published by a now-dead member is imported as a
+//! parked session (the PR 5 resume path does the rest). The digest is at
+//! most one gossip interval stale — that staleness bound is part of the
+//! protocol contract (see DESIGN.md §12).
+
+use crate::wire::Role;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One fleet member's control block.
+#[derive(Debug)]
+pub struct FleetMember {
+    /// Fleet id (index into the member table; stable for the fleet's
+    /// lifetime — dead members keep their slot so ids never reshuffle).
+    pub id: u32,
+    /// The member's listen address, as clients should dial it.
+    pub addr: SocketAddr,
+    alive: AtomicBool,
+    heartbeat: AtomicU64,
+}
+
+/// A session's gossiped digest entry: enough for a peer to adopt the
+/// session after its home gateway dies, not enough to replay verdict bytes
+/// (those are re-derived — the producer refeeds its retained frames and
+/// the deterministic engine reproduces bit-identical verdicts).
+#[derive(Debug, Clone)]
+pub struct SessionStub {
+    /// The session's declared role.
+    pub role: Role,
+    /// Per-chain `(chain, highest verdict sequence delivered-or-ringed)`
+    /// watermarks at publish time. Empty for producers.
+    pub watermarks: Vec<(u32, u32)>,
+}
+
+/// Shared fleet state: the member table, the death epoch, and the gossip
+/// board. One instance per fleet, behind an [`Arc`], read by every
+/// gateway's hub loop and by the supervisor.
+pub struct FleetState {
+    members: Vec<FleetMember>,
+    epoch: AtomicU64,
+    gossip: Mutex<HashMap<u32, HashMap<u64, SessionStub>>>,
+}
+
+/// Rendezvous weight of `(chain, member)` — a splitmix64-style mixer over
+/// the pair. Pure function of its inputs: every gateway and every client
+/// computes the same owner without coordination.
+fn weight(chain: u32, member: u32) -> u64 {
+    let mut x = (u64::from(chain) << 32) ^ u64::from(member) ^ 0x9E37_79B9_7F4A_7C15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+impl FleetState {
+    /// Builds the member table; everyone starts alive with heartbeat 0.
+    #[must_use]
+    pub fn new(addrs: &[SocketAddr]) -> Self {
+        let members = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| FleetMember {
+                id: u32::try_from(i).expect("fleet larger than u32"),
+                addr,
+                alive: AtomicBool::new(true),
+                heartbeat: AtomicU64::new(0),
+            })
+            .collect();
+        Self {
+            members,
+            epoch: AtomicU64::new(0),
+            gossip: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Member count (alive or dead).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the member table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member table.
+    #[must_use]
+    pub fn members(&self) -> &[FleetMember] {
+        &self.members
+    }
+
+    /// Listen address of member `id`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id — ids come from this table.
+    #[must_use]
+    pub fn addr_of(&self, id: u32) -> SocketAddr {
+        self.members[id as usize].addr
+    }
+
+    /// Whether member `id` is currently considered alive.
+    #[must_use]
+    pub fn is_alive(&self, id: u32) -> bool {
+        self.members
+            .get(id as usize)
+            .is_some_and(|m| m.alive.load(Ordering::SeqCst))
+    }
+
+    /// Alive members right now.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// The death epoch: bumped on every liveness transition, so cached
+    /// placements can be invalidated with one atomic load.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Marks a member dead (supervisor verdict). Idempotent; bumps the
+    /// epoch only on the transition.
+    pub fn mark_dead(&self, id: u32) {
+        if let Some(m) = self.members.get(id as usize) {
+            if m.alive.swap(false, Ordering::SeqCst) {
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Marks a member alive again (not used by the kill path — a killed
+    /// gateway stays dead — but the transition is symmetric for future
+    /// rejoin support).
+    pub fn mark_alive(&self, id: u32) {
+        if let Some(m) = self.members.get(id as usize) {
+            if !m.alive.swap(true, Ordering::SeqCst) {
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Heartbeat bump — called by member `id`'s own hub loop every poll
+    /// iteration. Monotonic; the supervisor only compares for advance.
+    pub fn beat(&self, id: u32) {
+        if let Some(m) = self.members.get(id as usize) {
+            m.heartbeat.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current heartbeat counter of member `id`.
+    #[must_use]
+    pub fn heartbeat(&self, id: u32) -> u64 {
+        self.members
+            .get(id as usize)
+            .map_or(0, |m| m.heartbeat.load(Ordering::Relaxed))
+    }
+
+    /// The alive member owning `chain` under rendezvous hashing, or `None`
+    /// when the whole fleet is dead.
+    #[must_use]
+    pub fn owner_of(&self, chain: u32) -> Option<u32> {
+        self.members
+            .iter()
+            .filter(|m| m.alive.load(Ordering::SeqCst))
+            .max_by_key(|m| weight(chain, m.id))
+            .map(|m| m.id)
+    }
+
+    /// The chains in `0..chains_hint` that member `id` currently owns —
+    /// for console labels; placement itself never materializes this list.
+    #[must_use]
+    pub fn owned_chains(&self, id: u32, chains_hint: u32) -> Vec<u32> {
+        (0..chains_hint)
+            .filter(|&c| self.owner_of(c) == Some(id))
+            .collect()
+    }
+
+    /// Comma-separated owned-chain label for the console (`"-"` when the
+    /// member owns nothing in the hinted range).
+    #[must_use]
+    pub fn chains_label(&self, id: u32, chains_hint: u32) -> String {
+        let owned = self.owned_chains(id, chains_hint);
+        if owned.is_empty() {
+            "-".to_string()
+        } else {
+            owned
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    }
+
+    /// Replaces gateway `id`'s gossiped session digest wholesale (the
+    /// digest is a snapshot, not a delta — republishing is idempotent).
+    pub fn publish_digest(&self, id: u32, digest: HashMap<u64, SessionStub>) {
+        self.gossip.lock().expect("gossip lock").insert(id, digest);
+    }
+
+    /// Every gateway currently claiming `session_id` in its digest, with
+    /// the claimed stub. The resume path uses this to decide a handoff:
+    /// a claim by an *alive* member means the session lives elsewhere
+    /// (misrouted resume — reject); a claim only by *dead* members means
+    /// the session is orphaned and importable.
+    #[must_use]
+    pub fn digest_claims(&self, session_id: u64) -> Vec<(u32, SessionStub)> {
+        self.gossip
+            .lock()
+            .expect("gossip lock")
+            .iter()
+            .filter_map(|(&gw, sessions)| sessions.get(&session_id).map(|s| (gw, s.clone())))
+            .collect()
+    }
+
+    /// Drops gateway `id`'s digest claim on one session — called by an
+    /// importer after adoption so a second resume of the same session
+    /// cannot double-import from the stale dead-member digest.
+    pub fn retract_claim(&self, id: u32, session_id: u64) {
+        if let Some(sessions) = self.gossip.lock().expect("gossip lock").get_mut(&id) {
+            sessions.remove(&session_id);
+        }
+    }
+}
+
+impl std::fmt::Debug for FleetState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetState")
+            .field("members", &self.members.len())
+            .field("alive", &self.alive_count())
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A gateway's membership in a fleet, injected through
+/// [`GatewayConfig::fleet`](crate::GatewayConfig): the shared state, this
+/// gateway's id, and how often it republishes its session digest.
+#[derive(Clone)]
+pub struct FleetLink {
+    /// The fleet-wide shared state.
+    pub state: Arc<FleetState>,
+    /// This gateway's member id.
+    pub gateway_id: u32,
+    /// Session-digest republish period — also the digest staleness bound.
+    pub gossip_interval: Duration,
+}
+
+impl std::fmt::Debug for FleetLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetLink")
+            .field("gateway_id", &self.gateway_id)
+            .field("gossip_interval", &self.gossip_interval)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(n: usize) -> FleetState {
+        let addrs: Vec<SocketAddr> = (0..n)
+            .map(|i| format!("127.0.0.1:{}", 7000 + i).parse().unwrap())
+            .collect();
+        FleetState::new(&addrs)
+    }
+
+    #[test]
+    fn ownership_is_total_and_deterministic() {
+        let s = state(3);
+        for chain in 0..64 {
+            let a = s.owner_of(chain).expect("someone owns it");
+            let b = s.owner_of(chain).expect("still owned");
+            assert_eq!(a, b);
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn every_member_owns_something() {
+        let s = state(3);
+        let mut counts = [0usize; 3];
+        for chain in 0..48 {
+            counts[s.owner_of(chain).unwrap() as usize] += 1;
+        }
+        for (id, &n) in counts.iter().enumerate() {
+            assert!(n > 0, "member {id} owns no chains out of 48: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn death_moves_only_the_dead_members_chains() {
+        let s = state(4);
+        let before: Vec<u32> = (0..64).map(|c| s.owner_of(c).unwrap()).collect();
+        s.mark_dead(2);
+        assert_eq!(s.epoch(), 1);
+        for (chain, &old) in before.iter().enumerate() {
+            let now = s.owner_of(chain as u32).unwrap();
+            if old == 2 {
+                assert_ne!(now, 2, "chain {chain} still owned by the dead member");
+            } else {
+                assert_eq!(now, old, "chain {chain} moved although its owner lives");
+            }
+        }
+    }
+
+    #[test]
+    fn mark_dead_is_idempotent_and_rejoin_bumps_epoch() {
+        let s = state(2);
+        s.mark_dead(1);
+        s.mark_dead(1);
+        assert_eq!(s.epoch(), 1, "second mark_dead must not bump");
+        assert_eq!(s.alive_count(), 1);
+        s.mark_alive(1);
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.alive_count(), 2);
+    }
+
+    #[test]
+    fn whole_fleet_dead_has_no_owner() {
+        let s = state(2);
+        s.mark_dead(0);
+        s.mark_dead(1);
+        assert_eq!(s.owner_of(5), None);
+    }
+
+    #[test]
+    fn digest_claims_and_retraction() {
+        let s = state(2);
+        let mut digest = HashMap::new();
+        digest.insert(
+            42u64,
+            SessionStub {
+                role: Role::Subscriber,
+                watermarks: vec![(0, 17)],
+            },
+        );
+        s.publish_digest(0, digest);
+        let claims = s.digest_claims(42);
+        assert_eq!(claims.len(), 1);
+        assert_eq!(claims[0].0, 0);
+        assert_eq!(claims[0].1.watermarks, vec![(0, 17)]);
+        s.retract_claim(0, 42);
+        assert!(s.digest_claims(42).is_empty());
+    }
+
+    #[test]
+    fn chains_label_renders_owned_set() {
+        let s = state(1);
+        assert_eq!(s.chains_label(0, 3), "0,1,2", "solo member owns all");
+        assert_eq!(s.chains_label(0, 0), "-");
+    }
+
+    #[test]
+    fn heartbeats_are_per_member() {
+        let s = state(2);
+        s.beat(0);
+        s.beat(0);
+        s.beat(1);
+        assert_eq!(s.heartbeat(0), 2);
+        assert_eq!(s.heartbeat(1), 1);
+    }
+}

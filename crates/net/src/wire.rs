@@ -108,6 +108,27 @@ pub enum Msg {
         /// Whether a `Resume` found its session alive.
         resumed: bool,
     },
+    /// Client → gateway: "who owns chain `chain`?" Any fleet member can
+    /// answer; a standalone gateway answers with itself. This is how
+    /// clients learn the consistent-hash placement lazily instead of
+    /// needing fleet topology up front.
+    Route {
+        /// Hub-chain index being located.
+        chain: u32,
+    },
+    /// Gateway → client: the placement answer — either the reply to an
+    /// explicit [`Msg::Route`], or an unsolicited bounce when a producer
+    /// sends [`Msg::HubData`] for a chain this gateway does not own
+    /// (misroute). Carries enough for the client to retarget: the owning
+    /// gateway's fleet id and listen address.
+    Redirect {
+        /// Hub-chain index the answer is about.
+        chain: u32,
+        /// Fleet id of the owning gateway.
+        gateway_id: u32,
+        /// Listen address (`host:port`) of the owning gateway.
+        addr: String,
+    },
 }
 
 /// A verdict in transit: chain tag plus the in-process verdict. The f64
@@ -131,6 +152,8 @@ enum Kind {
     Shutdown = 5,
     Resume = 6,
     Welcome = 7,
+    Route = 8,
+    Redirect = 9,
 }
 
 /// Typed decode failures. None of these panic, and none cause the decoder
@@ -220,6 +243,8 @@ fn kind_of(msg: &Msg) -> Kind {
         Msg::Shutdown => Kind::Shutdown,
         Msg::Resume { .. } => Kind::Resume,
         Msg::Welcome { .. } => Kind::Welcome,
+        Msg::Route { .. } => Kind::Route,
+        Msg::Redirect { .. } => Kind::Redirect,
     }
 }
 
@@ -287,6 +312,24 @@ fn payload_of(msg: &Msg) -> Vec<u8> {
             let mut out = Vec::with_capacity(9);
             out.extend_from_slice(&session_id.to_be_bytes());
             out.push(u8::from(*resumed));
+            out
+        }
+        Msg::Route { chain } => chain.to_be_bytes().to_vec(),
+        Msg::Redirect {
+            chain,
+            gateway_id,
+            addr,
+        } => {
+            let bytes = addr.as_bytes();
+            assert!(
+                bytes.len() <= usize::from(u16::MAX),
+                "redirect address exceeds u16 length"
+            );
+            let mut out = Vec::with_capacity(10 + bytes.len());
+            out.extend_from_slice(&chain.to_be_bytes());
+            out.extend_from_slice(&gateway_id.to_be_bytes());
+            out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+            out.extend_from_slice(bytes);
             out
         }
     }
@@ -411,6 +454,31 @@ fn decode_payload(kind: u8, p: &[u8]) -> Result<Msg, WireError> {
             Ok(Msg::Welcome {
                 session_id: u64::from_be_bytes(sid),
                 resumed: p[8] == 1,
+            })
+        }
+        k if k == Kind::Route as u8 => {
+            if p.len() != 4 {
+                return Err(WireError::BadPayload);
+            }
+            Ok(Msg::Route { chain: be_u32(p) })
+        }
+        k if k == Kind::Redirect as u8 => {
+            if p.len() < 10 {
+                return Err(WireError::BadPayload);
+            }
+            let chain = be_u32(p);
+            let gateway_id = be_u32(&p[4..]);
+            let n = usize::from(u16::from_be_bytes([p[8], p[9]]));
+            if p.len() != 10 + n {
+                return Err(WireError::BadPayload);
+            }
+            let addr = std::str::from_utf8(&p[10..])
+                .map_err(|_| WireError::BadPayload)?
+                .to_string();
+            Ok(Msg::Redirect {
+                chain,
+                gateway_id,
+                addr,
             })
         }
         k => Err(WireError::BadKind(k)),
@@ -589,6 +657,17 @@ mod tests {
                 session_id: u64::MAX,
                 resumed: false,
             },
+            Msg::Route { chain: 11 },
+            Msg::Redirect {
+                chain: 11,
+                gateway_id: 2,
+                addr: "127.0.0.1:7313".to_string(),
+            },
+            Msg::Redirect {
+                chain: 0,
+                gateway_id: 0,
+                addr: String::new(),
+            },
         ];
         let mut dec = FrameDecoder::new();
         for m in &msgs {
@@ -677,6 +756,25 @@ mod tests {
             }
         }
         assert!(ok, "clean frame lost after corruption");
+    }
+
+    #[test]
+    fn redirect_with_non_utf8_addr_is_bad_payload() {
+        let mut frame = encode_msg(&Msg::Redirect {
+            chain: 1,
+            gateway_id: 0,
+            addr: "x:1".to_string(),
+        });
+        // Corrupt the address bytes into invalid UTF-8, then re-seal the CRC
+        // so only the payload check can object.
+        let body_end = frame.len() - TRAILER_LEN;
+        frame[body_end - 1] = 0xFF;
+        frame[body_end - 2] = 0xC0;
+        let crc = crc32(&frame[..body_end]);
+        frame[body_end..].copy_from_slice(&crc.to_be_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame);
+        assert_eq!(dec.next_msg(), Err(WireError::BadPayload));
     }
 
     #[test]

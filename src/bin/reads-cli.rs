@@ -12,7 +12,13 @@
 //! reads-cli boot
 //! reads-cli serve    [--model unet|mlp] [--addr HOST:PORT]
 //!                    [--max-sessions N] [--session-resume-window SECS]
+//!                    [--fleet N] [--gateway-id I]
 //! ```
+//!
+//! `serve --fleet N` runs an in-process federation of `N` gateways on
+//! consecutive ports starting at `--addr`'s port (any port with `:0`),
+//! each owning its rendezvous-hash slice of chain ids; `--gateway-id I`
+//! narrows the periodic status lines to one member.
 //!
 //! Everything is cached under `target/reads-artifacts/`; the first `train`
 //! (or any command needing a model) pays the training cost once.
@@ -38,6 +44,8 @@ struct Args {
     addr: String,
     max_sessions: usize,
     session_resume_window: std::time::Duration,
+    fleet: usize,
+    gateway_id: Option<u32>,
 }
 
 fn parse_args(rest: &[String]) -> Result<Args, String> {
@@ -50,6 +58,8 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         addr: "127.0.0.1:7311".to_string(),
         max_sessions: 1024,
         session_resume_window: std::time::Duration::from_secs(30),
+        fleet: 1,
+        gateway_id: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -112,7 +122,54 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                 }
                 args.session_resume_window = std::time::Duration::from_secs(secs);
             }
+            "--fleet" => {
+                let n: usize = value()?.parse().map_err(|e| format!("bad --fleet: {e}"))?;
+                if n == 0 {
+                    return Err("--fleet 0 serves nothing; use at least 1 gateway".into());
+                }
+                if n > 16 {
+                    return Err(format!(
+                        "--fleet {n} gateways on one host is absurd; the cap is 16"
+                    ));
+                }
+                args.fleet = n;
+            }
+            "--gateway-id" => {
+                args.gateway_id = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --gateway-id: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if let Some(id) = args.gateway_id {
+        if args.fleet <= 1 {
+            return Err("--gateway-id only makes sense with --fleet N (N >= 2)".into());
+        }
+        if (id as usize) >= args.fleet {
+            return Err(format!(
+                "--gateway-id {id} out of range for a {}-gateway fleet (ids are 0..={})",
+                args.fleet,
+                args.fleet - 1
+            ));
+        }
+    }
+    if args.fleet > 1 {
+        // A fleet claims `fleet` consecutive ports from the base port;
+        // reject a range that runs off the end before any bind fails
+        // halfway through it. Port 0 asks the OS for every port.
+        if let Some((_, port)) = args.addr.rsplit_once(':') {
+            if let Ok(port) = port.parse::<u32>() {
+                if port != 0 && port + args.fleet as u32 - 1 > 65_535 {
+                    return Err(format!(
+                        "--fleet {} starting at port {port} runs past port 65535; \
+                         lower the base port",
+                        args.fleet
+                    ));
+                }
+            }
         }
     }
     Ok(args)
@@ -138,8 +195,133 @@ fn usage() {
     eprintln!(
         "usage: reads-cli <train|summary|convert|run|verify|fifo|scenario|boot|serve> \
          [--model unet|mlp] [--tier fast|full] [--seed N] [--width W] [--frames N] \
-         [--addr HOST:PORT] [--max-sessions N] [--session-resume-window SECS]"
+         [--addr HOST:PORT] [--max-sessions N] [--session-resume-window SECS] \
+         [--fleet N] [--gateway-id I]"
     );
+}
+
+/// `serve --fleet N`: an in-process federation of `N` gateways on
+/// consecutive ports, each with its own native engine over the same
+/// firmware. Chains are placed by rendezvous hashing; misrouted producers
+/// are redirected, and a dead member's sessions hand off to survivors.
+fn serve_fleet(
+    args: &Args,
+    bundle: &TrainedBundle,
+    fw: &reads::hls4ml::Firmware,
+    gw_cfg: reads::net::GatewayConfig,
+) -> ExitCode {
+    use reads::central::engine::{EngineConfig, ShardedEngine};
+    use reads::net::fleet::{FleetConfig, GatewayFleet};
+    use reads::net::{ctrl_c_requested, install_ctrl_c};
+    use std::net::{SocketAddr, ToSocketAddrs};
+
+    const CHAINS_HINT: u32 = 8;
+    let Some(base) = args
+        .addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+    else {
+        eprintln!("error: cannot resolve {}", args.addr);
+        return ExitCode::FAILURE;
+    };
+    let addrs: Vec<SocketAddr> = (0..args.fleet)
+        .map(|i| {
+            let port = if base.port() == 0 {
+                0
+            } else {
+                base.port() + u16::try_from(i).expect("fleet fits u16")
+            };
+            SocketAddr::new(base.ip(), port)
+        })
+        .collect();
+    let fleet_cfg = FleetConfig {
+        gateways: args.fleet,
+        gateway: gw_cfg,
+        chains_hint: CHAINS_HINT,
+        ..FleetConfig::default()
+    };
+    let fleet = match GatewayFleet::start(
+        &addrs,
+        fleet_cfg,
+        ShardedEngine::native_factory(
+            &EngineConfig::default(),
+            fw,
+            &HpsModel::default(),
+            &bundle.standardizer,
+        ),
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot start fleet at {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    install_ctrl_c();
+    let state = fleet.state();
+    println!(
+        "serving {} verdicts on a {}-gateway fleet — ctrl-c drains and exits",
+        bundle.spec.name(),
+        args.fleet
+    );
+    for m in state.members() {
+        println!(
+            "  gw[{}]: {} (chains {})",
+            m.id,
+            m.addr,
+            state.chains_label(m.id, CHAINS_HINT)
+        );
+    }
+    let ids: Vec<u32> = (0..args.fleet)
+        .map(|i| u32::try_from(i).expect("small fleet"))
+        .collect();
+    let mut last_frames = 0u64;
+    while !ctrl_c_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let total: u64 = ids
+            .iter()
+            .map(|&i| fleet.counters(i).frames_assembled)
+            .sum();
+        if total != last_frames {
+            last_frames = total;
+            for &i in &ids {
+                if args.gateway_id.is_some_and(|id| id != i) {
+                    continue;
+                }
+                let c = fleet.counters(i);
+                println!(
+                    "  gw[{i}]: chains {} | {} sessions | {} frames | {} resumes | \
+                     {} handoffs | {} redirects",
+                    state.chains_label(i, CHAINS_HINT),
+                    fleet.sessions(i),
+                    c.frames_assembled,
+                    c.resumes,
+                    c.handoffs,
+                    c.redirects
+                );
+            }
+        }
+    }
+    println!("draining the fleet…");
+    let report = fleet.shutdown();
+    if report.fleet_console.is_empty() {
+        println!("no frames served");
+    } else {
+        print!("{}", report.fleet_console);
+    }
+    let processed: u64 = report
+        .gateways
+        .iter()
+        .map(|(_, r)| r.fleet.processed())
+        .sum();
+    let verdicts: u64 = report.gateways.iter().map(|(_, r)| r.verdicts_sent).sum();
+    let acks: u64 = report.gateways.iter().map(|(_, r)| r.acks_sent).sum();
+    println!(
+        "served {processed} frames across {} gateways ({verdicts} verdicts to subscribers, \
+         {acks} acks)",
+        report.gateways.len()
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -256,17 +438,20 @@ fn main() -> ExitCode {
             use reads::central::engine::{EngineConfig, ShardedEngine};
             use reads::net::{ctrl_c_requested, install_ctrl_c, GatewayConfig, HubGateway};
             let (bundle, fw) = firmware_of(&args);
+            let gw_cfg = GatewayConfig {
+                max_sessions: args.max_sessions,
+                session_resume_window: args.session_resume_window,
+                ..GatewayConfig::default()
+            };
+            if args.fleet > 1 {
+                return serve_fleet(&args, &bundle, &fw, gw_cfg);
+            }
             let engine = ShardedEngine::native(
                 &EngineConfig::default(),
                 &fw,
                 &HpsModel::default(),
                 &bundle.standardizer,
             );
-            let gw_cfg = GatewayConfig {
-                max_sessions: args.max_sessions,
-                session_resume_window: args.session_resume_window,
-                ..GatewayConfig::default()
-            };
             let handle = match HubGateway::start(args.addr.as_str(), gw_cfg, engine) {
                 Ok(h) => h,
                 Err(e) => {

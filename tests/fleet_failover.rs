@@ -1,0 +1,315 @@
+//! Federation conformance: kill a chain's owning gateway mid-stream and
+//! prove the fleet hands the work over without losing an acked frame or
+//! drifting a verdict bit.
+//!
+//! A three-gateway fleet (rendezvous-hash placement, heartbeat
+//! supervisor, gossiped session digests) serves three hub chains. A
+//! [`FleetProducer`] pins one resilient client per chain to the chain's
+//! owner; a [`FleetSubscriber`] holds one session per gateway and merges
+//! the verdict streams behind a `(chain, sequence)` dedupe set. Midway
+//! through the stream the gateway owning chain 0 is killed
+//! SIGKILL-style — sockets severed, engine state gone, no goodbye. The
+//! supervisor must detect the death by heartbeat timeout, placement must
+//! move only the dead member's chains, the orphaned sessions must be
+//! adopted by survivors from gossip, and the merged verdict stream must
+//! come out **bit-identical** to an uninterrupted in-process run — every
+//! frame acked, every acked frame's verdict delivered exactly once.
+
+use reads::blm::acnet::DeblendVerdict;
+use reads::blm::dataset::Standardizer;
+use reads::blm::hubs::{assemble_frame, ChainFrame, MultiChainSource};
+use reads::central::engine::{EngineConfig, ShardedEngine};
+use reads::hls4ml::{convert, profile_model, Firmware, HlsConfig};
+use reads::net::fleet::{FleetConfig, FleetProducer, FleetSubscriber, GatewayFleet};
+use reads::net::resilient::ResilienceConfig;
+use reads::net::GatewayConfig;
+use reads::nn::models;
+use reads::soc::HpsModel;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+fn synth_frame(len: usize, frame: usize) -> Vec<f64> {
+    (0..len)
+        .map(|j| {
+            let phase = (j as f64).mul_add(0.173, frame as f64 * 1.37);
+            2.5 * phase.sin() + 0.25 * ((j % 17) as f64 - 8.0) / 8.0
+        })
+        .collect()
+}
+
+fn build_firmware() -> Firmware {
+    let m = models::reads_mlp(3);
+    let (input_len, _) = m.input_shape();
+    let calib: Vec<Vec<f64>> = (0..6).map(|f| synth_frame(input_len, f + 100)).collect();
+    let profile = profile_model(&m, &calib);
+    convert(&m, &profile, &HlsConfig::paper_default())
+}
+
+fn standardizer() -> Standardizer {
+    Standardizer {
+        mean: 112_000.0,
+        std: 3_500.0,
+    }
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// In-process golden run of `frames` — the bit-exact reference a fleet of
+/// any size must reproduce.
+fn golden(
+    fw: &Firmware,
+    std: &Standardizer,
+    frames: &[ChainFrame],
+) -> BTreeMap<(u32, u32), Vec<f64>> {
+    let n_in = fw.input_len * fw.input_channels;
+    let mut expect = BTreeMap::new();
+    for cf in frames {
+        let readings = assemble_frame(&cf.packets).expect("synthetic frame assembles");
+        let (out, _) = fw.infer(&std.apply_frame(&readings[..n_in]));
+        let verdict = if out.len() == 2 * reads::blm::N_BLM {
+            DeblendVerdict::from_interleaved(cf.sequence, &out)
+        } else {
+            DeblendVerdict::from_split_halves(cf.sequence, &out)
+        };
+        let mut flat = verdict.mi.clone();
+        flat.extend_from_slice(&verdict.rr);
+        expect.insert((cf.chain, cf.sequence), flat);
+    }
+    expect
+}
+
+#[test]
+fn killing_a_chain_owner_hands_off_without_losing_an_acked_frame() {
+    let fw = build_firmware();
+    let std = standardizer();
+    let hps = HpsModel::default();
+    let chains = 3usize;
+    let ticks = 12usize;
+    let frames = MultiChainSource::new(chains, 3).ticks(ticks);
+    let total = frames.len();
+    let expect = golden(&fw, &std, &frames);
+
+    let fleet_cfg = FleetConfig {
+        gateways: 3,
+        heartbeat_interval: Duration::from_millis(10),
+        heartbeat_timeout: Duration::from_millis(80),
+        gossip_interval: Duration::from_millis(15),
+        gateway: GatewayConfig {
+            outbound_queue: 8192,
+            ..GatewayConfig::default()
+        },
+        chains_hint: chains as u32,
+    };
+    let engine_cfg = EngineConfig::default();
+    let mut fleet = GatewayFleet::start_local(
+        fleet_cfg,
+        ShardedEngine::native_factory(&engine_cfg, &fw, &hps, &std),
+    )
+    .expect("fleet starts");
+    let addrs = fleet.addrs();
+    let state = fleet.state();
+    let victim = state.owner_of(0).expect("chain 0 has an owner");
+    let placement_before: Vec<_> = (0..chains as u32)
+        .map(|c| state.owner_of(c).expect("owned"))
+        .collect();
+
+    let client_cfg = |seed: u64| ResilienceConfig {
+        max_reconnect_attempts: 30,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(200),
+        seed,
+        insist_resume: 8,
+        acked_retention: 1024,
+        ..ResilienceConfig::default()
+    };
+    let mut subscriber =
+        FleetSubscriber::connect(&addrs, &client_cfg(202)).expect("subscribers connect");
+    // Subscribers must be attached before the first verdict computes, or
+    // the head of the stream has no audience.
+    while (0..3).map(|i| fleet.sessions(i)).sum::<u64>() < 3 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    let mut producer = FleetProducer::new(&addrs, client_cfg(101));
+
+    let mut got: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
+    let collect = |sub: &mut FleetSubscriber, got: &mut BTreeMap<(u32, u32), Vec<f64>>| {
+        for v in sub.poll(Duration::from_millis(25)) {
+            let mut flat = Vec::with_capacity(v.verdict.mi.len() + v.verdict.rr.len());
+            flat.extend_from_slice(&v.verdict.mi);
+            flat.extend_from_slice(&v.verdict.rr);
+            got.insert((v.chain, v.verdict.sequence), flat);
+        }
+    };
+
+    // Stream tick by tick; kill chain 0's owner halfway through — after
+    // its frames were acked, before the stream ends.
+    let kill_after_tick = ticks / 2;
+    for (tick, tick_frames) in frames.chunks(chains).enumerate() {
+        for frame in tick_frames {
+            producer.send_frame(frame).expect("send survives the kill");
+        }
+        producer
+            .drain_acks(Duration::from_millis(25))
+            .expect("ack pump");
+        collect(&mut subscriber, &mut got);
+        if tick + 1 == kill_after_tick {
+            let _pre_kill_report = fleet.kill_gateway(victim);
+        }
+    }
+
+    // Final drain: keep pumping until every frame is acked and every
+    // verdict arrived (the chain-0 client re-routes, re-feeds its
+    // retained acked frames, and the successor recomputes).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while (got.len() < total || producer.unacked_total() > 0) && Instant::now() < deadline {
+        producer
+            .drain_acks(Duration::from_millis(50))
+            .expect("final ack pump");
+        collect(&mut subscriber, &mut got);
+    }
+
+    let producer_stats = producer.stats();
+    let subscriber_stats = subscriber.stats();
+    let duplicates = subscriber.duplicates();
+    let unacked = producer.unacked_total();
+    drop(producer);
+    drop(subscriber);
+    let report = fleet.shutdown();
+
+    // The supervisor detected the kill by heartbeat timeout, and
+    // placement moved only the dead member's chains.
+    assert_eq!(report.killed, vec![victim]);
+    assert!(
+        report.deaths_detected >= 1,
+        "supervisor missed the kill: {report:?}"
+    );
+    assert_eq!(report.detection_ms.len(), 1, "one logged kill, one sample");
+    assert!(
+        report.detection_ms[0] < 2_000.0,
+        "detection latency unbounded: {} ms",
+        report.detection_ms[0]
+    );
+    for (c, &old) in placement_before.iter().enumerate() {
+        let now = state.owner_of(c as u32).expect("survivors own everything");
+        if old == victim {
+            assert_ne!(now, victim, "chain {c} still placed on the corpse");
+        } else {
+            assert_eq!(now, old, "chain {c} moved although its owner survived");
+        }
+    }
+
+    // Orphaned sessions were adopted from gossip by survivors, and the
+    // clients actually failed over (not fresh-started).
+    let handoffs: u64 = report.gateways.iter().map(|(_, r)| r.net.handoffs).sum();
+    assert!(handoffs >= 1, "no survivor imported a session: {report:?}");
+    assert!(
+        producer_stats.failovers >= 1,
+        "chain-0 producer never moved gateway: {producer_stats:?}"
+    );
+    assert!(
+        subscriber_stats.resumed + producer_stats.resumed >= 1,
+        "nothing resumed through the kill"
+    );
+
+    // Zero acked-frame loss, exactly-once delivery, bit-identical stream.
+    assert_eq!(unacked, 0, "every frame was acked before shutdown");
+    assert_eq!(got.len(), total, "every verdict was delivered exactly once");
+    assert!(
+        duplicates >= 1,
+        "failover redelivery never happened — the dedupe set saw no duplicates"
+    );
+    for (key, want) in &expect {
+        let served = got.get(key).unwrap_or_else(|| panic!("missing {key:?}"));
+        assert_eq!(
+            bits(served),
+            bits(want),
+            "verdict for chain {} seq {} drifted across the handoff",
+            key.0,
+            key.1
+        );
+    }
+
+    // The fleet console reports every survivor with its owned chains.
+    for (id, _) in &report.gateways {
+        assert!(
+            report.fleet_console.contains(&format!("gw[{id}]:")),
+            "console missing gw[{id}]: {}",
+            report.fleet_console
+        );
+    }
+    assert!(
+        !report.fleet_console.contains(&format!("gw[{victim}]:")),
+        "killed gateway still rendered: {}",
+        report.fleet_console
+    );
+}
+
+/// Placement answers and redirects are consistent: every gateway names
+/// the same owner for a chain, and a producer pinned to that chain lands
+/// on it without manual routing.
+#[test]
+fn routing_converges_on_one_owner_per_chain() {
+    let fw = build_firmware();
+    let std = standardizer();
+    let hps = HpsModel::default();
+    let cfg = FleetConfig {
+        gateways: 3,
+        chains_hint: 4,
+        ..FleetConfig::default()
+    };
+    let engine_cfg = EngineConfig::default();
+    let fleet = GatewayFleet::start_local(
+        cfg,
+        ShardedEngine::native_factory(&engine_cfg, &fw, &hps, &std),
+    )
+    .expect("fleet starts");
+    let addrs = fleet.addrs();
+    let state = fleet.state();
+
+    let mut producer = FleetProducer::new(
+        &addrs,
+        ResilienceConfig {
+            seed: 41,
+            ..ResilienceConfig::default()
+        },
+    );
+    let frames = MultiChainSource::new(4, 7).ticks(2);
+    for frame in &frames {
+        producer.send_frame(frame).expect("routed send");
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while producer.unacked_total() > 0 && Instant::now() < deadline {
+        producer
+            .drain_acks(Duration::from_millis(25))
+            .expect("ack pump");
+    }
+    assert_eq!(producer.unacked_total(), 0, "all routed frames acked");
+    assert_eq!(producer.chains(), 4, "one pinned client per chain");
+    drop(producer);
+
+    // Each chain's frames were assembled only on its owner: a gateway
+    // that owns nothing in 0..4 saw no hub data, and no gateway counted a
+    // misroute redirect (routing was learned before the first frame).
+    let per_gw: Vec<(u32, u64)> = (0..3).map(|id| (id, fleet.counters(id).handoffs)).collect();
+    for (id, handoffs) in per_gw {
+        assert_eq!(handoffs, 0, "no handoff in a healthy fleet (gw {id})");
+    }
+    let report = fleet.shutdown();
+    let mut frames_per_gw = BTreeMap::new();
+    for (id, gw_report) in &report.gateways {
+        frames_per_gw.insert(*id, gw_report.fleet.processed());
+    }
+    let owned_counts: BTreeMap<u32, u64> = (0..3)
+        .map(|id| {
+            let owned = state.owned_chains(id, 4).len() as u64;
+            (id, owned * 2) // two ticks per chain
+        })
+        .collect();
+    assert_eq!(
+        frames_per_gw, owned_counts,
+        "every frame ran on its chain's owner and nowhere else"
+    );
+}
