@@ -1,23 +1,47 @@
 //! Single-thread inference hot-path benchmark: interpreter vs the lowered
-//! integer-quanta engine.
+//! kernel-specialised engine.
 //!
-//! Sweeps {U-Net, MLP} × {interpreter, compiled} × batch sizes over
-//! deterministic synthetic frames, each engine running its steady-state
-//! path (`Firmware::infer_reusing` with a reused `InterpState`;
-//! `CompiledFirmware::infer_into` with a reused `Scratch`). Reports
+//! Sweeps {U-Net, MLP} × {interpreter, compiled} × batch sizes × weight
+//! densities over deterministic synthetic frames. **Every row runs the
+//! identical frame set** (in groups of `batch`), so rows are directly
+//! comparable — per-frame cost varies ~40% across the synthetic frames,
+//! and benchmarking different subsets per batch size is how the old
+//! harness manufactured a phantom batch=8 regression. Timing takes the
+//! **minimum over full passes** of the set, which is robust against the
+//! scheduling noise of shared hosts (any slowdown in a pass is external
+//! to the measured code; the fastest pass is the honest cost).
+//!
+//! Density rows prune the firmware with `sparsify_firmware` and measure
+//! **both** engines on the pruned firmware — the same function on both
+//! sides. That is the paper's comparison: the interpreter schedules every
+//! zero-weight MAC, the planner's CSR kernels never schedule them, and
+//! the outputs stay bit-identical (asserted before timing). Each engine
+//! runs its steady-state path (`Firmware::infer_reusing` with a reused
+//! `InterpState`; `CompiledFirmware::infer_batch_into` with a reused
+//! `Scratch` and output buffer — the batch-major 8-lane path). Reports
 //! frames/sec, ns/frame, and heap allocations/frame counted by a global
 //! counting allocator, then writes `BENCH_inference_hotpath.json` at the
 //! repo root — the tracked benchmark trajectory.
 //!
-//! Asserts that the compiled engine allocates nothing per frame and that
-//! its single-thread U-Net speedup over the interpreter is at least
-//! `MIN_SPEEDUP` (default 3; CI runs with 2 as the regression floor).
+//! Asserts:
+//! * the compiled hot path allocates nothing per frame, at every batch
+//!   size and density;
+//! * batch monotonicity at every density — compiled batch=8 throughput is
+//!   at least 0.9× of batch=1 on the same frames (batch-major lanes must
+//!   amortise weight loads, never regress);
+//! * the headline U-Net speedup (best same-firmware ratio across the
+//!   density sweep) is at least `MIN_SPEEDUP` (default 3; CI kernel-matrix
+//!   floor is 6);
+//! * best compiled MLP throughput across the sweep is at least
+//!   `MIN_MLP_FPS` frames/s when that env var is set.
 //!
 //! ```sh
 //! cargo run --release -p reads-bench --bin inference_hotpath
 //! ```
 
-use reads_hls4ml::{convert, profile_model, CompiledFirmware, Firmware, HlsConfig};
+use reads_hls4ml::{
+    convert, profile_model, sparsify_firmware, CompiledFirmware, Firmware, HlsConfig,
+};
 use reads_nn::models;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write as _;
@@ -50,6 +74,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 const SEED: u64 = 2024;
+/// Frames in the shared working set: divisible by every swept batch size.
+const SET: usize = 32;
+/// Weight densities swept: dense, and pruned profiles down to the 90%
+/// sparsity regime the hls4ml literature targets.
+const DENSITIES: [f64; 4] = [1.0, 0.5, 0.25, 0.10];
 
 fn synth_frame(n: usize, seed: u64) -> Vec<f64> {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -77,6 +106,7 @@ fn build(model: &reads_nn::Model, seed: u64) -> Firmware {
 struct Cell {
     model: &'static str,
     engine: &'static str,
+    density: f64,
     batch: usize,
     frames: u64,
     ns_per_frame: f64,
@@ -84,93 +114,124 @@ struct Cell {
     allocs_per_frame: f64,
 }
 
-/// Runs `frames_per_rep`-frame batches of `step` until ~0.4 s has elapsed
-/// (min 3 reps), returning (frames, ns/frame, allocs/frame).
-fn measure(
-    batch: usize,
-    inputs: &[Vec<f64>],
-    mut step: impl FnMut(&[Vec<f64>]),
-) -> (u64, f64, f64) {
+/// Runs full passes of the shared frame set through `step` until ~0.5 s
+/// has elapsed (min 4 passes), returning (frames, ns/frame of the
+/// *fastest* pass, allocs/frame over all passes).
+fn measure(n_frames: usize, mut step: impl FnMut()) -> (u64, f64, f64) {
     // Warm-up: one pass so lazy buffers (and the page cache) settle.
-    step(&inputs[..batch]);
+    step();
     let alloc_start = ALLOCS.load(Ordering::Relaxed);
     let t0 = Instant::now();
     let mut frames = 0u64;
     let mut reps = 0u32;
-    while reps < 3 || t0.elapsed().as_secs_f64() < 0.4 {
-        step(&inputs[..batch]);
-        frames += batch as u64;
+    let mut best = f64::INFINITY;
+    while reps < 4 || t0.elapsed().as_secs_f64() < 0.5 {
+        let tp = Instant::now();
+        step();
+        best = best.min(tp.elapsed().as_secs_f64());
+        frames += n_frames as u64;
         reps += 1;
         if frames > 2_000_000 {
             break;
         }
     }
-    let elapsed = t0.elapsed().as_secs_f64();
     let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
     (
         frames,
-        elapsed * 1e9 / frames as f64,
+        best * 1e9 / n_frames as f64,
         allocs as f64 / frames as f64,
     )
 }
 
 fn sweep_model(name: &'static str, fw: &Firmware, batches: &[usize], rows: &mut Vec<Cell>) {
     let n_in = fw.input_len * fw.input_channels;
-    let max_batch = *batches.iter().max().unwrap();
-    let inputs: Vec<Vec<f64>> = (0..max_batch)
+    let inputs: Vec<Vec<f64>> = (0..SET)
         .map(|i| synth_frame(n_in, SEED + i as u64))
         .collect();
+    let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
 
-    let compiled = CompiledFirmware::lower(fw);
-    // Sanity: both engines agree on the bench frames before we time them.
-    let (want, want_stats) = fw.infer(&inputs[0]);
-    let (got, got_stats) = compiled.infer(&inputs[0]);
-    assert_eq!(want, got, "{name}: engines diverge");
-    assert_eq!(want_stats, got_stats, "{name}: stats diverge");
+    for &density in &DENSITIES {
+        let pruned;
+        let dfw = if density < 1.0 {
+            pruned = sparsify_firmware(fw, density, SEED ^ density.to_bits());
+            &pruned
+        } else {
+            fw
+        };
+        let compiled = CompiledFirmware::lower(dfw);
+        // Sanity: the engines agree on the bench frames before we time.
+        let (want, want_stats) = dfw.infer(&inputs[0]);
+        let (got, got_stats) = compiled.infer(&inputs[0]);
+        assert_eq!(want, got, "{name} d={density}: engines diverge");
+        assert_eq!(want_stats, got_stats, "{name} d={density}: stats diverge");
 
-    for &batch in batches {
-        let mut state = fw.interp_state();
-        let (frames, ns, allocs) = measure(batch, &inputs, |xs| {
-            for x in xs {
-                let (y, stats) = fw.infer_reusing(x, &mut state);
+        // Interpreter baseline on the *same pruned firmware*: it schedules
+        // every zero-weight MAC, so this is the honest same-function
+        // comparison. Its per-frame path is batch-independent; one row.
+        let mut state = dfw.interp_state();
+        let (frames, ns, allocs) = measure(SET, || {
+            for x in &inputs {
+                let (y, stats) = dfw.infer_reusing(x, &mut state);
                 std::hint::black_box((y, stats));
             }
         });
         rows.push(Cell {
             model: name,
             engine: "interpreter",
-            batch,
+            density,
+            batch: 1,
             frames,
             ns_per_frame: ns,
             fps: 1e9 / ns,
             allocs_per_frame: allocs,
         });
 
-        let mut scratch = compiled.scratch();
-        let (frames, ns, allocs) = measure(batch, &inputs, |xs| {
-            for x in xs {
-                let (y, stats) = compiled.infer_into(x, &mut scratch);
-                std::hint::black_box((y, stats));
-            }
-        });
-        rows.push(Cell {
-            model: name,
-            engine: "compiled",
-            batch,
-            frames,
-            ns_per_frame: ns,
-            fps: 1e9 / ns,
-            allocs_per_frame: allocs,
-        });
+        let ol = compiled.output_len();
+        for &batch in batches {
+            let mut scratch = compiled.scratch();
+            let mut out = vec![0.0; batch * ol];
+            let (frames, ns, allocs) = measure(SET, || {
+                for group in refs.chunks_exact(batch) {
+                    let stats = compiled.infer_batch_into(group, &mut scratch, &mut out);
+                    std::hint::black_box(stats);
+                    std::hint::black_box(&out);
+                }
+            });
+            rows.push(Cell {
+                model: name,
+                engine: "compiled",
+                density,
+                batch,
+                frames,
+                ns_per_frame: ns,
+                fps: 1e9 / ns,
+                allocs_per_frame: allocs,
+            });
+        }
     }
 }
 
-/// Best (lowest) ns/frame for one model × engine across batch sizes.
-fn best_ns(rows: &[Cell], model: &str, engine: &str) -> f64 {
+/// Best (lowest) ns/frame for one model × engine at one density.
+fn best_ns(rows: &[Cell], model: &str, engine: &str, density: f64) -> f64 {
     rows.iter()
-        .filter(|c| c.model == model && c.engine == engine)
+        .filter(|c| c.model == model && c.engine == engine && c.density == density)
         .map(|c| c.ns_per_frame)
         .fold(f64::INFINITY, f64::min)
+}
+
+fn fps_at(rows: &[Cell], model: &str, engine: &str, density: f64, batch: usize) -> f64 {
+    rows.iter()
+        .find(|c| {
+            c.model == model && c.engine == engine && c.density == density && c.batch == batch
+        })
+        .map_or(0.0, |c| c.fps)
+}
+
+/// Headline speedup for one model: the best same-firmware interpreter ÷
+/// compiled ratio across the density sweep. Dense-only speedup is the
+/// `density == 1.0` entry.
+fn speedup_at(rows: &[Cell], model: &str, density: f64) -> f64 {
+    best_ns(rows, model, "interpreter", density) / best_ns(rows, model, "compiled", density)
 }
 
 fn main() {
@@ -178,15 +239,21 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3.0);
+    let min_mlp_fps: f64 = std::env::var("MIN_MLP_FPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
     let batches = [1usize, 8, 32];
 
     let unet = build(&models::reads_unet(SEED), SEED);
     let mlp = build(&models::reads_mlp(SEED), SEED + 1);
 
-    println!("inference hot path: interpreter vs lowered engine (single thread, seed {SEED})");
     println!(
-        "{:>6} {:>12} {:>6} {:>8} {:>12} {:>12} {:>13}",
-        "model", "engine", "batch", "frames", "ns/frame", "frames/s", "allocs/frame"
+        "inference hot path: interpreter vs kernel-specialised engine (single thread, seed {SEED})"
+    );
+    println!(
+        "{:>6} {:>12} {:>8} {:>6} {:>8} {:>12} {:>12} {:>13}",
+        "model", "engine", "density", "batch", "frames", "ns/frame", "frames/s", "allocs/frame"
     );
 
     let mut rows = Vec::new();
@@ -195,43 +262,94 @@ fn main() {
 
     for c in &rows {
         println!(
-            "{:>6} {:>12} {:>6} {:>8} {:>12.0} {:>12.0} {:>13.2}",
-            c.model, c.engine, c.batch, c.frames, c.ns_per_frame, c.fps, c.allocs_per_frame
+            "{:>6} {:>12} {:>8.2} {:>6} {:>8} {:>12.0} {:>12.0} {:>13.2}",
+            c.model,
+            c.engine,
+            c.density,
+            c.batch,
+            c.frames,
+            c.ns_per_frame,
+            c.fps,
+            c.allocs_per_frame
         );
     }
 
-    let unet_speedup = best_ns(&rows, "unet", "interpreter") / best_ns(&rows, "unet", "compiled");
-    let mlp_speedup = best_ns(&rows, "mlp", "interpreter") / best_ns(&rows, "mlp", "compiled");
-    println!("\nU-Net single-thread speedup: {unet_speedup:.2}x (floor {min_speedup:.1}x)");
-    println!("MLP   single-thread speedup: {mlp_speedup:.2}x");
+    let unet_speedup = DENSITIES
+        .iter()
+        .map(|&d| speedup_at(&rows, "unet", d))
+        .fold(0.0, f64::max);
+    let mlp_speedup = DENSITIES
+        .iter()
+        .map(|&d| speedup_at(&rows, "mlp", d))
+        .fold(0.0, f64::max);
+    let unet_dense_speedup = speedup_at(&rows, "unet", 1.0);
+    let mlp_dense_speedup = speedup_at(&rows, "mlp", 1.0);
+    let mlp_best_fps = DENSITIES
+        .iter()
+        .map(|&d| 1e9 / best_ns(&rows, "mlp", "compiled", d))
+        .fold(0.0, f64::max);
+    println!(
+        "\nU-Net speedup: {unet_speedup:.2}x sparse-aware best, {unet_dense_speedup:.2}x dense \
+         (floor {min_speedup:.1}x)"
+    );
+    println!("MLP   speedup: {mlp_speedup:.2}x sparse-aware best, {mlp_dense_speedup:.2}x dense");
+    println!("MLP   best compiled rate: {mlp_best_fps:.0} frames/s (floor {min_mlp_fps:.0})");
 
     for c in rows.iter().filter(|c| c.engine == "compiled") {
         assert!(
             c.allocs_per_frame == 0.0,
-            "{} batch {}: compiled hot path allocated {:.2}/frame",
+            "{} d={} batch {}: compiled hot path allocated {:.2}/frame",
             c.model,
+            c.density,
             c.batch,
             c.allocs_per_frame
         );
     }
+    // Batch monotonicity: on identical frames, the batch-major path must
+    // amortise weight loads — batch=8 may not lose more than measurement
+    // noise against batch=1, at any density.
+    for model in ["unet", "mlp"] {
+        for &density in &DENSITIES {
+            let b1 = fps_at(&rows, model, "compiled", density, 1);
+            let b8 = fps_at(&rows, model, "compiled", density, 8);
+            assert!(
+                b8 >= 0.9 * b1,
+                "{model} d={density}: batch=8 throughput {b8:.0} fps regressed below 0.9x of \
+                 batch=1 {b1:.0} fps"
+            );
+        }
+    }
     assert!(
         unet_speedup >= min_speedup,
         "U-Net compiled speedup {unet_speedup:.2}x below the {min_speedup:.1}x floor"
+    );
+    assert!(
+        mlp_best_fps >= min_mlp_fps,
+        "MLP compiled rate {mlp_best_fps:.0} fps below the {min_mlp_fps:.0} floor"
     );
 
     let json_rows: Vec<String> = rows
         .iter()
         .map(|c| {
             format!(
-                "{{\"model\":\"{}\",\"engine\":\"{}\",\"batch\":{},\"frames\":{},\
-                 \"ns_per_frame\":{:.1},\"fps\":{:.1},\"allocs_per_frame\":{:.3}}}",
-                c.model, c.engine, c.batch, c.frames, c.ns_per_frame, c.fps, c.allocs_per_frame
+                "{{\"model\":\"{}\",\"engine\":\"{}\",\"density\":{},\"batch\":{},\
+                 \"frames\":{},\"ns_per_frame\":{:.1},\"fps\":{:.1},\"allocs_per_frame\":{:.3}}}",
+                c.model,
+                c.engine,
+                c.density,
+                c.batch,
+                c.frames,
+                c.ns_per_frame,
+                c.fps,
+                c.allocs_per_frame
             )
         })
         .collect();
     let json = format!(
         "{{\"seed\":{SEED},\"min_speedup\":{min_speedup},\"unet_speedup\":{unet_speedup:.3},\
-         \"mlp_speedup\":{mlp_speedup:.3},\"rows\":[{}]}}\n",
+         \"unet_dense_speedup\":{unet_dense_speedup:.3},\"mlp_speedup\":{mlp_speedup:.3},\
+         \"mlp_dense_speedup\":{mlp_dense_speedup:.3},\"mlp_best_fps\":{mlp_best_fps:.1},\
+         \"rows\":[{}]}}\n",
         json_rows.join(",")
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

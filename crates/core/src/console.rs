@@ -8,6 +8,7 @@
 use crate::resilience::{HealthCounters, HealthState, NetCounters};
 use reads_blm::acnet::DeblendVerdict;
 use reads_blm::Machine;
+use reads_hls4ml::{KernelMix, SimdLevel};
 use reads_sim::{P2Quantile, StreamingStats};
 use reads_soc::node::FrameTiming;
 use serde::Serialize;
@@ -29,6 +30,7 @@ pub struct OperatorConsole {
     shards: Vec<ShardHealth>,
     net_health: Option<NetHealth>,
     gateways: Vec<GatewayHealth>,
+    kernel_mix: Option<KernelMix>,
 }
 
 /// The network serving plane's line in the console: transport state plus
@@ -119,6 +121,10 @@ pub struct ConsoleSummary {
     /// Per-gateway health, when a gateway fleet reports into this console
     /// (empty for single-gateway or in-process operation).
     pub gateways: Vec<GatewayHealth>,
+    /// Kernel selection of the serving engines, when a compiled-backend
+    /// fleet reports into this console (absent for interpreter or
+    /// simulated-SoC operation).
+    pub kernel_mix: Option<KernelMix>,
 }
 
 impl OperatorConsole {
@@ -140,7 +146,17 @@ impl OperatorConsole {
             shards: Vec::new(),
             net_health: None,
             gateways: Vec::new(),
+            kernel_mix: None,
         }
+    }
+
+    /// Feeds the kernel selection summary of a shard's compiled engine
+    /// (latest observation wins — every shard of a fleet lowers the same
+    /// firmware with the same planner, so the mixes are identical). Until
+    /// this is called, summaries and renders omit the kernel line, so
+    /// interpreter-backed consoles are unchanged.
+    pub fn observe_kernel_mix(&mut self, mix: KernelMix) {
+        self.kernel_mix = Some(mix);
     }
 
     /// Feeds the hub gateway's transport view (latest observation wins).
@@ -276,6 +292,7 @@ impl OperatorConsole {
             shards: self.shards.clone(),
             net_health: self.net_health,
             gateways: self.gateways.clone(),
+            kernel_mix: self.kernel_mix,
         }
     }
 
@@ -340,6 +357,18 @@ impl OperatorConsole {
                 c.sequence_gaps,
                 c.slow_consumer_drops,
                 c.resumes
+            );
+        }
+        if let Some(m) = &s.kernel_mix {
+            let simd = match m.simd {
+                SimdLevel::Scalar => "scalar",
+                SimdLevel::Avx2 => "avx2",
+                SimdLevel::Avx512 => "avx512",
+            };
+            let _ = writeln!(
+                out,
+                " kernels            {} | {} mono | {} dense | {} wide | {} sparse | {} fused | {} data",
+                simd, m.mono, m.dense, m.wide, m.sparse, m.fused, m.data
             );
         }
         out.push_str(&render_gateway_lines(&s.gateways));

@@ -34,7 +34,7 @@ use reads_blm::hubs::{assemble_frame, ChainFrame};
 use reads_blm::Standardizer;
 use reads_hls4ml::firmware::InferenceStats;
 use reads_hls4ml::latency::estimate_latency;
-use reads_hls4ml::{CompiledFirmware, Firmware, Scratch};
+use reads_hls4ml::{CompiledFirmware, Firmware, KernelMix, Scratch};
 use reads_sim::SimDuration;
 use reads_soc::hps::HpsModel;
 use reads_soc::multi::{batch_makespan, IpArray};
@@ -136,6 +136,12 @@ pub trait ShardExecutor: Send {
     fn wedged(&self) -> bool {
         false
     }
+
+    /// The compiled engine's kernel selection summary, when this executor
+    /// runs one — `None` for interpreter and simulated-SoC backends.
+    fn kernel_mix(&self) -> Option<KernelMix> {
+        None
+    }
 }
 
 /// The native executor's inference backend: the reference interpreter, or
@@ -222,14 +228,14 @@ impl ShardExecutor for NativeExecutor {
         let (outputs, stats) = match &mut self.backend {
             NativeBackend::Interpreter(fw) => fw.infer_batch(inputs),
             NativeBackend::Compiled { engine, scratch } => {
-                let mut merged = InferenceStats::default();
-                let mut outs = Vec::with_capacity(inputs.len());
-                for x in inputs {
-                    let (y, st) = engine.infer_into(x, scratch);
-                    merged.merge(st);
-                    outs.push(y.to_vec());
-                }
-                (outs, merged)
+                // Batch-major path: frames travel through the kernels in
+                // 8-lane groups, so one weight load feeds every lane.
+                let ol = engine.output_len();
+                let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+                let mut flat = vec![0.0; inputs.len() * ol];
+                let stats = engine.infer_batch_into(&refs, scratch, &mut flat).clone();
+                let outs = flat.chunks_exact(ol.max(1)).map(<[f64]>::to_vec).collect();
+                (outs, stats)
             }
         };
         let per_frame = FrameTiming {
@@ -250,6 +256,13 @@ impl ShardExecutor for NativeExecutor {
             timings,
             stats,
             busy,
+        }
+    }
+
+    fn kernel_mix(&self) -> Option<KernelMix> {
+        match &self.backend {
+            NativeBackend::Compiled { engine, .. } => Some(engine.kernel_mix()),
+            NativeBackend::Interpreter(_) => None,
         }
     }
 }
@@ -421,6 +434,9 @@ pub struct ShardReport {
     pub health: HealthState,
     /// Shard resilience counters at shutdown.
     pub counters: HealthCounters,
+    /// Kernel selection summary of the shard's compiled engine (`None`
+    /// for interpreter and simulated-SoC backends).
+    pub kernel_mix: Option<KernelMix>,
 }
 
 /// Fleet-wide accounting.
@@ -1076,6 +1092,7 @@ fn shard_worker(
     }
 
     let (exec_health, exec_counters) = executor.health();
+    let kernel_mix = executor.kernel_mix();
     let mut counters = state.carried;
     counters.merge(&exec_counters);
     counters.shard_restarts += state.restarts;
@@ -1102,6 +1119,7 @@ fn shard_worker(
         timings: state.timings,
         health,
         counters,
+        kernel_mix,
     });
     if let Some(tx) = sup_tx {
         let _ = tx.send(SupMsg::Done);

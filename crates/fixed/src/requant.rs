@@ -99,6 +99,42 @@ impl Requant {
         };
         (out, ovf)
     }
+
+    /// [`Requant::apply`] specialised to an `i64` source raw — the form the
+    /// lowered kernels feed it (their accumulators are bounded below 2⁵²
+    /// quanta at lowering time). Right shifts stay entirely in `i64`
+    /// arithmetic; widening conversions (`shift ≤ 0`, where the left shift
+    /// could exceed 64 bits before the range check) and degenerate shift
+    /// distances delegate to the `i128` path. Bit-identical to
+    /// `apply(i128::from(raw))` for every `i64` input with
+    /// `|raw| < 2⁶² − half`.
+    #[inline(always)]
+    #[must_use]
+    pub fn apply_i64(&self, raw: i64) -> (i64, bool) {
+        if self.shift < 1 || self.shift > 62 {
+            return self.apply(i128::from(raw));
+        }
+        debug_assert!(raw.unsigned_abs() < (1u64 << 62) - self.half as u64);
+        // half = 2^(shift-1) ≤ 2^61 fits i64; the sum stays in range for
+        // every caller that upholds the exactness bound.
+        let rounded = (raw + self.half as i64) >> self.shift;
+        let ovf = rounded < self.lo || rounded > self.hi;
+        let out = if ovf {
+            match self.overflow {
+                Overflow::Saturate => {
+                    if rounded > self.hi {
+                        self.hi
+                    } else {
+                        self.lo
+                    }
+                }
+                Overflow::Wrap => wrap_to_width(i128::from(rounded), self.dst),
+            }
+        } else {
+            rounded
+        };
+        (out, ovf)
+    }
 }
 
 impl crate::quantizer::Quantizer {
@@ -211,6 +247,51 @@ mod tests {
         assert_eq!(rq.dst_format(), QFormat::signed(16, 7));
         // 2^20 quanta at frac 20 == 1.0 == raw 512 at frac 9.
         assert_eq!(rq.apply(1 << 20), (512, false));
+    }
+
+    #[test]
+    fn apply_i64_matches_apply_everywhere() {
+        // The i64 fast path must be indistinguishable from the i128 route
+        // across shift signs, both overflow modes, and raws spanning the
+        // destination range edges — including the delegating branches.
+        for dst in [
+            QFormat::signed(8, 3),
+            QFormat::signed(16, 7),
+            QFormat::unsigned(6, 2),
+            QFormat::signed(18, 10),
+        ] {
+            for src_frac in [-6i32, -1, 0, 1, 5, 13, 40] {
+                for (rounding, overflow) in all_modes() {
+                    let rq = Requant::new(src_frac, dst, rounding, overflow);
+                    for raw in -70_000i64..70_000 {
+                        assert_eq!(
+                            rq.apply_i64(raw),
+                            rq.apply(i128::from(raw)),
+                            "raw {raw} src_frac {src_frac} {dst} {rounding:?} {overflow:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_i64_exact_at_large_magnitudes() {
+        // Magnitudes near the 2^52 exactness bound the lowered kernels
+        // operate under — the addend plus raw must not disturb the shift.
+        let dst = QFormat::signed(16, 7);
+        for (rounding, overflow) in all_modes() {
+            let rq = Requant::new(44, dst, rounding, overflow);
+            for base in [(1i64 << 52) - 1, (1 << 51) + 12345, 987_654_321_987] {
+                for raw in [base, -base, base - 1, 1 - base] {
+                    assert_eq!(
+                        rq.apply_i64(raw),
+                        rq.apply(i128::from(raw)),
+                        "raw {raw} {rounding:?} {overflow:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Dense MAC kernels: narrow (`i32×i32→i64` widening) and wide (`i64`)
+//! bodies, monomorphised over lane count `L` and column width `C`, with
+//! AVX2 / AVX-512 instantiations reached through runtime feature
+//! detection.
+//!
+//! The SIMD story is entirely a codegen story: the `#[target_feature]`
+//! wrappers contain *no intrinsics* — they re-expand the same
+//! `#[inline(always)]` scalar body inside a feature-enabled function, and
+//! LLVM re-vectorizes it with 256-/512-bit widening multiplies. Every
+//! instantiation therefore computes the same exact integer products in a
+//! different order, and integer addition is associative — outputs and
+//! overflow flags are bit-identical by construction (the kernel
+//! conformance suite pins this on every path).
+
+use super::{finish_rows, CDense, RowsFn};
+use crate::compiled::SimdLevel;
+use reads_tensor::activ::SigmoidTable;
+
+/// Column widths with dedicated monomorphised instantiations. Covers the
+/// conformance suite's 1–17 sweep plus the models' pointwise heads.
+pub(crate) const MONO_WIDTHS: [usize; 19] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 24, 32,
+];
+
+/// Whether `cols` has a dedicated const-width instantiation.
+pub(crate) fn is_mono(cols: usize) -> bool {
+    MONO_WIDTHS.contains(&cols)
+}
+
+/// Narrow dense body: `rows × cols` i32 weights against `L`
+/// lane-interleaved i32 inputs. `C = 0` means runtime width; a nonzero `C`
+/// fixes it at compile time so the column loop fully unrolls.
+#[inline(always)]
+pub(crate) fn dense_body<const L: usize, const C: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    _x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    let cols = if C == 0 { d.cols } else { C };
+    debug_assert_eq!(x.len(), cols * L);
+    debug_assert_eq!(out.len(), d.rows * L);
+    debug_assert_eq!(d.w32.len(), d.rows * cols);
+    let mut r = 0;
+    // Lane passes block four output rows per sweep so each lane-column
+    // load (and its sign extension) is reused fourfold with four
+    // independent accumulator chains. Per-row accumulation order is
+    // untouched — row blocking only interleaves independent rows, so
+    // results are identical to the single-row loop below.
+    if L > 1 {
+        while r + 4 <= d.rows {
+            let r0 = &d.w32[r * cols..(r + 1) * cols];
+            let r1 = &d.w32[(r + 1) * cols..(r + 2) * cols];
+            let r2 = &d.w32[(r + 2) * cols..(r + 3) * cols];
+            let r3 = &d.w32[(r + 3) * cols..(r + 4) * cols];
+            let mut a0 = [0i64; L];
+            let mut a1 = [0i64; L];
+            let mut a2 = [0i64; L];
+            let mut a3 = [0i64; L];
+            for c in 0..cols {
+                let xs = &x[c * L..c * L + L];
+                let (w0, w1) = (i64::from(r0[c]), i64::from(r1[c]));
+                let (w2, w3) = (i64::from(r2[c]), i64::from(r3[c]));
+                for l in 0..L {
+                    a0[l] += w0 * i64::from(xs[l]);
+                }
+                for l in 0..L {
+                    a1[l] += w1 * i64::from(xs[l]);
+                }
+                for l in 0..L {
+                    a2[l] += w2 * i64::from(xs[l]);
+                }
+                for l in 0..L {
+                    a3[l] += w3 * i64::from(xs[l]);
+                }
+            }
+            finish_rows::<L>(d, sig, &a0, r, out, ovf);
+            finish_rows::<L>(d, sig, &a1, r + 1, out, ovf);
+            finish_rows::<L>(d, sig, &a2, r + 2, out, ovf);
+            finish_rows::<L>(d, sig, &a3, r + 3, out, ovf);
+            r += 4;
+        }
+    }
+    while r < d.rows {
+        let row = &d.w32[r * cols..(r + 1) * cols];
+        let mut acc = [0i64; L];
+        for (c, &wv) in row.iter().enumerate() {
+            let wv = i64::from(wv);
+            let xs = &x[c * L..(c + 1) * L];
+            for (a, &xv) in acc.iter_mut().zip(xs) {
+                // Exact i32×i32→i64 widening product; the lowering bound
+                // check guarantees the i64 accumulator never overflows.
+                *a += wv * i64::from(xv);
+            }
+        }
+        finish_rows::<L>(d, sig, &acc, r, out, ovf);
+        r += 1;
+    }
+}
+
+/// Wide dense body: full `i64` products for the rare layer whose weights
+/// or inputs exceed `i32`.
+#[inline(always)]
+pub(crate) fn wide_body<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x: &[i64],
+    _x32: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    debug_assert_eq!(x.len(), d.cols * L);
+    debug_assert_eq!(out.len(), d.rows * L);
+    for r in 0..d.rows {
+        let row = &d.w[r * d.cols..(r + 1) * d.cols];
+        let mut acc = [0i64; L];
+        for (c, &wv) in row.iter().enumerate() {
+            let xs = &x[c * L..(c + 1) * L];
+            for (a, &xv) in acc.iter_mut().zip(xs) {
+                *a += wv * xv;
+            }
+        }
+        finish_rows::<L>(d, sig, &acc, r, out, ovf);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dense_avx2<const L: usize, const C: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    dense_body::<L, C>(d, sig, x64, x, out, ovf);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+unsafe fn dense_avx512<const L: usize, const C: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    dense_body::<L, C>(d, sig, x64, x, out, ovf);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn wide_avx2<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    wide_body::<L>(d, sig, x64, x, out, ovf);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+unsafe fn wide_avx512<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    wide_body::<L>(d, sig, x64, x, out, ovf);
+}
+
+fn dense_avx2_shim<const L: usize, const C: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: the planner stores this instantiation only after runtime
+        // detection confirmed AVX2 on this CPU.
+        unsafe { dense_avx2::<L, C>(d, sig, x64, x, out, ovf) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    dense_body::<L, C>(d, sig, x64, x, out, ovf)
+}
+
+fn dense_avx512_shim<const L: usize, const C: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: stored only after runtime detection confirmed
+        // AVX-512 F/BW/DQ/VL on this CPU.
+        unsafe { dense_avx512::<L, C>(d, sig, x64, x, out, ovf) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    dense_body::<L, C>(d, sig, x64, x, out, ovf)
+}
+
+fn wide_avx2_shim<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: stored only after runtime detection confirmed AVX2.
+        unsafe { wide_avx2::<L>(d, sig, x64, x, out, ovf) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    wide_body::<L>(d, sig, x64, x, out, ovf)
+}
+
+fn wide_avx512_shim<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: stored only after runtime detection confirmed
+        // AVX-512 F/BW/DQ/VL.
+        unsafe { wide_avx512::<L>(d, sig, x64, x, out, ovf) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    wide_body::<L>(d, sig, x64, x, out, ovf)
+}
+
+/// The `(L = 1, L = 8)` instantiation pair for one const width at one
+/// SIMD level.
+fn pair_for<const C: usize>(simd: SimdLevel) -> (RowsFn, RowsFn) {
+    match simd {
+        SimdLevel::Scalar => (dense_body::<1, C>, dense_body::<8, C>),
+        SimdLevel::Avx2 => (dense_avx2_shim::<1, C>, dense_avx2_shim::<8, C>),
+        SimdLevel::Avx512 => (dense_avx512_shim::<1, C>, dense_avx512_shim::<8, C>),
+    }
+}
+
+/// Build-time dispatch: maps a layer's column width and the resolved SIMD
+/// level to its `(L = 1, L = 8)` narrow instantiations. Called once per
+/// layer at lowering — never on the frame path.
+pub(crate) fn pair(cols: usize, simd: SimdLevel) -> (RowsFn, RowsFn) {
+    match cols {
+        1 => pair_for::<1>(simd),
+        2 => pair_for::<2>(simd),
+        3 => pair_for::<3>(simd),
+        4 => pair_for::<4>(simd),
+        5 => pair_for::<5>(simd),
+        6 => pair_for::<6>(simd),
+        7 => pair_for::<7>(simd),
+        8 => pair_for::<8>(simd),
+        9 => pair_for::<9>(simd),
+        10 => pair_for::<10>(simd),
+        11 => pair_for::<11>(simd),
+        12 => pair_for::<12>(simd),
+        13 => pair_for::<13>(simd),
+        14 => pair_for::<14>(simd),
+        15 => pair_for::<15>(simd),
+        16 => pair_for::<16>(simd),
+        17 => pair_for::<17>(simd),
+        24 => pair_for::<24>(simd),
+        32 => pair_for::<32>(simd),
+        _ => pair_for::<0>(simd),
+    }
+}
+
+/// Build-time dispatch for the wide (`i64`) fallback family.
+pub(crate) fn wide_pair(simd: SimdLevel) -> (RowsFn, RowsFn) {
+    match simd {
+        SimdLevel::Scalar => (wide_body::<1>, wide_body::<8>),
+        SimdLevel::Avx2 => (wide_avx2_shim::<1>, wide_avx2_shim::<8>),
+        SimdLevel::Avx512 => (wide_avx512_shim::<1>, wide_avx512_shim::<8>),
+    }
+}

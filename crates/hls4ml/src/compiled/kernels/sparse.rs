@@ -1,0 +1,116 @@
+//! Structured-sparse (CSR-by-output-row) MAC kernels.
+//!
+//! The planner prunes weights that are *exactly zero after quantization*
+//! (raw `0` on the weight grid). A zero raw contributes an exactly-zero
+//! product to the exact integer accumulator, so skipping it leaves the sum
+//! — and therefore the requantized output and its overflow flag — bit
+//! identical to the dense kernel and the interpreter. This is the same
+//! invariant hls4ml exploits when it schedules no multiplier for a zero
+//! weight.
+
+use super::{finish_rows, CDense, RowsFn};
+use crate::compiled::SimdLevel;
+use reads_tensor::activ::SigmoidTable;
+
+/// CSR body over `L` lane-interleaved frames: per retained weight, one
+/// broadcast load amortised across all `L` lanes (the lane gather
+/// `x[c·L .. c·L+L]` is contiguous, so the lane loop vectorizes even
+/// though columns are visited sparsely).
+#[inline(always)]
+pub(crate) fn sparse_body<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    _x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    let csr = d.csr.as_ref().expect("sparse kernel without CSR plan");
+    debug_assert_eq!(x.len(), d.cols * L);
+    debug_assert_eq!(out.len(), d.rows * L);
+    debug_assert_eq!(csr.row_ptr.len(), d.rows + 1);
+    for r in 0..d.rows {
+        let lo = csr.row_ptr[r] as usize;
+        let hi = csr.row_ptr[r + 1] as usize;
+        let mut acc = [0i64; L];
+        for (&c, &wv) in csr.idx[lo..hi].iter().zip(&csr.w[lo..hi]) {
+            let wv = i64::from(wv);
+            let xs = &x[c as usize * L..(c as usize + 1) * L];
+            for (a, &xv) in acc.iter_mut().zip(xs) {
+                *a += wv * i64::from(xv);
+            }
+        }
+        finish_rows::<L>(d, sig, &acc, r, out, ovf);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sparse_avx2<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    sparse_body::<L>(d, sig, x64, x, out, ovf);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+unsafe fn sparse_avx512<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    sparse_body::<L>(d, sig, x64, x, out, ovf);
+}
+
+fn sparse_avx2_shim<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: stored by the planner only after runtime detection
+        // confirmed AVX2 on this CPU.
+        unsafe { sparse_avx2::<L>(d, sig, x64, x, out, ovf) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    sparse_body::<L>(d, sig, x64, x, out, ovf)
+}
+
+fn sparse_avx512_shim<const L: usize>(
+    d: &CDense,
+    sig: &SigmoidTable,
+    x64: &[i64],
+    x: &[i32],
+    out: &mut [i64],
+    ovf: &mut u64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: stored only after runtime detection confirmed
+        // AVX-512 F/BW/DQ/VL on this CPU.
+        unsafe { sparse_avx512::<L>(d, sig, x64, x, out, ovf) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    sparse_body::<L>(d, sig, x64, x, out, ovf)
+}
+
+/// Build-time dispatch for the sparse family.
+pub(crate) fn pair(simd: SimdLevel) -> (RowsFn, RowsFn) {
+    match simd {
+        SimdLevel::Scalar => (sparse_body::<1>, sparse_body::<8>),
+        SimdLevel::Avx2 => (sparse_avx2_shim::<1>, sparse_avx2_shim::<8>),
+        SimdLevel::Avx512 => (sparse_avx512_shim::<1>, sparse_avx512_shim::<8>),
+    }
+}

@@ -47,7 +47,10 @@ pub mod report;
 pub mod resource;
 
 pub use codegen::{emit_avalon_wrapper, emit_cpp};
-pub use compiled::{CompiledFirmware, LayerOps, Scratch};
+pub use compiled::{
+    sparsify_firmware, CompiledFirmware, KernelKind, KernelMix, LayerOps, PlanConfig, Scratch,
+    SimdLevel, SimdPref, SparsityPolicy,
+};
 pub use config::{HlsConfig, IoInterface, PrecisionStrategy, ReuseConfig};
 pub use convert::convert;
 pub use dataflow::{

@@ -1234,6 +1234,9 @@ fn hub_loop(
             board
                 .console
                 .observe_shard_health(s.shard, s.health, &s.counters, s.processed, s.lost);
+            if let Some(m) = s.kernel_mix {
+                board.console.observe_kernel_mix(m);
+            }
         }
         board.console.observe_net_health(0, &board.counters);
         console_render = board.console.render();

@@ -11,7 +11,10 @@
 //! pure function of its input, bit for bit, run to run.
 
 use proptest::prelude::*;
-use reads::hls4ml::{convert, profile_model, Firmware, HlsConfig};
+use reads::hls4ml::{
+    convert, profile_model, sparsify_firmware, CompiledFirmware, Firmware, HlsConfig, PlanConfig,
+    SparsityPolicy,
+};
 use reads::nn::{metrics, models, Model};
 use std::sync::OnceLock;
 
@@ -85,5 +88,58 @@ proptest! {
         let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
         let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(a_bits, b_bits);
+    }
+
+    /// Random post-quantization zero masks (the prune-only-exact-zeros
+    /// invariant): a pruned firmware run through the compiled engine —
+    /// under every sparsity policy, so both the CSR kernels and the dense
+    /// fallback see the same zeros — reproduces the dense interpreter of
+    /// that same firmware bit for bit, outputs and overflow stats alike.
+    /// Kernel selection is an execution detail, so `content_digest` must
+    /// be identical across all plans and equal to the source firmware's.
+    #[test]
+    fn pruned_firmware_is_bit_identical_across_kernel_plans(
+        which in 0usize..2,
+        salt in 0u64..10_000,
+        density_pct in 0u32..=100,
+    ) {
+        let (model, fw) = &bundles()[which];
+        let pruned = sparsify_firmware(fw, f64::from(density_pct) / 100.0, salt ^ 0xD1CE);
+        let (len, _) = model.input_shape();
+        let x = deterministic_frame(len, salt, 1.9);
+        let (want, want_stats) = pruned.infer(&x);
+        let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        for sparsity in [
+            SparsityPolicy::ForceSparse,
+            SparsityPolicy::ForceDense,
+            SparsityPolicy::Auto,
+        ] {
+            let cfg = PlanConfig { sparsity, ..PlanConfig::default() };
+            let engine = CompiledFirmware::lower_with(&pruned, &cfg);
+            prop_assert_eq!(
+                engine.content_digest(),
+                pruned.content_digest(),
+                "digest must be invariant to kernel selection ({:?})",
+                sparsity
+            );
+            let (got, got_stats) = engine.infer(&x);
+            let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(
+                &got_bits,
+                &want_bits,
+                "model {} density {}% {:?}: pruned outputs diverge",
+                which,
+                density_pct,
+                sparsity
+            );
+            prop_assert_eq!(
+                &got_stats,
+                &want_stats,
+                "model {} density {}% {:?}: overflow stats diverge",
+                which,
+                density_pct,
+                sparsity
+            );
+        }
     }
 }

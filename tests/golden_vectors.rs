@@ -13,16 +13,29 @@
 //! Each file also records the firmware's content digest; a digest mismatch
 //! means conversion itself changed and the vectors need review.
 //!
+//! Sparse fixtures (`density < 1.0`) prune the converted firmware with a
+//! deterministic post-quantization zero mask before generating vectors, so
+//! the compiled engine's CSR kernels — not just the dense families — are
+//! pinned bit-for-bit, on both the forced-scalar and detected-SIMD plans.
+//!
 //! Regenerate after an intentional change with:
 //!
 //! ```sh
 //! REGEN_GOLDEN=1 cargo test --test golden_vectors
 //! ```
 
-use reads_hls4ml::{convert, profile_model, CompiledFirmware, Firmware, HlsConfig};
+use reads_hls4ml::{
+    convert, profile_model, sparsify_firmware, CompiledFirmware, Firmware, HlsConfig, PlanConfig,
+    SimdPref,
+};
 use reads_nn::models;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+
+/// Seed salt for the deterministic prune mask of sparse golden builds.
+/// `tests/netserve_loopback.rs` derives the same mask to serve the pinned
+/// sparse firmware end-to-end.
+const SPARSE_MASK_SALT: u64 = 0x5EED;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct GoldenFile {
@@ -30,6 +43,10 @@ struct GoldenFile {
     model: String,
     /// Model seed.
     seed: u64,
+    /// Weight density: 1.0 for the dense build; below 1.0 the firmware is
+    /// pruned with `sparsify_firmware(seed ^ SPARSE_MASK_SALT)` before the
+    /// vectors are generated, so the fixture pins the sparse lowering.
+    density: f64,
     /// `Firmware::content_digest()` as hex.
     digest: String,
     /// Input frames, each value an f64 bit pattern in hex.
@@ -63,7 +80,7 @@ fn synth_frame(len: usize, frame: usize) -> Vec<f64> {
         .collect()
 }
 
-fn build_firmware(model: &str, seed: u64) -> Firmware {
+fn build_firmware(model: &str, seed: u64, density: f64) -> Firmware {
     let m = match model {
         "mlp" => models::reads_mlp(seed),
         "unet" => models::reads_unet(seed),
@@ -72,26 +89,45 @@ fn build_firmware(model: &str, seed: u64) -> Firmware {
     let (input_len, _) = m.input_shape();
     let calib: Vec<Vec<f64>> = (0..6).map(|f| synth_frame(input_len, f + 100)).collect();
     let profile = profile_model(&m, &calib);
-    convert(&m, &profile, &HlsConfig::paper_default())
+    let fw = convert(&m, &profile, &HlsConfig::paper_default());
+    if density < 1.0 {
+        sparsify_firmware(&fw, density, seed ^ SPARSE_MASK_SALT)
+    } else {
+        fw
+    }
 }
 
-fn cases() -> Vec<(&'static str, u64, usize)> {
-    // (model, seed, frame count)
-    vec![("mlp", 3, 6), ("mlp", 17, 4), ("unet", 7, 4)]
+fn cases() -> Vec<(&'static str, u64, usize, f64)> {
+    // (model, seed, frame count, weight density)
+    vec![
+        ("mlp", 3, 6, 1.0),
+        ("mlp", 17, 4, 1.0),
+        ("unet", 7, 4, 1.0),
+        // Pruned profiles: the planner's density threshold is 0.5, so these
+        // lower to CSR sparse kernels under the default (Auto) plan.
+        ("mlp", 3, 6, 0.35),
+        ("unet", 7, 4, 0.35),
+    ]
 }
 
-fn file_name(model: &str, seed: u64) -> String {
-    format!("{model}_seed{seed}.json")
+fn file_name(model: &str, seed: u64, density: f64) -> String {
+    if density < 1.0 {
+        let pct = (density * 100.0).round() as u32;
+        format!("{model}_seed{seed}_d{pct}.json")
+    } else {
+        format!("{model}_seed{seed}.json")
+    }
 }
 
-fn generate(model: &str, seed: u64, frames: usize) -> GoldenFile {
-    let fw = build_firmware(model, seed);
+fn generate(model: &str, seed: u64, frames: usize, density: f64) -> GoldenFile {
+    let fw = build_firmware(model, seed, density);
     let n_in = fw.input_len * fw.input_channels;
     let inputs: Vec<Vec<f64>> = (0..frames).map(|f| synth_frame(n_in, f)).collect();
     let outputs: Vec<Vec<f64>> = inputs.iter().map(|x| fw.infer(x).0).collect();
     GoldenFile {
         model: model.to_string(),
         seed,
+        density,
         digest: format!("{:016x}", fw.content_digest()),
         inputs: inputs
             .iter()
@@ -107,10 +143,10 @@ fn generate(model: &str, seed: u64, frames: usize) -> GoldenFile {
 #[test]
 fn golden_vectors_hold_bit_exactly() {
     let regen = std::env::var("REGEN_GOLDEN").is_ok_and(|v| v == "1");
-    for (model, seed, frames) in cases() {
-        let path = golden_dir().join(file_name(model, seed));
+    for (model, seed, frames, density) in cases() {
+        let path = golden_dir().join(file_name(model, seed, density));
         if regen {
-            let gf = generate(model, seed, frames);
+            let gf = generate(model, seed, frames, density);
             std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
             std::fs::write(&path, serde_json::to_string_pretty(&gf).unwrap())
                 .expect("write golden file");
@@ -125,9 +161,10 @@ fn golden_vectors_hold_bit_exactly() {
         let gf: GoldenFile = serde_json::from_str(&text).expect("parse golden file");
         assert_eq!(gf.model, model);
         assert_eq!(gf.seed, seed);
+        assert!((gf.density - density).abs() < 1e-12);
         assert_eq!(gf.inputs.len(), frames, "{model} seed {seed} frame count");
 
-        let fw = build_firmware(model, seed);
+        let fw = build_firmware(model, seed, density);
         assert_eq!(
             format!("{:016x}", fw.content_digest()),
             gf.digest,
@@ -160,9 +197,16 @@ fn compiled_engine_matches_golden_vectors_bit_exactly() {
     // The lowered integer-quanta engine must reproduce the checked-in
     // vectors to the last mantissa bit, carry the source firmware's digest,
     // and report identical overflow statistics — through one reused scratch
-    // arena, the way the production engine runs it.
-    for (model, seed, _) in cases() {
-        let path = golden_dir().join(file_name(model, seed));
+    // arena, the way the production engine runs it. Every case is asserted
+    // on the forced-scalar plan and the host's detected SIMD plan; the
+    // sparse fixtures additionally prove the default plan actually selects
+    // CSR kernels (they would pass vacuously on a dense-only planner).
+    if std::env::var("REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        // Regen runs write the fixtures in a parallel test; don't race them.
+        return;
+    }
+    for (model, seed, _, density) in cases() {
+        let path = golden_dir().join(file_name(model, seed, density));
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             panic!(
                 "missing golden file {} ({e}); run REGEN_GOLDEN=1 cargo test --test golden_vectors",
@@ -171,41 +215,55 @@ fn compiled_engine_matches_golden_vectors_bit_exactly() {
         });
         let gf: GoldenFile = serde_json::from_str(&text).expect("parse golden file");
 
-        let fw = build_firmware(model, seed);
-        let engine = CompiledFirmware::lower(&fw);
-        assert_eq!(
-            format!("{:016x}", engine.content_digest()),
-            gf.digest,
-            "{model} seed {seed}: compiled engine digest must pin the source firmware"
-        );
-
-        let mut scratch = engine.scratch();
-        for (f, (x_hex, want_hex)) in gf.inputs.iter().zip(&gf.outputs).enumerate() {
-            let x: Vec<f64> = x_hex.iter().map(|s| unhex(s)).collect();
-            let (want_ref, want_stats) = fw.infer(&x);
-            let (got, got_stats) = engine.infer_into(&x, &mut scratch);
-            for (j, (g, w)) in got.iter().zip(want_hex).enumerate() {
-                assert_eq!(
-                    hex(*g),
-                    *w,
-                    "{model} seed {seed} frame {f} output {j}: compiled {} != golden {}",
-                    g,
-                    unhex(w)
+        let fw = build_firmware(model, seed, density);
+        for simd in [SimdPref::Scalar, SimdPref::Auto] {
+            let cfg = PlanConfig {
+                simd,
+                ..PlanConfig::default()
+            };
+            let engine = CompiledFirmware::lower_with(&fw, &cfg);
+            assert_eq!(
+                format!("{:016x}", engine.content_digest()),
+                gf.digest,
+                "{model} seed {seed} d={density}: compiled digest must pin the source firmware"
+            );
+            if density < 1.0 && simd == SimdPref::Auto {
+                assert!(
+                    engine.kernel_mix().sparse > 0,
+                    "{model} seed {seed} d={density}: sparse fixture must lower to CSR kernels"
                 );
             }
-            assert_eq!(got.len(), want_ref.len());
-            assert_eq!(
-                *got_stats, want_stats,
-                "{model} seed {seed} frame {f}: overflow statistics diverge"
-            );
+
+            let mut scratch = engine.scratch();
+            for (f, (x_hex, want_hex)) in gf.inputs.iter().zip(&gf.outputs).enumerate() {
+                let x: Vec<f64> = x_hex.iter().map(|s| unhex(s)).collect();
+                let (want_ref, want_stats) = fw.infer(&x);
+                let (got, got_stats) = engine.infer_into(&x, &mut scratch);
+                for (j, (g, w)) in got.iter().zip(want_hex).enumerate() {
+                    assert_eq!(
+                        hex(*g),
+                        *w,
+                        "{model} seed {seed} d={density} frame {f} output {j} ({simd:?}): \
+                         compiled {} != golden {}",
+                        g,
+                        unhex(w)
+                    );
+                }
+                assert_eq!(got.len(), want_ref.len());
+                assert_eq!(
+                    *got_stats, want_stats,
+                    "{model} seed {seed} d={density} frame {f} ({simd:?}): overflow statistics \
+                     diverge"
+                );
+            }
         }
     }
 }
 
 #[test]
 fn batched_path_is_bit_identical_to_sequential() {
-    for (model, seed, frames) in cases() {
-        let fw = build_firmware(model, seed);
+    for (model, seed, frames, density) in cases() {
+        let fw = build_firmware(model, seed, density);
         let n_in = fw.input_len * fw.input_channels;
         let inputs: Vec<Vec<f64>> = (0..frames).map(|f| synth_frame(n_in, f)).collect();
         let sequential: Vec<Vec<f64>> = inputs.iter().map(|x| fw.infer(x).0).collect();
@@ -223,7 +281,7 @@ fn batched_path_is_bit_identical_to_sequential() {
 fn parallel_workers_with_cloned_firmware_are_bit_identical() {
     // The engine's parallelism is cloned firmware on worker threads; prove
     // the clone+thread combination cannot perturb a single bit.
-    let fw = build_firmware("mlp", 3);
+    let fw = build_firmware("mlp", 3, 1.0);
     let n_in = fw.input_len * fw.input_channels;
     let inputs: Vec<Vec<f64>> = (0..16).map(|f| synth_frame(n_in, f)).collect();
     let sequential: Vec<Vec<f64>> = inputs.iter().map(|x| fw.infer(x).0).collect();

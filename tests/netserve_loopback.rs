@@ -17,7 +17,7 @@ use reads::blm::acnet::DeblendVerdict;
 use reads::blm::dataset::Standardizer;
 use reads::blm::hubs::{assemble_frame, MultiChainSource};
 use reads::central::engine::{EngineConfig, ShardedEngine};
-use reads::hls4ml::{convert, profile_model, Firmware, HlsConfig};
+use reads::hls4ml::{convert, profile_model, sparsify_firmware, Firmware, HlsConfig};
 use reads::net::wire::{Msg, Role};
 use reads::net::{GatewayClient, GatewayConfig, HubGateway, SlowConsumerPolicy};
 use reads::nn::models;
@@ -44,10 +44,18 @@ fn build_firmware() -> Firmware {
     convert(&m, &profile, &HlsConfig::paper_default())
 }
 
-fn pinned_digest() -> String {
-    let path =
-        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/mlp_seed3.json");
-    let text = std::fs::read_to_string(&path).expect("golden file mlp_seed3.json");
+/// The pruned serving build: same model and mask as the
+/// `mlp_seed3_d35.json` sparse golden fixture (density 0.35, mask seed
+/// `seed ^ 0x5EED`), so the gateway serves the planner's CSR kernels.
+fn build_sparse_firmware() -> Firmware {
+    sparsify_firmware(&build_firmware(), 0.35, 3 ^ 0x5EED)
+}
+
+fn pinned_digest_in(file: &str) -> String {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("golden file {file}: {e}"));
     let tail = text
         .split("\"digest\"")
         .nth(1)
@@ -55,6 +63,10 @@ fn pinned_digest() -> String {
     let mut quotes = tail.split('"');
     quotes.next(); // text between ':' and the opening quote
     quotes.next().expect("digest value").to_string()
+}
+
+fn pinned_digest() -> String {
+    pinned_digest_in("mlp_seed3.json")
 }
 
 fn standardizer() -> Standardizer {
@@ -70,10 +82,25 @@ fn bits(xs: &[f64]) -> Vec<u64> {
 
 #[test]
 fn loopback_verdicts_bit_identical_to_in_process() {
-    let fw = build_firmware();
+    loopback_conformance(build_firmware(), &pinned_digest());
+}
+
+/// The sparse serving path: the pruned firmware (pinned against the sparse
+/// golden fixture) rides the same gateway, so the planner's CSR kernels are
+/// exercised end-to-end through real sockets — and must still be
+/// bit-identical to in-process interpretation.
+#[test]
+fn sparse_loopback_verdicts_bit_identical_to_in_process() {
+    loopback_conformance(
+        build_sparse_firmware(),
+        &pinned_digest_in("mlp_seed3_d35.json"),
+    );
+}
+
+fn loopback_conformance(fw: Firmware, want_digest: &str) {
     assert_eq!(
         format!("{:016x}", fw.content_digest()),
-        pinned_digest(),
+        want_digest,
         "serving-plane firmware must be the digest-pinned golden build"
     );
     let std = standardizer();
