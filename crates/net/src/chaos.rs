@@ -13,6 +13,7 @@
 //! connection on demand, for tests that need an exact number of cuts at
 //! exact points in the stream.
 
+use crate::reactor::is_would_block;
 use reads_sim::Rng;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -209,7 +210,7 @@ fn accept_loop(
                     );
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Err(e) if is_would_block(&e) => {
                 thread::sleep(Duration::from_millis(2));
             }
             Err(_) => thread::sleep(Duration::from_millis(2)),
@@ -244,12 +245,7 @@ fn forward_loop(
                 return;
             }
             Ok(n) => n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
+            Err(e) if is_would_block(&e) => continue,
             Err(_) => {
                 sever(&src, &dst);
                 return;

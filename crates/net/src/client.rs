@@ -2,6 +2,7 @@
 //! closed/open-loop load generators used by the loopback tests and the
 //! `netserve_throughput` bench.
 
+use crate::reactor::is_would_block;
 use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError};
 use reads_blm::hubs::{ChainFrame, MultiChainSource};
 use std::io::{Read, Write};
@@ -132,12 +133,7 @@ impl GatewayClient {
                     });
                 }
                 Ok(n) => self.decoder.push(&chunk[..n]),
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    return Ok(None);
-                }
+                Err(e) if is_would_block(&e) => return Ok(None),
                 Err(e) => return Err(e),
             }
         }

@@ -55,7 +55,9 @@ pub struct FleetConfig {
     /// bound (DESIGN.md §12).
     pub gossip_interval: Duration,
     /// Per-member gateway template ([`GatewayConfig::fleet`] is
-    /// overwritten per member).
+    /// overwritten per member). [`GatewayConfig::reactors`] flows through
+    /// unchanged: every fleet member runs its own reactor pool, so a
+    /// 4-member fleet at `--reactors 2` owns 8 event-loop threads total.
     pub gateway: GatewayConfig,
     /// Chain-id range hint used only for console `chains` labels.
     pub chains_hint: u32,

@@ -1,35 +1,43 @@
 //! The TCP hub gateway: a real serving plane in front of the sharded
 //! inference engine.
 //!
-//! Topology (all `std` threads, no async runtime):
+//! Topology (all `std` threads, no async runtime, no thread-per-connection):
 //!
 //! ```text
-//!  producers ──TCP──▶ reader threads ──events──▶ hub thread ──▶ ShardedEngine
-//!                                                  │  ▲              │
-//!  subscribers ◀──TCP── writer threads ◀─bytes─────┘  └──verdicts────┘
+//!  producers ──TCP──▶ ┌────────────────┐ ──events──▶ hub thread ──▶ ShardedEngine
+//!                     │ reactor threads│               │  ▲              │
+//!  subscribers ◀──TCP─│ (epoll/poll)   │ ◀─rings+wake──┘  └──verdicts────┘
+//!                     └────────────────┘
 //! ```
 //!
-//! * One **reader thread per connection** feeds the panic-free incremental
-//!   [`FrameDecoder`](crate::wire::FrameDecoder); well-formed hub packets
-//!   flow to the hub thread over a bounded event channel (TCP backpressure
-//!   propagates naturally when the hub falls behind).
+//! * **Reactor threads** (`--reactors N`, default 1) own every socket,
+//!   nonblocking, registered in a [`Poller`] for read/write interest.
+//!   Each connection is a small state machine (handshake → streaming →
+//!   draining) feeding the panic-free incremental
+//!   [`FrameDecoder`](crate::wire::FrameDecoder); well-formed messages
+//!   flow to the hub thread over a bounded event channel (TCP
+//!   backpressure propagates naturally when the hub falls behind).
 //! * The **hub thread** owns the [`FrameAssembler`], the
 //!   [`ShardedEngine`], and the [`NetCounters`]: completed chain frames
 //!   are priced in simulated time with
-//!   [`EthernetModel::frame_ingest_time`] (the *same* model the in-process
-//!   pipeline uses — no duplicated bandwidth constants), submitted to the
-//!   engine, and acked back to the producer that completed them.
-//! * Verdicts stream back to every subscriber through a bounded
-//!   per-connection queue with an explicit slow-consumer policy:
-//!   [`SlowConsumerPolicy::DropNewest`] sheds the verdict and counts it;
-//!   [`SlowConsumerPolicy::Disconnect`] drops the subscriber (and trips
-//!   the network health ladder — an operator must notice).
+//!   [`EthernetModel::frame_ingest_time`] (the *same* model the
+//!   in-process pipeline uses — no duplicated bandwidth constants),
+//!   submitted to the engine, and acked back to the producer that
+//!   completed them.
+//! * Verdicts stream back through a bounded per-connection
+//!   [`Outbound`] ring drained by the owning reactor with vectored
+//!   writes — fan-out is *enqueue + write-interest*, the payload encoded
+//!   once and shared as `Arc<[u8]>` across every subscriber (and every
+//!   replay ring). A full ring invokes the explicit slow-consumer
+//!   policy: [`SlowConsumerPolicy::DropNewest`] sheds the verdict and
+//!   counts it; [`SlowConsumerPolicy::Disconnect`] drops the subscriber
+//!   (and trips the network health ladder — an operator must notice).
 //! * **Graceful shutdown** ([`GatewayHandle::shutdown`], a wire-level
-//!   [`Msg::Shutdown`], or an external flag such as ctrl-c) stops the
-//!   acceptor and readers, drains every in-flight event, finishes the
-//!   engine, flushes remaining verdicts to subscribers, joins every
-//!   thread, and returns a [`GatewayReport`] — no accepted-and-acked
-//!   frame is ever lost.
+//!   [`Msg::Shutdown`], or an external flag such as ctrl-c) stops
+//!   accepts and reads, drains every in-flight event, finishes the
+//!   engine, flushes remaining verdicts through the reactors' draining
+//!   phase, joins every thread, and returns a [`GatewayReport`] — no
+//!   accepted-and-acked frame is ever lost.
 //! * **Session resumption**: every `Hello` opens a server-side session
 //!   and answers [`Msg::Welcome`] with its id. When a connection dies the
 //!   session *parks* for [`GatewayConfig::session_resume_window`]; a
@@ -40,6 +48,10 @@
 //!   verdicts stay bit-identical to an uninterrupted run.
 
 use crate::assembler::{FrameAssembler, Offer};
+use crate::reactor::{
+    fd_of, is_would_block, retry_intr, BufPool, Interest, Outbound, Poller, PushError, Ready,
+    WakeRx, Waker,
+};
 use crate::router::{FleetLink, SessionStub};
 use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError};
 use reads_blm::hubs::HubPacket;
@@ -50,10 +62,10 @@ use reads_core::system::TRIP_THRESHOLD;
 use reads_sim::SimDuration;
 use reads_soc::eth::EthernetModel;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -70,7 +82,8 @@ pub enum SlowConsumerPolicy {
 /// Gateway sizing and policy.
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
-    /// Outbound queue depth per connection (verdicts / acks).
+    /// Outbound queue depth per connection (verdicts / acks), in
+    /// messages.
     pub outbound_queue: usize,
     /// Behaviour on a full subscriber queue.
     pub slow_consumer: SlowConsumerPolicy,
@@ -89,6 +102,10 @@ pub struct GatewayConfig {
     /// ([`NetCounters::resume_overflow`]) — the resumed stream then has a
     /// gap the client can see.
     pub resume_buffer: usize,
+    /// Reactor (event-loop) threads owning the sockets. Clamped to
+    /// `1..=`[`MAX_REACTORS`]; one reactor drives tens of thousands of
+    /// idle-ish sessions, more spread the read/write work per core.
+    pub reactors: usize,
     /// Simulated-time pricing of hub-frame ingest. **Single source of
     /// truth**: the gateway never re-derives bandwidth or stack-overhead
     /// constants from this model — it calls
@@ -114,6 +131,7 @@ impl Default for GatewayConfig {
             max_sessions: 1024,
             session_resume_window: Duration::from_secs(30),
             resume_buffer: 1024,
+            reactors: 1,
             eth: EthernetModel::default(),
             fleet: None,
         }
@@ -139,18 +157,41 @@ pub struct GatewayReport {
     pub console: String,
 }
 
+/// Upper bound on [`GatewayConfig::reactors`] — beyond this the hub
+/// thread, not socket I/O, is the bottleneck.
+pub const MAX_REACTORS: usize = 64;
+
 const READ_CHUNK: usize = 64 * 1024;
-const READ_TIMEOUT: Duration = Duration::from_millis(25);
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
 const HUB_POLL: Duration = Duration::from_millis(2);
 const EVENT_QUEUE: usize = 64 * 1024;
+/// Idle park time in the poller — bounds how late a reactor notices the
+/// shutdown/kill flags when nobody wakes it explicitly.
+const REACTOR_PARK: Duration = Duration::from_millis(25);
+/// Accepts per listener wakeup before yielding to other fds.
+const ACCEPT_BURST: usize = 512;
+/// Backoff after a non-would-block accept error (EMFILE storm): the
+/// listener stays level-triggered readable, so without a pause the
+/// reactor would spin at 100% while the fd table is exhausted.
+const ACCEPT_ERR_BACKOFF: Duration = Duration::from_millis(5);
+/// Bytes read from one connection per wakeup before yielding (fairness —
+/// a firehose producer must not starve 50k subscribers on the same
+/// reactor).
+const READ_FAIR_BUDGET: usize = 4 * READ_CHUNK;
+/// How long the draining phase keeps flushing at shutdown before
+/// severing what remains (was the writer threads' write timeout).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+/// Parked-session expiry is a full scan; at storm scale it cannot run
+/// every 2 ms hub tick.
+const EXPIRE_EVERY: Duration = Duration::from_millis(250);
+
+const TOKEN_WAKER: u64 = u64::MAX;
+const TOKEN_LISTENER: u64 = u64::MAX - 1;
 
 enum Event {
     Attach {
         conn: u64,
-        tx: SyncSender<Vec<u8>>,
-        stream: TcpStream,
-        writer: JoinHandle<()>,
+        out: Arc<Outbound>,
+        reactor: usize,
     },
     Hello {
         conn: u64,
@@ -184,10 +225,11 @@ enum Event {
     Batch(Vec<Event>),
 }
 
+/// Hub-side view of a connection: where its socket lives (which
+/// reactor) and how to enqueue bytes to it.
 struct ConnState {
-    tx: SyncSender<Vec<u8>>,
-    stream: TcpStream,
-    writer: Option<JoinHandle<()>>,
+    out: Arc<Outbound>,
+    reactor: usize,
     role: Role,
     /// Frames re-acked on this connection (replay dedupe: a frame
     /// replayed after a resume is acked at most once more, no matter how
@@ -204,7 +246,9 @@ struct Session {
     /// When the session parked (connection died); governs expiry.
     parked_at: Option<Instant>,
     /// Recent verdicts for replay on resume: `(chain, sequence, bytes)`.
-    replay: VecDeque<(u32, u32, Vec<u8>)>,
+    /// The bytes are the *same* `Arc` the fan-out queued — a verdict
+    /// ringed by 50k sessions is one allocation, not 50k.
+    replay: VecDeque<(u32, u32, Arc<[u8]>)>,
     /// Highest verdict sequence ringed-or-sent per chain — the watermark
     /// this session gossips to fleet peers (subscribers only).
     delivered_high: HashMap<u32, u32>,
@@ -229,6 +273,54 @@ impl Session {
     }
 }
 
+/// Hub → reactor control messages. Paired with a [`Waker`] nudge so a
+/// parked reactor handles them promptly.
+enum ReactorCmd {
+    /// Take ownership of a freshly accepted socket (cross-reactor
+    /// handoff from the accepting reactor).
+    Adopt {
+        conn: u64,
+        stream: TcpStream,
+        out: Arc<Outbound>,
+    },
+    /// Sever one connection now (hub-initiated: slow-consumer
+    /// disconnect, zombie steal, session reject, fatal protocol error).
+    Close { conn: u64 },
+    /// Graceful exit: flush every ring (bounded by [`DRAIN_DEADLINE`]),
+    /// then close sockets and return.
+    DrainAllThenExit,
+    /// SIGKILL-equivalent exit: sever everything unflushed and return.
+    SeverAllThenExit,
+}
+
+/// The hub-visible half of one reactor: its command inbox, its dirty
+/// list (connections owing a flush), and its waker.
+struct ReactorShared {
+    dirty: Mutex<Vec<u64>>,
+    waker: Waker,
+}
+
+#[derive(Clone)]
+struct ReactorPort {
+    cmd_tx: Sender<ReactorCmd>,
+    shared: Arc<ReactorShared>,
+}
+
+impl ReactorPort {
+    /// Tells the reactor that `conn` has newly queued outbound bytes.
+    /// Callers gate on [`Outbound::mark_dirty`], so fan-out to 50k
+    /// connections wakes each reactor once, not 50k times.
+    fn notify_dirty(&self, conn: u64) {
+        self.shared.dirty.lock().expect("dirty lock").push(conn);
+        self.shared.waker.wake();
+    }
+
+    fn send(&self, cmd: ReactorCmd) {
+        let _ = self.cmd_tx.send(cmd);
+        self.shared.waker.wake();
+    }
+}
+
 /// Connection registry + verdict fan-out + operational console: everything
 /// the hub needs that is *not* the engine, so the shutdown path can keep
 /// broadcasting after [`ShardedEngine::finish`] consumed the engine.
@@ -242,6 +334,7 @@ struct Switchboard {
     /// replayed frame behind the assembler watermark can be told apart
     /// from one that was evicted without ever completing.
     accepted: HashMap<u32, BTreeSet<u32>>,
+    ports: Vec<ReactorPort>,
     next_session: u64,
     counters: NetCounters,
     console: OperatorConsole,
@@ -258,17 +351,30 @@ const ACCEPTED_WINDOW: usize = 4096;
 const REACK_WINDOW: usize = 8192;
 
 impl Switchboard {
-    /// Abruptly severs a connection: the socket dies first, so a writer
-    /// blocked on a slow peer unblocks with an error and drains. Used for
+    /// Enqueues a small control message (welcome, ack, redirect) to a
+    /// connection and nudges its reactor. Best-effort, like the old
+    /// bounded-channel `try_send`: a full or dead ring drops the message.
+    fn send_small(&mut self, conn: u64, bytes: &[u8]) -> bool {
+        let Some(c) = self.conns.get(&conn) else {
+            return false;
+        };
+        if c.out.push_small(bytes).is_err() {
+            return false;
+        }
+        if c.out.mark_dirty() {
+            self.ports[c.reactor].notify_dirty(conn);
+        }
+        true
+    }
+
+    /// Severs a connection: marks its ring closed (pushes fail from now
+    /// on) and tells the owning reactor to shut the socket down. Used for
     /// fatal protocol violations, peer hangups and slow-consumer
     /// disconnects.
     fn drop_conn(&mut self, conn: u64) {
         if let Some(c) = self.conns.remove(&conn) {
-            let _ = c.stream.shutdown(Shutdown::Both);
-            drop(c.tx); // writer drains its queue and exits
-            if let Some(w) = c.writer {
-                let _ = w.join();
-            }
+            c.out.mark_closed();
+            self.ports[c.reactor].send(ReactorCmd::Close { conn });
         }
     }
 
@@ -326,12 +432,12 @@ impl Switchboard {
         let sid = self.next_session;
         self.sessions.insert(sid, Session::fresh(role, conn));
         self.conn_sessions.insert(conn, sid);
-        let c = self.conns.get_mut(&conn).expect("checked above");
-        c.role = role;
-        let _ = c.tx.try_send(encode_msg(&Msg::Welcome {
+        self.conns.get_mut(&conn).expect("checked above").role = role;
+        let welcome = encode_msg(&Msg::Welcome {
             session_id: sid,
             resumed: false,
-        }));
+        });
+        let _ = self.send_small(conn, &welcome);
     }
 
     /// Handles a `Resume`: rebinds the session when it is known, the role
@@ -363,8 +469,8 @@ impl Switchboard {
             self.bind_fresh_session(conn, role, cfg.max_sessions);
             return;
         }
-        // The client may have reconnected before the old reader noticed
-        // the cut: steal the session from the zombie connection.
+        // The client may have reconnected before the old socket's death
+        // was noticed: steal the session from the zombie connection.
         if let Some(old) = self.sessions.get(&sid).and_then(|s| s.conn) {
             if old != conn {
                 self.conn_sessions.remove(&old);
@@ -380,27 +486,26 @@ impl Switchboard {
         session.parked_at = None;
         self.conn_sessions.insert(conn, sid);
         self.counters.resumes += 1;
-        let mut outbound = vec![encode_msg(&Msg::Welcome {
+        let welcome = encode_msg(&Msg::Welcome {
             session_id: sid,
             resumed: true,
-        })];
+        });
+        let _ = c.out.push_small(&welcome);
+        let mut replayed = 0u64;
         if role == Role::Subscriber {
             let watermark: HashMap<u32, u32> = acked.iter().copied().collect();
-            outbound.extend(
-                session
-                    .replay
-                    .iter()
-                    .filter(|(chain, seq, _)| watermark.get(chain).is_none_or(|&high| *seq > high))
-                    .map(|(_, _, bytes)| bytes.clone()),
-            );
-        }
-        let mut sent = outbound.into_iter();
-        let _ = c.tx.try_send(sent.next().expect("welcome"));
-        let mut replayed = 0u64;
-        for bytes in sent {
-            if c.tx.try_send(bytes).is_ok() {
-                replayed += 1;
+            for (_, _, bytes) in session
+                .replay
+                .iter()
+                .filter(|(chain, seq, _)| watermark.get(chain).is_none_or(|&high| *seq > high))
+            {
+                if c.out.push_shared(Arc::clone(bytes)).is_ok() {
+                    replayed += 1;
+                }
             }
+        }
+        if c.out.mark_dirty() {
+            self.ports[c.reactor].notify_dirty(conn);
         }
         self.counters.replayed_verdicts += replayed;
         self.verdicts_sent += replayed;
@@ -445,12 +550,12 @@ impl Switchboard {
         self.conn_sessions.insert(conn, sid);
         self.counters.handoffs += 1;
         self.counters.resumes += 1;
-        let c = self.conns.get_mut(&conn).expect("checked above");
-        c.role = role;
-        let _ = c.tx.try_send(encode_msg(&Msg::Welcome {
+        self.conns.get_mut(&conn).expect("checked above").role = role;
+        let welcome = encode_msg(&Msg::Welcome {
             session_id: sid,
             resumed: true,
-        }));
+        });
+        let _ = self.send_small(conn, &welcome);
         true
     }
 
@@ -507,42 +612,29 @@ impl Switchboard {
         if !c.reacked.insert((chain, sequence)) {
             return;
         }
-        if c.tx
-            .try_send(encode_msg(&Msg::FrameAck { chain, sequence }))
-            .is_ok()
-        {
+        let ack = encode_msg(&Msg::FrameAck { chain, sequence });
+        if self.send_small(conn, &ack) {
             self.acks_sent += 1;
             self.counters.replayed_frames += 1;
         }
     }
 
-    /// Gracefully closes a connection: the writer first drains and flushes
-    /// everything already queued (final verdicts, final acks), *then* the
-    /// socket closes. Used at shutdown so accepted-and-acked work is never
-    /// lost on the floor of an outbound queue.
-    fn close_conn_graceful(&mut self, conn: u64) {
-        if let Some(c) = self.conns.remove(&conn) {
-            drop(c.tx); // channel closes → writer drains, flushes, exits
-            if let Some(w) = c.writer {
-                let _ = w.join();
-            }
-            let _ = c.stream.shutdown(Shutdown::Both);
-        }
-    }
-
     /// Sends every result to every subscriber session under the
     /// slow-consumer policy, rings it for resume replay, and feeds the
-    /// console. A parked session accumulates verdicts in its ring; when
-    /// the ring overflows while parked, the shed verdict is gone for good
-    /// and counted.
+    /// console. The verdict is encoded once and the same `Arc<[u8]>` is
+    /// queued everywhere — fan-out cost is a ring push + refcount, and
+    /// each reactor is woken at most once per burst. A parked session
+    /// accumulates verdicts in its ring; when the ring overflows while
+    /// parked, the shed verdict is gone for good and counted.
     fn fan_out(&mut self, results: Vec<FrameResult>, policy: SlowConsumerPolicy, ring: usize) {
         for r in results {
             self.console.observe(&r.verdict, &r.timing);
             self.observed += 1;
-            let bytes = encode_msg(&Msg::Verdict(VerdictMsg {
+            let bytes: Arc<[u8]> = encode_msg(&Msg::Verdict(VerdictMsg {
                 chain: r.chain,
                 verdict: r.verdict,
-            }));
+            }))
+            .into();
             let mut to_park: Vec<u64> = Vec::new();
             for s in self.sessions.values_mut() {
                 if s.role != Role::Subscriber {
@@ -563,16 +655,22 @@ impl Switchboard {
                         self.counters.resume_overflow += 1;
                     }
                 }
-                s.replay.push_back((r.chain, r.sequence, bytes.clone()));
+                s.replay
+                    .push_back((r.chain, r.sequence, Arc::clone(&bytes)));
                 let high = s.delivered_high.entry(r.chain).or_insert(r.sequence);
                 *high = (*high).max(r.sequence);
                 let Some(id) = s.conn else { continue };
                 let Some(c) = self.conns.get(&id) else {
                     continue;
                 };
-                match c.tx.try_send(bytes.clone()) {
-                    Ok(()) => self.verdicts_sent += 1,
-                    Err(TrySendError::Full(_)) => match policy {
+                match c.out.push_shared(Arc::clone(&bytes)) {
+                    Ok(()) => {
+                        self.verdicts_sent += 1;
+                        if c.out.mark_dirty() {
+                            self.ports[c.reactor].notify_dirty(id);
+                        }
+                    }
+                    Err(PushError::Full) => match policy {
                         SlowConsumerPolicy::DropNewest => {
                             self.counters.slow_consumer_drops += 1;
                         }
@@ -581,21 +679,12 @@ impl Switchboard {
                             to_park.push(id);
                         }
                     },
-                    Err(TrySendError::Disconnected(_)) => to_park.push(id),
+                    Err(PushError::Closed) => to_park.push(id),
                 }
             }
             for id in to_park {
                 self.park_conn(id);
             }
-        }
-    }
-
-    /// Gracefully closes every remaining connection (drain → flush →
-    /// close) and joins its writer.
-    fn close_all(&mut self) {
-        let ids: Vec<u64> = self.conns.keys().copied().collect();
-        for id in ids {
-            self.close_conn_graceful(id);
         }
     }
 
@@ -615,9 +704,9 @@ pub struct GatewayHandle {
     addr: SocketAddr,
     flag: Arc<AtomicBool>,
     kill: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     hub: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    ports: Vec<ReactorPort>,
     report_rx: Receiver<GatewayReport>,
     shared: Arc<Mutex<(NetCounters, u64)>>,
 }
@@ -646,7 +735,9 @@ impl HubGateway {
     /// even with OS-assigned ports), then hands each listener here.
     ///
     /// # Errors
-    /// Propagates socket configure failures.
+    /// Propagates socket configure failures; on non-Unix platforms the
+    /// reactor cannot be built and this returns
+    /// [`std::io::ErrorKind::Unsupported`].
     ///
     /// # Panics
     /// Panics when `cfg.outbound_queue` is zero.
@@ -658,35 +749,86 @@ impl HubGateway {
         assert!(cfg.outbound_queue > 0, "outbound queue must be positive");
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let n_reactors = cfg.reactors.clamp(1, MAX_REACTORS);
         let flag = Arc::new(AtomicBool::new(false));
         let kill = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Mutex::new((NetCounters::default(), 0u64)));
-        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let (event_tx, event_rx) = mpsc::sync_channel::<Event>(EVENT_QUEUE);
         let (report_tx, report_rx) = mpsc::sync_channel::<GatewayReport>(1);
+        let pool = BufPool::default();
 
-        let acceptor = {
-            let flag = Arc::clone(&flag);
-            let readers = Arc::clone(&readers);
-            let event_tx = event_tx.clone();
-            let queue = cfg.outbound_queue;
-            thread::Builder::new()
-                .name("reads-net-accept".into())
-                .spawn(move || accept_loop(&listener, &flag, &readers, &event_tx, queue))
-                .expect("spawn acceptor")
-        };
-        // The hub must see Disconnected once the acceptor and every reader
-        // are gone, so the constructor's copy dies here.
+        // Build every reactor fully (all fallible syscalls) before
+        // spawning any thread, so a mid-construction failure leaks
+        // nothing.
+        let mut ports: Vec<ReactorPort> = Vec::with_capacity(n_reactors);
+        let mut inboxes = Vec::with_capacity(n_reactors);
+        for _ in 0..n_reactors {
+            let (waker, wake_rx) = Waker::pair()?;
+            let (cmd_tx, cmd_rx) = mpsc::channel();
+            ports.push(ReactorPort {
+                cmd_tx,
+                shared: Arc::new(ReactorShared {
+                    dirty: Mutex::new(Vec::new()),
+                    waker,
+                }),
+            });
+            inboxes.push((cmd_rx, wake_rx));
+        }
+        let mut built: Vec<Reactor> = Vec::with_capacity(n_reactors);
+        let mut listener_slot = Some(listener);
+        for (i, (cmd_rx, wake_rx)) in inboxes.into_iter().enumerate() {
+            let mut poller = Poller::new()?;
+            poller.register(wake_rx.as_raw_fd(), TOKEN_WAKER, Interest::READ)?;
+            let listener = if i == 0 {
+                let l = listener_slot.take().expect("taken once");
+                poller.register(fd_of(&l), TOKEN_LISTENER, Interest::READ)?;
+                Some(l)
+            } else {
+                None
+            };
+            built.push(Reactor {
+                idx: i,
+                poller,
+                wake_rx,
+                cmd_rx,
+                event_tx: Some(event_tx.clone()),
+                conns: HashMap::new(),
+                listener,
+                next_conn: 0,
+                ports: ports.clone(),
+                shared: Arc::clone(&ports[i].shared),
+                pool: pool.clone(),
+                outbound_queue: cfg.outbound_queue,
+                flag: Arc::clone(&flag),
+                kill: Arc::clone(&kill),
+                scratch: vec![0u8; READ_CHUNK].into_boxed_slice(),
+            });
+        }
+        // The hub must see Disconnected once every reactor has observed
+        // the shutdown flag and dropped its sender, so the constructor's
+        // copy dies here.
         drop(event_tx);
+
+        let reactors: Vec<JoinHandle<()>> = built
+            .into_iter()
+            .map(|r| {
+                thread::Builder::new()
+                    .name(format!("reads-net-io{}", r.idx))
+                    .spawn(move || r.run())
+                    .expect("spawn reactor")
+            })
+            .collect();
 
         let hub = {
             let flag = Arc::clone(&flag);
             let kill = Arc::clone(&kill);
             let shared = Arc::clone(&shared);
+            let ports = ports.clone();
             thread::Builder::new()
                 .name("reads-net-hub".into())
                 .spawn(move || {
-                    let report = hub_loop(&cfg, local, engine, &event_rx, &flag, &kill, &shared);
+                    let report =
+                        hub_loop(&cfg, local, engine, &event_rx, &flag, &kill, &shared, ports);
                     let _ = report_tx.send(report);
                 })
                 .expect("spawn hub")
@@ -696,9 +838,9 @@ impl HubGateway {
             addr: local,
             flag,
             kill,
-            acceptor: Some(acceptor),
-            readers,
             hub: Some(hub),
+            reactors,
+            ports,
             report_rx,
             shared,
         })
@@ -740,27 +882,26 @@ impl GatewayHandle {
     }
 
     /// Graceful shutdown: stop accepting, drain in-flight frames through
-    /// the engine, flush remaining verdicts, join every thread, and return
-    /// the final report.
+    /// the engine, flush remaining verdicts through the reactors'
+    /// draining phase, join every thread, and return the final report.
     ///
     /// # Panics
     /// Panics if a gateway thread panicked.
     #[must_use]
     pub fn shutdown(mut self) -> GatewayReport {
         self.flag.store(true, Ordering::SeqCst);
-        if let Some(a) = self.acceptor.take() {
-            a.join().expect("acceptor panicked");
-        }
-        // No new readers can spawn now; join the existing ones. Their
-        // event senders drop here, which is what lets the hub finalize.
-        let readers: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.readers.lock().expect("readers lock"));
-        for r in readers {
-            r.join().expect("reader panicked");
+        for p in &self.ports {
+            p.shared.waker.wake();
         }
         let report = self.report_rx.recv().expect("hub report");
         if let Some(h) = self.hub.take() {
             h.join().expect("hub panicked");
+        }
+        // The hub's finalize already commanded DrainAllThenExit; joining
+        // here guarantees every ring flushed (or timed out) and every
+        // socket closed before the report is handed back.
+        for r in self.reactors.drain(..) {
+            r.join().expect("reactor panicked");
         }
         report
     }
@@ -780,195 +921,425 @@ impl GatewayHandle {
     pub fn kill(mut self) -> GatewayReport {
         self.kill.store(true, Ordering::SeqCst);
         self.flag.store(true, Ordering::SeqCst);
-        if let Some(a) = self.acceptor.take() {
-            a.join().expect("acceptor panicked");
-        }
-        let readers: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.readers.lock().expect("readers lock"));
-        for r in readers {
-            r.join().expect("reader panicked");
+        for p in &self.ports {
+            p.shared.waker.wake();
         }
         let report = self.report_rx.recv().expect("hub report");
         if let Some(h) = self.hub.take() {
             h.join().expect("hub panicked");
         }
+        for r in self.reactors.drain(..) {
+            r.join().expect("reactor panicked");
+        }
         report
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    flag: &Arc<AtomicBool>,
-    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    event_tx: &SyncSender<Event>,
-    outbound_queue: usize,
-) {
-    let mut next_conn = 0u64;
-    while !flag.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                next_conn += 1;
-                let conn = next_conn;
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-                let (Ok(write_half), Ok(ctrl_half)) = (stream.try_clone(), stream.try_clone())
-                else {
-                    continue;
-                };
-                let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(outbound_queue);
-                let writer = thread::Builder::new()
-                    .name(format!("reads-net-w{conn}"))
-                    .spawn(move || writer_loop(write_half, &rx))
-                    .expect("spawn writer");
-                if event_tx
-                    .send(Event::Attach {
-                        conn,
-                        tx,
-                        stream: ctrl_half,
-                        writer,
-                    })
-                    .is_err()
-                {
-                    return; // hub gone — shutting down
-                }
-                let reader = {
-                    let event_tx = event_tx.clone();
-                    let flag = Arc::clone(flag);
-                    thread::Builder::new()
-                        .name(format!("reads-net-r{conn}"))
-                        .spawn(move || reader_loop(conn, stream, &event_tx, &flag))
-                        .expect("spawn reader")
-                };
-                readers.lock().expect("readers lock").push(reader);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => thread::sleep(ACCEPT_POLL),
-        }
-    }
+/// Transport-level connection phases. `Handshake` ends at the first
+/// decoded message (the protocol is permissive: a bare producer may lead
+/// with `HubData`); `Draining` exists only during graceful exit, when
+/// the ring flushes write-driven and then the socket closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Handshake,
+    Streaming,
+    Draining,
 }
 
-fn reader_loop(
-    conn: u64,
-    mut stream: TcpStream,
-    event_tx: &SyncSender<Event>,
-    flag: &Arc<AtomicBool>,
-) {
-    let mut decoder = FrameDecoder::new();
-    let mut chunk = [0u8; READ_CHUNK];
-    // Only a *peer*-initiated end (EOF, socket error, fatal protocol
-    // violation) reports `Closed` to the hub: a flag-driven shutdown exit
-    // must leave the connection registered so the finalize path can still
-    // drain its last verdicts/acks through the graceful close.
-    let mut peer_gone = false;
-    'outer: while !flag.load(Ordering::SeqCst) {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => {
-                peer_gone = true;
-                break; // EOF
+/// Reactor-side connection state: the nonblocking socket, its incremental
+/// decoder, and the outbound ring it shares with the hub.
+struct ConnIo {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Arc<Outbound>,
+    interest: Interest,
+    phase: Phase,
+}
+
+/// One event-loop thread: owns sockets, the accept path (reactor 0), all
+/// reads, all vectored writes. Everything protocol-level lives in the
+/// hub; everything byte-level lives here.
+struct Reactor {
+    idx: usize,
+    poller: Poller,
+    wake_rx: WakeRx,
+    cmd_rx: Receiver<ReactorCmd>,
+    /// `Some` until the shutdown flag is observed; dropping it is what
+    /// lets the hub's event loop see Disconnected and finalize.
+    event_tx: Option<SyncSender<Event>>,
+    conns: HashMap<u64, ConnIo>,
+    /// Present on reactor 0 only — the accepting reactor.
+    listener: Option<TcpListener>,
+    next_conn: u64,
+    ports: Vec<ReactorPort>,
+    shared: Arc<ReactorShared>,
+    pool: BufPool,
+    outbound_queue: usize,
+    flag: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
+    /// Reusable read buffer — one per reactor, not one stack per
+    /// connection.
+    scratch: Box<[u8]>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Ready> = Vec::with_capacity(1024);
+        loop {
+            if self.event_tx.is_some() && self.flag.load(Ordering::SeqCst) {
+                self.stop_reading();
             }
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
+            let mut exit_sever: Option<bool> = None;
+            while let Ok(cmd) = self.cmd_rx.try_recv() {
+                match cmd {
+                    ReactorCmd::Adopt { conn, stream, out } => self.install(conn, stream, out),
+                    ReactorCmd::Close { conn } => self.remove_conn(conn),
+                    ReactorCmd::DrainAllThenExit => exit_sever = Some(false),
+                    ReactorCmd::SeverAllThenExit => exit_sever = Some(true),
+                }
+            }
+            if self.kill.load(Ordering::SeqCst) {
+                exit_sever = Some(true);
+            }
+            match exit_sever {
+                Some(true) => {
+                    self.sever_all();
+                    return;
+                }
+                Some(false) => {
+                    self.drain_all();
+                    return;
+                }
+                None => {}
+            }
+            self.flush_dirty();
+            events.clear();
+            if self.poller.wait(&mut events, Some(REACTOR_PARK)).is_err() {
+                // A broken poller cannot be served around; park so a
+                // persistent failure cannot spin a core, then re-check
+                // flags.
+                thread::sleep(REACTOR_PARK);
                 continue;
             }
-            Err(_) => {
-                peer_gone = true;
-                break;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_WAKER => self.wake_rx.drain(),
+                    TOKEN_LISTENER => self.accept_burst(),
+                    conn => self.conn_event(conn, ev),
+                }
             }
+        }
+    }
+
+    /// Shutdown-flag transition: stop accepting, stop reading, and drop
+    /// the event sender so the hub can drain to Disconnected. Writes keep
+    /// flowing — the drain command arrives later with the final verdicts.
+    fn stop_reading(&mut self) {
+        self.event_tx = None;
+        if let Some(l) = self.listener.take() {
+            let _ = self.poller.deregister(fd_of(&l));
+        }
+        for (&conn, io) in &mut self.conns {
+            if io.interest.read {
+                io.interest.read = false;
+                let _ = self.poller.modify(fd_of(&io.stream), conn, io.interest);
+            }
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        for _ in 0..ACCEPT_BURST {
+            let accepted = match &self.listener {
+                Some(l) => retry_intr(|| l.accept()),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    self.next_conn += 1;
+                    let conn = self.next_conn;
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let out = Arc::new(Outbound::new(self.outbound_queue, self.pool.clone()));
+                    let owner = (conn as usize - 1) % self.ports.len();
+                    // Attach must reach the hub before any packet from
+                    // this socket; both orders below guarantee it (the
+                    // owner cannot read before it receives Adopt, which
+                    // is sent after).
+                    let Some(tx) = &self.event_tx else { return };
+                    if tx
+                        .send(Event::Attach {
+                            conn,
+                            out: Arc::clone(&out),
+                            reactor: owner,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    if owner == self.idx {
+                        self.install(conn, stream, out);
+                    } else {
+                        self.ports[owner].send(ReactorCmd::Adopt { conn, stream, out });
+                    }
+                }
+                Err(e) if is_would_block(&e) => return,
+                Err(_) => {
+                    thread::sleep(ACCEPT_ERR_BACKOFF);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Registers a socket this reactor now owns. On registration failure
+    /// (fd pressure) the connection is closed and reported so the hub's
+    /// registry cannot leak an entry.
+    fn install(&mut self, conn: u64, stream: TcpStream, out: Arc<Outbound>) {
+        let interest = if self.event_tx.is_some() {
+            Interest::READ
+        } else {
+            Interest::NONE
         };
-        decoder.push(&chunk[..n]);
-        // Decode everything this read delivered and ship it as ONE event:
-        // a channel wakeup per hub packet would cost a context switch each
-        // at serving rates.
+        if self
+            .poller
+            .register(fd_of(&stream), conn, interest)
+            .is_err()
+        {
+            out.mark_closed();
+            let _ = stream.shutdown(Shutdown::Both);
+            self.report_closed_event(conn);
+            return;
+        }
+        self.conns.insert(
+            conn,
+            ConnIo {
+                stream,
+                decoder: FrameDecoder::new(),
+                out,
+                interest,
+                phase: Phase::Handshake,
+            },
+        );
+    }
+
+    fn conn_event(&mut self, conn: u64, ev: Ready) {
+        if ev.readable && self.event_tx.is_some() {
+            self.read_conn(conn);
+        }
+        if ev.writable {
+            self.flush_conn(conn);
+        }
+        if ev.hangup && self.conns.contains_key(&conn) {
+            // ERR/HUP without consumable data: the socket is dead.
+            self.peer_gone(conn);
+        }
+    }
+
+    /// Reads a fairness-bounded burst, decodes it, and ships the decoded
+    /// events to the hub in one channel wakeup.
+    fn read_conn(&mut self, conn: u64) {
+        let Some(io) = self.conns.get_mut(&conn) else {
+            return;
+        };
         let mut batch: Vec<Event> = Vec::new();
-        let mut fatal_err = false;
-        loop {
-            match decoder.next_msg() {
-                Ok(Some(msg)) => batch.push(match msg {
-                    Msg::Hello { role } => Event::Hello { conn, role },
-                    Msg::HubData { chain, packet } => Event::Packet {
-                        conn,
-                        chain,
-                        packet,
-                    },
-                    Msg::Shutdown => Event::ShutdownRequested,
-                    Msg::Resume {
-                        session_id,
-                        role,
-                        acked,
-                    } => Event::Resume {
-                        conn,
-                        session_id,
-                        role,
-                        acked,
-                    },
-                    Msg::Route { chain } => Event::Route { conn, chain },
-                    // Server-to-client kinds arriving at the server are
-                    // protocol violations, not transport corruption.
-                    Msg::FrameAck { .. }
-                    | Msg::Verdict(_)
-                    | Msg::Welcome { .. }
-                    | Msg::Redirect { .. } => Event::DecodeErr { conn, fatal: false },
-                }),
-                Ok(None) => break,
-                Err(e) => {
-                    // An adversarial length field is the one error worth a
-                    // disconnect: it signals a peer probing the buffer
-                    // bounds, and resync past it cannot be trusted.
-                    let fatal = matches!(e, WireError::Oversized(_));
-                    batch.push(Event::DecodeErr { conn, fatal });
+        let mut peer_gone = false;
+        let mut fatal = false;
+        let mut total = 0usize;
+        while total < READ_FAIR_BUDGET {
+            match retry_intr(|| io.stream.read(&mut self.scratch)) {
+                Ok(0) => {
+                    peer_gone = true;
+                    break;
+                }
+                Ok(n) => {
+                    total += n;
+                    io.decoder.push(&self.scratch[..n]);
+                    decode_into(&mut batch, conn, &mut io.decoder, &mut fatal);
                     if fatal {
-                        fatal_err = true;
+                        peer_gone = true;
                         break;
                     }
                 }
+                Err(e) if is_would_block(&e) => break,
+                Err(_) => {
+                    peer_gone = true;
+                    break;
+                }
             }
         }
-        let send_failed = match batch.len() {
-            0 => false,
-            1 => event_tx.send(batch.pop().expect("len 1")).is_err(),
-            _ => event_tx.send(Event::Batch(batch)).is_err(),
+        if io.phase == Phase::Handshake && !batch.is_empty() {
+            io.phase = Phase::Streaming;
+        }
+        if let Some(tx) = &self.event_tx {
+            let _ = match batch.len() {
+                0 => Ok(()),
+                1 => tx.send(batch.pop().expect("len 1")),
+                _ => tx.send(Event::Batch(batch)),
+            };
+        }
+        if peer_gone {
+            if fatal {
+                // The hub learns from DecodeErr{fatal} in the batch and
+                // parks the session itself — a Closed event on top would
+                // double-count the disconnect.
+                self.remove_conn(conn);
+            } else {
+                self.peer_gone(conn);
+            }
+        }
+    }
+
+    /// Drains a connection's outbound ring; arms or disarms write
+    /// interest to match what is left.
+    fn flush_conn(&mut self, conn: u64) {
+        let Some(io) = self.conns.get_mut(&conn) else {
+            return;
         };
-        if fatal_err {
-            peer_gone = true;
-        }
-        if send_failed || fatal_err {
-            break 'outer;
+        io.out.clear_dirty();
+        let want_write = match io.out.flush_into(&mut io.stream) {
+            Ok(flushed) => !flushed,
+            Err(_) => {
+                self.peer_gone(conn);
+                return;
+            }
+        };
+        if io.interest.write != want_write {
+            io.interest.write = want_write;
+            let _ = self.poller.modify(fd_of(&io.stream), conn, io.interest);
         }
     }
-    if peer_gone {
-        let _ = event_tx.send(Event::Closed { conn });
+
+    /// Hub-notified flush debts accumulated since the last wakeup.
+    fn flush_dirty(&mut self) {
+        let dirty: Vec<u64> = {
+            let mut d = self.shared.dirty.lock().expect("dirty lock");
+            std::mem::take(&mut *d)
+        };
+        for conn in dirty {
+            self.flush_conn(conn);
+        }
+    }
+
+    /// Peer-initiated death: tell the hub (it parks the session and
+    /// counts the disconnect), then tear the socket down.
+    fn peer_gone(&mut self, conn: u64) {
+        self.report_closed_event(conn);
+        self.remove_conn(conn);
+    }
+
+    fn report_closed_event(&mut self, conn: u64) {
+        if let Some(tx) = &self.event_tx {
+            let _ = tx.send(Event::Closed { conn });
+        }
+    }
+
+    /// Tears a connection down without telling the hub — used when the
+    /// hub itself ordered the close, or already knows from a fatal
+    /// decode error.
+    fn remove_conn(&mut self, conn: u64) {
+        if let Some(io) = self.conns.remove(&conn) {
+            let _ = self.poller.deregister(fd_of(&io.stream));
+            io.out.mark_closed();
+            let _ = io.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Graceful exit: every connection enters the draining phase — its
+    /// ring flushes write-driven, then the socket closes. Bounded by
+    /// [`DRAIN_DEADLINE`] so a peer that stopped reading cannot wedge
+    /// shutdown (its unflushed ring is severed, exactly like the old
+    /// writer threads' write timeout).
+    fn drain_all(&mut self) {
+        for io in self.conns.values_mut() {
+            io.phase = Phase::Draining;
+        }
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        let mut events: Vec<Ready> = Vec::new();
+        while !self.conns.is_empty() && Instant::now() < deadline {
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for conn in ids {
+                let done = {
+                    let Some(io) = self.conns.get_mut(&conn) else {
+                        continue;
+                    };
+                    // A dead peer (Err) has nothing more to flush.
+                    io.out.flush_into(&mut io.stream).unwrap_or(true)
+                };
+                if done {
+                    self.remove_conn(conn);
+                }
+            }
+            if self.conns.is_empty() {
+                break;
+            }
+            events.clear();
+            let _ = self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(10)));
+        }
+        self.sever_all();
+    }
+
+    fn sever_all(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for conn in ids {
+            self.remove_conn(conn);
+        }
     }
 }
 
-fn writer_loop(mut stream: TcpStream, rx: &Receiver<Vec<u8>>) {
-    // Coalesce whatever is queued into one write: at verdict rates a
-    // wakeup per message would cost a syscall + context switch each.
-    let mut burst: Vec<u8> = Vec::new();
-    while let Ok(first) = rx.recv() {
-        burst.clear();
-        burst.extend_from_slice(&first);
-        while burst.len() < 256 * 1024 {
-            match rx.try_recv() {
-                Ok(more) => burst.extend_from_slice(&more),
-                Err(_) => break,
+/// Decodes everything buffered, translating wire messages into hub
+/// events. Sets `fatal` on an adversarial length field — the one error
+/// worth a disconnect: it signals a peer probing the buffer bounds, and
+/// resync past it cannot be trusted.
+fn decode_into(batch: &mut Vec<Event>, conn: u64, decoder: &mut FrameDecoder, fatal: &mut bool) {
+    loop {
+        match decoder.next_msg() {
+            Ok(Some(msg)) => batch.push(match msg {
+                Msg::Hello { role } => Event::Hello { conn, role },
+                Msg::HubData { chain, packet } => Event::Packet {
+                    conn,
+                    chain,
+                    packet,
+                },
+                Msg::Shutdown => Event::ShutdownRequested,
+                Msg::Resume {
+                    session_id,
+                    role,
+                    acked,
+                } => Event::Resume {
+                    conn,
+                    session_id,
+                    role,
+                    acked,
+                },
+                Msg::Route { chain } => Event::Route { conn, chain },
+                // Server-to-client kinds arriving at the server are
+                // protocol violations, not transport corruption.
+                Msg::FrameAck { .. }
+                | Msg::Verdict(_)
+                | Msg::Welcome { .. }
+                | Msg::Redirect { .. } => Event::DecodeErr { conn, fatal: false },
+            }),
+            Ok(None) => return,
+            Err(e) => {
+                let is_fatal = matches!(e, WireError::Oversized(_));
+                batch.push(Event::DecodeErr {
+                    conn,
+                    fatal: is_fatal,
+                });
+                if is_fatal {
+                    *fatal = true;
+                    return;
+                }
             }
         }
-        if stream.write_all(&burst).is_err() {
-            // Socket dead: drain the queue so senders never block on a
-            // corpse, then exit when the channel closes.
-            while rx.recv().is_ok() {}
-            break;
-        }
     }
-    let _ = stream.flush();
 }
 
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn hub_loop(
     cfg: &GatewayConfig,
     local: SocketAddr,
@@ -977,12 +1348,14 @@ fn hub_loop(
     flag: &Arc<AtomicBool>,
     kill: &Arc<AtomicBool>,
     shared: &Arc<Mutex<(NetCounters, u64)>>,
+    ports: Vec<ReactorPort>,
 ) -> GatewayReport {
     let mut board = Switchboard {
         conns: HashMap::new(),
         sessions: HashMap::new(),
         conn_sessions: HashMap::new(),
         accepted: HashMap::new(),
+        ports,
         // Fleet members mint session ids in a per-gateway namespace
         // (top bits), so an adopted session can never collide with one
         // minted here.
@@ -1011,19 +1384,13 @@ fn hub_loop(
         sim_ingest: &mut SimDuration,
     ) {
         match ev {
-            Event::Attach {
-                conn,
-                tx,
-                stream,
-                writer,
-            } => {
+            Event::Attach { conn, out, reactor } => {
                 board.counters.connections += 1;
                 board.conns.insert(
                     conn,
                     ConnState {
-                        tx,
-                        stream,
-                        writer: Some(writer),
+                        out,
+                        reactor,
                         role: Role::Producer,
                         reacked: HashSet::new(),
                     },
@@ -1054,13 +1421,12 @@ fn hub_loop(
                     },
                     None => (0, local.to_string()),
                 };
-                if let Some(c) = board.conns.get(&conn) {
-                    let _ = c.tx.try_send(encode_msg(&Msg::Redirect {
-                        chain,
-                        gateway_id,
-                        addr,
-                    }));
-                }
+                let redirect = encode_msg(&Msg::Redirect {
+                    chain,
+                    gateway_id,
+                    addr,
+                });
+                let _ = board.send_small(conn, &redirect);
             }
             Event::Packet {
                 conn,
@@ -1076,13 +1442,12 @@ fn hub_loop(
                     if let Some(owner) = link.state.owner_of(chain) {
                         if owner != link.gateway_id {
                             board.counters.redirects += 1;
-                            if let Some(c) = board.conns.get(&conn) {
-                                let _ = c.tx.try_send(encode_msg(&Msg::Redirect {
-                                    chain,
-                                    gateway_id: owner,
-                                    addr: link.state.addr_of(owner).to_string(),
-                                }));
-                            }
+                            let redirect = encode_msg(&Msg::Redirect {
+                                chain,
+                                gateway_id: owner,
+                                addr: link.state.addr_of(owner).to_string(),
+                            });
+                            let _ = board.send_small(conn, &redirect);
                             return;
                         }
                     }
@@ -1101,11 +1466,9 @@ fn hub_loop(
                             board.counters.frames_accepted += 1;
                             if cfg.ack_frames {
                                 board.note_accepted(chain, sequence);
-                                if let Some(c) = board.conns.get(&conn) {
-                                    let ack = encode_msg(&Msg::FrameAck { chain, sequence });
-                                    if c.tx.try_send(ack).is_ok() {
-                                        board.acks_sent += 1;
-                                    }
+                                let ack = encode_msg(&Msg::FrameAck { chain, sequence });
+                                if board.send_small(conn, &ack) {
+                                    board.acks_sent += 1;
                                 }
                             }
                         } else {
@@ -1134,8 +1497,14 @@ fn hub_loop(
                 flag.store(true, Ordering::SeqCst);
             }
             Event::Closed { conn } => {
-                board.counters.disconnects += 1;
-                board.park_conn(conn);
+                // Count the disconnect only while the connection is still
+                // registered: one the hub already dropped (slow-consumer
+                // disconnect, zombie steal, fatal protocol violation) must
+                // not *also* be accounted as a peer-initiated close.
+                if board.conns.contains_key(&conn) {
+                    board.counters.disconnects += 1;
+                    board.park_conn(conn);
+                }
             }
             Event::Batch(evs) => {
                 for e in evs {
@@ -1146,10 +1515,21 @@ fn hub_loop(
     }
 
     let mut last_gossip = Instant::now();
+    let mut last_expiry = Instant::now();
+    let mut reactors_woken = false;
     loop {
         // SIGKILL-equivalent: stop mid-everything, events still queued.
         if kill.load(Ordering::SeqCst) {
             break;
+        }
+        if !reactors_woken && flag.load(Ordering::SeqCst) {
+            // Externally stored flag (ctrl-c handler, tests) or a wire
+            // Shutdown: nudge every reactor so it notices without waiting
+            // out its park timeout.
+            reactors_woken = true;
+            for p in &board.ports {
+                p.shared.waker.wake();
+            }
         }
         match events.recv_timeout(HUB_POLL) {
             Ok(ev) => {
@@ -1181,13 +1561,16 @@ fn hub_loop(
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
-            // Every producer of events (acceptor + readers) is gone and
-            // the queue is fully drained: time to finalize.
+            // Every reactor has observed the shutdown flag and dropped
+            // its sender, and the queue is fully drained: finalize.
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
         let results = engine.poll_results();
         board.fan_out(results, cfg.slow_consumer, cfg.resume_buffer);
-        board.expire_sessions(cfg.session_resume_window);
+        if last_expiry.elapsed() >= EXPIRE_EVERY {
+            last_expiry = Instant::now();
+            board.expire_sessions(cfg.session_resume_window);
+        }
         board.publish(shared);
         if let Some(link) = &cfg.fleet {
             // Liveness is "this loop is turning", not "the process
@@ -1206,9 +1589,8 @@ fn hub_loop(
         // see a reset mid-stream), then silently discard whatever the
         // engine still owes. The producer-side acked-frame retention plus
         // the fleet handoff path are what make this survivable.
-        let ids: Vec<u64> = board.conns.keys().copied().collect();
-        for id in ids {
-            board.drop_conn(id);
+        for p in &board.ports {
+            p.send(ReactorCmd::SeverAllThenExit);
         }
         let (_discarded, fleet) = engine.finish();
         board.publish(shared);
@@ -1223,10 +1605,13 @@ fn hub_loop(
     }
 
     // Finalize: the engine drains its queues (Block policy loses nothing),
-    // remaining verdicts go out, writers flush, everything joins.
+    // remaining verdicts go out, and the reactors enter their draining
+    // phase — flush every ring, then close every socket.
     let (remaining, fleet) = engine.finish();
     board.fan_out(remaining, cfg.slow_consumer, cfg.resume_buffer);
-    board.close_all();
+    for p in &board.ports {
+        p.send(ReactorCmd::DrainAllThenExit);
+    }
 
     let mut console_render = String::new();
     if board.observed > 0 {

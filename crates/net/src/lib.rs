@@ -4,9 +4,12 @@
 //! The paper's deployed node receives hub packets over Ethernet and
 //! answers with de-blending verdicts; everywhere else in this repository
 //! that ingress is simulated. This crate makes it real: a versioned,
-//! length-prefixed, CRC-checked [`wire`] protocol; a thread-per-connection
-//! [`gateway`] that assembles packets into chain frames (tracking
-//! sequence gaps, reorders and staleness), drives the
+//! length-prefixed, CRC-checked [`wire`] protocol; a readiness-driven
+//! [`gateway`] — `--reactors N` event-loop threads ([`reactor`]:
+//! epoll/poll wrapper, nonblocking sockets, vectored writes from a
+//! reusable buffer pool, no thread-per-connection anywhere) — that
+//! assembles packets into chain frames (tracking sequence gaps, reorders
+//! and staleness), drives the
 //! [`ShardedEngine`](reads_core::engine::ShardedEngine) through its
 //! bounded backpressure queues, and streams verdicts to subscribers under
 //! an explicit slow-consumer policy; and a [`client`] side with
@@ -38,6 +41,7 @@ pub mod chaos;
 pub mod client;
 pub mod fleet;
 pub mod gateway;
+pub mod reactor;
 pub mod resilient;
 pub mod router;
 pub mod shutdown;
@@ -49,7 +53,13 @@ pub use client::{run_load, was_truncated, GatewayClient, LoadGenConfig, LoadRepo
 pub use fleet::{
     FederationReport, FleetConfig, FleetHandle, FleetProducer, FleetSubscriber, GatewayFleet,
 };
-pub use gateway::{GatewayConfig, GatewayHandle, GatewayReport, HubGateway, SlowConsumerPolicy};
+pub use gateway::{
+    GatewayConfig, GatewayHandle, GatewayReport, HubGateway, SlowConsumerPolicy, MAX_REACTORS,
+};
+pub use reactor::{
+    fd_of, is_would_block, retry_intr, BufPool, Interest, Outbound, Poller, PushError, Ready,
+    SendQueue, WakeRx, Waker,
+};
 pub use resilient::{ResilienceConfig, ResilienceStats, ResilientClient};
 pub use router::{FleetLink, FleetMember, FleetState, SessionStub};
 pub use shutdown::{ctrl_c_requested, install_ctrl_c, request_shutdown};

@@ -5,6 +5,12 @@
 //! serve loop can poll it. `libc`'s `signal(2)` is reachable from any
 //! `std` binary on Unix without adding a dependency; on other platforms
 //! installation is a no-op and the flag simply never fires.
+//!
+//! Because this installs a handler *without* `SA_RESTART`, any blocking
+//! syscall in the process may now fail with `EINTR` — which is why every
+//! socket/poll call in the serving plane goes through
+//! [`retry_intr`](crate::reactor::retry_intr) and the reactor treats an
+//! interrupted wait as an ordinary early wakeup.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -10,6 +10,35 @@ use proptest::prelude::*;
 use reads_blm::acnet::DeblendVerdict;
 use reads_blm::hubs::HubPacket;
 use reads_net::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg, HEADER_LEN, MAX_PAYLOAD};
+use reads_net::{BufPool, Outbound};
+use std::io::Write;
+use std::sync::Arc;
+
+/// The pathological subscriber socket: accepts at most `grain` bytes per
+/// write and reports `WouldBlock` every `stall_every`-th call — the
+/// worst case the reactor's vectored-write drain must survive without
+/// reordering, duplicating, or dropping a single byte.
+struct TrickleSocket {
+    received: Vec<u8>,
+    grain: usize,
+    stall_every: usize,
+    calls: usize,
+}
+
+impl Write for TrickleSocket {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.calls += 1;
+        if self.calls.is_multiple_of(self.stall_every) {
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        let n = buf.len().min(self.grain);
+        self.received.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
 
 fn arb_packet() -> impl Strategy<Value = HubPacket> {
     (
@@ -212,5 +241,59 @@ proptest! {
         if len_field as usize > MAX_PAYLOAD {
             prop_assert!(pushed < HEADER_LEN + len_field as usize);
         }
+    }
+
+    /// Reactor partial-write invariant: a subscriber whose socket accepts
+    /// one-to-three bytes at a time (and stalls with `WouldBlock` on top)
+    /// still receives the exact byte stream that was enqueued — every
+    /// message decodes back bit-identical, in order, with nothing left
+    /// buffered. This drives the same [`Outbound`] ring + flush path the
+    /// gateway's reactors use for verdict fan-out, through both the
+    /// shared-`Arc` and the pool-coalesced small-message enqueue routes.
+    #[test]
+    fn trickle_subscriber_receives_bit_identical_stream(
+        msgs in prop::collection::vec(arb_msg(), 1..10),
+        grain in 1usize..4,
+        stall_every in 2usize..5,
+    ) {
+        let out = Outbound::new(msgs.len(), BufPool::default());
+        let mut total_bytes = 0usize;
+        for (i, m) in msgs.iter().enumerate() {
+            let bytes = encode_msg(m);
+            total_bytes += bytes.len();
+            if i % 2 == 0 {
+                let shared: Arc<[u8]> = bytes.into();
+                out.push_shared(shared).expect("within capacity");
+            } else {
+                out.push_small(&bytes).expect("within capacity");
+            }
+        }
+        let mut sock = TrickleSocket {
+            received: Vec::new(),
+            grain,
+            stall_every,
+            calls: 0,
+        };
+        // Each non-stalled call moves ≥1 byte, so this bound guarantees
+        // termination even at grain 1 with a stall every other call.
+        let mut drained = false;
+        for _ in 0..(total_bytes * stall_every + 16) {
+            match out.flush_into(&mut sock) {
+                Ok(true) => { drained = true; break; }
+                Ok(false) => {} // WouldBlock: reactor would re-arm write interest
+                Err(e) => prop_assert!(false, "trickle flush failed: {e}"),
+            }
+        }
+        prop_assert!(drained, "ring never drained");
+        prop_assert!(out.is_drained());
+        prop_assert_eq!(sock.received.len(), total_bytes);
+        let mut dec = FrameDecoder::new();
+        dec.push(&sock.received);
+        for m in &msgs {
+            let got = dec.next_msg().unwrap().expect("message available");
+            prop_assert!(msg_bits_eq(&got, m), "trickled stream drifted");
+        }
+        prop_assert_eq!(dec.next_msg().unwrap(), None);
+        prop_assert_eq!(dec.buffered(), 0);
     }
 }

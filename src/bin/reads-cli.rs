@@ -12,7 +12,7 @@
 //! reads-cli boot
 //! reads-cli serve    [--model unet|mlp] [--addr HOST:PORT]
 //!                    [--max-sessions N] [--session-resume-window SECS]
-//!                    [--fleet N] [--gateway-id I]
+//!                    [--reactors N] [--fleet N] [--gateway-id I]
 //! ```
 //!
 //! `serve --fleet N` runs an in-process federation of `N` gateways on
@@ -44,6 +44,7 @@ struct Args {
     addr: String,
     max_sessions: usize,
     session_resume_window: std::time::Duration,
+    reactors: usize,
     fleet: usize,
     gateway_id: Option<u32>,
 }
@@ -58,6 +59,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         addr: "127.0.0.1:7311".to_string(),
         max_sessions: 1024,
         session_resume_window: std::time::Duration::from_secs(30),
+        reactors: 1,
         fleet: 1,
         gateway_id: None,
     };
@@ -121,6 +123,23 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                     ));
                 }
                 args.session_resume_window = std::time::Duration::from_secs(secs);
+            }
+            "--reactors" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --reactors: {e}"))?;
+                if n == 0 {
+                    return Err(
+                        "--reactors 0 would leave every socket unserved; use at least 1".into(),
+                    );
+                }
+                if n > reads::net::MAX_REACTORS {
+                    return Err(format!(
+                        "--reactors {n} event-loop threads is absurd; the cap is {}",
+                        reads::net::MAX_REACTORS
+                    ));
+                }
+                args.reactors = n;
             }
             "--fleet" => {
                 let n: usize = value()?.parse().map_err(|e| format!("bad --fleet: {e}"))?;
@@ -196,7 +215,7 @@ fn usage() {
         "usage: reads-cli <train|summary|convert|run|verify|fifo|scenario|boot|serve> \
          [--model unet|mlp] [--tier fast|full] [--seed N] [--width W] [--frames N] \
          [--addr HOST:PORT] [--max-sessions N] [--session-resume-window SECS] \
-         [--fleet N] [--gateway-id I]"
+         [--reactors N] [--fleet N] [--gateway-id I]"
     );
 }
 
@@ -260,9 +279,12 @@ fn serve_fleet(
     install_ctrl_c();
     let state = fleet.state();
     println!(
-        "serving {} verdicts on a {}-gateway fleet — ctrl-c drains and exits",
+        "serving {} verdicts on a {}-gateway fleet ({} reactor{} each) — \
+         ctrl-c drains and exits",
         bundle.spec.name(),
-        args.fleet
+        args.fleet,
+        args.reactors,
+        if args.reactors == 1 { "" } else { "s" }
     );
     for m in state.members() {
         println!(
@@ -441,6 +463,7 @@ fn main() -> ExitCode {
             let gw_cfg = GatewayConfig {
                 max_sessions: args.max_sessions,
                 session_resume_window: args.session_resume_window,
+                reactors: args.reactors,
                 ..GatewayConfig::default()
             };
             if args.fleet > 1 {
@@ -461,9 +484,11 @@ fn main() -> ExitCode {
             };
             install_ctrl_c();
             println!(
-                "serving {} verdicts on {} — ctrl-c drains and exits",
+                "serving {} verdicts on {} ({} reactor{}) — ctrl-c drains and exits",
                 bundle.spec.name(),
-                handle.local_addr()
+                handle.local_addr(),
+                args.reactors,
+                if args.reactors == 1 { "" } else { "s" }
             );
             let mut last_frames = 0u64;
             while !ctrl_c_requested() && !handle.shutdown_requested() {

@@ -284,3 +284,71 @@ fn shutdown_under_load_loses_no_acked_frames() {
     );
     assert_eq!(report.net.slow_consumer_drops, 0, "queue was deep enough");
 }
+
+/// Counter audit: a subscriber severed by `SlowConsumerPolicy::Disconnect`
+/// is accounted exactly once — as a slow-consumer disconnect — and must
+/// not *also* show up in `disconnects`, which counts peer-initiated
+/// closes. (Under the old thread-per-connection gateway the dying reader
+/// thread reported the hub's own sever back as a clean close, double
+/// counting it; the reactor only emits `Closed` for peer-initiated
+/// deaths, and the hub ignores `Closed` for connections it already
+/// dropped.)
+#[test]
+fn slow_consumer_disconnect_is_not_double_counted() {
+    let fw = build_firmware();
+    let std = standardizer();
+    let engine = ShardedEngine::native(&EngineConfig::default(), &fw, &HpsModel::default(), &std);
+    let cfg = GatewayConfig {
+        // One queued verdict of headroom: the ring backs up as soon as
+        // the subscriber's socket buffers fill.
+        outbound_queue: 1,
+        slow_consumer: SlowConsumerPolicy::Disconnect,
+        ..GatewayConfig::default()
+    };
+    let handle = HubGateway::start("127.0.0.1:0", cfg, engine).expect("bind loopback gateway");
+    let addr = handle.local_addr();
+
+    // A subscriber that never reads: verdicts pile into its kernel
+    // buffers, then into the depth-1 ring, then trip the policy.
+    let subscriber = GatewayClient::connect(addr, Role::Subscriber).expect("subscriber connects");
+    while handle.sessions() < 1 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(25));
+
+    let mut producer = GatewayClient::connect(addr, Role::Producer).expect("producer connects");
+    let mut source = MultiChainSource::new(4, 11);
+    let mut tripped = false;
+    'feed: for _ in 0..4000 {
+        for cf in source.tick() {
+            producer.send_frame(&cf).expect("send frame");
+        }
+        // Drain acks so producer-side buffers never interfere.
+        while let Ok(Some(_)) = producer.recv(Duration::ZERO) {}
+        if handle.counters().slow_consumer_disconnects >= 1 {
+            tripped = true;
+            break 'feed;
+        }
+    }
+    assert!(tripped, "subscriber never tripped the Disconnect policy");
+
+    // The producer's close *is* a peer-initiated disconnect; wait until
+    // the hub has seen it so the comparison below is race-free.
+    drop(producer);
+    drop(subscriber);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.counters().disconnects < 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let report = handle.shutdown();
+    assert_eq!(
+        report.net.slow_consumer_disconnects, 1,
+        "exactly one policy disconnect"
+    );
+    assert_eq!(
+        report.net.disconnects, 1,
+        "only the producer's close counts as a disconnect — the \
+         policy-severed subscriber must not be double counted"
+    );
+}
