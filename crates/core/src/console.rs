@@ -5,6 +5,7 @@
 //! operational statistics from the frame stream — bounded memory (P²
 //! quantiles, no sample retention), so it can run for an entire store.
 
+use crate::registry::ShadowStats;
 use crate::resilience::{HealthCounters, HealthState, NetCounters};
 use reads_blm::acnet::DeblendVerdict;
 use reads_blm::Machine;
@@ -31,6 +32,53 @@ pub struct OperatorConsole {
     net_health: Option<NetHealth>,
     gateways: Vec<GatewayHealth>,
     kernel_mix: Option<KernelMix>,
+    tenants: Vec<TenantConsoleLine>,
+}
+
+/// One tenant's line in the multi-model serving view: which digest is
+/// live, where it is placed, how it is meeting its SLO, and — while a
+/// hot-swap shadow is scoring — the candidate's verdict deltas.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantConsoleLine {
+    /// Registry tenant id.
+    pub tenant: u32,
+    /// Registry tenant name.
+    pub name: String,
+    /// Digest of the live firmware variant (`0` when none).
+    pub live_digest: u64,
+    /// Human-readable placement (shard list, e.g. `"0,1"`).
+    pub shards: String,
+    /// Frames turned into verdicts for this tenant.
+    pub processed: u64,
+    /// Frames that finished past the tenant's SLO bound.
+    pub slo_misses: u64,
+    /// Digest of the shadow candidate currently scoring, if any.
+    pub shadow_digest: Option<u64>,
+    /// Shadow-comparison ledger (lifetime: resolved candidates fold in).
+    pub shadow: ShadowStats,
+}
+
+impl TenantConsoleLine {
+    /// Folds another gateway's view of the same tenant in (fleet
+    /// roll-up): volumes add, shadow ledgers merge, identity fields take
+    /// the first non-empty observation.
+    pub fn merge(&mut self, other: &TenantConsoleLine) {
+        self.processed += other.processed;
+        self.slo_misses += other.slo_misses;
+        self.shadow.merge(&other.shadow);
+        if self.live_digest == 0 {
+            self.live_digest = other.live_digest;
+        }
+        if self.name.is_empty() {
+            self.name = other.name.clone();
+        }
+        if self.shards.is_empty() {
+            self.shards = other.shards.clone();
+        }
+        if self.shadow_digest.is_none() {
+            self.shadow_digest = other.shadow_digest;
+        }
+    }
 }
 
 /// The network serving plane's line in the console: transport state plus
@@ -125,6 +173,9 @@ pub struct ConsoleSummary {
     /// fleet reports into this console (absent for interpreter or
     /// simulated-SoC operation).
     pub kernel_mix: Option<KernelMix>,
+    /// Per-tenant serving lines, when a multi-model registry reports into
+    /// this console (empty for single-model operation).
+    pub tenants: Vec<TenantConsoleLine>,
 }
 
 impl OperatorConsole {
@@ -147,6 +198,22 @@ impl OperatorConsole {
             net_health: None,
             gateways: Vec::new(),
             kernel_mix: None,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Feeds one tenant's serving view. A repeated observation of the
+    /// same tenant **merges** (fleet roll-up: each gateway contributes
+    /// its slice of the tenant's traffic); lines render in ascending
+    /// tenant order. Until this is called, summaries and renders omit the
+    /// tenant block, so single-model consoles are unchanged.
+    pub fn observe_tenant(&mut self, line: TenantConsoleLine) {
+        match self.tenants.iter_mut().find(|t| t.tenant == line.tenant) {
+            Some(t) => t.merge(&line),
+            None => {
+                self.tenants.push(line);
+                self.tenants.sort_by_key(|t| t.tenant);
+            }
         }
     }
 
@@ -293,6 +360,7 @@ impl OperatorConsole {
             net_health: self.net_health,
             gateways: self.gateways.clone(),
             kernel_mix: self.kernel_mix,
+            tenants: self.tenants.clone(),
         }
     }
 
@@ -389,6 +457,7 @@ impl OperatorConsole {
                 sh.counters.shard_restarts
             );
         }
+        out.push_str(&render_tenant_lines(&s.tenants));
         out
     }
 
@@ -398,8 +467,33 @@ impl OperatorConsole {
     /// killed during warm-up). Empty when no gateway has reported.
     #[must_use]
     pub fn render_fleet(&self) -> String {
-        render_gateway_lines(&self.gateways)
+        let mut out = render_gateway_lines(&self.gateways);
+        out.push_str(&render_tenant_lines(&self.tenants));
+        out
     }
+}
+
+fn render_tenant_lines(tenants: &[TenantConsoleLine]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for t in tenants {
+        let shadow = match t.shadow_digest {
+            Some(d) => format!(
+                " | shadow {:016x}: {} frames | {:.1}% within tol | max dev {:.3}",
+                d,
+                t.shadow.frames,
+                t.shadow.accuracy() * 100.0,
+                t.shadow.max_abs_delta
+            ),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            " tenant {:<3}        {} | live {:016x} | shards [{}] | {} frames | {} slo misses{}",
+            t.tenant, t.name, t.live_digest, t.shards, t.processed, t.slo_misses, shadow
+        );
+    }
+    out
 }
 
 fn render_gateway_lines(gateways: &[GatewayHealth]) -> String {
@@ -541,6 +635,44 @@ mod tests {
         );
         let s = c.summary();
         assert_eq!(s.net_health.unwrap().state, HealthState::Degraded);
+    }
+
+    #[test]
+    fn tenant_lines_render_and_merge_on_reobservation() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        c.observe(&verdict(0.1, 0.6), &timing(1_750, false));
+        assert!(!c.render().contains("tenant"), "no tenant block by default");
+        let line = |processed| TenantConsoleLine {
+            tenant: 2,
+            name: "booster-mlp".to_string(),
+            live_digest: 0xFEED_FACE,
+            shards: "0,1".to_string(),
+            processed,
+            slo_misses: 1,
+            shadow_digest: None,
+            shadow: ShadowStats::default(),
+        };
+        c.observe_tenant(line(40));
+        // A second gateway's view of the same tenant folds in.
+        c.observe_tenant(line(60));
+        c.observe_tenant(TenantConsoleLine {
+            tenant: 1,
+            name: "blm".to_string(),
+            live_digest: 1,
+            shards: "0".to_string(),
+            processed: 5,
+            slo_misses: 0,
+            shadow_digest: None,
+            shadow: ShadowStats::default(),
+        });
+        let text = c.render();
+        assert!(
+            text.contains("tenant 2          booster-mlp | live 00000000feedface | shards [0,1] | 100 frames | 2 slo misses"),
+            "{text}"
+        );
+        let s = c.summary();
+        assert_eq!(s.tenants.len(), 2);
+        assert_eq!(s.tenants[0].tenant, 1, "sorted by tenant id");
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! only reorder *which replica* computes a frame, never the fixed-point
 //! arithmetic — the golden-vector conformance suite pins this.
 
+use crate::registry::hotswap::ShadowStats;
+use crate::registry::{ModelRegistry, PlacementMap, RegistryError, TenantId, DEFAULT_TENANT};
 use crate::resilience::{HealthCounters, HealthState, SupervisorPolicy, Watchdog, WatchdogPolicy};
 use crate::throughput::FleetThroughput;
 use crossbeam::channel::{self, TrySendError};
@@ -40,6 +42,8 @@ use reads_soc::hps::HpsModel;
 use reads_soc::multi::{batch_makespan, IpArray};
 use reads_soc::node::FrameTiming;
 use serde::Serialize;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -87,6 +91,9 @@ pub struct FrameResult {
     pub chain: u32,
     /// Frame sequence within the chain.
     pub sequence: u32,
+    /// Tenant whose live firmware computed it ([`DEFAULT_TENANT`] on the
+    /// single-model path).
+    pub tenant: TenantId,
     /// Shard that computed it.
     pub shard: usize,
     /// The de-blending verdict.
@@ -407,6 +414,37 @@ impl ShardExecutor for WedgedSink {
     }
 }
 
+/// Per-tenant slice of one shard's accounting. Kernel-mix, fps inputs
+/// (processed + busy) and overflow statistics are attributed to the tenant
+/// whose live executor produced them — shadow executions are ledgered in
+/// `shadow` and never conflated into the live numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantShardReport {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Frames this tenant's live executor answered on this shard.
+    pub processed: u64,
+    /// This tenant's frames lost on this shard.
+    pub lost: u64,
+    /// This tenant's frames dropped for staleness.
+    pub dropped_deadline: u64,
+    /// Frames that finished past the tenant's SLO bound.
+    pub slo_misses: u64,
+    /// Digest of the live firmware at shutdown (0 on the legacy
+    /// single-model constructors, which carry no registry).
+    pub live_digest: u64,
+    /// Overflow statistics of the live executor only.
+    pub stats: InferenceStats,
+    /// Simulated busy time attributed to this tenant's live batches.
+    pub busy: SimDuration,
+    /// Kernel selection summary of this tenant's live compiled engine.
+    pub kernel_mix: Option<KernelMix>,
+    /// Digest still shadow-scoring at shutdown, if any.
+    pub shadow_digest: Option<u64>,
+    /// Shadow comparison ledger (all candidates this shard scored).
+    pub shadow: ShadowStats,
+}
+
 /// Per-shard accounting, returned by [`ShardedEngine::finish`].
 #[derive(Debug, Clone, Serialize)]
 pub struct ShardReport {
@@ -437,6 +475,9 @@ pub struct ShardReport {
     /// Kernel selection summary of the shard's compiled engine (`None`
     /// for interpreter and simulated-SoC backends).
     pub kernel_mix: Option<KernelMix>,
+    /// Per-tenant attribution of the shard's work, ascending tenant id
+    /// (a single entry for tenant 0 on the legacy constructors).
+    pub tenants: Vec<TenantShardReport>,
 }
 
 /// Fleet-wide accounting.
@@ -459,14 +500,15 @@ impl FleetReport {
         self.shards.iter().map(|s| s.processed).sum()
     }
 
-    /// Merged overflow statistics across shards (shards may run different
-    /// node counts only when mixing firmwares, which the engine forbids —
-    /// so the merge is well-formed).
+    /// Merged overflow statistics across shards. A multi-tenant fleet can
+    /// run different node counts on different shards; incompatible shapes
+    /// contribute only their input-side volume (per-tenant shapes merge
+    /// cleanly in [`TenantShardReport::stats`]).
     #[must_use]
     pub fn merged_stats(&self) -> InferenceStats {
         let mut merged = InferenceStats::default();
         for s in &self.shards {
-            merged.merge(&s.stats);
+            merge_stats_compat(&mut merged, &s.stats);
         }
         merged
     }
@@ -508,12 +550,123 @@ impl FleetReport {
     }
 }
 
+/// Merges `src` into `dst` when their per-node shapes are compatible;
+/// otherwise folds in only the input-side volume. `InferenceStats::merge`
+/// asserts equal node counts, which holds per tenant but not across
+/// tenants sharing a shard.
+fn merge_stats_compat(dst: &mut InferenceStats, src: &InferenceStats) {
+    if dst.per_node.is_empty() || dst.per_node.len() == src.per_node.len() {
+        dst.merge(src);
+    } else {
+        dst.input.merge(&src.input);
+    }
+}
+
 struct Job {
+    tenant: TenantId,
     chain: u32,
     sequence: u32,
     packets: Vec<reads_blm::hubs::HubPacket>,
     enqueued: Instant,
 }
+
+/// Control messages for the zero-downtime swap path. The vendored channel
+/// has no `select`, so control rides the same bounded work queue as frames
+/// and is applied in arrival order relative to them — a staged shadow sees
+/// exactly the frames submitted after it.
+enum Ctrl {
+    /// Install a shadow candidate next to the tenant's live executor.
+    Stage {
+        tenant: TenantId,
+        digest: u64,
+        tolerance: f64,
+        executor: Box<dyn ShardExecutor>,
+    },
+    /// Make `digest` live for the tenant. The warmed shadow executor is
+    /// reused when it matches; otherwise the carried executor installs
+    /// (the non-canary shards of a promotion).
+    Promote {
+        tenant: TenantId,
+        digest: u64,
+        executor: Box<dyn ShardExecutor>,
+    },
+    /// Drop the tenant's shadow candidate; the incumbent is untouched.
+    Rollback { tenant: TenantId, digest: u64 },
+}
+
+enum Work {
+    Frame(Job),
+    Ctrl(Ctrl),
+}
+
+/// A candidate build scoring silently next to a live executor.
+struct ShadowSlot {
+    digest: u64,
+    executor: Box<dyn ShardExecutor>,
+    stats: ShadowStats,
+    tolerance: f64,
+}
+
+/// One tenant's serving state on one shard: its live executor, weighted
+/// deficit-round-robin queue, SLO bound, and optional shadow candidate.
+struct TenantSlot {
+    id: TenantId,
+    weight: u32,
+    credits: u64,
+    slo: Option<Duration>,
+    live_digest: u64,
+    executor: Box<dyn ShardExecutor>,
+    shadow: Option<ShadowSlot>,
+    queue: VecDeque<Job>,
+}
+
+impl TenantSlot {
+    fn single(executor: Box<dyn ShardExecutor>) -> Vec<TenantSlot> {
+        vec![TenantSlot {
+            id: DEFAULT_TENANT,
+            weight: 1,
+            credits: 0,
+            slo: None,
+            live_digest: 0,
+            executor,
+            shadow: None,
+            queue: VecDeque::new(),
+        }]
+    }
+}
+
+/// Per-tenant accounting accumulated by a shard (survives restarts inside
+/// [`ShardState`]).
+#[derive(Default)]
+struct TenantAcct {
+    processed: u64,
+    lost: u64,
+    dropped_deadline: u64,
+    slo_misses: u64,
+    stats: InferenceStats,
+    busy: SimDuration,
+    /// Lifetime shadow ledger (candidates already resolved fold in here).
+    shadow: ShadowStats,
+}
+
+/// Live per-tenant view a shard publishes after every batch and control
+/// application, so hot-swap drivers and gateways can observe digests and
+/// shadow progress without stopping the engine.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct TenantSnapshot {
+    /// Digest currently live for the tenant on this shard.
+    pub live_digest: u64,
+    /// Frames processed for the tenant on this shard.
+    pub processed: u64,
+    /// SLO misses for the tenant on this shard.
+    pub slo_misses: u64,
+    /// Digest shadow-scoring on this shard, if any.
+    pub shadow_digest: Option<u64>,
+    /// The shadow comparison ledger so far.
+    pub shadow: ShadowStats,
+}
+
+type StatsHub = Arc<Mutex<BTreeMap<(usize, TenantId), TenantSnapshot>>>;
 
 /// Everything a shard worker needs besides its queue and executor —
 /// cloned per incarnation so the supervisor can respawn a worker without
@@ -525,6 +678,7 @@ struct WorkerCtx {
     deadline: Option<Duration>,
     results_tx: channel::Sender<FrameResult>,
     reports_tx: channel::Sender<ShardReport>,
+    hub: StatsHub,
 }
 
 /// Accounting that survives a shard restart: the wedged incarnation hands
@@ -541,6 +695,8 @@ struct ShardState {
     stats: InferenceStats,
     busy: SimDuration,
     timings: Vec<FrameTiming>,
+    /// Per-tenant attribution (keyed by tenant id; survives restarts).
+    tenants: BTreeMap<TenantId, TenantAcct>,
     /// Resilience counters of executors torn down by a wedge.
     carried: HealthCounters,
     restarts: u64,
@@ -560,6 +716,7 @@ impl ShardState {
             stats: InferenceStats::default(),
             busy: SimDuration::ZERO,
             timings: Vec::new(),
+            tenants: BTreeMap::new(),
             carried: HealthCounters::default(),
             restarts: 0,
             denied: false,
@@ -571,7 +728,7 @@ impl ShardState {
 /// frames that were in flight when every replica wedged, and the running
 /// accounting.
 struct WedgeReport {
-    rx: channel::Receiver<Job>,
+    rx: channel::Receiver<Work>,
     requeue: Vec<Job>,
     state: ShardState,
 }
@@ -583,8 +740,8 @@ enum SupMsg {
 
 fn spawn_worker(
     ctx: WorkerCtx,
-    rx: channel::Receiver<Job>,
-    executor: Box<dyn ShardExecutor>,
+    rx: channel::Receiver<Work>,
+    table: Vec<TenantSlot>,
     state: ShardState,
     initial: Vec<Job>,
     sup_tx: Option<channel::Sender<SupMsg>>,
@@ -592,7 +749,7 @@ fn spawn_worker(
     let name = format!("reads-shard-{}r{}", state.shard, state.restarts);
     thread::Builder::new()
         .name(name)
-        .spawn(move || shard_worker(ctx, rx, executor, state, initial, sup_tx))
+        .spawn(move || shard_worker(ctx, rx, table, state, initial, sup_tx))
         .expect("spawn shard worker")
 }
 
@@ -626,11 +783,11 @@ fn supervisor_loop(
                     #[allow(clippy::cast_possible_truncation)]
                     thread::sleep(policy.backoff_for(state.restarts as u32));
                     state.restarts += 1;
-                    let executor = factory(shard);
+                    let table = TenantSlot::single(factory(shard));
                     respawned.push(spawn_worker(
                         ctx.clone(),
                         rx,
-                        executor,
+                        table,
                         state,
                         requeue,
                         Some(sup_tx.clone()),
@@ -644,7 +801,7 @@ fn supervisor_loop(
                     respawned.push(spawn_worker(
                         ctx.clone(),
                         rx,
-                        Box::new(WedgedSink),
+                        TenantSlot::single(Box::new(WedgedSink)),
                         state,
                         requeue,
                         Some(sup_tx.clone()),
@@ -665,7 +822,11 @@ fn supervisor_loop(
 /// [`ShardedEngine::submit`], then [`ShardedEngine::finish`] to drain and
 /// collect every result plus the fleet report.
 pub struct ShardedEngine {
-    senders: Vec<channel::Sender<Job>>,
+    senders: Vec<channel::Sender<Work>>,
+    ctrl_shared: Arc<Mutex<Option<Vec<channel::Sender<Work>>>>>,
+    hub: StatsHub,
+    placement: Arc<BTreeMap<TenantId, Vec<usize>>>,
+    tenant_names: BTreeMap<TenantId, String>,
     results_rx: channel::Receiver<FrameResult>,
     reports_rx: channel::Receiver<ShardReport>,
     handles: Vec<thread::JoinHandle<()>>,
@@ -676,7 +837,223 @@ pub struct ShardedEngine {
     started: Instant,
 }
 
+/// A cloneable control-plane handle onto a running engine: stage, promote
+/// and roll back firmware digests, and observe per-tenant snapshots —
+/// without stopping or owning the engine. All sends ride the shards' work
+/// queues, so control is ordered relative to in-flight frames.
+///
+/// The handle holds only weak authority: [`ShardedEngine::finish`] severs
+/// it, after which every mutation returns
+/// [`RegistryError::EngineStopped`].
+#[derive(Clone)]
+pub struct EngineController {
+    senders: Arc<Mutex<Option<Vec<channel::Sender<Work>>>>>,
+    hub: StatsHub,
+    placement: Arc<BTreeMap<TenantId, Vec<usize>>>,
+}
+
+impl EngineController {
+    fn send(&self, shard: usize, ctrl: Ctrl) -> Result<(), RegistryError> {
+        let guard = self.senders.lock().expect("controller lock");
+        let senders = guard.as_ref().ok_or(RegistryError::EngineStopped)?;
+        let tx = senders.get(shard).ok_or(RegistryError::EngineStopped)?;
+        tx.send(Work::Ctrl(ctrl))
+            .map_err(|_| RegistryError::EngineStopped)
+    }
+
+    /// Shards serving `tenant` under the engine's placement (empty when
+    /// the tenant is unknown).
+    #[must_use]
+    pub fn shards_of(&self, tenant: TenantId) -> Vec<usize> {
+        self.placement.get(&tenant).cloned().unwrap_or_default()
+    }
+
+    /// Stages `executor` as a shadow candidate for `tenant` on one shard
+    /// (the canary). Frames submitted after this score on both builds.
+    ///
+    /// # Errors
+    /// [`RegistryError::UnknownTenant`] when the placement has no such
+    /// tenant, [`RegistryError::EngineStopped`] after `finish`.
+    pub fn stage_on(
+        &self,
+        shard: usize,
+        tenant: TenantId,
+        digest: u64,
+        tolerance: f64,
+        executor: Box<dyn ShardExecutor>,
+    ) -> Result<(), RegistryError> {
+        if !self.placement.contains_key(&tenant) {
+            return Err(RegistryError::UnknownTenant(tenant));
+        }
+        self.send(
+            shard,
+            Ctrl::Stage {
+                tenant,
+                digest,
+                tolerance,
+                executor,
+            },
+        )
+    }
+
+    /// Promotes `digest` to live on every shard serving `tenant`;
+    /// `make_executor` builds one fresh executor per shard (the canary
+    /// reuses its warmed shadow executor instead).
+    ///
+    /// # Errors
+    /// [`RegistryError::UnknownTenant`] / [`RegistryError::EngineStopped`].
+    pub fn promote(
+        &self,
+        tenant: TenantId,
+        digest: u64,
+        make_executor: &mut dyn FnMut() -> Box<dyn ShardExecutor>,
+    ) -> Result<(), RegistryError> {
+        let shards = self.shards_of(tenant);
+        if shards.is_empty() {
+            return Err(RegistryError::UnknownTenant(tenant));
+        }
+        for shard in shards {
+            self.send(
+                shard,
+                Ctrl::Promote {
+                    tenant,
+                    digest,
+                    executor: make_executor(),
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Drops the shadow candidate `digest` on every shard serving
+    /// `tenant`; live executors are untouched.
+    ///
+    /// # Errors
+    /// [`RegistryError::UnknownTenant`] / [`RegistryError::EngineStopped`].
+    pub fn rollback(&self, tenant: TenantId, digest: u64) -> Result<(), RegistryError> {
+        let shards = self.shards_of(tenant);
+        if shards.is_empty() {
+            return Err(RegistryError::UnknownTenant(tenant));
+        }
+        for shard in shards {
+            self.send(shard, Ctrl::Rollback { tenant, digest })?;
+        }
+        Ok(())
+    }
+
+    /// Merged shadow ledger for `tenant` across its shards.
+    #[must_use]
+    pub fn shadow_stats(&self, tenant: TenantId) -> ShadowStats {
+        let hub = self.hub.lock().expect("stats hub lock");
+        let mut merged = ShadowStats::default();
+        for ((_, t), snap) in hub.iter() {
+            if *t == tenant {
+                merged.merge(&snap.shadow);
+            }
+        }
+        merged
+    }
+
+    /// Whether every shard serving `tenant` reports `digest` live.
+    #[must_use]
+    pub fn live_everywhere(&self, tenant: TenantId, digest: u64) -> bool {
+        let shards = self.shards_of(tenant);
+        if shards.is_empty() {
+            return false;
+        }
+        let hub = self.hub.lock().expect("stats hub lock");
+        shards.iter().all(|s| {
+            hub.get(&(*s, tenant))
+                .is_some_and(|snap| snap.live_digest == digest)
+        })
+    }
+
+    /// Per-shard snapshots for `tenant`, ascending shard index.
+    #[must_use]
+    pub fn snapshots(&self, tenant: TenantId) -> Vec<(usize, TenantSnapshot)> {
+        let hub = self.hub.lock().expect("stats hub lock");
+        hub.iter()
+            .filter(|((_, t), _)| *t == tenant)
+            .map(|((s, _), snap)| (*s, *snap))
+            .collect()
+    }
+}
+
 impl ShardedEngine {
+    fn start_with_tables(
+        cfg: &EngineConfig,
+        standardizer: &Standardizer,
+        tables: Vec<Vec<TenantSlot>>,
+        placement: BTreeMap<TenantId, Vec<usize>>,
+    ) -> Self {
+        assert!(cfg.batch > 0, "batch size must be positive");
+        assert!(cfg.queue_depth > 0, "queue depth must be positive");
+        assert!(!tables.is_empty(), "engine needs at least one worker");
+        let (results_tx, results_rx) = channel::unbounded::<FrameResult>();
+        let (reports_tx, reports_rx) = channel::unbounded::<ShardReport>();
+        let hub: StatsHub = Arc::new(Mutex::new(BTreeMap::new()));
+        {
+            // Pre-seed the hub so controller polls see live digests before
+            // any shard runs its first batch.
+            let mut h = hub.lock().expect("stats hub lock");
+            for (shard, table) in tables.iter().enumerate() {
+                for slot in table {
+                    h.insert(
+                        (shard, slot.id),
+                        TenantSnapshot {
+                            live_digest: slot.live_digest,
+                            ..TenantSnapshot::default()
+                        },
+                    );
+                }
+            }
+        }
+        let ctx = WorkerCtx {
+            standardizer: standardizer.clone(),
+            batch_cap: cfg.batch,
+            deadline: cfg.deadline,
+            results_tx,
+            reports_tx,
+            hub: Arc::clone(&hub),
+        };
+        let mut senders = Vec::with_capacity(tables.len());
+        let mut handles = Vec::with_capacity(tables.len());
+        for (shard, table) in tables.into_iter().enumerate() {
+            let (tx, rx) = channel::bounded::<Work>(cfg.queue_depth);
+            senders.push(tx);
+            handles.push(spawn_worker(
+                ctx.clone(),
+                rx,
+                table,
+                ShardState::new(shard),
+                Vec::new(),
+                None,
+            ));
+        }
+        let ctrl_shared = Arc::new(Mutex::new(Some(senders.clone())));
+        Self {
+            senders,
+            ctrl_shared,
+            hub,
+            placement: Arc::new(placement),
+            tenant_names: BTreeMap::new(),
+            results_rx,
+            reports_rx,
+            handles,
+            supervisor: None,
+            submitted: 0,
+            dropped_backpressure: 0,
+            drop_policy: cfg.drop_policy,
+            started: Instant::now(),
+        }
+    }
+
+    fn default_placement(workers: usize) -> BTreeMap<TenantId, Vec<usize>> {
+        let mut placement = BTreeMap::new();
+        placement.insert(DEFAULT_TENANT, (0..workers).collect());
+        placement
+    }
+
     /// Starts the engine with one executor per shard from `make_executor`
     /// (called with the shard index).
     ///
@@ -689,42 +1066,74 @@ impl ShardedEngine {
         mut make_executor: impl FnMut(usize) -> Box<dyn ShardExecutor>,
     ) -> Self {
         assert!(cfg.workers > 0, "engine needs at least one worker");
-        assert!(cfg.batch > 0, "batch size must be positive");
-        assert!(cfg.queue_depth > 0, "queue depth must be positive");
-        let (results_tx, results_rx) = channel::unbounded::<FrameResult>();
-        let (reports_tx, reports_rx) = channel::unbounded::<ShardReport>();
-        let ctx = WorkerCtx {
-            standardizer: standardizer.clone(),
-            batch_cap: cfg.batch,
-            deadline: cfg.deadline,
-            results_tx,
-            reports_tx,
-        };
-        let mut senders = Vec::with_capacity(cfg.workers);
-        let mut handles = Vec::with_capacity(cfg.workers);
-        for shard in 0..cfg.workers {
-            let (tx, rx) = channel::bounded::<Job>(cfg.queue_depth);
-            senders.push(tx);
-            handles.push(spawn_worker(
-                ctx.clone(),
-                rx,
-                make_executor(shard),
-                ShardState::new(shard),
-                Vec::new(),
-                None,
-            ));
+        let tables = (0..cfg.workers)
+            .map(|shard| TenantSlot::single(make_executor(shard)))
+            .collect();
+        Self::start_with_tables(
+            cfg,
+            standardizer,
+            tables,
+            Self::default_placement(cfg.workers),
+        )
+    }
+
+    /// Starts a **multi-tenant** engine over a registry and a placement
+    /// plan: every shard gets one compiled live executor per tenant the
+    /// plan assigns to it, scheduled by weighted deficit-round-robin with
+    /// per-tenant SLO accounting. Tenants route via
+    /// [`ShardedEngine::submit_for`]; [`ShardedEngine::submit`] keeps
+    /// feeding the default tenant bit-identically to the single-model
+    /// engine.
+    ///
+    /// # Errors
+    /// [`RegistryError::UnknownTenant`] when the plan names a tenant the
+    /// registry lacks, [`RegistryError::NoLiveVariant`] when a planned
+    /// tenant has nothing live to serve.
+    ///
+    /// # Panics
+    /// Panics when `batch`, or `queue_depth` is zero, or when the plan's
+    /// shard count disagrees with `cfg.workers`.
+    pub fn start_multi(
+        cfg: &EngineConfig,
+        standardizer: &Standardizer,
+        registry: &ModelRegistry,
+        plan: &PlacementMap,
+        hps: &HpsModel,
+    ) -> Result<Self, RegistryError> {
+        assert_eq!(
+            plan.usage.len(),
+            cfg.workers,
+            "placement plan shard count must match engine workers"
+        );
+        let mut tables: Vec<Vec<TenantSlot>> = (0..cfg.workers).map(|_| Vec::new()).collect();
+        for (tenant, shards) in &plan.assignments {
+            let rec = registry.tenant(*tenant)?;
+            let live = registry.live(*tenant)?;
+            for &shard in shards {
+                tables[shard].push(TenantSlot {
+                    id: *tenant,
+                    weight: rec.weight.max(1),
+                    credits: 0,
+                    slo: rec.slo,
+                    live_digest: live.digest,
+                    executor: Box::new(NativeExecutor::compiled(&live.firmware, hps)),
+                    shadow: None,
+                    queue: VecDeque::new(),
+                });
+            }
         }
-        Self {
-            senders,
-            results_rx,
-            reports_rx,
-            handles,
-            supervisor: None,
-            submitted: 0,
-            dropped_backpressure: 0,
-            drop_policy: cfg.drop_policy,
-            started: Instant::now(),
-        }
+        // BTreeMap iteration already gave ascending tenant order per table.
+        let placement: BTreeMap<TenantId, Vec<usize>> = plan
+            .assignments
+            .iter()
+            .map(|(t, s)| (*t, s.clone()))
+            .collect();
+        let mut engine = Self::start_with_tables(cfg, standardizer, tables, placement);
+        engine.tenant_names = registry
+            .tenants()
+            .map(|rec| (rec.id, rec.name.clone()))
+            .collect();
+        Ok(engine)
     }
 
     /// Starts a **supervised** engine: a dedicated supervisor thread
@@ -755,22 +1164,24 @@ impl ShardedEngine {
         let (results_tx, results_rx) = channel::unbounded::<FrameResult>();
         let (reports_tx, reports_rx) = channel::unbounded::<ShardReport>();
         let (sup_tx, sup_rx) = channel::unbounded::<SupMsg>();
+        let hub: StatsHub = Arc::new(Mutex::new(BTreeMap::new()));
         let ctx = WorkerCtx {
             standardizer: standardizer.clone(),
             batch_cap: cfg.batch,
             deadline: cfg.deadline,
             results_tx,
             reports_tx,
+            hub: Arc::clone(&hub),
         };
         let mut senders = Vec::with_capacity(cfg.workers);
         let mut handles = Vec::with_capacity(cfg.workers);
         for shard in 0..cfg.workers {
-            let (tx, rx) = channel::bounded::<Job>(cfg.queue_depth);
+            let (tx, rx) = channel::bounded::<Work>(cfg.queue_depth);
             senders.push(tx);
             handles.push(spawn_worker(
                 ctx.clone(),
                 rx,
-                make_executor(shard),
+                TenantSlot::single(make_executor(shard)),
                 ShardState::new(shard),
                 Vec::new(),
                 Some(sup_tx.clone()),
@@ -790,8 +1201,13 @@ impl ShardedEngine {
                 );
             })
             .expect("spawn shard supervisor");
+        let ctrl_shared = Arc::new(Mutex::new(Some(senders.clone())));
         Self {
             senders,
+            ctrl_shared,
+            hub,
+            placement: Arc::new(Self::default_placement(workers)),
+            tenant_names: BTreeMap::new(),
             results_rx,
             reports_rx,
             handles,
@@ -899,17 +1315,42 @@ impl ShardedEngine {
         self.senders.len()
     }
 
-    /// Submits one chain frame; the shard is `chain % workers`. Returns
-    /// `false` when the frame was shed (full queue under
-    /// [`DropPolicy::DropNewest`], or a dead shard).
+    /// Submits one chain frame for the default tenant; the shard is
+    /// `chain % workers`. Returns `false` when the frame was shed (full
+    /// queue under [`DropPolicy::DropNewest`], or a dead shard).
     pub fn submit(&mut self, frame: ChainFrame) -> bool {
         let shard = frame.chain as usize % self.senders.len();
-        let job = Job {
+        self.submit_to(shard, DEFAULT_TENANT, frame)
+    }
+
+    /// Submits one chain frame for `tenant`, routed `chain % |shards of
+    /// tenant|` over the tenant's placement so per-chain order holds per
+    /// tenant. Returns `Ok(false)` when the frame was shed.
+    ///
+    /// # Errors
+    /// [`RegistryError::UnknownTenant`] when the placement has no such
+    /// tenant.
+    pub fn submit_for(
+        &mut self,
+        tenant: TenantId,
+        frame: ChainFrame,
+    ) -> Result<bool, RegistryError> {
+        let set = self
+            .placement
+            .get(&tenant)
+            .ok_or(RegistryError::UnknownTenant(tenant))?;
+        let shard = set[frame.chain as usize % set.len()];
+        Ok(self.submit_to(shard, tenant, frame))
+    }
+
+    fn submit_to(&mut self, shard: usize, tenant: TenantId, frame: ChainFrame) -> bool {
+        let job = Work::Frame(Job {
+            tenant,
             chain: frame.chain,
             sequence: frame.sequence,
             packets: frame.packets,
             enqueued: Instant::now(),
-        };
+        });
         let accepted = match self.drop_policy {
             DropPolicy::Block => self.senders[shard].send(job).is_ok(),
             DropPolicy::DropNewest => match self.senders[shard].try_send(job) {
@@ -923,6 +1364,45 @@ impl ShardedEngine {
             self.dropped_backpressure += 1;
         }
         accepted
+    }
+
+    /// Whether `tenant` is served by this engine's placement.
+    #[must_use]
+    pub fn tenant_known(&self, tenant: TenantId) -> bool {
+        self.placement.contains_key(&tenant)
+    }
+
+    /// Tenants served by this engine, ascending id, with their shard sets.
+    #[must_use]
+    pub fn placement(&self) -> &BTreeMap<TenantId, Vec<usize>> {
+        &self.placement
+    }
+
+    /// Registry name of `tenant` (empty for engines started without a
+    /// registry — the single-model constructors).
+    #[must_use]
+    pub fn tenant_name(&self, tenant: TenantId) -> &str {
+        self.tenant_names.get(&tenant).map_or("", String::as_str)
+    }
+
+    /// Live digest and shadowing flag for `tenant`, observed from the
+    /// tenant's first shard (`None` when the tenant is unknown).
+    #[must_use]
+    pub fn tenant_info(&self, tenant: TenantId) -> Option<(u64, bool)> {
+        let shard = *self.placement.get(&tenant)?.first()?;
+        let hub = self.hub.lock().expect("stats hub lock");
+        let snap = hub.get(&(shard, tenant))?;
+        Some((snap.live_digest, snap.shadow_digest.is_some()))
+    }
+
+    /// A cloneable control-plane handle for hot-swap drivers and consoles.
+    #[must_use]
+    pub fn controller(&self) -> EngineController {
+        EngineController {
+            senders: Arc::clone(&self.ctrl_shared),
+            hub: Arc::clone(&self.hub),
+            placement: Arc::clone(&self.placement),
+        }
     }
 
     /// Results produced so far without blocking (the engine keeps running).
@@ -939,6 +1419,7 @@ impl ShardedEngine {
     pub fn finish(self) -> (Vec<FrameResult>, FleetReport) {
         let ShardedEngine {
             senders,
+            ctrl_shared,
             results_rx,
             reports_rx,
             handles,
@@ -948,6 +1429,9 @@ impl ShardedEngine {
             started,
             ..
         } = self;
+        // Sever every controller first — their cloned senders would keep
+        // the workers' queues connected forever otherwise.
+        *ctrl_shared.lock().expect("controller lock") = None;
         drop(senders); // workers see disconnect and flush
         for h in handles {
             h.join().expect("shard worker panicked");
@@ -989,99 +1473,330 @@ impl ShardedEngine {
     }
 }
 
+fn publish_slot(ctx: &WorkerCtx, shard: usize, slot: &TenantSlot, acct: Option<&TenantAcct>) {
+    let snap = TenantSnapshot {
+        live_digest: slot.live_digest,
+        processed: acct.map_or(0, |a| a.processed),
+        slo_misses: acct.map_or(0, |a| a.slo_misses),
+        shadow_digest: slot.shadow.as_ref().map(|s| s.digest),
+        shadow: slot.shadow.as_ref().map(|s| s.stats).unwrap_or_default(),
+    };
+    ctx.hub
+        .lock()
+        .expect("stats hub lock")
+        .insert((shard, slot.id), snap);
+}
+
+/// Applies one control message to the shard's tenant table. Unknown
+/// tenants are ignored (the controller validates against the placement
+/// before sending; a racing rollback after promote is harmless).
+fn apply_ctrl(ctx: &WorkerCtx, table: &mut [TenantSlot], state: &mut ShardState, ctrl: Ctrl) {
+    match ctrl {
+        Ctrl::Stage {
+            tenant,
+            digest,
+            tolerance,
+            executor,
+        } => {
+            if let Some(slot) = table.iter_mut().find(|s| s.id == tenant) {
+                slot.shadow = Some(ShadowSlot {
+                    digest,
+                    executor,
+                    stats: ShadowStats::default(),
+                    tolerance,
+                });
+                publish_slot(ctx, state.shard, slot, state.tenants.get(&tenant));
+            }
+        }
+        Ctrl::Promote {
+            tenant,
+            digest,
+            executor,
+        } => {
+            if let Some(slot) = table.iter_mut().find(|s| s.id == tenant) {
+                if slot.shadow.as_ref().is_some_and(|sh| sh.digest == digest) {
+                    // The canary's candidate is warmed and validated —
+                    // swap it straight in.
+                    let sh = slot.shadow.take().expect("digest matched");
+                    state
+                        .tenants
+                        .entry(tenant)
+                        .or_default()
+                        .shadow
+                        .merge(&sh.stats);
+                    slot.executor = sh.executor;
+                } else {
+                    slot.executor = executor;
+                }
+                slot.live_digest = digest;
+                publish_slot(ctx, state.shard, slot, state.tenants.get(&tenant));
+            }
+        }
+        Ctrl::Rollback { tenant, digest } => {
+            if let Some(slot) = table.iter_mut().find(|s| s.id == tenant) {
+                if slot.shadow.as_ref().is_some_and(|sh| sh.digest == digest) {
+                    let sh = slot.shadow.take().expect("digest matched");
+                    state
+                        .tenants
+                        .entry(tenant)
+                        .or_default()
+                        .shadow
+                        .merge(&sh.stats);
+                }
+                publish_slot(ctx, state.shard, slot, state.tenants.get(&tenant));
+            }
+        }
+    }
+}
+
+fn absorb(ctx: &WorkerCtx, table: &mut [TenantSlot], state: &mut ShardState, work: Work) {
+    match work {
+        Work::Frame(job) => {
+            if let Some(slot) = table.iter_mut().find(|s| s.id == job.tenant) {
+                slot.queue.push_back(job);
+            } else {
+                // A frame for a tenant this shard does not serve (stale
+                // routing): counted, never fatal.
+                state.lost += 1;
+            }
+        }
+        Work::Ctrl(ctrl) => apply_ctrl(ctx, table, state, ctrl),
+    }
+}
+
+/// Weighted deficit-round-robin pick over non-empty tenant queues: every
+/// backlogged slot earns its weight in credits per round; the richest slot
+/// (ties: lowest tenant id) serves next and spends everything. A lone
+/// tenant is picked unconditionally — the single-model path never pays for
+/// the scheduler.
+fn drr_pick(table: &mut [TenantSlot]) -> Option<usize> {
+    let mut any = false;
+    for s in table.iter_mut() {
+        if !s.queue.is_empty() {
+            s.credits += u64::from(s.weight);
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut best: Option<(usize, u64)> = None;
+    for (i, s) in table.iter().enumerate() {
+        if s.queue.is_empty() {
+            continue;
+        }
+        if best.is_none_or(|(_, c)| s.credits > c) {
+            best = Some((i, s.credits));
+        }
+    }
+    let (i, _) = best?;
+    table[i].credits = 0;
+    Some(i)
+}
+
+/// Runs one tenant's batch through its live executor (and its shadow, if
+/// staged), emitting verdicts and attributing all accounting to the
+/// tenant. Returns `Some(requeue)` when a supervised executor wedged —
+/// the frames to hand to the supervisor.
+fn run_tenant_batch(
+    ctx: &WorkerCtx,
+    slot: &mut TenantSlot,
+    state: &mut ShardState,
+    jobs: Vec<Job>,
+    supervised: bool,
+) -> Option<Vec<Job>> {
+    // Staleness + assembly happen at the shard so the submitter never
+    // pays for them.
+    let mut kept: Vec<Job> = Vec::with_capacity(jobs.len());
+    let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if let Some(limit) = ctx.deadline {
+            if job.enqueued.elapsed() > limit {
+                state.dropped_deadline += 1;
+                state.tenants.entry(slot.id).or_default().dropped_deadline += 1;
+                continue;
+            }
+        }
+        match assemble_frame(&job.packets) {
+            Ok(readings) => {
+                let n_in = slot.executor.input_len().min(readings.len());
+                inputs.push(ctx.standardizer.apply_frame(&readings[..n_in]));
+                kept.push(job);
+            }
+            Err(_) => state.assembly_errors += 1,
+        }
+    }
+    if inputs.is_empty() {
+        return None;
+    }
+
+    let outcome = slot.executor.run_batch(&inputs);
+    state.batches += 1;
+    state.max_batch = state.max_batch.max(inputs.len());
+    merge_stats_compat(&mut state.stats, &outcome.stats);
+    state.busy += outcome.busy;
+    state.timings.extend(outcome.timings.iter().copied());
+    {
+        let acct = state.tenants.entry(slot.id).or_default();
+        acct.stats.merge(&outcome.stats);
+        acct.busy += outcome.busy;
+    }
+
+    // Shadow-score the identical standardized inputs on the candidate.
+    // Candidate outputs are never emitted, and its stats, busy time and
+    // kernel mix never fold into the live (incumbent) accounting.
+    if let Some(shadow) = slot.shadow.as_mut() {
+        let candidate = shadow.executor.run_batch(&inputs);
+        for (inc, cand) in outcome.outputs.iter().zip(&candidate.outputs) {
+            match (inc, cand) {
+                (Some(a), Some(b)) => shadow.stats.record(a, b, shadow.tolerance),
+                (Some(_), None) => shadow.stats.record_lost(),
+                (None, _) => {}
+            }
+        }
+    }
+
+    // Supervised and every replica wedged: frames the dead executor
+    // returned `None` for go back to the supervisor instead of being
+    // counted lost.
+    let wedge = supervised && slot.executor.wedged();
+    let mut requeue: Vec<Job> = Vec::new();
+    for ((job, out), timing) in kept.into_iter().zip(outcome.outputs).zip(&outcome.timings) {
+        match out {
+            Some(outputs) => {
+                let verdict = if outputs.len() == 2 * reads_blm::N_BLM {
+                    DeblendVerdict::from_interleaved(job.sequence, &outputs)
+                } else {
+                    DeblendVerdict::from_split_halves(job.sequence, &outputs)
+                };
+                state.processed += 1;
+                {
+                    let acct = state.tenants.entry(slot.id).or_default();
+                    acct.processed += 1;
+                    if slot.slo.is_some_and(|bound| job.enqueued.elapsed() > bound) {
+                        acct.slo_misses += 1;
+                    }
+                }
+                let _ = ctx.results_tx.send(FrameResult {
+                    chain: job.chain,
+                    sequence: job.sequence,
+                    tenant: slot.id,
+                    shard: state.shard,
+                    verdict,
+                    timing: *timing,
+                });
+            }
+            None if wedge => requeue.push(job),
+            None => {
+                state.lost += 1;
+                state.tenants.entry(slot.id).or_default().lost += 1;
+            }
+        }
+    }
+    publish_slot(ctx, state.shard, slot, state.tenants.get(&slot.id));
+    if wedge {
+        let (_, counters) = slot.executor.health();
+        state.carried.merge(&counters);
+        Some(requeue)
+    } else {
+        None
+    }
+}
+
 fn shard_worker(
     ctx: WorkerCtx,
-    rx: channel::Receiver<Job>,
-    mut executor: Box<dyn ShardExecutor>,
+    rx: channel::Receiver<Work>,
+    mut table: Vec<TenantSlot>,
     mut state: ShardState,
     mut initial: Vec<Job>,
     sup_tx: Option<channel::Sender<SupMsg>>,
 ) {
+    let supervised = sup_tx.is_some();
+    let shard = state.shard;
+    for slot in &table {
+        publish_slot(&ctx, shard, slot, state.tenants.get(&slot.id));
+    }
+
+    // Frames requeued from a pre-restart incarnation run first, and the
+    // queue is not touched until they drain — per-chain sequence order
+    // survives the restart.
+    while !initial.is_empty() {
+        let take = initial.len().min(ctx.batch_cap);
+        let jobs: Vec<Job> = initial.drain(..take).collect();
+        // Requeued batches are tenant-homogeneous in practice (supervised
+        // engines are single-tenant); split defensively anyway, keeping
+        // arrival order within each run.
+        let mut run: Vec<Job> = Vec::with_capacity(jobs.len());
+        let mut slot_idx: Option<usize> = None;
+        for job in jobs {
+            let idx = table.iter().position(|s| s.id == job.tenant);
+            let Some(idx) = idx else {
+                state.lost += 1;
+                continue;
+            };
+            if slot_idx.is_some_and(|cur| cur != idx) {
+                let batch: Vec<Job> = std::mem::take(&mut run);
+                let cur = slot_idx.expect("set with run");
+                if let Some(mut requeue) =
+                    run_tenant_batch(&ctx, &mut table[cur], &mut state, batch, supervised)
+                {
+                    requeue.append(&mut initial);
+                    if let Some(tx) = &sup_tx {
+                        let _ =
+                            tx.send(SupMsg::Wedge(Box::new(WedgeReport { rx, requeue, state })));
+                    }
+                    return;
+                }
+            }
+            slot_idx = Some(idx);
+            run.push(job);
+        }
+        if let Some(cur) = slot_idx {
+            if !run.is_empty() {
+                if let Some(mut requeue) =
+                    run_tenant_batch(&ctx, &mut table[cur], &mut state, run, supervised)
+                {
+                    requeue.append(&mut initial);
+                    if let Some(tx) = &sup_tx {
+                        let _ =
+                            tx.send(SupMsg::Wedge(Box::new(WedgeReport { rx, requeue, state })));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
     loop {
-        // Frames requeued from a pre-restart incarnation run first, and
-        // the queue is not touched until they drain — per-chain sequence
-        // order survives the restart.
-        let mut jobs: Vec<Job> = if initial.is_empty() {
+        let queued: usize = table.iter().map(|s| s.queue.len()).sum();
+        if queued == 0 {
             match rx.recv() {
-                Ok(first) => vec![first],
+                Ok(w) => absorb(&ctx, &mut table, &mut state, w),
                 Err(_) => break,
             }
-        } else {
-            let take = initial.len().min(ctx.batch_cap);
-            initial.drain(..take).collect()
-        };
-        if initial.is_empty() {
-            // Drain what is already queued into one batch (up to the cap)
-            // — under load the queue is deep and batches fill; idle
-            // streams degenerate to batch-of-one with no added latency.
-            while jobs.len() < ctx.batch_cap {
-                match rx.try_recv() {
-                    Ok(j) => jobs.push(j),
-                    Err(_) => break,
-                }
+        }
+        // Drain what is already queued into one round (up to the cap) —
+        // under load the queues are deep and batches fill; idle streams
+        // degenerate to batch-of-one with no added latency.
+        while table.iter().map(|s| s.queue.len()).sum::<usize>() < ctx.batch_cap {
+            match rx.try_recv() {
+                Ok(w) => absorb(&ctx, &mut table, &mut state, w),
+                Err(_) => break,
             }
         }
-
-        // Staleness + assembly happen at the shard so the submitter never
-        // pays for them.
-        let mut kept: Vec<Job> = Vec::with_capacity(jobs.len());
-        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(jobs.len());
-        for job in jobs {
-            if let Some(limit) = ctx.deadline {
-                if job.enqueued.elapsed() > limit {
-                    state.dropped_deadline += 1;
-                    continue;
-                }
-            }
-            match assemble_frame(&job.packets) {
-                Ok(readings) => {
-                    let n_in = executor.input_len().min(readings.len());
-                    inputs.push(ctx.standardizer.apply_frame(&readings[..n_in]));
-                    kept.push(job);
-                }
-                Err(_) => state.assembly_errors += 1,
-            }
-        }
-        if inputs.is_empty() {
+        let Some(si) = drr_pick(&mut table) else {
             continue;
-        }
-
-        let outcome = executor.run_batch(&inputs);
-        state.batches += 1;
-        state.max_batch = state.max_batch.max(inputs.len());
-        state.stats.merge(&outcome.stats);
-        state.busy += outcome.busy;
-        state.timings.extend(outcome.timings.iter().copied());
-        // Supervised and every replica wedged: frames the dead executor
-        // returned `None` for go back to the supervisor instead of being
-        // counted lost.
-        let wedge = sup_tx.is_some() && executor.wedged();
-        let mut requeue: Vec<Job> = Vec::new();
-        for ((job, out), timing) in kept.into_iter().zip(outcome.outputs).zip(&outcome.timings) {
-            match out {
-                Some(outputs) => {
-                    let verdict = if outputs.len() == 2 * reads_blm::N_BLM {
-                        DeblendVerdict::from_interleaved(job.sequence, &outputs)
-                    } else {
-                        DeblendVerdict::from_split_halves(job.sequence, &outputs)
-                    };
-                    state.processed += 1;
-                    let _ = ctx.results_tx.send(FrameResult {
-                        chain: job.chain,
-                        sequence: job.sequence,
-                        shard: state.shard,
-                        verdict,
-                        timing: *timing,
-                    });
-                }
-                None if wedge => requeue.push(job),
-                None => state.lost += 1,
+        };
+        let take = table[si].queue.len().min(ctx.batch_cap);
+        let jobs: Vec<Job> = table[si].queue.drain(..take).collect();
+        if let Some(mut requeue) =
+            run_tenant_batch(&ctx, &mut table[si], &mut state, jobs, supervised)
+        {
+            // Hand every still-queued frame back too — the replacement
+            // incarnation replays them in order.
+            for slot in &mut table {
+                requeue.extend(slot.queue.drain(..));
             }
-        }
-        if wedge {
-            requeue.append(&mut initial);
-            let (_, counters) = executor.health();
-            state.carried.merge(&counters);
             if let Some(tx) = &sup_tx {
                 let _ = tx.send(SupMsg::Wedge(Box::new(WedgeReport { rx, requeue, state })));
             }
@@ -1091,8 +1806,34 @@ fn shard_worker(
         }
     }
 
-    let (exec_health, exec_counters) = executor.health();
-    let kernel_mix = executor.kernel_mix();
+    let mut exec_health = HealthState::Healthy;
+    let mut exec_counters = HealthCounters::default();
+    for slot in &table {
+        let (h, c) = slot.executor.health();
+        exec_health = HealthState::worst([exec_health, h]);
+        exec_counters.merge(&c);
+    }
+    let kernel_mix = table.first().and_then(|s| s.executor.kernel_mix());
+    let mut tenant_reports: Vec<TenantShardReport> = Vec::with_capacity(table.len());
+    for slot in &table {
+        let mut acct = state.tenants.remove(&slot.id).unwrap_or_default();
+        if let Some(sh) = &slot.shadow {
+            acct.shadow.merge(&sh.stats);
+        }
+        tenant_reports.push(TenantShardReport {
+            tenant: slot.id,
+            processed: acct.processed,
+            lost: acct.lost,
+            dropped_deadline: acct.dropped_deadline,
+            slo_misses: acct.slo_misses,
+            live_digest: slot.live_digest,
+            stats: acct.stats,
+            busy: acct.busy,
+            kernel_mix: slot.executor.kernel_mix(),
+            shadow_digest: slot.shadow.as_ref().map(|s| s.digest),
+            shadow: acct.shadow,
+        });
+    }
     let mut counters = state.carried;
     counters.merge(&exec_counters);
     counters.shard_restarts += state.restarts;
@@ -1120,6 +1861,7 @@ fn shard_worker(
         health,
         counters,
         kernel_mix,
+        tenants: tenant_reports,
     });
     if let Some(tx) = sup_tx {
         let _ = tx.send(SupMsg::Done);
@@ -1331,6 +2073,107 @@ mod tests {
             one.fleet_fps
         );
         assert!((four.speedup - 4.0).abs() < 0.5, "{}", four.speedup);
+    }
+
+    #[test]
+    fn multi_tenant_engine_routes_and_attributes_per_tenant() {
+        use crate::registry::{ModelRegistry, PlacementPlanner, ShardBudget};
+        let fw_a = mlp_firmware();
+        let fw_b = {
+            let m = models::reads_mlp(4);
+            let frames = vec![vec![0.2; 259]];
+            let p = profile_model(&m, &frames);
+            convert(&m, &p, &HlsConfig::paper_default())
+        };
+        let std = standardizer();
+        let mut registry = ModelRegistry::new();
+        registry.add_tenant(0, "default", 1, None).unwrap();
+        registry.add_tenant(1, "mlp-b", 2, None).unwrap();
+        let dig_a = registry.register_live(0, fw_a.clone()).unwrap();
+        let dig_b = registry.register_live(1, fw_b.clone()).unwrap();
+        assert_ne!(dig_a, dig_b);
+        let budget = ShardBudget {
+            ip_aluts: u64::MAX / 4,
+            dsps: u64::MAX / 4,
+            m20k_blocks: u64::MAX / 4,
+        };
+        let plan = PlacementPlanner::new(budget, 2).plan(&registry).unwrap();
+        let cfg = EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        };
+        let mut engine =
+            ShardedEngine::start_multi(&cfg, &std, &registry, &plan, &HpsModel::default()).unwrap();
+        assert!(engine.tenant_known(0) && engine.tenant_known(1));
+        assert!(!engine.tenant_known(9));
+        let frames = MultiChainSource::new(2, 5).ticks(6);
+        for f in frames.clone() {
+            assert!(engine.submit_for(0, f).unwrap());
+        }
+        for f in frames.clone() {
+            assert!(engine.submit_for(1, f).unwrap());
+        }
+        assert!(matches!(
+            engine.submit_for(9, frames[0].clone()),
+            Err(RegistryError::UnknownTenant(9))
+        ));
+        let (results, report) = engine.finish();
+        assert_eq!(results.len(), 24, "2 tenants × 2 chains × 6 ticks");
+        // Each tenant's verdicts are bit-identical to its own firmware run
+        // sequentially — tenants never bleed into each other.
+        for r in &results {
+            let fw = if r.tenant == 0 { &fw_a } else { &fw_b };
+            let cf = frames
+                .iter()
+                .find(|f| f.chain == r.chain && f.sequence == r.sequence)
+                .unwrap();
+            let readings = assemble_frame(&cf.packets).unwrap();
+            let n_in = fw.input_len * fw.input_channels;
+            let (out, _) = fw.infer(&std.apply_frame(&readings[..n_in]));
+            let direct = DeblendVerdict::from_split_halves(r.sequence, &out);
+            assert_eq!(r.verdict, direct, "tenant {} chain {}", r.tenant, r.chain);
+        }
+        // Per-tenant attribution: every shard reports its tenants with the
+        // digests they served, and totals reconcile with the aggregate.
+        let mut per_tenant: BTreeMap<TenantId, u64> = BTreeMap::new();
+        for s in &report.shards {
+            let mut tenant_sum = 0;
+            for t in &s.tenants {
+                per_tenant
+                    .entry(t.tenant)
+                    .and_modify(|v| *v += t.processed)
+                    .or_insert(t.processed);
+                tenant_sum += t.processed;
+                let expect = if t.tenant == 0 { dig_a } else { dig_b };
+                assert_eq!(t.live_digest, expect);
+                assert!(t.kernel_mix.is_some(), "compiled executors report mix");
+                assert_eq!(t.shadow.frames, 0, "nothing was shadowing");
+            }
+            assert_eq!(tenant_sum, s.processed, "tenant slices cover the shard");
+        }
+        assert_eq!(per_tenant[&0], 12);
+        assert_eq!(per_tenant[&1], 12);
+    }
+
+    #[test]
+    fn legacy_single_tenant_report_has_default_tenant_slice() {
+        let fw = mlp_firmware();
+        let frames = MultiChainSource::new(1, 2).ticks(4);
+        let (_, report) = ShardedEngine::run_stream(
+            &EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+            &standardizer(),
+            |_| Box::new(NativeExecutor::new(fw.clone(), &HpsModel::default())),
+            frames,
+        );
+        let s = &report.shards[0];
+        assert_eq!(s.tenants.len(), 1);
+        assert_eq!(s.tenants[0].tenant, DEFAULT_TENANT);
+        assert_eq!(s.tenants[0].processed, s.processed);
+        assert_eq!(s.tenants[0].live_digest, 0, "legacy path carries no digest");
+        assert_eq!(s.tenants[0].slo_misses, 0);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   per-shard bounded queues with explicit backpressure, frame batching
 //!   through `Firmware::infer_batch`, and per-shard watchdog health over
 //!   either the native interpreter or replicated simulated control IPs.
+//! * [`registry`] — the multi-tenant serving plane: digest-pinned firmware
+//!   variants with a typed lifecycle FSM, resource-aware placement over the
+//!   Arria 10 estimator, and zero-downtime shadow-scored hot-swap.
 //! * [`baselines`] — platform baselines: host-measured CPU, the analytic
 //!   GPU model, and the Table I related-work latency models.
 //! * [`experiments`] — Table II and the Fig. 5a/5b bit-width sweeps.
@@ -38,6 +41,7 @@ pub mod drift;
 pub mod engine;
 pub mod experiments;
 pub mod qat;
+pub mod registry;
 pub mod resilience;
 pub mod seu;
 pub mod system;
@@ -49,10 +53,16 @@ pub use campaign::{run_latency_campaign, LatencyCampaign};
 pub use codesign::{codesign, CodesignResult};
 pub use console::{
     ConsoleSummary, GatewayHealth, NetHealth, NodeHealth, OperatorConsole, ShardHealth,
+    TenantConsoleLine,
 };
 pub use engine::{
-    DropPolicy, EngineConfig, FleetReport, FrameResult, NativeExecutor, ShardExecutor, ShardReport,
-    ShardedEngine, SocExecutor,
+    DropPolicy, EngineConfig, EngineController, FleetReport, FrameResult, NativeExecutor,
+    ShardExecutor, ShardReport, ShardedEngine, SocExecutor, TenantShardReport,
+};
+pub use registry::{
+    run_hot_swap, LifecycleState, ModelRegistry, PlacementError, PlacementMap, PlacementPlanner,
+    RegistryError, ShadowGate, ShadowStats, ShadowVerdict, ShardBudget, SwapOutcome, SwapReport,
+    TenantDemand, TenantId, DEFAULT_TENANT,
 };
 pub use resilience::{
     run_fault_campaign, FaultCampaignConfig, FaultCampaignRow, HealthCounters, HealthState,

@@ -1,0 +1,322 @@
+//! Zero-downtime firmware hot-swap: shadow-scoring gates and the
+//! stage → shadow → promote / rollback driver.
+//!
+//! A candidate digest is staged on one canary shard, where the worker runs
+//! every live frame through **both** the incumbent and the candidate. Only
+//! the incumbent's verdicts are emitted — the candidate's outputs feed a
+//! [`ShadowStats`] ledger (bit-diff plus the Table II |q−float| ≤ 0.20
+//! tolerance, the exact gates `tests/differential_quantization.rs` pins).
+//! Once enough frames have scored, the [`ShadowGate`] issues a verdict and
+//! [`run_hot_swap`] either promotes the candidate onto every shard serving
+//! the tenant or rolls it back, ticking the registry's transition counters
+//! either way. The incumbent serves uninterrupted throughout: no frame is
+//! ever routed to an unvalidated build.
+
+use super::{ModelRegistry, RegistryError, TenantId};
+use crate::engine::{EngineController, NativeExecutor};
+use reads_nn::metrics;
+use reads_soc::hps::HpsModel;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Running comparison ledger between an incumbent and a shadowing
+/// candidate, accumulated frame by frame on live traffic.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ShadowStats {
+    /// Frames both builds scored.
+    pub frames: u64,
+    /// Individual output elements compared.
+    pub outputs: u64,
+    /// Frames whose outputs were bit-identical across builds.
+    pub bit_identical: u64,
+    /// Output elements within the tolerance gate.
+    pub within_tol: u64,
+    /// Largest |incumbent − candidate| seen on any element.
+    pub max_abs_delta: f64,
+    /// Frames where the candidate produced no output at all.
+    pub candidate_lost: u64,
+}
+
+impl ShadowStats {
+    /// Records one frame's pair of output vectors under `tolerance`.
+    pub fn record(&mut self, incumbent: &[f64], candidate: &[f64], tolerance: f64) {
+        self.frames += 1;
+        let mut identical = incumbent.len() == candidate.len();
+        for (i, (a, b)) in incumbent.iter().zip(candidate).enumerate() {
+            let _ = i;
+            self.outputs += 1;
+            let delta = (a - b).abs();
+            if delta > self.max_abs_delta {
+                self.max_abs_delta = delta;
+            }
+            if delta <= tolerance {
+                self.within_tol += 1;
+            }
+            if a.to_bits() != b.to_bits() {
+                identical = false;
+            }
+        }
+        if identical {
+            self.bit_identical += 1;
+        }
+    }
+
+    /// Records a frame the candidate failed to score.
+    pub fn record_lost(&mut self) {
+        self.frames += 1;
+        self.candidate_lost += 1;
+    }
+
+    /// Folds another ledger in (shards merge into a tenant view).
+    pub fn merge(&mut self, other: &ShadowStats) {
+        self.frames += other.frames;
+        self.outputs += other.outputs;
+        self.bit_identical += other.bit_identical;
+        self.within_tol += other.within_tol;
+        self.candidate_lost += other.candidate_lost;
+        if other.max_abs_delta > self.max_abs_delta {
+            self.max_abs_delta = other.max_abs_delta;
+        }
+    }
+
+    /// Fraction of compared elements within tolerance (1.0 before any
+    /// element has been compared — the gate's `min_frames` guards that).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.outputs == 0 {
+            1.0
+        } else {
+            self.within_tol as f64 / self.outputs as f64
+        }
+    }
+
+    /// Fraction of scored frames that were bit-identical.
+    #[must_use]
+    pub fn bit_identical_fraction(&self) -> f64 {
+        if self.frames == 0 {
+            1.0
+        } else {
+            self.bit_identical as f64 / self.frames as f64
+        }
+    }
+}
+
+/// The promote/rollback decision rule over a [`ShadowStats`] ledger.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ShadowGate {
+    /// Per-element |incumbent − candidate| tolerance (the differential
+    /// suite's |q − float| gate).
+    pub tolerance: f64,
+    /// Minimum fraction of elements within tolerance to pass.
+    pub min_accuracy: f64,
+    /// Frames to observe before issuing any verdict.
+    pub min_frames: u64,
+}
+
+impl ShadowGate {
+    /// The gates `tests/differential_quantization.rs` pins: |q − float| ≤
+    /// 0.20 on ≥ 98 % of outputs, scored over at least `min_frames` live
+    /// frames.
+    #[must_use]
+    pub fn paper_default(min_frames: u64) -> Self {
+        Self {
+            tolerance: metrics::PAPER_TOLERANCE,
+            min_accuracy: 0.98,
+            min_frames,
+        }
+    }
+
+    /// The verdict, once `min_frames` frames have scored (`None` before).
+    /// A candidate that lost any frame fails regardless of accuracy.
+    #[must_use]
+    pub fn verdict(&self, stats: &ShadowStats) -> Option<ShadowVerdict> {
+        if stats.frames < self.min_frames {
+            return None;
+        }
+        if stats.candidate_lost == 0 && stats.accuracy() >= self.min_accuracy {
+            Some(ShadowVerdict::Pass)
+        } else {
+            Some(ShadowVerdict::Fail)
+        }
+    }
+}
+
+/// Outcome of a shadow-scoring window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ShadowVerdict {
+    /// The candidate tracked the incumbent within the gate.
+    Pass,
+    /// The candidate diverged (or lost frames) — roll back.
+    Fail,
+}
+
+/// What [`run_hot_swap`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SwapOutcome {
+    /// The candidate passed its gate and is now live on every tenant shard.
+    Promoted,
+    /// The candidate failed (or timed out) and was retired; the incumbent
+    /// is untouched.
+    RolledBack,
+}
+
+/// Full account of one hot-swap attempt.
+#[derive(Debug, Clone, Serialize)]
+pub struct SwapReport {
+    /// Tenant swapped.
+    pub tenant: TenantId,
+    /// Candidate digest.
+    pub candidate: u64,
+    /// Incumbent digest at the start (what a rollback preserves).
+    pub previous: Option<u64>,
+    /// Promote or rollback.
+    pub outcome: SwapOutcome,
+    /// The shadow ledger the decision was made on.
+    pub shadow: ShadowStats,
+    /// Decision-to-live-everywhere latency in milliseconds (promotions
+    /// only): from the gate's pass verdict until every tenant shard
+    /// reports the candidate digest live.
+    pub promotion_latency_ms: Option<f64>,
+}
+
+/// Drives one zero-downtime swap end to end over a live engine:
+///
+/// 1. `Staged → Shadow` in the registry; the candidate is lowered and
+///    staged on the tenant's first placement shard (the canary);
+/// 2. live frames shadow-score until the gate issues a verdict or
+///    `timeout` elapses (a silent canary — no traffic — times out);
+/// 3. **Pass** → a fresh compiled executor is installed on every tenant
+///    shard, the registry records `Shadow → Live` (incumbent retired);
+///    **Fail / timeout** → the canary drops the shadow and the registry
+///    records `Shadow → Retired`, incumbent untouched.
+///
+/// The caller keeps feeding frames throughout — that is the point.
+///
+/// # Errors
+/// Registry lifecycle errors, or [`RegistryError::EngineStopped`] when the
+/// engine's control plane is gone.
+pub fn run_hot_swap(
+    controller: &EngineController,
+    registry: &mut ModelRegistry,
+    tenant: TenantId,
+    digest: u64,
+    gate: &ShadowGate,
+    hps: &HpsModel,
+    timeout: Duration,
+) -> Result<SwapReport, RegistryError> {
+    let candidate = registry.variant(tenant, digest)?.firmware.clone();
+    let previous = registry.tenant(tenant)?.live().map(|v| v.digest);
+    let shards = controller.shards_of(tenant);
+    let canary = *shards.first().ok_or(RegistryError::EngineStopped)?;
+
+    registry.start_shadow(tenant, digest)?;
+    if let Err(e) = controller.stage_on(
+        canary,
+        tenant,
+        digest,
+        gate.tolerance,
+        Box::new(NativeExecutor::compiled(&candidate, hps)),
+    ) {
+        registry.rollback(tenant, digest)?;
+        return Err(e);
+    }
+
+    let started = Instant::now();
+    let verdict = loop {
+        let stats = controller.shadow_stats(tenant);
+        if let Some(v) = gate.verdict(&stats) {
+            break v;
+        }
+        if started.elapsed() > timeout {
+            break ShadowVerdict::Fail;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    let shadow = controller.shadow_stats(tenant);
+
+    match verdict {
+        ShadowVerdict::Pass => {
+            let decided = Instant::now();
+            controller.promote(tenant, digest, &mut || {
+                Box::new(NativeExecutor::compiled(&candidate, hps))
+            })?;
+            registry.promote(tenant, digest)?;
+            // Promotion is asynchronous (control rides the work queues
+            // behind in-flight frames); latency is measured to the moment
+            // every tenant shard reports the new digest live.
+            while !controller.live_everywhere(tenant, digest) {
+                if decided.elapsed() > timeout {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Ok(SwapReport {
+                tenant,
+                candidate: digest,
+                previous,
+                outcome: SwapOutcome::Promoted,
+                shadow,
+                promotion_latency_ms: Some(decided.elapsed().as_secs_f64() * 1e3),
+            })
+        }
+        ShadowVerdict::Fail => {
+            controller.rollback(tenant, digest)?;
+            registry.rollback(tenant, digest)?;
+            Ok(SwapReport {
+                tenant,
+                candidate: digest,
+                previous,
+                outcome: SwapOutcome::RolledBack,
+                shadow,
+                promotion_latency_ms: None,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_record_and_merge() {
+        let mut s = ShadowStats::default();
+        s.record(&[1.0, 2.0], &[1.0, 2.0], 0.2);
+        assert_eq!(s.frames, 1);
+        assert_eq!(s.bit_identical, 1);
+        assert_eq!(s.within_tol, 2);
+        s.record(&[1.0, 2.0], &[1.1, 2.5], 0.2);
+        assert_eq!(s.bit_identical, 1);
+        assert_eq!(s.within_tol, 3, "1.1 within 0.2 of 1.0; 2.5 is not");
+        assert!((s.max_abs_delta - 0.5).abs() < 1e-12);
+        let mut t = ShadowStats::default();
+        t.record_lost();
+        t.merge(&s);
+        assert_eq!(t.frames, 3);
+        assert_eq!(t.candidate_lost, 1);
+        assert!((t.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_waits_for_min_frames_then_judges() {
+        let gate = ShadowGate::paper_default(2);
+        assert!((gate.tolerance - 0.20).abs() < f64::EPSILON);
+        let mut s = ShadowStats::default();
+        s.record(&[1.0], &[1.0], gate.tolerance);
+        assert_eq!(gate.verdict(&s), None, "below min_frames");
+        s.record(&[1.0], &[1.05], gate.tolerance);
+        assert_eq!(gate.verdict(&s), Some(ShadowVerdict::Pass));
+        let mut bad = ShadowStats::default();
+        bad.record(&[1.0], &[9.0], gate.tolerance);
+        bad.record(&[1.0], &[9.0], gate.tolerance);
+        assert_eq!(gate.verdict(&bad), Some(ShadowVerdict::Fail));
+        let mut lost = ShadowStats::default();
+        lost.record(&[1.0], &[1.0], gate.tolerance);
+        lost.record_lost();
+        assert_eq!(
+            gate.verdict(&lost),
+            Some(ShadowVerdict::Fail),
+            "any lost frame fails the gate"
+        );
+    }
+}

@@ -185,6 +185,14 @@ pub struct NetCounters {
     /// was unknown locally but found in the gossiped digest of a gateway
     /// the fleet supervisor declared dead, imported and rebound here.
     pub handoffs: u64,
+    /// `TenantSelect` requests that rebound a session onto a registry
+    /// tenant the engine serves. Not an anomaly — multi-model clients
+    /// are *supposed* to select their tenant.
+    pub tenant_selects: u64,
+    /// `TenantSelect` requests naming a tenant this engine does not
+    /// serve; the session kept its previous binding. Not an anomaly: the
+    /// client learns the truth from the `TenantInfo` reply.
+    pub tenant_rejects: u64,
 }
 
 impl NetCounters {
@@ -212,6 +220,8 @@ impl NetCounters {
         self.resume_overflow += other.resume_overflow;
         self.redirects += other.redirects;
         self.handoffs += other.handoffs;
+        self.tenant_selects += other.tenant_selects;
+        self.tenant_rejects += other.tenant_rejects;
     }
 
     /// Transport anomalies that indicate data was damaged or lost in

@@ -139,6 +139,33 @@ impl GatewayClient {
         }
     }
 
+    /// Binds this session to a registry tenant and waits for the
+    /// gateway's [`Msg::TenantInfo`] answer — which names the tenant the
+    /// session is *actually* bound to (an unknown tenant is not rebound;
+    /// the reply then describes the binding the session kept). Verdicts
+    /// arriving while waiting are discarded, so select before subscribing
+    /// to a stream you care about.
+    ///
+    /// # Errors
+    /// Propagates [`GatewayClient::recv`] failures; a timeout without an
+    /// answer surfaces as [`std::io::ErrorKind::TimedOut`].
+    pub fn select_tenant(&mut self, tenant: u32, timeout: Duration) -> std::io::Result<Msg> {
+        self.send(&Msg::TenantSelect { tenant })?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no TenantInfo answer",
+                ));
+            }
+            if let Some(info @ Msg::TenantInfo { .. }) = self.recv(deadline - now)? {
+                return Ok(info);
+            }
+        }
+    }
+
     /// Receives messages until a verdict arrives or `timeout` elapses,
     /// discarding acks along the way (subscriber convenience).
     ///

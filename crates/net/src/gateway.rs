@@ -55,7 +55,7 @@ use crate::reactor::{
 use crate::router::{FleetLink, SessionStub};
 use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError};
 use reads_blm::hubs::HubPacket;
-use reads_core::console::OperatorConsole;
+use reads_core::console::{OperatorConsole, TenantConsoleLine};
 use reads_core::engine::{FleetReport, FrameResult, ShardedEngine};
 use reads_core::resilience::NetCounters;
 use reads_core::system::TRIP_THRESHOLD;
@@ -212,6 +212,10 @@ enum Event {
         conn: u64,
         chain: u32,
     },
+    TenantSelect {
+        conn: u64,
+        tenant: u32,
+    },
     DecodeErr {
         conn: u64,
         fatal: bool,
@@ -241,6 +245,11 @@ struct ConnState {
 /// client can resume exactly where it left off.
 struct Session {
     role: Role,
+    /// Registry tenant this session is bound to. Starts at the default
+    /// tenant (`0`), so sessions that never send [`Msg::TenantSelect`]
+    /// see the single-model protocol unchanged; survives parking, so a
+    /// resumed session keeps its tenant.
+    tenant: u32,
     /// Attached connection, `None` while parked.
     conn: Option<u64>,
     /// When the session parked (connection died); governs expiry.
@@ -264,6 +273,7 @@ impl Session {
     fn fresh(role: Role, conn: u64) -> Self {
         Self {
             role,
+            tenant: 0,
             conn: Some(conn),
             parked_at: None,
             replay: VecDeque::new(),
@@ -580,6 +590,15 @@ impl Switchboard {
             .collect()
     }
 
+    /// Tenant the connection's session is bound to (default tenant when
+    /// the connection has no session yet — pre-handshake producers).
+    fn tenant_of(&self, conn: u64) -> u32 {
+        self.conn_sessions
+            .get(&conn)
+            .and_then(|sid| self.sessions.get(sid))
+            .map_or(0, |s| s.tenant)
+    }
+
     /// Remembers an accepted-and-acked frame so its replay can be
     /// re-acked.
     fn note_accepted(&mut self, chain: u32, sequence: u32) {
@@ -638,6 +657,13 @@ impl Switchboard {
             let mut to_park: Vec<u64> = Vec::new();
             for s in self.sessions.values_mut() {
                 if s.role != Role::Subscriber {
+                    continue;
+                }
+                // Tenant isolation: a subscriber receives only the verdict
+                // stream of the tenant its session is bound to — shadow
+                // candidates never emit, and other tenants' traffic never
+                // crosses over.
+                if s.tenant != r.tenant {
                     continue;
                 }
                 // Post-handoff duplicate suppression: the previous gateway
@@ -1316,12 +1342,14 @@ fn decode_into(batch: &mut Vec<Event>, conn: u64, decoder: &mut FrameDecoder, fa
                     acked,
                 },
                 Msg::Route { chain } => Event::Route { conn, chain },
+                Msg::TenantSelect { tenant } => Event::TenantSelect { conn, tenant },
                 // Server-to-client kinds arriving at the server are
                 // protocol violations, not transport corruption.
                 Msg::FrameAck { .. }
                 | Msg::Verdict(_)
                 | Msg::Welcome { .. }
-                | Msg::Redirect { .. } => Event::DecodeErr { conn, fatal: false },
+                | Msg::Redirect { .. }
+                | Msg::TenantInfo { .. } => Event::DecodeErr { conn, fatal: false },
             }),
             Ok(None) => return,
             Err(e) => {
@@ -1462,7 +1490,16 @@ fn hub_loop(
                             frame.packets.iter().map(HubPacket::encoded_len).collect();
                         *sim_ingest += cfg.eth.frame_ingest_time(&payloads);
                         let sequence = frame.sequence;
-                        if engine.submit(frame) {
+                        // Route through the session's tenant; tenant 0
+                        // takes the legacy path so a gateway that never
+                        // sees a `TenantSelect` behaves bit-identically.
+                        let tenant = board.tenant_of(conn);
+                        let accepted = if tenant == 0 {
+                            engine.submit(frame)
+                        } else {
+                            engine.submit_for(tenant, frame).unwrap_or(false)
+                        };
+                        if accepted {
                             board.counters.frames_accepted += 1;
                             if cfg.ack_frames {
                                 board.note_accepted(chain, sequence);
@@ -1481,6 +1518,40 @@ fn hub_loop(
                     Offer::Stale => board.maybe_reack(conn, chain, sequence, cfg.ack_frames),
                     Offer::Merged | Offer::Duplicate | Offer::BadHub => {}
                 }
+            }
+            Event::TenantSelect { conn, tenant } => {
+                board.counters.messages += 1;
+                // Rebind only when the engine actually serves the tenant;
+                // an unknown select keeps the current binding and the
+                // reply describes what the session is still bound to.
+                let bound = if engine.tenant_known(tenant) {
+                    board.counters.tenant_selects += 1;
+                    if let Some(s) = board
+                        .conn_sessions
+                        .get(&conn)
+                        .copied()
+                        .and_then(|sid| board.sessions.get_mut(&sid))
+                    {
+                        s.tenant = tenant;
+                    }
+                    tenant
+                } else {
+                    board.counters.tenant_rejects += 1;
+                    board.tenant_of(conn)
+                };
+                let (live_digest, shadowing) = engine.tenant_info(bound).unwrap_or((0, false));
+                let state = match (live_digest, shadowing) {
+                    (0, _) => 0,
+                    (_, false) => 1,
+                    (_, true) => 2,
+                };
+                let info = encode_msg(&Msg::TenantInfo {
+                    tenant: bound,
+                    live_digest,
+                    state,
+                    name: engine.tenant_name(bound).to_string(),
+                });
+                let _ = board.send_small(conn, &info);
             }
             Event::DecodeErr { conn, fatal } => {
                 board.counters.decode_errors += 1;
@@ -1606,7 +1677,13 @@ fn hub_loop(
 
     // Finalize: the engine drains its queues (Block policy loses nothing),
     // remaining verdicts go out, and the reactors enter their draining
-    // phase — flush every ring, then close every socket.
+    // phase — flush every ring, then close every socket. Placement and
+    // tenant names are captured first — `finish` consumes the engine.
+    let engine_placement = engine.placement().clone();
+    let tenant_names: HashMap<u32, String> = engine_placement
+        .keys()
+        .map(|t| (*t, engine.tenant_name(*t).to_string()))
+        .collect();
     let (remaining, fleet) = engine.finish();
     board.fan_out(remaining, cfg.slow_consumer, cfg.resume_buffer);
     for p in &board.ports {
@@ -1624,6 +1701,49 @@ fn hub_loop(
             }
         }
         board.console.observe_net_health(0, &board.counters);
+        // Per-tenant serving lines, only when a registry actually serves
+        // more than the default tenant — a single-model gateway's console
+        // stays byte-identical.
+        let multi = fleet
+            .shards
+            .iter()
+            .flat_map(|s| &s.tenants)
+            .any(|t| t.tenant != 0);
+        if multi {
+            for (tenant, shards) in engine_placement.iter() {
+                let mut line = TenantConsoleLine {
+                    tenant: *tenant,
+                    name: tenant_names.get(tenant).cloned().unwrap_or_default(),
+                    live_digest: 0,
+                    shards: shards
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    processed: 0,
+                    slo_misses: 0,
+                    shadow_digest: None,
+                    shadow: Default::default(),
+                };
+                for t in fleet
+                    .shards
+                    .iter()
+                    .flat_map(|s| &s.tenants)
+                    .filter(|t| t.tenant == *tenant)
+                {
+                    line.processed += t.processed;
+                    line.slo_misses += t.slo_misses;
+                    line.shadow.merge(&t.shadow);
+                    if line.live_digest == 0 {
+                        line.live_digest = t.live_digest;
+                    }
+                    if line.shadow_digest.is_none() {
+                        line.shadow_digest = t.shadow_digest;
+                    }
+                }
+                board.console.observe_tenant(line);
+            }
+        }
         console_render = board.console.render();
     }
     board.publish(shared);

@@ -129,6 +129,29 @@ pub enum Msg {
         /// Listen address (`host:port`) of the owning gateway.
         addr: String,
     },
+    /// Client → gateway: bind this session to a tenant of the multi-model
+    /// registry. Every subsequent `HubData` is routed through the tenant's
+    /// live firmware, and a subscriber receives only that tenant's
+    /// verdicts. Sessions start on the default tenant (`0`), so clients
+    /// that never send this see the single-model protocol unchanged.
+    TenantSelect {
+        /// Registry tenant id to bind to.
+        tenant: u32,
+    },
+    /// Gateway → client: answer to [`Msg::TenantSelect`] — what the session
+    /// is actually bound to. A select for an unknown tenant does **not**
+    /// rebind; the reply then describes the tenant the session kept.
+    TenantInfo {
+        /// Tenant the session is bound to.
+        tenant: u32,
+        /// Digest of the tenant's live firmware (`0` when none).
+        live_digest: u64,
+        /// Serving state: `0` = no live variant, `1` = live, `2` = live
+        /// with a shadow candidate scoring.
+        state: u8,
+        /// Human-readable tenant name from the registry.
+        name: String,
+    },
 }
 
 /// A verdict in transit: chain tag plus the in-process verdict. The f64
@@ -154,6 +177,8 @@ enum Kind {
     Welcome = 7,
     Route = 8,
     Redirect = 9,
+    TenantSelect = 10,
+    TenantInfo = 11,
 }
 
 /// Typed decode failures. None of these panic, and none cause the decoder
@@ -245,6 +270,8 @@ fn kind_of(msg: &Msg) -> Kind {
         Msg::Welcome { .. } => Kind::Welcome,
         Msg::Route { .. } => Kind::Route,
         Msg::Redirect { .. } => Kind::Redirect,
+        Msg::TenantSelect { .. } => Kind::TenantSelect,
+        Msg::TenantInfo { .. } => Kind::TenantInfo,
     }
 }
 
@@ -328,6 +355,26 @@ fn payload_of(msg: &Msg) -> Vec<u8> {
             let mut out = Vec::with_capacity(10 + bytes.len());
             out.extend_from_slice(&chain.to_be_bytes());
             out.extend_from_slice(&gateway_id.to_be_bytes());
+            out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+            out.extend_from_slice(bytes);
+            out
+        }
+        Msg::TenantSelect { tenant } => tenant.to_be_bytes().to_vec(),
+        Msg::TenantInfo {
+            tenant,
+            live_digest,
+            state,
+            name,
+        } => {
+            let bytes = name.as_bytes();
+            assert!(
+                bytes.len() <= usize::from(u16::MAX),
+                "tenant name exceeds u16 length"
+            );
+            let mut out = Vec::with_capacity(15 + bytes.len());
+            out.extend_from_slice(&tenant.to_be_bytes());
+            out.extend_from_slice(&live_digest.to_be_bytes());
+            out.push(*state);
             out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
             out.extend_from_slice(bytes);
             out
@@ -479,6 +526,34 @@ fn decode_payload(kind: u8, p: &[u8]) -> Result<Msg, WireError> {
                 chain,
                 gateway_id,
                 addr,
+            })
+        }
+        k if k == Kind::TenantSelect as u8 => {
+            if p.len() != 4 {
+                return Err(WireError::BadPayload);
+            }
+            Ok(Msg::TenantSelect { tenant: be_u32(p) })
+        }
+        k if k == Kind::TenantInfo as u8 => {
+            if p.len() < 15 || p[12] > 2 {
+                return Err(WireError::BadPayload);
+            }
+            let tenant = be_u32(p);
+            let mut dig = [0u8; 8];
+            dig.copy_from_slice(&p[4..12]);
+            let state = p[12];
+            let n = usize::from(u16::from_be_bytes([p[13], p[14]]));
+            if p.len() != 15 + n {
+                return Err(WireError::BadPayload);
+            }
+            let name = std::str::from_utf8(&p[15..])
+                .map_err(|_| WireError::BadPayload)?
+                .to_string();
+            Ok(Msg::TenantInfo {
+                tenant,
+                live_digest: u64::from_be_bytes(dig),
+                state,
+                name,
             })
         }
         k => Err(WireError::BadKind(k)),
@@ -667,6 +742,19 @@ mod tests {
                 chain: 0,
                 gateway_id: 0,
                 addr: String::new(),
+            },
+            Msg::TenantSelect { tenant: 2 },
+            Msg::TenantInfo {
+                tenant: 2,
+                live_digest: 0xFEED_FACE_CAFE_0042,
+                state: 2,
+                name: "booster-mlp".to_string(),
+            },
+            Msg::TenantInfo {
+                tenant: 0,
+                live_digest: 0,
+                state: 0,
+                name: String::new(),
             },
         ];
         let mut dec = FrameDecoder::new();

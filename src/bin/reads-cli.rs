@@ -13,12 +13,21 @@
 //! reads-cli serve    [--model unet|mlp] [--addr HOST:PORT]
 //!                    [--max-sessions N] [--session-resume-window SECS]
 //!                    [--reactors N] [--fleet N] [--gateway-id I]
+//!                    [--tenants id:model:weight,...]
 //! ```
 //!
 //! `serve --fleet N` runs an in-process federation of `N` gateways on
 //! consecutive ports starting at `--addr`'s port (any port with `:0`),
 //! each owning its rendezvous-hash slice of chain ids; `--gateway-id I`
 //! narrows the periodic status lines to one member.
+//!
+//! `serve --tenants 1:mlp:2,2:unet:1` serves additional registry tenants
+//! next to the default model (tenant 0, always present): each entry is
+//! `id:model:weight` where `id` ≥ 1, `model` is `unet|mlp`, and `weight`
+//! is the tenant's deficit-round-robin share. Tenants are packed onto
+//! engine shards by the resource-aware placement planner against the
+//! Arria 10 budget; a tenant that does not fit is a typed startup error,
+//! not a degraded server.
 //!
 //! Everything is cached under `target/reads-artifacts/`; the first `train`
 //! (or any command needing a model) pays the training cost once.
@@ -47,6 +56,61 @@ struct Args {
     reactors: usize,
     fleet: usize,
     gateway_id: Option<u32>,
+    tenants: Vec<TenantSpec>,
+}
+
+/// One `--tenants` entry: `id:model:weight`.
+struct TenantSpec {
+    id: u32,
+    model: ModelSpec,
+    weight: u32,
+}
+
+fn parse_tenants(spec: &str) -> Result<Vec<TenantSpec>, String> {
+    let mut out: Vec<TenantSpec> = Vec::new();
+    for entry in spec.split(',') {
+        let parts: Vec<&str> = entry.split(':').collect();
+        let [id, model, weight] = parts.as_slice() else {
+            return Err(format!(
+                "bad --tenants entry '{entry}': expected id:model:weight"
+            ));
+        };
+        let id: u32 = id
+            .parse()
+            .map_err(|e| format!("bad tenant id in '{entry}': {e}"))?;
+        if id == 0 {
+            return Err("tenant id 0 is reserved for the default model; use ids >= 1".into());
+        }
+        if out.iter().any(|t| t.id == id) {
+            return Err(format!("duplicate tenant id {id} in --tenants"));
+        }
+        let model = match *model {
+            "unet" => ModelSpec::UNet,
+            "mlp" => ModelSpec::Mlp,
+            other => return Err(format!("unknown model '{other}' in '{entry}' (unet|mlp)")),
+        };
+        let weight: u32 = weight
+            .parse()
+            .map_err(|e| format!("bad weight in '{entry}': {e}"))?;
+        if weight == 0 {
+            return Err(format!(
+                "tenant {id} weight 0 would never be scheduled; use at least 1"
+            ));
+        }
+        if weight > 64 {
+            return Err(format!(
+                "tenant {id} weight {weight} is absurd; the cap is 64"
+            ));
+        }
+        out.push(TenantSpec { id, model, weight });
+    }
+    if out.len() > 8 {
+        return Err(format!(
+            "--tenants names {} tenants; the cap is 8 per gateway",
+            out.len()
+        ));
+    }
+    Ok(out)
 }
 
 fn parse_args(rest: &[String]) -> Result<Args, String> {
@@ -62,6 +126,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         reactors: 1,
         fleet: 1,
         gateway_id: None,
+        tenants: Vec::new(),
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -160,8 +225,14 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("bad --gateway-id: {e}"))?,
                 );
             }
+            "--tenants" => {
+                args.tenants = parse_tenants(value()?)?;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if !args.tenants.is_empty() && args.fleet > 1 {
+        return Err("--tenants is a single-gateway feature; drop --fleet or the tenants".into());
     }
     if let Some(id) = args.gateway_id {
         if args.fleet <= 1 {
@@ -215,7 +286,7 @@ fn usage() {
         "usage: reads-cli <train|summary|convert|run|verify|fifo|scenario|boot|serve> \
          [--model unet|mlp] [--tier fast|full] [--seed N] [--width W] [--frames N] \
          [--addr HOST:PORT] [--max-sessions N] [--session-resume-window SECS] \
-         [--reactors N] [--fleet N] [--gateway-id I]"
+         [--reactors N] [--fleet N] [--gateway-id I] [--tenants id:model:weight,...]"
     );
 }
 
@@ -346,6 +417,66 @@ fn serve_fleet(
     ExitCode::SUCCESS
 }
 
+/// Builds the multi-tenant registry + placement + engine for
+/// `serve --tenants`: the default model serves as tenant 0 on every
+/// shard; each spec tenant trains/converts its model, registers it live,
+/// and is first-fit packed against the per-shard Arria 10 budget. Any
+/// registry or placement rejection aborts startup with its typed error.
+fn build_multi_engine(
+    args: &Args,
+    bundle: &TrainedBundle,
+    fw: &reads::hls4ml::Firmware,
+) -> Result<reads::central::engine::ShardedEngine, String> {
+    use reads::central::engine::{EngineConfig, ShardedEngine};
+    use reads::central::{ModelRegistry, PlacementPlanner, ShardBudget};
+    use reads::hls4ml::ARRIA10_10AS066;
+
+    let mut registry = ModelRegistry::new();
+    let fail = |e: &dyn std::fmt::Display| format!("registry: {e}");
+    registry
+        .add_tenant(0, "default", 1, None)
+        .map_err(|e| fail(&e))?;
+    registry
+        .register_live(0, fw.clone())
+        .map_err(|e| fail(&e))?;
+    for t in &args.tenants {
+        let tb = TrainedBundle::get_or_train(t.model, args.tier, args.seed);
+        let calib = tb.calibration_inputs(32);
+        let profile = profile_model(&tb.model, &calib);
+        let cfg = HlsConfig::with_strategy(PrecisionStrategy::LayerBased {
+            width: args.width,
+            int_margin: 0,
+        });
+        let tenant_fw = convert(&tb.model, &profile, &cfg);
+        registry
+            .add_tenant(t.id, t.model.name(), t.weight, None)
+            .map_err(|e| fail(&e))?;
+        registry
+            .register_live(t.id, tenant_fw)
+            .map_err(|e| fail(&e))?;
+    }
+    let eng_cfg = EngineConfig::default();
+    // Each engine worker simulates one whole SoC board (its own HPS +
+    // FPGA fabric), so every shard offers a full device budget — the
+    // fleet is N boards, not N slices of one.
+    let planner = PlacementPlanner::new(
+        ShardBudget::from_device(&ARRIA10_10AS066, 1),
+        eng_cfg.workers,
+    );
+    let plan = planner
+        .plan(&registry)
+        .map_err(|e| format!("placement: {e}"))?;
+    print!("placement plan:\n{}", plan.render());
+    ShardedEngine::start_multi(
+        &eng_cfg,
+        &bundle.standardizer,
+        &registry,
+        &plan,
+        &HpsModel::default(),
+    )
+    .map_err(|e| format!("engine: {e}"))
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -469,12 +600,22 @@ fn main() -> ExitCode {
             if args.fleet > 1 {
                 return serve_fleet(&args, &bundle, &fw, gw_cfg);
             }
-            let engine = ShardedEngine::native(
-                &EngineConfig::default(),
-                &fw,
-                &HpsModel::default(),
-                &bundle.standardizer,
-            );
+            let engine = if args.tenants.is_empty() {
+                ShardedEngine::native(
+                    &EngineConfig::default(),
+                    &fw,
+                    &HpsModel::default(),
+                    &bundle.standardizer,
+                )
+            } else {
+                match build_multi_engine(&args, &bundle, &fw) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
             let handle = match HubGateway::start(args.addr.as_str(), gw_cfg, engine) {
                 Ok(h) => h,
                 Err(e) => {

@@ -1,0 +1,357 @@
+//! Zero-downtime hot-swap and resource-aware placement, end to end over
+//! a **live** engine.
+//!
+//! The contracts under test:
+//!
+//! * staging → shadow-scoring → promotion happens under continuous load
+//!   with zero accepted-frame loss, and every verdict emitted while the
+//!   candidate was still shadowing is bit-identical to the incumbent's —
+//!   a chain's stream is an incumbent-prefix / candidate-suffix with one
+//!   switch point, never an interleaving;
+//! * an out-of-tolerance candidate (the |q − float| ≤ 0.20 gate from the
+//!   differential-quantization suite) is auto-rolled-back: the registry
+//!   keeps the incumbent live, ticks `rolled_back`, and the **entire**
+//!   verdict stream stays bit-identical to the incumbent — the candidate
+//!   never leaks a single output;
+//! * the placement planner is deterministic and never packs a shard past
+//!   its budget, and rejects over-budget tenants with the typed resource
+//!   that ran out.
+
+use reads::blm::acnet::DeblendVerdict;
+use reads::blm::hubs::{assemble_frame, ChainFrame, MultiChainSource};
+use reads::blm::Standardizer;
+use reads::central::engine::{EngineConfig, ShardedEngine};
+use reads::central::{
+    run_hot_swap, ModelRegistry, PlacementError, PlacementPlanner, ShadowGate, ShardBudget,
+    SwapOutcome, TenantDemand,
+};
+use reads::hls4ml::config::PrecisionStrategy;
+use reads::hls4ml::{convert, profile_model, Firmware, HlsConfig};
+use reads::nn::models;
+use reads::soc::HpsModel;
+use std::time::Duration;
+
+fn mlp_firmware(seed: u64, cfg: &HlsConfig) -> Firmware {
+    let m = models::reads_mlp(seed);
+    let calib = vec![vec![0.3; 259], vec![-0.4; 259]];
+    let profile = profile_model(&m, &calib);
+    convert(&m, &profile, cfg)
+}
+
+fn standardizer() -> Standardizer {
+    Standardizer {
+        mean: 112_000.0,
+        std: 3_500.0,
+    }
+}
+
+fn wide_open_budget() -> ShardBudget {
+    ShardBudget {
+        ip_aluts: u64::MAX / 4,
+        dsps: u64::MAX / 4,
+        m20k_blocks: u64::MAX / 4,
+    }
+}
+
+/// Golden verdict for one frame under one firmware, computed sequentially
+/// outside the engine.
+fn golden(fw: &Firmware, std: &Standardizer, frame: &ChainFrame) -> DeblendVerdict {
+    let readings = assemble_frame(&frame.packets).unwrap();
+    let n_in = fw.input_len * fw.input_channels;
+    let (out, _) = fw.infer(&std.apply_frame(&readings[..n_in]));
+    DeblendVerdict::from_split_halves(frame.sequence, &out)
+}
+
+/// Drives one swap attempt under live load: tenant 1 serves `incumbent`,
+/// `candidate` is registered and hot-swapped while frames stream in.
+/// Returns everything needed for the per-case assertions.
+fn swap_under_load(
+    incumbent: &Firmware,
+    candidate: &Firmware,
+    frames: &[ChainFrame],
+) -> (
+    ModelRegistry,
+    reads::central::SwapReport,
+    Vec<reads::central::engine::FrameResult>,
+    reads::central::engine::FleetReport,
+    u64,
+    u64,
+) {
+    let std = standardizer();
+    let mut registry = ModelRegistry::new();
+    registry.add_tenant(1, "blm-mlp", 1, None).unwrap();
+    let dig_live = registry.register_live(1, incumbent.clone()).unwrap();
+    let dig_cand = registry.register(1, candidate.clone()).unwrap();
+    assert_ne!(dig_live, dig_cand, "candidate must be a different build");
+
+    let plan = PlacementPlanner::new(wide_open_budget(), 2)
+        .plan(&registry)
+        .unwrap();
+    let cfg = EngineConfig {
+        workers: 2,
+        batch: 2,
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        ShardedEngine::start_multi(&cfg, &std, &registry, &plan, &HpsModel::default()).unwrap();
+    let controller = engine.controller();
+
+    // The swap drives itself on a side thread; the main thread is the
+    // producer that never stops feeding — that is the "zero downtime".
+    let gate = ShadowGate::paper_default(6);
+    let hps = HpsModel::default();
+    let swapper = std::thread::spawn(move || {
+        let report = run_hot_swap(
+            &controller,
+            &mut registry,
+            1,
+            dig_cand,
+            &gate,
+            &hps,
+            Duration::from_secs(30),
+        )
+        .expect("hot swap drives to a verdict");
+        (registry, report)
+    });
+
+    let mut accepted = 0u64;
+    let mut it = frames.iter().cycle();
+    // Feed until the swap resolves, then a tail so post-decision routing
+    // is observable; Block policy means every submit is accepted.
+    while !swapper.is_finished() {
+        assert!(engine.submit_for(1, it.next().unwrap().clone()).unwrap());
+        accepted += 1;
+        std::thread::sleep(Duration::from_micros(300));
+    }
+    for _ in 0..20 {
+        assert!(engine.submit_for(1, it.next().unwrap().clone()).unwrap());
+        accepted += 1;
+    }
+    let (registry, swap_report) = swapper.join().expect("swap thread");
+    let (results, fleet) = engine.finish();
+    (registry, swap_report, results, fleet, accepted, dig_cand)
+}
+
+/// Every accepted frame must come back, and per chain the verdict stream
+/// must be an incumbent-prefix followed by a candidate-suffix (possibly
+/// empty) — one switch point, no interleaving, no third value.
+fn assert_prefix_switch(
+    results: &[reads::central::engine::FrameResult],
+    frames: &[ChainFrame],
+    incumbent: &Firmware,
+    candidate: &Firmware,
+) -> (u64, u64) {
+    let std = standardizer();
+    let mut from_incumbent = 0u64;
+    let mut from_candidate = 0u64;
+    let chains: std::collections::BTreeSet<u32> = results.iter().map(|r| r.chain).collect();
+    for chain in chains {
+        // `finish()` sorts by (chain, sequence) and the producer cycles the
+        // frame set, so the same sequence appears many times, grouped. The
+        // sort is stable and the engine is FIFO per chain, so occurrences
+        // within a group are chronological — and the producer walks
+        // sequences in ascending order each cycle, so (occurrence, seq)
+        // recovers the chain's true chronological stream.
+        let mut seen: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut chrono: Vec<(u32, &reads::central::engine::FrameResult)> = results
+            .iter()
+            .filter(|r| r.chain == chain)
+            .map(|r| {
+                let occ = seen.entry(r.sequence).or_insert(0);
+                let key = *occ;
+                *occ += 1;
+                (key, r)
+            })
+            .collect();
+        chrono.sort_by_key(|(occ, r)| (*occ, r.sequence));
+        let mut switched = false;
+        for (_, r) in chrono {
+            let frame = frames
+                .iter()
+                .find(|f| f.chain == r.chain && f.sequence == r.sequence)
+                .unwrap();
+            let inc = golden(incumbent, &std, frame);
+            let cand = golden(candidate, &std, frame);
+            if r.verdict == inc && !switched {
+                from_incumbent += 1;
+            } else if r.verdict == cand {
+                switched = true;
+                from_candidate += 1;
+            } else {
+                panic!(
+                    "chain {chain} seq {}: verdict matches neither build \
+                     (or reverted after the switch)",
+                    r.sequence
+                );
+            }
+        }
+    }
+    (from_incumbent, from_candidate)
+}
+
+#[test]
+fn hot_swap_promotes_within_tolerance_candidate_under_live_load() {
+    // Same trained model at two more bits of precision: a genuinely
+    // different build (different digest, every verdict distinguishable
+    // from the incumbent's) that tracks it well inside the paper
+    // tolerance — the realistic "refined firmware update".
+    let incumbent = mlp_firmware(3, &HlsConfig::paper_default());
+    let candidate = mlp_firmware(
+        3,
+        &HlsConfig::with_strategy(PrecisionStrategy::LayerBased {
+            width: 18,
+            int_margin: 0,
+        }),
+    );
+    let frames = MultiChainSource::new(2, 7).ticks(40);
+    let (registry, swap, results, fleet, accepted, dig_cand) =
+        swap_under_load(&incumbent, &candidate, &frames);
+
+    assert_eq!(swap.outcome, SwapOutcome::Promoted);
+    assert!(swap.shadow.frames >= 6, "gate saw its minimum window");
+    assert!(swap.shadow.accuracy() >= 0.98);
+    assert!(swap.promotion_latency_ms.is_some());
+    assert_eq!(registry.live(1).unwrap().digest, dig_cand);
+    assert_eq!(registry.counters().rolled_back, 0);
+    // register_live's bootstrap is itself a promotion, hence 2.
+    assert_eq!(registry.counters().promoted, 2);
+
+    // Zero accepted-frame loss across the swap.
+    assert_eq!(results.len() as u64, accepted, "no accepted frame lost");
+    let lost: u64 = fleet.shards.iter().map(|s| s.lost).sum();
+    assert_eq!(lost, 0);
+
+    // Incumbent-prefix / candidate-suffix per chain, bit-exact both sides.
+    let (from_inc, from_cand) = assert_prefix_switch(&results, &frames, &incumbent, &candidate);
+    assert!(from_inc > 0, "some frames served by the incumbent");
+    assert!(
+        from_cand > 0,
+        "the promoted candidate served the tail (inc {from_inc} / cand {from_cand})"
+    );
+
+    // The engine's own books agree the candidate is live everywhere.
+    for shard in &fleet.shards {
+        for t in shard.tenants.iter().filter(|t| t.tenant == 1) {
+            assert_eq!(t.live_digest, dig_cand);
+            assert!(t.shadow_digest.is_none(), "shadow resolved");
+        }
+    }
+}
+
+#[test]
+fn hot_swap_rolls_back_out_of_tolerance_candidate_and_incumbent_is_untouched() {
+    // A 3-bit build of the same model: catastrophic quantization error,
+    // far outside the |q − float| ≤ 0.20 gate.
+    let incumbent = mlp_firmware(3, &HlsConfig::paper_default());
+    let candidate = mlp_firmware(
+        3,
+        &HlsConfig::with_strategy(PrecisionStrategy::LayerBased {
+            width: 3,
+            int_margin: 0,
+        }),
+    );
+    let frames = MultiChainSource::new(2, 11).ticks(40);
+    let (registry, swap, results, fleet, accepted, dig_cand) =
+        swap_under_load(&incumbent, &candidate, &frames);
+
+    assert_eq!(swap.outcome, SwapOutcome::RolledBack);
+    assert!(swap.shadow.frames >= 6);
+    assert!(swap.shadow.accuracy() < 0.98, "the gate had cause");
+    assert!(swap.promotion_latency_ms.is_none());
+    let live = registry.live(1).unwrap();
+    assert_ne!(live.digest, dig_cand, "incumbent still live");
+    assert_eq!(registry.counters().rolled_back, 1);
+    assert_eq!(registry.counters().promoted, 1, "bootstrap only");
+
+    // Zero loss, and the WHOLE stream is bit-identical to the incumbent:
+    // the rejected candidate never emitted one verdict.
+    assert_eq!(results.len() as u64, accepted);
+    let lost: u64 = fleet.shards.iter().map(|s| s.lost).sum();
+    assert_eq!(lost, 0);
+    let std = standardizer();
+    for r in &results {
+        let frame = frames
+            .iter()
+            .find(|f| f.chain == r.chain && f.sequence == r.sequence)
+            .unwrap();
+        assert_eq!(
+            r.verdict,
+            golden(&incumbent, &std, frame),
+            "chain {} seq {} diverged from the incumbent",
+            r.chain,
+            r.sequence
+        );
+    }
+    for shard in &fleet.shards {
+        for t in shard.tenants.iter().filter(|t| t.tenant == 1) {
+            assert_eq!(t.live_digest, live.digest);
+            assert!(t.shadow_digest.is_none(), "shadow dropped on rollback");
+        }
+    }
+}
+
+#[test]
+fn placement_planner_is_deterministic_and_never_exceeds_budget() {
+    // Deterministic pseudo-random demands (LCG — no RNG dependency).
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move |range: u64| {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 33) % range
+    };
+    let budget = ShardBudget {
+        ip_aluts: 10_000,
+        dsps: 600,
+        m20k_blocks: 800,
+    };
+    let demands: Vec<TenantDemand> = (0..24)
+        .map(|i| TenantDemand {
+            tenant: i + 1,
+            ip_aluts: 500 + next(2_000),
+            dsps: 10 + next(100),
+            m20k_blocks: 20 + next(120),
+        })
+        .collect();
+    let planner = PlacementPlanner::new(budget, 6);
+    let a = planner.plan_demands(&demands).unwrap();
+    let b = planner.plan_demands(&demands).unwrap();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "same input, same plan");
+    // Invariant: per-shard usage never exceeds any budget dimension, and
+    // the usage is exactly the sum of what was assigned there.
+    for (shard, used) in a.usage.iter().enumerate() {
+        assert!(used.ip_aluts <= budget.ip_aluts, "shard {shard} aluts");
+        assert!(used.dsps <= budget.dsps, "shard {shard} dsps");
+        assert!(used.m20k_blocks <= budget.m20k_blocks, "shard {shard} m20k");
+        let mut sum = (0u64, 0u64, 0u64);
+        for d in &demands {
+            if a.shards_of(d.tenant).contains(&shard) {
+                sum.0 += d.ip_aluts;
+                sum.1 += d.dsps;
+                sum.2 += d.m20k_blocks;
+            }
+        }
+        assert_eq!((used.ip_aluts, used.dsps, used.m20k_blocks), sum);
+    }
+    // Every tenant landed somewhere, exactly once.
+    for d in &demands {
+        assert_eq!(a.shards_of(d.tenant).len(), 1, "tenant {}", d.tenant);
+    }
+    // An impossible tenant is a typed rejection naming the resource.
+    let mut impossible = demands.clone();
+    impossible.push(TenantDemand {
+        tenant: 99,
+        ip_aluts: budget.ip_aluts + 1,
+        dsps: 1,
+        m20k_blocks: 1,
+    });
+    match planner.plan_demands(&impossible) {
+        Err(PlacementError::OverBudget {
+            tenant, resource, ..
+        }) => {
+            assert_eq!(tenant, 99);
+            assert_eq!(resource, "aluts");
+        }
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+}
