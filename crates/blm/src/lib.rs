@@ -44,7 +44,7 @@ pub use dataset::{build_mlp_dataset, build_unet_dataset, Standardizer};
 pub use events::{LossEvent, Machine};
 pub use frame::{DeblendSample, FrameGenerator, WorkloadConfig};
 pub use geometry::Tunnel;
-pub use replay::{CorrelatedStream, ReplayConfig};
+pub use replay::{CorrelatedStream, DriftCampaign, ReplayConfig};
 pub use scenarios::Scenario;
 
 /// Number of beam loss monitors (matches `reads_nn::models::N_BLM`).

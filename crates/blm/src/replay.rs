@@ -15,6 +15,126 @@ use reads_sim::dist::Sample;
 use reads_sim::{LogNormal, Poisson, Rng};
 use serde::{Deserialize, Serialize};
 
+/// A seeded, deterministic decalibration campaign.
+///
+/// Models the slow instrumental drift the paper's adaptation argument is
+/// about (Sec. I): electronics warming up (a global gain creep), pedestal
+/// wander (a baseline offset), individual monitors drifting out of
+/// calibration (per-monitor gain errors) and abrupt recalibration steps.
+/// The campaign is a *pure function* of `(campaign, frame_index, monitor)`
+/// — it draws nothing from any stream RNG, so a stream with a campaign
+/// attached emits bit-identical frames up to the campaign's start and a
+/// campaign-free stream is bit-identical to the pre-campaign code. Targets
+/// (the true attribution fractions) are never touched: drift corrupts the
+/// *measurement*, not the ground truth.
+///
+/// All parameters are plain scalars so the struct stays `Copy` and can
+/// ride inside engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftCampaign {
+    /// Seed for the per-monitor decalibration pattern (hash-derived, no
+    /// RNG state).
+    pub seed: u64,
+    /// First frame index affected.
+    pub start_frame: u64,
+    /// Frames over which the drift ramps linearly from zero to full
+    /// strength (`0` = step to full strength at `start_frame`).
+    pub ramp_frames: u64,
+    /// Full-strength global gain multiplier (`1.0` = no gain drift).
+    pub gain: f64,
+    /// Full-strength global baseline offset, in raw counts.
+    pub offset: f64,
+    /// Approximate number of monitors given an individual gain error on
+    /// top of the global drift (hash-selected, so roughly this many).
+    pub decal_monitors: usize,
+    /// Half-width of the per-monitor gain error band: a decalibrated
+    /// monitor's gain is multiplied by a value in `1.0 ± decal_spread`.
+    pub decal_spread: f64,
+    /// Optional abrupt step: from this frame on, `step_offset` more counts
+    /// are added to every reading (`u64::MAX` = never).
+    pub step_frame: u64,
+    /// Offset applied from `step_frame` on.
+    pub step_offset: f64,
+}
+
+impl DriftCampaign {
+    /// A representative campaign: a slow ~2-fitted-sigma combined
+    /// gain/offset drift ramping in over `ramp_frames` frames after
+    /// `start_frame`, with a dozen monitors individually decalibrated.
+    #[must_use]
+    pub fn demo(seed: u64, start_frame: u64, ramp_frames: u64) -> Self {
+        Self {
+            seed,
+            start_frame,
+            ramp_frames,
+            gain: 1.06,
+            offset: 1_500.0,
+            decal_monitors: 12,
+            decal_spread: 0.05,
+            step_frame: u64::MAX,
+            step_offset: 0.0,
+        }
+    }
+
+    /// splitmix64 — the stateless hash behind the per-monitor pattern.
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Ramp strength in `[0, 1]` at `frame`.
+    #[must_use]
+    pub fn strength(&self, frame: u64) -> f64 {
+        if frame < self.start_frame {
+            0.0
+        } else if self.ramp_frames == 0 {
+            1.0
+        } else {
+            (((frame - self.start_frame) as f64) / self.ramp_frames as f64).min(1.0)
+        }
+    }
+
+    /// Full-strength gain error of one monitor (`1.0` for calibrated
+    /// monitors). Deterministic in `(seed, monitor)`.
+    #[must_use]
+    pub fn monitor_gain(&self, monitor: usize) -> f64 {
+        let h = Self::mix(self.seed ^ (monitor as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        if (h % crate::N_BLM as u64) as usize >= self.decal_monitors {
+            return 1.0;
+        }
+        // A second hash picks the error within ±decal_spread.
+        let u = (Self::mix(h) >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + self.decal_spread * (2.0 * u - 1.0)
+    }
+
+    /// Whether the campaign perturbs anything at `frame`.
+    #[must_use]
+    pub fn active(&self, frame: u64) -> bool {
+        frame >= self.start_frame || frame >= self.step_frame
+    }
+
+    /// Applies the campaign in place to one frame of raw readings.
+    ///
+    /// A no-op (bit-identical readings) before `start_frame`.
+    pub fn apply(&self, frame: u64, readings: &mut [f64]) {
+        if !self.active(frame) {
+            return;
+        }
+        let s = self.strength(frame);
+        let global_gain = 1.0 + s * (self.gain - 1.0);
+        let mut offset = s * self.offset;
+        if frame >= self.step_frame {
+            offset += self.step_offset;
+        }
+        for (m, r) in readings.iter_mut().enumerate() {
+            let decal = 1.0 + s * (self.monitor_gain(m) - 1.0);
+            *r = *r * global_gain * decal + offset;
+        }
+    }
+}
+
 /// Episode-dynamics parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReplayConfig {
@@ -67,6 +187,7 @@ pub struct CorrelatedStream {
     episodes: Vec<Episode>,
     rng: Rng,
     frame_index: u64,
+    campaign: Option<DriftCampaign>,
 }
 
 impl CorrelatedStream {
@@ -79,6 +200,7 @@ impl CorrelatedStream {
             episodes: Vec::new(),
             rng: Rng::seed_from_u64(seed ^ 0xC0_88E1),
             frame_index: 0,
+            campaign: None,
         }
     }
 
@@ -86,6 +208,17 @@ impl CorrelatedStream {
     #[must_use]
     pub fn with_defaults(seed: u64) -> Self {
         Self::new(seed, WorkloadConfig::default(), ReplayConfig::default())
+    }
+
+    /// Attaches a decalibration campaign: every emitted frame's readings
+    /// are passed through [`DriftCampaign::apply`] after rendering. The
+    /// campaign draws nothing from the stream's RNG, so the frame sequence
+    /// is bit-identical to the campaign-free stream before
+    /// `campaign.start_frame` (and the targets are never perturbed).
+    #[must_use]
+    pub fn with_campaign(mut self, campaign: DriftCampaign) -> Self {
+        self.campaign = Some(campaign);
+        self
     }
 
     /// Number of currently live episodes.
@@ -156,8 +289,13 @@ impl CorrelatedStream {
         self.episodes.retain(|e| e.frames_left > 0);
 
         let events: Vec<LossEvent> = self.episodes.iter().map(|e| e.event).collect();
+        let emitted = self.frame_index;
         self.frame_index += 1;
-        self.generator.render(&events, &mut self.rng)
+        let mut sample = self.generator.render(&events, &mut self.rng);
+        if let Some(campaign) = &self.campaign {
+            campaign.apply(emitted, &mut sample.readings);
+        }
+        sample
     }
 }
 
@@ -232,6 +370,86 @@ mod tests {
             assert!(mass < 1.0, "no-birth stream must stay quiet: {mass}");
         }
         assert_eq!(stream.live_episodes(), 0);
+    }
+
+    #[test]
+    fn campaign_is_noop_before_start_and_never_touches_rng() {
+        let campaign = DriftCampaign::demo(5, 10, 4);
+        let mut plain = CorrelatedStream::with_defaults(11);
+        let mut drifted = CorrelatedStream::with_defaults(11).with_campaign(campaign);
+        // Frames before start_frame — and the zero-strength ramp origin at
+        // start_frame itself — are bit-identical.
+        for i in 0..=10u64 {
+            assert_eq!(
+                plain.next_frame().readings,
+                drifted.next_frame().readings,
+                "frame {i} must be bit-identical up to the ramp origin"
+            );
+        }
+        // Once active, readings diverge but targets stay the truth.
+        let (a, b) = (plain.next_frame(), drifted.next_frame());
+        assert_ne!(a.readings, b.readings, "campaign must perturb readings");
+        assert_eq!(a.frac_mi, b.frac_mi, "targets are never perturbed");
+        assert_eq!(a.frac_rr, b.frac_rr, "targets are never perturbed");
+        // And the RNG streams stay in lockstep afterwards: targets keep
+        // matching for the rest of the run.
+        for _ in 0..20 {
+            let (a, b) = (plain.next_frame(), drifted.next_frame());
+            assert_eq!(a.frac_mi, b.frac_mi);
+        }
+    }
+
+    #[test]
+    fn campaign_ramp_and_decalibration_are_deterministic() {
+        let c = DriftCampaign::demo(5, 100, 50);
+        assert_eq!(c.strength(99), 0.0);
+        assert_eq!(c.strength(125), 0.5);
+        assert_eq!(c.strength(150), 1.0);
+        assert_eq!(c.strength(10_000), 1.0);
+        // Hash-selected decalibrated monitors: deterministic, roughly
+        // decal_monitors of them, within the spread band.
+        let gains: Vec<f64> = (0..crate::N_BLM).map(|m| c.monitor_gain(m)).collect();
+        assert_eq!(
+            gains,
+            (0..crate::N_BLM)
+                .map(|m| c.monitor_gain(m))
+                .collect::<Vec<_>>()
+        );
+        let decal = gains.iter().filter(|&&g| g != 1.0).count();
+        assert!(
+            (4..=30).contains(&decal),
+            "~{} monitors expected decalibrated, got {decal}",
+            c.decal_monitors
+        );
+        for g in gains {
+            assert!((g - 1.0).abs() <= c.decal_spread + 1e-12);
+        }
+        // Full-strength application matches the closed form.
+        let mut readings = vec![1_000.0; crate::N_BLM];
+        c.apply(1_000, &mut readings);
+        let expected = 1_000.0 * c.gain * c.monitor_gain(0) + c.offset;
+        assert!((readings[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn campaign_step_change_lands_on_schedule() {
+        let c = DriftCampaign {
+            seed: 9,
+            start_frame: u64::MAX,
+            ramp_frames: 0,
+            gain: 1.0,
+            offset: 0.0,
+            decal_monitors: 0,
+            decal_spread: 0.0,
+            step_frame: 50,
+            step_offset: 2_000.0,
+        };
+        let mut before = vec![100.0; 4];
+        c.apply(49, &mut before);
+        assert_eq!(before, vec![100.0; 4]);
+        let mut after = vec![100.0; 4];
+        c.apply(50, &mut after);
+        assert_eq!(after, vec![2_100.0; 4]);
     }
 
     #[test]

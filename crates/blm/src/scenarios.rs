@@ -8,6 +8,7 @@
 //! beyond the default mixed workload the models are trained on.
 
 use crate::frame::WorkloadConfig;
+use crate::replay::DriftCampaign;
 use serde::{Deserialize, Serialize};
 
 /// A named beam condition.
@@ -89,6 +90,47 @@ impl Scenario {
             },
         }
     }
+
+    /// The decalibration campaign characteristic of this regime, for the
+    /// robustness studies: how the *instrumentation* (not the beam) tends
+    /// to misbehave while the regime runs. Quiet stores see slow pedestal
+    /// creep, injection periods shake individual monitors out of
+    /// calibration, spills warm the electronics (gain drift), and
+    /// abort-level events leave a step change behind.
+    #[must_use]
+    pub fn drift_campaign(&self, seed: u64, start_frame: u64, ramp_frames: u64) -> DriftCampaign {
+        let base = DriftCampaign::demo(seed, start_frame, ramp_frames);
+        match self {
+            Scenario::MixedOperations => base,
+            Scenario::QuietStore => DriftCampaign {
+                gain: 1.0,
+                offset: 2_500.0,
+                decal_monitors: 0,
+                ..base
+            },
+            Scenario::MiInjection => DriftCampaign {
+                gain: 1.01,
+                offset: 300.0,
+                decal_monitors: 40,
+                decal_spread: 0.12,
+                ..base
+            },
+            Scenario::RrSpill => DriftCampaign {
+                gain: 1.09,
+                offset: 600.0,
+                decal_monitors: 8,
+                ..base
+            },
+            Scenario::AbortLevel => DriftCampaign {
+                gain: 1.0,
+                offset: 0.0,
+                decal_monitors: 0,
+                step_frame: start_frame,
+                step_offset: 4_000.0,
+                ..base
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +178,19 @@ mod tests {
         // And the readings there tower over the baseline.
         let max_reading = f.readings.iter().fold(0.0f64, |m, &x| m.max(x));
         assert!(max_reading > 140_000.0, "abort reading {max_reading}");
+    }
+
+    #[test]
+    fn every_scenario_campaign_perturbs_after_start_only() {
+        for s in Scenario::ALL {
+            let c = s.drift_campaign(7, 20, 10);
+            let mut before = vec![1_000.0; N_BLM];
+            c.apply(0, &mut before);
+            assert_eq!(before, vec![1_000.0; N_BLM], "{} quiet", s.name());
+            let mut after = vec![1_000.0; N_BLM];
+            c.apply(200, &mut after);
+            assert_ne!(after, vec![1_000.0; N_BLM], "{} active", s.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,1244 @@
+//! The online-adaptation supervisor: drift → detect → fine-tune →
+//! re-quantize → promote, closed as one loop with explicit failure
+//! handling at every hop.
+//!
+//! The paper's case for reconfigurable edge ML is that "the operating
+//! environment and data behavior can vary significantly over time,
+//! necessitating adaptation" (Sec. I). This module is that adaptation,
+//! realised as a single background thread next to the serving plane:
+//!
+//! 1. **Observe** — shard workers offer every assembled raw frame to a
+//!    bounded [`Reservoir`] through a [`FrameTap`]. The offer *never*
+//!    blocks: a held reservoir lock sheds the frame and counts it, so a
+//!    wedged retrainer cannot slow `submit` by a nanosecond.
+//! 2. **Detect** — the engine's per-shard [`DriftMonitor`]s publish a
+//!    [`DriftStatus`] ladder; the supervisor polls the merged scoreboard
+//!    and wakes on `Restandardize`/`Retrain`.
+//! 3. **Adapt** — a reservoir snapshot refits the standardizer
+//!    ([`DriftMonitor::refit`]), the affine correction is folded into the
+//!    float model's first layer ([`fold_restandardization`]) — the
+//!    label-free fix for gain/offset decalibration — and, when labeled
+//!    frames are available, the model is fine-tuned with Adam under a
+//!    wall-clock budget.
+//! 4. **Re-quantize** — the candidate goes back through the hls4ml-style
+//!    profile → convert flow against the *drifted* calibration set (the
+//!    paper's "trained dynamic ranges", Sec. IV-D).
+//! 5. **Gate** — offline first: the quantized candidate must track its own
+//!    float model within |q − float| ≤ tolerance on ≥ 98 % of outputs
+//!    (the Table II gate — this is what catches a bad re-quantization),
+//!    and must not score worse than the live incumbent on the labeled
+//!    snapshot. Then live: [`run_hot_swap`] shadow-scores the candidate on
+//!    real traffic and promotes or rolls back atomically.
+//! 6. **Back off** — consecutive failed candidates double a hold-off
+//!    timer; too many trip the loop to [`AdaptState::Degraded`], holding
+//!    the last good firmware until an operator resets it. A kill switch
+//!    aborts mid-epoch.
+//!
+//! The live shadow gate compares candidate against *incumbent*. Under real
+//! drift a corrective candidate legitimately disagrees with the degraded
+//! incumbent wherever the drift moved the answer, so the adapt-specific
+//! gate ([`AdaptConfig::gate`]) bounds divergence loosely and leans on the
+//! offline fidelity and no-worse gates for correctness; a genuinely broken
+//! candidate still fails offline, and a candidate that loses frames still
+//! fails the live gate.
+
+use crate::drift::{DriftMonitor, DriftStatus};
+use crate::engine::EngineController;
+use crate::registry::{
+    run_hot_swap, ModelRegistry, RegistryError, ShadowGate, SwapOutcome, TenantId,
+};
+use reads_blm::Standardizer;
+use reads_hls4ml::config::PrecisionStrategy;
+use reads_hls4ml::{convert, profile_model, Firmware, HlsConfig};
+use reads_nn::metrics::accuracy_within;
+use reads_nn::train::{train, Dataset, TrainConfig};
+use reads_nn::{Adam, Layer, Loss, Model};
+use reads_sim::Rng;
+use reads_soc::hps::HpsModel;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One frame held by the [`Reservoir`]: raw (post fault-injection,
+/// pre-standardization) readings, optionally with ground-truth targets in
+/// the serving model's output layout.
+#[derive(Debug, Clone)]
+pub struct ReservoirSample {
+    /// Raw monitor readings as the engine saw them.
+    pub readings: Vec<f64>,
+    /// Ground-truth attribution targets when the producer knows them
+    /// (benches, replay studies); `None` for live unlabeled traffic.
+    pub targets: Option<Vec<f64>>,
+    /// Offer-sequence stamp (the reservoir's `seen` count when this slot
+    /// was written). Larger means fresher; the retrainer uses it to fit
+    /// the restandardization on the newest samples, which a ramping drift
+    /// would otherwise bias toward its half-ramped past.
+    pub stamp: u64,
+}
+
+/// Bounded uniform sample of the recent frame stream (Vitter's
+/// algorithm R): every offered frame ends up retained with equal
+/// probability, memory is capped at `capacity` frames, and the sample
+/// sequence is a pure function of the seed and the offer sequence.
+#[derive(Debug)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    rng: Rng,
+    slots: Vec<ReservoirSample>,
+}
+
+impl Reservoir {
+    /// Empty reservoir holding at most `capacity` frames.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir needs capacity");
+        Self {
+            capacity,
+            seen: 0,
+            rng: Rng::seed_from_u64(seed ^ 0xADA7_0000),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Offers one frame; algorithm R decides whether it displaces an
+    /// earlier sample.
+    pub fn offer(&mut self, readings: &[f64], targets: Option<&[f64]>) {
+        self.seen += 1;
+        let stamp = self.seen;
+        let sample = || ReservoirSample {
+            readings: readings.to_vec(),
+            targets: targets.map(<[f64]>::to_vec),
+            stamp,
+        };
+        if self.slots.len() < self.capacity {
+            self.slots.push(sample());
+        } else {
+            let j = self.rng.next_below(self.seen);
+            if (j as usize) < self.capacity {
+                self.slots[j as usize] = sample();
+            }
+        }
+    }
+
+    /// Frames currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The memory bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frames offered over the reservoir's lifetime.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// A copy of the current sample.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<ReservoirSample> {
+        self.slots.clone()
+    }
+}
+
+#[derive(Debug)]
+struct TapInner {
+    reservoir: Mutex<Reservoir>,
+    offers: AtomicU64,
+    sheds: AtomicU64,
+}
+
+/// The hot path's handle onto the reservoir. Cloneable (one per shard),
+/// and `offer` is guaranteed non-blocking: if the retrainer — or anyone —
+/// holds the reservoir lock, the frame is shed and counted instead of
+/// waiting.
+#[derive(Debug, Clone)]
+pub struct FrameTap {
+    inner: Arc<TapInner>,
+}
+
+impl FrameTap {
+    /// A tap over a fresh reservoir.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Self {
+            inner: Arc::new(TapInner {
+                reservoir: Mutex::new(Reservoir::new(capacity, seed)),
+                offers: AtomicU64::new(0),
+                sheds: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Offers an unlabeled frame without ever blocking.
+    pub fn offer(&self, readings: &[f64]) {
+        self.offer_inner(readings, None);
+    }
+
+    /// Offers a frame with known ground truth (benches and replay
+    /// studies) without ever blocking.
+    pub fn offer_labeled(&self, readings: &[f64], targets: &[f64]) {
+        self.offer_inner(readings, Some(targets));
+    }
+
+    fn offer_inner(&self, readings: &[f64], targets: Option<&[f64]>) {
+        self.inner.offers.fetch_add(1, Ordering::Relaxed);
+        match self.inner.reservoir.try_lock() {
+            Ok(mut reservoir) => reservoir.offer(readings, targets),
+            Err(_) => {
+                self.inner.sheds.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Frames offered so far (shed or retained).
+    #[must_use]
+    pub fn offers(&self) -> u64 {
+        self.inner.offers.load(Ordering::Relaxed)
+    }
+
+    /// Frames shed because the reservoir lock was held.
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.inner.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Locks the reservoir (the retrainer's snapshot path; also how tests
+    /// simulate a wedged consumer). While held, `offer` sheds.
+    ///
+    /// # Panics
+    /// Panics if the lock is poisoned.
+    pub fn reservoir(&self) -> MutexGuard<'_, Reservoir> {
+        self.inner.reservoir.lock().expect("reservoir lock")
+    }
+}
+
+/// Everything the adaptation loop can be configured with.
+#[derive(Debug, Clone)]
+pub struct AdaptConfig {
+    /// Tenant whose firmware the loop adapts.
+    pub tenant: TenantId,
+    /// Reservoir memory bound, frames.
+    pub reservoir_capacity: usize,
+    /// Reservoir sampling seed.
+    pub reservoir_seed: u64,
+    /// Minimum snapshot size before a retrain is attempted.
+    pub min_snapshot: usize,
+    /// Minimum *labeled* frames before fine-tuning runs (below this the
+    /// candidate is restandardization-only, which is exact for gain/offset
+    /// drift and needs no labels).
+    pub min_labeled: usize,
+    /// Wall-clock budget for the fine-tune phase; epochs stop when it is
+    /// exhausted and a budget too small for any work is a typed
+    /// [`AdaptError::RetrainTimeout`].
+    pub retrain_budget: Duration,
+    /// Upper bound on fine-tune epochs inside the budget.
+    pub max_epochs: usize,
+    /// Fine-tune minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate for fine-tuning.
+    pub learning_rate: f64,
+    /// Bit width for the candidate's re-quantization (LayerBased).
+    pub quant_width: u32,
+    /// Offline |q − float| tolerance the quantized candidate must track
+    /// its own float model within (the Table II gate).
+    pub fidelity_tolerance: f64,
+    /// Minimum fraction of outputs within `fidelity_tolerance`.
+    pub fidelity_min_accuracy: f64,
+    /// Live shadow gate for [`run_hot_swap`]. Deliberately loose on
+    /// agreement (see module docs) — a corrective candidate legitimately
+    /// disagrees with a drift-degraded incumbent.
+    pub gate: ShadowGate,
+    /// Timeout for the live canary to reach a verdict.
+    pub swap_timeout: Duration,
+    /// Supervisor poll period.
+    pub poll_interval: Duration,
+    /// Hold-off after a successful promotion (or a too-small snapshot).
+    pub cooldown: Duration,
+    /// Consecutive failed candidates before the loop trips to
+    /// [`AdaptState::Degraded`] and stops trying.
+    pub max_consecutive_rollbacks: u32,
+    /// First back-off after a failed candidate (doubles per consecutive
+    /// failure, capped at `backoff_max`).
+    pub backoff_base: Duration,
+    /// Back-off cap.
+    pub backoff_max: Duration,
+}
+
+impl AdaptConfig {
+    /// Paper-faithful defaults for `tenant`: |q − float| ≤ 0.20 on ≥ 98 %
+    /// offline, a 16-frame live canary, a 1.5 s retrain budget and a
+    /// 3-strike trip to Degraded.
+    #[must_use]
+    pub fn paper_default(tenant: TenantId) -> Self {
+        Self {
+            tenant,
+            reservoir_capacity: 256,
+            reservoir_seed: 0x5EED_ADA7,
+            min_snapshot: 32,
+            min_labeled: 64,
+            retrain_budget: Duration::from_millis(1_500),
+            max_epochs: 8,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            quant_width: 16,
+            fidelity_tolerance: 0.20,
+            fidelity_min_accuracy: 0.98,
+            gate: ShadowGate {
+                tolerance: 0.20,
+                min_accuracy: 0.0,
+                min_frames: 16,
+            },
+            swap_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+            cooldown: Duration::from_millis(250),
+            max_consecutive_rollbacks: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Typed failures of one adaptation attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptError {
+    /// The reservoir snapshot was too small to trust.
+    NoFrames {
+        /// Frames in the snapshot.
+        have: usize,
+        /// Configured minimum.
+        need: usize,
+    },
+    /// The wall-clock budget expired before a candidate could be built.
+    RetrainTimeout {
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// The re-quantized candidate does not track its own float model —
+    /// the offline |q − float| gate (what a too-narrow bit width does).
+    QuantizationDrift {
+        /// Fraction of outputs within tolerance.
+        accuracy: f64,
+        /// Configured minimum.
+        required: f64,
+    },
+    /// The candidate scores worse than the live incumbent on the labeled
+    /// snapshot — adaptation must never ship a regression.
+    CandidateWorse {
+        /// Candidate accuracy on the snapshot.
+        candidate: f64,
+        /// Incumbent accuracy on the snapshot.
+        incumbent: f64,
+    },
+    /// The live shadow gate rejected the candidate; the incumbent serves
+    /// on untouched.
+    RolledBack {
+        /// Live agreement fraction at the verdict.
+        accuracy: f64,
+    },
+    /// A registry or engine operation failed.
+    Registry(RegistryError),
+    /// The kill switch fired mid-attempt.
+    Killed,
+}
+
+impl std::fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptError::NoFrames { have, need } => {
+                write!(f, "snapshot too small: {have} frames of {need} needed")
+            }
+            AdaptError::RetrainTimeout { budget } => {
+                write!(
+                    f,
+                    "retrain budget {budget:?} expired before a candidate was built"
+                )
+            }
+            AdaptError::QuantizationDrift { accuracy, required } => write!(
+                f,
+                "quantized candidate tracks float on only {:.1}% of outputs ({:.1}% required)",
+                accuracy * 100.0,
+                required * 100.0
+            ),
+            AdaptError::CandidateWorse {
+                candidate,
+                incumbent,
+            } => write!(
+                f,
+                "candidate accuracy {:.1}% is worse than incumbent {:.1}%",
+                candidate * 100.0,
+                incumbent * 100.0
+            ),
+            AdaptError::RolledBack { accuracy } => write!(
+                f,
+                "live shadow gate rejected the candidate ({:.1}% agreement)",
+                accuracy * 100.0
+            ),
+            AdaptError::Registry(e) => write!(f, "registry: {e}"),
+            AdaptError::Killed => f.write_str("kill switch fired"),
+        }
+    }
+}
+
+impl std::error::Error for AdaptError {}
+
+impl From<RegistryError> for AdaptError {
+    fn from(e: RegistryError) -> Self {
+        AdaptError::Registry(e)
+    }
+}
+
+/// Where the loop currently is.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub enum AdaptState {
+    /// Watching for drift.
+    #[default]
+    Idle,
+    /// An attempt (fine-tune → re-quantize → canary) is in flight.
+    Retraining,
+    /// A failed candidate tripped the hold-off timer.
+    BackingOff,
+    /// Too many consecutive failures: the loop holds the last good
+    /// firmware and stops trying until [`AdaptSupervisor::reset_degraded`].
+    Degraded,
+    /// The kill switch fired; the loop has exited.
+    Killed,
+}
+
+impl AdaptState {
+    /// Escalation rank for fleet roll-ups (worst wins).
+    #[must_use]
+    pub fn severity(self) -> u8 {
+        match self {
+            AdaptState::Idle => 0,
+            AdaptState::Retraining => 1,
+            AdaptState::BackingOff => 2,
+            AdaptState::Degraded => 3,
+            AdaptState::Killed => 4,
+        }
+    }
+
+    /// The more severe of two states.
+    #[must_use]
+    pub fn worst(self, other: Self) -> Self {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl std::fmt::Display for AdaptState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AdaptState::Idle => "idle",
+            AdaptState::Retraining => "retraining",
+            AdaptState::BackingOff => "backing-off",
+            AdaptState::Degraded => "degraded",
+            AdaptState::Killed => "killed",
+        })
+    }
+}
+
+/// Lifetime counters of the loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct AdaptCounters {
+    /// Retrain attempts started.
+    pub retrains: u64,
+    /// Candidates promoted to live.
+    pub promoted: u64,
+    /// Candidates discarded — offline gate rejections *and* live-gate
+    /// rollbacks (both are the guardrails doing their job).
+    pub rolled_back: u64,
+    /// Attempts aborted by the wall-clock budget.
+    pub retrain_timeouts: u64,
+    /// Hold-offs entered after failed candidates.
+    pub backoffs: u64,
+    /// Frames shed by the tap because the reservoir lock was held.
+    pub sheds: u64,
+}
+
+impl AdaptCounters {
+    /// Adds another loop's counters in (fleet roll-up).
+    pub fn merge(&mut self, other: &AdaptCounters) {
+        self.retrains += other.retrains;
+        self.promoted += other.promoted;
+        self.rolled_back += other.rolled_back;
+        self.retrain_timeouts += other.retrain_timeouts;
+        self.backoffs += other.backoffs;
+        self.sheds += other.sheds;
+    }
+}
+
+/// One entry in the loop's event log.
+#[derive(Debug, Clone)]
+pub enum AdaptEvent {
+    /// A candidate went live.
+    Promoted {
+        /// The candidate's content digest.
+        digest: u64,
+        /// Live shadow agreement at the verdict.
+        live_accuracy: f64,
+        /// Wall clock of the whole attempt, ms.
+        wall_ms: f64,
+    },
+    /// An attempt failed with a typed error.
+    Failed(AdaptError),
+    /// Consecutive failures tripped the loop.
+    Degraded {
+        /// The strike count at the trip.
+        consecutive: u32,
+    },
+}
+
+#[derive(Debug)]
+struct AdaptSharedInner {
+    counters: Mutex<AdaptCounters>,
+    state: Mutex<AdaptState>,
+    events: Mutex<Vec<AdaptEvent>>,
+    kill: AtomicBool,
+    trigger: AtomicBool,
+    reset: AtomicBool,
+}
+
+/// Read-only handle onto a running (or stopped) loop, for consoles and
+/// gateways.
+#[derive(Debug, Clone)]
+pub struct AdaptObserver {
+    shared: Arc<AdaptSharedInner>,
+}
+
+impl AdaptObserver {
+    /// Current counters.
+    ///
+    /// # Panics
+    /// Panics if the loop poisoned its counter lock.
+    #[must_use]
+    pub fn counters(&self) -> AdaptCounters {
+        *self.shared.counters.lock().expect("adapt counters lock")
+    }
+
+    /// Current state.
+    ///
+    /// # Panics
+    /// Panics if the loop poisoned its state lock.
+    #[must_use]
+    pub fn state(&self) -> AdaptState {
+        *self.shared.state.lock().expect("adapt state lock")
+    }
+}
+
+/// Final account returned by [`AdaptSupervisor::stop`].
+#[derive(Debug, Clone)]
+pub struct AdaptReport {
+    /// Lifetime counters.
+    pub counters: AdaptCounters,
+    /// State at shutdown.
+    pub state: AdaptState,
+    /// Ordered event log.
+    pub events: Vec<AdaptEvent>,
+}
+
+/// Folds the affine correction from the engine's frozen standardizer onto
+/// a freshly refit one into the model's first parametric layer, so the
+/// model sees nominally-distributed inputs again without touching the
+/// serving plane's standardization.
+///
+/// The engine emits `e = (x − m₀)/s₀` forever; after drift the nominal
+/// view is `z = (x − m₁)/s₁ = a·e + c` with `a = s₀/s₁`,
+/// `c = (m₀ − m₁)/s₁`. For a first layer `W·in + b` this is exactly
+/// `W ← a·W`, `bᵢ ← bᵢ + c·Σⱼ Wᵢⱼ` — a label-free, loss-free fix for any
+/// global gain/offset decalibration. Exact for `Dense`/`PointwiseDense`
+/// and `BatchNorm`; for `Conv1d` the bias fold assumes interior positions
+/// (same-padding edge taps see literal zeros, a small boundary error).
+pub fn fold_restandardization(model: &mut Model, fitted: &Standardizer, refit: &Standardizer) {
+    let a = fitted.std / refit.std;
+    let c = (fitted.mean - refit.mean) / refit.std;
+    if a == 1.0 && c == 0.0 {
+        return;
+    }
+    for layer in model.layers_mut() {
+        match layer {
+            Layer::Dense(p) | Layer::PointwiseDense(p) | Layer::Conv1d { p, .. } => {
+                for i in 0..p.w.rows() {
+                    let row_sum: f64 = p.w.row(i).iter().sum();
+                    p.b[i] += c * row_sum;
+                }
+                for w in p.w.as_mut_slice() {
+                    *w *= a;
+                }
+                return;
+            }
+            Layer::BatchNorm { gamma, beta, .. } => {
+                for (g, b) in gamma.iter_mut().zip(beta.iter_mut()) {
+                    *b += *g * c;
+                    *g *= a;
+                }
+                return;
+            }
+            // Pooling/upsampling commute with a positive per-element
+            // affine map (a = s₀/s₁ > 0 always), so keep walking.
+            _ => {}
+        }
+    }
+}
+
+/// Doubling back-off after `strike` consecutive failures, capped.
+fn backoff_for(cfg: &AdaptConfig, strike: u32) -> Duration {
+    let factor = 1u32 << strike.saturating_sub(1).min(16);
+    (cfg.backoff_base * factor).min(cfg.backoff_max)
+}
+
+/// The background retrainer. Owns its thread; drop it or call
+/// [`AdaptSupervisor::stop`] for an orderly shutdown.
+pub struct AdaptSupervisor {
+    shared: Arc<AdaptSharedInner>,
+    tap: FrameTap,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl AdaptSupervisor {
+    /// Starts the loop next to a running engine.
+    ///
+    /// `model`/`standardizer` are the commissioning float model and the
+    /// engine's (frozen) standardizer; `registry` must already hold the
+    /// tenant with its live incumbent (pass a clone of the registry the
+    /// engine was started from — the loop keeps it in sync through its own
+    /// promotions).
+    ///
+    /// # Errors
+    /// [`AdaptError::Registry`] when the tenant or its live variant is
+    /// missing from `registry`.
+    pub fn start(
+        cfg: AdaptConfig,
+        model: Model,
+        standardizer: Standardizer,
+        controller: EngineController,
+        registry: ModelRegistry,
+        hps: HpsModel,
+    ) -> Result<AdaptSupervisor, AdaptError> {
+        let incumbent = registry
+            .tenant(cfg.tenant)?
+            .live()
+            .ok_or(RegistryError::NoLiveVariant(cfg.tenant))?
+            .firmware
+            .clone();
+        let tap = FrameTap::new(cfg.reservoir_capacity, cfg.reservoir_seed);
+        let shared = Arc::new(AdaptSharedInner {
+            counters: Mutex::new(AdaptCounters::default()),
+            state: Mutex::new(AdaptState::Idle),
+            events: Mutex::new(Vec::new()),
+            kill: AtomicBool::new(false),
+            trigger: AtomicBool::new(false),
+            reset: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread_tap = tap.clone();
+        let handle = thread::Builder::new()
+            .name("reads-adapt".into())
+            .spawn(move || {
+                supervisor_loop(
+                    &cfg,
+                    &thread_shared,
+                    &thread_tap,
+                    &controller,
+                    registry,
+                    &hps,
+                    model,
+                    &standardizer,
+                    incumbent,
+                );
+            })
+            .expect("spawn adapt supervisor");
+        Ok(AdaptSupervisor {
+            shared,
+            tap,
+            handle: Some(handle),
+        })
+    }
+
+    /// The tap to attach to the engine
+    /// ([`EngineController::attach_frame_tap`]) or feed directly.
+    #[must_use]
+    pub fn tap(&self) -> FrameTap {
+        self.tap.clone()
+    }
+
+    /// A read-only handle for consoles and gateways.
+    #[must_use]
+    pub fn observer(&self) -> AdaptObserver {
+        AdaptObserver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> AdaptState {
+        *self.shared.state.lock().expect("adapt state lock")
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn counters(&self) -> AdaptCounters {
+        *self.shared.counters.lock().expect("adapt counters lock")
+    }
+
+    /// Event log so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<AdaptEvent> {
+        self.shared
+            .events
+            .lock()
+            .expect("adapt events lock")
+            .clone()
+    }
+
+    /// Forces an attempt on the next poll even without a drift verdict.
+    pub fn request_retrain(&self) {
+        self.shared.trigger.store(true, Ordering::Relaxed);
+    }
+
+    /// Clears a [`AdaptState::Degraded`] trip and the strike counter.
+    pub fn reset_degraded(&self) {
+        self.shared.reset.store(true, Ordering::Relaxed);
+    }
+
+    /// The kill switch: the loop aborts at its next checkpoint (including
+    /// between fine-tune epochs) and exits in [`AdaptState::Killed`].
+    pub fn kill(&self) {
+        self.shared.kill.store(true, Ordering::Relaxed);
+    }
+
+    /// Kills the loop, joins the thread and returns the final account.
+    ///
+    /// # Panics
+    /// Panics if the loop thread panicked.
+    #[must_use]
+    pub fn stop(mut self) -> AdaptReport {
+        self.kill();
+        if let Some(handle) = self.handle.take() {
+            handle.join().expect("adapt supervisor panicked");
+        }
+        AdaptReport {
+            counters: *self.shared.counters.lock().expect("adapt counters lock"),
+            state: *self.shared.state.lock().expect("adapt state lock"),
+            events: self
+                .shared
+                .events
+                .lock()
+                .expect("adapt events lock")
+                .clone(),
+        }
+    }
+}
+
+impl Drop for AdaptSupervisor {
+    fn drop(&mut self) {
+        self.kill();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn set_state(shared: &AdaptSharedInner, state: AdaptState) {
+    *shared.state.lock().expect("adapt state lock") = state;
+}
+
+fn push_event(shared: &AdaptSharedInner, event: AdaptEvent) {
+    shared.events.lock().expect("adapt events lock").push(event);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn supervisor_loop(
+    cfg: &AdaptConfig,
+    shared: &AdaptSharedInner,
+    tap: &FrameTap,
+    controller: &EngineController,
+    mut registry: ModelRegistry,
+    hps: &HpsModel,
+    mut float_model: Model,
+    base_std: &Standardizer,
+    mut incumbent: Firmware,
+) {
+    let mut consecutive = 0u32;
+    let mut hold_until = Instant::now();
+    // What the live model is currently adapted to: triggers re-fire only
+    // when the stream has moved materially past this.
+    let mut adapted_to = base_std.clone();
+    let mut seed_salt = 0u64;
+    loop {
+        if shared.kill.load(Ordering::Relaxed) {
+            set_state(shared, AdaptState::Killed);
+            break;
+        }
+        if shared.reset.swap(false, Ordering::Relaxed) {
+            consecutive = 0;
+            hold_until = Instant::now();
+            if *shared.state.lock().expect("adapt state lock") == AdaptState::Degraded {
+                set_state(shared, AdaptState::Idle);
+            }
+        }
+        shared.counters.lock().expect("adapt counters lock").sheds = tap.sheds();
+        thread::sleep(cfg.poll_interval);
+        if *shared.state.lock().expect("adapt state lock") == AdaptState::Degraded {
+            continue;
+        }
+        if Instant::now() < hold_until {
+            continue;
+        }
+        let manual = shared.trigger.swap(false, Ordering::Relaxed);
+        let drift = controller.drift().status;
+        if !manual && drift == DriftStatus::Nominal {
+            set_state(shared, AdaptState::Idle);
+            continue;
+        }
+
+        // Snapshot up front: both the "enough frames?" and the "already
+        // adapted?" questions need it, and holding the lock briefly here
+        // only sheds tap offers, never blocks them.
+        let snapshot = tap.reservoir().snapshot();
+        if snapshot.len() < cfg.min_snapshot {
+            if manual {
+                shared
+                    .counters
+                    .lock()
+                    .expect("adapt counters lock")
+                    .retrains += 1;
+                push_event(
+                    shared,
+                    AdaptEvent::Failed(AdaptError::NoFrames {
+                        have: snapshot.len(),
+                        need: cfg.min_snapshot,
+                    }),
+                );
+            }
+            hold_until = Instant::now() + cfg.cooldown;
+            continue;
+        }
+        // Refit on the freshest half of the reservoir: algorithm R keeps
+        // frames from the drift's ramp alive indefinitely, and a refit
+        // over the whole sample would split the difference between the
+        // half-ramped past and the settled present, under-correcting the
+        // fold. The stamps order slots by offer time.
+        let mut by_age: Vec<&ReservoirSample> = snapshot.iter().collect();
+        by_age.sort_unstable_by_key(|s| s.stamp);
+        let readings: Vec<Vec<f64>> = by_age[by_age.len() / 2..]
+            .iter()
+            .map(|s| s.readings.clone())
+            .collect();
+        let refit = DriftMonitor::refit(&readings);
+        if !manual {
+            // The drift monitor compares against the *frozen* commissioning
+            // standardizer, so it keeps flagging a drift the model has
+            // already absorbed. Re-fire only when the stream moved past
+            // what the last promotion adapted to.
+            let shift = (refit.mean - adapted_to.mean).abs() / base_std.std;
+            let ratio = refit.std / adapted_to.std;
+            if shift < 0.5 && (0.75..=1.33).contains(&ratio) {
+                hold_until = Instant::now() + cfg.cooldown;
+                continue;
+            }
+        }
+
+        set_state(shared, AdaptState::Retraining);
+        shared
+            .counters
+            .lock()
+            .expect("adapt counters lock")
+            .retrains += 1;
+        seed_salt += 1;
+        let started = Instant::now();
+        let result = attempt(
+            cfg,
+            shared,
+            &snapshot,
+            &refit,
+            &float_model,
+            base_std,
+            &incumbent,
+            controller,
+            &mut registry,
+            hps,
+            seed_salt,
+        );
+        match result {
+            Ok((digest, live_accuracy, model, firmware)) => {
+                float_model = model;
+                incumbent = firmware;
+                adapted_to = refit;
+                consecutive = 0;
+                shared
+                    .counters
+                    .lock()
+                    .expect("adapt counters lock")
+                    .promoted += 1;
+                push_event(
+                    shared,
+                    AdaptEvent::Promoted {
+                        digest,
+                        live_accuracy,
+                        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                    },
+                );
+                set_state(shared, AdaptState::Idle);
+                hold_until = Instant::now() + cfg.cooldown;
+            }
+            Err(AdaptError::Killed) => {
+                push_event(shared, AdaptEvent::Failed(AdaptError::Killed));
+                set_state(shared, AdaptState::Killed);
+                break;
+            }
+            Err(err) => {
+                {
+                    let mut counters = shared.counters.lock().expect("adapt counters lock");
+                    match &err {
+                        AdaptError::RetrainTimeout { .. } => counters.retrain_timeouts += 1,
+                        AdaptError::QuantizationDrift { .. }
+                        | AdaptError::CandidateWorse { .. }
+                        | AdaptError::RolledBack { .. } => counters.rolled_back += 1,
+                        _ => {}
+                    }
+                }
+                push_event(shared, AdaptEvent::Failed(err));
+                consecutive += 1;
+                if consecutive >= cfg.max_consecutive_rollbacks {
+                    push_event(shared, AdaptEvent::Degraded { consecutive });
+                    set_state(shared, AdaptState::Degraded);
+                } else {
+                    shared
+                        .counters
+                        .lock()
+                        .expect("adapt counters lock")
+                        .backoffs += 1;
+                    set_state(shared, AdaptState::BackingOff);
+                    hold_until = Instant::now() + backoff_for(cfg, consecutive);
+                }
+            }
+        }
+    }
+    shared.counters.lock().expect("adapt counters lock").sheds = tap.sheds();
+}
+
+/// One full attempt: fold + fine-tune + re-quantize + offline gates + live
+/// canary. Returns `(digest, live agreement, float model, firmware)` on
+/// promotion.
+#[allow(clippy::too_many_arguments)]
+fn attempt(
+    cfg: &AdaptConfig,
+    shared: &AdaptSharedInner,
+    snapshot: &[ReservoirSample],
+    refit: &Standardizer,
+    float_model: &Model,
+    base_std: &Standardizer,
+    incumbent: &Firmware,
+    controller: &EngineController,
+    registry: &mut ModelRegistry,
+    hps: &HpsModel,
+    seed_salt: u64,
+) -> Result<(u64, f64, Model, Firmware), AdaptError> {
+    let deadline = Instant::now() + cfg.retrain_budget;
+    let n_in = incumbent.input_len * incumbent.input_channels;
+
+    // The candidate starts as the commissioning-quality float model with
+    // the refit correction folded in — already exact for pure gain/offset
+    // drift, before any gradient step.
+    let mut candidate = float_model.clone();
+    fold_restandardization(&mut candidate, base_std, refit);
+
+    // Freshest first: every bounded evaluation below (`take(n)` for the
+    // calibration set and the gates) then sees the settled present, not
+    // whatever mid-ramp frames algorithm R kept alive.
+    let mut snapshot: Vec<&ReservoirSample> = snapshot.iter().collect();
+    snapshot.sort_unstable_by_key(|s| std::cmp::Reverse(s.stamp));
+
+    // Engine-space inputs: exactly what the serving plane will feed it.
+    let inputs: Vec<Vec<f64>> = snapshot
+        .iter()
+        .map(|s| {
+            let take = n_in.min(s.readings.len());
+            base_std.apply_frame(&s.readings[..take])
+        })
+        .collect();
+    let labeled: Vec<(Vec<f64>, Vec<f64>)> = snapshot
+        .iter()
+        .zip(&inputs)
+        .filter_map(|(s, input)| {
+            s.targets
+                .as_ref()
+                .map(|targets| (input.clone(), targets.clone()))
+        })
+        .collect();
+
+    if Instant::now() >= deadline {
+        return Err(AdaptError::RetrainTimeout {
+            budget: cfg.retrain_budget,
+        });
+    }
+
+    // Fine-tune epoch by epoch under the budget; the optimizer state
+    // persists across the epoch-sized `train` calls. The fold-only form
+    // is kept: gradient steps can widen weight ranges enough that the
+    // fixed-point re-quantization gives back more than the fine-tune
+    // gained, so the final candidate is chosen *after* quantization.
+    let fold_only = candidate.clone();
+    if labeled.len() >= cfg.min_labeled {
+        let dataset = Dataset {
+            inputs: labeled.iter().map(|(i, _)| i.clone()).collect(),
+            targets: labeled.iter().map(|(_, t)| t.clone()).collect(),
+        };
+        let mut optimizer = Adam::new(cfg.learning_rate);
+        for epoch in 0..cfg.max_epochs {
+            if shared.kill.load(Ordering::Relaxed) {
+                return Err(AdaptError::Killed);
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            let tc = TrainConfig {
+                epochs: 1,
+                batch_size: cfg.batch_size,
+                loss: Loss::Bce,
+                seed: cfg.reservoir_seed ^ seed_salt ^ (epoch as u64) << 32,
+                grad_clip: Some(5.0),
+            };
+            let _ = train(&mut candidate, &dataset, &tc, &mut optimizer);
+        }
+    }
+
+    if shared.kill.load(Ordering::Relaxed) {
+        return Err(AdaptError::Killed);
+    }
+    if Instant::now() >= deadline && labeled.len() >= cfg.min_labeled {
+        // The budget never allowed a single epoch: a candidate identical
+        // to its fold-only form is still viable, but an explicitly tiny
+        // budget is a typed abort so operators see misconfiguration.
+        if cfg.retrain_budget < Duration::from_millis(1) {
+            return Err(AdaptError::RetrainTimeout {
+                budget: cfg.retrain_budget,
+            });
+        }
+    }
+
+    // Re-quantize through the standard profile → convert flow against the
+    // drifted calibration set (the paper's trained dynamic ranges).
+    let calib: Vec<Vec<f64>> = inputs.iter().take(64).cloned().collect();
+    let quantize = |model: &Model| {
+        let profile = profile_model(model, &calib);
+        convert(
+            model,
+            &profile,
+            &HlsConfig::with_strategy(PrecisionStrategy::LayerBased {
+                width: cfg.quant_width,
+                int_margin: 0,
+            }),
+        )
+    };
+    let mut firmware = quantize(&candidate);
+
+    // Quantization-aware candidate selection: a fine-tune that helps in
+    // float can still lose after fixed-point conversion (wider weight
+    // ranges cost fractional bits). Score both quantized variants on the
+    // labeled snapshot and ship whichever serves better.
+    if labeled.len() >= cfg.min_labeled {
+        let fw_fold = quantize(&fold_only);
+        let score = |fw: &Firmware| {
+            let mut a = 0.0;
+            for (input, targets) in labeled.iter().take(128) {
+                let (q, _) = fw.infer(input);
+                a += accuracy_within(&q, targets, 0.20);
+            }
+            a / labeled.len().min(128) as f64
+        };
+        if score(&fw_fold) > score(&firmware) {
+            candidate = fold_only;
+            firmware = fw_fold;
+        }
+    }
+
+    // Offline gate 1: |q − float| fidelity of the candidate against its
+    // own float model on the drifted inputs.
+    let mut fidelity = 0.0;
+    let gate_inputs: Vec<&Vec<f64>> = inputs.iter().take(64).collect();
+    for input in &gate_inputs {
+        let (q, _) = firmware.infer(input);
+        let f = candidate.predict(input);
+        fidelity += accuracy_within(&q, &f, cfg.fidelity_tolerance);
+    }
+    fidelity /= gate_inputs.len() as f64;
+    if fidelity < cfg.fidelity_min_accuracy {
+        return Err(AdaptError::QuantizationDrift {
+            accuracy: fidelity,
+            required: cfg.fidelity_min_accuracy,
+        });
+    }
+
+    // Offline gate 2: on labeled data the candidate must not be worse
+    // than the live incumbent.
+    if labeled.len() >= cfg.min_labeled {
+        let mut cand_acc = 0.0;
+        let mut inc_acc = 0.0;
+        for (input, targets) in labeled.iter().take(64) {
+            cand_acc += accuracy_within(&candidate.predict(input), targets, 0.20);
+            let (q, _) = incumbent.infer(input);
+            inc_acc += accuracy_within(&q, targets, 0.20);
+        }
+        let n = labeled.len().min(64) as f64;
+        cand_acc /= n;
+        inc_acc /= n;
+        if cand_acc + 0.01 < inc_acc {
+            return Err(AdaptError::CandidateWorse {
+                candidate: cand_acc,
+                incumbent: inc_acc,
+            });
+        }
+    }
+
+    // Stage and drive the live canary to a verdict.
+    let digest = registry.register(cfg.tenant, firmware.clone())?;
+    let report = run_hot_swap(
+        controller,
+        registry,
+        cfg.tenant,
+        digest,
+        &cfg.gate,
+        hps,
+        cfg.swap_timeout,
+    )?;
+    match report.outcome {
+        SwapOutcome::Promoted => Ok((digest, report.shadow.accuracy(), candidate, firmware)),
+        SwapOutcome::RolledBack => Err(AdaptError::RolledBack {
+            accuracy: report.shadow.accuracy(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_is_seed_deterministic_and_bounded() {
+        let mut a = Reservoir::new(16, 9);
+        let mut b = Reservoir::new(16, 9);
+        for i in 0..500u64 {
+            let frame = vec![i as f64; 4];
+            a.offer(&frame, None);
+            b.offer(&frame, None);
+            assert!(a.len() <= 16);
+        }
+        assert_eq!(a.seen(), 500);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.len(), 16);
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(x.readings, y.readings);
+        }
+    }
+
+    #[test]
+    fn tap_sheds_instead_of_blocking_while_lock_held() {
+        let tap = FrameTap::new(8, 1);
+        tap.offer(&[1.0]);
+        assert_eq!(tap.sheds(), 0);
+        let guard = tap.reservoir();
+        // A wedged retrainer holds the reservoir; the hot path must not
+        // wait on it.
+        let t0 = Instant::now();
+        for _ in 0..1_000 {
+            tap.offer(&[2.0]);
+        }
+        assert!(t0.elapsed() < Duration::from_millis(500), "offers blocked");
+        assert_eq!(tap.sheds(), 1_000);
+        drop(guard);
+        tap.offer(&[3.0]);
+        assert_eq!(tap.sheds(), 1_000);
+        assert_eq!(tap.offers(), 1_002);
+    }
+
+    #[test]
+    fn fold_restandardization_is_exact_for_dense_first_layer() {
+        let model = reads_nn::models::reads_mlp(17);
+        let base = Standardizer {
+            mean: 112_000.0,
+            std: 3_500.0,
+        };
+        let refit = Standardizer {
+            mean: 120_400.0,
+            std: 3_780.0,
+        };
+        // A raw frame drifted by gain/offset; the engine still applies the
+        // *base* standardizer.
+        let raw: Vec<f64> = (0..259).map(|i| 120_400.0 + (i as f64) * 13.7).collect();
+        let engine_view = base.apply_frame(&raw);
+        let nominal_view = refit.apply_frame(&raw);
+        let want = model.predict(&nominal_view);
+        let mut folded = model.clone();
+        fold_restandardization(&mut folded, &base, &refit);
+        let got = folded.predict(&engine_view);
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-9, "fold must be exact: {w} vs {g}");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = AdaptConfig::paper_default(0);
+        assert_eq!(backoff_for(&cfg, 1), Duration::from_millis(100));
+        assert_eq!(backoff_for(&cfg, 2), Duration::from_millis(200));
+        assert_eq!(backoff_for(&cfg, 3), Duration::from_millis(400));
+        assert_eq!(backoff_for(&cfg, 30), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn adapt_state_severity_orders_the_ladder() {
+        use AdaptState::{BackingOff, Degraded, Idle, Killed, Retraining};
+        let ladder = [Idle, Retraining, BackingOff, Degraded, Killed];
+        for pair in ladder.windows(2) {
+            assert!(pair[0].severity() < pair[1].severity());
+        }
+        assert_eq!(Idle.worst(Degraded), Degraded);
+        assert_eq!(Killed.worst(Idle), Killed);
+    }
+
+    #[test]
+    fn counters_merge_adds_everything() {
+        let mut a = AdaptCounters {
+            retrains: 1,
+            promoted: 1,
+            rolled_back: 2,
+            retrain_timeouts: 1,
+            backoffs: 3,
+            sheds: 10,
+        };
+        a.merge(&a.clone());
+        assert_eq!(
+            a,
+            AdaptCounters {
+                retrains: 2,
+                promoted: 2,
+                rolled_back: 4,
+                retrain_timeouts: 2,
+                backoffs: 6,
+                sheds: 20,
+            }
+        );
+    }
+}

@@ -5,6 +5,8 @@
 //! operational statistics from the frame stream — bounded memory (P²
 //! quantiles, no sample retention), so it can run for an entire store.
 
+use crate::adapt::{AdaptCounters, AdaptState};
+use crate::drift::DriftStatus;
 use crate::registry::ShadowStats;
 use crate::resilience::{HealthCounters, HealthState, NetCounters};
 use reads_blm::acnet::DeblendVerdict;
@@ -33,6 +35,30 @@ pub struct OperatorConsole {
     gateways: Vec<GatewayHealth>,
     kernel_mix: Option<KernelMix>,
     tenants: Vec<TenantConsoleLine>,
+    adapts: Vec<(u32, AdaptConsoleLine)>,
+}
+
+/// The online-adaptation loop's line in the console: what the retrainer
+/// has attempted, what survived the gates, and where the loop and the
+/// drift ladder currently stand.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct AdaptConsoleLine {
+    /// Adaptation-loop counters at observation time.
+    pub counters: AdaptCounters,
+    /// Loop state at observation time.
+    pub state: AdaptState,
+    /// Merged drift-ladder verdict of the serving plane.
+    pub drift: DriftStatus,
+}
+
+impl AdaptConsoleLine {
+    /// Folds another loop's line in (fleet roll-up): counters add, the
+    /// worst loop state and drift verdict win.
+    pub fn merge(&mut self, other: &AdaptConsoleLine) {
+        self.counters.merge(&other.counters);
+        self.state = self.state.worst(other.state);
+        self.drift = self.drift.worst(other.drift);
+    }
 }
 
 /// One tenant's line in the multi-model serving view: which digest is
@@ -176,6 +202,10 @@ pub struct ConsoleSummary {
     /// Per-tenant serving lines, when a multi-model registry reports into
     /// this console (empty for single-model operation).
     pub tenants: Vec<TenantConsoleLine>,
+    /// Merged online-adaptation view, when an adaptation loop reports
+    /// into this console (absent when serving without `--adapt`). In
+    /// fleet operation this is the roll-up across all observed loops.
+    pub adapt: Option<AdaptConsoleLine>,
 }
 
 impl OperatorConsole {
@@ -199,7 +229,32 @@ impl OperatorConsole {
             gateways: Vec::new(),
             kernel_mix: None,
             tenants: Vec::new(),
+            adapts: Vec::new(),
         }
+    }
+
+    /// Feeds one adaptation loop's view (latest observation per `source`
+    /// wins — the same replace-then-recompute rule as the gateway
+    /// roll-up, so re-observing a loop in fleet mode never double-counts
+    /// its retrains). Until this is called, summaries and renders omit
+    /// the adapt line, so non-adaptive consoles are unchanged.
+    pub fn observe_adapt(&mut self, source: u32, line: AdaptConsoleLine) {
+        match self.adapts.iter_mut().find(|(s, _)| *s == source) {
+            Some((_, l)) => *l = line,
+            None => {
+                self.adapts.push((source, line));
+                self.adapts.sort_by_key(|(s, _)| *s);
+            }
+        }
+    }
+
+    fn merged_adapt(&self) -> Option<AdaptConsoleLine> {
+        let mut it = self.adapts.iter().map(|(_, l)| l);
+        let mut merged = *it.next()?;
+        for line in it {
+            merged.merge(line);
+        }
+        Some(merged)
     }
 
     /// Feeds one tenant's serving view. A repeated observation of the
@@ -361,6 +416,7 @@ impl OperatorConsole {
             gateways: self.gateways.clone(),
             kernel_mix: self.kernel_mix,
             tenants: self.tenants.clone(),
+            adapt: self.merged_adapt(),
         }
     }
 
@@ -458,6 +514,14 @@ impl OperatorConsole {
             );
         }
         out.push_str(&render_tenant_lines(&s.tenants));
+        if let Some(a) = &s.adapt {
+            let c = &a.counters;
+            let _ = writeln!(
+                out,
+                " adapt              {} retrains | {} promoted | {} rolled_back | {} timeouts | drift {} | {}",
+                c.retrains, c.promoted, c.rolled_back, c.retrain_timeouts, a.drift, a.state
+            );
+        }
         out
     }
 
@@ -707,6 +771,43 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("gw[0]: chains 0,3,6 | healthy"), "{text}");
+    }
+
+    #[test]
+    fn adapt_lines_roll_up_without_double_count() {
+        let mut c = OperatorConsole::new(5.0, 3.0);
+        c.observe(&verdict(0.1, 0.6), &timing(1_750, false));
+        assert!(!c.render().contains("adapt"), "no adapt line by default");
+        let line = AdaptConsoleLine {
+            counters: AdaptCounters {
+                retrains: 3,
+                promoted: 2,
+                rolled_back: 1,
+                retrain_timeouts: 1,
+                backoffs: 1,
+                sheds: 7,
+            },
+            state: AdaptState::BackingOff,
+            drift: DriftStatus::Restandardize,
+        };
+        c.observe_adapt(1, line);
+        c.observe_adapt(0, AdaptConsoleLine::default());
+        // Re-observing loop 1 must replace, not accumulate: in fleet mode
+        // each gateway re-reports its loop every interval.
+        c.observe_adapt(1, line);
+        let merged = c.summary().adapt.expect("adapt line present");
+        assert_eq!(merged.counters.retrains, 3, "no double-count");
+        assert_eq!(merged.counters.promoted, 2);
+        assert_eq!(merged.counters.sheds, 7);
+        assert_eq!(merged.state, AdaptState::BackingOff, "worst loop wins");
+        assert_eq!(merged.drift, DriftStatus::Restandardize, "worst drift wins");
+        let text = c.render();
+        assert!(
+            text.contains(
+                "adapt              3 retrains | 2 promoted | 1 rolled_back | 1 timeouts | drift restandardize | backing-off"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -15,15 +15,48 @@ use reads_sim::StreamingStats;
 use serde::Serialize;
 
 /// Drift severity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub enum DriftStatus {
     /// Inputs look like the commissioning distribution.
+    #[default]
     Nominal,
     /// Distribution moved: re-fit the standardizer on recent frames.
     Restandardize,
     /// Moved far enough that the model's input contract is broken: retrain
     /// and rebuild the IP.
     Retrain,
+}
+
+impl DriftStatus {
+    /// Escalation rank (`Nominal` < `Restandardize` < `Retrain`).
+    #[must_use]
+    pub fn severity(self) -> u8 {
+        match self {
+            DriftStatus::Nominal => 0,
+            DriftStatus::Restandardize => 1,
+            DriftStatus::Retrain => 2,
+        }
+    }
+
+    /// The more severe of two statuses (fleet roll-ups keep the worst).
+    #[must_use]
+    pub fn worst(self, other: Self) -> Self {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl std::fmt::Display for DriftStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DriftStatus::Nominal => "nominal",
+            DriftStatus::Restandardize => "restandardize",
+            DriftStatus::Retrain => "retrain",
+        })
+    }
 }
 
 /// Rolling drift monitor.
@@ -53,6 +86,7 @@ pub struct DriftMonitor {
     /// statistic) that flags a shape drift.
     pub shape_z: f64,
     last_status: DriftStatus,
+    windows_completed: u64,
 }
 
 impl DriftMonitor {
@@ -76,6 +110,7 @@ impl DriftMonitor {
             roughness_window: StreamingStats::new(),
             shape_z: 2.0,
             last_status: DriftStatus::Nominal,
+            windows_completed: 0,
         }
     }
 
@@ -154,6 +189,7 @@ impl DriftMonitor {
         self.roughness_window = StreamingStats::new();
         self.frames_in_window = 0;
         self.last_status = status;
+        self.windows_completed += 1;
         Some(status)
     }
 
@@ -161,6 +197,31 @@ impl DriftMonitor {
     #[must_use]
     pub fn last_status(&self) -> DriftStatus {
         self.last_status
+    }
+
+    /// Full windows evaluated so far.
+    #[must_use]
+    pub fn windows_completed(&self) -> u64 {
+        self.windows_completed
+    }
+
+    /// Cold-start-safe current status: [`DriftStatus::Nominal`] until the
+    /// first *full* window has been evaluated, the last window verdict
+    /// after that.
+    ///
+    /// A partial window's statistics are garbage — a couple of frames of
+    /// any real workload have a tiny sample std, whose ratio against the
+    /// fitted std would read as a spurious [`DriftStatus::Retrain`]. The
+    /// serving plane must therefore never consult partial-window moments;
+    /// this accessor is the only sanctioned read of monitor state between
+    /// window boundaries.
+    #[must_use]
+    pub fn status(&self) -> DriftStatus {
+        if self.windows_completed == 0 {
+            DriftStatus::Nominal
+        } else {
+            self.last_status
+        }
     }
 
     /// The cheap adaptation: re-fits the standardizer on recent raw frames
@@ -267,6 +328,56 @@ mod tests {
         }
         assert_eq!(verdicts.len(), 3);
         assert!(verdicts.iter().all(|&v| v == DriftStatus::Nominal));
+    }
+
+    #[test]
+    fn cold_start_partial_window_reports_nominal_not_spurious_retrain() {
+        let (std, _) = fitted();
+        // Wildly drifted traffic from frame zero: everything reads 6 fitted
+        // sigmas high. Until a full window has been evaluated the monitor
+        // must still answer Nominal — a partial window's moments (tiny
+        // sample std in particular) would otherwise read as an immediate
+        // spurious Retrain on the very first frame after boot.
+        let shifted = FrameGenerator::new(
+            95,
+            WorkloadConfig {
+                baseline: 112_000.0 + 6.0 * std.std,
+                ..WorkloadConfig::default()
+            },
+        );
+        let window = 10;
+        let mut mon = DriftMonitor::new(&std, window);
+        assert_eq!(mon.status(), DriftStatus::Nominal, "pre-traffic status");
+        for i in 0..window as u64 - 1 {
+            assert_eq!(
+                mon.observe(&shifted.frame(i).readings),
+                None,
+                "no verdict mid-window"
+            );
+            assert_eq!(
+                mon.status(),
+                DriftStatus::Nominal,
+                "partial window ({} of {window} frames) must stay Nominal",
+                i + 1
+            );
+            assert_eq!(mon.windows_completed(), 0);
+        }
+        // One more frame completes the window: the genuine drift verdict
+        // lands, and status() starts tracking it.
+        let verdict = mon.observe(&shifted.frame(window as u64 - 1).readings);
+        assert_eq!(verdict, Some(DriftStatus::Retrain));
+        assert_eq!(mon.status(), DriftStatus::Retrain);
+        assert_eq!(mon.windows_completed(), 1);
+    }
+
+    #[test]
+    fn status_severity_orders_the_ladder() {
+        use DriftStatus::{Nominal, Restandardize, Retrain};
+        assert!(Nominal.severity() < Restandardize.severity());
+        assert!(Restandardize.severity() < Retrain.severity());
+        assert_eq!(Nominal.worst(Retrain), Retrain);
+        assert_eq!(Retrain.worst(Restandardize), Retrain);
+        assert_eq!(Nominal.worst(Nominal), Nominal);
     }
 
     #[test]

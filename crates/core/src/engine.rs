@@ -26,6 +26,8 @@
 //! only reorder *which replica* computes a frame, never the fixed-point
 //! arithmetic — the golden-vector conformance suite pins this.
 
+use crate::adapt::FrameTap;
+use crate::drift::{DriftMonitor, DriftStatus};
 use crate::registry::hotswap::ShadowStats;
 use crate::registry::{ModelRegistry, PlacementMap, RegistryError, TenantId, DEFAULT_TENANT};
 use crate::resilience::{HealthCounters, HealthState, SupervisorPolicy, Watchdog, WatchdogPolicy};
@@ -33,7 +35,7 @@ use crate::throughput::FleetThroughput;
 use crossbeam::channel::{self, TrySendError};
 use reads_blm::acnet::DeblendVerdict;
 use reads_blm::hubs::{assemble_frame, ChainFrame};
-use reads_blm::Standardizer;
+use reads_blm::{DriftCampaign, Standardizer};
 use reads_hls4ml::firmware::InferenceStats;
 use reads_hls4ml::latency::estimate_latency;
 use reads_hls4ml::{CompiledFirmware, Firmware, KernelMix, Scratch};
@@ -70,6 +72,15 @@ pub struct EngineConfig {
     /// Wall-clock staleness bound: frames older than this at dequeue are
     /// dropped unprocessed (`None` = process everything).
     pub deadline: Option<Duration>,
+    /// Window size (frames) of the per-shard input [`DriftMonitor`]
+    /// watching raw assembled readings against the engine's standardizer
+    /// (`0` disables drift detection).
+    pub drift_window: usize,
+    /// Optional seeded decalibration campaign applied to every assembled
+    /// frame's raw readings (keyed by frame sequence) *before*
+    /// standardization — the fault-injection hook for drift studies.
+    /// `None` (the default) leaves the data path bit-identical.
+    pub drift_campaign: Option<DriftCampaign>,
 }
 
 impl Default for EngineConfig {
@@ -80,7 +91,45 @@ impl Default for EngineConfig {
             queue_depth: 64,
             drop_policy: DropPolicy::Block,
             deadline: None,
+            drift_window: 256,
+            drift_campaign: None,
         }
+    }
+}
+
+/// Per-shard drift scoreboard: the window verdicts of the shard's input
+/// [`DriftMonitor`], rolled up for [`ShardReport`] and the fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DriftSummary {
+    /// Most recent full-window verdict (cold-start-safe: `Nominal` until
+    /// the first window completes).
+    pub status: DriftStatus,
+    /// Full windows evaluated.
+    pub windows: u64,
+    /// Windows that flagged [`DriftStatus::Restandardize`].
+    pub restandardize_windows: u64,
+    /// Windows that flagged [`DriftStatus::Retrain`].
+    pub retrain_windows: u64,
+}
+
+impl DriftSummary {
+    fn note(&mut self, status: DriftStatus) {
+        self.status = status;
+        self.windows += 1;
+        match status {
+            DriftStatus::Nominal => {}
+            DriftStatus::Restandardize => self.restandardize_windows += 1,
+            DriftStatus::Retrain => self.retrain_windows += 1,
+        }
+    }
+
+    /// Folds another shard's scoreboard in: window counts add, the rolled
+    /// up status keeps the most severe current verdict.
+    pub fn merge(&mut self, other: &DriftSummary) {
+        self.status = self.status.worst(other.status);
+        self.windows += other.windows;
+        self.restandardize_windows += other.restandardize_windows;
+        self.retrain_windows += other.retrain_windows;
     }
 }
 
@@ -478,6 +527,9 @@ pub struct ShardReport {
     /// Per-tenant attribution of the shard's work, ascending tenant id
     /// (a single entry for tenant 0 on the legacy constructors).
     pub tenants: Vec<TenantShardReport>,
+    /// Input-drift scoreboard of the shard's raw-reading monitor (all
+    /// zeros when `drift_window == 0`).
+    pub drift: DriftSummary,
 }
 
 /// Fleet-wide accounting.
@@ -528,6 +580,17 @@ impl FleetReport {
     #[must_use]
     pub fn worst_health(&self) -> HealthState {
         HealthState::worst(self.shards.iter().map(|s| s.health))
+    }
+
+    /// Merged drift scoreboard across shards (worst current status, summed
+    /// window counts).
+    #[must_use]
+    pub fn drift(&self) -> DriftSummary {
+        let mut merged = DriftSummary::default();
+        for s in &self.shards {
+            merged.merge(&s.drift);
+        }
+        merged
     }
 
     /// Fleet throughput derived from per-shard busy time and timings.
@@ -592,6 +655,11 @@ enum Ctrl {
     },
     /// Drop the tenant's shadow candidate; the incumbent is untouched.
     Rollback { tenant: TenantId, digest: u64 },
+    /// Attach a frame tap: from here on the shard offers every assembled
+    /// raw frame (post fault-injection, pre standardization) to the
+    /// adaptation plane's reservoir. The offer never blocks — a held
+    /// reservoir lock sheds the frame and counts it.
+    Tap(FrameTap),
 }
 
 enum Work {
@@ -666,7 +734,16 @@ pub struct TenantSnapshot {
     pub shadow: ShadowStats,
 }
 
-type StatsHub = Arc<Mutex<BTreeMap<(usize, TenantId), TenantSnapshot>>>;
+/// Shared live-state board between shard workers and observers: per-tenant
+/// snapshots (hot-swap drivers poll these) and per-shard drift scoreboards
+/// (the adaptation supervisor polls those).
+#[derive(Default)]
+struct EngineHub {
+    tenants: Mutex<BTreeMap<(usize, TenantId), TenantSnapshot>>,
+    drift: Mutex<BTreeMap<usize, DriftSummary>>,
+}
+
+type StatsHub = Arc<EngineHub>;
 
 /// Everything a shard worker needs besides its queue and executor —
 /// cloned per incarnation so the supervisor can respawn a worker without
@@ -676,6 +753,8 @@ struct WorkerCtx {
     standardizer: Standardizer,
     batch_cap: usize,
     deadline: Option<Duration>,
+    drift_window: usize,
+    drift_campaign: Option<DriftCampaign>,
     results_tx: channel::Sender<FrameResult>,
     reports_tx: channel::Sender<ShardReport>,
     hub: StatsHub,
@@ -701,6 +780,12 @@ struct ShardState {
     carried: HealthCounters,
     restarts: u64,
     denied: bool,
+    /// Raw-reading drift monitor (survives restarts; `None` when
+    /// `drift_window == 0`, lazily created by the worker otherwise).
+    drift: Option<DriftMonitor>,
+    drift_summary: DriftSummary,
+    /// Adaptation-plane frame tap, installed by [`Ctrl::Tap`].
+    tap: Option<FrameTap>,
 }
 
 impl ShardState {
@@ -720,6 +805,9 @@ impl ShardState {
             carried: HealthCounters::default(),
             restarts: 0,
             denied: false,
+            drift: None,
+            drift_summary: DriftSummary::default(),
+            tap: None,
         }
     }
 }
@@ -941,10 +1029,39 @@ impl EngineController {
         Ok(())
     }
 
+    /// Attaches the adaptation plane's frame tap on every shard: each
+    /// assembled raw frame (post fault-injection, pre standardization) is
+    /// offered to the tap's reservoir without ever blocking the hot path.
+    ///
+    /// # Errors
+    /// [`RegistryError::EngineStopped`] after `finish`.
+    pub fn attach_frame_tap(&self, tap: &FrameTap) -> Result<(), RegistryError> {
+        let shards = {
+            let guard = self.senders.lock().expect("controller lock");
+            guard.as_ref().ok_or(RegistryError::EngineStopped)?.len()
+        };
+        for shard in 0..shards {
+            self.send(shard, Ctrl::Tap(tap.clone()))?;
+        }
+        Ok(())
+    }
+
+    /// Merged drift scoreboard across all shards (worst current status,
+    /// summed window counts), as published at window boundaries.
+    #[must_use]
+    pub fn drift(&self) -> DriftSummary {
+        let drift = self.hub.drift.lock().expect("drift hub lock");
+        let mut merged = DriftSummary::default();
+        for summary in drift.values() {
+            merged.merge(summary);
+        }
+        merged
+    }
+
     /// Merged shadow ledger for `tenant` across its shards.
     #[must_use]
     pub fn shadow_stats(&self, tenant: TenantId) -> ShadowStats {
-        let hub = self.hub.lock().expect("stats hub lock");
+        let hub = self.hub.tenants.lock().expect("stats hub lock");
         let mut merged = ShadowStats::default();
         for ((_, t), snap) in hub.iter() {
             if *t == tenant {
@@ -961,7 +1078,7 @@ impl EngineController {
         if shards.is_empty() {
             return false;
         }
-        let hub = self.hub.lock().expect("stats hub lock");
+        let hub = self.hub.tenants.lock().expect("stats hub lock");
         shards.iter().all(|s| {
             hub.get(&(*s, tenant))
                 .is_some_and(|snap| snap.live_digest == digest)
@@ -971,7 +1088,7 @@ impl EngineController {
     /// Per-shard snapshots for `tenant`, ascending shard index.
     #[must_use]
     pub fn snapshots(&self, tenant: TenantId) -> Vec<(usize, TenantSnapshot)> {
-        let hub = self.hub.lock().expect("stats hub lock");
+        let hub = self.hub.tenants.lock().expect("stats hub lock");
         hub.iter()
             .filter(|((_, t), _)| *t == tenant)
             .map(|((s, _), snap)| (*s, *snap))
@@ -991,11 +1108,11 @@ impl ShardedEngine {
         assert!(!tables.is_empty(), "engine needs at least one worker");
         let (results_tx, results_rx) = channel::unbounded::<FrameResult>();
         let (reports_tx, reports_rx) = channel::unbounded::<ShardReport>();
-        let hub: StatsHub = Arc::new(Mutex::new(BTreeMap::new()));
+        let hub: StatsHub = Arc::new(EngineHub::default());
         {
             // Pre-seed the hub so controller polls see live digests before
             // any shard runs its first batch.
-            let mut h = hub.lock().expect("stats hub lock");
+            let mut h = hub.tenants.lock().expect("stats hub lock");
             for (shard, table) in tables.iter().enumerate() {
                 for slot in table {
                     h.insert(
@@ -1012,6 +1129,8 @@ impl ShardedEngine {
             standardizer: standardizer.clone(),
             batch_cap: cfg.batch,
             deadline: cfg.deadline,
+            drift_window: cfg.drift_window,
+            drift_campaign: cfg.drift_campaign,
             results_tx,
             reports_tx,
             hub: Arc::clone(&hub),
@@ -1164,11 +1283,13 @@ impl ShardedEngine {
         let (results_tx, results_rx) = channel::unbounded::<FrameResult>();
         let (reports_tx, reports_rx) = channel::unbounded::<ShardReport>();
         let (sup_tx, sup_rx) = channel::unbounded::<SupMsg>();
-        let hub: StatsHub = Arc::new(Mutex::new(BTreeMap::new()));
+        let hub: StatsHub = Arc::new(EngineHub::default());
         let ctx = WorkerCtx {
             standardizer: standardizer.clone(),
             batch_cap: cfg.batch,
             deadline: cfg.deadline,
+            drift_window: cfg.drift_window,
+            drift_campaign: cfg.drift_campaign,
             results_tx,
             reports_tx,
             hub: Arc::clone(&hub),
@@ -1390,9 +1511,21 @@ impl ShardedEngine {
     #[must_use]
     pub fn tenant_info(&self, tenant: TenantId) -> Option<(u64, bool)> {
         let shard = *self.placement.get(&tenant)?.first()?;
-        let hub = self.hub.lock().expect("stats hub lock");
+        let hub = self.hub.tenants.lock().expect("stats hub lock");
         let snap = hub.get(&(shard, tenant))?;
         Some((snap.live_digest, snap.shadow_digest.is_some()))
+    }
+
+    /// Merged drift scoreboard across shards, as published at window
+    /// boundaries (see [`EngineController::drift`]).
+    #[must_use]
+    pub fn drift(&self) -> DriftSummary {
+        let drift = self.hub.drift.lock().expect("drift hub lock");
+        let mut merged = DriftSummary::default();
+        for summary in drift.values() {
+            merged.merge(summary);
+        }
+        merged
     }
 
     /// A cloneable control-plane handle for hot-swap drivers and consoles.
@@ -1482,6 +1615,7 @@ fn publish_slot(ctx: &WorkerCtx, shard: usize, slot: &TenantSlot, acct: Option<&
         shadow: slot.shadow.as_ref().map(|s| s.stats).unwrap_or_default(),
     };
     ctx.hub
+        .tenants
         .lock()
         .expect("stats hub lock")
         .insert((shard, slot.id), snap);
@@ -1546,6 +1680,7 @@ fn apply_ctrl(ctx: &WorkerCtx, table: &mut [TenantSlot], state: &mut ShardState,
                 publish_slot(ctx, state.shard, slot, state.tenants.get(&tenant));
             }
         }
+        Ctrl::Tap(tap) => state.tap = Some(tap),
     }
 }
 
@@ -1618,7 +1753,26 @@ fn run_tenant_batch(
             }
         }
         match assemble_frame(&job.packets) {
-            Ok(readings) => {
+            Ok(mut readings) => {
+                // Fault injection first: the campaign decalibrates the raw
+                // readings exactly as drifting electronics would, so the
+                // monitor, the tap and the model all see the same world.
+                if let Some(campaign) = &ctx.drift_campaign {
+                    campaign.apply(u64::from(job.sequence), &mut readings);
+                }
+                if let Some(tap) = &state.tap {
+                    tap.offer(&readings);
+                }
+                if let Some(monitor) = &mut state.drift {
+                    if let Some(status) = monitor.observe(&readings) {
+                        state.drift_summary.note(status);
+                        ctx.hub
+                            .drift
+                            .lock()
+                            .expect("drift hub lock")
+                            .insert(state.shard, state.drift_summary);
+                    }
+                }
                 let n_in = slot.executor.input_len().min(readings.len());
                 inputs.push(ctx.standardizer.apply_frame(&readings[..n_in]));
                 kept.push(job);
@@ -1715,6 +1869,11 @@ fn shard_worker(
     let shard = state.shard;
     for slot in &table {
         publish_slot(&ctx, shard, slot, state.tenants.get(&slot.id));
+    }
+    // The drift monitor survives restarts inside `state`; only the first
+    // incarnation creates it (and only when drift detection is on).
+    if state.drift.is_none() && ctx.drift_window > 0 {
+        state.drift = Some(DriftMonitor::new(&ctx.standardizer, ctx.drift_window));
     }
 
     // Frames requeued from a pre-restart incarnation run first, and the
@@ -1862,6 +2021,7 @@ fn shard_worker(
         counters,
         kernel_mix,
         tenants: tenant_reports,
+        drift: state.drift_summary,
     });
     if let Some(tx) = sup_tx {
         let _ = tx.send(SupMsg::Done);

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod adapt;
 pub mod baselines;
 pub mod campaign;
 pub mod codesign;
@@ -49,15 +50,19 @@ pub mod throughput;
 pub mod trained;
 pub mod verification;
 
+pub use adapt::{
+    fold_restandardization, AdaptConfig, AdaptCounters, AdaptError, AdaptEvent, AdaptObserver,
+    AdaptReport, AdaptState, AdaptSupervisor, FrameTap, Reservoir, ReservoirSample,
+};
 pub use campaign::{run_latency_campaign, LatencyCampaign};
 pub use codesign::{codesign, CodesignResult};
 pub use console::{
-    ConsoleSummary, GatewayHealth, NetHealth, NodeHealth, OperatorConsole, ShardHealth,
-    TenantConsoleLine,
+    AdaptConsoleLine, ConsoleSummary, GatewayHealth, NetHealth, NodeHealth, OperatorConsole,
+    ShardHealth, TenantConsoleLine,
 };
 pub use engine::{
-    DropPolicy, EngineConfig, EngineController, FleetReport, FrameResult, NativeExecutor,
-    ShardExecutor, ShardReport, ShardedEngine, SocExecutor, TenantShardReport,
+    DriftSummary, DropPolicy, EngineConfig, EngineController, FleetReport, FrameResult,
+    NativeExecutor, ShardExecutor, ShardReport, ShardedEngine, SocExecutor, TenantShardReport,
 };
 pub use registry::{
     run_hot_swap, LifecycleState, ModelRegistry, PlacementError, PlacementMap, PlacementPlanner,

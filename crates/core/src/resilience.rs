@@ -193,6 +193,15 @@ pub struct NetCounters {
     /// serve; the session kept its previous binding. Not an anomaly: the
     /// client learns the truth from the `TenantInfo` reply.
     pub tenant_rejects: u64,
+    /// Online-adaptation retrain attempts started by this gateway's
+    /// adaptation loop. Not an anomaly — retraining is the loop working.
+    pub adapt_retrains: u64,
+    /// Adapted candidates promoted to live by the shadow gate.
+    pub adapt_promoted: u64,
+    /// Adapted candidates rejected (offline gates or live rollback). Not
+    /// an anomaly: a rollback is the guardrail doing its job, and it
+    /// never touches served traffic.
+    pub adapt_rolled_back: u64,
 }
 
 impl NetCounters {
@@ -222,6 +231,9 @@ impl NetCounters {
         self.handoffs += other.handoffs;
         self.tenant_selects += other.tenant_selects;
         self.tenant_rejects += other.tenant_rejects;
+        self.adapt_retrains += other.adapt_retrains;
+        self.adapt_promoted += other.adapt_promoted;
+        self.adapt_rolled_back += other.adapt_rolled_back;
     }
 
     /// Transport anomalies that indicate data was damaged or lost in

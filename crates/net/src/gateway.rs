@@ -55,7 +55,8 @@ use crate::reactor::{
 use crate::router::{FleetLink, SessionStub};
 use crate::wire::{encode_msg, FrameDecoder, Msg, Role, VerdictMsg, WireError};
 use reads_blm::hubs::HubPacket;
-use reads_core::console::{OperatorConsole, TenantConsoleLine};
+use reads_core::adapt::AdaptObserver;
+use reads_core::console::{AdaptConsoleLine, OperatorConsole, TenantConsoleLine};
 use reads_core::engine::{FleetReport, FrameResult, ShardedEngine};
 use reads_core::resilience::NetCounters;
 use reads_core::system::TRIP_THRESHOLD;
@@ -119,6 +120,12 @@ pub struct GatewayConfig {
     /// [`FleetLink::gossip_interval`], and adopts sessions orphaned by a
     /// dead peer on `Resume`.
     pub fleet: Option<FleetLink>,
+    /// Read-only handle onto an online-adaptation loop running next to
+    /// this gateway's engine (`None` = no adaptation). At shutdown the
+    /// loop's counters fold into [`NetCounters`] and its state becomes
+    /// the console's `adapt` line, so fleet roll-ups see retrains,
+    /// promotions and rollbacks without double-counting.
+    pub adapt: Option<AdaptObserver>,
 }
 
 impl Default for GatewayConfig {
@@ -134,6 +141,7 @@ impl Default for GatewayConfig {
             reactors: 1,
             eth: EthernetModel::default(),
             fleet: None,
+            adapt: None,
         }
     }
 }
@@ -1664,6 +1672,12 @@ fn hub_loop(
             p.send(ReactorCmd::SeverAllThenExit);
         }
         let (_discarded, fleet) = engine.finish();
+        if let Some(obs) = &cfg.adapt {
+            let c = obs.counters();
+            board.counters.adapt_retrains = c.retrains;
+            board.counters.adapt_promoted = c.promoted;
+            board.counters.adapt_rolled_back = c.rolled_back;
+        }
         board.publish(shared);
         return GatewayReport {
             fleet,
@@ -1690,6 +1704,20 @@ fn hub_loop(
         p.send(ReactorCmd::DrainAllThenExit);
     }
 
+    if let Some(obs) = &cfg.adapt {
+        let c = obs.counters();
+        board.counters.adapt_retrains = c.retrains;
+        board.counters.adapt_promoted = c.promoted;
+        board.counters.adapt_rolled_back = c.rolled_back;
+        board.console.observe_adapt(
+            cfg.fleet.as_ref().map_or(0, |link| link.gateway_id),
+            AdaptConsoleLine {
+                counters: c,
+                state: obs.state(),
+                drift: fleet.drift().status,
+            },
+        );
+    }
     let mut console_render = String::new();
     if board.observed > 0 {
         for s in &fleet.shards {

@@ -14,6 +14,7 @@
 //!                    [--max-sessions N] [--session-resume-window SECS]
 //!                    [--reactors N] [--fleet N] [--gateway-id I]
 //!                    [--tenants id:model:weight,...]
+//!                    [--adapt] [--retrain-budget-ms N] [--drift-campaign SEED]
 //! ```
 //!
 //! `serve --fleet N` runs an in-process federation of `N` gateways on
@@ -28,6 +29,15 @@
 //! engine shards by the resource-aware placement planner against the
 //! Arria 10 budget; a tenant that does not fit is a typed startup error,
 //! not a degraded server.
+//!
+//! `serve --adapt` runs the online-adaptation supervisor next to the
+//! gateway: every served frame feeds a bounded reservoir, and when the
+//! engine's drift monitors flag a distribution shift the loop refits the
+//! standardization, fine-tunes in the background under the
+//! `--retrain-budget-ms` wall-clock budget (default 1500), re-quantizes
+//! and promotes through the live shadow canary. `--drift-campaign SEED`
+//! injects the seeded demo drift campaign into the serving plane so the
+//! whole loop can be exercised end to end from one terminal.
 //!
 //! Everything is cached under `target/reads-artifacts/`; the first `train`
 //! (or any command needing a model) pays the training cost once.
@@ -57,6 +67,9 @@ struct Args {
     fleet: usize,
     gateway_id: Option<u32>,
     tenants: Vec<TenantSpec>,
+    adapt: bool,
+    retrain_budget: Option<std::time::Duration>,
+    drift_campaign: Option<u64>,
 }
 
 /// One `--tenants` entry: `id:model:weight`.
@@ -127,6 +140,9 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         fleet: 1,
         gateway_id: None,
         tenants: Vec::new(),
+        adapt: false,
+        retrain_budget: None,
+        drift_campaign: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -228,11 +244,52 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             "--tenants" => {
                 args.tenants = parse_tenants(value()?)?;
             }
+            "--adapt" => {
+                args.adapt = true;
+            }
+            "--retrain-budget-ms" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --retrain-budget-ms: {e}"))?;
+                if ms < 50 {
+                    return Err(format!(
+                        "--retrain-budget-ms {ms} cannot fit a single fine-tune epoch; \
+                         the floor is 50"
+                    ));
+                }
+                if ms > 600_000 {
+                    return Err(format!(
+                        "--retrain-budget-ms {ms} would let one retrain monopolize the \
+                         background plane for over 10 minutes; the cap is 600000"
+                    ));
+                }
+                args.retrain_budget = Some(std::time::Duration::from_millis(ms));
+            }
+            "--drift-campaign" => {
+                args.drift_campaign = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --drift-campaign: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if !args.tenants.is_empty() && args.fleet > 1 {
         return Err("--tenants is a single-gateway feature; drop --fleet or the tenants".into());
+    }
+    if args.adapt && args.fleet > 1 {
+        return Err("--adapt is a single-gateway feature; drop --fleet or the adaptation".into());
+    }
+    if args.retrain_budget.is_some() && !args.adapt {
+        return Err("--retrain-budget-ms budgets the adaptation loop; it needs --adapt".into());
+    }
+    if args.drift_campaign.is_some() && !args.adapt {
+        return Err(
+            "--drift-campaign injects drift for the adaptation loop to fix; it needs --adapt \
+             (an uncorrected campaign would just silently degrade the server)"
+                .into(),
+        );
     }
     if let Some(id) = args.gateway_id {
         if args.fleet <= 1 {
@@ -286,7 +343,8 @@ fn usage() {
         "usage: reads-cli <train|summary|convert|run|verify|fifo|scenario|boot|serve> \
          [--model unet|mlp] [--tier fast|full] [--seed N] [--width W] [--frames N] \
          [--addr HOST:PORT] [--max-sessions N] [--session-resume-window SECS] \
-         [--reactors N] [--fleet N] [--gateway-id I] [--tenants id:model:weight,...]"
+         [--reactors N] [--fleet N] [--gateway-id I] [--tenants id:model:weight,...] \
+         [--adapt] [--retrain-budget-ms N] [--drift-campaign SEED]"
     );
 }
 
@@ -426,8 +484,15 @@ fn build_multi_engine(
     args: &Args,
     bundle: &TrainedBundle,
     fw: &reads::hls4ml::Firmware,
-) -> Result<reads::central::engine::ShardedEngine, String> {
-    use reads::central::engine::{EngineConfig, ShardedEngine};
+    eng_cfg: &reads::central::engine::EngineConfig,
+) -> Result<
+    (
+        reads::central::engine::ShardedEngine,
+        reads::central::ModelRegistry,
+    ),
+    String,
+> {
+    use reads::central::engine::ShardedEngine;
     use reads::central::{ModelRegistry, PlacementPlanner, ShardBudget};
     use reads::hls4ml::ARRIA10_10AS066;
 
@@ -455,7 +520,6 @@ fn build_multi_engine(
             .register_live(t.id, tenant_fw)
             .map_err(|e| fail(&e))?;
     }
-    let eng_cfg = EngineConfig::default();
     // Each engine worker simulates one whole SoC board (its own HPS +
     // FPGA fabric), so every shard offers a full device budget — the
     // fleet is N boards, not N slices of one.
@@ -467,14 +531,15 @@ fn build_multi_engine(
         .plan(&registry)
         .map_err(|e| format!("placement: {e}"))?;
     print!("placement plan:\n{}", plan.render());
-    ShardedEngine::start_multi(
-        &eng_cfg,
+    let engine = ShardedEngine::start_multi(
+        eng_cfg,
         &bundle.standardizer,
         &registry,
         &plan,
         &HpsModel::default(),
     )
-    .map_err(|e| format!("engine: {e}"))
+    .map_err(|e| format!("engine: {e}"))?;
+    Ok((engine, registry))
 }
 
 fn main() -> ExitCode {
@@ -588,10 +653,13 @@ fn main() -> ExitCode {
             );
         }
         "serve" => {
+            use reads::blm::DriftCampaign;
+            use reads::central::adapt::{AdaptConfig, AdaptSupervisor};
             use reads::central::engine::{EngineConfig, ShardedEngine};
+            use reads::central::DEFAULT_TENANT;
             use reads::net::{ctrl_c_requested, install_ctrl_c, GatewayConfig, HubGateway};
             let (bundle, fw) = firmware_of(&args);
-            let gw_cfg = GatewayConfig {
+            let mut gw_cfg = GatewayConfig {
                 max_sessions: args.max_sessions,
                 session_resume_window: args.session_resume_window,
                 reactors: args.reactors,
@@ -600,21 +668,72 @@ fn main() -> ExitCode {
             if args.fleet > 1 {
                 return serve_fleet(&args, &bundle, &fw, gw_cfg);
             }
-            let engine = if args.tenants.is_empty() {
-                ShardedEngine::native(
-                    &EngineConfig::default(),
-                    &fw,
-                    &HpsModel::default(),
-                    &bundle.standardizer,
+            let eng_cfg = EngineConfig {
+                // The demo campaign ramps in over ~30 s of 320 fps traffic.
+                drift_campaign: args
+                    .drift_campaign
+                    .map(|seed| DriftCampaign::demo(seed, 2_000, 8_000)),
+                ..EngineConfig::default()
+            };
+            let (engine, registry) = if args.tenants.is_empty() && !args.adapt {
+                (
+                    ShardedEngine::native(
+                        &eng_cfg,
+                        &fw,
+                        &HpsModel::default(),
+                        &bundle.standardizer,
+                    ),
+                    None,
                 )
             } else {
-                match build_multi_engine(&args, &bundle, &fw) {
-                    Ok(e) => e,
+                // The adaptation loop promotes through the registry, so
+                // `--adapt` always serves registry-backed (tenant 0 is the
+                // default model even with no `--tenants`).
+                match build_multi_engine(&args, &bundle, &fw, &eng_cfg) {
+                    Ok((e, r)) => (e, Some(r)),
                     Err(e) => {
                         eprintln!("error: {e}");
                         return ExitCode::FAILURE;
                     }
                 }
+            };
+            let supervisor = if args.adapt {
+                let acfg = AdaptConfig {
+                    retrain_budget: args
+                        .retrain_budget
+                        .unwrap_or_else(|| std::time::Duration::from_millis(1_500)),
+                    ..AdaptConfig::paper_default(DEFAULT_TENANT)
+                };
+                let budget_ms = acfg.retrain_budget.as_millis();
+                let sup = match AdaptSupervisor::start(
+                    acfg,
+                    bundle.model.clone(),
+                    bundle.standardizer.clone(),
+                    engine.controller(),
+                    registry.clone().expect("--adapt serves registry-backed"),
+                    HpsModel::default(),
+                ) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: adaptation supervisor: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = engine.controller().attach_frame_tap(&sup.tap()) {
+                    eprintln!("error: cannot attach the frame tap: {e}");
+                    return ExitCode::FAILURE;
+                }
+                gw_cfg.adapt = Some(sup.observer());
+                match args.drift_campaign {
+                    Some(seed) => println!(
+                        "adaptation: on | retrain budget {budget_ms} ms | \
+                         drift campaign seed {seed}"
+                    ),
+                    None => println!("adaptation: on | retrain budget {budget_ms} ms"),
+                }
+                Some(sup)
+            } else {
+                None
             };
             let handle = match HubGateway::start(args.addr.as_str(), gw_cfg, engine) {
                 Ok(h) => h,
@@ -648,6 +767,17 @@ fn main() -> ExitCode {
             }
             println!("draining in-flight frames…");
             let report = handle.shutdown();
+            if let Some(sup) = supervisor {
+                let adapt = sup.stop();
+                println!(
+                    "adaptation loop: {} retrains | {} promoted | {} rolled back | \
+                     final state {}",
+                    adapt.counters.retrains,
+                    adapt.counters.promoted,
+                    adapt.counters.rolled_back,
+                    adapt.state
+                );
+            }
             if report.console.is_empty() {
                 println!("no frames served");
             } else {

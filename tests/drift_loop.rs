@@ -1,0 +1,349 @@
+//! The closed adaptation loop over a **live** engine: drift injection →
+//! detection → background retrain → guarded promotion, plus the loop's
+//! failure ladder and the hot-path guarantees of the frame reservoir.
+//!
+//! The contracts under test:
+//!
+//! * under an injected gain/offset campaign the supervisor detects the
+//!   shift through the engine's drift monitors, retrains in the
+//!   background and promotes a candidate through the live shadow canary
+//!   — while the producer never pauses and no accepted frame is lost;
+//! * a sabotaged pipeline (2-bit candidates that cannot track their own
+//!   float model) rolls back every attempt offline, backs off, and trips
+//!   the loop to `Degraded` after the configured strike count — with the
+//!   incumbent serving untouched throughout;
+//! * `reset_degraded` re-arms the loop and the kill switch halts it;
+//! * a wedged retrainer holding the reservoir lock can never block the
+//!   engine's hot path: offers shed instead of waiting;
+//! * the reservoir is a pure function of (seed, offer sequence) and its
+//!   memory is bounded by its capacity, whatever the stream length.
+
+use proptest::prelude::*;
+use reads::blm::hubs::MultiChainSource;
+use reads::blm::{DriftCampaign, FrameGenerator, Standardizer};
+use reads::central::adapt::{AdaptConfig, AdaptState, AdaptSupervisor, FrameTap, Reservoir};
+use reads::central::engine::{DropPolicy, EngineConfig, ShardedEngine};
+use reads::central::{ModelRegistry, PlacementPlanner, ShadowGate, ShardBudget};
+use reads::hls4ml::{convert, profile_model, Firmware, HlsConfig};
+use reads::nn::{models, Model};
+use reads::soc::HpsModel;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 31;
+const CHAINS: usize = 2;
+
+fn standardizer() -> Standardizer {
+    Standardizer {
+        mean: 112_000.0,
+        std: 3_500.0,
+    }
+}
+
+fn mlp() -> Model {
+    models::reads_mlp(SEED)
+}
+
+fn mlp_firmware(model: &Model) -> Firmware {
+    let calib = vec![vec![0.3; 259], vec![-0.4; 259]];
+    let profile = profile_model(model, &calib);
+    convert(model, &profile, &HlsConfig::paper_default())
+}
+
+/// The bench's campaign shape: immediate full-strength gain/offset shift
+/// (~2.7σ in the raw stream), strong enough that a 32-frame monitor
+/// window flags `Retrain` on its first completion.
+fn campaign() -> DriftCampaign {
+    DriftCampaign {
+        seed: SEED,
+        start_frame: 0,
+        ramp_frames: 0,
+        gain: 1.07,
+        offset: 1_700.0,
+        decal_monitors: 0,
+        decal_spread: 0.0,
+        step_frame: u64::MAX,
+        step_offset: 0.0,
+    }
+}
+
+fn wide_open_budget() -> ShardBudget {
+    ShardBudget {
+        ip_aluts: u64::MAX / 4,
+        dsps: u64::MAX / 4,
+        m20k_blocks: u64::MAX / 4,
+    }
+}
+
+/// Engine + registry + supervisor over the drifted stream; returns the
+/// supervisor's final report and the engine's served/accepted accounting.
+fn run_loop(
+    quant_width: u32,
+    settle: impl Fn(&AdaptSupervisor) -> bool,
+) -> (reads::central::adapt::AdaptReport, u64, u64) {
+    let model = mlp();
+    let std = standardizer();
+    let incumbent = mlp_firmware(&model);
+
+    let mut registry = ModelRegistry::new();
+    registry.add_tenant(1, "blm-adaptive", 1, None).unwrap();
+    registry.register_live(1, incumbent).unwrap();
+    let plan = PlacementPlanner::new(wide_open_budget(), 2)
+        .plan(&registry)
+        .unwrap();
+    let cfg = EngineConfig {
+        workers: 2,
+        batch: 2,
+        queue_depth: 128,
+        drop_policy: DropPolicy::Block,
+        drift_window: 32,
+        drift_campaign: Some(campaign()),
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        ShardedEngine::start_multi(&cfg, &std, &registry, &plan, &HpsModel::default()).unwrap();
+
+    let acfg = AdaptConfig {
+        reservoir_capacity: 64,
+        min_snapshot: 24,
+        min_labeled: 24,
+        max_epochs: 2,
+        retrain_budget: Duration::from_millis(800),
+        quant_width,
+        poll_interval: Duration::from_millis(5),
+        cooldown: Duration::from_millis(20),
+        backoff_base: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(40),
+        gate: ShadowGate {
+            tolerance: 0.20,
+            min_accuracy: 0.0,
+            min_frames: 8,
+        },
+        ..AdaptConfig::paper_default(1)
+    };
+    let supervisor = AdaptSupervisor::start(
+        acfg,
+        model,
+        std,
+        engine.controller(),
+        registry,
+        HpsModel::default(),
+    )
+    .unwrap();
+    let tap = supervisor.tap();
+
+    // The producer: paced ticks that never pause for the retrainer. The
+    // test labels the drifted stream the way replay studies do.
+    let c = campaign();
+    let truth = FrameGenerator::with_defaults(SEED);
+    let mut src = MultiChainSource::new(CHAINS, SEED);
+    let mut accepted = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let seq = u64::from(src.next_sequence());
+        for frame in src.tick() {
+            assert!(engine.submit_for(1, frame).unwrap(), "tenant vanished");
+            accepted += 1;
+        }
+        let t = truth.frame(seq);
+        let mut drifted = t.readings.clone();
+        c.apply(seq, &mut drifted);
+        let mut targets = Vec::with_capacity(518);
+        targets.extend_from_slice(&t.frac_mi[..259]);
+        targets.extend_from_slice(&t.frac_rr[..259]);
+        tap.offer_labeled(&drifted, &targets);
+        if settle(&supervisor) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "loop never settled: state {:?} counters {:?}",
+            supervisor.state(),
+            supervisor.counters()
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let report = supervisor.stop();
+    let (results, fleet) = engine.finish();
+    assert_eq!(
+        fleet.dropped_backpressure, 0,
+        "Block policy must never drop accepted frames"
+    );
+    (report, accepted, results.len() as u64)
+}
+
+#[test]
+fn closed_loop_promotes_under_injected_drift() {
+    let (report, accepted, served) = run_loop(16, |sup| sup.counters().promoted > 0);
+    assert_eq!(served, accepted, "every accepted frame must be served");
+    assert!(report.counters.retrains >= 1, "a retrain must have fired");
+    assert_eq!(report.counters.promoted, 1, "exactly one promotion");
+    assert_eq!(
+        report.counters.rolled_back, 0,
+        "an honest candidate never rolls back"
+    );
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e, reads::central::adapt::AdaptEvent::Promoted { .. })),
+        "promotion must be recorded as an event: {:?}",
+        report.events
+    );
+}
+
+#[test]
+fn sabotaged_candidates_strike_out_to_degraded() {
+    // 2-bit candidates cannot track their own float model within the
+    // offline fidelity gate; each attempt is a strike.
+    let (report, accepted, served) = run_loop(2, |sup| sup.state() == AdaptState::Degraded);
+    assert_eq!(served, accepted);
+    assert_eq!(
+        report.counters.promoted, 0,
+        "no sabotaged candidate may ship"
+    );
+    assert_eq!(
+        report.counters.rolled_back, 3,
+        "each strike is a rollback: {:?}",
+        report.counters
+    );
+    assert!(
+        report.counters.backoffs >= 1,
+        "strikes before the trip must back off"
+    );
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            reads::central::adapt::AdaptEvent::Degraded { consecutive: 3 }
+        )),
+        "the trip must be recorded: {:?}",
+        report.events
+    );
+}
+
+#[test]
+fn kill_switch_halts_the_loop() {
+    let model = mlp();
+    let std = standardizer();
+    let incumbent = mlp_firmware(&model);
+    let mut registry = ModelRegistry::new();
+    registry.add_tenant(1, "blm-adaptive", 1, None).unwrap();
+    registry.register_live(1, incumbent).unwrap();
+    let plan = PlacementPlanner::new(wide_open_budget(), 1)
+        .plan(&registry)
+        .unwrap();
+    let cfg = EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    };
+    let engine =
+        ShardedEngine::start_multi(&cfg, &std, &registry, &plan, &HpsModel::default()).unwrap();
+    let supervisor = AdaptSupervisor::start(
+        AdaptConfig {
+            poll_interval: Duration::from_millis(2),
+            ..AdaptConfig::paper_default(1)
+        },
+        model,
+        std,
+        engine.controller(),
+        registry,
+        HpsModel::default(),
+    )
+    .unwrap();
+    supervisor.kill();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while supervisor.state() != AdaptState::Killed {
+        assert!(Instant::now() < deadline, "kill switch never landed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let report = supervisor.stop();
+    assert_eq!(report.state, AdaptState::Killed);
+    assert_eq!(report.counters.promoted, 0);
+    drop(engine.finish());
+}
+
+#[test]
+fn wedged_retrainer_never_blocks_the_engine() {
+    let model = mlp();
+    let std = standardizer();
+    let incumbent = mlp_firmware(&model);
+    let mut registry = ModelRegistry::new();
+    registry.add_tenant(1, "blm-adaptive", 1, None).unwrap();
+    registry.register_live(1, incumbent).unwrap();
+    let plan = PlacementPlanner::new(wide_open_budget(), 2)
+        .plan(&registry)
+        .unwrap();
+    let cfg = EngineConfig {
+        workers: 2,
+        batch: 2,
+        drop_policy: DropPolicy::Block,
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        ShardedEngine::start_multi(&cfg, &std, &registry, &plan, &HpsModel::default()).unwrap();
+
+    let tap = FrameTap::new(32, SEED);
+    engine.controller().attach_frame_tap(&tap).unwrap();
+
+    // Wedge: the "retrainer" goes to lunch holding the reservoir.
+    let guard = tap.reservoir();
+    let mut src = MultiChainSource::new(CHAINS, SEED);
+    let mut accepted = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..200 {
+        for frame in src.tick() {
+            assert!(engine.submit_for(1, frame).unwrap());
+            accepted += 1;
+        }
+    }
+    let (results, fleet) = engine.finish();
+    drop(guard);
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "hot path stalled behind the wedged reservoir"
+    );
+    assert_eq!(fleet.dropped_backpressure, 0);
+    assert_eq!(
+        results.len() as u64,
+        accepted,
+        "all frames served while wedged"
+    );
+    assert_eq!(
+        tap.offers(),
+        accepted,
+        "every served frame offered exactly once"
+    );
+    assert_eq!(
+        tap.sheds(),
+        accepted,
+        "every offer against the held reservoir must shed, not queue"
+    );
+    assert_eq!(tap.reservoir().seen(), 0, "nothing may land while wedged");
+}
+
+proptest! {
+    /// The reservoir is a pure function of (seed, offer sequence): two
+    /// instances fed identically are bit-identical, and memory stays
+    /// bounded by capacity no matter how long the stream runs.
+    #[test]
+    fn reservoir_is_deterministic_and_bounded(
+        seed in any::<u64>(),
+        capacity in 1usize..48,
+        offers in 1u64..600,
+    ) {
+        let mut a = Reservoir::new(capacity, seed);
+        let mut b = Reservoir::new(capacity, seed);
+        for i in 0..offers {
+            let frame = [i as f64, (i * 7) as f64, -(i as f64)];
+            a.offer(&frame, None);
+            b.offer(&frame, None);
+            prop_assert!(a.len() <= capacity, "capacity breached");
+        }
+        prop_assert_eq!(a.seen(), offers);
+        prop_assert_eq!(a.len(), capacity.min(offers as usize));
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        for (x, y) in sa.iter().zip(&sb) {
+            prop_assert_eq!(&x.readings, &y.readings);
+            prop_assert_eq!(x.stamp, y.stamp);
+        }
+    }
+}

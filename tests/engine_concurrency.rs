@@ -125,6 +125,7 @@ fn drop_newest_sheds_exactly_the_overflow() {
         queue_depth: 2,
         drop_policy: DropPolicy::DropNewest,
         deadline: None,
+        ..EngineConfig::default()
     };
     let worker_barrier = barrier.clone();
     let mut engine = ShardedEngine::start(&cfg, &standardizer(), move |_| {
@@ -177,6 +178,7 @@ fn block_policy_is_lossless() {
             queue_depth: 2, // tiny queue: submitters must block, not drop
             drop_policy: DropPolicy::Block,
             deadline: None,
+            ..EngineConfig::default()
         },
         &standardizer(),
         |_| Box::new(NativeExecutor::new(fw.clone(), &HpsModel::default())),
